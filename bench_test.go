@@ -1,0 +1,436 @@
+// Benchmarks regenerating every table and figure of the CPHash paper's
+// evaluation (Sections 6 and 7). Two substrates are used:
+//
+//   - Native benches (Fig 5, 8, 9, 10, 13, 14, ablations) run the real Go
+//     implementation on the host. Absolute numbers are host-dependent; on
+//     small hosts the lock-based design can win, exactly as the paper's
+//     Figure 11 shows for low core counts.
+//   - Simulated benches (Fig 6, 7, 11, 12) run the access-pattern models on
+//     the deterministic cache simulator of the paper's 80-core machine and
+//     report cycles and misses per operation as custom metrics.
+//
+// cmd/cpbench and cmd/cpsim print the same experiments as full sweep
+// tables; EXPERIMENTS.md records paper-vs-measured values.
+package cphash
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"cphash/internal/core"
+	"cphash/internal/kvserver"
+	"cphash/internal/loadgen"
+	"cphash/internal/lockhash"
+	"cphash/internal/memcache"
+	"cphash/internal/partition"
+	"cphash/internal/ring"
+	"cphash/internal/simhash"
+	"cphash/internal/topology"
+	"cphash/internal/workload"
+)
+
+// --- native table microbenchmark machinery (Figures 5, 8, 9, 10) ---
+
+// benchCPHash drives b.N mixed operations through one CPHASH client.
+func benchCPHash(b *testing.B, spec workload.Spec, capacityValues int, policy partition.EvictionPolicy) {
+	b.Helper()
+	t := core.MustNew(core.Config{
+		Partitions:    2,
+		CapacityBytes: partition.CapacityForValues(capacityValues, spec.ValueSize),
+		MaxClients:    1,
+		Policy:        policy,
+		Seed:          1,
+	})
+	defer t.Close()
+	c := t.MustClient(0)
+	defer c.Close()
+	g := workload.MustGenerator(spec)
+	val := make([]byte, spec.ValueSize)
+	inflight := make([]*core.Op, 0, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kind, key := g.Next()
+		if kind == workload.Insert {
+			c.Put(key, spec.FillValue(key, val))
+			continue
+		}
+		inflight = append(inflight, c.LookupAsync(key))
+		if len(inflight) == cap(inflight) {
+			c.WaitAll()
+			for _, o := range inflight {
+				c.Release(o)
+			}
+			inflight = inflight[:0]
+		}
+	}
+	c.WaitAll()
+	for _, o := range inflight {
+		c.Release(o)
+	}
+}
+
+// benchLockHash drives b.N mixed operations against LOCKHASH in parallel.
+func benchLockHash(b *testing.B, spec workload.Spec, capacityValues int, policy partition.EvictionPolicy) {
+	b.Helper()
+	t := lockhash.MustNew(lockhash.Config{
+		CapacityBytes: partition.CapacityForValues(capacityValues, spec.ValueSize),
+		Policy:        policy,
+		Seed:          1,
+	})
+	var seed int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		sp := spec
+		seed++
+		sp.Seed = spec.Seed + uint64(seed)*31
+		g := workload.MustGenerator(sp)
+		val := make([]byte, sp.ValueSize)
+		var dst []byte
+		for pb.Next() {
+			kind, key := g.Next()
+			if kind == workload.Insert {
+				t.Put(key, sp.FillValue(key, val))
+			} else {
+				dst, _ = t.Get(key, dst[:0])
+			}
+		}
+	})
+}
+
+// wsPoints are the working-set sizes benchmarked for Figures 5 and 8
+// (scaled to host-friendly extents; cmd/cpbench sweeps more points).
+var wsPoints = []int{100 << 10, 1 << 20, 16 << 20}
+
+func BenchmarkFig5_CPHash(b *testing.B) {
+	for _, ws := range wsPoints {
+		spec := workload.Default(ws)
+		b.Run(fmt.Sprintf("ws=%d", ws), func(b *testing.B) {
+			benchCPHash(b, spec, spec.NumKeys(), partition.EvictLRU)
+		})
+	}
+}
+
+func BenchmarkFig5_LockHash(b *testing.B) {
+	for _, ws := range wsPoints {
+		spec := workload.Default(ws)
+		b.Run(fmt.Sprintf("ws=%d", ws), func(b *testing.B) {
+			benchLockHash(b, spec, spec.NumKeys(), partition.EvictLRU)
+		})
+	}
+}
+
+func BenchmarkFig8_CPHash_RandomEviction(b *testing.B) {
+	spec := workload.Default(1 << 20)
+	benchCPHash(b, spec, spec.NumKeys(), partition.EvictRandom)
+}
+
+func BenchmarkFig8_LockHash_RandomEviction(b *testing.B) {
+	spec := workload.Default(1 << 20)
+	benchLockHash(b, spec, spec.NumKeys(), partition.EvictRandom)
+}
+
+func BenchmarkFig9_Capacity(b *testing.B) {
+	spec := workload.Default(4 << 20)
+	for _, frac := range []int{1, 4, 16} {
+		capVals := spec.NumKeys() / frac
+		b.Run(fmt.Sprintf("cphash/cap=1_%d", frac), func(b *testing.B) {
+			benchCPHash(b, spec, capVals, partition.EvictLRU)
+		})
+		b.Run(fmt.Sprintf("lockhash/cap=1_%d", frac), func(b *testing.B) {
+			benchLockHash(b, spec, capVals, partition.EvictLRU)
+		})
+	}
+}
+
+func BenchmarkFig10_InsertRatio(b *testing.B) {
+	for _, ratio := range []float64{0, 0.3, 1.0} {
+		spec := workload.Default(1 << 20)
+		spec.InsertRatio = ratio
+		b.Run(fmt.Sprintf("cphash/insert=%.1f", ratio), func(b *testing.B) {
+			benchCPHash(b, spec, spec.NumKeys(), partition.EvictLRU)
+		})
+		b.Run(fmt.Sprintf("lockhash/insert=%.1f", ratio), func(b *testing.B) {
+			benchLockHash(b, spec, spec.NumKeys(), partition.EvictLRU)
+		})
+	}
+}
+
+// --- simulated benches (Figures 6, 7, 11, 12) ---
+
+// benchSimCPHash runs the simulated CPHASH for ≥ b.N operations and
+// reports the Figure 6 metrics.
+func BenchmarkFig6_Simulated_CPHash(b *testing.B) {
+	spec := workload.Default(1 << 20)
+	s := simhash.MustCPHash(simhash.CPConfig{Spec: spec, LRU: true})
+	s.Preload()
+	opsPerRound := 80 * 512
+	rounds := b.N/opsPerRound + 1
+	b.ResetTimer()
+	r := s.Run(1, rounds)
+	b.StopTimer()
+	cl, sv := r.ClientPerOp(), r.ServerPerOp()
+	b.ReportMetric(cl.Cycles, "client-cycles/op")
+	b.ReportMetric(cl.L2Miss, "client-L2miss/op")
+	b.ReportMetric(cl.L3Miss, "client-L3miss/op")
+	b.ReportMetric(sv.Cycles, "server-cycles/op")
+	b.ReportMetric(sv.L3Miss, "server-L3miss/op")
+	b.ReportMetric(r.ThroughputQPS(), "sim-queries/s")
+}
+
+func BenchmarkFig6_Simulated_LockHash(b *testing.B) {
+	spec := workload.Default(1 << 20)
+	s := simhash.MustLockHash(simhash.LockConfig{Spec: spec, LRU: true})
+	s.Preload()
+	opsPerRound := 160 * 8
+	rounds := b.N/opsPerRound + 1
+	b.ResetTimer()
+	r := s.Run(1, rounds)
+	b.StopTimer()
+	cl := r.ClientPerOp()
+	b.ReportMetric(cl.Cycles, "cycles/op")
+	b.ReportMetric(cl.L2Miss, "L2miss/op")
+	b.ReportMetric(cl.L3Miss, "L3miss/op")
+	b.ReportMetric(r.ThroughputQPS(), "sim-queries/s")
+}
+
+// BenchmarkFig7_Breakdown reports the per-function miss rows (Figure 7).
+func BenchmarkFig7_Breakdown(b *testing.B) {
+	spec := workload.Default(1 << 20)
+	s := simhash.MustCPHash(simhash.CPConfig{Spec: spec, LRU: true})
+	s.Preload()
+	rounds := b.N/(80*512) + 1
+	b.ResetTimer()
+	r := s.Run(1, rounds)
+	b.StopTimer()
+	send := r.TagPerOp(r.ClientThreads, simhash.TagSend)
+	recv := r.TagPerOp(r.ClientThreads, simhash.TagRecvResp)
+	data := r.TagPerOp(r.ClientThreads, simhash.TagData)
+	b.ReportMetric(send.L3Miss, "send-L3/op")
+	b.ReportMetric(recv.L3Miss, "recv-L3/op")
+	b.ReportMetric(data.L3Miss, "data-L3/op")
+}
+
+// BenchmarkFig11_Sockets reports simulated per-thread throughput per socket
+// count (Figure 11's series).
+func BenchmarkFig11_Sockets(b *testing.B) {
+	for _, sockets := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("sockets=%d", sockets), func(b *testing.B) {
+			m := topology.PaperMachine()
+			m.Sockets = sockets
+			spec := workload.Default(1 << 20)
+			s := simhash.MustCPHash(simhash.CPConfig{Machine: m, Spec: spec, LRU: true})
+			s.Preload()
+			rounds := b.N/(m.Cores()*512) + 1
+			b.ResetTimer()
+			r := s.Run(1, rounds)
+			b.StopTimer()
+			b.ReportMetric(r.PerThreadQPS(), "sim-queries/s/thread")
+		})
+	}
+}
+
+// BenchmarkFig12_Configs reports the three Figure 12 configurations.
+func BenchmarkFig12_Configs(b *testing.B) {
+	spec := workload.Default(1 << 20)
+	run := func(b *testing.B, m topology.Machine, clients, servers []int) {
+		s := simhash.MustCPHash(simhash.CPConfig{
+			Machine: m, Spec: spec, LRU: true,
+			ClientThreads: clients, ServerThreads: servers,
+		})
+		s.Preload()
+		rounds := b.N/(len(clients)*512) + 1
+		b.ResetTimer()
+		r := s.Run(1, rounds)
+		b.StopTimer()
+		b.ReportMetric(r.ThroughputQPS(), "sim-queries/s")
+	}
+	full := topology.PaperMachine()
+	b.Run("160t-80c", func(b *testing.B) {
+		cl, sv := simhash.PaperThreads(full)
+		run(b, full, cl, sv)
+	})
+	b.Run("80t-80c", func(b *testing.B) {
+		var cl, sv []int
+		for c := 0; c < full.Cores(); c++ {
+			tid := full.ThreadID(c/full.CoresPerSocket, c%full.CoresPerSocket, 0)
+			if c%2 == 0 {
+				cl = append(cl, tid)
+			} else {
+				sv = append(sv, tid)
+			}
+		}
+		run(b, full, cl, sv)
+	})
+	b.Run("80t-40c", func(b *testing.B) {
+		half := full
+		half.Sockets = 4
+		cl, sv := simhash.PaperThreads(half)
+		run(b, half, cl, sv)
+	})
+}
+
+// --- TCP benches (Figures 13, 14) ---
+
+// benchTCP drives b.N operations at a server via the load generator.
+func benchTCP(b *testing.B, addrs []string, spec workload.Spec) {
+	b.Helper()
+	conns := 2
+	res, err := loadgen.Run(loadgen.Config{
+		Addrs:      addrs,
+		Conns:      conns,
+		Pipeline:   64,
+		Spec:       spec,
+		OpsPerConn: b.N/conns + 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Throughput(), "queries/s")
+}
+
+func BenchmarkFig13_CPServer(b *testing.B) {
+	spec := workload.Default(1 << 20)
+	table := core.MustNew(core.Config{
+		Partitions:    2,
+		CapacityBytes: partition.CapacityForValues(spec.NumKeys(), spec.ValueSize),
+		MaxClients:    2,
+		Seed:          1,
+	})
+	defer table.Close()
+	s, err := kvserver.Serve(kvserver.Config{
+		Addr: "127.0.0.1:0", Workers: 2, NewBackend: kvserver.NewCPHashBackend(table),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	benchTCP(b, []string{s.Addr()}, spec)
+}
+
+func BenchmarkFig13_LockServer(b *testing.B) {
+	spec := workload.Default(1 << 20)
+	table := lockhash.MustNew(lockhash.Config{
+		CapacityBytes: partition.CapacityForValues(spec.NumKeys(), spec.ValueSize),
+		Seed:          1,
+	})
+	s, err := kvserver.Serve(kvserver.Config{
+		Addr: "127.0.0.1:0", Workers: 2, NewBackend: kvserver.NewLockHashBackend(table),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	benchTCP(b, []string{s.Addr()}, spec)
+}
+
+func BenchmarkFig14_Memcached(b *testing.B) {
+	spec := workload.Default(1 << 20)
+	cluster, err := memcache.ServeCluster(2, partition.CapacityForValues(spec.NumKeys(), spec.ValueSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	b.ResetTimer()
+	benchTCP(b, cluster.Addrs(), spec)
+}
+
+// --- ablations ---
+
+// BenchmarkRingDesigns_SingleSlot vs _Buffered: the §3.4 message-passing
+// design comparison.
+func BenchmarkRingDesigns_SingleSlot(b *testing.B) {
+	var s ring.SingleSlot[uint64]
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			s.Recv()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Send(uint64(i))
+	}
+	<-done
+}
+
+func BenchmarkRingDesigns_Buffered(b *testing.B) {
+	r := ring.MustSPSC[uint64](4096, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]uint64, 64)
+		got := 0
+		for got < b.N {
+			n := r.ConsumeBatch(buf)
+			if n == 0 {
+				runtime.Gosched() // single-CPU hosts need the producer on
+				continue
+			}
+			got += n
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ProduceSpin(uint64(i))
+	}
+	r.Flush()
+	<-done
+}
+
+// BenchmarkBatchSize sweeps the client pipeline depth (§6.1 reports best
+// throughput between 512 and 8,192 outstanding requests).
+func BenchmarkBatchSize(b *testing.B) {
+	for _, depth := range []int{8, 64, 512, 4096} {
+		b.Run(fmt.Sprintf("pipeline=%d", depth), func(b *testing.B) {
+			spec := workload.Default(1 << 20)
+			t := core.MustNew(core.Config{
+				Partitions:    2,
+				CapacityBytes: partition.CapacityForValues(spec.NumKeys(), spec.ValueSize),
+				MaxClients:    1,
+				RingCapacity:  8192,
+				Seed:          1,
+			})
+			defer t.Close()
+			c := t.MustClient(0)
+			defer c.Close()
+			c.SetPipeline(depth)
+			g := workload.MustGenerator(spec)
+			ops := make([]*core.Op, 0, depth)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, key := g.Next()
+				ops = append(ops, c.LookupAsync(key))
+				if len(ops) == depth {
+					c.WaitAll()
+					for _, o := range ops {
+						c.Release(o)
+					}
+					ops = ops[:0]
+				}
+			}
+			c.WaitAll()
+			for _, o := range ops {
+				c.Release(o)
+			}
+		})
+	}
+}
+
+// BenchmarkStringTable covers the §8.2 arbitrary-key extension.
+func BenchmarkStringTable(b *testing.B) {
+	lt := MustNewLocked(Options{Capacity: 32 << 20})
+	st := NewStringTable(lt)
+	for i := 0; i < 1024; i++ {
+		st.Put(fmt.Sprintf("key-%04d", i), []byte("0123456789abcdef"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.Get(fmt.Sprintf("key-%04d", i%1024), nil); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

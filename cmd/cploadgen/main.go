@@ -1,0 +1,68 @@
+// Command cploadgen drives load at key/value cache servers speaking the
+// CPHash binary protocol — the reproduction of the paper's client machine
+// for the Section 7 experiments.
+//
+//	cploadgen -addrs 127.0.0.1:9090 -conns 8 -ops 100000 -ws 1MiB
+//	cploadgen -addrs host:9001,host:9002 -insert-ratio 0.3 -validate
+//
+// Multiple comma-separated addresses get the key space partitioned across
+// them by hash, which is how the paper's clients spread keys over
+// per-core memcached instances.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"cphash/internal/loadgen"
+	"cphash/internal/sizeparse"
+	"cphash/internal/workload"
+)
+
+var (
+	addrs       = flag.String("addrs", "127.0.0.1:9090", "comma-separated server addresses")
+	conns       = flag.Int("conns", 4, "client connections")
+	pipeline    = flag.Int("pipeline", 64, "requests in flight per connection window")
+	opsPerConn  = flag.Int("ops", 50000, "operations per connection")
+	ws          = flag.String("ws", "1MiB", "working-set size (bytes of values)")
+	valueSize   = flag.Int("value-size", 8, "value size in bytes")
+	insertRatio = flag.Float64("insert-ratio", 0.3, "fraction of INSERT operations")
+	zipf        = flag.Bool("zipf", false, "Zipf-skewed key popularity instead of uniform")
+	validate    = flag.Bool("validate", false, "verify every hit's bytes")
+	seed        = flag.Uint64("seed", 1, "workload seed")
+)
+
+func main() {
+	flag.Parse()
+	wsBytes, err := sizeparse.Parse(*ws)
+	if err != nil {
+		log.Fatalf("cploadgen: %v", err)
+	}
+	spec := workload.Spec{
+		WorkingSetBytes: wsBytes,
+		ValueSize:       *valueSize,
+		InsertRatio:     *insertRatio,
+		Seed:            *seed,
+	}
+	if *zipf {
+		spec.Dist = workload.Zipfian
+	}
+	res, err := loadgen.Run(loadgen.Config{
+		Addrs:      strings.Split(*addrs, ","),
+		Conns:      *conns,
+		Pipeline:   *pipeline,
+		Spec:       spec,
+		OpsPerConn: *opsPerConn,
+		Validate:   *validate,
+	})
+	if err != nil {
+		log.Fatalf("cploadgen: %v", err)
+	}
+	fmt.Println(res)
+	fmt.Printf("window latency: %s\n", res.Latency)
+	if res.BadBytes > 0 {
+		log.Fatalf("cploadgen: %d corrupt responses", res.BadBytes)
+	}
+}

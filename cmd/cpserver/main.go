@@ -1,0 +1,145 @@
+// Command cpserver runs a key/value cache server speaking the CPHash
+// binary protocol (Section 4.1 of the paper) over TCP, backed by one of the
+// three designs the paper compares:
+//
+//	cpserver -backend cphash    # CPSERVER: message-passing CPHASH table
+//	cpserver -backend lockhash  # LOCKSERVER: spinlocked LOCKHASH table
+//	cpserver -backend memcache  # one single-lock instance (memcached-style)
+//
+// Examples:
+//
+//	cpserver -addr :9090 -capacity 256MiB -workers 4 -backend cphash
+//	cpserver -addr 127.0.0.1:0 -backend lockhash -eviction random
+//
+// The server prints the bound address on startup (useful with :0) and
+// periodic throughput lines; SIGINT/SIGTERM shuts it down cleanly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cphash/internal/core"
+	"cphash/internal/kvserver"
+	"cphash/internal/lockhash"
+	"cphash/internal/memcache"
+	"cphash/internal/partition"
+	"cphash/internal/sizeparse"
+)
+
+var (
+	addr       = flag.String("addr", "127.0.0.1:9090", "TCP listen address")
+	backend    = flag.String("backend", "cphash", "cphash | lockhash | memcache")
+	capacity   = flag.String("capacity", "64MiB", "table capacity (e.g. 1MiB, 256MiB)")
+	workers    = flag.Int("workers", 2, "client threads (cphash/lockhash)")
+	partitions = flag.Int("partitions", 0, "partition count (0 = design default)")
+	eviction   = flag.String("eviction", "lru", "lru | random")
+	pin        = flag.Bool("pin", false, "dedicate an OS thread to each CPHASH server goroutine")
+	statsEvery = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+)
+
+func main() {
+	flag.Parse()
+	capBytes, err := sizeparse.Parse(*capacity)
+	if err != nil {
+		log.Fatalf("cpserver: %v", err)
+	}
+	policy := partition.EvictLRU
+	switch *eviction {
+	case "lru":
+	case "random":
+		policy = partition.EvictRandom
+	default:
+		log.Fatalf("cpserver: unknown eviction %q", *eviction)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	switch *backend {
+	case "memcache":
+		inst, err := memcache.ServeInstance(*addr, capBytes)
+		if err != nil {
+			log.Fatalf("cpserver: %v", err)
+		}
+		fmt.Printf("memcache-style instance listening on %s (capacity %s)\n", inst.Addr(), *capacity)
+		waitAndReport(stop, func() int64 { return inst.Requests() })
+		inst.Close()
+
+	case "cphash", "lockhash":
+		var newBackend func(int) (kvserver.Backend, error)
+		var closeTable func()
+		if *backend == "cphash" {
+			table, err := core.New(core.Config{
+				Partitions:    *partitions,
+				CapacityBytes: capBytes,
+				MaxClients:    *workers,
+				LockOSThread:  *pin,
+			})
+			if err != nil {
+				log.Fatalf("cpserver: %v", err)
+			}
+			newBackend = kvserver.NewCPHashBackend(table)
+			closeTable = table.Close
+			fmt.Printf("CPSERVER: %d partitions, %d client threads, capacity %s\n",
+				table.NumPartitions(), *workers, *capacity)
+		} else {
+			table, err := lockhash.New(lockhash.Config{
+				Partitions:    *partitions,
+				CapacityBytes: capBytes,
+				Policy:        policy,
+			})
+			if err != nil {
+				log.Fatalf("cpserver: %v", err)
+			}
+			newBackend = kvserver.NewLockHashBackend(table)
+			closeTable = func() {}
+			fmt.Printf("LOCKSERVER: %d partitions, %d client threads, capacity %s\n",
+				table.NumPartitions(), *workers, *capacity)
+		}
+		srv, err := kvserver.Serve(kvserver.Config{
+			Addr:       *addr,
+			Workers:    *workers,
+			NewBackend: newBackend,
+		})
+		if err != nil {
+			log.Fatalf("cpserver: %v", err)
+		}
+		fmt.Printf("listening on %s\n", srv.Addr())
+		waitAndReport(stop, func() int64 { return srv.Stats().Requests })
+		srv.Close()
+		closeTable()
+
+	default:
+		log.Fatalf("cpserver: unknown backend %q", *backend)
+	}
+}
+
+// waitAndReport blocks until a signal, printing throughput periodically.
+func waitAndReport(stop <-chan os.Signal, requests func() int64) {
+	if *statsEvery <= 0 {
+		<-stop
+		return
+	}
+	tick := time.NewTicker(*statsEvery)
+	defer tick.Stop()
+	last := requests()
+	lastT := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			now := requests()
+			dt := time.Since(lastT)
+			fmt.Printf("%s: %.3g requests/sec (%d total)\n",
+				time.Now().Format("15:04:05"), float64(now-last)/dt.Seconds(), now)
+			last, lastT = now, time.Now()
+		}
+	}
+}

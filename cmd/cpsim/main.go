@@ -1,0 +1,282 @@
+// Command cpsim regenerates the CPHash paper's hardware-counter and
+// topology-dependent results on the deterministic cache simulator:
+//
+//	cpsim -experiment fig6    # Figure 6: cycles + misses per operation
+//	cpsim -experiment fig7    # Figure 7: per-function miss breakdown
+//	cpsim -experiment fig5    # Figure 5: throughput vs working-set size
+//	cpsim -experiment fig8    # Figure 8: same, random eviction
+//	cpsim -experiment fig9    # Figure 9: throughput vs table capacity
+//	cpsim -experiment fig10   # Figure 10: throughput vs INSERT fraction
+//	cpsim -experiment fig11   # Figure 11: per-thread throughput vs threads
+//	cpsim -experiment fig12   # Figure 12: 160t/80c vs 80t/80c vs 80t/40c
+//	cpsim -experiment all     # everything above, in order
+//
+// All experiments run on the paper's 8-socket, 80-core, 160-hardware-thread
+// machine model. The working-set sweeps (fig5, fig8, fig9) run on a
+// 1/64-scale cache hierarchy so the multi-gigabyte axis of the paper fits
+// in a simulable footprint; shapes and crossovers are preserved with the
+// x-axis shifted left by the same factor (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cphash/internal/cachesim"
+	"cphash/internal/perf"
+	"cphash/internal/simhash"
+	"cphash/internal/topology"
+	"cphash/internal/workload"
+)
+
+var (
+	experiment = flag.String("experiment", "all", "which experiment to run (fig5..fig12, all)")
+	rounds     = flag.Int("rounds", 6, "measured rounds per configuration")
+	warm       = flag.Int("warm", 3, "warm-up rounds per configuration")
+)
+
+func main() {
+	flag.Parse()
+	run := func(name string, f func()) {
+		if *experiment == "all" || *experiment == name {
+			f()
+		}
+	}
+	known := map[string]bool{"fig5": true, "fig6": true, "fig7": true, "fig8": true,
+		"fig9": true, "fig10": true, "fig11": true, "fig12": true,
+		"amd": true, "batch": true, "skew": true, "all": true}
+	if !known[*experiment] {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	run("fig5", fig5)
+	run("fig6", fig6)
+	run("fig7", fig7)
+	run("fig8", fig8)
+	run("fig9", fig9)
+	run("fig10", fig10)
+	run("fig11", fig11)
+	run("fig12", fig12)
+	run("amd", amd)
+	run("batch", batchAblation)
+	run("skew", skew)
+}
+
+// sweepScale is the cache-scale divisor for the working-set sweeps: a
+// 1/8-scale paper machine has ≈33 MB of aggregate cache, so the paper's
+// multi-hundred-megabyte x-axis compresses into a simulable range;
+// multiply the ws column by 8 to place points on the real machine's axis.
+// Rings scale by the same factor so their cache residency matches the
+// real configuration.
+const sweepScale = 8
+
+// pair runs both simulated tables on one workload/machine configuration.
+// ringCap 0 means the full-machine default.
+func pair(m topology.Machine, spec workload.Spec, capacity, ringCap int, lru bool) (simhash.Result, simhash.Result) {
+	cp := simhash.MustCPHash(simhash.CPConfig{
+		Machine: m, Spec: spec, CapacityBytes: capacity, LRU: lru, RingCap: ringCap,
+	})
+	cp.Preload()
+	rcp := cp.Run(*warm, *rounds)
+
+	lh := simhash.MustLockHash(simhash.LockConfig{
+		Machine: m, Spec: spec, CapacityBytes: capacity, LRU: lru,
+	})
+	lh.Preload()
+	// LOCKHASH rounds carry fewer ops each; run proportionally more.
+	rlh := lh.Run(*warm*4, *rounds*4)
+	return rcp, rlh
+}
+
+// sweepWS prints a Figure 5/8-style working-set sweep on the scaled machine.
+func sweepWS(lru bool) {
+	m := topology.PaperMachine().ScaleCaches(sweepScale)
+	fmt.Printf("%-10s %10s %16s %16s %8s\n", "ws(scaled)", "ws(paper)", "CPHash q/s", "LockHash q/s", "ratio")
+	for _, ws := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 32 << 20} {
+		spec := workload.Default(ws)
+		rcp, rlh := pair(m, spec, ws, 128/sweepScale, lru)
+		cp, lh := rcp.ThroughputQPS(), rlh.ThroughputQPS()
+		fmt.Printf("%-10s %10s %16.3g %16.3g %8.2f\n",
+			perf.FormatBytes(ws), perf.FormatBytes(ws*sweepScale), cp, lh, cp/lh)
+	}
+	fmt.Println()
+}
+
+func fig5() {
+	fmt.Println("=== Figure 5: throughput vs working-set size (LRU eviction) ===")
+	fmt.Printf("(1/%d-scale caches and rings: ws(paper) = %d × ws(scaled))\n", sweepScale, sweepScale)
+	sweepWS(true)
+}
+
+func fig8() {
+	fmt.Println("=== Figure 8: throughput vs working-set size (random eviction) ===")
+	sweepWS(false)
+}
+
+func fig6() {
+	fmt.Println("=== Figure 6: per-operation cycles and misses (1 MB ws, LRU) ===")
+	rcp, rlh := pair(topology.PaperMachine(), workload.Default(1<<20), 1<<20, 0, true)
+	cpc, cps, lhc := rcp.ClientPerOp(), rcp.ServerPerOp(), rlh.ClientPerOp()
+	fmt.Printf("%-22s %12s %12s %12s\n", "", "CPHash client", "CPHash server", "LockHash")
+	fmt.Printf("%-22s %12.0f %13.0f %12.0f\n", "cycles per op.", cpc.Cycles, cps.Cycles, lhc.Cycles)
+	fmt.Printf("%-22s %12.1f %13.1f %12.1f\n", "# of L2 misses", cpc.L2Miss, cps.L2Miss, lhc.L2Miss)
+	fmt.Printf("%-22s %12.1f %13.1f %12.1f\n", "# of L3 misses", cpc.L3Miss, cps.L3Miss, lhc.L3Miss)
+	fmt.Printf("(paper:                1,126 / 1.0 / 1.9 | 672 / 2.5 / 1.2 | 3,664 / 2.4 / 4.6)\n")
+	fmt.Printf("throughput: CPHash %.3g q/s, LockHash %.3g q/s, ratio %.2f (paper ≈1.6×)\n\n",
+		rcp.ThroughputQPS(), rlh.ThroughputQPS(), rcp.ThroughputQPS()/rlh.ThroughputQPS())
+}
+
+func fig7() {
+	fmt.Println("=== Figure 7: per-function cache-miss breakdown (1 MB ws, LRU) ===")
+	rcp, rlh := pair(topology.PaperMachine(), workload.Default(1<<20), 1<<20, 0, true)
+	fmt.Print(rlh.BreakdownTable("LOCKHASH", rlh.ClientThreads,
+		[]cachesim.Tag{simhash.TagLock, simhash.TagTraverse, simhash.TagInsert}))
+	fmt.Println()
+	fmt.Print(rcp.BreakdownTable("CPHASH client thread", rcp.ClientThreads,
+		[]cachesim.Tag{simhash.TagSend, simhash.TagRecvResp, simhash.TagData}))
+	fmt.Println()
+	fmt.Print(rcp.BreakdownTable("CPHASH server thread", rcp.ServerThreads,
+		[]cachesim.Tag{simhash.TagRecv, simhash.TagSendResp, simhash.TagExec}))
+	fmt.Println()
+}
+
+func fig9() {
+	fmt.Println("=== Figure 9: throughput vs table capacity (128 MB ws scaled to 8 MB) ===")
+	m := topology.PaperMachine().ScaleCaches(sweepScale)
+	ws := 8 << 20
+	fmt.Printf("%-10s %16s %16s %8s\n", "capacity", "CPHash q/s", "LockHash q/s", "ratio")
+	for _, frac := range []int{1, 4, 16, 64} {
+		capacity := ws / frac
+		spec := workload.Default(ws)
+		rcp, rlh := pair(m, spec, capacity, 128/sweepScale, true)
+		cp, lh := rcp.ThroughputQPS(), rlh.ThroughputQPS()
+		fmt.Printf("%-10s %16.3g %16.3g %8.2f\n", perf.FormatBytes(capacity), cp, lh, cp/lh)
+	}
+	fmt.Println()
+}
+
+func fig10() {
+	fmt.Println("=== Figure 10: throughput vs INSERT fraction (128 MB ws scaled to 8 MB) ===")
+	m := topology.PaperMachine().ScaleCaches(sweepScale)
+	ws := 8 << 20
+	fmt.Printf("%-8s %16s %16s %8s\n", "insert", "CPHash q/s", "LockHash q/s", "ratio")
+	for _, ratio := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		spec := workload.Default(ws)
+		spec.InsertRatio = ratio
+		rcp, rlh := pair(m, spec, ws, 128/sweepScale, true)
+		cp, lh := rcp.ThroughputQPS(), rlh.ThroughputQPS()
+		fmt.Printf("%-8.1f %16.3g %16.3g %8.2f\n", ratio, cp, lh, cp/lh)
+	}
+	fmt.Println()
+}
+
+func fig11() {
+	fmt.Println("=== Figure 11: throughput per hardware thread vs thread count (1 MB ws) ===")
+	fmt.Printf("%-10s %8s %18s %18s\n", "sockets", "threads", "CPHash q/s/thr", "LockHash q/s/thr")
+	for _, sockets := range []int{1, 2, 4, 6, 8} {
+		m := topology.PaperMachine()
+		m.Sockets = sockets
+		spec := workload.Default(1 << 20)
+		rcp, rlh := pair(m, spec, 1<<20, 0, true)
+		fmt.Printf("%-10d %8d %18.3g %18.3g\n",
+			sockets, m.Threads(), rcp.PerThreadQPS(),
+			rlh.ThroughputQPS()/float64(len(rlh.ClientThreads)))
+	}
+	fmt.Println()
+}
+
+func fig12() {
+	fmt.Println("=== Figure 12: thread/core configurations (1 MB ws) ===")
+	spec := workload.Default(1 << 20)
+	runCfg := func(label string, m topology.Machine, clients, servers []int) {
+		cp := simhash.MustCPHash(simhash.CPConfig{
+			Machine: m, Spec: spec, LRU: true, ClientThreads: clients, ServerThreads: servers,
+		})
+		cp.Preload()
+		rcp := cp.Run(*warm, *rounds)
+		var lhThreads []int
+		lhThreads = append(lhThreads, clients...)
+		lhThreads = append(lhThreads, servers...)
+		lh := simhash.MustLockHash(simhash.LockConfig{Machine: m, Spec: spec, LRU: true, Threads: lhThreads})
+		lh.Preload()
+		rlh := lh.Run(*warm*4, *rounds*4)
+		fmt.Printf("%-14s %16.3g %16.3g\n", label, rcp.ThroughputQPS(), rlh.ThroughputQPS())
+	}
+	fmt.Printf("%-14s %16s %16s\n", "config", "CPHash q/s", "LockHash q/s")
+
+	full := topology.PaperMachine()
+	cl, sv := simhash.PaperThreads(full)
+	runCfg("160t on 80c", full, cl, sv)
+
+	var cl80, sv80 []int
+	for c := 0; c < full.Cores(); c++ {
+		tid := full.ThreadID(c/full.CoresPerSocket, c%full.CoresPerSocket, 0)
+		if c%2 == 0 {
+			cl80 = append(cl80, tid)
+		} else {
+			sv80 = append(sv80, tid)
+		}
+	}
+	runCfg("80t on 80c", full, cl80, sv80)
+
+	half := full
+	half.Sockets = 4
+	clh, svh := simhash.PaperThreads(half)
+	runCfg("80t on 40c", half, clh, svh)
+	fmt.Println()
+}
+
+// amd runs the Figure 6 configuration on the paper's secondary platform,
+// the 48-core AMD machine (§6: "The performance results on the AMD system
+// are similar").
+func amd() {
+	fmt.Println("=== AMD 48-core machine (paper §6: results similar to Intel) ===")
+	rcp, rlh := pair(topology.AMDMachine(), workload.Default(1<<20), 1<<20, 0, true)
+	fmt.Printf("CPHash %.3g q/s, LockHash %.3g q/s, ratio %.2f\n\n",
+		rcp.ThroughputQPS(), rlh.ThroughputQPS(), rcp.ThroughputQPS()/rlh.ThroughputQPS())
+}
+
+// skew compares uniform and Zipf-skewed key popularity — an extension
+// beyond the paper's uniform workloads. Both designs slow down (hot keys
+// serialize), but LOCKHASH collapses much harder: the hot keys' lock
+// words, headers and LRU lines are hammered by all 160 threads, paying
+// queued coherence transfers per operation, while CPHASH's hot-partition
+// server works through its batched message ring with the hot lines
+// resident in its own cache. Skew therefore *widens* the gap — message
+// passing's advantage is precisely that contention becomes queueing
+// instead of cache-line ping-pong.
+func skew() {
+	fmt.Println("=== extension: uniform vs Zipf-skewed keys (1 MB ws) ===")
+	fmt.Printf("%-10s %16s %16s %8s\n", "dist", "CPHash q/s", "LockHash q/s", "ratio")
+	for _, dist := range []workload.Distribution{workload.Uniform, workload.Zipfian} {
+		spec := workload.Default(1 << 20)
+		spec.Dist = dist
+		rcp, rlh := pair(topology.PaperMachine(), spec, 1<<20, 0, true)
+		name := "uniform"
+		if dist == workload.Zipfian {
+			name = "zipf-1.07"
+		}
+		cp, lh := rcp.ThroughputQPS(), rlh.ThroughputQPS()
+		fmt.Printf("%-10s %16.3g %16.3g %8.2f\n", name, cp, lh, cp/lh)
+	}
+	fmt.Println()
+}
+
+// batchAblation sweeps the client pipeline batch on the simulator, showing
+// the §6.1 batching mechanism directly: small batches cannot fill message
+// cache lines, so per-op messaging misses rise.
+func batchAblation() {
+	fmt.Println("=== §6.1 ablation (simulated): client batch size vs messaging misses ===")
+	fmt.Printf("%-8s %14s %18s\n", "batch", "CPHash q/s", "client send L3/op")
+	for _, batch := range []int{16, 64, 256, 512, 1024} {
+		cp := simhash.MustCPHash(simhash.CPConfig{
+			Spec: workload.Default(1 << 20), LRU: true, OpsPerClientPerRound: batch,
+		})
+		cp.Preload()
+		r := cp.Run(*warm, *rounds)
+		send := r.TagPerOp(r.ClientThreads, simhash.TagSend)
+		fmt.Printf("%-8d %14.3g %18.2f\n", batch, r.ThroughputQPS(), send.L3Miss)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,167 @@
+package cphash
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPublicAPIBasics(t *testing.T) {
+	tbl, err := New(Options{Capacity: 1 << 20, Partitions: 2, Clients: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	c := tbl.MustClient(0)
+	defer c.Close()
+
+	if !c.Put(KeyOf(42), []byte("value")) {
+		t.Fatal("Put failed")
+	}
+	v, ok := c.Get(KeyOf(42), nil)
+	if !ok || string(v) != "value" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	c.Delete(KeyOf(42))
+	if _, ok := c.Get(KeyOf(42), nil); ok {
+		t.Fatal("Get hit after Delete")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("New accepted zero capacity")
+	}
+	if _, err := NewLocked(Options{}); err == nil {
+		t.Error("NewLocked accepted zero capacity")
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	if KeyOf(0xFFFFFFFFFFFFFFFF) != MaxKey {
+		t.Error("KeyOf did not mask to 60 bits")
+	}
+	if KeyOf(5) != 5 {
+		t.Error("KeyOf changed a small key")
+	}
+}
+
+func TestLockedTable(t *testing.T) {
+	l := MustNewLocked(Options{Capacity: 1 << 20, Partitions: 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := KeyOf(uint64(g*1000 + i))
+				l.Put(k, []byte(fmt.Sprintf("v%d", k)))
+				if v, ok := l.Get(k, nil); !ok || string(v) != fmt.Sprintf("v%d", k) {
+					t.Errorf("Get(%d) = %q, %v", k, v, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCapacityForValues(t *testing.T) {
+	// The returned capacity must actually hold n values.
+	const n, vs = 1000, 8
+	l := MustNewLocked(Options{Capacity: CapacityForValues(n, vs), Partitions: 1})
+	for i := 0; i < n; i++ {
+		if !l.Put(KeyOf(uint64(i)), make([]byte, vs)) {
+			t.Fatalf("Put %d failed in a table sized for %d values", i, n)
+		}
+	}
+	if evicted := l.Stats().Evictions; evicted != 0 {
+		t.Fatalf("%d evictions while filling to the sized capacity", evicted)
+	}
+}
+
+func TestStringTableOverBoth(t *testing.T) {
+	tbl := MustNew(Options{Capacity: 1 << 20, Partitions: 2})
+	defer tbl.Close()
+	c := tbl.MustClient(0)
+	defer c.Close()
+	lt := MustNewLocked(Options{Capacity: 1 << 20})
+
+	for name, kv := range map[string]KV{"cphash": c, "lockhash": lt} {
+		st := NewStringTable(kv)
+		if !st.Put("hello", []byte("world")) {
+			t.Fatalf("%s: Put failed", name)
+		}
+		v, ok := st.Get("hello", nil)
+		if !ok || string(v) != "world" {
+			t.Fatalf("%s: Get = %q, %v", name, v, ok)
+		}
+		if _, ok := st.Get("absent", nil); ok {
+			t.Fatalf("%s: hit for absent key", name)
+		}
+		// Empty value and empty key round-trip.
+		st.Put("", nil)
+		if v, ok := st.Get("", nil); !ok || len(v) != 0 {
+			t.Fatalf("%s: empty key/value broken: %q %v", name, v, ok)
+		}
+	}
+}
+
+func TestStringTableQuick(t *testing.T) {
+	lt := MustNewLocked(Options{Capacity: 8 << 20})
+	st := NewStringTable(lt)
+	model := map[string]string{}
+	f := func(k, v string) bool {
+		if len(k) > 100 || len(v) > 200 {
+			return true
+		}
+		if !st.Put(k, []byte(v)) {
+			return false
+		}
+		model[k] = v
+		for mk, mv := range model {
+			got, ok := st.Get(mk, nil)
+			if !ok || string(got) != mv {
+				return false
+			}
+			break // spot-check one existing key per step
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncPublicAPI(t *testing.T) {
+	tbl := MustNew(Options{Capacity: 1 << 20, Partitions: 2})
+	defer tbl.Close()
+	c := tbl.MustClient(0)
+	defer c.Close()
+
+	vals := make([][]byte, 100)
+	ops := make([]*Op, 100)
+	for i := range ops {
+		vals[i] = []byte(fmt.Sprintf("v%03d", i))
+		ops[i] = c.InsertAsync(KeyOf(uint64(i)), vals[i])
+	}
+	c.WaitAll()
+	for _, o := range ops {
+		if !o.Hit() {
+			t.Fatal("async insert failed")
+		}
+		c.Release(o)
+	}
+	look := make([]*Op, 100)
+	for i := range look {
+		look[i] = c.LookupAsync(KeyOf(uint64(i)))
+	}
+	c.WaitAll()
+	for i, o := range look {
+		if !o.Hit() || string(o.Value()) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("lookup %d = %q (hit=%v)", i, o.Value(), o.Hit())
+		}
+		c.Release(o)
+	}
+}

@@ -1,0 +1,71 @@
+// Analysis: the paper's core argument, made visible — run the CPHASH and
+// LOCKHASH access patterns over the deterministic cache simulator of the
+// 80-core paper machine and print where every cache-line transfer goes
+// (Figures 6 and 7). Use this example to explore what-if questions the
+// paper raises: what if values were bigger? what if the machine had more
+// sockets per... etc.
+//
+//	go run ./examples/analysis [-ws 1MiB] [-sockets 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cphash/internal/cachesim"
+	"cphash/internal/simhash"
+	"cphash/internal/topology"
+	"cphash/internal/workload"
+)
+
+var (
+	wsKB    = flag.Int("ws-kb", 1024, "working-set size in KiB")
+	sockets = flag.Int("sockets", 8, "simulated sockets (paper machine has 8)")
+)
+
+func main() {
+	flag.Parse()
+	m := topology.PaperMachine()
+	if *sockets < 1 || *sockets > 8 {
+		log.Fatal("sockets must be 1..8")
+	}
+	m.Sockets = *sockets
+	spec := workload.Default(*wsKB << 10)
+
+	fmt.Printf("machine: %s\n", m)
+	fmt.Printf("workload: %d keys of 8 bytes, 30%% INSERT, LRU eviction\n\n", spec.NumKeys())
+
+	cp := simhash.MustCPHash(simhash.CPConfig{Machine: m, Spec: spec, LRU: true})
+	cp.Preload()
+	rcp := cp.Run(3, 6)
+
+	lh := simhash.MustLockHash(simhash.LockConfig{Machine: m, Spec: spec, LRU: true})
+	lh.Preload()
+	rlh := lh.Run(12, 24)
+
+	cpc, cps, lhc := rcp.ClientPerOp(), rcp.ServerPerOp(), rlh.ClientPerOp()
+	fmt.Println("— Figure 6: per-operation cost —")
+	fmt.Printf("%-18s %14s %14s %12s\n", "", "CPHash client", "CPHash server", "LockHash")
+	fmt.Printf("%-18s %14.0f %14.0f %12.0f\n", "cycles/op", cpc.Cycles, cps.Cycles, lhc.Cycles)
+	fmt.Printf("%-18s %14.2f %14.2f %12.2f\n", "L2 misses/op", cpc.L2Miss, cps.L2Miss, lhc.L2Miss)
+	fmt.Printf("%-18s %14.2f %14.2f %12.2f\n", "L3 misses/op", cpc.L3Miss, cps.L3Miss, lhc.L3Miss)
+	fmt.Println()
+
+	fmt.Println("— Figure 7: where the misses happen —")
+	fmt.Print(rlh.BreakdownTable("LOCKHASH", rlh.ClientThreads,
+		[]cachesim.Tag{simhash.TagLock, simhash.TagTraverse, simhash.TagInsert}))
+	fmt.Println()
+	fmt.Print(rcp.BreakdownTable("CPHASH client", rcp.ClientThreads,
+		[]cachesim.Tag{simhash.TagSend, simhash.TagRecvResp, simhash.TagData}))
+	fmt.Println()
+	fmt.Print(rcp.BreakdownTable("CPHASH server", rcp.ServerThreads,
+		[]cachesim.Tag{simhash.TagRecv, simhash.TagSendResp, simhash.TagExec}))
+
+	fmt.Printf("\nthroughput: CPHash %.3g q/s vs LockHash %.3g q/s → %.2f× (paper: 1.6×–2×)\n",
+		rcp.ThroughputQPS(), rlh.ThroughputQPS(), rcp.ThroughputQPS()/rlh.ThroughputQPS())
+	fmt.Println("\nthe mechanism: the LOCKHASH rows above pay coherence transfers for the")
+	fmt.Println("lock, the bucket chain, and the LRU links on every operation; the CPHASH")
+	fmt.Println("server executes those touches out of its private cache and the client")
+	fmt.Println("pays only for batched message lines and the value bytes themselves.")
+}

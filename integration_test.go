@@ -1,0 +1,169 @@
+package cphash
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cphash/internal/workload"
+)
+
+// TestIntegrationMixedWorkloadBothTables runs the paper's microbenchmark
+// mix through the public API on both designs concurrently and verifies
+// value integrity throughout.
+func TestIntegrationMixedWorkloadBothTables(t *testing.T) {
+	spec := workload.Default(256 << 10) // 32k keys
+	capacity := CapacityForValues(spec.NumKeys(), spec.ValueSize)
+
+	table := MustNew(Options{Capacity: capacity, Partitions: 4, Clients: 3})
+	defer table.Close()
+	locked := MustNewLocked(Options{Capacity: capacity})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+
+	// Three CPHASH clients.
+	for id := 0; id < 3; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := table.MustClient(id)
+			defer c.Close()
+			sp := spec
+			sp.Seed = uint64(id) + 1
+			g := workload.MustGenerator(sp)
+			val := make([]byte, sp.ValueSize)
+			for i := 0; i < 20000; i++ {
+				kind, key := g.Next()
+				if kind == workload.Insert {
+					if !c.Put(key, sp.FillValue(key, val)) {
+						errs <- fmt.Errorf("cphash client %d: Put(%d) failed", id, key)
+						return
+					}
+				} else if v, ok := c.Get(key, nil); ok && !sp.CheckValue(key, v) {
+					errs <- fmt.Errorf("cphash client %d: corrupt value for %d", id, key)
+					return
+				}
+			}
+		}(id)
+	}
+	// Three LOCKHASH goroutines.
+	for id := 0; id < 3; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sp := spec
+			sp.Seed = uint64(id) + 100
+			g := workload.MustGenerator(sp)
+			val := make([]byte, sp.ValueSize)
+			var dst []byte
+			for i := 0; i < 20000; i++ {
+				kind, key := g.Next()
+				if kind == workload.Insert {
+					if !locked.Put(key, sp.FillValue(key, val)) {
+						errs <- fmt.Errorf("lockhash %d: Put(%d) failed", id, key)
+						return
+					}
+				} else {
+					var ok bool
+					dst, ok = locked.Get(key, dst[:0])
+					if ok && !sp.CheckValue(key, dst) {
+						errs <- fmt.Errorf("lockhash %d: corrupt value for %d", id, key)
+						return
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := locked.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntegrationDynamicServersPublicAPI exercises §8.1 through the
+// facade: consolidation happens while traffic flows.
+func TestIntegrationDynamicServersPublicAPI(t *testing.T) {
+	table := MustNew(Options{Capacity: 4 << 20, Partitions: 8, Clients: 1})
+	defer table.Close()
+	c := table.MustClient(0)
+	defer c.Close()
+
+	for k := uint64(0); k < 1000; k++ {
+		if !c.Put(KeyOf(k), []byte("dynamic!")) {
+			t.Fatal("Put failed")
+		}
+	}
+	if err := table.SetActiveServers(2); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if v, ok := c.Get(KeyOf(k), nil); !ok || string(v) != "dynamic!" {
+			t.Fatalf("Get(%d) after consolidation = %q %v", k, v, ok)
+		}
+	}
+	if err := table.SetActiveServers(8); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1000); k < 2000; k++ {
+		if !c.Put(KeyOf(k), []byte("expanded")) {
+			t.Fatal("Put after expansion failed")
+		}
+	}
+	if got := table.ActiveServers(); got < 1 || got > 8 {
+		t.Fatalf("ActiveServers = %d", got)
+	}
+}
+
+// TestIntegrationStringTableConcurrent: the §8.2 extension over LOCKHASH
+// under concurrency (LockedTable is the concurrent-safe KV).
+func TestIntegrationStringTableConcurrent(t *testing.T) {
+	locked := MustNewLocked(Options{Capacity: 16 << 20})
+	st := NewStringTable(locked)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("user:%d:%d", g, i)
+				val := fmt.Sprintf("profile-%d-%d", g, i)
+				if !st.Put(key, []byte(val)) {
+					t.Errorf("Put(%s) failed", key)
+					return
+				}
+				got, ok := st.Get(key, nil)
+				if !ok || string(got) != val {
+					t.Errorf("Get(%s) = %q %v", key, got, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestIntegrationStatsFlow: facade stats reflect traffic.
+func TestIntegrationStatsFlow(t *testing.T) {
+	table := MustNew(Options{Capacity: 1 << 20, Partitions: 2, Clients: 1})
+	defer table.Close()
+	c := table.MustClient(0)
+	defer c.Close()
+	for k := uint64(0); k < 100; k++ {
+		c.Put(KeyOf(k), []byte("s"))
+	}
+	for k := uint64(0); k < 200; k++ {
+		c.Get(KeyOf(k), nil)
+	}
+	st := table.Stats()
+	if st.Inserts != 100 || st.Lookups != 200 || st.Hits != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Messages == 0 {
+		t.Fatal("no messages counted")
+	}
+}

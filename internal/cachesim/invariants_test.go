@@ -1,0 +1,143 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cphash/internal/topology"
+)
+
+// smallMachine keeps property-test state tiny so evictions and
+// back-invalidations happen constantly.
+func smallMachine() topology.Machine {
+	return topology.Machine{
+		Sockets: 2, CoresPerSocket: 2, ThreadsPerCore: 2,
+		L2Size: 1 << 10, L3Size: 4 << 10, ClockHz: 1e9,
+	}
+}
+
+// TestQuickCoherenceInvariants drives random reads/writes from random
+// threads over a small line pool and checks the full directory/cache
+// consistency after every burst.
+func TestQuickCoherenceInvariants(t *testing.T) {
+	f := func(script []uint32) bool {
+		m := smallMachine()
+		s := New(m, DefaultLatency())
+		base := s.AllocLines(256)
+		for i, op := range script {
+			tid := int(op) % m.Threads()
+			line := uint64(op>>4) % 256
+			write := op&8 != 0
+			s.Access(tid, base+line*LineSize, write, "q")
+			if i%16 == 15 {
+				s.EndRound(16)
+			}
+		}
+		return s.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvariantsAfterHeavyChurn: deterministic torture with capacity
+// evictions in both levels.
+func TestInvariantsAfterHeavyChurn(t *testing.T) {
+	m := smallMachine()
+	s := New(m, DefaultLatency())
+	base := s.AllocLines(4096)
+	rng := uint64(12345)
+	for i := 0; i < 100000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		tid := int(rng % uint64(m.Threads()))
+		line := (rng >> 8) % 4096
+		s.Access(tid, base+line*LineSize, rng&1 == 0, "churn")
+		if i%64 == 0 {
+			s.EndRound(64)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestDirtyLineSingleCopyAfterWrites: after any write the directory must
+// show the writer as the only L2 copy.
+func TestDirtyLineSingleCopyAfterWrites(t *testing.T) {
+	m := smallMachine()
+	s := New(m, DefaultLatency())
+	addr := s.Alloc(64)
+	// Everyone reads, then one writes, repeatedly.
+	for round := 0; round < 10; round++ {
+		for tid := 0; tid < m.Threads(); tid++ {
+			s.Access(tid, addr, false, "r")
+		}
+		writer := round % m.Threads()
+		s.Access(writer, addr, true, "w")
+		e := s.dir[s.line(addr)]
+		if !e.sharers.onlyHas(m.CoreOf(writer)) {
+			t.Fatalf("round %d: dirty line shared beyond writer core", round)
+		}
+		if e.dirty != int16(m.CoreOf(writer)) {
+			t.Fatalf("round %d: dirty owner = %d, want %d", round, e.dirty, m.CoreOf(writer))
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDRAMFetchCounting: first touch is a DRAM fetch; re-fetches served by
+// caches are not.
+func TestDRAMFetchCounting(t *testing.T) {
+	s := New(topology.PaperMachine(), DefaultLatency())
+	a := s.Alloc(64)
+	if s.DRAMFetches() != 0 {
+		t.Fatal("fresh sim has DRAM fetches")
+	}
+	s.Access(0, a, false, "x") // cold: DRAM
+	if s.DRAMFetches() != 1 {
+		t.Fatalf("DRAMFetches = %d after cold read, want 1", s.DRAMFetches())
+	}
+	s.Access(40, a, false, "x") // remote socket, served by socket 0
+	if s.DRAMFetches() != 1 {
+		t.Fatalf("cache-to-cache transfer counted as DRAM (%d)", s.DRAMFetches())
+	}
+	if s.DRAMBoundCycles() != DRAMServiceCycles/int64(s.mach.Sockets) {
+		t.Fatalf("DRAMBoundCycles = %d", s.DRAMBoundCycles())
+	}
+	s.ResetStats()
+	if s.DRAMFetches() != 0 {
+		t.Fatal("ResetStats kept DRAM fetch count")
+	}
+}
+
+// TestUpgradeCountedSeparately: an S→M upgrade costs like a miss but is
+// recorded under Upgrades, not the miss counters (the PMU distinction the
+// Figure 6 comparison depends on).
+func TestUpgradeCountedSeparately(t *testing.T) {
+	m := smallMachine()
+	s := New(m, DefaultLatency())
+	addr := s.Alloc(64)
+	t0 := m.ThreadID(0, 0, 0)
+	t1 := m.ThreadID(0, 1, 0)
+	s.Access(t0, addr, false, "u")
+	s.Access(t1, addr, false, "u")
+	before := s.ThreadTag(t1, "u")
+	s.Access(t1, addr, true, "u") // S→M upgrade
+	after := s.ThreadTag(t1, "u")
+	if after.Upgrades != before.Upgrades+1 {
+		t.Fatalf("upgrade not counted: %+v -> %+v", before, after)
+	}
+	if after.L2Miss != before.L2Miss || after.L3Miss != before.L3Miss {
+		t.Fatalf("upgrade counted as miss: %+v -> %+v", before, after)
+	}
+	if after.Cycles <= before.Cycles {
+		t.Fatal("upgrade was free")
+	}
+}

@@ -1,0 +1,540 @@
+package cachesim
+
+import (
+	"fmt"
+	"sort"
+
+	"cphash/internal/topology"
+)
+
+// Tag labels the purpose of an access so per-function breakdowns (the
+// paper's Figure 7) can be reported. Tags are free-form strings; the
+// simulator just aggregates by them.
+type Tag string
+
+// TagStats accumulates the per-tag counters of one hardware thread.
+type TagStats struct {
+	Accesses int64
+	L2Miss   int64
+	L3Miss   int64
+	// Upgrades counts writes that hit a Shared line and had to invalidate
+	// other copies (RFO upgrades). They cost like a miss of the recorded
+	// distance but are *not* L2Miss/L3Miss: the PMU events behind the
+	// paper's Figure 6 count data fetches, which an upgrade does not do.
+	Upgrades int64
+	Cycles   int64
+}
+
+// threadState holds per-hardware-thread counters.
+type threadState struct {
+	tags   map[Tag]*TagStats
+	cycles int64
+	total  TagStats
+}
+
+// Sim is the machine simulator. It is single-goroutine by design: the
+// driver (internal/simhash) interleaves the simulated threads' accesses,
+// which is what makes runs deterministic.
+type Sim struct {
+	mach topology.Machine
+	lat  LatencyModel
+
+	l2  []*cache // per core
+	l3  []*cache // per socket
+	dir map[uint64]*lineState
+
+	threads []threadState
+
+	// Contention window: the previous round's remote-miss rate and active
+	// thread count set this round's load metric (see LatencyModel). A
+	// "round" is one driver pass over all simulated threads.
+	curRemote    int64
+	curActive    []bool
+	curActiveCnt int
+	prevLoad     float64
+	roundID      int64
+
+	// next line address for Alloc (bump allocator, in lines).
+	nextLine uint64
+
+	// dramFetches counts fills served by DRAM (no cache anywhere held the
+	// line). The throughput model uses it as the bandwidth term: DRAM
+	// chews through at most one line per DRAMServiceCycles per socket, so
+	// a run can be bandwidth-bound even when no single thread is the
+	// bottleneck — which is exactly how the paper's Figure 5 converges at
+	// multi-gigabyte working sets.
+	dramFetches int64
+}
+
+// DRAMServiceCycles is the sustained random-access service time per cache
+// line per socket (two DDR3-1333 controllers): calibrated so the paper's
+// converged right-edge throughput (~3e7 q/s at ~5 DRAM lines/op over 8
+// sockets) falls out.
+const DRAMServiceCycles = 126
+
+// New builds a simulator of the given machine.
+func New(mach topology.Machine, lat LatencyModel) *Sim {
+	if mach.Cores() > maxCores {
+		panic(fmt.Sprintf("cachesim: %d cores exceeds maxCores %d", mach.Cores(), maxCores))
+	}
+	s := &Sim{
+		mach:    mach,
+		lat:     lat,
+		l2:      make([]*cache, mach.Cores()),
+		l3:      make([]*cache, mach.Sockets),
+		dir:     make(map[uint64]*lineState),
+		threads: make([]threadState, mach.Threads()),
+		// Line 0 is reserved so "no line" is representable.
+		nextLine: 1,
+		// Round IDs start at 1 so zero-valued hotStamp means "never".
+		roundID: 1,
+	}
+	for i := range s.l2 {
+		s.l2[i] = newCache(mach.L2Size, 8)
+	}
+	for i := range s.l3 {
+		s.l3[i] = newCache(mach.L3Size, 16)
+	}
+	for i := range s.threads {
+		s.threads[i].tags = make(map[Tag]*TagStats)
+	}
+	s.curActive = make([]bool, mach.Threads())
+	return s
+}
+
+// Machine returns the simulated topology.
+func (s *Sim) Machine() topology.Machine { return s.mach }
+
+// Alloc reserves size bytes of simulated memory, aligned to a cache line,
+// and returns the base address. Regions never overlap.
+func (s *Sim) Alloc(size int) uint64 {
+	lines := uint64((size + LineSize - 1) / LineSize)
+	if lines == 0 {
+		lines = 1
+	}
+	base := s.nextLine * LineSize
+	s.nextLine += lines
+	return base
+}
+
+// AllocLines reserves n whole cache lines.
+func (s *Sim) AllocLines(n int) uint64 { return s.Alloc(n * LineSize) }
+
+func (s *Sim) line(addr uint64) uint64 { return addr / LineSize }
+
+func (s *Sim) entry(line uint64) *lineState {
+	e := s.dir[line]
+	if e == nil {
+		e = &lineState{dirty: -1}
+		s.dir[line] = e
+	}
+	return e
+}
+
+// Access simulates one memory access by hardware thread t and returns its
+// classification. Cycles and per-tag counters accrue internally.
+func (s *Sim) Access(t int, addr uint64, write bool, tag Tag) Class {
+	core := s.mach.CoreOf(t)
+	sk := s.mach.SocketOf(t)
+	line := s.line(addr)
+	e := s.entry(line)
+	l2 := s.l2[core]
+
+	var class Class
+	var cost int64
+	upgrade := false
+	dirtyRemote := e.dirty >= 0 && int(e.dirty) != core
+
+	switch {
+	case l2.has(line) && (!write || e.dirty == int16(core) || e.sharers.onlyHas(core)):
+		// Plain hit, or a write to a line we hold exclusively/dirty.
+		l2.touch(line)
+		class = L2Hit
+		cost = s.lat.L2HitCycles
+	case l2.has(line):
+		// Write hit on a shared line: RFO upgrade. It costs like a miss of
+		// the distance to the farthest other copy but fetches no data, so
+		// it is counted under Upgrades, not L2Miss/L3Miss.
+		l2.touch(line)
+		upgrade = true
+		if s.copiesBeyondSocket(e, sk, core) {
+			class = L3Miss
+			cost = s.missCost(L3Miss, dirtyRemote)
+		} else {
+			class = L2Miss
+			cost = s.missCost(L2Miss, dirtyRemote)
+		}
+	default:
+		// True miss: classify by where the line is served from.
+		if s.servedWithinSocket(e, sk, core) {
+			class = L2Miss
+			cost = s.missCost(L2Miss, dirtyRemote)
+		} else {
+			class = L3Miss
+			cost = s.missCost(L3Miss, dirtyRemote)
+			if e.sharers.empty() && e.sockets == 0 {
+				s.dramFetches++ // served by memory, not a remote cache
+			}
+		}
+		s.fill(core, sk, line, e)
+	}
+
+	if write {
+		s.invalidateOthers(core, sk, line, e)
+		e.dirty = int16(core)
+	} else if e.dirty >= 0 && int(e.dirty) != core {
+		// A remote read demotes the dirty copy to shared (write-back).
+		e.dirty = -1
+	}
+
+	// Hot-line serialization: ownership of a line claimed by a third,
+	// fourth, … distinct thread within one round queues each extra
+	// claimant. Only ownership transfers serialize — concurrent clean
+	// reads are served in parallel by the L3/directory.
+	if class != L2Hit && (write || dirtyRemote) {
+		cost += s.hotLinePenalty(t, e)
+	}
+
+	// Account.
+	ts := &s.threads[t]
+	ts.cycles += cost
+	st := ts.tags[tag]
+	if st == nil {
+		st = &TagStats{}
+		ts.tags[tag] = st
+	}
+	st.Accesses++
+	ts.total.Accesses++
+	switch {
+	case upgrade:
+		st.Upgrades++
+		ts.total.Upgrades++
+		if class == L3Miss {
+			s.curRemote++ // upgrades load the interconnect too
+		}
+	case class == L2Miss:
+		st.L2Miss++
+		ts.total.L2Miss++
+	case class == L3Miss:
+		st.L3Miss++
+		ts.total.L3Miss++
+		s.curRemote++
+	}
+	st.Cycles += cost
+	ts.total.Cycles += cost
+	if !s.curActive[t] {
+		s.curActive[t] = true
+		s.curActiveCnt++
+	}
+	return class
+}
+
+// AccessRange touches every line of [addr, addr+size).
+func (s *Sim) AccessRange(t int, addr uint64, size int, write bool, tag Tag) {
+	if size <= 0 {
+		return
+	}
+	first := s.line(addr)
+	last := s.line(addr + uint64(size) - 1)
+	for l := first; l <= last; l++ {
+		s.Access(t, l*LineSize, write, tag)
+	}
+}
+
+// Idle charges cycles to a thread without memory traffic (e.g. polling an
+// empty ring that is resident in cache, or compute between accesses).
+func (s *Sim) Idle(t int, cycles int64, tag Tag) {
+	ts := &s.threads[t]
+	ts.cycles += cycles
+	st := ts.tags[tag]
+	if st == nil {
+		st = &TagStats{}
+		ts.tags[tag] = st
+	}
+	st.Cycles += cycles
+	ts.total.Cycles += cycles
+}
+
+// hotLinePenalty updates the line's per-round claimant tracking and prices
+// the queueing delay for claimants beyond the second distinct thread.
+func (s *Sim) hotLinePenalty(t int, e *lineState) int64 {
+	if s.lat.HotLinePenaltyCycles == 0 {
+		return 0
+	}
+	if e.hotStamp != s.roundID {
+		e.hotStamp = s.roundID
+		e.hotThreads = [3]int32{int32(t), -1, -1}
+		e.hotDistinct = 1
+		return 0
+	}
+	for _, prev := range e.hotThreads {
+		if prev == int32(t) {
+			return 0 // repeat claimant: producer/consumer ping-pong, not a queue
+		}
+	}
+	e.hotThreads[2] = e.hotThreads[1]
+	e.hotThreads[1] = e.hotThreads[0]
+	e.hotThreads[0] = int32(t)
+	e.hotDistinct++
+	over := int64(e.hotDistinct) - 2
+	if over <= 0 {
+		return 0
+	}
+	if over > s.lat.HotLineCap {
+		over = s.lat.HotLineCap
+	}
+	return over * s.lat.HotLinePenaltyCycles
+}
+
+// servedWithinSocket reports whether a miss by core (socket sk) is served
+// inside the socket: the socket's L3 holds it, or a same-socket core does.
+func (s *Sim) servedWithinSocket(e *lineState, sk, core int) bool {
+	if e.sockets&(1<<sk) != 0 {
+		return true
+	}
+	found := false
+	e.sharers.forEach(func(c int) {
+		if c != core && c/s.mach.CoresPerSocket == sk {
+			found = true
+		}
+	})
+	return found
+}
+
+// copiesBeyondSocket reports whether any other copy lives outside sk.
+func (s *Sim) copiesBeyondSocket(e *lineState, sk, core int) bool {
+	if e.sockets&^(1<<sk) != 0 {
+		return true
+	}
+	found := false
+	e.sharers.forEach(func(c int) {
+		if c != core && c/s.mach.CoresPerSocket != sk {
+			found = true
+		}
+	})
+	return found
+}
+
+// missCost prices a miss of the given class under current contention.
+func (s *Sim) missCost(class Class, dirtyRemote bool) int64 {
+	over := s.prevLoad - s.lat.ContentionFree
+	if over < 0 {
+		over = 0
+	}
+	var cost int64
+	switch class {
+	case L2Miss:
+		cost = s.lat.L2MissCycles + int64(float64(s.lat.L2MissCycles)*s.lat.LocalSlope*over)
+	case L3Miss:
+		cost = s.lat.L3MissCycles + int64(float64(s.lat.L3MissCycles)*s.lat.RemoteSlope*over)
+	}
+	if dirtyRemote {
+		cost += s.lat.DirtyPenaltyCycles
+	}
+	return cost
+}
+
+// fill installs the line in core's L2 and socket sk's L3, handling
+// evictions and inclusion.
+func (s *Sim) fill(core, sk int, line uint64, e *lineState) {
+	if ev, ok := s.l2[core].insert(line); ok {
+		if evE := s.dir[ev]; evE != nil {
+			evE.sharers.remove(core)
+			if evE.dirty == int16(core) {
+				evE.dirty = -1 // write-back to L3/DRAM
+			}
+		}
+	}
+	e.sharers.add(core)
+	if s.l3[sk].has(line) {
+		s.l3[sk].touch(line)
+	} else {
+		if ev, ok := s.l3[sk].insert(line); ok {
+			if evE := s.dir[ev]; evE != nil {
+				evE.sockets &^= 1 << sk
+				// Inclusive L3: back-invalidate the socket's L2 copies.
+				evE.sharers.forEach(func(c int) {
+					if c/s.mach.CoresPerSocket == sk {
+						s.l2[c].drop(ev)
+						evE.sharers.remove(c)
+					}
+				})
+				if evE.dirty >= 0 && int(evE.dirty)/s.mach.CoresPerSocket == sk {
+					evE.dirty = -1
+				}
+			}
+		}
+		e.sockets |= 1 << sk
+	}
+}
+
+// invalidateOthers removes every copy of line except core's (a write
+// gaining exclusivity).
+func (s *Sim) invalidateOthers(core, sk int, line uint64, e *lineState) {
+	e.sharers.forEach(func(c int) {
+		if c != core {
+			s.l2[c].drop(line)
+			e.sharers.remove(c)
+		}
+	})
+	for skt := 0; skt < s.mach.Sockets; skt++ {
+		if skt != sk && e.sockets&(1<<skt) != 0 {
+			s.l3[skt].drop(line)
+			e.sockets &^= 1 << skt
+		}
+	}
+}
+
+// EndRound rotates the contention window. Drivers call it once per
+// simulated round, passing the number of table operations the round
+// completed; the next round's load metric is
+// (remote misses / ops) × active threads.
+func (s *Sim) EndRound(ops int64) {
+	if ops > 0 {
+		// Load per socket: every socket brings its own DRAM controllers
+		// and L3, so the queueing pressure that matters is per-socket.
+		s.prevLoad = float64(s.curRemote) / float64(ops) * float64(s.curActiveCnt) / float64(s.mach.Sockets)
+	} else {
+		s.prevLoad = 0
+	}
+	s.curRemote = 0
+	for i := range s.curActive {
+		s.curActive[i] = false
+	}
+	s.curActiveCnt = 0
+	s.roundID++
+}
+
+// Load returns the contention load metric currently in effect (for tests).
+func (s *Sim) Load() float64 { return s.prevLoad }
+
+// ThreadCycles returns the cycles accumulated by thread t.
+func (s *Sim) ThreadCycles(t int) int64 { return s.threads[t].cycles }
+
+// ThreadTotal returns thread t's aggregate counters.
+func (s *Sim) ThreadTotal(t int) TagStats { return s.threads[t].total }
+
+// ThreadTag returns thread t's counters for one tag (zero value if the tag
+// never appeared).
+func (s *Sim) ThreadTag(t int, tag Tag) TagStats {
+	if st := s.threads[t].tags[tag]; st != nil {
+		return *st
+	}
+	return TagStats{}
+}
+
+// Tags returns the sorted set of tags any thread recorded.
+func (s *Sim) Tags() []Tag {
+	set := map[Tag]bool{}
+	for i := range s.threads {
+		for tag := range s.threads[i].tags {
+			set[tag] = true
+		}
+	}
+	out := make([]Tag, 0, len(set))
+	for tag := range set {
+		out = append(out, tag)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AggregateTag sums a tag's counters over a set of threads.
+func (s *Sim) AggregateTag(threads []int, tag Tag) TagStats {
+	var out TagStats
+	for _, t := range threads {
+		st := s.ThreadTag(t, tag)
+		out.Accesses += st.Accesses
+		out.L2Miss += st.L2Miss
+		out.L3Miss += st.L3Miss
+		out.Cycles += st.Cycles
+	}
+	return out
+}
+
+// AggregateTotal sums total counters over a set of threads.
+func (s *Sim) AggregateTotal(threads []int) TagStats {
+	var out TagStats
+	for _, t := range threads {
+		st := s.ThreadTotal(t)
+		out.Accesses += st.Accesses
+		out.L2Miss += st.L2Miss
+		out.L3Miss += st.L3Miss
+		out.Cycles += st.Cycles
+	}
+	return out
+}
+
+// DRAMFetches returns the lines served by DRAM since the last ResetStats.
+func (s *Sim) DRAMFetches() int64 { return s.dramFetches }
+
+// DRAMBoundCycles returns the minimum wall-clock (in cycles) the measured
+// DRAM traffic needs at the machine's aggregate service rate.
+func (s *Sim) DRAMBoundCycles() int64 {
+	return s.dramFetches * DRAMServiceCycles / int64(s.mach.Sockets)
+}
+
+// ResetStats clears all thread counters (cache and directory state are
+// kept, so a measurement phase can follow a warm-up phase).
+func (s *Sim) ResetStats() {
+	for i := range s.threads {
+		s.threads[i] = threadState{tags: make(map[Tag]*TagStats)}
+	}
+	s.dramFetches = 0
+}
+
+// CheckInvariants validates coherence bookkeeping: the directory, the
+// private caches and the inclusive L3s must tell one consistent story.
+// Property tests drive random access patterns and call this.
+func (s *Sim) CheckInvariants() error {
+	// Private caches agree with the directory, and inclusion holds.
+	for core := range s.l2 {
+		sk := core / s.mach.CoresPerSocket
+		for _, set := range s.l2[core].sets {
+			for _, line := range set {
+				e := s.dir[line]
+				if e == nil || !e.sharers.has(core) {
+					return fmt.Errorf("core %d caches line %d but directory disagrees", core, line)
+				}
+				if !s.l3[sk].has(line) {
+					return fmt.Errorf("inclusion violated: line %d in core %d's L2 but not socket %d's L3", line, core, sk)
+				}
+			}
+		}
+	}
+	// L3 contents agree with the directory's socket bits.
+	for sk := range s.l3 {
+		for _, set := range s.l3[sk].sets {
+			for _, line := range set {
+				e := s.dir[line]
+				if e == nil || e.sockets&(1<<sk) == 0 {
+					return fmt.Errorf("socket %d caches line %d but directory disagrees", sk, line)
+				}
+			}
+		}
+	}
+	// Directory entries point at real copies; a dirty line has exactly one
+	// cached copy, at the dirty core.
+	for line, e := range s.dir {
+		var sharerErr error
+		e.sharers.forEach(func(core int) {
+			if !s.l2[core].has(line) {
+				sharerErr = fmt.Errorf("directory lists core %d for line %d but its L2 lacks it", core, line)
+			}
+		})
+		if sharerErr != nil {
+			return sharerErr
+		}
+		for sk := 0; sk < s.mach.Sockets; sk++ {
+			if e.sockets&(1<<sk) != 0 && !s.l3[sk].has(line) {
+				return fmt.Errorf("directory lists socket %d for line %d but its L3 lacks it", sk, line)
+			}
+		}
+		if e.dirty >= 0 {
+			if !e.sharers.onlyHas(int(e.dirty)) && !e.sharers.empty() {
+				return fmt.Errorf("line %d dirty at core %d but shared more widely", line, e.dirty)
+			}
+		}
+	}
+	return nil
+}

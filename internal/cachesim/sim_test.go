@@ -1,0 +1,307 @@
+package cachesim
+
+import (
+	"testing"
+
+	"cphash/internal/topology"
+)
+
+func newSim() *Sim {
+	return New(topology.PaperMachine(), DefaultLatency())
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	s := newSim()
+	addr := s.Alloc(64)
+	if got := s.Access(0, addr, false, "a"); got != L3Miss {
+		t.Fatalf("cold access = %v, want L3Miss (DRAM)", got)
+	}
+	if got := s.Access(0, addr, false, "a"); got != L2Hit {
+		t.Fatalf("second access = %v, want L2Hit", got)
+	}
+	st := s.ThreadTotal(0)
+	if st.Accesses != 2 || st.L3Miss != 1 || st.L2Miss != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSameSocketSharingIsL2Miss(t *testing.T) {
+	s := newSim()
+	m := s.Machine()
+	addr := s.Alloc(64)
+	t0 := m.ThreadID(0, 0, 0)      // socket 0, core 0
+	t1 := m.ThreadID(0, 1, 0)      // socket 0, core 1
+	s.Access(t0, addr, false, "a") // cold: DRAM
+	if got := s.Access(t1, addr, false, "a"); got != L2Miss {
+		t.Fatalf("same-socket fetch = %v, want L2Miss", got)
+	}
+}
+
+func TestCrossSocketSharingIsL3Miss(t *testing.T) {
+	s := newSim()
+	m := s.Machine()
+	addr := s.Alloc(64)
+	t0 := m.ThreadID(0, 0, 0)
+	tRemote := m.ThreadID(1, 0, 0)
+	s.Access(t0, addr, false, "a")
+	if got := s.Access(tRemote, addr, false, "a"); got != L3Miss {
+		t.Fatalf("cross-socket fetch = %v, want L3Miss", got)
+	}
+}
+
+func TestSMTSiblingsShareL2(t *testing.T) {
+	s := newSim()
+	m := s.Machine()
+	addr := s.Alloc(64)
+	t0 := m.ThreadID(0, 0, 0)
+	sib := m.ThreadID(0, 0, 1)
+	s.Access(t0, addr, false, "a")
+	if got := s.Access(sib, addr, false, "a"); got != L2Hit {
+		t.Fatalf("SMT sibling access = %v, want L2Hit (shared private cache)", got)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	s := newSim()
+	m := s.Machine()
+	addr := s.Alloc(64)
+	t0 := m.ThreadID(0, 0, 0)
+	t1 := m.ThreadID(0, 1, 0)
+	s.Access(t0, addr, false, "a")
+	s.Access(t1, addr, false, "a")
+	// t1 writes: upgrade. t0's copy must be invalidated.
+	if got := s.Access(t1, addr, true, "a"); got == L3Miss {
+		t.Fatalf("same-socket upgrade classified L3Miss")
+	}
+	if got := s.Access(t0, addr, false, "a"); got == L2Hit {
+		t.Fatalf("reader hit after remote write; invalidation missing")
+	}
+}
+
+func TestWriteExclusiveIsHit(t *testing.T) {
+	s := newSim()
+	addr := s.Alloc(64)
+	s.Access(0, addr, true, "a") // cold write
+	if got := s.Access(0, addr, true, "a"); got != L2Hit {
+		t.Fatalf("write to own dirty line = %v, want L2Hit", got)
+	}
+}
+
+func TestDirtyInterventionCostsMore(t *testing.T) {
+	s := newSim()
+	m := s.Machine()
+	addr := s.Alloc(64)
+	addr2 := s.Alloc(64)
+	t0 := m.ThreadID(0, 0, 0)
+	t1 := m.ThreadID(0, 1, 0)
+	// Clean transfer cost:
+	s.Access(t0, addr2, false, "clean")
+	before := s.ThreadCycles(t1)
+	s.Access(t1, addr2, false, "clean")
+	cleanCost := s.ThreadCycles(t1) - before
+	// Dirty transfer cost:
+	s.Access(t0, addr, true, "dirty")
+	before = s.ThreadCycles(t1)
+	s.Access(t1, addr, false, "dirty")
+	dirtyCost := s.ThreadCycles(t1) - before
+	if dirtyCost <= cleanCost {
+		t.Fatalf("dirty intervention (%d) not costlier than clean (%d)", dirtyCost, cleanCost)
+	}
+}
+
+func TestL2CapacityEviction(t *testing.T) {
+	s := newSim()
+	// Stream > L2 size through one core; early lines must be evicted from
+	// L2 but still be in the socket L3 (inclusive hierarchy).
+	n := s.Machine().L2Size/LineSize + 1024
+	base := s.AllocLines(n)
+	for i := 0; i < n; i++ {
+		s.Access(0, base+uint64(i*LineSize), false, "stream")
+	}
+	// Re-read the first line: out of L2 (capacity) but in L3 → L2Miss.
+	if got := s.Access(0, base, false, "stream"); got != L2Miss {
+		t.Fatalf("re-read after L2 eviction = %v, want L2Miss (L3 hit)", got)
+	}
+}
+
+func TestL3CapacityEvictionBackInvalidates(t *testing.T) {
+	mach := topology.Machine{
+		Sockets: 1, CoresPerSocket: 2, ThreadsPerCore: 1,
+		L2Size: 4 << 10, L3Size: 64 << 10, ClockHz: 1e9,
+	}
+	s := New(mach, DefaultLatency())
+	n := mach.L3Size/LineSize + 256
+	base := s.AllocLines(n)
+	for i := 0; i < n; i++ {
+		s.Access(0, base+uint64(i*LineSize), false, "stream")
+	}
+	// First line has been evicted from the L3 (and back-invalidated from
+	// L2); re-reading must go to DRAM.
+	if got := s.Access(0, base, false, "stream"); got != L3Miss {
+		t.Fatalf("after L3 eviction = %v, want L3Miss", got)
+	}
+}
+
+func TestContentionRaisesRemoteCost(t *testing.T) {
+	lat := DefaultLatency()
+	s := New(topology.PaperMachine(), lat)
+	m := s.Machine()
+	// Round 1: every one of 160 threads misses to DRAM 6 times per op at
+	// 1 op each → load L = 6×160 = 960, far above ContentionFree.
+	for tid := 0; tid < m.Threads(); tid++ {
+		for j := 0; j < 6; j++ {
+			s.Access(tid, s.Alloc(64), false, "traffic")
+		}
+	}
+	s.EndRound(int64(m.Threads()))
+	if s.Load() < lat.ContentionFree {
+		t.Fatalf("load %.0f below ContentionFree %.0f; test setup wrong", s.Load(), lat.ContentionFree)
+	}
+	// Measured cost of a DRAM miss under heavy prior-round contention:
+	tProbe := m.ThreadID(7, 9, 1)
+	before := s.ThreadCycles(tProbe)
+	s.Access(tProbe, s.Alloc(64), false, "probe")
+	contended := s.ThreadCycles(tProbe) - before
+
+	// Fresh sim, no prior traffic:
+	s2 := New(topology.PaperMachine(), lat)
+	before = s2.ThreadCycles(tProbe)
+	s2.Access(tProbe, s2.Alloc(64), false, "probe")
+	quiet := s2.ThreadCycles(tProbe) - before
+
+	if contended <= quiet {
+		t.Fatalf("contended miss (%d cycles) not costlier than quiet (%d)", contended, quiet)
+	}
+	// The window must decay: a calm round resets costs.
+	s.EndRound(1)
+	s.EndRound(1)
+	before = s.ThreadCycles(tProbe)
+	s.Access(tProbe, s.Alloc(64), false, "probe")
+	calm := s.ThreadCycles(tProbe) - before
+	if calm != quiet {
+		t.Fatalf("post-calm miss = %d cycles, want baseline %d", calm, quiet)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() TagStats {
+		s := newSim()
+		base := s.AllocLines(4096)
+		for i := 0; i < 20000; i++ {
+			tid := i % 16
+			addr := base + uint64((i*7919)%4096)*LineSize
+			s.Access(tid, addr, i%3 == 0, "mix")
+			if i%16 == 15 {
+				s.EndRound(16)
+			}
+		}
+		threads := make([]int, 16)
+		for i := range threads {
+			threads[i] = i
+		}
+		return s.AggregateTotal(threads)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestTagBreakdown(t *testing.T) {
+	s := newSim()
+	a1 := s.Alloc(64)
+	a2 := s.Alloc(64)
+	s.Access(0, a1, false, "lock")
+	s.Access(0, a2, false, "data")
+	s.Access(0, a2, false, "data")
+	tags := s.Tags()
+	if len(tags) != 2 || tags[0] != "data" || tags[1] != "lock" {
+		t.Fatalf("tags = %v", tags)
+	}
+	if st := s.ThreadTag(0, "data"); st.Accesses != 2 || st.L3Miss != 1 {
+		t.Fatalf("data tag stats = %+v", st)
+	}
+	if st := s.ThreadTag(0, "absent"); st.Accesses != 0 {
+		t.Fatalf("absent tag stats = %+v", st)
+	}
+}
+
+func TestAccessRange(t *testing.T) {
+	s := newSim()
+	addr := s.Alloc(256) // 4 lines
+	s.AccessRange(0, addr, 256, false, "range")
+	if st := s.ThreadTag(0, "range"); st.Accesses != 4 {
+		t.Fatalf("AccessRange touched %d lines, want 4", st.Accesses)
+	}
+	s.AccessRange(0, addr, 0, false, "range")
+	if st := s.ThreadTag(0, "range"); st.Accesses != 4 {
+		t.Fatal("zero-size range touched memory")
+	}
+	// 1 byte straddling nothing: exactly 1 line.
+	s.AccessRange(0, addr+63, 1, false, "one")
+	if st := s.ThreadTag(0, "one"); st.Accesses != 1 {
+		t.Fatalf("1-byte range touched %d lines", st.Accesses)
+	}
+	// 2 bytes straddling a boundary: 2 lines.
+	s.AccessRange(0, addr+63, 2, false, "straddle")
+	if st := s.ThreadTag(0, "straddle"); st.Accesses != 2 {
+		t.Fatalf("straddling range touched %d lines", st.Accesses)
+	}
+}
+
+func TestIdleChargesCycles(t *testing.T) {
+	s := newSim()
+	s.Idle(3, 1000, "poll")
+	if got := s.ThreadCycles(3); got != 1000 {
+		t.Fatalf("cycles = %d", got)
+	}
+	if st := s.ThreadTag(3, "poll"); st.Cycles != 1000 || st.Accesses != 0 {
+		t.Fatalf("poll tag = %+v", st)
+	}
+}
+
+func TestResetStatsKeepsCacheState(t *testing.T) {
+	s := newSim()
+	addr := s.Alloc(64)
+	s.Access(0, addr, false, "a")
+	s.ResetStats()
+	if s.ThreadTotal(0).Accesses != 0 {
+		t.Fatal("stats survived reset")
+	}
+	// The line must still be cached: warm hit.
+	if got := s.Access(0, addr, false, "a"); got != L2Hit {
+		t.Fatalf("post-reset access = %v, want warm L2Hit", got)
+	}
+}
+
+func TestAllocDisjoint(t *testing.T) {
+	s := newSim()
+	a := s.Alloc(100)
+	b := s.Alloc(1)
+	c := s.Alloc(64)
+	if a/LineSize == b/LineSize || b/LineSize == c/LineSize {
+		t.Fatalf("allocations share lines: %d %d %d", a, b, c)
+	}
+	if a%LineSize != 0 || b%LineSize != 0 {
+		t.Fatal("allocations not line-aligned")
+	}
+}
+
+func BenchmarkAccessWarm(b *testing.B) {
+	s := newSim()
+	addr := s.Alloc(64)
+	s.Access(0, addr, false, "a")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Access(0, addr, false, "a")
+	}
+}
+
+func BenchmarkAccessColdStream(b *testing.B) {
+	s := newSim()
+	base := s.AllocLines(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Access(0, base+uint64(i&0xFFFFF)*LineSize, false, "a")
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// TestOpAccessorsBeforeCompletion: an un-polled op reports not-done and
+// yields no value.
+func TestOpAccessorsBeforeCompletion(t *testing.T) {
+	tb := newTestTable(t, Config{})
+	c := tb.MustClient(0)
+	defer c.Close()
+	c.Put(1, []byte("x"))
+	o := c.LookupAsync(1)
+	if o.Done() {
+		t.Fatal("op done before any poll")
+	}
+	if o.Value() != nil || o.Size() != 0 || o.Hit() {
+		t.Fatal("incomplete op leaked state")
+	}
+	if o.Type() != OpLookup || o.Key() != 1 {
+		t.Fatalf("op metadata wrong: %v %d", o.Type(), o.Key())
+	}
+	c.Wait(o)
+	if !o.Done() || !o.Hit() || string(o.Value()) != "x" || o.Size() != 1 {
+		t.Fatalf("completed op wrong: %v %q", o.Hit(), o.Value())
+	}
+	c.Release(o)
+}
+
+// TestReleaseImplicitlyWaits: releasing an un-polled op must first wait.
+func TestReleaseImplicitlyWaits(t *testing.T) {
+	tb := newTestTable(t, Config{})
+	c := tb.MustClient(0)
+	defer c.Close()
+	c.Put(5, []byte("v"))
+	o := c.LookupAsync(5)
+	c.Release(o) // not waited explicitly
+	if got, ok := c.Get(5, nil); !ok || string(got) != "v" {
+		t.Fatalf("table corrupted after implicit-wait release: %q %v", got, ok)
+	}
+}
+
+// TestOpRecycling: released ops are reused, not leaked; the free list must
+// hand back clean state.
+func TestOpRecycling(t *testing.T) {
+	tb := newTestTable(t, Config{})
+	c := tb.MustClient(0)
+	defer c.Close()
+	c.Put(9, []byte("nine"))
+	first := c.LookupAsync(9)
+	c.Wait(first)
+	c.Release(first)
+	second := c.LookupAsync(10) // miss
+	if second != first {
+		t.Log("op not recycled (allocator may have its reasons); not fatal")
+	}
+	c.Wait(second)
+	if second.Hit() || second.Value() != nil {
+		t.Fatal("recycled op leaked previous state")
+	}
+	c.Release(second)
+}
+
+// TestLargeValuesSpanLines: values much larger than a cache line round-trip
+// intact (multi-line value allocation + client copy path).
+func TestLargeValuesSpanLines(t *testing.T) {
+	tb := newTestTable(t, Config{Partitions: 2, CapacityBytes: 8 << 20})
+	c := tb.MustClient(0)
+	defer c.Close()
+	for _, size := range []int{63, 64, 65, 1000, 64 << 10} {
+		val := bytes.Repeat([]byte{byte(size)}, size)
+		for i := range val {
+			val[i] = byte(i * size)
+		}
+		if !c.Put(Key(size), val) {
+			t.Fatalf("Put of %d-byte value failed", size)
+		}
+		got, ok := c.Get(Key(size), nil)
+		if !ok || !bytes.Equal(got, val) {
+			t.Fatalf("%d-byte value corrupted (got %d bytes, ok=%v)", size, len(got), ok)
+		}
+	}
+}
+
+// TestSetPipelineClamps: a zero/negative pipeline clamps to 1 and the
+// client still works.
+func TestSetPipelineClamps(t *testing.T) {
+	tb := newTestTable(t, Config{})
+	c := tb.MustClient(0)
+	defer c.Close()
+	c.SetPipeline(-5)
+	for k := Key(0); k < 50; k++ {
+		if !c.Put(k, []byte("abc")) {
+			t.Fatal("Put failed with pipeline 1")
+		}
+	}
+	if c.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after sync ops", c.Outstanding())
+	}
+}
+
+// TestIssuedCompletedCounters: lifetime counters agree with the op stream.
+func TestIssuedCompletedCounters(t *testing.T) {
+	tb := newTestTable(t, Config{})
+	c := tb.MustClient(0)
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		c.Put(Key(i), []byte("v")) // 1 issued op each
+	}
+	for i := 0; i < 5; i++ {
+		c.Get(Key(i), nil) // 1 issued op each
+	}
+	if c.Issued() != 15 || c.Completed() != 15 {
+		t.Fatalf("issued/completed = %d/%d, want 15/15", c.Issued(), c.Completed())
+	}
+}
+
+// TestDeleteAsyncCompletes: DeleteAsync produces a synchronizable op.
+func TestDeleteAsyncCompletes(t *testing.T) {
+	tb := newTestTable(t, Config{})
+	c := tb.MustClient(0)
+	defer c.Close()
+	c.Put(3, []byte("x"))
+	o := c.DeleteAsync(3)
+	c.Wait(o)
+	if !o.Done() || !o.Hit() {
+		t.Fatal("delete op did not complete")
+	}
+	c.Release(o)
+	if _, ok := c.Get(3, nil); ok {
+		t.Fatal("key survived async delete")
+	}
+}
+
+// TestInterleavedInsertLookupSameKey: within one client, a lookup issued
+// after an insert completes (synchronously) must see the new value.
+func TestInterleavedInsertLookupSameKey(t *testing.T) {
+	tb := newTestTable(t, Config{Partitions: 1})
+	c := tb.MustClient(0)
+	defer c.Close()
+	buf := make([]byte, 8)
+	for i := 0; i < 200; i++ {
+		binary.LittleEndian.PutUint64(buf, uint64(i))
+		if !c.Put(7, buf) {
+			t.Fatal("Put failed")
+		}
+		got, ok := c.Get(7, nil)
+		if !ok || binary.LittleEndian.Uint64(got) != uint64(i) {
+			t.Fatalf("iteration %d: read %v %v", i, got, ok)
+		}
+	}
+}
+
+// TestZeroLengthValue: empty values round-trip as hits.
+func TestZeroLengthValue(t *testing.T) {
+	tb := newTestTable(t, Config{})
+	c := tb.MustClient(0)
+	defer c.Close()
+	if !c.Put(11, nil) {
+		t.Fatal("Put(nil) failed")
+	}
+	v, ok := c.Get(11, nil)
+	if !ok || len(v) != 0 {
+		t.Fatalf("empty value lookup = %v, %v", v, ok)
+	}
+}
+
+// TestManySmallClients: every client slot works and can be closed in any
+// order.
+func TestManySmallClients(t *testing.T) {
+	tb := newTestTable(t, Config{Partitions: 2, MaxClients: 8})
+	clients := make([]*Client, 8)
+	for i := range clients {
+		clients[i] = tb.MustClient(i)
+		if !clients[i].Put(Key(100+i), []byte{byte(i)}) {
+			t.Fatalf("client %d Put failed", i)
+		}
+	}
+	// Close even slots first, then odd.
+	for i := 0; i < 8; i += 2 {
+		clients[i].Close()
+	}
+	for i := 1; i < 8; i += 2 {
+		if v, ok := clients[i].Get(Key(100+i), nil); !ok || v[0] != byte(i) {
+			t.Fatalf("client %d lost its key after peers closed", i)
+		}
+		clients[i].Close()
+	}
+}

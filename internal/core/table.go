@@ -1,0 +1,500 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cphash/internal/partition"
+	"cphash/internal/ring"
+)
+
+// Config parameterizes a CPHASH table.
+type Config struct {
+	// Partitions is the number of partitions and therefore the number of
+	// server goroutines (the paper uses 80, one per core; a sensible
+	// default on the host is runtime.GOMAXPROCS(0)). Rounded up to a power
+	// of two so partition selection is a mask of the key hash.
+	Partitions int
+	// CapacityBytes is the total byte budget across all partitions
+	// (values + one 64-byte header charge per element). It is divided
+	// evenly; the paper keeps all partitions the same size (§3.1).
+	CapacityBytes int
+	// MaxClients is the number of client handles that may be created with
+	// Table.Client; the rings for every (client, server) pair are
+	// pre-allocated, exactly as in the paper.
+	MaxClients int
+	// RingCapacity is the per-direction ring capacity in messages for each
+	// (client, server) pair. It bounds a client's outstanding operations
+	// per server. 0 means ring.DefaultCapacity.
+	RingCapacity int
+	// Policy selects LRU (default) or random eviction.
+	Policy partition.EvictionPolicy
+	// BucketsPerPartition overrides the derived bucket count (0 = derive,
+	// targeting ~1 element per bucket for 8-byte values as in §6).
+	BucketsPerPartition int
+	// LockOSThread dedicates an OS thread to each server goroutine. This is
+	// the closest Go gets to the paper's core pinning; disable it in tests
+	// or on single-CPU hosts where extra OS threads only add scheduling
+	// pressure.
+	LockOSThread bool
+	// SpinBudget is how many empty polling sweeps a server performs before
+	// yielding the processor. Higher values reduce wake-up latency at the
+	// cost of burning cycles, mirroring the paper's always-spinning servers
+	// (they measured 41% idle polling time at peak throughput). 0 means a
+	// modest default suitable for shared machines.
+	SpinBudget int
+	// Seed makes eviction and bucket hashing deterministic for tests.
+	Seed uint64
+}
+
+func (c *Config) setDefaults() error {
+	if c.Partitions <= 0 {
+		c.Partitions = runtime.GOMAXPROCS(0)
+	}
+	c.Partitions = ceilPow2(c.Partitions)
+	if c.MaxClients <= 0 {
+		c.MaxClients = 1
+	}
+	if c.RingCapacity == 0 {
+		c.RingCapacity = ring.DefaultCapacity
+	}
+	if c.RingCapacity < requestLineMsgs || c.RingCapacity&(c.RingCapacity-1) != 0 {
+		return fmt.Errorf("core: RingCapacity %d must be a power of two ≥ %d", c.RingCapacity, requestLineMsgs)
+	}
+	if c.SpinBudget <= 0 {
+		c.SpinBudget = 16
+	}
+	per := c.CapacityBytes / c.Partitions
+	if per < partition.HeaderBytes*2 {
+		return fmt.Errorf("core: CapacityBytes %d gives only %d bytes per partition", c.CapacityBytes, per)
+	}
+	return nil
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Stats aggregates per-partition counters plus message-passing counters.
+type Stats struct {
+	partition.Stats
+	// Messages is the number of requests processed by all servers.
+	Messages int64
+	// IdleSweeps counts server polling sweeps that found no work — the
+	// paper reports its servers spend 41% of their time polling idle
+	// buffers at peak load.
+	IdleSweeps int64
+}
+
+// Table is a CPHASH hash table: Config.Partitions partition stores, each
+// owned by a dedicated server goroutine, plus the ring fabric connecting
+// them to up to Config.MaxClients client handles.
+//
+// All operations go through a Client; see Table.Client.
+type Table struct {
+	cfg   Config
+	parts []*partition.Store
+
+	// rings[c][s] is the pair of rings between client c and server s.
+	toServer   [][]*ring.SPSC[request]
+	fromServer [][]*ring.SPSC[reply]
+
+	// clientActive[c] is set once client c has been handed out; servers
+	// skip polling inactive clients' rings entirely (cheaper than the
+	// paper's always-poll because MaxClients may exceed live clients).
+	clientActive []atomic.Bool
+
+	idleSweeps atomic.Int64
+	messages   atomic.Int64
+
+	// Idle-server parking. The paper's servers spin forever because they
+	// own a core; on an oversubscribed host a spinning server starves the
+	// Go scheduler (worst of all the netpoller, which is only checked when
+	// a P goes idle). After parkAfterSweeps empty sweeps a server parks on
+	// its wake channel; clients kick it after flushing requests.
+	parked []atomic.Bool
+	wake   []chan struct{}
+
+	// Dynamic server threads (the paper's §8.1 future work): partitions
+	// may be consolidated onto fewer server goroutines when load is low.
+	// owner[p] is the server goroutine currently processing partition p;
+	// target[p] is where the controller wants it. Ownership moves only at
+	// the old owner's sweep boundary (it stores owner[p] = target[p]), so
+	// exactly one goroutine ever touches a partition's state and rings.
+	owner  []atomic.Int32
+	target []atomic.Int32
+
+	stop    atomic.Bool
+	wg      sync.WaitGroup
+	clientN atomic.Int32
+	closed  atomic.Bool
+}
+
+// parkAfterSweeps is how many consecutive empty polling sweeps a server
+// performs (yielding every SpinBudget of them) before parking.
+const parkAfterSweeps = 256
+
+// New builds the table and starts its server goroutines.
+func New(cfg Config) (*Table, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		cfg:          cfg,
+		parts:        make([]*partition.Store, cfg.Partitions),
+		toServer:     make([][]*ring.SPSC[request], cfg.MaxClients),
+		fromServer:   make([][]*ring.SPSC[reply], cfg.MaxClients),
+		clientActive: make([]atomic.Bool, cfg.MaxClients),
+	}
+	per := cfg.CapacityBytes / cfg.Partitions
+	for p := range t.parts {
+		s, err := partition.NewStore(partition.Config{
+			CapacityBytes: per,
+			Buckets:       cfg.BucketsPerPartition,
+			Policy:        cfg.Policy,
+			Seed:          cfg.Seed + uint64(p)*0x9e3779b97f4a7c15 + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", p, err)
+		}
+		t.parts[p] = s
+	}
+	t.parked = make([]atomic.Bool, cfg.Partitions)
+	t.wake = make([]chan struct{}, cfg.Partitions)
+	t.owner = make([]atomic.Int32, cfg.Partitions)
+	t.target = make([]atomic.Int32, cfg.Partitions)
+	for p := range t.wake {
+		t.wake[p] = make(chan struct{}, 1)
+		t.owner[p].Store(int32(p))
+		t.target[p].Store(int32(p))
+	}
+	for c := 0; c < cfg.MaxClients; c++ {
+		t.toServer[c] = make([]*ring.SPSC[request], cfg.Partitions)
+		t.fromServer[c] = make([]*ring.SPSC[reply], cfg.Partitions)
+		for s := 0; s < cfg.Partitions; s++ {
+			var err error
+			if t.toServer[c][s], err = ring.NewSPSC[request](cfg.RingCapacity, requestLineMsgs); err != nil {
+				return nil, err
+			}
+			if t.fromServer[c][s], err = ring.NewSPSC[reply](cfg.RingCapacity, replyLineMsgs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for p := 0; p < cfg.Partitions; p++ {
+		t.wg.Add(1)
+		go t.serverLoop(p)
+	}
+	return t, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Table {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumPartitions returns the number of partitions (= server goroutines).
+func (t *Table) NumPartitions() int { return t.cfg.Partitions }
+
+// CapacityBytes returns the total configured capacity.
+func (t *Table) CapacityBytes() int {
+	return t.parts[0].CapacityBytes() * t.cfg.Partitions
+}
+
+// PartitionOf returns the partition index serving key k. A key's partition
+// is a function of its hash only, as in §3: "a simple hash function to
+// assign each possible key to a partition".
+func (t *Table) PartitionOf(k Key) int {
+	// Use the high bits of the mix so that partition selection and
+	// within-partition bucket selection (low bits) stay independent.
+	return int(partition.Mix64(k) >> 32 & uint64(t.cfg.Partitions-1))
+}
+
+// Client returns the client handle with index id (0 ≤ id < MaxClients).
+// Each handle is single-goroutine (the paper's "client thread"); distinct
+// handles may be used concurrently. Calling Client twice with the same id
+// returns handles sharing rings and must not be done concurrently.
+func (t *Table) Client(id int) (*Client, error) {
+	if id < 0 || id >= t.cfg.MaxClients {
+		return nil, fmt.Errorf("core: client id %d out of range [0,%d)", id, t.cfg.MaxClients)
+	}
+	if t.closed.Load() {
+		return nil, fmt.Errorf("core: table closed")
+	}
+	t.clientActive[id].Store(true)
+	c := &Client{
+		t:        t,
+		id:       id,
+		to:       t.toServer[id],
+		from:     t.fromServer[id],
+		pending:  make([]pendingFIFO, t.cfg.Partitions),
+		replyBuf: make([]reply, replyLineMsgs*4),
+	}
+	return c, nil
+}
+
+// MustClient is Client that panics on error.
+func (t *Table) MustClient(id int) *Client {
+	c, err := t.Client(id)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Close stops the server goroutines and waits for them. All clients must
+// have drained their outstanding operations first (Client.Wait); operations
+// issued after Close are lost. Close is idempotent.
+func (t *Table) Close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	t.stop.Store(true)
+	for p := range t.wake {
+		select {
+		case t.wake[p] <- struct{}{}:
+		default:
+		}
+	}
+	t.wg.Wait()
+}
+
+// kick wakes the server goroutine currently owning partition p. Clients
+// call it after publishing requests; the parked flag makes the common
+// (running) case a single atomic load.
+func (t *Table) kick(p int) {
+	t.kickServer(int(t.owner[p].Load()))
+}
+
+// kickServer wakes server goroutine id if it is parked.
+func (t *Table) kickServer(id int) {
+	if t.parked[id].Load() {
+		select {
+		case t.wake[id] <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// SetActiveServers consolidates all partitions onto the first n server
+// goroutines — the paper's §8.1 dynamic-adjustment extension: with a light
+// workload, fewer cores run servers and the rest are free for application
+// work; with a heavy workload, raise n again (up to NumPartitions).
+// Ownership moves at sweep boundaries, so operations in flight are safe.
+// The call returns once the new assignment is published; stragglers finish
+// handing off asynchronously.
+func (t *Table) SetActiveServers(n int) error {
+	if n < 1 || n > t.cfg.Partitions {
+		return fmt.Errorf("core: SetActiveServers(%d) outside [1, %d]", n, t.cfg.Partitions)
+	}
+	for p := 0; p < t.cfg.Partitions; p++ {
+		t.target[p].Store(int32(p % n))
+	}
+	// Wake everyone: old owners must run to hand partitions off, new
+	// owners must start polling.
+	for id := range t.wake {
+		t.kickServerAlways(id)
+	}
+	return nil
+}
+
+// kickServerAlways queues a wake token regardless of the parked flag (used
+// by reassignment and shutdown, where missing a parked server would stall).
+func (t *Table) kickServerAlways(id int) {
+	select {
+	case t.wake[id] <- struct{}{}:
+	default:
+	}
+}
+
+// ActiveServers returns how many server goroutines currently own at least
+// one partition (it can transiently exceed the SetActiveServers target
+// while handoffs drain).
+func (t *Table) ActiveServers() int {
+	seen := map[int32]bool{}
+	for p := 0; p < t.cfg.Partitions; p++ {
+		seen[t.owner[p].Load()] = true
+	}
+	return len(seen)
+}
+
+// Stats aggregates statistics across partitions.
+func (t *Table) Stats() Stats {
+	var out Stats
+	for _, p := range t.parts {
+		s := p.Stats()
+		out.Lookups += s.Lookups
+		out.Hits += s.Hits
+		out.Inserts += s.Inserts
+		out.InsertErr += s.InsertErr
+		out.Evictions += s.Evictions
+		out.Deletes += s.Deletes
+		out.Elements += s.Elements
+	}
+	out.Messages = t.messages.Load()
+	out.IdleSweeps = t.idleSweeps.Load()
+	return out
+}
+
+// PartitionStats returns the counters of one partition (for tests and the
+// load-distribution experiment).
+func (t *Table) PartitionStats(p int) partition.Stats { return t.parts[p].Stats() }
+
+// CheckInvariants validates every partition; the table must be quiescent
+// (no in-flight operations). Tests call this after workloads.
+func (t *Table) CheckInvariants() error {
+	for i, p := range t.parts {
+		if err := p.CheckInvariants(); err != nil {
+			return fmt.Errorf("partition %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// serverLoop is server goroutine id — the paper's §3.2 server thread,
+// extended with §8.1's dynamic partition ownership. It continuously sweeps
+// the request rings of every (active client, owned partition) pair,
+// executes each operation on the local partition, and pushes replies. A
+// partition whose target moved is handed off at the sweep boundary, so a
+// partition's state and rings only ever have one processing goroutine.
+// With no work for SpinBudget consecutive sweeps the server yields; after
+// parkAfterSweeps it parks until a client (or the controller) kicks it.
+func (t *Table) serverLoop(id int) {
+	defer t.wg.Done()
+	if t.cfg.LockOSThread {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	reqs := make([]request, requestLineMsgs*8)
+	idle := 0
+	var processed int64
+	var idleSweeps int64
+	flushStats := func() {
+		t.messages.Add(processed)
+		t.idleSweeps.Add(idleSweeps)
+		processed, idleSweeps = 0, 0
+	}
+	defer flushStats()
+	me := int32(id)
+	for {
+		work := false
+		for p := 0; p < t.cfg.Partitions; p++ {
+			if t.owner[p].Load() != me {
+				continue
+			}
+			if tgt := t.target[p].Load(); tgt != me {
+				// Hand the partition off; the new owner takes over at its
+				// next sweep.
+				t.owner[p].Store(tgt)
+				t.kickServerAlways(int(tgt))
+				continue
+			}
+			store := t.parts[p]
+			for c := 0; c < t.cfg.MaxClients; c++ {
+				if !t.clientActive[c].Load() {
+					continue
+				}
+				in := t.toServer[c][p]
+				out := t.fromServer[c][p]
+				n := in.ConsumeBatch(reqs)
+				if n == 0 {
+					continue
+				}
+				work = true
+				processed += int64(n)
+				for i := 0; i < n; i++ {
+					t.execute(store, reqs[i], out)
+				}
+				out.Flush()
+			}
+		}
+		if work {
+			idle = 0
+			continue
+		}
+		idleSweeps++
+		if t.stop.Load() {
+			return
+		}
+		idle++
+		if idle%t.cfg.SpinBudget == 0 {
+			flushStats()
+			runtime.Gosched()
+		}
+		if idle >= parkAfterSweeps {
+			idle = 0
+			t.parked[id].Store(true)
+			// Final sweep after announcing the park, so a client that
+			// flushed (or a controller that reassigned) before seeing
+			// parked=true cannot be missed.
+			if t.anyWork(id) {
+				t.parked[id].Store(false)
+				continue
+			}
+			<-t.wake[id]
+			t.parked[id].Store(false)
+			if t.stop.Load() {
+				// Drain once more so clients that published just before
+				// stop still complete, then exit via the loop's check.
+				continue
+			}
+		}
+	}
+}
+
+// anyWork reports whether server goroutine id has anything to do: a
+// published request on an owned partition, or a pending handoff in either
+// direction.
+func (t *Table) anyWork(id int) bool {
+	me := int32(id)
+	for p := 0; p < t.cfg.Partitions; p++ {
+		own := t.owner[p].Load()
+		tgt := t.target[p].Load()
+		if own == me && tgt != me {
+			return true // must hand off
+		}
+		if own != me {
+			continue
+		}
+		for c := 0; c < t.cfg.MaxClients; c++ {
+			if t.clientActive[c].Load() && t.toServer[c][p].Len() > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// execute runs one request against the local partition. Replies use
+// ProduceSpin: the reply ring can only fill if the client stops draining,
+// and clients always poll replies while spinning, so this cannot deadlock.
+func (t *Table) execute(store *partition.Store, r request, out *ring.SPSC[reply]) {
+	switch r.op() {
+	case opLookup:
+		out.ProduceSpin(reply{elem: store.Lookup(r.key())})
+	case opInsert:
+		out.ProduceSpin(reply{elem: store.Insert(r.key(), int(r.arg))})
+	case opReady:
+		// Publishing the value also releases the inserter's reference:
+		// the paper counts insert as exactly two messages (§6.2).
+		store.MarkReady(r.elem)
+		store.Decref(r.elem)
+	case opDecref:
+		store.Decref(r.elem)
+	case opDelete:
+		store.Delete(r.key())
+		out.ProduceSpin(reply{})
+	case opNop:
+		// ignore; used by tests to exercise the path
+	}
+}

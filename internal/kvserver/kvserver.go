@@ -1,0 +1,438 @@
+// Package kvserver implements CPSERVER and LOCKSERVER, the memcached-style
+// TCP key/value cache servers of Section 4 of the CPHash paper.
+//
+// Architecture (Figure 4): an acceptor assigns each new connection to the
+// client thread (worker) with the fewest active connections. Per-connection
+// reader goroutines parse requests and feed their worker's queue; the
+// worker gathers as many requests as possible into a batch, hands the batch
+// to its hash-table backend in one go — which is what lets CPHASH pipeline
+// the whole batch through its message rings — and then writes the LOOKUP
+// responses back to the right connections in request order. INSERTs are
+// silent, per the protocol.
+//
+// The only difference between CPSERVER and LOCKSERVER is the Backend
+// (NewCPHashBackend vs NewLockHashBackend), mirroring the paper's shared
+// implementation.
+package kvserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"cphash/internal/core"
+	"cphash/internal/lockhash"
+	"cphash/internal/partition"
+	"cphash/internal/protocol"
+)
+
+// Result describes the outcome of one LOOKUP inside a batch: the value
+// occupies buf[Start:End] of the batch buffer.
+type Result struct {
+	Start, End int32
+	Found      bool
+}
+
+// Backend executes one batch of requests against a hash table.
+// Implementations must fill results[i] for every LOOKUP request i and may
+// append value bytes to buf, returning the grown buffer. A Backend instance
+// is owned by a single worker goroutine.
+type Backend interface {
+	ProcessBatch(reqs []protocol.Request, results []Result, buf []byte) []byte
+	Close()
+}
+
+// Config parameterizes Serve.
+type Config struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Workers is the number of client threads (default 1).
+	Workers int
+	// MaxBatch bounds a worker's batch (default 512, within the paper's
+	// effective 512–8,192 pipeline band).
+	MaxBatch int
+	// QueueDepth bounds queued requests per worker (default 4·MaxBatch).
+	QueueDepth int
+	// NewBackend builds the per-worker backend.
+	NewBackend func(worker int) (Backend, error)
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Connections int64 // lifetime accepted connections
+	Requests    int64 // requests processed
+	Batches     int64 // batches processed
+}
+
+// Server is a running key/value cache server.
+type Server struct {
+	ln      net.Listener
+	workers []*worker
+	wg      sync.WaitGroup // acceptor + workers
+	readers sync.WaitGroup // per-connection readers
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  atomic.Bool
+
+	accepted atomic.Int64
+}
+
+type connState struct {
+	conn net.Conn
+	w    *bufio.Writer
+	wErr error
+}
+
+type connReq struct {
+	cs  *connState
+	req protocol.Request
+}
+
+type worker struct {
+	id       int
+	queue    chan connReq
+	backend  Backend
+	conns    atomic.Int64
+	requests atomic.Int64
+	batches  atomic.Int64
+	maxBatch int
+}
+
+// Serve starts the server; it returns once the listener is ready.
+func Serve(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 512
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.MaxBatch
+	}
+	if cfg.NewBackend == nil {
+		return nil, fmt.Errorf("kvserver: Config.NewBackend is required")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, conns: map[net.Conn]struct{}{}}
+	for i := 0; i < cfg.Workers; i++ {
+		b, err := cfg.NewBackend(i)
+		if err != nil {
+			ln.Close()
+			for _, w := range s.workers {
+				w.backend.Close()
+			}
+			return nil, fmt.Errorf("kvserver: backend %d: %w", i, err)
+		}
+		w := &worker{
+			id:       i,
+			queue:    make(chan connReq, cfg.QueueDepth),
+			backend:  b,
+			maxBatch: cfg.MaxBatch,
+		}
+		s.workers = append(s.workers, w)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			w.run()
+		}()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns a snapshot of server counters.
+func (s *Server) Stats() Stats {
+	st := Stats{Connections: s.accepted.Load()}
+	for _, w := range s.workers {
+		st.Requests += w.requests.Load()
+		st.Batches += w.batches.Load()
+	}
+	return st
+}
+
+// Close shuts the server down: stop accepting, close connections, drain
+// workers, close backends.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	// Readers exit on their closed connections; only then is it safe to
+	// close the worker queues they feed.
+	s.readers.Wait()
+	for _, w := range s.workers {
+		close(w.queue)
+	}
+	s.wg.Wait()
+	for _, w := range s.workers {
+		w.backend.Close()
+	}
+	return nil
+}
+
+// acceptLoop assigns connections to the least-loaded worker (§4.1's
+// smallest-active-connections balancer).
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if tcp, ok := conn.(*net.TCPConn); ok {
+			tcp.SetNoDelay(true)
+		}
+		s.accepted.Add(1)
+		w := s.leastLoadedWorker()
+		w.conns.Add(1)
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.readers.Add(1)
+		go s.readLoop(conn, w)
+	}
+}
+
+func (s *Server) leastLoadedWorker() *worker {
+	best := s.workers[0]
+	for _, w := range s.workers[1:] {
+		if w.conns.Load() < best.conns.Load() {
+			best = w
+		}
+	}
+	return best
+}
+
+// readLoop parses requests off one connection and feeds the worker.
+func (s *Server) readLoop(conn net.Conn, w *worker) {
+	defer s.readers.Done()
+	defer func() {
+		w.conns.Add(-1)
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	cs := &connState{conn: conn, w: bufio.NewWriterSize(conn, 64<<10)}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		req, err := protocol.ReadRequest(br)
+		if err != nil {
+			return // EOF, truncation, or protocol error: drop the conn
+		}
+		if s.closed.Load() {
+			return
+		}
+		w.queue <- connReq{cs: cs, req: req}
+	}
+}
+
+// run is the worker ("client thread") loop: gather a batch, process it
+// through the backend, write responses in order, flush.
+func (w *worker) run() {
+	reqs := make([]protocol.Request, 0, w.maxBatch)
+	items := make([]connReq, 0, w.maxBatch)
+	results := make([]Result, 0, w.maxBatch)
+	var buf []byte
+	touched := map[*connState]struct{}{}
+
+	for {
+		first, ok := <-w.queue
+		if !ok {
+			return
+		}
+		items = append(items[:0], first)
+	gather:
+		for len(items) < w.maxBatch {
+			select {
+			case it, ok := <-w.queue:
+				if !ok {
+					break gather
+				}
+				items = append(items, it)
+			default:
+				break gather
+			}
+		}
+
+		reqs = reqs[:0]
+		for _, it := range items {
+			reqs = append(reqs, it.req)
+		}
+		results = results[:len(items)]
+		for i := range results {
+			results[i] = Result{}
+		}
+		buf = w.backend.ProcessBatch(reqs, results, buf[:0])
+
+		for i, it := range items {
+			if it.req.Op != protocol.OpLookup {
+				continue
+			}
+			cs := it.cs
+			if cs.wErr != nil {
+				continue
+			}
+			r := results[i]
+			cs.wErr = protocol.WriteLookupResponse(cs.w, buf[r.Start:r.End], r.Found)
+			touched[cs] = struct{}{}
+		}
+		for cs := range touched {
+			if cs.wErr == nil {
+				cs.wErr = cs.w.Flush()
+			}
+			delete(touched, cs)
+		}
+		w.requests.Add(int64(len(items)))
+		w.batches.Add(1)
+	}
+}
+
+// --- backends ---
+
+// cphashBackend pipelines a batch through a CPHASH client handle.
+type cphashBackend struct {
+	client   *core.Client
+	table    *core.Table
+	ops      []*core.Op
+	idx      []int // result index per op; -1 for inserts
+	inserted map[uint64]struct{}
+}
+
+// NewCPHashBackend returns a Backend factory over one CPHASH table: worker
+// i uses client handle i. The table must have been created with MaxClients
+// ≥ the worker count.
+func NewCPHashBackend(t *core.Table) func(worker int) (Backend, error) {
+	return func(worker int) (Backend, error) {
+		c, err := t.Client(worker)
+		if err != nil {
+			return nil, err
+		}
+		return &cphashBackend{client: c, table: t, inserted: map[uint64]struct{}{}}, nil
+	}
+}
+
+// ProcessBatch pipelines the whole batch asynchronously. One subtlety: a
+// LOOKUP of a key INSERTed earlier in the same batch must observe the new
+// value, but the value only becomes visible once the client has copied it
+// and the server has processed the Ready message (§3.2's NOT_READY
+// protocol). Waiting for the insert completion before issuing the dependent
+// lookup suffices: the Ready message then precedes the lookup on the same
+// FIFO ring, so the server is guaranteed to publish before it looks up.
+func (b *cphashBackend) ProcessBatch(reqs []protocol.Request, results []Result, buf []byte) []byte {
+	b.ops = b.ops[:0]
+	b.idx = b.idx[:0]
+	clear(b.inserted)
+	pendingStart := 0
+	for i, r := range reqs {
+		switch r.Op {
+		case protocol.OpLookup:
+			if _, dep := b.inserted[r.Key]; dep {
+				buf = b.settle(results, buf, pendingStart)
+				pendingStart = len(b.ops)
+				clear(b.inserted)
+			}
+			b.ops = append(b.ops, b.client.LookupAsync(r.Key))
+			b.idx = append(b.idx, i)
+		case protocol.OpInsert:
+			// INSERTs are silent; still track the op so values (owned by
+			// the reader-created request) stay live until copied.
+			b.ops = append(b.ops, b.client.InsertAsync(r.Key, r.Value))
+			b.idx = append(b.idx, -1)
+			b.inserted[r.Key] = struct{}{}
+		}
+	}
+	buf = b.settle(results, buf, pendingStart)
+	b.ops = b.ops[:0]
+	return buf
+}
+
+// settle waits for the ops issued since from, harvests lookup results, and
+// releases everything.
+func (b *cphashBackend) settle(results []Result, buf []byte, from int) []byte {
+	b.client.WaitAll()
+	for j := from; j < len(b.ops); j++ {
+		op := b.ops[j]
+		if i := b.idx[j]; i >= 0 && op.Hit() {
+			start := int32(len(buf))
+			buf = append(buf, op.Value()...)
+			results[i] = Result{Start: start, End: int32(len(buf)), Found: true}
+		}
+		b.client.Release(op)
+	}
+	return buf
+}
+
+func (b *cphashBackend) Close() { b.client.Close() }
+
+// lockhashBackend executes a batch synchronously against LOCKHASH.
+type lockhashBackend struct {
+	table *lockhash.Table
+}
+
+// NewLockHashBackend returns a Backend factory over one LOCKHASH table
+// shared by all workers.
+func NewLockHashBackend(t *lockhash.Table) func(worker int) (Backend, error) {
+	return func(int) (Backend, error) {
+		return &lockhashBackend{table: t}, nil
+	}
+}
+
+func (b *lockhashBackend) ProcessBatch(reqs []protocol.Request, results []Result, buf []byte) []byte {
+	for i, r := range reqs {
+		switch r.Op {
+		case protocol.OpLookup:
+			start := int32(len(buf))
+			var found bool
+			buf, found = b.table.Get(r.Key, buf)
+			results[i] = Result{Start: start, End: int32(len(buf)), Found: found}
+		case protocol.OpInsert:
+			b.table.Put(r.Key, r.Value)
+		}
+	}
+	return buf
+}
+
+func (b *lockhashBackend) Close() {}
+
+// Sanity: both backends implement Backend.
+var (
+	_ Backend = (*cphashBackend)(nil)
+	_ Backend = (*lockhashBackend)(nil)
+)
+
+// Dial is a tiny client helper used by tests and examples: it connects and
+// returns request/response codecs plus a closer.
+func Dial(addr string) (*bufio.Writer, *bufio.Reader, io.Closer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		tcp.SetNoDelay(true)
+	}
+	return bufio.NewWriter(conn), bufio.NewReader(conn), conn, nil
+}
+
+// MaskKey clips a wire key into the table's 60-bit key space.
+func MaskKey(k uint64) uint64 { return k & partition.MaxKey }

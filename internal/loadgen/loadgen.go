@@ -1,0 +1,252 @@
+// Package loadgen is the TCP load generator for the Figure 13/14
+// experiments: it opens pipelined connections to one or more key/value
+// cache servers, drives a workload.Spec query mix at a configurable window
+// depth, partitions keys across server addresses by hash (how the paper's
+// clients spread keys over memcached instances), and reports throughput,
+// hit rate and latency.
+//
+// The paper generates load from a second 48-core machine over 10 Gbps
+// Ethernet; this reproduction drives loopback on one machine, which
+// preserves the compute ratios Figure 13 is about (see DESIGN.md).
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cphash/internal/partition"
+	"cphash/internal/perf"
+	"cphash/internal/protocol"
+	"cphash/internal/workload"
+)
+
+// Config parameterizes Run.
+type Config struct {
+	// Addrs are the server addresses. Keys are partitioned across them by
+	// hash (one address for CPSERVER/LOCKSERVER; one per instance for the
+	// memcached cluster).
+	Addrs []string
+	// Conns is the total number of client connections (default 4).
+	Conns int
+	// Pipeline is the number of requests written per window before reading
+	// the responses back (default 64).
+	Pipeline int
+	// Spec is the workload (keys, value size, insert ratio).
+	Spec workload.Spec
+	// OpsPerConn is how many operations each connection performs.
+	OpsPerConn int
+	// Validate checks every hit's bytes against the workload's expected
+	// value (costs CPU; off for throughput runs).
+	Validate bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	Ops      int64
+	Hits     int64
+	Misses   int64
+	BadBytes int64 // validation failures (must be 0)
+	Elapsed  time.Duration
+	// Latency is the per-window round-trip distribution in nanoseconds.
+	Latency *perf.Histogram
+}
+
+// Throughput returns queries/second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// HitRate returns hits / lookups.
+func (r Result) HitRate() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// String renders the result in the paper's reporting units.
+func (r Result) String() string {
+	return fmt.Sprintf("%.3g queries/sec (%d ops, hit rate %.2f, %v)",
+		r.Throughput(), r.Ops, r.HitRate(), r.Elapsed.Round(time.Millisecond))
+}
+
+// instanceOf picks the server for a key: single server → 0; otherwise the
+// paper's client-side hash partitioning across instances.
+func instanceOf(key uint64, n int) int {
+	if n == 1 {
+		return 0
+	}
+	return int(partition.Mix64(key) >> 17 % uint64(n))
+}
+
+// Run drives the configured load and blocks until done.
+func Run(cfg Config) (Result, error) {
+	if len(cfg.Addrs) == 0 {
+		return Result{}, fmt.Errorf("loadgen: no server addresses")
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 64
+	}
+	if cfg.OpsPerConn <= 0 {
+		cfg.OpsPerConn = 10000
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	var (
+		ops, hits, misses, bad atomic.Int64
+		wg                     sync.WaitGroup
+		firstErr               atomic.Value
+		histMu                 sync.Mutex
+	)
+	hist := perf.NewHistogram()
+
+	start := time.Now()
+	for ci := 0; ci < cfg.Conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			h, err := runConn(cfg, ci, &ops, &hits, &misses, &bad)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			histMu.Lock()
+			hist.Merge(h)
+			histMu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	res := Result{
+		Ops:      ops.Load(),
+		Hits:     hits.Load(),
+		Misses:   misses.Load(),
+		BadBytes: bad.Load(),
+		Elapsed:  time.Since(start),
+		Latency:  hist,
+	}
+	if err, _ := firstErr.Load().(error); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// connEndpoint is one server connection's codec pair.
+type connEndpoint struct {
+	conn net.Conn
+	w    *bufio.Writer
+	r    *bufio.Reader
+}
+
+// runConn drives one logical client: a connection to every server address,
+// windows of Pipeline requests routed by key hash, then responses drained
+// in order per endpoint.
+func runConn(cfg Config, ci int, ops, hits, misses, bad *atomic.Int64) (*perf.Histogram, error) {
+	eps := make([]*connEndpoint, len(cfg.Addrs))
+	for i, addr := range cfg.Addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			for _, ep := range eps {
+				if ep != nil {
+					ep.conn.Close()
+				}
+			}
+			return nil, fmt.Errorf("loadgen: dial %s: %w", addr, err)
+		}
+		if tcp, ok := conn.(*net.TCPConn); ok {
+			tcp.SetNoDelay(true)
+		}
+		eps[i] = &connEndpoint{
+			conn: conn,
+			w:    bufio.NewWriterSize(conn, 64<<10),
+			r:    bufio.NewReaderSize(conn, 64<<10),
+		}
+	}
+	defer func() {
+		for _, ep := range eps {
+			ep.conn.Close()
+		}
+	}()
+
+	spec := cfg.Spec
+	spec.Seed = cfg.Spec.Seed + uint64(ci)*0x9e3779b9 + 17
+	gen, err := workload.NewGenerator(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	hist := perf.NewHistogram()
+	valBuf := make([]byte, cfg.Spec.ValueSize)
+	type pendingLookup struct {
+		ep  int
+		key uint64
+	}
+	pending := make([]pendingLookup, 0, cfg.Pipeline)
+	respBuf := make([]byte, 0, 4096)
+
+	remaining := cfg.OpsPerConn
+	for remaining > 0 {
+		window := cfg.Pipeline
+		if window > remaining {
+			window = remaining
+		}
+		pending = pending[:0]
+		t0 := time.Now()
+		for i := 0; i < window; i++ {
+			kind, key := gen.Next()
+			ep := instanceOf(key, len(eps))
+			switch kind {
+			case workload.Insert:
+				v := cfg.Spec.FillValue(key, valBuf)
+				if err := protocol.WriteRequest(eps[ep].w, protocol.Request{
+					Op: protocol.OpInsert, Key: key, Value: v,
+				}); err != nil {
+					return nil, err
+				}
+			case workload.Lookup:
+				if err := protocol.WriteRequest(eps[ep].w, protocol.Request{
+					Op: protocol.OpLookup, Key: key,
+				}); err != nil {
+					return nil, err
+				}
+				pending = append(pending, pendingLookup{ep: ep, key: key})
+			}
+		}
+		for _, ep := range eps {
+			if err := ep.w.Flush(); err != nil {
+				return nil, err
+			}
+		}
+		// Responses per endpoint arrive in request order.
+		for _, p := range pending {
+			var found bool
+			respBuf, found, err = protocol.ReadLookupResponse(eps[p.ep].r, respBuf[:0])
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: read response: %w", err)
+			}
+			if found {
+				hits.Add(1)
+				if cfg.Validate && !cfg.Spec.CheckValue(p.key, respBuf) {
+					bad.Add(1)
+				}
+			} else {
+				misses.Add(1)
+			}
+		}
+		hist.Record(time.Since(t0).Nanoseconds())
+		ops.Add(int64(window))
+		remaining -= window
+	}
+	return hist, nil
+}

@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"cphash/internal/kvserver"
+	"cphash/internal/lockhash"
+	"cphash/internal/workload"
+)
+
+func startServer(t *testing.T) *kvserver.Server {
+	t.Helper()
+	table := lockhash.MustNew(lockhash.Config{Partitions: 64, CapacityBytes: 4 << 20, Seed: 3})
+	s, err := kvserver.Serve(kvserver.Config{
+		Addr:       "127.0.0.1:0",
+		Workers:    1,
+		NewBackend: kvserver.NewLockHashBackend(table),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("Run accepted empty address list")
+	}
+	if _, err := Run(Config{Addrs: []string{"127.0.0.1:1"}, Spec: workload.Spec{}}); err == nil {
+		t.Fatal("Run accepted invalid workload spec")
+	}
+}
+
+func TestRunDialFailure(t *testing.T) {
+	// A port with nothing listening: dial must fail cleanly.
+	_, err := Run(Config{
+		Addrs:      []string{"127.0.0.1:1"},
+		Conns:      1,
+		Spec:       workload.Default(8 << 10),
+		OpsPerConn: 10,
+	})
+	if err == nil {
+		t.Fatal("Run succeeded against a dead port")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	s := startServer(t)
+	res, err := Run(Config{
+		Addrs:      []string{s.Addr()},
+		Conns:      3,
+		Pipeline:   16,
+		Spec:       workload.Default(8 << 10),
+		OpsPerConn: 2000,
+		Validate:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 6000 {
+		t.Fatalf("ops = %d, want 6000", res.Ops)
+	}
+	if res.BadBytes != 0 {
+		t.Fatalf("%d corrupt responses", res.BadBytes)
+	}
+	if res.Hits == 0 || res.Misses == 0 {
+		t.Fatalf("degenerate hit/miss split: %d/%d", res.Hits, res.Misses)
+	}
+	if res.Latency.Count() == 0 {
+		t.Fatal("no latency samples")
+	}
+	if res.Throughput() <= 0 || res.String() == "" {
+		t.Fatal("bad summary")
+	}
+}
+
+func TestInstanceOfPartitioning(t *testing.T) {
+	counts := make([]int, 4)
+	for k := uint64(0); k < 4096; k++ {
+		i := instanceOf(k, 4)
+		if i < 0 || i >= 4 {
+			t.Fatalf("instanceOf(%d, 4) = %d", k, i)
+		}
+		counts[i]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1350 {
+			t.Errorf("instance %d got %d/4096 keys; partitioning skewed", i, c)
+		}
+	}
+	if instanceOf(123, 1) != 0 {
+		t.Error("single instance must map to 0")
+	}
+	// Stability.
+	if instanceOf(7, 4) != instanceOf(7, 4) {
+		t.Error("instanceOf unstable")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{Ops: 100, Hits: 30, Misses: 10, Elapsed: time.Second}
+	if r.Throughput() != 100 {
+		t.Errorf("throughput = %v", r.Throughput())
+	}
+	if got := r.HitRate(); got != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", got)
+	}
+	if (Result{}).Throughput() != 0 || (Result{}).HitRate() != 0 {
+		t.Error("zero-value result must report zeros")
+	}
+}

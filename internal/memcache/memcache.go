@@ -1,0 +1,245 @@
+// Package memcache is the MEMCACHED stand-in for the paper's Figure 14
+// comparison. The property the paper measures is architectural, not
+// memcached's feature set: a single coarse lock protects each instance's
+// entire state, requests are handled one at a time per connection with no
+// cross-request batching, and scaling beyond one core requires running
+// independent instances with the *client* partitioning the key space
+// (exactly how the paper ran memcached: "a separate, independent instance
+// of MEMCACHED on every core").
+//
+// Instances speak the same binary protocol as CPSERVER so the same load
+// generator drives all three servers.
+package memcache
+
+import (
+	"bufio"
+	"container/list"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"cphash/internal/protocol"
+)
+
+// entry is one cached key/value pair plus its LRU hook.
+type entry struct {
+	key   uint64
+	value []byte
+	elem  *list.Element
+}
+
+// Instance is one single-lock cache server, the unit the client partitions
+// keys across.
+type Instance struct {
+	mu    sync.Mutex
+	m     map[uint64]*entry
+	lru   *list.List // front = most recently used
+	used  int
+	capB  int
+	ln    net.Listener
+	wg    sync.WaitGroup
+	conns map[net.Conn]struct{}
+	cmu   sync.Mutex
+	done  atomic.Bool
+
+	requests atomic.Int64
+}
+
+// ServeInstance starts one instance listening on addr with a capacity of
+// capacityBytes of values (LRU-evicted, like the paper's tables).
+func ServeInstance(addr string, capacityBytes int) (*Instance, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		m:     map[uint64]*entry{},
+		lru:   list.New(),
+		capB:  capacityBytes,
+		ln:    ln,
+		conns: map[net.Conn]struct{}{},
+	}
+	inst.wg.Add(1)
+	go inst.acceptLoop()
+	return inst, nil
+}
+
+// Addr returns the instance's bound address.
+func (i *Instance) Addr() string { return i.ln.Addr().String() }
+
+// Requests returns the lifetime request count.
+func (i *Instance) Requests() int64 { return i.requests.Load() }
+
+// Close stops the instance.
+func (i *Instance) Close() error {
+	if !i.done.CompareAndSwap(false, true) {
+		return nil
+	}
+	i.ln.Close()
+	i.cmu.Lock()
+	for c := range i.conns {
+		c.Close()
+	}
+	i.cmu.Unlock()
+	i.wg.Wait()
+	return nil
+}
+
+func (i *Instance) acceptLoop() {
+	defer i.wg.Done()
+	for {
+		conn, err := i.ln.Accept()
+		if err != nil {
+			return
+		}
+		if tcp, ok := conn.(*net.TCPConn); ok {
+			tcp.SetNoDelay(true)
+		}
+		i.cmu.Lock()
+		if i.done.Load() {
+			i.cmu.Unlock()
+			conn.Close()
+			return
+		}
+		i.conns[conn] = struct{}{}
+		i.cmu.Unlock()
+		i.wg.Add(1)
+		go i.serveConn(conn)
+	}
+}
+
+// serveConn is memcached-style request handling: parse one request, take
+// the global lock, execute, respond immediately. No batching.
+func (i *Instance) serveConn(conn net.Conn) {
+	defer i.wg.Done()
+	defer func() {
+		i.cmu.Lock()
+		delete(i.conns, conn)
+		i.cmu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReaderSize(conn, 32<<10)
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	var scratch []byte
+	for {
+		req, err := protocol.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		i.requests.Add(1)
+		switch req.Op {
+		case protocol.OpLookup:
+			var found bool
+			scratch, found = i.get(req.Key, scratch[:0])
+			if err := protocol.WriteLookupResponse(bw, scratch, found); err != nil {
+				return
+			}
+			// Respond immediately: memcached has no cross-request batching.
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case protocol.OpInsert:
+			i.put(req.Key, req.Value)
+		}
+	}
+}
+
+// get copies the value under the global lock.
+func (i *Instance) get(key uint64, dst []byte) ([]byte, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	e, ok := i.m[key]
+	if !ok {
+		return dst, false
+	}
+	i.lru.MoveToFront(e.elem)
+	return append(dst, e.value...), true
+}
+
+// put stores the value under the global lock, evicting LRU entries to fit.
+func (i *Instance) put(key uint64, value []byte) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if old, ok := i.m[key]; ok {
+		i.used -= len(old.value)
+		i.lru.Remove(old.elem)
+		delete(i.m, key)
+	}
+	if len(value) > i.capB {
+		return // cannot fit at all; silently drop (cache semantics)
+	}
+	for i.used+len(value) > i.capB {
+		back := i.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*entry)
+		i.lru.Remove(back)
+		delete(i.m, victim.key)
+		i.used -= len(victim.value)
+	}
+	e := &entry{key: key, value: append([]byte(nil), value...)}
+	e.elem = i.lru.PushFront(e)
+	i.m[key] = e
+	i.used += len(value)
+}
+
+// Len returns the number of cached entries (diagnostic).
+func (i *Instance) Len() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return len(i.m)
+}
+
+// Cluster is the paper's multi-instance configuration: one Instance per
+// simulated core, keys partitioned by the client.
+type Cluster struct {
+	Instances []*Instance
+}
+
+// ServeCluster starts n instances on loopback, splitting capacityBytes
+// between them.
+func ServeCluster(n, capacityBytes int) (*Cluster, error) {
+	if n < 1 {
+		n = 1
+	}
+	c := &Cluster{}
+	for k := 0; k < n; k++ {
+		inst, err := ServeInstance("127.0.0.1:0", capacityBytes/n)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Instances = append(c.Instances, inst)
+	}
+	return c, nil
+}
+
+// Addrs lists the instance addresses in order; load generators partition
+// the key space across them by hash, as the paper's clients do.
+func (c *Cluster) Addrs() []string {
+	out := make([]string, len(c.Instances))
+	for i, inst := range c.Instances {
+		out[i] = inst.Addr()
+	}
+	return out
+}
+
+// Requests sums lifetime requests across instances.
+func (c *Cluster) Requests() int64 {
+	var n int64
+	for _, inst := range c.Instances {
+		n += inst.Requests()
+	}
+	return n
+}
+
+// Close stops every instance.
+func (c *Cluster) Close() error {
+	for _, inst := range c.Instances {
+		if inst != nil {
+			inst.Close()
+		}
+	}
+	return nil
+}

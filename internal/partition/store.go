@@ -1,0 +1,522 @@
+package partition
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Key is a CPHash key. The paper's implementation limits keys to 60-bit
+// integers (Section 3.1) so that the top bits of a packed message word can
+// carry an opcode; we keep the same restriction and expose MaxKey.
+type Key = uint64
+
+// MaxKey is the largest valid key (60 bits, per the paper).
+const MaxKey Key = 1<<60 - 1
+
+// HeaderBytes is the per-element metadata cost charged against the
+// partition's byte capacity. The paper's element header — key, size,
+// reference count, bucket and LRU links — fits one cache line, so we charge
+// one line per element in addition to the value's arena block.
+const HeaderBytes = 64
+
+// CapacityForValues converts the paper's capacity convention — "bytes of
+// values stored", excluding metadata — into the physical byte capacity a
+// Store needs to hold n values of valueSize bytes each (headers plus
+// allocator block rounding included). Benchmark harnesses use it so that
+// "hash table capacity = working set" keeps the paper's meaning.
+func CapacityForValues(n, valueSize int) int {
+	if n < 1 {
+		n = 1
+	}
+	per := int(blockFor(valueSize + HeaderBytes))
+	// 1/16 headroom absorbs free-list fragmentation at full occupancy.
+	c := n*per + n*per/16
+	if min := HeaderBytes + minBlock*2; c < min {
+		c = min // NewStore's floor for a single-element store
+	}
+	return c
+}
+
+// EvictionPolicy selects how a full partition makes room (Section 6.3).
+type EvictionPolicy uint8
+
+const (
+	// EvictLRU evicts the least recently used element; lookups and inserts
+	// maintain an LRU list (the paper's default).
+	EvictLRU EvictionPolicy = iota
+	// EvictRandom evicts a pseudo-randomly chosen element and maintains no
+	// LRU state at all, matching the paper's random-eviction configuration.
+	EvictRandom
+)
+
+func (p EvictionPolicy) String() string {
+	switch p {
+	case EvictLRU:
+		return "lru"
+	case EvictRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("EvictionPolicy(%d)", uint8(p))
+	}
+}
+
+// Element is a stored key/value pair. The fields mirror the paper's element
+// header: key, value size, reference count, bucket chain links and LRU
+// links. Elements are owned by their partition; callers only ever hold
+// *Element obtained from Lookup/Insert and must release it with Decref
+// (CPHASH sends a Decref message; LOCKHASH calls it under the partition
+// lock).
+type Element struct {
+	key   Key
+	off   uint32 // arena payload offset of the value
+	size  int32  // value size in bytes
+	refs  int32  // references held by clients
+	ready bool   // false between Insert and MarkReady
+	dead  bool   // unlinked from the table; memory pending refs==0
+
+	hNext, hPrev *Element // bucket chain
+	lNext, lPrev *Element // LRU list (unused under EvictRandom)
+
+	store *Store
+}
+
+// Key returns the element's key.
+func (e *Element) Key() Key { return e.key }
+
+// Size returns the value size in bytes.
+func (e *Element) Size() int { return int(e.size) }
+
+// Ready reports whether the value bytes have been published with MarkReady.
+func (e *Element) Ready() bool { return e.ready }
+
+// Value returns the value bytes. The slice aliases partition memory: for a
+// looked-up element it is valid until Decref; for a fresh insert the caller
+// copies into it and then calls MarkReady. This is exactly the paper's
+// contract — the server allocates, the *client* copies the data (§3.2).
+func (e *Element) Value() []byte {
+	if e.size == 0 {
+		return nil
+	}
+	return e.store.arena.Bytes(e.off, int(e.size))
+}
+
+// Stats counts partition activity. All fields are cumulative.
+type Stats struct {
+	Lookups   int64 // lookup requests processed
+	Hits      int64 // lookups that found a ready element
+	Inserts   int64 // insert requests processed
+	InsertErr int64 // inserts that failed for lack of space
+	Evictions int64 // elements evicted to make room
+	Deletes   int64 // explicit deletes
+	Elements  int64 // elements currently linked
+}
+
+// Config parameterizes a partition store.
+type Config struct {
+	// CapacityBytes bounds the memory charged to values and headers. It is
+	// also the arena size, so the bound is physical, not advisory.
+	CapacityBytes int
+	// Buckets is the number of hash buckets; 0 derives a size targeting
+	// about one element per bucket assuming 8-byte values (the paper's
+	// microbenchmark configuration). Rounded up to a power of two.
+	Buckets int
+	// Policy selects the eviction policy.
+	Policy EvictionPolicy
+	// Seed seeds the random-eviction generator; ignored under EvictLRU.
+	Seed uint64
+}
+
+// Store is one CPHash partition: a chained hash table plus LRU list over an
+// arena. It is deliberately not safe for concurrent use — CPHASH gives each
+// Store to one server goroutine, LOCKHASH wraps it in a lock.
+type Store struct {
+	buckets []*Element
+	mask    uint64
+	arena   *Arena
+	policy  EvictionPolicy
+
+	lruHead *Element // most recently used
+	lruTail *Element // least recently used
+
+	rng   uint64 // xorshift state for random eviction
+	stats Stats
+
+	free *Element // recycled Element headers
+}
+
+// NewStore returns an empty partition with the given configuration.
+func NewStore(cfg Config) (*Store, error) {
+	if cfg.CapacityBytes < HeaderBytes+minBlock {
+		return nil, fmt.Errorf("partition: capacity %d too small", cfg.CapacityBytes)
+	}
+	nb := cfg.Buckets
+	if nb <= 0 {
+		// Target ~1 element per bucket for 8-byte values: each element
+		// costs HeaderBytes + a 32-byte arena block.
+		nb = cfg.CapacityBytes / (HeaderBytes + minBlock)
+		if nb < 8 {
+			nb = 8
+		}
+	}
+	nb = 1 << bits.Len(uint(nb-1)) // next power of two
+	arena, err := NewArena(cfg.CapacityBytes)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Store{
+		buckets: make([]*Element, nb),
+		mask:    uint64(nb - 1),
+		arena:   arena,
+		policy:  cfg.Policy,
+		rng:     seed,
+	}, nil
+}
+
+// MustStore is NewStore that panics on error.
+func MustStore(cfg Config) *Store {
+	s, err := NewStore(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Stats returns a snapshot of the partition counters.
+func (s *Store) Stats() Stats {
+	st := s.stats
+	return st
+}
+
+// Len returns the number of linked elements.
+func (s *Store) Len() int { return int(s.stats.Elements) }
+
+// CapacityBytes returns the configured byte capacity.
+func (s *Store) CapacityBytes() int { return s.arena.Capacity() }
+
+// UsedBytes returns bytes charged to live elements (headers + values),
+// including dead-but-referenced elements whose memory is not yet free.
+func (s *Store) UsedBytes() int { return s.arena.Used() }
+
+// bucketIndex hashes a key to its chain. The mixer is the splitmix64
+// finalizer — the "simple hash function" of §3.1.
+func (s *Store) bucketIndex(k Key) uint64 {
+	return Mix64(k) & s.mask
+}
+
+// Mix64 is the splitmix64 finalizer, used both for bucket selection within
+// a partition and (by callers) for partition selection across servers.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Lookup finds a ready element, bumps its reference count, moves it to the
+// LRU head, and returns it; it returns nil on miss. The caller must
+// eventually call Decref exactly once per successful Lookup.
+func (s *Store) Lookup(k Key) *Element {
+	s.stats.Lookups++
+	e := s.find(k)
+	if e == nil || !e.ready {
+		return nil
+	}
+	s.stats.Hits++
+	e.refs++
+	s.lruMoveFront(e)
+	return e
+}
+
+// Contains reports whether k is linked and ready without touching LRU state
+// or reference counts (used by tests and admin tooling).
+func (s *Store) Contains(k Key) bool {
+	e := s.find(k)
+	return e != nil && e.ready
+}
+
+func (s *Store) find(k Key) *Element {
+	for e := s.buckets[s.bucketIndex(k)]; e != nil; e = e.hNext {
+		if e.key == k {
+			return e
+		}
+	}
+	return nil
+}
+
+// Insert allocates space for a size-byte value under key k, unlinking any
+// existing element with the same key first (to avoid duplicates, §3.2), and
+// returns the new NOT_READY element with one caller reference. The caller
+// copies the value into e.Value(), calls MarkReady, and finally Decref.
+// Insert returns nil when space cannot be made even after evicting
+// everything evictable.
+func (s *Store) Insert(k Key, size int) *Element {
+	s.stats.Inserts++
+	if size < 0 || k > MaxKey {
+		s.stats.InsertErr++
+		return nil
+	}
+	if old := s.find(k); old != nil {
+		s.unlink(old)
+	}
+	off, ok := s.allocEvicting(size)
+	if !ok {
+		s.stats.InsertErr++
+		return nil
+	}
+	e := s.newElement()
+	*e = Element{key: k, off: off, size: int32(size), refs: 1, store: s}
+	s.linkBucket(e)
+	s.lruPushFront(e)
+	s.stats.Elements++
+	return e
+}
+
+// allocEvicting allocates a value block, evicting per policy until the
+// allocation succeeds or nothing evictable remains. The header charge is
+// modeled by reserving HeaderBytes alongside the value; to keep the charge
+// physical we allocate value+HeaderBytes in one block.
+func (s *Store) allocEvicting(size int) (uint32, bool) {
+	for {
+		if off, ok := s.arena.Alloc(size + HeaderBytes); ok {
+			return off + HeaderBytes, ok
+		}
+		if !s.evictOne() {
+			return 0, false
+		}
+	}
+}
+
+// evictOne unlinks one element according to the eviction policy and reports
+// whether it did. Elements still referenced by clients are unlinked but
+// their memory is reclaimed only at the final Decref, exactly like the
+// paper's dangling-pointer rule (§3.2) — so an eviction does not always free
+// bytes immediately.
+func (s *Store) evictOne() bool {
+	var victim *Element
+	switch s.policy {
+	case EvictLRU:
+		victim = s.lruTail
+	case EvictRandom:
+		victim = s.randomElement()
+	}
+	if victim == nil {
+		return false
+	}
+	s.stats.Evictions++
+	s.unlink(victim)
+	return true
+}
+
+// randomElement picks a pseudo-random linked element by probing buckets
+// from a random starting point.
+func (s *Store) randomElement() *Element {
+	if s.stats.Elements == 0 {
+		return nil
+	}
+	// xorshift64
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	idx := x & s.mask
+	for i := uint64(0); i <= s.mask; i++ {
+		if e := s.buckets[(idx+i)&s.mask]; e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Delete unlinks the element with key k, reporting whether it existed.
+// Memory follows the usual refcount rule.
+func (s *Store) Delete(k Key) bool {
+	e := s.find(k)
+	if e == nil {
+		return false
+	}
+	s.stats.Deletes++
+	s.unlink(e)
+	return true
+}
+
+// MarkReady publishes a previously inserted element's value (the paper's
+// Ready message). Lookups return the element only after this.
+func (s *Store) MarkReady(e *Element) {
+	e.ready = true
+}
+
+// Decref drops one caller reference. When the element is dead (evicted or
+// deleted) and the last reference goes away, its memory returns to the
+// arena. Decref on a live element only releases the caller's pin.
+func (s *Store) Decref(e *Element) {
+	if e.refs <= 0 {
+		panic("partition: Decref without matching reference")
+	}
+	e.refs--
+	if e.dead && e.refs == 0 {
+		s.release(e)
+	}
+}
+
+// unlink removes e from the bucket chain and LRU list. Memory is released
+// immediately if no client holds a reference, otherwise when the last
+// Decref arrives.
+func (s *Store) unlink(e *Element) {
+	if e.dead {
+		return
+	}
+	s.unlinkBucket(e)
+	s.lruRemove(e)
+	s.stats.Elements--
+	e.dead = true
+	if e.refs == 0 {
+		s.release(e)
+	}
+}
+
+// release returns the element's memory to the arena and recycles the header.
+func (s *Store) release(e *Element) {
+	s.arena.Free(e.off - HeaderBytes)
+	e.hNext = s.free
+	e.store = nil
+	s.free = e
+}
+
+// newElement takes a header from the recycle list or allocates one.
+func (s *Store) newElement() *Element {
+	if e := s.free; e != nil {
+		s.free = e.hNext
+		return e
+	}
+	return &Element{}
+}
+
+// --- bucket chain ---
+
+func (s *Store) linkBucket(e *Element) {
+	idx := s.bucketIndex(e.key)
+	head := s.buckets[idx]
+	e.hNext = head
+	e.hPrev = nil
+	if head != nil {
+		head.hPrev = e
+	}
+	s.buckets[idx] = e
+}
+
+func (s *Store) unlinkBucket(e *Element) {
+	if e.hPrev != nil {
+		e.hPrev.hNext = e.hNext
+	} else {
+		s.buckets[s.bucketIndex(e.key)] = e.hNext
+	}
+	if e.hNext != nil {
+		e.hNext.hPrev = e.hPrev
+	}
+	e.hNext, e.hPrev = nil, nil
+}
+
+// --- LRU list (skipped entirely under EvictRandom, as in §6.3) ---
+
+func (s *Store) lruPushFront(e *Element) {
+	if s.policy != EvictLRU {
+		return
+	}
+	e.lPrev = nil
+	e.lNext = s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.lPrev = e
+	}
+	s.lruHead = e
+	if s.lruTail == nil {
+		s.lruTail = e
+	}
+}
+
+func (s *Store) lruRemove(e *Element) {
+	if s.policy != EvictLRU {
+		return
+	}
+	if e.lPrev != nil {
+		e.lPrev.lNext = e.lNext
+	} else if s.lruHead == e {
+		s.lruHead = e.lNext
+	}
+	if e.lNext != nil {
+		e.lNext.lPrev = e.lPrev
+	} else if s.lruTail == e {
+		s.lruTail = e.lPrev
+	}
+	e.lNext, e.lPrev = nil, nil
+}
+
+func (s *Store) lruMoveFront(e *Element) {
+	if s.policy != EvictLRU || s.lruHead == e {
+		return
+	}
+	s.lruRemove(e)
+	s.lruPushFront(e)
+}
+
+// LRUKeys returns the linked keys from most to least recently used; under
+// EvictRandom it returns nil. For tests and introspection only.
+func (s *Store) LRUKeys() []Key {
+	if s.policy != EvictLRU {
+		return nil
+	}
+	var out []Key
+	for e := s.lruHead; e != nil; e = e.lNext {
+		out = append(out, e.key)
+	}
+	return out
+}
+
+// CheckInvariants validates the bucket chains, LRU list, element accounting
+// and the underlying arena; tests call it after mutation storms.
+func (s *Store) CheckInvariants() error {
+	linked := 0
+	for i, head := range s.buckets {
+		var prev *Element
+		for e := head; e != nil; e = e.hNext {
+			if e.hPrev != prev {
+				return fmt.Errorf("bucket %d: broken hPrev at key %d", i, e.key)
+			}
+			if s.bucketIndex(e.key) != uint64(i) {
+				return fmt.Errorf("bucket %d: key %d hashed elsewhere", i, e.key)
+			}
+			if e.dead {
+				return fmt.Errorf("bucket %d: dead element %d still linked", i, e.key)
+			}
+			linked++
+			prev = e
+		}
+	}
+	if linked != int(s.stats.Elements) {
+		return fmt.Errorf("linked = %d, stats.Elements = %d", linked, s.stats.Elements)
+	}
+	if s.policy == EvictLRU {
+		lru := 0
+		var prev *Element
+		for e := s.lruHead; e != nil; e = e.lNext {
+			if e.lPrev != prev {
+				return fmt.Errorf("LRU: broken lPrev at key %d", e.key)
+			}
+			lru++
+			prev = e
+		}
+		if prev != s.lruTail {
+			return fmt.Errorf("LRU tail mismatch")
+		}
+		if lru != linked {
+			return fmt.Errorf("LRU holds %d, buckets hold %d", lru, linked)
+		}
+	}
+	return s.arena.CheckInvariants()
+}

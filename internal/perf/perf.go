@@ -1,0 +1,238 @@
+// Package perf is the measurement library for the reproduction — the
+// stand-in for the paper's 500-line rdtsc/rdpmc profiling library plus
+// kernel module (Section 5). Portable Go cannot read hardware performance
+// counters, so this package provides:
+//
+//   - Counter: padded, contention-free event counters (software events);
+//   - Stopwatch: wall-clock interval timing with cycle conversion at a
+//     nominal clock, so reports can be phrased in the paper's units;
+//   - Histogram: log-bucketed latency distributions with percentiles;
+//   - Throughput: queries/second summaries for benchmark tables.
+//
+// Hardware cache-miss counts — the paper's Figures 6 and 7 — come from
+// internal/cachesim instead, which derives them deterministically from the
+// access pattern rather than sampling a PMU.
+package perf
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a cache-line-padded atomic event counter. Use one per thread
+// or accept cross-thread contention on Add.
+type Counter struct {
+	_ [64]byte
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Stopwatch measures wall-clock intervals and converts them to "cycles" at
+// a nominal clock so results can be compared with the paper's
+// cycles-per-operation tables. The conversion is honest about being an
+// estimate: Go cannot execute rdtsc portably.
+type Stopwatch struct {
+	start   time.Time
+	elapsed time.Duration
+	clockHz int64
+}
+
+// NewStopwatch returns a stopped stopwatch assuming the given clock
+// (0 means the paper machine's 2.4 GHz).
+func NewStopwatch(clockHz int64) *Stopwatch {
+	if clockHz <= 0 {
+		clockHz = 2_400_000_000
+	}
+	return &Stopwatch{clockHz: clockHz}
+}
+
+// Start begins (or resumes) timing.
+func (s *Stopwatch) Start() { s.start = time.Now() }
+
+// Stop ends the current interval, accumulating it.
+func (s *Stopwatch) Stop() {
+	if !s.start.IsZero() {
+		s.elapsed += time.Since(s.start)
+		s.start = time.Time{}
+	}
+}
+
+// Elapsed returns the accumulated duration.
+func (s *Stopwatch) Elapsed() time.Duration { return s.elapsed }
+
+// Cycles returns the accumulated time expressed in cycles at the nominal
+// clock.
+func (s *Stopwatch) Cycles() int64 {
+	return int64(float64(s.elapsed.Nanoseconds()) * float64(s.clockHz) / 1e9)
+}
+
+// CyclesPerOp returns Cycles()/n, guarding against n == 0.
+func (s *Stopwatch) CyclesPerOp(n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Cycles()) / float64(n)
+}
+
+// Reset zeroes the stopwatch.
+func (s *Stopwatch) Reset() { s.start, s.elapsed = time.Time{}, 0 }
+
+// Histogram is a log2-bucketed value distribution (e.g. latencies in
+// nanoseconds). It is not safe for concurrent use; give each thread its own
+// and Merge them.
+type Histogram struct {
+	buckets [64]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: int64(^uint64(0) >> 1)}
+}
+
+// Record adds one observation (negative values clamp to zero).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the top
+// of the log2 bucket containing it. Log buckets make this a ≤2× estimate,
+// which is what latency reporting needs.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.count-1))
+	var seen int64
+	for b, n := range h.buckets {
+		seen += n
+		if seen > rank {
+			if b == 0 {
+				return 0
+			}
+			return 1<<b - 1
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.count > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50≤%d p99≤%d max=%d",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// Throughput summarizes a benchmark run in the paper's reporting units.
+type Throughput struct {
+	Ops     int64
+	Elapsed time.Duration
+}
+
+// PerSecond returns operations per second.
+func (t Throughput) PerSecond() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Ops) / t.Elapsed.Seconds()
+}
+
+// PerSecondPerThread divides the rate across n threads, the unit of the
+// paper's Figure 11.
+func (t Throughput) PerSecondPerThread(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return t.PerSecond() / float64(n)
+}
+
+// String formats the rate the way the paper's plots label their axes.
+func (t Throughput) String() string {
+	return fmt.Sprintf("%.3g queries/sec (%d ops in %v)", t.PerSecond(), t.Ops, t.Elapsed.Round(time.Millisecond))
+}
+
+// FormatBytes renders a byte count in the paper's axis style (100KB, 1MB…).
+func FormatBytes(n int) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,183 @@
+package perf
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 80000 {
+		t.Fatalf("counter = %d, want 80000", got)
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	s := NewStopwatch(1_000_000_000) // 1 GHz: 1 cycle == 1 ns
+	s.Start()
+	time.Sleep(10 * time.Millisecond)
+	s.Stop()
+	if s.Elapsed() < 10*time.Millisecond {
+		t.Fatalf("elapsed %v < slept 10ms", s.Elapsed())
+	}
+	if got, ns := s.Cycles(), s.Elapsed().Nanoseconds(); got != ns {
+		t.Fatalf("at 1 GHz cycles (%d) must equal ns (%d)", got, ns)
+	}
+	if s.CyclesPerOp(0) != 0 {
+		t.Fatal("CyclesPerOp(0) must be 0")
+	}
+	per := s.CyclesPerOp(100)
+	if per <= 0 {
+		t.Fatal("CyclesPerOp must be positive")
+	}
+	s.Reset()
+	if s.Elapsed() != 0 || s.Cycles() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestStopwatchAccumulates(t *testing.T) {
+	s := NewStopwatch(0)
+	s.Start()
+	time.Sleep(time.Millisecond)
+	s.Stop()
+	first := s.Elapsed()
+	s.Start()
+	time.Sleep(time.Millisecond)
+	s.Stop()
+	if s.Elapsed() <= first {
+		t.Fatal("second interval not accumulated")
+	}
+	// Stop without start is a no-op.
+	s.Stop()
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if m := h.Mean(); m < 500 || m > 501 {
+		t.Fatalf("mean = %v, want 500.5", m)
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	// p50 of 1..1000 is ~500; the log2 bucket upper bound is 511.
+	if got := h.Quantile(0.5); got != 511 {
+		t.Fatalf("p50 bound = %d, want 511", got)
+	}
+	if got := h.Quantile(1); got < 1000 {
+		t.Fatalf("p100 bound = %d, want ≥ 1000", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for v := int64(0); v < 100; v++ {
+		a.Record(v)
+		b.Record(v + 1000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 1099 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+// TestQuickQuantileMonotone: quantile bounds are monotone in q and bound
+// the true value from above.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Record(int64(v))
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return h.Quantile(1) >= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative clamp broken: %v", h)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Ops: 1000, Elapsed: time.Second}
+	if tp.PerSecond() != 1000 {
+		t.Fatalf("PerSecond = %v", tp.PerSecond())
+	}
+	if tp.PerSecondPerThread(4) != 250 {
+		t.Fatalf("PerSecondPerThread = %v", tp.PerSecondPerThread(4))
+	}
+	if tp.PerSecondPerThread(0) != 0 {
+		t.Fatal("zero threads must give 0")
+	}
+	if (Throughput{Ops: 5}).PerSecond() != 0 {
+		t.Fatal("zero elapsed must give 0")
+	}
+	if tp.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int]string{
+		512:       "512B",
+		100 << 10: "100KB",
+		1 << 20:   "1MB",
+		128 << 20: "128MB",
+		4 << 30:   "4GB",
+		1500:      "1500B",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

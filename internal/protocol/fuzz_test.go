@@ -1,0 +1,88 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickReadRequestNeverPanics: arbitrary byte streams must produce a
+// request or an error, never a panic or a huge allocation.
+func TestQuickReadRequestNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		r := bufio.NewReader(bytes.NewReader(raw))
+		for {
+			req, err := ReadRequest(r)
+			if err != nil {
+				return true // any error terminates parsing cleanly
+			}
+			if len(req.Value) > MaxValueSize {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReadResponseNeverPanics: same for the response parser.
+func TestQuickReadResponseNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		r := bufio.NewReader(bytes.NewReader(raw))
+		for {
+			v, _, err := ReadLookupResponse(r, nil)
+			if err != nil {
+				return true
+			}
+			if len(v) > MaxValueSize {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickValidStreamAlwaysParses: any sequence of valid requests written
+// back-to-back parses back to identical requests — with arbitrary trailing
+// garbage detected as an error, not silently swallowed.
+func TestQuickValidStreamAlwaysParses(t *testing.T) {
+	f := func(keys []uint64, vals [][]byte) bool {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		var want []Request
+		for i, k := range keys {
+			var req Request
+			if i < len(vals) && vals[i] != nil {
+				v := vals[i]
+				if len(v) > 1024 {
+					v = v[:1024]
+				}
+				req = Request{Op: OpInsert, Key: k, Value: v}
+			} else {
+				req = Request{Op: OpLookup, Key: k}
+			}
+			if WriteRequest(w, req) != nil {
+				return false
+			}
+			want = append(want, req)
+		}
+		w.Flush()
+		r := bufio.NewReader(&buf)
+		for _, wr := range want {
+			got, err := ReadRequest(r)
+			if err != nil || got.Op != wr.Op || got.Key != wr.Key || !bytes.Equal(got.Value, wr.Value) {
+				return false
+			}
+		}
+		_, err := ReadRequest(r)
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package protocol implements CPSERVER's binary wire protocol (Section 4.1
+// of the CPHash paper). There are two request types:
+//
+//	LOOKUP:  op(1) | key(8)
+//	INSERT:  op(1) | key(8) | size(4) | value(size)
+//
+// A LOOKUP elicits a response — size(4) | value(size) — with size 0
+// meaning "not found". An INSERT is performed silently: the server sends
+// no response, exactly as in the paper.
+//
+// Integers are little-endian. Keys are 60-bit (high bits must be zero).
+package protocol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Op codes.
+const (
+	// OpLookup asks for the value under a key.
+	OpLookup uint8 = 1
+	// OpInsert stores a value under a key, silently.
+	OpInsert uint8 = 2
+)
+
+// MaxValueSize bounds a value (and therefore a frame); larger sizes are
+// treated as protocol errors so a corrupt stream cannot force huge
+// allocations.
+const MaxValueSize = 16 << 20
+
+// Request is one parsed client request.
+type Request struct {
+	Op    uint8
+	Key   uint64
+	Value []byte // INSERT payload; nil for LOOKUP
+}
+
+// WriteRequest serializes r. The caller flushes the writer when its batch
+// is complete (batching is the point of the protocol).
+func WriteRequest(w *bufio.Writer, r Request) error {
+	var hdr [13]byte
+	hdr[0] = r.Op
+	binary.LittleEndian.PutUint64(hdr[1:], r.Key)
+	switch r.Op {
+	case OpLookup:
+		_, err := w.Write(hdr[:9])
+		return err
+	case OpInsert:
+		if len(r.Value) > MaxValueSize {
+			return fmt.Errorf("protocol: value of %d bytes exceeds maximum %d", len(r.Value), MaxValueSize)
+		}
+		binary.LittleEndian.PutUint32(hdr[9:], uint32(len(r.Value)))
+		if _, err := w.Write(hdr[:13]); err != nil {
+			return err
+		}
+		_, err := w.Write(r.Value)
+		return err
+	default:
+		return fmt.Errorf("protocol: unknown op %d", r.Op)
+	}
+}
+
+// ReadRequest parses one request. The returned Value (for INSERT) is a
+// fresh copy owned by the caller. io.EOF is returned cleanly only at a
+// message boundary.
+func ReadRequest(r *bufio.Reader) (Request, error) {
+	op, err := r.ReadByte()
+	if err != nil {
+		return Request{}, err // io.EOF at boundary is clean shutdown
+	}
+	var keyBuf [8]byte
+	if _, err := io.ReadFull(r, keyBuf[:]); err != nil {
+		return Request{}, unexpected(err)
+	}
+	req := Request{Op: op, Key: binary.LittleEndian.Uint64(keyBuf[:])}
+	switch op {
+	case OpLookup:
+		return req, nil
+	case OpInsert:
+		var szBuf [4]byte
+		if _, err := io.ReadFull(r, szBuf[:]); err != nil {
+			return Request{}, unexpected(err)
+		}
+		size := binary.LittleEndian.Uint32(szBuf[:])
+		if size > MaxValueSize {
+			return Request{}, fmt.Errorf("protocol: value size %d exceeds maximum %d", size, MaxValueSize)
+		}
+		req.Value = make([]byte, size)
+		if _, err := io.ReadFull(r, req.Value); err != nil {
+			return Request{}, unexpected(err)
+		}
+		return req, nil
+	default:
+		return Request{}, fmt.Errorf("protocol: unknown op %d", op)
+	}
+}
+
+// WriteLookupResponse serializes a LOOKUP response; found=false (or an
+// empty value with found=true is indistinguishable on the wire, as in the
+// paper: "a size field of zero").
+func WriteLookupResponse(w *bufio.Writer, value []byte, found bool) error {
+	var szBuf [4]byte
+	if !found {
+		_, err := w.Write(szBuf[:])
+		return err
+	}
+	if len(value) > MaxValueSize {
+		return fmt.Errorf("protocol: value of %d bytes exceeds maximum %d", len(value), MaxValueSize)
+	}
+	binary.LittleEndian.PutUint32(szBuf[:], uint32(len(value)))
+	if _, err := w.Write(szBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(value)
+	return err
+}
+
+// ReadLookupResponse parses one LOOKUP response, appending the value to
+// dst. found is false for a zero-size response.
+func ReadLookupResponse(r *bufio.Reader, dst []byte) (out []byte, found bool, err error) {
+	var szBuf [4]byte
+	if _, err := io.ReadFull(r, szBuf[:]); err != nil {
+		return dst, false, err
+	}
+	size := binary.LittleEndian.Uint32(szBuf[:])
+	if size == 0 {
+		return dst, false, nil
+	}
+	if size > MaxValueSize {
+		return dst, false, fmt.Errorf("protocol: response size %d exceeds maximum %d", size, MaxValueSize)
+	}
+	n := len(dst)
+	dst = append(dst, make([]byte, size)...)
+	if _, err := io.ReadFull(r, dst[n:]); err != nil {
+		return dst[:n], false, unexpected(err)
+	}
+	return dst, true, nil
+}
+
+// unexpected converts a mid-frame EOF into io.ErrUnexpectedEOF so callers
+// can distinguish clean shutdown from truncation.
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

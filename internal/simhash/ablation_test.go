@@ -1,0 +1,76 @@
+package simhash
+
+import (
+	"testing"
+
+	"cphash/internal/topology"
+	"cphash/internal/workload"
+)
+
+// TestAMDMachineSimilarResults: the paper ran CPHASH on a 48-core AMD
+// machine too and reports "performance results … are similar"; the model
+// must show a comparable win there.
+func TestAMDMachineSimilarResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AMD comparison takes a few seconds")
+	}
+	m := topology.AMDMachine()
+	spec := workload.Default(1 << 20)
+	cp := MustCPHash(CPConfig{Machine: m, Spec: spec, LRU: true})
+	cp.Preload()
+	rcp := cp.Run(3, 6)
+	lh := MustLockHash(LockConfig{Machine: m, Spec: spec, LRU: true})
+	lh.Preload()
+	rlh := lh.Run(12, 24)
+	ratio := rcp.ThroughputQPS() / rlh.ThroughputQPS()
+	t.Logf("AMD ratio = %.2f", ratio)
+	if ratio < 1.2 || ratio > 2.8 {
+		t.Errorf("AMD ratio %.2f outside the 'similar to Intel' band", ratio)
+	}
+}
+
+// TestBatchSizePackingTrend: larger client batches pack more messages per
+// cache line, so per-op send misses fall monotonically-ish and throughput
+// rises — §3.4's second benefit, measured.
+func TestBatchSizePackingTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch sweep takes a few seconds")
+	}
+	var prevQPS, prevSend float64
+	first := true
+	for _, batch := range []int{16, 128, 1024} {
+		cp := MustCPHash(CPConfig{
+			Spec: workload.Default(1 << 20), LRU: true, OpsPerClientPerRound: batch,
+		})
+		cp.Preload()
+		r := cp.Run(2, 4)
+		send := r.TagPerOp(r.ClientThreads, TagSend).L3Miss
+		qps := r.ThroughputQPS()
+		t.Logf("batch %4d: %.3g q/s, send L3/op %.2f", batch, qps, send)
+		if !first {
+			if qps <= prevQPS {
+				t.Errorf("throughput did not rise with batch (%.3g → %.3g)", prevQPS, qps)
+			}
+			if send >= prevSend {
+				t.Errorf("send misses did not fall with batch (%.2f → %.2f)", prevSend, send)
+			}
+		}
+		prevQPS, prevSend = qps, send
+		first = false
+	}
+}
+
+// TestHostMachineRuns: the model also accepts arbitrary host-like
+// topologies (used by examples/analysis flags).
+func TestHostMachineRuns(t *testing.T) {
+	m := topology.Machine{
+		Sockets: 1, CoresPerSocket: 4, ThreadsPerCore: 2,
+		L2Size: 256 << 10, L3Size: 8 << 20, ClockHz: 3e9,
+	}
+	cp := MustCPHash(CPConfig{Machine: m, Spec: workload.Default(64 << 10), LRU: true, OpsPerClientPerRound: 64})
+	cp.Preload()
+	r := cp.Run(1, 2)
+	if r.Ops == 0 || r.ThroughputQPS() <= 0 {
+		t.Fatalf("host-machine run degenerate: %+v", r)
+	}
+}

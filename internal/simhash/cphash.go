@@ -1,0 +1,330 @@
+package simhash
+
+import (
+	"fmt"
+
+	"cphash/internal/cachesim"
+	"cphash/internal/partition"
+	"cphash/internal/topology"
+	"cphash/internal/workload"
+)
+
+// CPConfig configures a simulated CPHASH run.
+type CPConfig struct {
+	// Machine is the simulated topology (default: the paper's machine).
+	Machine topology.Machine
+	// Latency overrides the latency model (zero value: DefaultLatency).
+	Latency *cachesim.LatencyModel
+	// ClientThreads and ServerThreads list the hardware threads running
+	// client and server loops. The paper's main configuration puts the
+	// client on hardware thread 0 and the server on hardware thread 1 of
+	// each of the 80 cores; PaperThreads builds exactly that split.
+	ClientThreads []int
+	ServerThreads []int
+	// Workload parameters (paper §6 defaults via workload.Default).
+	Spec workload.Spec
+	// CapacityBytes is the table capacity (≤ working set; 0 = working set).
+	CapacityBytes int
+	// LRU selects the eviction policy.
+	LRU bool
+	// RingCap is the per-pair ring capacity in messages (default 1024).
+	RingCap int
+	// OpsPerClientPerRound is the client batch size per simulation round
+	// (default 8; the batch-size ablation varies it).
+	OpsPerClientPerRound int
+}
+
+// PaperThreads returns the paper's thread placement on machine m for the
+// CPHASH microbenchmark: for every core, hardware thread 0 is a client and
+// hardware thread 1 is a server (§6.1). On machines without SMT it splits
+// cores in half: even cores clients, odd cores servers.
+func PaperThreads(m topology.Machine) (clients, servers []int) {
+	if m.ThreadsPerCore >= 2 {
+		for c := 0; c < m.Cores(); c++ {
+			clients = append(clients, c*m.ThreadsPerCore)
+			servers = append(servers, c*m.ThreadsPerCore+1)
+		}
+		return clients, servers
+	}
+	for c := 0; c < m.Cores(); c++ {
+		if c%2 == 0 {
+			clients = append(clients, c)
+		} else {
+			servers = append(servers, c)
+		}
+	}
+	return clients, servers
+}
+
+// cpPendingOp is a request awaiting its reply in FIFO order.
+type cpPendingOp struct {
+	kind workload.OpKind
+	key  uint64
+	elem *simElement // filled in when the server executes it
+	hit  bool
+}
+
+// CPHashSim drives the CPHASH model over the cache simulator.
+type CPHashSim struct {
+	cfg  CPConfig
+	sim  *cachesim.Sim
+	gens []*workload.Generator
+
+	parts []*simPartition
+	// rings[c][s]
+	req  [][]*simRing
+	resp [][]*simRing
+	// pending[c][s] FIFO
+	pending [][][]cpPendingOp
+	// followups[c][s]: header addresses of Ready/Decref messages in flight.
+	followups [][][]uint64
+
+	ops    int64
+	hits   int64
+	misses int64
+}
+
+// NewCPHash builds the simulated table and fabric.
+func NewCPHash(cfg CPConfig) (*CPHashSim, error) {
+	if cfg.Machine.Sockets == 0 {
+		cfg.Machine = topology.PaperMachine()
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.ClientThreads) == 0 || len(cfg.ServerThreads) == 0 {
+		cfg.ClientThreads, cfg.ServerThreads = PaperThreads(cfg.Machine)
+	}
+	if cfg.RingCap == 0 {
+		// 128 messages per pair keeps the full fabric's footprint
+		// (80×80 pairs × ~52 lines ≈ 20 MB) well inside the paper
+		// machine's 240 MB of L3 while still holding several cache lines
+		// of batched messages per pair.
+		cfg.RingCap = 128
+	}
+	if cfg.OpsPerClientPerRound == 0 {
+		// The paper's clients keep ~1,000 requests in flight (§6.1); one
+		// simulation round is one such pipeline batch.
+		cfg.OpsPerClientPerRound = 512
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CapacityBytes == 0 {
+		cfg.CapacityBytes = cfg.Spec.WorkingSetBytes
+	}
+	lat := cachesim.DefaultLatency()
+	if cfg.Latency != nil {
+		lat = *cfg.Latency
+	}
+	s := &CPHashSim{cfg: cfg, sim: cachesim.New(cfg.Machine, lat)}
+	nServers := len(cfg.ServerThreads)
+	nClients := len(cfg.ClientThreads)
+	// The paper counts capacity in value bytes ("amount of memory required
+	// to store all values", §6); headers live outside that budget.
+	capElems := cfg.CapacityBytes / cfg.Spec.ValueSize / nServers
+	if capElems < 1 {
+		capElems = 1
+	}
+	for i := 0; i < nServers; i++ {
+		s.parts = append(s.parts, newSimPartition(s.sim, capElems, cfg.LRU, uint64(i)*2654435761+7))
+	}
+	s.req = make([][]*simRing, nClients)
+	s.resp = make([][]*simRing, nClients)
+	s.pending = make([][][]cpPendingOp, nClients)
+	s.followups = make([][][]uint64, nClients)
+	for c := 0; c < nClients; c++ {
+		s.req[c] = make([]*simRing, nServers)
+		s.resp[c] = make([]*simRing, nServers)
+		s.pending[c] = make([][]cpPendingOp, nServers)
+		s.followups[c] = make([][]uint64, nServers)
+		for p := 0; p < nServers; p++ {
+			s.req[c][p] = newSimRing(s.sim, cfg.RingCap, 4)  // 16-byte requests
+			s.resp[c][p] = newSimRing(s.sim, cfg.RingCap, 8) // 8-byte replies
+		}
+		spec := cfg.Spec
+		spec.Seed = cfg.Spec.Seed + uint64(c)*0x9e3779b9 + 1
+		g, err := workload.NewGenerator(spec)
+		if err != nil {
+			return nil, err
+		}
+		s.gens = append(s.gens, g)
+	}
+	return s, nil
+}
+
+// MustCPHash is NewCPHash that panics on error.
+func MustCPHash(cfg CPConfig) *CPHashSim {
+	s, err := NewCPHash(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *CPHashSim) serverOf(key uint64) int {
+	return int(partition.Mix64(key) >> 32 % uint64(len(s.parts)))
+}
+
+// Preload fills the table to its steady-state occupancy: every working-set
+// key (up to capacity) is inserted without message traffic, with the
+// partition lines touched by the owning server thread so its cache reaches
+// the steady state the paper measures in. Callers still run a few warm
+// rounds before measuring so ring lines and value lines settle.
+func (s *CPHashSim) Preload() {
+	n := s.cfg.Spec.NumKeys()
+	for i := 0; i < n; i++ {
+		key := workload.KeyOfIndex(uint64(i))
+		p := s.serverOf(key)
+		tp := s.cfg.ServerThreads[p]
+		e := s.parts[p].preloadInsert(key)
+		s.sim.Access(tp, s.parts[p].bucketLine(key), true, TagExec)
+		s.sim.Access(tp, e.headerAdr, true, TagExec)
+		s.sim.Access(tp, s.parts[p].meta, true, TagExec)
+	}
+	s.sim.EndRound(int64(n))
+	s.sim.ResetStats()
+}
+
+// Round simulates one batch round: clients issue OpsPerClientPerRound
+// operations each, servers execute them, clients consume replies and send
+// the follow-up Ready/Decref messages, servers drain those.
+func (s *CPHashSim) Round() {
+	batch := s.cfg.OpsPerClientPerRound
+	// Phase A: clients issue requests.
+	for c, tc := range s.cfg.ClientThreads {
+		touched := map[int]bool{}
+		for i := 0; i < batch; i++ {
+			kind, key := s.gens[c].Next()
+			p := s.serverOf(key)
+			s.req[c][p].produce(tc, TagSend)
+			s.sim.Idle(tc, clientOpCompute, TagSend)
+			s.pending[c][p] = append(s.pending[c][p], cpPendingOp{kind: kind, key: key})
+			touched[p] = true
+		}
+		for p := range touched {
+			s.req[c][p].flush(tc, TagSend)
+		}
+	}
+	// Phase B: servers drain request rings and execute.
+	for p, tp := range s.cfg.ServerThreads {
+		part := s.parts[p]
+		for c := range s.cfg.ClientThreads {
+			r := s.req[c][p]
+			if r.pending() == 0 {
+				continue
+			}
+			r.consumeBatchStart(tp, TagRecv)
+			n := r.pending()
+			for i := 0; i < n; i++ {
+				r.consume(tp, TagRecv)
+				s.sim.Idle(tp, serverMsgCompute, TagExec)
+				q := &s.pending[c][p][i]
+				switch q.kind {
+				case workload.Lookup:
+					q.elem = part.lookup(tp, q.key, TagExec, TagExec)
+					q.hit = q.elem != nil
+				case workload.Insert:
+					q.elem = part.insert(tp, q.key, TagExec, TagExec)
+					q.hit = q.elem != nil
+				}
+				s.resp[c][p].produce(tp, TagSendResp)
+			}
+			s.resp[c][p].flush(tp, TagSendResp)
+		}
+	}
+	// Phase C: clients consume replies, touch data, send Ready/Decref.
+	for c, tc := range s.cfg.ClientThreads {
+		for p := range s.parts {
+			q := s.pending[c][p]
+			if len(q) == 0 {
+				continue
+			}
+			r := s.resp[c][p]
+			r.consumeBatchStart(tc, TagRecvResp)
+			followups := 0
+			for i := range q {
+				r.consume(tc, TagRecvResp)
+				op := &q[i]
+				s.ops++
+				switch {
+				case op.kind == workload.Lookup && op.hit:
+					s.hits++
+					// Read the value, then release the reference.
+					s.sim.Access(tc, op.elem.valueAdr, false, TagData)
+					s.req[c][p].produce(tc, TagSend) // Decref
+					s.followups[c][p] = append(s.followups[c][p], op.elem.headerAdr)
+					followups++
+				case op.kind == workload.Lookup:
+					s.misses++
+				case op.kind == workload.Insert && op.hit:
+					// Copy the value in the client, publish with Ready.
+					s.sim.Access(tc, op.elem.valueAdr, true, TagData)
+					s.req[c][p].produce(tc, TagSend) // Ready
+					s.followups[c][p] = append(s.followups[c][p], op.elem.headerAdr)
+					followups++
+				}
+			}
+			if followups > 0 {
+				s.req[c][p].flush(tc, TagSend)
+			}
+			s.pending[c][p] = q[:0]
+		}
+	}
+	// Phase D: servers drain Ready/Decref messages (header touch, local).
+	for p, tp := range s.cfg.ServerThreads {
+		for c := range s.cfg.ClientThreads {
+			r := s.req[c][p]
+			n := r.pending()
+			if n == 0 {
+				continue
+			}
+			r.consumeBatchStart(tp, TagRecv)
+			for i := 0; i < n; i++ {
+				r.consume(tp, TagRecv)
+				s.sim.Idle(tp, serverMsgCompute/2, TagExec)
+				s.sim.Access(tp, s.followups[c][p][i], true, TagExec)
+			}
+			s.followups[c][p] = s.followups[c][p][:0]
+		}
+	}
+	s.sim.EndRound(int64(len(s.cfg.ClientThreads)) * int64(batch))
+}
+
+// Run executes warm-up rounds (discarded) then measured rounds, returning
+// the result.
+func (s *CPHashSim) Run(warmRounds, rounds int) Result {
+	for i := 0; i < warmRounds; i++ {
+		s.Round()
+	}
+	s.sim.ResetStats()
+	s.ops, s.hits, s.misses = 0, 0, 0
+	for i := 0; i < rounds; i++ {
+		s.Round()
+	}
+	return Result{
+		Name:          "cphash",
+		Sim:           s.sim,
+		Machine:       s.cfg.Machine,
+		Ops:           s.ops,
+		Hits:          s.hits,
+		ClientThreads: append([]int(nil), s.cfg.ClientThreads...),
+		ServerThreads: append([]int(nil), s.cfg.ServerThreads...),
+	}
+}
+
+// Elements returns the total resident element count (for tests).
+func (s *CPHashSim) Elements() int {
+	n := 0
+	for _, p := range s.parts {
+		n += p.Len()
+	}
+	return n
+}
+
+// String describes the configuration.
+func (s *CPHashSim) String() string {
+	return fmt.Sprintf("cphash-sim: %d clients, %d servers, ws=%d, cap=%d",
+		len(s.cfg.ClientThreads), len(s.cfg.ServerThreads),
+		s.cfg.Spec.WorkingSetBytes, s.cfg.CapacityBytes)
+}

@@ -1,0 +1,28 @@
+package simhash
+
+import (
+	"testing"
+
+	"cphash/internal/topology"
+	"cphash/internal/workload"
+)
+
+func TestDbgScaledWS(t *testing.T) {
+	m := topology.PaperMachine().ScaleCaches(16)
+	for _, ws := range []int{256 << 10, 1 << 20, 4 << 20} {
+		spec := workload.Default(ws)
+		c := MustCPHash(CPConfig{Machine: m, Spec: spec, LRU: true, RingCap: 64})
+		c.Preload()
+		r := c.Run(3, 6)
+		l := MustLockHash(LockConfig{Machine: m, Spec: spec, LRU: true})
+		l.Preload()
+		rl := l.Run(12, 24)
+		t.Logf("ws=%d client %+v", ws, r.ClientPerOp())
+		t.Logf("ws=%d server %+v", ws, r.ServerPerOp())
+		t.Logf("ws=%d lockhash %+v", ws, rl.ClientPerOp())
+		t.Logf("ws=%d cp wall=%d dramBound=%d dram=%d | lh wall=%d dramBound=%d dram=%d",
+			ws, r.WallCycles(), r.Sim.DRAMBoundCycles(), r.Sim.DRAMFetches(),
+			rl.WallCycles(), rl.Sim.DRAMBoundCycles(), rl.Sim.DRAMFetches())
+		t.Logf("ws=%d cp qps=%.3g lh qps=%.3g", ws, r.ThroughputQPS(), rl.ThroughputQPS())
+	}
+}

@@ -1,0 +1,223 @@
+package simhash
+
+import (
+	"fmt"
+
+	"cphash/internal/cachesim"
+	"cphash/internal/partition"
+	"cphash/internal/topology"
+	"cphash/internal/workload"
+)
+
+// lockCSCycles is the queueing-model estimate of one critical section's
+// duration: the accesses inside it (several contended misses on shared
+// data) plus compute — about the measured per-op cost minus the lock
+// acquire itself. Each same-round acquisition of the same partition lock
+// beyond the first waits this long per predecessor — a deterministic
+// stand-in for spinning. This is the mechanism behind the paper's
+// observation that LOCKHASH collapses when the distinct-key count
+// approaches the partition count (Figure 5's left edge).
+const lockCSCycles = 2000
+
+// LockConfig configures a simulated LOCKHASH run.
+type LockConfig struct {
+	// Machine is the simulated topology (default: the paper's machine).
+	Machine topology.Machine
+	// Latency overrides the latency model (zero value: DefaultLatency).
+	Latency *cachesim.LatencyModel
+	// Threads lists the hardware threads issuing operations. The paper
+	// uses all 160. Empty = all of them.
+	Threads []int
+	// Partitions is the lock-partition count (default 4,096, the paper's
+	// experimentally optimal value).
+	Partitions int
+	// Spec is the workload (paper §6 defaults via workload.Default).
+	Spec workload.Spec
+	// CapacityBytes is the table capacity (0 = working set).
+	CapacityBytes int
+	// LRU selects the eviction policy.
+	LRU bool
+	// OpsPerThreadPerRound is the per-round batch (default 8).
+	OpsPerThreadPerRound int
+}
+
+// LockHashSim drives the LOCKHASH model over the cache simulator.
+type LockHashSim struct {
+	cfg   LockConfig
+	sim   *cachesim.Sim
+	gens  []*workload.Generator
+	parts []*simPartition
+	locks []uint64 // lock line address per partition
+
+	// acquiresThisRound[p] models lock queueing within a round.
+	acquiresThisRound []int
+
+	ops  int64
+	hits int64
+}
+
+// NewLockHash builds the simulated table.
+func NewLockHash(cfg LockConfig) (*LockHashSim, error) {
+	if cfg.Machine.Sockets == 0 {
+		cfg.Machine = topology.PaperMachine()
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Threads) == 0 {
+		for t := 0; t < cfg.Machine.Threads(); t++ {
+			cfg.Threads = append(cfg.Threads, t)
+		}
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = 4096
+	}
+	if cfg.OpsPerThreadPerRound == 0 {
+		cfg.OpsPerThreadPerRound = 8
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CapacityBytes == 0 {
+		cfg.CapacityBytes = cfg.Spec.WorkingSetBytes
+	}
+	lat := cachesim.DefaultLatency()
+	if cfg.Latency != nil {
+		lat = *cfg.Latency
+	}
+	s := &LockHashSim{cfg: cfg, sim: cachesim.New(cfg.Machine, lat)}
+	// Capacity in value bytes, as the paper counts it (§6).
+	capElems := cfg.CapacityBytes / cfg.Spec.ValueSize / cfg.Partitions
+	if capElems < 1 {
+		capElems = 1
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		s.parts = append(s.parts, newSimPartition(s.sim, capElems, cfg.LRU, uint64(i)*2654435761+13))
+		s.locks = append(s.locks, s.sim.AllocLines(1))
+	}
+	s.acquiresThisRound = make([]int, cfg.Partitions)
+	for i := range cfg.Threads {
+		spec := cfg.Spec
+		spec.Seed = cfg.Spec.Seed + uint64(i)*0x9e3779b9 + 101
+		g, err := workload.NewGenerator(spec)
+		if err != nil {
+			return nil, err
+		}
+		s.gens = append(s.gens, g)
+	}
+	return s, nil
+}
+
+// MustLockHash is NewLockHash that panics on error.
+func MustLockHash(cfg LockConfig) *LockHashSim {
+	s, err := NewLockHash(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *LockHashSim) partOf(key uint64) int {
+	return int(partition.Mix64(key) >> 32 % uint64(len(s.parts)))
+}
+
+// Round simulates one batch round: every thread performs its batch of
+// operations directly on the locked partitions.
+func (s *LockHashSim) Round() {
+	batch := s.cfg.OpsPerThreadPerRound
+	for ti, t := range s.cfg.Threads {
+		for i := 0; i < batch; i++ {
+			kind, key := s.gens[ti].Next()
+			p := s.partOf(key)
+			part := s.parts[p]
+
+			// Spinlock acquire: one write (atomic exchange) on the lock
+			// line, plus deterministic queueing against same-round
+			// acquirers of the same lock.
+			s.sim.Access(t, s.locks[p], true, TagLock)
+			if n := s.acquiresThisRound[p]; n > 0 {
+				s.sim.Idle(t, int64(n)*lockCSCycles, TagLock)
+			}
+			s.acquiresThisRound[p]++
+
+			switch kind {
+			case workload.Lookup:
+				e := part.lookup(t, key, TagTraverse, TagTraverse)
+				s.ops++
+				if e != nil {
+					s.hits++
+					// The client reads the value itself (no data row in
+					// the paper's LOCKHASH breakdown; it folds into
+					// traversal).
+					s.sim.Access(t, e.valueAdr, false, TagTraverse)
+				}
+			case workload.Insert:
+				e := part.insert(t, key, TagInsert, TagInsert)
+				s.ops++
+				if e != nil {
+					s.sim.Access(t, e.valueAdr, true, TagInsert)
+				}
+			}
+			s.sim.Idle(t, lockCSCompute, TagTraverse)
+			// Unlock: a store to the line we now hold modified (hit).
+			s.sim.Access(t, s.locks[p], true, TagLock)
+		}
+	}
+	for i := range s.acquiresThisRound {
+		s.acquiresThisRound[i] = 0
+	}
+	s.sim.EndRound(int64(len(s.cfg.Threads)) * int64(batch))
+}
+
+// Preload fills the table to steady-state occupancy without lock or
+// message traffic; partition lines are touched by a rotating subset of the
+// client threads, approximating LOCKHASH's steady state in which shared
+// structures are scattered across all caches.
+func (s *LockHashSim) Preload() {
+	n := s.cfg.Spec.NumKeys()
+	for i := 0; i < n; i++ {
+		key := workload.KeyOfIndex(uint64(i))
+		p := s.partOf(key)
+		t := s.cfg.Threads[i%len(s.cfg.Threads)]
+		e := s.parts[p].preloadInsert(key)
+		s.sim.Access(t, s.parts[p].bucketLine(key), true, TagInsert)
+		s.sim.Access(t, e.headerAdr, true, TagInsert)
+	}
+	s.sim.EndRound(int64(n))
+	s.sim.ResetStats()
+}
+
+// Run executes warm-up rounds (discarded) then measured rounds.
+func (s *LockHashSim) Run(warmRounds, rounds int) Result {
+	for i := 0; i < warmRounds; i++ {
+		s.Round()
+	}
+	s.sim.ResetStats()
+	s.ops, s.hits = 0, 0
+	for i := 0; i < rounds; i++ {
+		s.Round()
+	}
+	return Result{
+		Name:          "lockhash",
+		Sim:           s.sim,
+		Machine:       s.cfg.Machine,
+		Ops:           s.ops,
+		Hits:          s.hits,
+		ClientThreads: append([]int(nil), s.cfg.Threads...),
+	}
+}
+
+// Elements returns the total resident element count (for tests).
+func (s *LockHashSim) Elements() int {
+	n := 0
+	for _, p := range s.parts {
+		n += p.Len()
+	}
+	return n
+}
+
+// String describes the configuration.
+func (s *LockHashSim) String() string {
+	return fmt.Sprintf("lockhash-sim: %d threads, %d partitions, ws=%d, cap=%d",
+		len(s.cfg.Threads), len(s.parts), s.cfg.Spec.WorkingSetBytes, s.cfg.CapacityBytes)
+}

@@ -1,0 +1,411 @@
+// Package simhash models CPHASH and LOCKHASH as memory-access traces over
+// the cachesim machine. This is the reproduction vehicle for the paper's
+// hardware-counter experiments (Figures 6, 7, 11, 12 and the simulated
+// throughput sweeps): the real Go implementation cannot pin goroutines to
+// the cores of an 80-core machine we do not have, but the *cache-line
+// movement* of both designs is a structural property of their access
+// patterns, which these models express faithfully:
+//
+//   - a partition owns a metadata line (LRU head, allocator state), a
+//     bucket-pointer array (8 pointers per line), one header line per
+//     element, and a value heap (values packed 8-per-line for the 8-byte
+//     microbenchmark values, as a real size-class allocator would);
+//   - LOCKHASH adds one lock line per partition; every operation acquires
+//     it, walks the bucket chain, updates LRU links, and (for inserts)
+//     allocates/evicts — all from the *requesting* thread's cache;
+//   - CPHASH sends 16-byte request messages (4 per ring line) and 8-byte
+//     replies (8 per line) over simulated SPSC rings with write/read index
+//     lines, and the *server* thread performs the partition accesses, so
+//     partition state stays in the server's cache and only ring lines and
+//     value lines move.
+//
+// Both models drive the identical simPartition code, mirroring how the real
+// implementations share internal/partition (paper §5).
+package simhash
+
+import (
+	"cphash/internal/cachesim"
+	"cphash/internal/partition"
+)
+
+// Tags for per-function miss breakdowns (Figure 7 rows).
+const (
+	// LOCKHASH rows.
+	TagLock     cachesim.Tag = "spinlock acquire"
+	TagTraverse cachesim.Tag = "hash table traversal"
+	TagInsert   cachesim.Tag = "hash table insert"
+	TagData     cachesim.Tag = "access data"
+
+	// CPHASH client rows.
+	TagSend     cachesim.Tag = "send messages"
+	TagRecvResp cachesim.Tag = "receive responses"
+
+	// CPHASH server rows.
+	TagRecv     cachesim.Tag = "receive messages"
+	TagSendResp cachesim.Tag = "send responses"
+	TagExec     cachesim.Tag = "execute message"
+)
+
+// Compute-cost constants (cycles) for work that is not a memory access.
+// They are calibrated once against Figure 6 (see EXPERIMENTS.md): the paper
+// measures 336 cycles/message of server handling and 1,126 cycles/op on the
+// client including waiting.
+const (
+	clientOpCompute  = 60  // generate op, format message, bookkeeping
+	serverMsgCompute = 90  // decode, hash, compare keys, list updates
+	lockCSCompute    = 120 // LOCKHASH critical-section bookkeeping
+)
+
+// simElement tracks the simulated addresses backing one stored element.
+type simElement struct {
+	key       uint64
+	headerAdr uint64
+	valueAdr  uint64 // 8-byte slot in the value heap
+	valueLen  int
+	// LRU links (indices into part.elems by key are avoided; plain
+	// pointers keep it O(1)).
+	prev, next *simElement
+}
+
+// simPartition is the address-level model of one partition store.
+type simPartition struct {
+	sim  *cachesim.Sim
+	meta uint64 // metadata line: LRU head/tail, allocator freelist head
+
+	bucketBase uint64
+	nbuckets   uint64
+
+	elems map[uint64]*simElement
+
+	// LRU list (head = MRU). Nil under random eviction.
+	head, tail *simElement
+	lruOn      bool
+
+	// capacity accounting, in elements (the microbenchmark's fixed 8-byte
+	// values make byte capacity a pure element count).
+	capElems int
+
+	// freelists of recyclable simulated addresses.
+	freeHeaders []uint64
+	freeValues  []uint64
+
+	// rng state for random eviction.
+	rng uint64
+	// keys in insertion order for O(1) random choice (swap-remove).
+	keyList []uint64
+	keyPos  map[uint64]int
+
+	// evictions counts total evictions (for sanity checks).
+	evictions int64
+}
+
+// newSimPartition models a partition with room for capElems 8-byte values.
+func newSimPartition(sim *cachesim.Sim, capElems int, lru bool, seed uint64) *simPartition {
+	if capElems < 1 {
+		capElems = 1
+	}
+	nb := uint64(1)
+	for nb < uint64(capElems) {
+		nb <<= 1
+	}
+	p := &simPartition{
+		sim:        sim,
+		meta:       sim.AllocLines(1),
+		bucketBase: sim.Alloc(int(nb) * 8),
+		nbuckets:   nb,
+		elems:      make(map[uint64]*simElement),
+		lruOn:      lru,
+		capElems:   capElems,
+		rng:        seed | 1,
+		keyPos:     map[uint64]int{},
+	}
+	return p
+}
+
+func (p *simPartition) bucketLine(key uint64) uint64 {
+	b := partition.Mix64(key) & (p.nbuckets - 1)
+	return p.bucketBase + (b/8)*cachesim.LineSize
+}
+
+// allocElement reserves simulated addresses for a new element. Value slots
+// are carved 8 to a line from per-partition value-heap lines, as a real
+// size-class allocator would pack the microbenchmark's 8-byte values.
+func (p *simPartition) allocElement(key uint64, size int) *simElement {
+	e := &simElement{key: key, valueLen: size}
+	if n := len(p.freeHeaders); n > 0 {
+		e.headerAdr = p.freeHeaders[n-1]
+		p.freeHeaders = p.freeHeaders[:n-1]
+	} else {
+		e.headerAdr = p.sim.AllocLines(1)
+	}
+	if len(p.freeValues) == 0 {
+		line := p.sim.AllocLines(1)
+		for s := 7; s >= 0; s-- {
+			p.freeValues = append(p.freeValues, line+uint64(s*8))
+		}
+	}
+	n := len(p.freeValues)
+	e.valueAdr = p.freeValues[n-1]
+	p.freeValues = p.freeValues[:n-1]
+	return e
+}
+
+func (p *simPartition) freeElement(e *simElement) {
+	p.freeHeaders = append(p.freeHeaders, e.headerAdr)
+	p.freeValues = append(p.freeValues, e.valueAdr)
+}
+
+// --- LRU maintenance (access-free helpers; callers charge the accesses) ---
+
+func (p *simPartition) lruPush(e *simElement) {
+	if !p.lruOn {
+		return
+	}
+	e.prev = nil
+	e.next = p.head
+	if p.head != nil {
+		p.head.prev = e
+	}
+	p.head = e
+	if p.tail == nil {
+		p.tail = e
+	}
+}
+
+func (p *simPartition) lruRemove(e *simElement) {
+	if !p.lruOn {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if p.head == e {
+		p.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if p.tail == e {
+		p.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (p *simPartition) trackKey(key uint64) {
+	p.keyPos[key] = len(p.keyList)
+	p.keyList = append(p.keyList, key)
+}
+
+func (p *simPartition) untrackKey(key uint64) {
+	i, ok := p.keyPos[key]
+	if !ok {
+		return
+	}
+	last := len(p.keyList) - 1
+	p.keyList[i] = p.keyList[last]
+	p.keyPos[p.keyList[i]] = i
+	p.keyList = p.keyList[:last]
+	delete(p.keyPos, key)
+}
+
+func (p *simPartition) randomKey() (uint64, bool) {
+	if len(p.keyList) == 0 {
+		return 0, false
+	}
+	x := p.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	p.rng = x
+	return p.keyList[x%uint64(len(p.keyList))], true
+}
+
+// lookup performs the partition side of a lookup as thread t, charging
+// accesses under the given tags. It returns the element on hit.
+//
+// Access pattern: read the bucket-pointer line; read the header of each
+// chained element until the key matches (chains average ~1 element in the
+// paper's configuration); on a hit under LRU, write the element header
+// (link update), the old MRU's header, and the metadata line (head
+// pointer).
+func (p *simPartition) lookup(t int, key uint64, tagTraverse, tagLRU cachesim.Tag) *simElement {
+	p.sim.Access(t, p.bucketLine(key), false, tagTraverse)
+	e := p.elems[key]
+	if e != nil {
+		p.sim.Access(t, e.headerAdr, false, tagTraverse)
+	}
+	if e == nil {
+		return nil
+	}
+	if p.lruOn && p.head != e {
+		p.sim.Access(t, e.headerAdr, true, tagLRU)
+		p.sim.Access(t, p.meta, true, tagLRU)
+		p.lruRemove(e)
+		p.lruPush(e)
+	}
+	return e
+}
+
+// preloadInsert inserts without charging any accesses; used to reach the
+// steady-state occupancy before measurement (callers then warm caches with
+// real rounds).
+func (p *simPartition) preloadInsert(key uint64) *simElement {
+	if old := p.elems[key]; old != nil {
+		p.lruRemove(old)
+		p.untrackKey(key)
+		delete(p.elems, key)
+		p.freeElement(old)
+	}
+	for len(p.elems) >= p.capElems {
+		victim := p.tail
+		if victim == nil {
+			if k, ok := p.randomKey(); ok {
+				victim = p.elems[k]
+			}
+		}
+		if victim == nil {
+			break
+		}
+		p.lruRemove(victim)
+		p.untrackKey(victim.key)
+		delete(p.elems, victim.key)
+		p.freeElement(victim)
+	}
+	e := p.allocElement(key, 8)
+	p.lruPush(e)
+	p.trackKey(key)
+	p.elems[key] = e
+	return e
+}
+
+// insert performs the partition side of an insert as thread t: duplicate
+// removal, eviction to capacity, allocation, linking. Returns the new
+// element; the *value write is not charged here* — in CPHASH the client
+// performs it, in LOCKHASH the same thread does (callers charge it).
+func (p *simPartition) insert(t int, key uint64, tagIns, tagLRU cachesim.Tag) *simElement {
+	p.sim.Access(t, p.bucketLine(key), false, tagIns)
+	if old := p.elems[key]; old != nil {
+		// Unlink duplicate: header write + bucket write + LRU unlink.
+		p.sim.Access(t, old.headerAdr, true, tagIns)
+		p.sim.Access(t, p.bucketLine(key), true, tagIns)
+		if p.lruOn {
+			p.sim.Access(t, p.meta, true, tagLRU)
+		}
+		p.lruRemove(old)
+		p.untrackKey(key)
+		delete(p.elems, key)
+		p.freeElement(old)
+	}
+	for len(p.elems) >= p.capElems {
+		var victim *simElement
+		if p.lruOn {
+			p.sim.Access(t, p.meta, false, tagLRU) // read tail pointer
+			victim = p.tail
+		} else {
+			k, ok := p.randomKey()
+			if !ok {
+				break
+			}
+			p.sim.Access(t, p.bucketLine(k), false, tagIns)
+			victim = p.elems[k]
+		}
+		if victim == nil {
+			break
+		}
+		p.evictions++
+		p.sim.Access(t, victim.headerAdr, true, tagIns)
+		p.sim.Access(t, p.bucketLine(victim.key), true, tagIns)
+		if p.lruOn {
+			p.sim.Access(t, p.meta, true, tagLRU)
+		}
+		p.lruRemove(victim)
+		p.untrackKey(victim.key)
+		delete(p.elems, victim.key)
+		p.freeElement(victim)
+	}
+	e := p.allocElement(key, 8)
+	// Allocator state + new header + bucket link + LRU head update.
+	p.sim.Access(t, p.meta, true, tagIns)
+	p.sim.Access(t, e.headerAdr, true, tagIns)
+	p.sim.Access(t, p.bucketLine(key), true, tagIns)
+	if p.lruOn {
+		p.sim.Access(t, p.meta, true, tagLRU)
+	}
+	p.lruPush(e)
+	p.trackKey(key)
+	p.elems[key] = e
+	return e
+}
+
+// Len returns the number of resident elements.
+func (p *simPartition) Len() int { return len(p.elems) }
+
+// simRing models one direction of an SPSC ring: a circular array of
+// message lines plus a write-index line and a read-index line, with the
+// paper's per-cache-line publication protocol.
+type simRing struct {
+	sim         *cachesim.Sim
+	base        uint64
+	capMsgs     int
+	msgsPerLine int
+	writeIdx    uint64
+	readIdx     uint64
+	produced    int
+	consumed    int
+}
+
+func newSimRing(sim *cachesim.Sim, capMsgs, msgsPerLine int) *simRing {
+	lines := capMsgs / msgsPerLine
+	if lines < 1 {
+		lines = 1
+	}
+	return &simRing{
+		sim:         sim,
+		base:        sim.AllocLines(lines),
+		capMsgs:     capMsgs,
+		msgsPerLine: msgsPerLine,
+		writeIdx:    sim.AllocLines(1),
+		readIdx:     sim.AllocLines(1),
+	}
+}
+
+func (r *simRing) slotLine(i int) uint64 {
+	lines := r.capMsgs / r.msgsPerLine
+	return r.base + uint64((i/r.msgsPerLine)%lines)*cachesim.LineSize
+}
+
+// produce charges the accesses for appending one message as thread t:
+// write the slot's line; on filling a line, publish the write index; check
+// the read index once per line (occupancy check).
+func (r *simRing) produce(t int, tag cachesim.Tag) {
+	r.sim.Access(t, r.slotLine(r.produced), true, tag)
+	r.produced++
+	if r.produced%r.msgsPerLine == 0 {
+		r.sim.Access(t, r.writeIdx, true, tag)
+		r.sim.Access(t, r.readIdx, false, tag)
+	}
+}
+
+// flush publishes a partial line (end of batch).
+func (r *simRing) flush(t int, tag cachesim.Tag) {
+	if r.produced%r.msgsPerLine != 0 {
+		r.sim.Access(t, r.writeIdx, true, tag)
+	}
+}
+
+// consume charges the accesses for removing one message as thread t: read
+// the slot's line; per drained line, update the read index; per batch the
+// caller charges one write-index read via consumeBatchStart.
+func (r *simRing) consume(t int, tag cachesim.Tag) {
+	r.sim.Access(t, r.slotLine(r.consumed), false, tag)
+	r.consumed++
+	if r.consumed%r.msgsPerLine == 0 {
+		r.sim.Access(t, r.readIdx, true, tag)
+	}
+}
+
+// consumeBatchStart charges the write-index probe that begins a drain.
+func (r *simRing) consumeBatchStart(t int, tag cachesim.Tag) {
+	r.sim.Access(t, r.writeIdx, false, tag)
+}
+
+// pending returns the number of produced-but-unconsumed messages.
+func (r *simRing) pending() int { return r.produced - r.consumed }

@@ -1,0 +1,138 @@
+package simhash
+
+import (
+	"fmt"
+	"strings"
+
+	"cphash/internal/cachesim"
+	"cphash/internal/topology"
+)
+
+// Result summarizes a simulated run. Per-thread counters stay inside Sim;
+// the helpers here aggregate them the way the paper's tables do.
+type Result struct {
+	Name          string
+	Sim           *cachesim.Sim
+	Machine       topology.Machine
+	Ops           int64
+	Hits          int64
+	ClientThreads []int
+	ServerThreads []int
+}
+
+// PerOp holds Figure 6-style per-operation numbers for one thread group.
+type PerOp struct {
+	Cycles float64
+	L2Miss float64
+	L3Miss float64
+}
+
+// ClientPerOp returns the client-side per-operation averages.
+func (r Result) ClientPerOp() PerOp {
+	return r.perOp(r.ClientThreads)
+}
+
+// ServerPerOp returns the server-side per-operation averages (zero for
+// LOCKHASH, which has no servers).
+func (r Result) ServerPerOp() PerOp {
+	if len(r.ServerThreads) == 0 {
+		return PerOp{}
+	}
+	return r.perOp(r.ServerThreads)
+}
+
+func (r Result) perOp(threads []int) PerOp {
+	if r.Ops == 0 {
+		return PerOp{}
+	}
+	tot := r.Sim.AggregateTotal(threads)
+	return PerOp{
+		Cycles: float64(tot.Cycles) / float64(r.Ops),
+		L2Miss: float64(tot.L2Miss) / float64(r.Ops),
+		L3Miss: float64(tot.L3Miss) / float64(r.Ops),
+	}
+}
+
+// TagPerOp returns the per-operation miss counts of one tag over a thread
+// group — one row of Figure 7.
+func (r Result) TagPerOp(threads []int, tag cachesim.Tag) PerOp {
+	if r.Ops == 0 {
+		return PerOp{}
+	}
+	st := r.Sim.AggregateTag(threads, tag)
+	return PerOp{
+		Cycles: float64(st.Cycles) / float64(r.Ops),
+		L2Miss: float64(st.L2Miss) / float64(r.Ops),
+		L3Miss: float64(st.L3Miss) / float64(r.Ops),
+	}
+}
+
+// WallCycles estimates the run's duration in cycles: the busiest thread is
+// the critical path (clients and servers run concurrently), unless the
+// run's DRAM traffic exceeds what the memory controllers can stream in
+// that time — then bandwidth is the wall, which is what makes both designs
+// converge at huge working sets (Figure 5's right edge).
+func (r Result) WallCycles() int64 {
+	var max int64
+	for _, t := range r.ClientThreads {
+		if c := r.Sim.ThreadCycles(t); c > max {
+			max = c
+		}
+	}
+	for _, t := range r.ServerThreads {
+		if c := r.Sim.ThreadCycles(t); c > max {
+			max = c
+		}
+	}
+	if dram := r.Sim.DRAMBoundCycles(); dram > max {
+		max = dram
+	}
+	return max
+}
+
+// ThroughputQPS converts the run to queries/second at the machine's clock.
+func (r Result) ThroughputQPS() float64 {
+	w := r.WallCycles()
+	if w == 0 {
+		return 0
+	}
+	return float64(r.Ops) * float64(r.Machine.ClockHz) / float64(w)
+}
+
+// PerThreadQPS is ThroughputQPS divided over all participating hardware
+// threads — the y-axis of Figure 11.
+func (r Result) PerThreadQPS() float64 {
+	n := len(r.ClientThreads) + len(r.ServerThreads)
+	if n == 0 {
+		return 0
+	}
+	return r.ThroughputQPS() / float64(n)
+}
+
+// HitRate returns the lookup hit fraction (diagnostic).
+func (r Result) HitRate() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Ops)
+}
+
+// BreakdownTable renders the Figure 7-style per-function table for a thread
+// group.
+func (r Result) BreakdownTable(group string, threads []int, tags []cachesim.Tag) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s\n", group, "L2 miss/op", "L3 miss/op", "cycles/op")
+	var totL2, totL3, totCy float64
+	for _, tag := range tags {
+		p := r.TagPerOp(threads, tag)
+		if p.Cycles == 0 && p.L2Miss == 0 && p.L3Miss == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-22s %10.2f %10.2f %10.0f\n", tag, p.L2Miss, p.L3Miss, p.Cycles)
+		totL2 += p.L2Miss
+		totL3 += p.L3Miss
+		totCy += p.Cycles
+	}
+	fmt.Fprintf(&b, "  %-22s %10.2f %10.2f %10.0f\n", "total", totL2, totL3, totCy)
+	return b.String()
+}

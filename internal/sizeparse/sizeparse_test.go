@@ -1,0 +1,39 @@
+package sizeparse
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	good := map[string]int{
+		"0":      0,
+		"4096":   4096,
+		"1B":     1,
+		"100KB":  100 << 10,
+		"100KiB": 100 << 10,
+		"64K":    64 << 10,
+		"1MiB":   1 << 20,
+		"256MB":  256 << 20,
+		"8M":     8 << 20,
+		"2GiB":   2 << 30,
+		"1G":     1 << 30,
+		" 7MiB ": 7 << 20,
+		"12 MiB": 12 << 20,
+	}
+	for in, want := range good {
+		got, err := Parse(in)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	bad := []string{"", "abc", "-1", "-5MB", "1.5MB", "MB", "10TB10"}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestParseOverflow(t *testing.T) {
+	if _, err := Parse("9999999999999G"); err == nil {
+		t.Fatal("overflow accepted")
+	}
+}

@@ -1,0 +1,252 @@
+// Package workload generates the query streams used by the paper's
+// microbenchmark (Section 6): random LOOKUP/INSERT mixes over a working set
+// whose size, value size and INSERT ratio are the experiment's knobs.
+//
+// The paper's benchmark: "The INSERT operation consists of inserting
+// key/value pairs such that the key is a random 64-bit number and the value
+// is the same as the key (8 bytes)". Keys here are drawn uniformly (or Zipf,
+// for the skew extension) from a working set of NumKeys distinct keys and
+// scrambled so they spread across partitions; values default to the 8-byte
+// little-endian encoding of the key, which also lets readers verify hits.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cphash/internal/partition"
+)
+
+// OpKind is the generated operation type.
+type OpKind uint8
+
+const (
+	// Lookup is a read.
+	Lookup OpKind = iota
+	// Insert is a write of the key-derived value.
+	Insert
+)
+
+// Distribution selects how keys are drawn from the working set.
+type Distribution uint8
+
+const (
+	// Uniform draws keys uniformly, the paper's configuration.
+	Uniform Distribution = iota
+	// Zipfian draws keys with Zipf(s≈1.07) popularity, the conventional
+	// skewed-cache model; used by the skew ablation, not by paper figures.
+	Zipfian
+)
+
+// Spec describes a workload. The zero value is not runnable; use Default
+// and override.
+type Spec struct {
+	// WorkingSetBytes is the paper's working-set parameter: the memory
+	// needed to store every distinct value (NumKeys × ValueSize).
+	WorkingSetBytes int
+	// ValueSize is bytes per value (8 in the paper's microbenchmark).
+	ValueSize int
+	// InsertRatio is the fraction of operations that are inserts (0.3 in
+	// most paper experiments).
+	InsertRatio float64
+	// Dist selects Uniform (paper) or Zipfian key popularity.
+	Dist Distribution
+	// Seed makes the stream deterministic.
+	Seed uint64
+}
+
+// Default returns the paper's §6.1 microbenchmark settings for a given
+// working-set size: 8-byte values, 30% inserts, uniform keys.
+func Default(workingSetBytes int) Spec {
+	return Spec{
+		WorkingSetBytes: workingSetBytes,
+		ValueSize:       8,
+		InsertRatio:     0.3,
+		Dist:            Uniform,
+		Seed:            1,
+	}
+}
+
+// NumKeys returns the number of distinct keys implied by the spec.
+func (s Spec) NumKeys() int {
+	if s.ValueSize <= 0 {
+		return 0
+	}
+	n := s.WorkingSetBytes / s.ValueSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Validate reports whether the spec is runnable.
+func (s Spec) Validate() error {
+	if s.WorkingSetBytes <= 0 {
+		return fmt.Errorf("workload: WorkingSetBytes must be positive")
+	}
+	if s.ValueSize <= 0 {
+		return fmt.Errorf("workload: ValueSize must be positive")
+	}
+	if s.InsertRatio < 0 || s.InsertRatio > 1 {
+		return fmt.Errorf("workload: InsertRatio %v outside [0,1]", s.InsertRatio)
+	}
+	return nil
+}
+
+// Generator produces a deterministic operation stream for one client.
+// Generators are not safe for concurrent use; give each client its own
+// (with distinct seeds) as the paper gives each client thread its own
+// query stream.
+type Generator struct {
+	spec    Spec
+	numKeys uint64
+	state   uint64 // splitmix64 state
+	// insertThreshold in 2^-63 units: op is Insert when draw < threshold.
+	insertThreshold uint64
+	zipf            *zipf
+}
+
+// NewGenerator builds a generator; the spec must validate.
+func NewGenerator(spec Spec) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		spec:            spec,
+		numKeys:         uint64(spec.NumKeys()),
+		state:           spec.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		insertThreshold: uint64(spec.InsertRatio * (1 << 63)),
+	}
+	if spec.Dist == Zipfian {
+		g.zipf = newZipf(spec.Seed, 1.07, g.numKeys)
+	}
+	return g, nil
+}
+
+// MustGenerator is NewGenerator that panics on error.
+func MustGenerator(spec Spec) *Generator {
+	g, err := NewGenerator(spec)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// next64 advances the splitmix64 stream.
+func (g *Generator) next64() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	return partition.Mix64(g.state)
+}
+
+// Next returns the next operation and its key. Keys are stable for a given
+// (index, seed): key i of the working set is always Mix64(i)&MaxKey, so
+// separate generators and verification code agree on the key universe.
+func (g *Generator) Next() (OpKind, partition.Key) {
+	draw := g.next64()
+	var idx uint64
+	if g.zipf != nil {
+		idx = g.zipf.next()
+	} else {
+		idx = g.next64() % g.numKeys
+	}
+	key := KeyOfIndex(idx)
+	if draw>>1 < g.insertThreshold {
+		return Insert, key
+	}
+	return Lookup, key
+}
+
+// KeyOfIndex maps working-set index i to its 60-bit key.
+func KeyOfIndex(i uint64) partition.Key {
+	return partition.Mix64(i) & partition.MaxKey
+}
+
+// FillValue writes the verification value for key into dst (little-endian
+// key-derived bytes) and returns dst truncated to the spec's value size.
+// dst must have capacity ≥ ValueSize.
+func (s Spec) FillValue(key partition.Key, dst []byte) []byte {
+	dst = dst[:s.ValueSize]
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], uint64(key)^0x5bd1e995)
+	for i := range dst {
+		dst[i] = word[i&7]
+	}
+	return dst
+}
+
+// CheckValue reports whether a read value matches FillValue for the key.
+func (s Spec) CheckValue(key partition.Key, v []byte) bool {
+	if len(v) != s.ValueSize {
+		return false
+	}
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], uint64(key)^0x5bd1e995)
+	for i := range v {
+		if v[i] != word[i&7] {
+			return false
+		}
+	}
+	return true
+}
+
+// zipf is a seedable Zipf-distributed index generator over [0, n) with
+// exponent q > 1. It is the rejection-inversion method of Hörmann and
+// Derflinger — the same algorithm as math/rand.Zipf — re-implemented on a
+// splitmix64 stream so workloads replay deterministically across runs.
+type zipf struct {
+	state        uint64
+	imax         float64
+	v            float64
+	q            float64
+	s            float64
+	oneminusQ    float64
+	oneminusQinv float64
+	hxm          float64
+	hx0minusHxm  float64
+}
+
+func newZipf(seed uint64, q float64, n uint64) *zipf {
+	z := &zipf{
+		state: seed ^ 0xd1b54a32d192ed03,
+		imax:  float64(n - 1),
+		v:     1,
+		q:     q,
+	}
+	z.oneminusQ = 1 - z.q
+	z.oneminusQinv = 1 / z.oneminusQ
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0minusHxm = z.h(0.5) - math.Exp(math.Log(z.v)*(-z.q)) - z.hxm
+	z.s = 1 - z.hinv(z.h(1.5)-math.Exp(-z.q*math.Log(z.v+1)))
+	return z
+}
+
+func (z *zipf) h(x float64) float64 {
+	return math.Exp(z.oneminusQ*math.Log(z.v+x)) * z.oneminusQinv
+}
+
+func (z *zipf) hinv(x float64) float64 {
+	return math.Exp(z.oneminusQinv*math.Log(z.oneminusQ*x)) - z.v
+}
+
+func (z *zipf) nextFloat() float64 {
+	z.state += 0x9e3779b97f4a7c15
+	return float64(partition.Mix64(z.state)>>11) / (1 << 53)
+}
+
+func (z *zipf) next() uint64 {
+	var k float64
+	for {
+		r := z.nextFloat()
+		ur := z.hxm + r*z.hx0minusHxm
+		x := z.hinv(ur)
+		k = math.Floor(x + 0.5)
+		if k-x <= z.s {
+			break
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.q) {
+			break
+		}
+	}
+	return uint64(k)
+}

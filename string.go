@@ -1,0 +1,60 @@
+package cphash
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// StringTable implements the paper's Section 8.2 extension: arbitrary-size
+// keys on top of the fixed 60-bit key space, without modifying the table.
+// A string key is hashed to a 60-bit key; the stored value is the key
+// string and the caller's value together; Get compares the stored key
+// string and treats a mismatch — a 60-bit hash collision — as a miss.
+// Because CPHash is a cache, returning "not found" on collision does not
+// violate correctness, and with 60-bit hashes collisions are vanishingly
+// rare at in-memory scales (the paper's argument verbatim).
+//
+// StringTable works over any KV — a CPHASH Client (single-goroutine) or a
+// LockedTable (any concurrency).
+type StringTable struct {
+	kv KV
+}
+
+// NewStringTable wraps a KV in the string-key extension.
+func NewStringTable(kv KV) *StringTable {
+	return &StringTable{kv: kv}
+}
+
+// HashString maps a string key to the 60-bit integer key space (FNV-1a).
+func HashString(key string) Key {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return KeyOf(h.Sum64())
+}
+
+// Put stores value under the string key, reporting whether space was found.
+func (s *StringTable) Put(key string, value []byte) bool {
+	buf := make([]byte, 4+len(key)+len(value))
+	binary.LittleEndian.PutUint32(buf, uint32(len(key)))
+	copy(buf[4:], key)
+	copy(buf[4+len(key):], value)
+	return s.kv.Put(HashString(key), buf)
+}
+
+// Get appends the value stored under the string key to dst. A hash
+// collision with a different key reports a miss, per the paper's cache
+// semantics.
+func (s *StringTable) Get(key string, dst []byte) ([]byte, bool) {
+	raw, ok := s.kv.Get(HashString(key), nil)
+	if !ok || len(raw) < 4 {
+		return dst, false
+	}
+	klen := int(binary.LittleEndian.Uint32(raw))
+	if klen < 0 || 4+klen > len(raw) {
+		return dst, false
+	}
+	if string(raw[4:4+klen]) != key {
+		return dst, false // 60-bit hash collision: treat as miss
+	}
+	return append(dst, raw[4+klen:]...), true
+}
