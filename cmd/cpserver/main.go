@@ -1,6 +1,8 @@
 // Command cpserver runs a key/value cache server speaking the CPHash
-// binary protocol (Section 4.1 of the paper) over TCP, backed by one of the
-// three designs the paper compares:
+// binary protocol over TCP — version 2: the paper's LOOKUP/INSERT
+// (Section 4.1) plus DELETE, per-request TTLs, and variable-length string
+// keys (GET_STR/SET_STR/DEL_STR) — backed by one of the three designs the
+// paper compares:
 //
 //	cpserver -backend cphash    # CPSERVER: message-passing CPHASH table
 //	cpserver -backend lockhash  # LOCKSERVER: spinlocked LOCKHASH table
@@ -79,6 +81,7 @@ func main() {
 				Partitions:    *partitions,
 				CapacityBytes: capBytes,
 				MaxClients:    *workers,
+				Policy:        policy,
 				LockOSThread:  *pin,
 			})
 			if err != nil {

@@ -19,6 +19,8 @@
 //	defer c.Close()
 //	c.Put(cphash.KeyOf(42), []byte("value"))
 //	v, ok := c.Get(cphash.KeyOf(42), nil)
+//	c.PutTTL(cphash.KeyOf(43), []byte("soon gone"), time.Second)
+//	c.Delete(cphash.KeyOf(42))
 //
 // The locking baseline needs no handles:
 //
@@ -28,10 +30,26 @@
 // Keys are 60-bit integers, as in the paper; KeyOf masks a uint64 down.
 // StringTable (see string.go) implements the paper's Section 8.2 extension
 // to arbitrary keys on top of either table.
+//
+// # Operations, TTLs and expiry
+//
+// Both tables expose Get, Put, PutTTL and Delete (the KV interface). A
+// PutTTL entry becomes invisible once its time-to-live elapses on the
+// table's clock (millisecond resolution, rounded up; a TTL of 0 means
+// "never expires"). Expiry is lazy, preserving the paper's cheap hot
+// path: an expired element is reclaimed at its next lookup, or by the
+// bounded sweep a full partition runs before evicting live elements —
+// dead weight goes first, so TTLs reduce eviction pressure. Expirations
+// are counted separately from deletes and evictions in Stats.Expired.
+//
+// The TCP servers built on these tables (internal/kvserver, cmd/cpserver)
+// speak wire-protocol version 2, which carries DELETE, per-request TTLs
+// and variable-length string keys end-to-end; see internal/protocol.
 package cphash
 
 import (
 	"fmt"
+	"time"
 
 	"cphash/internal/core"
 	"cphash/internal/lockhash"
@@ -164,7 +182,7 @@ func CapacityForValues(n, valueSize int) int {
 	return partition.CapacityForValues(n, valueSize)
 }
 
-// KV is the minimal key/value surface shared by a CPHASH Client and a
+// KV is the key/value surface shared by a CPHASH Client and a
 // LockedTable; StringTable and applications that want to swap the two
 // tables program against it.
 type KV interface {
@@ -172,6 +190,14 @@ type KV interface {
 	Get(key Key, dst []byte) ([]byte, bool)
 	// Put stores value under key, reporting whether space was found.
 	Put(key Key, value []byte) bool
+	// PutTTL is Put with a time-to-live: the entry becomes invisible once
+	// ttl elapses on the table's clock (millisecond resolution, rounded
+	// up; 0 = never expires). Expired entries are reclaimed lazily — on
+	// their next lookup, or by the sweep eviction runs before sacrificing
+	// live elements.
+	PutTTL(key Key, value []byte, ttl time.Duration) bool
+	// Delete removes key, reporting whether it existed.
+	Delete(key Key) bool
 }
 
 var (

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestPublicAPIBasics(t *testing.T) {
@@ -104,6 +105,33 @@ func TestStringTableOverBoth(t *testing.T) {
 		st.Put("", nil)
 		if v, ok := st.Get("", nil); !ok || len(v) != 0 {
 			t.Fatalf("%s: empty key/value broken: %q %v", name, v, ok)
+		}
+		// Delete removes; a repeat reports absent.
+		if !st.Delete("hello") {
+			t.Fatalf("%s: Delete(hello) reported absent", name)
+		}
+		if st.Delete("hello") {
+			t.Fatalf("%s: second Delete(hello) reported found", name)
+		}
+		if _, ok := st.Get("hello", nil); ok {
+			t.Fatalf("%s: Get after Delete hit", name)
+		}
+		// A short TTL ages an entry out (wall clock; generous deadline).
+		if !st.PutTTL("flash", []byte("gone soon"), 50*time.Millisecond) {
+			t.Fatalf("%s: PutTTL failed", name)
+		}
+		if v, ok := st.Get("flash", nil); !ok || string(v) != "gone soon" {
+			t.Fatalf("%s: Get before TTL = %q, %v", name, v, ok)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if _, ok := st.Get("flash", nil); !ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: TTL entry still visible after 5s", name)
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
 	}
 }

@@ -2,10 +2,13 @@
 // web application caching expensive page-rendering results. An HTTP
 // frontend renders "pages" (deliberately slow), caching them in a CPHASH
 // table keyed by URL via the string-key extension; cache hits skip the
-// render. The example runs a short self-driven load and prints the hit
-// rate and speedup, then serves until interrupted.
+// render. Cached pages carry a TTL (-ttl) so stale renders age out on
+// their own, and DELETE /page/... (or a request with ?purge=1) invalidates
+// a page immediately — the cache-invalidation path every real web cache
+// needs. The example runs a short self-driven load demonstrating hits,
+// purges and expiry, then serves until interrupted.
 //
-//	go run ./examples/webcache [-addr 127.0.0.1:8080]
+//	go run ./examples/webcache [-addr 127.0.0.1:8080] [-ttl 30s]
 package main
 
 import (
@@ -25,7 +28,20 @@ import (
 	"cphash"
 )
 
-var addr = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+var (
+	addr = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	ttl  = flag.Duration("ttl", 30*time.Second, "page cache TTL (0 = cache forever)")
+)
+
+// fetch GETs a URL and returns the body.
+func fetch(c *http.Client, url string) ([]byte, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
 
 // renderPage stands in for an expensive page build (DB queries, templating).
 func renderPage(path string) []byte {
@@ -43,6 +59,7 @@ type pageCache struct {
 
 	hits   atomic.Int64
 	misses atomic.Int64
+	purges atomic.Int64
 }
 
 func newPageCache(capacity, handles int) (*pageCache, error) {
@@ -63,7 +80,8 @@ func newPageCache(capacity, handles int) (*pageCache, error) {
 	return pc, nil
 }
 
-// get fetches a page through the cache.
+// get fetches a page through the cache. Fresh renders are stored with the
+// configured TTL so stale pages age out without explicit invalidation.
 func (pc *pageCache) get(path string) []byte {
 	st := pc.pool.Get().(*cphash.StringTable)
 	defer pc.pool.Put(st)
@@ -73,8 +91,17 @@ func (pc *pageCache) get(path string) []byte {
 	}
 	pc.misses.Add(1)
 	page := renderPage(path)
-	st.Put(path, page)
+	st.PutTTL(path, page, *ttl)
 	return page
+}
+
+// purge invalidates a cached page immediately, reporting whether one was
+// cached.
+func (pc *pageCache) purge(path string) bool {
+	st := pc.pool.Get().(*cphash.StringTable)
+	defer pc.pool.Put(st)
+	pc.purges.Add(1)
+	return st.Delete(path)
 }
 
 func main() {
@@ -87,6 +114,14 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodDelete || r.URL.Query().Get("purge") != "" {
+			if cache.purge(r.URL.Path) {
+				fmt.Fprintf(w, "purged %s\n", r.URL.Path)
+			} else {
+				fmt.Fprintf(w, "not cached: %s\n", r.URL.Path)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "text/html")
 		w.Write(cache.get(r.URL.Path))
 	})
@@ -105,12 +140,10 @@ func main() {
 	const requests = 400
 	for i := 0; i < requests; i++ {
 		page := i * i % 64 // quadratic residues repeat: plenty of re-hits
-		resp, err := client.Get(fmt.Sprintf("http://%s/page/%d", ln.Addr(), page))
+		body, err := fetch(client, fmt.Sprintf("http://%s/page/%d", ln.Addr(), page))
 		if err != nil {
 			log.Fatal(err)
 		}
-		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
 		if !strings.Contains(string(body), fmt.Sprintf("/page/%d", page)) {
 			log.Fatalf("wrong page body for /page/%d", page)
 		}
@@ -121,6 +154,19 @@ func main() {
 		requests, elapsed.Round(time.Millisecond),
 		100*float64(h)/float64(h+m),
 		(time.Duration(requests) * 2 * time.Millisecond).Round(time.Millisecond))
+
+	// Invalidation: purge a hot page and verify the next request re-renders
+	// (a fresh timestamp in the body).
+	target := fmt.Sprintf("http://%s/page/0", ln.Addr())
+	before, _ := fetch(client, target)
+	req, _ := http.NewRequest(http.MethodDelete, target, nil)
+	if resp, err := client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	after, _ := fetch(client, target)
+	fmt.Printf("purge /page/0: re-rendered=%v, %d purge(s) issued (ttl %v ages out un-purged pages)\n",
+		string(before) != string(after), cache.purges.Load(), *ttl)
 
 	fmt.Println("serving until interrupted (ctrl-c)…")
 	stop := make(chan os.Signal, 1)

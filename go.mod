@@ -1,0 +1,3 @@
+module cphash
+
+go 1.22

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"math"
 	"runtime"
+	"time"
 
 	"cphash/internal/partition"
 	"cphash/internal/ring"
@@ -46,7 +48,7 @@ func (o *Op) Key() Key { return o.key }
 func (o *Op) Done() bool { return o.done }
 
 // Hit reports success: a lookup found the key; an insert obtained space; a
-// delete always reports true once done. Valid only after Done.
+// delete found (and removed) the key. Valid only after Done.
 func (o *Op) Hit() bool { return o.hit }
 
 // Value returns the value bytes of a completed lookup hit. The slice
@@ -157,12 +159,41 @@ func (c *Client) LookupAsync(key Key) *Op {
 // paper's client-copies rule, §3.2), then a Ready message publishes them.
 // The caller must keep value unchanged until the op is Done.
 func (c *Client) InsertAsync(key Key, value []byte) *Op {
+	return c.InsertTTLAsync(key, value, 0)
+}
+
+// InsertTTLAsync is InsertAsync with a time-to-live: the element becomes
+// invisible once ttl elapses on the server's clock (resolution one
+// millisecond, rounded up; capped at ~49 days). ttl <= 0 means "never
+// expires". The TTL rides the insert message's packed arg word, so TTL
+// inserts cost exactly the paper's two messages.
+func (c *Client) InsertTTLAsync(key Key, value []byte, ttl time.Duration) *Op {
 	o := c.newOp()
 	o.typ = OpInsert
 	o.key = key & keyMask
+	if uint64(len(value)) > math.MaxUint32 {
+		// The insert message packs the size into 32 bits of the arg word;
+		// a larger value must fail cleanly, not store a wrapped size.
+		o.done = true
+		return o
+	}
 	o.insVal = value
-	c.issue(o, request{keyop: makeKeyop(opInsert, key), arg: uint64(len(value))})
+	c.issue(o, request{keyop: makeKeyop(opInsert, key), arg: makeInsertArg(len(value), ttlMillis(ttl))})
 	return o
+}
+
+// ttlMillis converts a duration to the wire's 32-bit millisecond TTL,
+// rounding up so any positive ttl expires, and capping at MaxUint32
+// (~49 days). The cap is checked before the round-up so durations near
+// MaxInt64 cannot overflow into an arbitrary finite TTL.
+func ttlMillis(ttl time.Duration) uint32 {
+	if ttl <= 0 {
+		return 0
+	}
+	if ttl > math.MaxUint32*time.Millisecond {
+		return math.MaxUint32
+	}
+	return uint32((ttl + time.Millisecond - 1) / time.Millisecond)
 }
 
 // DeleteAsync issues a delete.
@@ -275,7 +306,7 @@ func (c *Client) complete(s int, rep reply) {
 		o.hit = true
 		o.insVal = nil
 	case OpDelete:
-		o.hit = true
+		o.hit = rep.elem != nil // deleteFound sentinel: the key existed
 	}
 }
 
@@ -340,7 +371,13 @@ func (c *Client) Get(key Key, dst []byte) ([]byte, bool) {
 
 // Put stores value under key, reporting whether space was obtained.
 func (c *Client) Put(key Key, value []byte) bool {
-	o := c.InsertAsync(key, value)
+	return c.PutTTL(key, value, 0)
+}
+
+// PutTTL stores value under key with a time-to-live (0 = never expires),
+// reporting whether space was obtained.
+func (c *Client) PutTTL(key Key, value []byte, ttl time.Duration) bool {
+	o := c.InsertTTLAsync(key, value, ttl)
 	c.Flush(key)
 	c.Wait(o)
 	ok := o.hit
@@ -348,12 +385,15 @@ func (c *Client) Put(key Key, value []byte) bool {
 	return ok
 }
 
-// Delete removes key. It returns once the server has processed the delete.
-func (c *Client) Delete(key Key) {
+// Delete removes key, reporting whether it existed. It returns once the
+// server has processed the delete.
+func (c *Client) Delete(key Key) bool {
 	o := c.DeleteAsync(key)
 	c.Flush(key)
 	c.Wait(o)
+	ok := o.hit
 	c.Release(o)
+	return ok
 }
 
 // Close waits for outstanding operations, lets the servers drain any

@@ -54,10 +54,17 @@ const (
 	opReady
 	// opDecref releases one reference on elem. No reply.
 	opDecref
-	// opDelete unlinks keyop's key. Replies with a nil element either way
-	// (the reply exists only to let callers synchronize on completion).
+	// opDelete unlinks keyop's key. Replies with deleteFound when the key
+	// existed and a nil element otherwise; either way the reply lets
+	// callers synchronize on completion.
 	opDelete
 )
+
+// deleteFound is the sentinel reply element for a delete that removed a
+// key. It keeps the reply message a single pointer (8 per cache line, as
+// in the paper) while still carrying the found bit; it is never
+// dereferenced.
+var deleteFound = &partition.Element{}
 
 const (
 	opShift = 60
@@ -67,7 +74,8 @@ const (
 // request is one client→server message.
 //
 // Packing: op lives in the top 4 bits of keyop, the 60-bit key below it.
-// arg carries the value size for opInsert. elem carries the element for
+// arg carries the value size (low 32 bits) and TTL in milliseconds (high
+// 32 bits; 0 = never expires) for opInsert. elem carries the element for
 // opReady/opDecref. The struct is 24 bytes; the ring flushes every 4
 // messages (96 B ≈ 1.5 cache lines), preserving the paper's
 // several-messages-per-line batching even though Go's pointer rules stop us
@@ -78,12 +86,21 @@ type request struct {
 	elem  *partition.Element
 }
 
+// makeInsertArg packs a value size and TTL into a request's arg word.
+func makeInsertArg(size int, ttlMillis uint32) uint64 {
+	return uint64(uint32(size)) | uint64(ttlMillis)<<32
+}
+
+func (r request) insertSize() int   { return int(uint32(r.arg)) }
+func (r request) insertTTL() uint32 { return uint32(r.arg >> 32) }
+
 // requestLineMsgs is the request-ring flush granularity.
 const requestLineMsgs = 4
 
 // reply is one server→client message: the element for opLookup/opInsert
-// (nil on miss/failure) or nil for opDelete. Replies are matched to
-// requests purely by FIFO order, as the rings preserve per-pair ordering.
+// (nil on miss/failure) or the deleteFound sentinel / nil for opDelete.
+// Replies are matched to requests purely by FIFO order, as the rings
+// preserve per-pair ordering.
 type reply struct {
 	elem *partition.Element
 }
@@ -103,7 +120,10 @@ func (r request) String() string {
 	case opLookup:
 		return fmt.Sprintf("Lookup(%d)", r.key())
 	case opInsert:
-		return fmt.Sprintf("Insert(%d, %d bytes)", r.key(), r.arg)
+		if ttl := r.insertTTL(); ttl != 0 {
+			return fmt.Sprintf("Insert(%d, %d bytes, ttl %dms)", r.key(), r.insertSize(), ttl)
+		}
+		return fmt.Sprintf("Insert(%d, %d bytes)", r.key(), r.insertSize())
 	case opReady:
 		return fmt.Sprintf("Ready(%d)", r.key())
 	case opDecref:

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cphash/internal/partition"
 	"cphash/internal/ring"
@@ -47,6 +48,9 @@ type Config struct {
 	SpinBudget int
 	// Seed makes eviction and bucket hashing deterministic for tests.
 	Seed uint64
+	// Clock supplies "now" in nanoseconds for TTL expiry (nil = wall
+	// clock). Tests inject fake clocks to make expiry deterministic.
+	Clock func() int64
 }
 
 func (c *Config) setDefaults() error {
@@ -159,6 +163,7 @@ func New(cfg Config) (*Table, error) {
 			Buckets:       cfg.BucketsPerPartition,
 			Policy:        cfg.Policy,
 			Seed:          cfg.Seed + uint64(p)*0x9e3779b97f4a7c15 + 1,
+			Clock:         cfg.Clock,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: partition %d: %w", p, err)
@@ -339,6 +344,7 @@ func (t *Table) Stats() Stats {
 		out.InsertErr += s.InsertErr
 		out.Evictions += s.Evictions
 		out.Deletes += s.Deletes
+		out.Expired += s.Expired
 		out.Elements += s.Elements
 	}
 	out.Messages = t.messages.Load()
@@ -483,7 +489,8 @@ func (t *Table) execute(store *partition.Store, r request, out *ring.SPSC[reply]
 	case opLookup:
 		out.ProduceSpin(reply{elem: store.Lookup(r.key())})
 	case opInsert:
-		out.ProduceSpin(reply{elem: store.Insert(r.key(), int(r.arg))})
+		ttl := time.Duration(r.insertTTL()) * time.Millisecond
+		out.ProduceSpin(reply{elem: store.InsertTTL(r.key(), r.insertSize(), ttl)})
 	case opReady:
 		// Publishing the value also releases the inserter's reference:
 		// the paper counts insert as exactly two messages (§6.2).
@@ -492,8 +499,11 @@ func (t *Table) execute(store *partition.Store, r request, out *ring.SPSC[reply]
 	case opDecref:
 		store.Decref(r.elem)
 	case opDelete:
-		store.Delete(r.key())
-		out.ProduceSpin(reply{})
+		if store.Delete(r.key()) {
+			out.ProduceSpin(reply{elem: deleteFound})
+		} else {
+			out.ProduceSpin(reply{})
+		}
 	case opNop:
 		// ignore; used by tests to exercise the path
 	}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPutTTLExpiresOnFakeClock: a TTL entry served through the message
+// rings is visible before its deadline and invisible after, with the
+// expiry counted once in Stats.Expired.
+func TestPutTTLExpiresOnFakeClock(t *testing.T) {
+	var now atomic.Int64
+	now.Store(1)
+	tbl := MustNew(Config{
+		Partitions:    2,
+		CapacityBytes: 1 << 20,
+		MaxClients:    1,
+		Clock:         now.Load,
+	})
+	defer tbl.Close()
+	c := tbl.MustClient(0)
+	defer c.Close()
+
+	if !c.PutTTL(1, []byte("ephemeral"), 10*time.Millisecond) {
+		t.Fatal("PutTTL failed")
+	}
+	if !c.Put(2, []byte("durable")) {
+		t.Fatal("Put failed")
+	}
+	if v, ok := c.Get(1, nil); !ok || string(v) != "ephemeral" {
+		t.Fatalf("Get(1) = %q, %v before deadline", v, ok)
+	}
+	now.Add(int64(11 * time.Millisecond))
+	if _, ok := c.Get(1, nil); ok {
+		t.Fatal("Get(1) hit after the TTL elapsed")
+	}
+	if v, ok := c.Get(2, nil); !ok || string(v) != "durable" {
+		t.Fatalf("Get(2) = %q, %v; no-TTL keys must not expire", v, ok)
+	}
+	if got := tbl.Stats().Expired; got != 1 {
+		t.Errorf("Stats().Expired = %d, want 1", got)
+	}
+	// A near-MaxInt64 TTL must clamp to the wire cap (~49 days), never
+	// overflow into a short or instant expiry.
+	if !c.PutTTL(3, []byte("practically forever"), time.Duration(math.MaxInt64)) {
+		t.Fatal("PutTTL with max duration failed")
+	}
+	now.Add(int64(24 * time.Hour))
+	if _, ok := c.Get(3, nil); !ok {
+		t.Fatal("max-duration TTL entry expired within a day")
+	}
+}
+
+// TestDeleteReportsFound: the delete reply's found bit survives the ring
+// round trip in both directions.
+func TestDeleteReportsFound(t *testing.T) {
+	tbl := MustNew(Config{Partitions: 2, CapacityBytes: 1 << 20, MaxClients: 1})
+	defer tbl.Close()
+	c := tbl.MustClient(0)
+	defer c.Close()
+
+	if c.Delete(7) {
+		t.Error("Delete of an absent key reported found")
+	}
+	if !c.Put(7, []byte("x")) {
+		t.Fatal("Put failed")
+	}
+	if !c.Delete(7) {
+		t.Error("Delete of a present key reported not found")
+	}
+	if c.Delete(7) {
+		t.Error("second Delete reported found")
+	}
+	if _, ok := c.Get(7, nil); ok {
+		t.Error("Get hit after Delete")
+	}
+}
+
+// TestInsertTTLAsyncPipelined: TTL inserts ride the same rings as plain
+// inserts — a full pipelined batch of mixed ops completes and the TTL keys
+// expire while the others survive.
+func TestInsertTTLAsyncPipelined(t *testing.T) {
+	var now atomic.Int64
+	now.Store(1)
+	tbl := MustNew(Config{Partitions: 2, CapacityBytes: 1 << 20, MaxClients: 1, Clock: now.Load})
+	defer tbl.Close()
+	c := tbl.MustClient(0)
+	defer c.Close()
+
+	const n = 256
+	val := []byte("v")
+	ops := make([]*Op, 0, n)
+	for k := Key(0); k < n; k++ {
+		if k%2 == 0 {
+			ops = append(ops, c.InsertTTLAsync(k, val, time.Millisecond))
+		} else {
+			ops = append(ops, c.InsertAsync(k, val))
+		}
+	}
+	c.WaitAll()
+	for _, o := range ops {
+		if !o.Hit() {
+			t.Fatal("pipelined insert failed")
+		}
+		c.Release(o)
+	}
+	now.Add(int64(2 * time.Millisecond))
+	hits := 0
+	for k := Key(0); k < n; k++ {
+		if _, ok := c.Get(k, nil); ok {
+			hits++
+			if k%2 == 0 {
+				t.Fatalf("TTL key %d visible after deadline", k)
+			}
+		}
+	}
+	if hits != n/2 {
+		t.Errorf("%d unexpired keys visible, want %d", hits, n/2)
+	}
+}

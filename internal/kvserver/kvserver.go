@@ -1,14 +1,24 @@
 // Package kvserver implements CPSERVER and LOCKSERVER, the memcached-style
-// TCP key/value cache servers of Section 4 of the CPHash paper.
+// TCP key/value cache servers of Section 4 of the CPHash paper, speaking
+// protocol version 2: LOOKUP/INSERT plus DELETE, TTL inserts, and
+// variable-length string keys (GET_STR/SET_STR/DEL_STR).
 //
 // Architecture (Figure 4): an acceptor assigns each new connection to the
 // client thread (worker) with the fewest active connections. Per-connection
 // reader goroutines parse requests and feed their worker's queue; the
 // worker gathers as many requests as possible into a batch, hands the batch
 // to its hash-table backend in one go — which is what lets CPHASH pipeline
-// the whole batch through its message rings — and then writes the LOOKUP
-// responses back to the right connections in request order. INSERTs are
+// the whole batch (lookups, inserts AND deletes) through its message rings
+// — and then writes the LOOKUP/GET_STR and DELETE/DEL_STR responses back
+// to the right connections in request order. INSERT/INSERT_TTL/SET_STR are
 // silent, per the protocol.
+//
+// String keys are routed onto the fixed 60-bit key space with
+// protocol.HashStringKey and stored with the key embedded in the value
+// (protocol.AppendStringEntry), so a 60-bit hash collision reads as a miss
+// — the paper's Section 8.2 extension, server-side. A DEL_STR whose hash
+// collides with a different stored key removes that entry; with 60-bit
+// hashes this is vanishingly rare, and for a cache it only costs a refill.
 //
 // The only difference between CPSERVER and LOCKSERVER is the Backend
 // (NewCPHashBackend vs NewLockHashBackend), mirroring the paper's shared
@@ -22,6 +32,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cphash/internal/core"
 	"cphash/internal/lockhash"
@@ -29,17 +40,20 @@ import (
 	"cphash/internal/protocol"
 )
 
-// Result describes the outcome of one LOOKUP inside a batch: the value
-// occupies buf[Start:End] of the batch buffer.
+// Result describes the outcome of one response-bearing request inside a
+// batch: for a LOOKUP/GET_STR hit the value occupies buf[Start:End] of the
+// batch buffer; for a DELETE/DEL_STR only Found is meaningful (the key
+// existed and was removed).
 type Result struct {
 	Start, End int32
 	Found      bool
 }
 
 // Backend executes one batch of requests against a hash table.
-// Implementations must fill results[i] for every LOOKUP request i and may
-// append value bytes to buf, returning the grown buffer. A Backend instance
-// is owned by a single worker goroutine.
+// Implementations must fill results[i] for every LOOKUP/GET_STR and
+// DELETE/DEL_STR request i and may append value bytes to buf, returning
+// the grown buffer. A Backend instance is owned by a single worker
+// goroutine.
 type Backend interface {
 	ProcessBatch(reqs []protocol.Request, results []Result, buf []byte) []byte
 	Close()
@@ -286,15 +300,19 @@ func (w *worker) run() {
 		buf = w.backend.ProcessBatch(reqs, results, buf[:0])
 
 		for i, it := range items {
-			if it.req.Op != protocol.OpLookup {
-				continue
-			}
 			cs := it.cs
 			if cs.wErr != nil {
 				continue
 			}
 			r := results[i]
-			cs.wErr = protocol.WriteLookupResponse(cs.w, buf[r.Start:r.End], r.Found)
+			switch it.req.Op {
+			case protocol.OpLookup, protocol.OpGetStr:
+				cs.wErr = protocol.WriteLookupResponse(cs.w, buf[r.Start:r.End], r.Found)
+			case protocol.OpDelete, protocol.OpDelStr:
+				cs.wErr = protocol.WriteDeleteResponse(cs.w, r.Found)
+			default:
+				continue // inserts are silent
+			}
 			touched[cs] = struct{}{}
 		}
 		for cs := range touched {
@@ -310,12 +328,27 @@ func (w *worker) run() {
 
 // --- backends ---
 
+// routedKey maps a request onto the 60-bit fixed key space: string-key ops
+// hash through protocol.HashStringKey, fixed-key ops pass through.
+func routedKey(r protocol.Request) uint64 {
+	if r.StrKey != nil {
+		return protocol.HashStringKey(r.StrKey)
+	}
+	return r.Key
+}
+
+// wireTTL converts a wire millisecond TTL into a duration (0 = never).
+func wireTTL(ms uint32) time.Duration {
+	return time.Duration(ms) * time.Millisecond
+}
+
 // cphashBackend pipelines a batch through a CPHASH client handle.
 type cphashBackend struct {
 	client   *core.Client
 	table    *core.Table
 	ops      []*core.Op
-	idx      []int // result index per op; -1 for inserts
+	idx      []int    // result index per op; -1 for inserts
+	keys     [][]byte // string key per op for GET_STR verification; else nil
 	inserted map[uint64]struct{}
 }
 
@@ -332,51 +365,95 @@ func NewCPHashBackend(t *core.Table) func(worker int) (Backend, error) {
 	}
 }
 
-// ProcessBatch pipelines the whole batch asynchronously. One subtlety: a
-// LOOKUP of a key INSERTed earlier in the same batch must observe the new
-// value, but the value only becomes visible once the client has copied it
-// and the server has processed the Ready message (§3.2's NOT_READY
-// protocol). Waiting for the insert completion before issuing the dependent
-// lookup suffices: the Ready message then precedes the lookup on the same
-// FIFO ring, so the server is guaranteed to publish before it looks up.
+// ProcessBatch pipelines the whole batch asynchronously — deletes ride the
+// same rings as lookups and inserts. One subtlety: a LOOKUP of a key
+// INSERTed earlier in the same batch must observe the new value, but the
+// value only becomes visible once the client has copied it and the server
+// has processed the Ready message (§3.2's NOT_READY protocol). Waiting for
+// the insert completion before issuing the dependent lookup suffices: the
+// Ready message then precedes the lookup on the same FIFO ring, so the
+// server is guaranteed to publish before it looks up. A DELETE needs no
+// such barrier — it carries no value, so ring FIFO order alone makes a
+// later same-batch LOOKUP miss correctly.
 func (b *cphashBackend) ProcessBatch(reqs []protocol.Request, results []Result, buf []byte) []byte {
 	b.ops = b.ops[:0]
 	b.idx = b.idx[:0]
+	b.keys = b.keys[:0]
 	clear(b.inserted)
 	pendingStart := 0
 	for i, r := range reqs {
+		key := routedKey(r)
 		switch r.Op {
-		case protocol.OpLookup:
-			if _, dep := b.inserted[r.Key]; dep {
+		case protocol.OpLookup, protocol.OpGetStr:
+			if _, dep := b.inserted[key]; dep {
 				buf = b.settle(results, buf, pendingStart)
 				pendingStart = len(b.ops)
 				clear(b.inserted)
 			}
-			b.ops = append(b.ops, b.client.LookupAsync(r.Key))
+			b.ops = append(b.ops, b.client.LookupAsync(key))
 			b.idx = append(b.idx, i)
-		case protocol.OpInsert:
+			b.keys = append(b.keys, r.StrKey)
+		case protocol.OpInsert, protocol.OpInsertTTL:
 			// INSERTs are silent; still track the op so values (owned by
 			// the reader-created request) stay live until copied.
-			b.ops = append(b.ops, b.client.InsertAsync(r.Key, r.Value))
+			b.ops = append(b.ops, b.client.InsertTTLAsync(key, r.Value, wireTTL(r.TTL)))
 			b.idx = append(b.idx, -1)
-			b.inserted[r.Key] = struct{}{}
+			b.keys = append(b.keys, nil)
+			b.inserted[key] = struct{}{}
+		case protocol.OpSetStr:
+			// Embed the string key in the stored entry so collisions are
+			// detectable at read time. The entry buffer must stay stable
+			// until the op settles (the client copies on reply), so each
+			// SET_STR gets its own allocation.
+			entry := protocol.AppendStringEntry(nil, r.StrKey, r.Value)
+			b.ops = append(b.ops, b.client.InsertTTLAsync(key, entry, wireTTL(r.TTL)))
+			b.idx = append(b.idx, -1)
+			b.keys = append(b.keys, nil)
+			b.inserted[key] = struct{}{}
+		case protocol.OpDelete, protocol.OpDelStr:
+			b.ops = append(b.ops, b.client.DeleteAsync(key))
+			b.idx = append(b.idx, i)
+			b.keys = append(b.keys, nil)
+			// A later same-batch lookup of this key needs no settle
+			// barrier: the delete precedes it on the FIFO ring.
+			delete(b.inserted, key)
 		}
 	}
 	buf = b.settle(results, buf, pendingStart)
 	b.ops = b.ops[:0]
+	b.keys = b.keys[:0]
 	return buf
 }
 
-// settle waits for the ops issued since from, harvests lookup results, and
-// releases everything.
+// settle waits for the ops issued since from, harvests lookup and delete
+// results, and releases everything.
 func (b *cphashBackend) settle(results []Result, buf []byte, from int) []byte {
 	b.client.WaitAll()
 	for j := from; j < len(b.ops); j++ {
 		op := b.ops[j]
-		if i := b.idx[j]; i >= 0 && op.Hit() {
-			start := int32(len(buf))
-			buf = append(buf, op.Value()...)
-			results[i] = Result{Start: start, End: int32(len(buf)), Found: true}
+		i := b.idx[j]
+		if i >= 0 {
+			switch op.Type() {
+			case core.OpLookup:
+				if op.Hit() {
+					raw := op.Value()
+					if sk := b.keys[j]; sk != nil {
+						// GET_STR: verify the embedded key; a 60-bit hash
+						// collision stays a miss.
+						if v, ok := protocol.CutStringEntry(raw, sk); ok {
+							start := int32(len(buf))
+							buf = append(buf, v...)
+							results[i] = Result{Start: start, End: int32(len(buf)), Found: true}
+						}
+					} else {
+						start := int32(len(buf))
+						buf = append(buf, raw...)
+						results[i] = Result{Start: start, End: int32(len(buf)), Found: true}
+					}
+				}
+			case core.OpDelete:
+				results[i] = Result{Found: op.Hit()}
+			}
 		}
 		b.client.Release(op)
 	}
@@ -387,7 +464,9 @@ func (b *cphashBackend) Close() { b.client.Close() }
 
 // lockhashBackend executes a batch synchronously against LOCKHASH.
 type lockhashBackend struct {
-	table *lockhash.Table
+	table   *lockhash.Table
+	scratch []byte // GET_STR staging (raw entry before the key check)
+	entry   []byte // SET_STR staging (Put copies under the lock)
 }
 
 // NewLockHashBackend returns a Backend factory over one LOCKHASH table
@@ -406,8 +485,25 @@ func (b *lockhashBackend) ProcessBatch(reqs []protocol.Request, results []Result
 			var found bool
 			buf, found = b.table.Get(r.Key, buf)
 			results[i] = Result{Start: start, End: int32(len(buf)), Found: found}
-		case protocol.OpInsert:
-			b.table.Put(r.Key, r.Value)
+		case protocol.OpGetStr:
+			raw, found := b.table.Get(protocol.HashStringKey(r.StrKey), b.scratch[:0])
+			b.scratch = raw
+			if found {
+				if v, ok := protocol.CutStringEntry(raw, r.StrKey); ok {
+					start := int32(len(buf))
+					buf = append(buf, v...)
+					results[i] = Result{Start: start, End: int32(len(buf)), Found: true}
+				}
+			}
+		case protocol.OpInsert, protocol.OpInsertTTL:
+			b.table.PutTTL(r.Key, r.Value, wireTTL(r.TTL))
+		case protocol.OpSetStr:
+			b.entry = protocol.AppendStringEntry(b.entry[:0], r.StrKey, r.Value)
+			b.table.PutTTL(protocol.HashStringKey(r.StrKey), b.entry, wireTTL(r.TTL))
+		case protocol.OpDelete:
+			results[i] = Result{Found: b.table.Delete(r.Key)}
+		case protocol.OpDelStr:
+			results[i] = Result{Found: b.table.Delete(protocol.HashStringKey(r.StrKey))}
 		}
 	}
 	return buf

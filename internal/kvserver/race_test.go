@@ -1,0 +1,163 @@
+package kvserver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cphash/internal/core"
+	"cphash/internal/protocol"
+)
+
+// TestRaceNoLostDeletes hammers one CPSERVER with concurrent GET/SET/DELETE
+// clients (run it with -race). Each writer owns a disjoint set of keys —
+// half fixed 60-bit keys, half string keys — so per-connection FIFO
+// ordering gives an exact correctness oracle despite full concurrency
+// across connections and batches:
+//
+//   - after a DELETE's response arrives, GETs of that key on the same
+//     connection must miss until the owner SETs it again — a deleted key
+//     never resurrects;
+//   - a GET hit must return exactly the owner's last-SET value — batching
+//     never crosses values between keys or generations.
+//
+// Concurrent readers meanwhile GET random keys across all owners and check
+// that any hit is well-formed for that key, whatever its generation.
+func TestRaceNoLostDeletes(t *testing.T) {
+	const (
+		workers        = 4
+		writersPerKind = 3
+		keysPerWriter  = 8
+		readers        = 2
+	)
+	iters := 200
+	if testing.Short() {
+		iters = 50
+	}
+
+	table := core.MustNew(core.Config{
+		Partitions:    4,
+		CapacityBytes: 8 << 20,
+		MaxClients:    workers,
+	})
+	defer table.Close()
+	srv, err := Serve(Config{Addr: "127.0.0.1:0", Workers: workers, NewBackend: NewCPHashBackend(table)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*writersPerKind+readers)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	value := func(owner, key, gen int) []byte {
+		return fmt.Appendf(nil, "o=%d k=%d g=%d", owner, key, gen)
+	}
+	prefix := func(owner, key int) string {
+		return fmt.Sprintf("o=%d k=%d ", owner, key)
+	}
+
+	// writer drives SET→GET→DELETE→GET cycles over its own keys through
+	// the supplied codec ops; the same loop covers fixed and string keys.
+	writer := func(owner int, set func(key, gen int), get func(key int) ([]byte, bool), del func(key int) bool) {
+		defer wg.Done()
+		for gen := 0; gen < iters; gen++ {
+			for k := 0; k < keysPerWriter; k++ {
+				set(k, gen)
+			}
+			for k := 0; k < keysPerWriter; k++ {
+				if v, ok := get(k); ok && string(v) != string(value(owner, k, gen)) {
+					fail("writer %d: GET key %d gen %d = %q, want %q", owner, k, gen, v, value(owner, k, gen))
+					return
+				}
+				// A miss is legal (eviction); a stale or foreign value is not.
+			}
+			for k := 0; k < keysPerWriter; k += 2 {
+				del(k) // found may be false if eviction got there first
+				if v, ok := get(k); ok {
+					fail("writer %d: key %d resurrected after DELETE with %q (gen %d)", owner, k, v, gen)
+					return
+				}
+			}
+		}
+	}
+
+	// Fixed-key writers.
+	for o := 0; o < writersPerKind; o++ {
+		owner := o
+		c, closeConn := dialT(t, srv.Addr())
+		defer closeConn()
+		base := uint64(1000 * (owner + 1))
+		wg.Add(1)
+		go writer(owner,
+			func(key, gen int) {
+				c.send(protocol.Request{Op: protocol.OpInsert, Key: base + uint64(key), Value: value(owner, key, gen)})
+			},
+			func(key int) ([]byte, bool) { return c.get(base + uint64(key)) },
+			func(key int) bool {
+				return c.del(protocol.Request{Op: protocol.OpDelete, Key: base + uint64(key)})
+			})
+	}
+
+	// String-key writers (distinct owner ids so key spaces stay disjoint).
+	for o := 0; o < writersPerKind; o++ {
+		owner := writersPerKind + o
+		c, closeConn := dialT(t, srv.Addr())
+		defer closeConn()
+		skey := func(key int) []byte { return fmt.Appendf(nil, "owner-%d/key-%d", owner, key) }
+		wg.Add(1)
+		go writer(owner,
+			func(key, gen int) {
+				c.send(protocol.Request{Op: protocol.OpSetStr, StrKey: skey(key), Value: value(owner, key, gen)})
+			},
+			func(key int) ([]byte, bool) { return c.getStr(string(skey(key))) },
+			func(key int) bool {
+				return c.del(protocol.Request{Op: protocol.OpDelStr, StrKey: skey(key)})
+			})
+	}
+
+	// Readers sample every owner's keys and only require well-formedness.
+	for r := 0; r < readers; r++ {
+		c, closeConn := dialT(t, srv.Addr())
+		defer closeConn()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters*keysPerWriter; i++ {
+				owner := i % (2 * writersPerKind)
+				key := i % keysPerWriter
+				var v []byte
+				var ok bool
+				if owner < writersPerKind {
+					v, ok = c.get(uint64(1000*(owner+1)) + uint64(key))
+				} else {
+					v, ok = c.getStr(fmt.Sprintf("owner-%d/key-%d", owner, key))
+				}
+				if ok {
+					want := prefix(owner, key)
+					if len(v) < len(want) || string(v[:len(want)]) != want {
+						fail("reader: owner %d key %d returned foreign value %q", owner, key, v)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// All clients are idle, so the table is quiescent (the TCP round trips
+	// order every partition write before this read).
+	if err := table.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

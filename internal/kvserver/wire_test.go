@@ -1,0 +1,224 @@
+package kvserver
+
+import (
+	"bufio"
+	"fmt"
+	"testing"
+	"time"
+
+	"cphash/internal/core"
+	"cphash/internal/lockhash"
+	"cphash/internal/protocol"
+)
+
+// eachBackend runs fn against a fresh server for both backend designs.
+func eachBackend(t *testing.T, workers int, fn func(t *testing.T, srv *Server)) {
+	t.Helper()
+	t.Run("cphash", func(t *testing.T) {
+		table := core.MustNew(core.Config{
+			Partitions:    2,
+			CapacityBytes: 4 << 20,
+			MaxClients:    workers,
+		})
+		defer table.Close()
+		srv, err := Serve(Config{Addr: "127.0.0.1:0", Workers: workers, NewBackend: NewCPHashBackend(table)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		fn(t, srv)
+	})
+	t.Run("lockhash", func(t *testing.T) {
+		table := lockhash.MustNew(lockhash.Config{Partitions: 16, CapacityBytes: 4 << 20})
+		srv, err := Serve(Config{Addr: "127.0.0.1:0", Workers: workers, NewBackend: NewLockHashBackend(table)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		fn(t, srv)
+	})
+}
+
+// wireClient bundles the codec halves of one test connection.
+type wireClient struct {
+	w *bufio.Writer
+	r *bufio.Reader
+	t *testing.T
+}
+
+func dialT(t *testing.T, addr string) (*wireClient, func()) {
+	t.Helper()
+	w, r, c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &wireClient{w: w, r: r, t: t}, func() { c.Close() }
+}
+
+func (c *wireClient) send(req protocol.Request) {
+	c.t.Helper()
+	if err := protocol.WriteRequest(c.w, req); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *wireClient) getStr(key string) ([]byte, bool) {
+	c.t.Helper()
+	c.send(protocol.Request{Op: protocol.OpGetStr, StrKey: []byte(key)})
+	c.w.Flush()
+	v, found, err := protocol.ReadLookupResponse(c.r, nil)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return v, found
+}
+
+func (c *wireClient) get(key uint64) ([]byte, bool) {
+	c.t.Helper()
+	c.send(protocol.Request{Op: protocol.OpLookup, Key: key})
+	c.w.Flush()
+	v, found, err := protocol.ReadLookupResponse(c.r, nil)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return v, found
+}
+
+func (c *wireClient) del(req protocol.Request) bool {
+	c.t.Helper()
+	c.send(req)
+	c.w.Flush()
+	found, err := protocol.ReadDeleteResponse(c.r)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return found
+}
+
+// TestWireStringTTLDeleteAcceptance is the PR's acceptance scenario over a
+// live TCP connection: SET a string key with a TTL, GET it back, see it
+// vanish after expiry, and DELETE another key — against both backends.
+func TestWireStringTTLDeleteAcceptance(t *testing.T) {
+	eachBackend(t, 2, func(t *testing.T, srv *Server) {
+		c, closeConn := dialT(t, srv.Addr())
+		defer closeConn()
+
+		// SET_STR with a short TTL, plus a durable key to DELETE later.
+		c.send(protocol.Request{Op: protocol.OpSetStr, StrKey: []byte("session:alice"),
+			TTL: 150, Value: []byte("logged-in")})
+		c.send(protocol.Request{Op: protocol.OpSetStr, StrKey: []byte("page:/home"),
+			Value: []byte("<html>home</html>")})
+
+		// GET both back before expiry (the SETs are silent; FIFO ordering
+		// on one connection makes the GETs observe them).
+		if v, ok := c.getStr("session:alice"); !ok || string(v) != "logged-in" {
+			t.Fatalf("GET_STR session:alice = %q, %v; want logged-in", v, ok)
+		}
+		if v, ok := c.getStr("page:/home"); !ok || string(v) != "<html>home</html>" {
+			t.Fatalf("GET_STR page:/home = %q, %v", v, ok)
+		}
+
+		// After the TTL elapses the session is gone; the page persists.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if _, ok := c.getStr("session:alice"); !ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("session:alice still visible long after its 150ms TTL")
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if _, ok := c.getStr("page:/home"); !ok {
+			t.Fatal("page:/home (no TTL) vanished")
+		}
+
+		// DELETE the page; a second delete reports not-found; GET misses.
+		if !c.del(protocol.Request{Op: protocol.OpDelStr, StrKey: []byte("page:/home")}) {
+			t.Fatal("DEL_STR page:/home reported not found")
+		}
+		if c.del(protocol.Request{Op: protocol.OpDelStr, StrKey: []byte("page:/home")}) {
+			t.Fatal("second DEL_STR reported found")
+		}
+		if _, ok := c.getStr("page:/home"); ok {
+			t.Fatal("page:/home visible after DELETE")
+		}
+	})
+}
+
+// TestWireNumericTTLDelete covers the fixed-key v2 ops: INSERT_TTL expiry
+// and DELETE responses, pipelined in one batch write.
+func TestWireNumericTTLDelete(t *testing.T) {
+	eachBackend(t, 1, func(t *testing.T, srv *Server) {
+		c, closeConn := dialT(t, srv.Addr())
+		defer closeConn()
+
+		// One pipelined batch: insert 3 keys (one with TTL), read them,
+		// delete one, read it again.
+		c.send(protocol.Request{Op: protocol.OpInsertTTL, Key: 1, TTL: 150, Value: []byte("ephemeral")})
+		c.send(protocol.Request{Op: protocol.OpInsert, Key: 2, Value: []byte("durable")})
+		c.send(protocol.Request{Op: protocol.OpInsertTTL, Key: 3, TTL: 0, Value: []byte("ttl-zero")})
+		c.send(protocol.Request{Op: protocol.OpLookup, Key: 1})
+		c.send(protocol.Request{Op: protocol.OpLookup, Key: 2})
+		c.send(protocol.Request{Op: protocol.OpDelete, Key: 2})
+		c.send(protocol.Request{Op: protocol.OpLookup, Key: 2})
+		c.send(protocol.Request{Op: protocol.OpDelete, Key: 99})
+		c.w.Flush()
+
+		expect := func(wantV string, wantOK bool) {
+			t.Helper()
+			v, ok, err := protocol.ReadLookupResponse(c.r, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != wantOK || string(v) != wantV {
+				t.Fatalf("lookup = %q, %v; want %q, %v", v, ok, wantV, wantOK)
+			}
+		}
+		expect("ephemeral", true)
+		expect("durable", true)
+		if found, err := protocol.ReadDeleteResponse(c.r); err != nil || !found {
+			t.Fatalf("DELETE 2 = %v, %v; want found", found, err)
+		}
+		expect("", false) // deleted within the same batch
+		if found, err := protocol.ReadDeleteResponse(c.r); err != nil || found {
+			t.Fatalf("DELETE 99 = %v, %v; want not found", found, err)
+		}
+
+		// TTL=0 means never expires; TTL=150ms means gone soon.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if _, ok := c.get(1); !ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("key 1 still visible long after its 150ms TTL")
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if _, ok := c.get(3); !ok {
+			t.Fatal("key 3 (TTL 0 = never) vanished")
+		}
+	})
+}
+
+// TestWireStringCollisionSafety: two different string keys coexist, and a
+// GET_STR of a never-set key misses even though the table is busy.
+func TestWireStringCollisionSafety(t *testing.T) {
+	eachBackend(t, 1, func(t *testing.T, srv *Server) {
+		c, closeConn := dialT(t, srv.Addr())
+		defer closeConn()
+		for i := 0; i < 64; i++ {
+			c.send(protocol.Request{Op: protocol.OpSetStr,
+				StrKey: fmt.Appendf(nil, "key-%d", i), Value: fmt.Appendf(nil, "val-%d", i)})
+		}
+		for i := 0; i < 64; i++ {
+			if v, ok := c.getStr(fmt.Sprintf("key-%d", i)); !ok || string(v) != fmt.Sprintf("val-%d", i) {
+				t.Fatalf("key-%d = %q, %v", i, v, ok)
+			}
+		}
+		if _, ok := c.getStr("never-set"); ok {
+			t.Fatal("GET_STR of a never-set key hit")
+		}
+	})
+}

@@ -22,6 +22,7 @@ package lockhash
 
 import (
 	"fmt"
+	"time"
 
 	"cphash/internal/locks"
 	"cphash/internal/partition"
@@ -51,6 +52,9 @@ type Config struct {
 	BucketsPerPartition int
 	// Seed makes eviction deterministic for tests.
 	Seed uint64
+	// Clock supplies "now" in nanoseconds for TTL expiry (nil = wall
+	// clock). Tests inject fake clocks to make expiry deterministic.
+	Clock func() int64
 }
 
 // Table is a LOCKHASH hash table. All methods are safe for concurrent use
@@ -91,6 +95,7 @@ func New(cfg Config) (*Table, error) {
 			Buckets:       cfg.BucketsPerPartition,
 			Policy:        cfg.Policy,
 			Seed:          cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1,
+			Clock:         cfg.Clock,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("lockhash: partition %d: %w", i, err)
@@ -170,9 +175,15 @@ func (t *Table) Decref(e *partition.Element) {
 // Put stores value under key, reporting whether space was obtained. The
 // value copy happens under the partition lock.
 func (t *Table) Put(key Key, value []byte) bool {
+	return t.PutTTL(key, value, 0)
+}
+
+// PutTTL stores value under key with a time-to-live on the table's clock
+// (0 = never expires), reporting whether space was obtained.
+func (t *Table) PutTTL(key Key, value []byte, ttl time.Duration) bool {
 	p := t.part(key)
 	p.mu.Lock()
-	e := p.store.Insert(key&partition.MaxKey, len(value))
+	e := p.store.InsertTTL(key&partition.MaxKey, len(value), ttl)
 	if e == nil {
 		p.mu.Unlock()
 		return false
@@ -208,6 +219,7 @@ func (t *Table) Stats() partition.Stats {
 		out.InsertErr += s.InsertErr
 		out.Evictions += s.Evictions
 		out.Deletes += s.Deletes
+		out.Expired += s.Expired
 		out.Elements += s.Elements
 	}
 	return out

@@ -94,6 +94,7 @@ type TicketLock struct {
 // Lock acquires the ticket lock.
 func (l *TicketLock) Lock() {
 	ticket := l.next.Add(1) - 1
+	spins := 0
 	for {
 		cur := l.grant.Load()
 		if cur == ticket {
@@ -103,6 +104,7 @@ func (l *TicketLock) Lock() {
 		for i := uint64(0); i < (ticket-cur)*4; i++ {
 			spinPause()
 		}
+		spins = spinOrYield(spins)
 	}
 }
 
@@ -143,8 +145,10 @@ func NewAndersonLock() *AndersonLock {
 func (l *AndersonLock) Lock() {
 	slot := l.tail.Add(1) - 1
 	idx := slot % andersonSlots
+	spins := 0
 	for l.slots[idx].free.Load() == 0 {
 		spinPause()
+		spins = spinOrYield(spins)
 	}
 	l.slots[idx].free.Store(0)
 	l.held = slot
@@ -190,8 +194,10 @@ func (l *MCSLock) Lock() {
 	prev := l.tail.Swap(n)
 	if prev != nil {
 		prev.next.Store(n)
+		spins := 0
 		for n.locked.Load() == 1 {
 			spinPause()
+			spins = spinOrYield(spins)
 		}
 	}
 	l.cur = n
@@ -206,8 +212,10 @@ func (l *MCSLock) Unlock() {
 			l.pool.Put(n)
 			return
 		}
+		spins := 0
 		for next = n.next.Load(); next == nil; next = n.next.Load() {
 			spinPause()
+			spins = spinOrYield(spins)
 		}
 	}
 	next.locked.Store(0)
@@ -220,3 +228,23 @@ func (l *MCSLock) Unlock() {
 //
 //go:noinline
 func spinPause() {}
+
+// yieldAfterSpins bounds how long a waiter spins before letting the
+// scheduler run someone else. The paper's locks assume a dedicated core
+// per thread; on an oversubscribed host (CI boxes, GOMAXPROCS=1) the lock
+// holder may not even be running, and a pure spin then stalls everyone —
+// spectacularly so under the race detector. Short waits never reach the
+// bound, so dedicated-core measurements are unaffected.
+const yieldAfterSpins = 256
+
+// spinOrYield advances a per-wait spin counter, yielding the processor
+// each time the counter reaches the bound. Spinlock's backoff loop has
+// its own equivalent policy.
+func spinOrYield(spins int) int {
+	spins++
+	if spins >= yieldAfterSpins {
+		runtime.Gosched()
+		return 0
+	}
+	return spins
+}

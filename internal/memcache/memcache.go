@@ -17,15 +17,17 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cphash/internal/protocol"
 )
 
 // entry is one cached key/value pair plus its LRU hook.
 type entry struct {
-	key   uint64
-	value []byte
-	elem  *list.Element
+	key     uint64
+	value   []byte
+	expires int64 // wall-clock ns deadline; 0 = never
+	elem    *list.Element
 }
 
 // Instance is one single-lock cache server, the unit the client partitions
@@ -120,7 +122,7 @@ func (i *Instance) serveConn(conn net.Conn) {
 	}()
 	br := bufio.NewReaderSize(conn, 32<<10)
 	bw := bufio.NewWriterSize(conn, 32<<10)
-	var scratch []byte
+	var scratch, entryBuf []byte
 	for {
 		req, err := protocol.ReadRequest(br)
 		if err != nil {
@@ -138,13 +140,46 @@ func (i *Instance) serveConn(conn net.Conn) {
 			if err := bw.Flush(); err != nil {
 				return
 			}
-		case protocol.OpInsert:
-			i.put(req.Key, req.Value)
+		case protocol.OpGetStr:
+			scratch = scratch[:0]
+			var found bool
+			var value []byte
+			scratch, found = i.get(protocol.HashStringKey(req.StrKey), scratch)
+			if found {
+				value, found = protocol.CutStringEntry(scratch, req.StrKey)
+			}
+			if err := protocol.WriteLookupResponse(bw, value, found); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case protocol.OpInsert, protocol.OpInsertTTL:
+			i.put(req.Key, req.Value, req.TTL)
+		case protocol.OpSetStr:
+			// put copies under the lock, so the staging buffer is reusable.
+			entryBuf = protocol.AppendStringEntry(entryBuf[:0], req.StrKey, req.Value)
+			i.put(protocol.HashStringKey(req.StrKey), entryBuf, req.TTL)
+		case protocol.OpDelete:
+			if err := protocol.WriteDeleteResponse(bw, i.del(req.Key)); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case protocol.OpDelStr:
+			if err := protocol.WriteDeleteResponse(bw, i.del(protocol.HashStringKey(req.StrKey))); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
 
-// get copies the value under the global lock.
+// get copies the value under the global lock. An entry whose TTL elapsed
+// is removed lazily and reported as a miss.
 func (i *Instance) get(key uint64, dst []byte) ([]byte, bool) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
@@ -152,18 +187,21 @@ func (i *Instance) get(key uint64, dst []byte) ([]byte, bool) {
 	if !ok {
 		return dst, false
 	}
+	if e.expires != 0 && time.Now().UnixNano() >= e.expires {
+		i.removeLocked(e)
+		return dst, false
+	}
 	i.lru.MoveToFront(e.elem)
 	return append(dst, e.value...), true
 }
 
 // put stores the value under the global lock, evicting LRU entries to fit.
-func (i *Instance) put(key uint64, value []byte) {
+// ttlMillis of 0 means "never expires".
+func (i *Instance) put(key uint64, value []byte, ttlMillis uint32) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	if old, ok := i.m[key]; ok {
-		i.used -= len(old.value)
-		i.lru.Remove(old.elem)
-		delete(i.m, key)
+		i.removeLocked(old)
 	}
 	if len(value) > i.capB {
 		return // cannot fit at all; silently drop (cache semantics)
@@ -173,15 +211,37 @@ func (i *Instance) put(key uint64, value []byte) {
 		if back == nil {
 			break
 		}
-		victim := back.Value.(*entry)
-		i.lru.Remove(back)
-		delete(i.m, victim.key)
-		i.used -= len(victim.value)
+		i.removeLocked(back.Value.(*entry))
 	}
 	e := &entry{key: key, value: append([]byte(nil), value...)}
+	if ttlMillis != 0 {
+		e.expires = time.Now().UnixNano() + int64(ttlMillis)*int64(time.Millisecond)
+	}
 	e.elem = i.lru.PushFront(e)
 	i.m[key] = e
 	i.used += len(value)
+}
+
+// del removes the entry under the global lock, reporting whether a live
+// (unexpired) entry existed.
+func (i *Instance) del(key uint64) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	e, ok := i.m[key]
+	if !ok {
+		return false
+	}
+	expired := e.expires != 0 && time.Now().UnixNano() >= e.expires
+	i.removeLocked(e)
+	return !expired
+}
+
+// removeLocked unlinks an entry from the map, LRU list, and byte
+// accounting. Callers hold i.mu.
+func (i *Instance) removeLocked(e *entry) {
+	i.lru.Remove(e.elem)
+	delete(i.m, e.key)
+	i.used -= len(e.value)
 }
 
 // Len returns the number of cached entries (diagnostic).

@@ -1,0 +1,88 @@
+package memcache
+
+import (
+	"testing"
+	"time"
+
+	"cphash/internal/protocol"
+)
+
+// TestInstanceV2Ops: the memcached stand-in speaks the full version-2
+// protocol — DELETE with found responses, TTL inserts that expire, and
+// string-key GET/SET/DEL — so the same load generators can drive all
+// three server designs.
+func TestInstanceV2Ops(t *testing.T) {
+	inst, err := ServeInstance("127.0.0.1:0", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	w, r, conn := dial(t, inst.Addr())
+	defer conn.Close()
+
+	// DELETE: present → found, absent → not found, then a GET misses.
+	protocol.WriteRequest(w, protocol.Request{Op: protocol.OpInsert, Key: 1, Value: []byte("one")})
+	protocol.WriteRequest(w, protocol.Request{Op: protocol.OpDelete, Key: 1})
+	protocol.WriteRequest(w, protocol.Request{Op: protocol.OpDelete, Key: 1})
+	protocol.WriteRequest(w, protocol.Request{Op: protocol.OpLookup, Key: 1})
+	w.Flush()
+	if found, err := protocol.ReadDeleteResponse(r); err != nil || !found {
+		t.Fatalf("first DELETE = %v, %v; want found", found, err)
+	}
+	if found, err := protocol.ReadDeleteResponse(r); err != nil || found {
+		t.Fatalf("second DELETE = %v, %v; want not found", found, err)
+	}
+	if _, found, err := protocol.ReadLookupResponse(r, nil); err != nil || found {
+		t.Fatalf("LOOKUP after DELETE = %v, %v; want miss", found, err)
+	}
+
+	// String keys round-trip and missing keys miss.
+	protocol.WriteRequest(w, protocol.Request{Op: protocol.OpSetStr, StrKey: []byte("greeting"), Value: []byte("hello")})
+	protocol.WriteRequest(w, protocol.Request{Op: protocol.OpGetStr, StrKey: []byte("greeting")})
+	protocol.WriteRequest(w, protocol.Request{Op: protocol.OpGetStr, StrKey: []byte("absent")})
+	protocol.WriteRequest(w, protocol.Request{Op: protocol.OpDelStr, StrKey: []byte("greeting")})
+	protocol.WriteRequest(w, protocol.Request{Op: protocol.OpGetStr, StrKey: []byte("greeting")})
+	w.Flush()
+	if v, found, err := protocol.ReadLookupResponse(r, nil); err != nil || !found || string(v) != "hello" {
+		t.Fatalf("GET_STR greeting = %q, %v, %v", v, found, err)
+	}
+	if _, found, err := protocol.ReadLookupResponse(r, nil); err != nil || found {
+		t.Fatalf("GET_STR absent = %v, %v; want miss", found, err)
+	}
+	if found, err := protocol.ReadDeleteResponse(r); err != nil || !found {
+		t.Fatalf("DEL_STR greeting = %v, %v; want found", found, err)
+	}
+	if _, found, err := protocol.ReadLookupResponse(r, nil); err != nil || found {
+		t.Fatal("GET_STR after DEL_STR hit")
+	}
+
+	// TTL: a 100ms entry vanishes; deleting it afterwards reports absent.
+	protocol.WriteRequest(w, protocol.Request{Op: protocol.OpInsertTTL, Key: 9, TTL: 100, Value: []byte("soon")})
+	protocol.WriteRequest(w, protocol.Request{Op: protocol.OpLookup, Key: 9})
+	w.Flush()
+	if v, found, err := protocol.ReadLookupResponse(r, nil); err != nil || !found || string(v) != "soon" {
+		t.Fatalf("LOOKUP before TTL = %q, %v, %v", v, found, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		protocol.WriteRequest(w, protocol.Request{Op: protocol.OpLookup, Key: 9})
+		w.Flush()
+		_, found, err := protocol.ReadLookupResponse(r, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("key 9 still visible long after its 100ms TTL")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	protocol.WriteRequest(w, protocol.Request{Op: protocol.OpDelete, Key: 9})
+	w.Flush()
+	if found, err := protocol.ReadDeleteResponse(r); err != nil || found {
+		t.Fatalf("DELETE of expired key = %v, %v; want not found", found, err)
+	}
+}

@@ -3,6 +3,7 @@ package partition
 import (
 	"fmt"
 	"math/bits"
+	"time"
 )
 
 // Key is a CPHash key. The paper's implementation limits keys to 60-bit
@@ -67,12 +68,13 @@ func (p EvictionPolicy) String() string {
 // (CPHASH sends a Decref message; LOCKHASH calls it under the partition
 // lock).
 type Element struct {
-	key   Key
-	off   uint32 // arena payload offset of the value
-	size  int32  // value size in bytes
-	refs  int32  // references held by clients
-	ready bool   // false between Insert and MarkReady
-	dead  bool   // unlinked from the table; memory pending refs==0
+	key    Key
+	off    uint32 // arena payload offset of the value
+	size   int32  // value size in bytes
+	refs   int32  // references held by clients
+	expire int64  // clock deadline in ns; 0 = never expires
+	ready  bool   // false between Insert and MarkReady
+	dead   bool   // unlinked from the table; memory pending refs==0
 
 	hNext, hPrev *Element // bucket chain
 	lNext, lPrev *Element // LRU list (unused under EvictRandom)
@@ -88,6 +90,10 @@ func (e *Element) Size() int { return int(e.size) }
 
 // Ready reports whether the value bytes have been published with MarkReady.
 func (e *Element) Ready() bool { return e.ready }
+
+// ExpireAt returns the element's expiry deadline on the store's clock in
+// nanoseconds, or 0 for an element that never expires.
+func (e *Element) ExpireAt() int64 { return e.expire }
 
 // Value returns the value bytes. The slice aliases partition memory: for a
 // looked-up element it is valid until Decref; for a fresh insert the caller
@@ -108,6 +114,7 @@ type Stats struct {
 	InsertErr int64 // inserts that failed for lack of space
 	Evictions int64 // elements evicted to make room
 	Deletes   int64 // explicit deletes
+	Expired   int64 // elements removed because their TTL elapsed
 	Elements  int64 // elements currently linked
 }
 
@@ -124,6 +131,10 @@ type Config struct {
 	Policy EvictionPolicy
 	// Seed seeds the random-eviction generator; ignored under EvictLRU.
 	Seed uint64
+	// Clock supplies the store's notion of "now" in nanoseconds for TTL
+	// expiry; nil uses the wall clock. Tests inject fake clocks to make
+	// expiry deterministic.
+	Clock func() int64
 }
 
 // Store is one CPHash partition: a chained hash table plus LRU list over an
@@ -139,9 +150,12 @@ type Store struct {
 	lruTail *Element // least recently used
 
 	rng   uint64 // xorshift state for random eviction
+	clock func() int64
 	stats Stats
 
-	free *Element // recycled Element headers
+	sweepCursor uint64   // next bucket SweepExpired examines
+	ttlElems    int      // linked elements with a nonzero expiry deadline
+	free        *Element // recycled Element headers
 }
 
 // NewStore returns an empty partition with the given configuration.
@@ -167,12 +181,17 @@ func NewStore(cfg Config) (*Store, error) {
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
 	return &Store{
 		buckets: make([]*Element, nb),
 		mask:    uint64(nb - 1),
 		arena:   arena,
 		policy:  cfg.Policy,
 		rng:     seed,
+		clock:   clock,
 	}, nil
 }
 
@@ -218,13 +237,37 @@ func Mix64(x uint64) uint64 {
 	return x
 }
 
-// Lookup finds a ready element, bumps its reference count, moves it to the
-// LRU head, and returns it; it returns nil on miss. The caller must
+// Now returns the store's clock reading in nanoseconds; TTL deadlines are
+// expressed on this clock.
+func (s *Store) Now() int64 { return s.clock() }
+
+// expired reports whether e's TTL has elapsed at clock reading now.
+func (e *Element) expired(now int64) bool {
+	return e.expire != 0 && now >= e.expire
+}
+
+// expireElement lazily removes an element whose deadline has passed,
+// counting it as Expired (not a delete or eviction).
+func (s *Store) expireElement(e *Element) {
+	s.stats.Expired++
+	s.unlink(e)
+}
+
+// Lookup finds a ready, unexpired element, bumps its reference count,
+// moves it to the LRU head, and returns it; it returns nil on miss. An
+// element whose TTL has elapsed is removed lazily here — the paper-style
+// single-owner store makes this safe without locks. The caller must
 // eventually call Decref exactly once per successful Lookup.
 func (s *Store) Lookup(k Key) *Element {
 	s.stats.Lookups++
 	e := s.find(k)
 	if e == nil || !e.ready {
+		return nil
+	}
+	// Read the clock only for elements that can expire, keeping the
+	// paper's no-TTL hot path free of wall-clock overhead.
+	if e.expire != 0 && e.expired(s.clock()) {
+		s.expireElement(e)
 		return nil
 	}
 	s.stats.Hits++
@@ -233,11 +276,12 @@ func (s *Store) Lookup(k Key) *Element {
 	return e
 }
 
-// Contains reports whether k is linked and ready without touching LRU state
-// or reference counts (used by tests and admin tooling).
+// Contains reports whether k is linked, ready and unexpired without
+// touching LRU state, reference counts, or (unlike Lookup) removing an
+// expired element (used by tests and admin tooling).
 func (s *Store) Contains(k Key) bool {
 	e := s.find(k)
-	return e != nil && e.ready
+	return e != nil && e.ready && !(e.expire != 0 && e.expired(s.clock()))
 }
 
 func (s *Store) find(k Key) *Element {
@@ -254,8 +298,31 @@ func (s *Store) find(k Key) *Element {
 // returns the new NOT_READY element with one caller reference. The caller
 // copies the value into e.Value(), calls MarkReady, and finally Decref.
 // Insert returns nil when space cannot be made even after evicting
-// everything evictable.
+// everything evictable. The element never expires.
 func (s *Store) Insert(k Key, size int) *Element {
+	return s.InsertExpire(k, size, 0)
+}
+
+// InsertTTL is Insert with a relative time-to-live on the store's clock;
+// ttl <= 0 means "never expires", and a ttl so large the deadline
+// overflows is treated as "never" too.
+func (s *Store) InsertTTL(k Key, size int, ttl time.Duration) *Element {
+	if ttl <= 0 {
+		return s.InsertExpire(k, size, 0)
+	}
+	now := s.clock()
+	deadline := now + int64(ttl)
+	if deadline < now {
+		deadline = 0 // overflow: effectively forever
+	}
+	return s.InsertExpire(k, size, deadline)
+}
+
+// InsertExpire is Insert with an absolute expiry deadline on the store's
+// clock (nanoseconds); expireAt = 0 means "never expires". A deadline
+// already in the past still inserts — the element simply expires on its
+// first lookup or sweep, keeping insert semantics uniform.
+func (s *Store) InsertExpire(k Key, size int, expireAt int64) *Element {
 	s.stats.Inserts++
 	if size < 0 || k > MaxKey {
 		s.stats.InsertErr++
@@ -270,26 +337,76 @@ func (s *Store) Insert(k Key, size int) *Element {
 		return nil
 	}
 	e := s.newElement()
-	*e = Element{key: k, off: off, size: int32(size), refs: 1, store: s}
+	*e = Element{key: k, off: off, size: int32(size), refs: 1, expire: expireAt, store: s}
 	s.linkBucket(e)
 	s.lruPushFront(e)
 	s.stats.Elements++
+	if expireAt != 0 {
+		s.ttlElems++
+	}
 	return e
 }
 
 // allocEvicting allocates a value block, evicting per policy until the
 // allocation succeeds or nothing evictable remains. The header charge is
 // modeled by reserving HeaderBytes alongside the value; to keep the charge
-// physical we allocate value+HeaderBytes in one block.
+// physical we allocate value+HeaderBytes in one block. Before evicting a
+// live element it sweeps a bounded number of buckets for expired elements
+// — dead weight goes first, so TTLs reduce eviction pressure.
 func (s *Store) allocEvicting(size int) (uint32, bool) {
+	swept := false
 	for {
 		if off, ok := s.arena.Alloc(size + HeaderBytes); ok {
 			return off + HeaderBytes, ok
+		}
+		if !swept {
+			swept = true
+			if s.SweepExpired(evictSweepBuckets) > 0 {
+				continue
+			}
 		}
 		if !s.evictOne() {
 			return 0, false
 		}
 	}
+}
+
+// evictSweepBuckets bounds the expired-element sweep a full partition
+// performs before falling back to policy eviction.
+const evictSweepBuckets = 64
+
+// SweepExpired examines up to maxBuckets bucket chains (resuming where the
+// previous sweep stopped) and unlinks every expired element found,
+// returning how many were removed. Expiry is otherwise lazy — an expired
+// element is reclaimed at its next Lookup — so the sweep exists to reclaim
+// cold expired entries: eviction runs it before sacrificing live elements,
+// and admin loops may call it periodically. maxBuckets <= 0 sweeps the
+// whole table.
+func (s *Store) SweepExpired(maxBuckets int) int {
+	if s.ttlElems == 0 {
+		return 0 // nothing in the table can expire; keep the paper's
+		// no-TTL eviction path free of sweep overhead
+	}
+	n := int(s.mask) + 1
+	if maxBuckets <= 0 || maxBuckets > n {
+		maxBuckets = n
+	}
+	now := s.clock()
+	removed := 0
+	for i := 0; i < maxBuckets; i++ {
+		idx := (s.sweepCursor + uint64(i)) & s.mask
+		e := s.buckets[idx]
+		for e != nil {
+			next := e.hNext
+			if e.expired(now) {
+				s.expireElement(e)
+				removed++
+			}
+			e = next
+		}
+	}
+	s.sweepCursor = (s.sweepCursor + uint64(maxBuckets)) & s.mask
+	return removed
 }
 
 // evictOne unlinks one element according to the eviction policy and reports
@@ -334,11 +451,16 @@ func (s *Store) randomElement() *Element {
 	return nil
 }
 
-// Delete unlinks the element with key k, reporting whether it existed.
-// Memory follows the usual refcount rule.
+// Delete unlinks the element with key k, reporting whether it existed. A
+// key whose TTL has elapsed counts as absent (and is reclaimed here, as in
+// Lookup). Memory follows the usual refcount rule.
 func (s *Store) Delete(k Key) bool {
 	e := s.find(k)
 	if e == nil {
+		return false
+	}
+	if e.expire != 0 && e.expired(s.clock()) {
+		s.expireElement(e)
 		return false
 	}
 	s.stats.Deletes++
@@ -375,6 +497,9 @@ func (s *Store) unlink(e *Element) {
 	s.unlinkBucket(e)
 	s.lruRemove(e)
 	s.stats.Elements--
+	if e.expire != 0 {
+		s.ttlElems--
+	}
 	e.dead = true
 	if e.refs == 0 {
 		s.release(e)
@@ -482,9 +607,13 @@ func (s *Store) LRUKeys() []Key {
 // and the underlying arena; tests call it after mutation storms.
 func (s *Store) CheckInvariants() error {
 	linked := 0
+	ttl := 0
 	for i, head := range s.buckets {
 		var prev *Element
 		for e := head; e != nil; e = e.hNext {
+			if e.expire != 0 {
+				ttl++
+			}
 			if e.hPrev != prev {
 				return fmt.Errorf("bucket %d: broken hPrev at key %d", i, e.key)
 			}
@@ -500,6 +629,9 @@ func (s *Store) CheckInvariants() error {
 	}
 	if linked != int(s.stats.Elements) {
 		return fmt.Errorf("linked = %d, stats.Elements = %d", linked, s.stats.Elements)
+	}
+	if ttl != s.ttlElems {
+		return fmt.Errorf("linked TTL elements = %d, ttlElems = %d", ttl, s.ttlElems)
 	}
 	if s.policy == EvictLRU {
 		lru := 0

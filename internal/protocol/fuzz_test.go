@@ -86,3 +86,141 @@ func TestQuickValidStreamAlwaysParses(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// requestEqual compares parsed requests field by field, treating nil and
+// empty slices as equal (the wire cannot distinguish them).
+func requestEqual(a, b Request) bool {
+	return a.Op == b.Op && a.Key == b.Key && a.TTL == b.TTL &&
+		bytes.Equal(a.StrKey, b.StrKey) && bytes.Equal(a.Value, b.Value)
+}
+
+// TestQuickV2StreamRoundTrips: arbitrary mixed streams of every version-2
+// op (DELETE, INSERT_TTL, GET_STR, SET_STR, DEL_STR) interleaved with
+// version-1 ops round-trip exactly.
+func TestQuickV2StreamRoundTrips(t *testing.T) {
+	ops := []uint8{OpLookup, OpInsert, OpDelete, OpInsertTTL, OpGetStr, OpSetStr, OpDelStr}
+	f := func(sel []uint8, keys []uint64, ttls []uint32, blobs [][]byte) bool {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		var want []Request
+		blob := func(i, max int) []byte {
+			if len(blobs) == 0 {
+				return []byte{}
+			}
+			b := blobs[i%len(blobs)]
+			if len(b) > max {
+				b = b[:max]
+			}
+			if b == nil {
+				b = []byte{}
+			}
+			return b
+		}
+		for i, s := range sel {
+			req := Request{Op: ops[int(s)%len(ops)]}
+			if len(keys) > 0 {
+				req.Key = keys[i%len(keys)]
+			}
+			switch req.Op {
+			case OpGetStr, OpSetStr, OpDelStr:
+				req.Key = 0
+				req.StrKey = blob(i, MaxKeyLen)
+			}
+			switch req.Op {
+			case OpInsertTTL, OpSetStr:
+				if len(ttls) > 0 {
+					req.TTL = ttls[i%len(ttls)]
+				}
+			}
+			switch req.Op {
+			case OpInsert, OpInsertTTL, OpSetStr:
+				req.Value = blob(i+1, 1024)
+			}
+			if err := WriteRequest(w, req); err != nil {
+				return false
+			}
+			want = append(want, req)
+		}
+		w.Flush()
+		r := bufio.NewReader(&buf)
+		for _, wr := range want {
+			got, err := ReadRequest(r)
+			if err != nil || !requestEqual(got, wr) {
+				return false
+			}
+		}
+		_, err := ReadRequest(r)
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeleteResponseRoundTrips: delete responses round-trip and the
+// reader never panics on garbage (it is a single byte, so any byte parses).
+func TestQuickDeleteResponseRoundTrips(t *testing.T) {
+	f := func(found []bool) bool {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		for _, fd := range found {
+			if WriteDeleteResponse(w, fd) != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r := bufio.NewReader(&buf)
+		for _, fd := range found {
+			got, err := ReadDeleteResponse(r)
+			if err != nil || got != fd {
+				return false
+			}
+		}
+		_, err := ReadDeleteResponse(r)
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStringEntryRoundTrips: AppendStringEntry/CutStringEntry are
+// inverses for the matching key, and a different key never reads the
+// entry (unless it is byte-identical).
+func TestQuickStringEntryRoundTrips(t *testing.T) {
+	f := func(key, other, value []byte) bool {
+		raw := AppendStringEntry(nil, key, value)
+		v, ok := CutStringEntry(raw, key)
+		if !ok || !bytes.Equal(v, value) {
+			return false
+		}
+		if !bytes.Equal(other, key) {
+			if _, ok := CutStringEntry(raw, other); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOversizeFramesRejected: writer and reader both refuse frames beyond
+// the protocol bounds.
+func TestOversizeFramesRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteRequest(w, Request{Op: OpSetStr, StrKey: make([]byte, MaxKeyLen+1)}); err == nil {
+		t.Error("oversize string key accepted by writer")
+	}
+	if err := WriteRequest(w, Request{Op: OpInsertTTL, Key: 1, Value: make([]byte, MaxValueSize+1)}); err == nil {
+		t.Error("oversize value accepted by writer")
+	}
+	// A crafted oversize klen on the wire must be rejected by the reader.
+	buf.Reset()
+	buf.Write([]byte{OpGetStr, 0xff, 0xff}) // klen = 65535 > MaxKeyLen
+	if _, err := ReadRequest(bufio.NewReader(&buf)); err == nil {
+		t.Error("oversize wire klen accepted by reader")
+	}
+}

@@ -1,5 +1,5 @@
-// Package protocol implements CPSERVER's binary wire protocol (Section 4.1
-// of the CPHash paper). There are two request types:
+// Package protocol implements CPSERVER's binary wire protocol. Version 1
+// is Section 4.1 of the CPHash paper verbatim:
 //
 //	LOOKUP:  op(1) | key(8)
 //	INSERT:  op(1) | key(8) | size(4) | value(size)
@@ -8,83 +8,198 @@
 // meaning "not found". An INSERT is performed silently: the server sends
 // no response, exactly as in the paper.
 //
-// Integers are little-endian. Keys are 60-bit (high bits must be zero).
+// Version 2 extends the protocol toward a full memcached-class cache
+// while keeping every version-1 frame byte-identical:
+//
+//	DELETE:      op(1) | key(8)
+//	INSERT_TTL:  op(1) | key(8) | ttl_ms(4) | size(4) | value(size)
+//	GET_STR:     op(1) | klen(2) | key(klen)
+//	SET_STR:     op(1) | klen(2) | key(klen) | ttl_ms(4) | size(4) | value(size)
+//	DEL_STR:     op(1) | klen(2) | key(klen)
+//
+// A DELETE/DEL_STR elicits a one-byte response — found(1), nonzero when
+// the key existed — so clients can synchronize on deletion. GET_STR is
+// answered like LOOKUP. SET_STR and INSERT_TTL are silent like INSERT.
+// A ttl_ms of zero means "never expires"; otherwise the entry becomes
+// invisible ttl_ms milliseconds after the server stores it.
+//
+// String keys are variable-length (up to MaxKeyLen bytes) and are routed
+// to the fixed 60-bit key space by HashStringKey, the paper's Section 8.2
+// extension; AppendStringEntry/CutStringEntry define the stored-entry
+// framing that makes 60-bit hash collisions detectable.
+//
+// Integers are little-endian. Fixed keys are 60-bit (high bits must be
+// zero). Servers that only speak version 1 treat version-2 opcodes as a
+// protocol error and drop the connection, so version negotiation is
+// implicit: a client probes with a DELETE and falls back on disconnect.
 package protocol
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 )
 
-// Op codes.
+// Op codes. Ops 1–2 are protocol version 1 (the paper's CPSERVER); ops
+// 3–7 are version 2.
 const (
 	// OpLookup asks for the value under a key.
 	OpLookup uint8 = 1
 	// OpInsert stores a value under a key, silently.
 	OpInsert uint8 = 2
+	// OpDelete removes a key; the response is one found-byte.
+	OpDelete uint8 = 3
+	// OpInsertTTL is OpInsert with a leading ttl_ms field.
+	OpInsertTTL uint8 = 4
+	// OpGetStr is OpLookup with a variable-length string key.
+	OpGetStr uint8 = 5
+	// OpSetStr is OpInsertTTL with a variable-length string key.
+	OpSetStr uint8 = 6
+	// OpDelStr is OpDelete with a variable-length string key.
+	OpDelStr uint8 = 7
 )
+
+// Version is the highest protocol version this package speaks.
+const Version = 2
+
+// OpVersion returns the protocol version that introduced op, or 0 for an
+// unknown opcode.
+func OpVersion(op uint8) int {
+	switch op {
+	case OpLookup, OpInsert:
+		return 1
+	case OpDelete, OpInsertTTL, OpGetStr, OpSetStr, OpDelStr:
+		return 2
+	default:
+		return 0
+	}
+}
 
 // MaxValueSize bounds a value (and therefore a frame); larger sizes are
 // treated as protocol errors so a corrupt stream cannot force huge
 // allocations.
 const MaxValueSize = 16 << 20
 
+// MaxKeyLen bounds a string key. Wire klen is 16-bit, but memcached-class
+// traffic never needs more than this and the bound keeps per-request
+// allocations small.
+const MaxKeyLen = 4 << 10
+
+// maxFixedKey is the largest valid fixed key (60 bits, as in the paper).
+const maxFixedKey = 1<<60 - 1
+
 // Request is one parsed client request.
 type Request struct {
-	Op    uint8
-	Key   uint64
-	Value []byte // INSERT payload; nil for LOOKUP
+	Op     uint8
+	Key    uint64 // fixed 60-bit key; unset for string-key ops
+	StrKey []byte // string key for OpGetStr/OpSetStr/OpDelStr
+	TTL    uint32 // milliseconds; 0 = never expires (OpInsertTTL/OpSetStr)
+	Value  []byte // INSERT/INSERT_TTL/SET_STR payload
+}
+
+// hasStrKey reports whether op carries a variable-length key.
+func hasStrKey(op uint8) bool {
+	return op == OpGetStr || op == OpSetStr || op == OpDelStr
+}
+
+// hasValue reports whether op carries a ttl+size+value trailer.
+func hasValue(op uint8) bool {
+	return op == OpInsert || op == OpInsertTTL || op == OpSetStr
 }
 
 // WriteRequest serializes r. The caller flushes the writer when its batch
 // is complete (batching is the point of the protocol).
 func WriteRequest(w *bufio.Writer, r Request) error {
-	var hdr [13]byte
-	hdr[0] = r.Op
-	binary.LittleEndian.PutUint64(hdr[1:], r.Key)
-	switch r.Op {
-	case OpLookup:
-		_, err := w.Write(hdr[:9])
+	// Validate the whole frame before buffering any byte of it: a failed
+	// call must leave the stream clean for the caller's next request.
+	if OpVersion(r.Op) == 0 {
+		return fmt.Errorf("protocol: unknown op %d", r.Op)
+	}
+	if hasStrKey(r.Op) && len(r.StrKey) > MaxKeyLen {
+		return fmt.Errorf("protocol: key of %d bytes exceeds maximum %d", len(r.StrKey), MaxKeyLen)
+	}
+	if hasValue(r.Op) && len(r.Value) > MaxValueSize {
+		return fmt.Errorf("protocol: value of %d bytes exceeds maximum %d", len(r.Value), MaxValueSize)
+	}
+	if err := w.WriteByte(r.Op); err != nil {
 		return err
-	case OpInsert:
-		if len(r.Value) > MaxValueSize {
-			return fmt.Errorf("protocol: value of %d bytes exceeds maximum %d", len(r.Value), MaxValueSize)
+	}
+	var scratch [8]byte
+	if hasStrKey(r.Op) {
+		binary.LittleEndian.PutUint16(scratch[:], uint16(len(r.StrKey)))
+		if _, err := w.Write(scratch[:2]); err != nil {
+			return err
 		}
-		binary.LittleEndian.PutUint32(hdr[9:], uint32(len(r.Value)))
-		if _, err := w.Write(hdr[:13]); err != nil {
+		if _, err := w.Write(r.StrKey); err != nil {
+			return err
+		}
+	} else {
+		binary.LittleEndian.PutUint64(scratch[:], r.Key)
+		if _, err := w.Write(scratch[:8]); err != nil {
+			return err
+		}
+	}
+	if r.Op == OpInsertTTL || r.Op == OpSetStr {
+		binary.LittleEndian.PutUint32(scratch[:], r.TTL)
+		if _, err := w.Write(scratch[:4]); err != nil {
+			return err
+		}
+	}
+	if hasValue(r.Op) {
+		binary.LittleEndian.PutUint32(scratch[:], uint32(len(r.Value)))
+		if _, err := w.Write(scratch[:4]); err != nil {
 			return err
 		}
 		_, err := w.Write(r.Value)
 		return err
-	default:
-		return fmt.Errorf("protocol: unknown op %d", r.Op)
 	}
+	return nil
 }
 
-// ReadRequest parses one request. The returned Value (for INSERT) is a
-// fresh copy owned by the caller. io.EOF is returned cleanly only at a
+// ReadRequest parses one request. The returned StrKey/Value slices are
+// fresh copies owned by the caller. io.EOF is returned cleanly only at a
 // message boundary.
 func ReadRequest(r *bufio.Reader) (Request, error) {
 	op, err := r.ReadByte()
 	if err != nil {
 		return Request{}, err // io.EOF at boundary is clean shutdown
 	}
-	var keyBuf [8]byte
-	if _, err := io.ReadFull(r, keyBuf[:]); err != nil {
-		return Request{}, unexpected(err)
+	if OpVersion(op) == 0 {
+		return Request{}, fmt.Errorf("protocol: unknown op %d", op)
 	}
-	req := Request{Op: op, Key: binary.LittleEndian.Uint64(keyBuf[:])}
-	switch op {
-	case OpLookup:
-		return req, nil
-	case OpInsert:
-		var szBuf [4]byte
-		if _, err := io.ReadFull(r, szBuf[:]); err != nil {
+	req := Request{Op: op}
+	var scratch [8]byte
+	if hasStrKey(op) {
+		if _, err := io.ReadFull(r, scratch[:2]); err != nil {
 			return Request{}, unexpected(err)
 		}
-		size := binary.LittleEndian.Uint32(szBuf[:])
+		klen := binary.LittleEndian.Uint16(scratch[:2])
+		if klen > MaxKeyLen {
+			return Request{}, fmt.Errorf("protocol: key length %d exceeds maximum %d", klen, MaxKeyLen)
+		}
+		req.StrKey = make([]byte, klen)
+		if _, err := io.ReadFull(r, req.StrKey); err != nil {
+			return Request{}, unexpected(err)
+		}
+	} else {
+		if _, err := io.ReadFull(r, scratch[:8]); err != nil {
+			return Request{}, unexpected(err)
+		}
+		req.Key = binary.LittleEndian.Uint64(scratch[:8])
+	}
+	if op == OpInsertTTL || op == OpSetStr {
+		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+			return Request{}, unexpected(err)
+		}
+		req.TTL = binary.LittleEndian.Uint32(scratch[:4])
+	}
+	if hasValue(op) {
+		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+			return Request{}, unexpected(err)
+		}
+		size := binary.LittleEndian.Uint32(scratch[:4])
 		if size > MaxValueSize {
 			return Request{}, fmt.Errorf("protocol: value size %d exceeds maximum %d", size, MaxValueSize)
 		}
@@ -92,15 +207,13 @@ func ReadRequest(r *bufio.Reader) (Request, error) {
 		if _, err := io.ReadFull(r, req.Value); err != nil {
 			return Request{}, unexpected(err)
 		}
-		return req, nil
-	default:
-		return Request{}, fmt.Errorf("protocol: unknown op %d", op)
 	}
+	return req, nil
 }
 
-// WriteLookupResponse serializes a LOOKUP response; found=false (or an
-// empty value with found=true is indistinguishable on the wire, as in the
-// paper: "a size field of zero").
+// WriteLookupResponse serializes a LOOKUP/GET_STR response; found=false
+// (or an empty value with found=true) is indistinguishable on the wire, as
+// in the paper: "a size field of zero".
 func WriteLookupResponse(w *bufio.Writer, value []byte, found bool) error {
 	var szBuf [4]byte
 	if !found {
@@ -118,8 +231,8 @@ func WriteLookupResponse(w *bufio.Writer, value []byte, found bool) error {
 	return err
 }
 
-// ReadLookupResponse parses one LOOKUP response, appending the value to
-// dst. found is false for a zero-size response.
+// ReadLookupResponse parses one LOOKUP/GET_STR response, appending the
+// value to dst. found is false for a zero-size response.
 func ReadLookupResponse(r *bufio.Reader, dst []byte) (out []byte, found bool, err error) {
 	var szBuf [4]byte
 	if _, err := io.ReadFull(r, szBuf[:]); err != nil {
@@ -140,6 +253,25 @@ func ReadLookupResponse(r *bufio.Reader, dst []byte) (out []byte, found bool, er
 	return dst, true, nil
 }
 
+// WriteDeleteResponse serializes a DELETE/DEL_STR response: one byte,
+// nonzero when the key existed.
+func WriteDeleteResponse(w *bufio.Writer, found bool) error {
+	b := byte(0)
+	if found {
+		b = 1
+	}
+	return w.WriteByte(b)
+}
+
+// ReadDeleteResponse parses one DELETE/DEL_STR response.
+func ReadDeleteResponse(r *bufio.Reader) (found bool, err error) {
+	b, err := r.ReadByte()
+	if err != nil {
+		return false, err
+	}
+	return b != 0, nil
+}
+
 // unexpected converts a mid-frame EOF into io.ErrUnexpectedEOF so callers
 // can distinguish clean shutdown from truncation.
 func unexpected(err error) error {
@@ -147,4 +279,50 @@ func unexpected(err error) error {
 		return io.ErrUnexpectedEOF
 	}
 	return err
+}
+
+// --- string-key routing (the paper's §8.2 extension) ---
+//
+// A string key is hashed onto the fixed 60-bit key space; the stored
+// value embeds the key string so a 60-bit collision is detected at read
+// time and reported as a miss (cache semantics make that correct). The
+// same framing is used by the client-side StringTable and the server-side
+// GET_STR/SET_STR handlers, so entries written through either surface are
+// readable through the other.
+
+// HashStringKey maps a string key onto the 60-bit fixed key space
+// (FNV-1a, masked).
+func HashStringKey(key []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(key)
+	return h.Sum64() & maxFixedKey
+}
+
+// AppendStringEntry appends the stored-entry encoding of (key, value) —
+// klen(4) | key | value — to dst and returns the extended slice.
+func AppendStringEntry(dst, key, value []byte) []byte {
+	var klen [4]byte
+	binary.LittleEndian.PutUint32(klen[:], uint32(len(key)))
+	dst = append(dst, klen[:]...)
+	dst = append(dst, key...)
+	return append(dst, value...)
+}
+
+// CutStringEntry splits a stored entry, returning the embedded value if
+// the embedded key matches key. A mismatch — a 60-bit hash collision or a
+// corrupt entry — reports ok=false, which callers treat as a miss.
+func CutStringEntry(raw, key []byte) (value []byte, ok bool) {
+	if len(raw) < 4 {
+		return nil, false
+	}
+	// Width-safe bounds check: a crafted 32-bit klen must not overflow
+	// int arithmetic on 32-bit platforms.
+	klen := uint64(binary.LittleEndian.Uint32(raw))
+	if klen+4 > uint64(len(raw)) {
+		return nil, false
+	}
+	if string(raw[4:4+klen]) != string(key) {
+		return nil, false
+	}
+	return raw[4+klen:], true
 }

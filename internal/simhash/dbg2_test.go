@@ -8,6 +8,9 @@ import (
 )
 
 func TestDbgScaledWS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated working-set scaling takes ~10s; skipping in -short")
+	}
 	m := topology.PaperMachine().ScaleCaches(16)
 	for _, ws := range []int{256 << 10, 1 << 20, 4 << 20} {
 		spec := workload.Default(ws)

@@ -1,8 +1,9 @@
 package cphash
 
 import (
-	"encoding/binary"
-	"hash/fnv"
+	"time"
+
+	"cphash/internal/protocol"
 )
 
 // StringTable implements the paper's Section 8.2 extension: arbitrary-size
@@ -13,6 +14,11 @@ import (
 // Because CPHash is a cache, returning "not found" on collision does not
 // violate correctness, and with 60-bit hashes collisions are vanishingly
 // rare at in-memory scales (the paper's argument verbatim).
+//
+// The hash and the stored-entry framing are shared with the wire
+// protocol's GET_STR/SET_STR/DEL_STR ops (internal/protocol), so entries
+// written through a StringTable are readable by a CPSERVER speaking
+// protocol version 2 against the same table, and vice versa.
 //
 // StringTable works over any KV — a CPHASH Client (single-goroutine) or a
 // LockedTable (any concurrency).
@@ -27,18 +33,19 @@ func NewStringTable(kv KV) *StringTable {
 
 // HashString maps a string key to the 60-bit integer key space (FNV-1a).
 func HashString(key string) Key {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key))
-	return KeyOf(h.Sum64())
+	return protocol.HashStringKey([]byte(key))
 }
 
 // Put stores value under the string key, reporting whether space was found.
 func (s *StringTable) Put(key string, value []byte) bool {
-	buf := make([]byte, 4+len(key)+len(value))
-	binary.LittleEndian.PutUint32(buf, uint32(len(key)))
-	copy(buf[4:], key)
-	copy(buf[4+len(key):], value)
-	return s.kv.Put(HashString(key), buf)
+	return s.PutTTL(key, value, 0)
+}
+
+// PutTTL stores value under the string key with a time-to-live (0 = never
+// expires), reporting whether space was found.
+func (s *StringTable) PutTTL(key string, value []byte, ttl time.Duration) bool {
+	entry := protocol.AppendStringEntry(nil, []byte(key), value)
+	return s.kv.PutTTL(HashString(key), entry, ttl)
 }
 
 // Get appends the value stored under the string key to dst. A hash
@@ -46,15 +53,20 @@ func (s *StringTable) Put(key string, value []byte) bool {
 // semantics.
 func (s *StringTable) Get(key string, dst []byte) ([]byte, bool) {
 	raw, ok := s.kv.Get(HashString(key), nil)
-	if !ok || len(raw) < 4 {
+	if !ok {
 		return dst, false
 	}
-	klen := int(binary.LittleEndian.Uint32(raw))
-	if klen < 0 || 4+klen > len(raw) {
-		return dst, false
-	}
-	if string(raw[4:4+klen]) != key {
+	v, ok := protocol.CutStringEntry(raw, []byte(key))
+	if !ok {
 		return dst, false // 60-bit hash collision: treat as miss
 	}
-	return append(dst, raw[4+klen:]...), true
+	return append(dst, v...), true
+}
+
+// Delete removes the string key, reporting whether an entry existed under
+// its hash. In the vanishingly rare event of a 60-bit hash collision this
+// removes the colliding entry instead — for a cache that only costs a
+// refill, the same argument the paper makes for collision misses.
+func (s *StringTable) Delete(key string) bool {
+	return s.kv.Delete(HashString(key))
 }
