@@ -3,17 +3,21 @@
 // for the Section 7 experiments.
 //
 //	cploadgen -addrs 127.0.0.1:9090 -conns 8 -ops 100000 -ws 1MiB
-//	cploadgen -addrs host:9001,host:9002 -insert-ratio 0.3 -validate
+//	cploadgen -addrs host:9090,host:9091,host:9092 -insert-ratio 0.3 -validate
 //
-// Multiple comma-separated addresses get the key space partitioned across
-// them by hash, which is how the paper's clients spread keys over
-// per-core memcached instances.
+// Multiple comma-separated addresses form a cluster: every key routes
+// through the internal/cluster 256-slot continuum to its owning instance
+// (how the paper's clients spread keys over per-core memcached
+// instances), and the run reports per-node traffic so skew and failures
+// are visible. Pair with `cpserver -instances N` for a one-machine
+// cluster.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 	"strings"
 
 	"cphash/internal/loadgen"
@@ -22,16 +26,17 @@ import (
 )
 
 var (
-	addrs       = flag.String("addrs", "127.0.0.1:9090", "comma-separated server addresses")
-	conns       = flag.Int("conns", 4, "client connections")
-	pipeline    = flag.Int("pipeline", 64, "requests in flight per connection window")
-	opsPerConn  = flag.Int("ops", 50000, "operations per connection")
+	addrs       = flag.String("addrs", "127.0.0.1:9090", "comma-separated cluster member addresses")
+	conns       = flag.Int("conns", 4, "concurrent pipelined client sessions")
+	pipeline    = flag.Int("pipeline", 64, "requests in flight per session window")
+	opsPerConn  = flag.Int("ops", 50000, "operations per session")
 	ws          = flag.String("ws", "1MiB", "working-set size (bytes of values)")
 	valueSize   = flag.Int("value-size", 8, "value size in bytes")
 	insertRatio = flag.Float64("insert-ratio", 0.3, "fraction of INSERT operations")
 	zipf        = flag.Bool("zipf", false, "Zipf-skewed key popularity instead of uniform")
 	validate    = flag.Bool("validate", false, "verify every hit's bytes")
 	seed        = flag.Uint64("seed", 1, "workload seed")
+	perNode     = flag.Bool("per-node", false, "print per-node traffic breakdown")
 )
 
 func main() {
@@ -49,8 +54,9 @@ func main() {
 	if *zipf {
 		spec.Dist = workload.Zipfian
 	}
+	nodes := strings.Split(*addrs, ",")
 	res, err := loadgen.Run(loadgen.Config{
-		Addrs:      strings.Split(*addrs, ","),
+		Addrs:      nodes,
 		Conns:      *conns,
 		Pipeline:   *pipeline,
 		Spec:       spec,
@@ -62,7 +68,32 @@ func main() {
 	}
 	fmt.Println(res)
 	fmt.Printf("window latency: %s\n", res.Latency)
+	if *perNode || len(nodes) > 1 {
+		printPerNode(res)
+	}
 	if res.BadBytes > 0 {
 		log.Fatalf("cploadgen: %d corrupt responses", res.BadBytes)
+	}
+}
+
+// printPerNode renders the client-side view of each member's traffic.
+func printPerNode(res loadgen.Result) {
+	addrs := make([]string, 0, len(res.Nodes))
+	for a := range res.Nodes {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	var total int64
+	for _, a := range addrs {
+		total += res.Nodes[a].Ops
+	}
+	for _, a := range addrs {
+		s := res.Nodes[a]
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(s.Ops) / float64(total)
+		}
+		fmt.Printf("node %s: %d ops (%.1f%%), %d errors, %d retries, %d dials\n",
+			a, s.Ops, share, s.Errors, s.Retries, s.Dials)
 	}
 }

@@ -1,4 +1,4 @@
-// Command cpserver runs a key/value cache server speaking the CPHash
+// Command cpserver runs key/value cache servers speaking the CPHash
 // binary protocol over TCP — version 2: the paper's LOOKUP/INSERT
 // (Section 4.1) plus DELETE, per-request TTLs, and variable-length string
 // keys (GET_STR/SET_STR/DEL_STR) — backed by one of the three designs the
@@ -6,23 +6,37 @@
 //
 //	cpserver -backend cphash    # CPSERVER: message-passing CPHASH table
 //	cpserver -backend lockhash  # LOCKSERVER: spinlocked LOCKHASH table
-//	cpserver -backend memcache  # one single-lock instance (memcached-style)
+//	cpserver -backend memcache  # single-lock instances (memcached-style)
+//
+// With -instances N, one process runs N independent server instances on
+// consecutive ports — the paper's Figure 13/14 multi-instance memcached
+// setup in one command. Each instance gets its own table of the full
+// -capacity; clients (internal/client, cploadgen) spread keys over the
+// instances through the cluster continuum.
 //
 // Examples:
 //
 //	cpserver -addr :9090 -capacity 256MiB -workers 4 -backend cphash
-//	cpserver -addr 127.0.0.1:0 -backend lockhash -eviction random
+//	cpserver -addr 127.0.0.1:9090 -instances 3 -statsaddr 127.0.0.1:8070
 //
-// The server prints the bound address on startup (useful with :0) and
-// periodic throughput lines; SIGINT/SIGTERM shuts it down cleanly.
+// The server prints each bound address on startup (useful with :0) and
+// periodic throughput lines; SIGINT/SIGTERM shuts it down cleanly. With
+// -statsaddr, runtime counters — hits, misses, expired, evictions, active
+// connections — are served as JSON at /stats and through expvar at
+// /debug/vars.
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -35,21 +49,193 @@ import (
 )
 
 var (
-	addr       = flag.String("addr", "127.0.0.1:9090", "TCP listen address")
+	addr       = flag.String("addr", "127.0.0.1:9090", "base TCP listen address; instance i listens on port+i")
+	instances  = flag.Int("instances", 1, "server instances to run in this process")
 	backend    = flag.String("backend", "cphash", "cphash | lockhash | memcache")
-	capacity   = flag.String("capacity", "64MiB", "table capacity (e.g. 1MiB, 256MiB)")
-	workers    = flag.Int("workers", 2, "client threads (cphash/lockhash)")
+	capacity   = flag.String("capacity", "64MiB", "table capacity per instance (e.g. 1MiB, 256MiB)")
+	workers    = flag.Int("workers", 2, "client threads per instance (cphash/lockhash)")
 	partitions = flag.Int("partitions", 0, "partition count (0 = design default)")
 	eviction   = flag.String("eviction", "lru", "lru | random")
 	pin        = flag.Bool("pin", false, "dedicate an OS thread to each CPHASH server goroutine")
 	statsEvery = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+	statsAddr  = flag.String("statsaddr", "", "optional HTTP address serving /stats JSON and /debug/vars")
 )
+
+// instance is one running server plus its observability hooks.
+type instance struct {
+	addr     string
+	requests func() int64
+	snapshot func() map[string]any
+	close    func()
+}
+
+// instanceAddrs derives the listen address of each instance from the base
+// address: port 0 stays 0 (kernel-assigned) for every instance, a fixed
+// port p becomes p, p+1, ..., p+n-1.
+func instanceAddrs(base string, n int) ([]string, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("bad -addr %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -addr port %q: %w", portStr, err)
+	}
+	out := make([]string, n)
+	for i := range out {
+		p := port
+		if port != 0 {
+			p = port + i
+		}
+		out[i] = net.JoinHostPort(host, strconv.Itoa(p))
+	}
+	return out, nil
+}
+
+// tableSnapshot renders aggregated table counters in the shape the /stats
+// endpoint serves for every backend.
+func tableSnapshot(st partition.Stats) map[string]any {
+	return map[string]any{
+		"lookups":   st.Lookups,
+		"hits":      st.Hits,
+		"misses":    st.Lookups - st.Hits,
+		"inserts":   st.Inserts,
+		"insertErr": st.InsertErr,
+		"deletes":   st.Deletes,
+		"expired":   st.Expired,
+		"evictions": st.Evictions,
+		"elements":  st.Elements,
+	}
+}
+
+// startInstance builds one table + server pair for the selected backend.
+func startInstance(addr string, capBytes int, policy partition.EvictionPolicy) (*instance, error) {
+	switch *backend {
+	case "memcache":
+		inst, err := memcache.ServeInstance(addr, capBytes)
+		if err != nil {
+			return nil, err
+		}
+		return &instance{
+			addr:     inst.Addr(),
+			requests: inst.Requests,
+			snapshot: func() map[string]any {
+				return map[string]any{
+					"requests": inst.Requests(),
+					"elements": inst.Len(),
+				}
+			},
+			close: func() { inst.Close() },
+		}, nil
+
+	case "cphash", "lockhash":
+		var (
+			newBackend func(int) (kvserver.Backend, error)
+			tableStats func() partition.Stats
+			closeTable func()
+		)
+		if *backend == "cphash" {
+			table, err := core.New(core.Config{
+				Partitions:    *partitions,
+				CapacityBytes: capBytes,
+				MaxClients:    *workers,
+				Policy:        policy,
+				LockOSThread:  *pin,
+			})
+			if err != nil {
+				return nil, err
+			}
+			newBackend = kvserver.NewCPHashBackend(table)
+			tableStats = func() partition.Stats { return table.Stats().Stats }
+			closeTable = table.Close
+		} else {
+			table, err := lockhash.New(lockhash.Config{
+				Partitions:    *partitions,
+				CapacityBytes: capBytes,
+				Policy:        policy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			newBackend = kvserver.NewLockHashBackend(table)
+			tableStats = table.Stats
+			closeTable = func() {}
+		}
+		srv, err := kvserver.Serve(kvserver.Config{
+			Addr:       addr,
+			Workers:    *workers,
+			NewBackend: newBackend,
+		})
+		if err != nil {
+			closeTable()
+			return nil, err
+		}
+		return &instance{
+			addr:     srv.Addr(),
+			requests: func() int64 { return srv.Stats().Requests },
+			snapshot: func() map[string]any {
+				ss := srv.Stats()
+				out := map[string]any{
+					"connections": ss.Connections,
+					"activeConns": ss.Active,
+					"requests":    ss.Requests,
+					"batches":     ss.Batches,
+				}
+				for k, v := range tableSnapshot(tableStats()) {
+					out[k] = v
+				}
+				return out
+			},
+			close: func() { srv.Close(); closeTable() },
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown backend %q", *backend)
+	}
+}
+
+// snapshotAll renders the /stats document: one entry per instance plus the
+// backend name, so a scraper can tell deployments apart.
+func snapshotAll(insts []*instance) map[string]any {
+	list := make([]map[string]any, len(insts))
+	for i, in := range insts {
+		s := in.snapshot()
+		s["addr"] = in.addr
+		list[i] = s
+	}
+	return map[string]any{"backend": *backend, "instances": list}
+}
+
+// serveStats exposes /stats (JSON) and /debug/vars (expvar) on its own
+// mux, keeping the default mux untouched.
+func serveStats(addr string, insts []*instance) (*http.Server, error) {
+	expvar.Publish("cpserver", expvar.Func(func() any { return snapshotAll(insts) }))
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snapshotAll(insts))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Printf("stats endpoint on http://%s/stats (expvar at /debug/vars)\n", ln.Addr())
+	return srv, nil
+}
 
 func main() {
 	flag.Parse()
 	capBytes, err := sizeparse.Parse(*capacity)
 	if err != nil {
 		log.Fatalf("cpserver: %v", err)
+	}
+	if *instances <= 0 {
+		log.Fatalf("cpserver: -instances must be positive, got %d", *instances)
 	}
 	policy := partition.EvictLRU
 	switch *eviction {
@@ -60,66 +246,59 @@ func main() {
 		log.Fatalf("cpserver: unknown eviction %q", *eviction)
 	}
 
+	addrs, err := instanceAddrs(*addr, *instances)
+	if err != nil {
+		log.Fatalf("cpserver: %v", err)
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
-	switch *backend {
-	case "memcache":
-		inst, err := memcache.ServeInstance(*addr, capBytes)
+	insts := make([]*instance, 0, *instances)
+	for i, a := range addrs {
+		in, err := startInstance(a, capBytes, policy)
 		if err != nil {
-			log.Fatalf("cpserver: %v", err)
+			for _, prev := range insts {
+				prev.close()
+			}
+			log.Fatalf("cpserver: instance %d: %v", i, err)
 		}
-		fmt.Printf("memcache-style instance listening on %s (capacity %s)\n", inst.Addr(), *capacity)
-		waitAndReport(stop, func() int64 { return inst.Requests() })
-		inst.Close()
+		insts = append(insts, in)
+		fmt.Printf("%s instance %d listening on %s (capacity %s, %d workers)\n",
+			*backend, i, in.addr, *capacity, *workers)
+	}
+	if *instances > 1 {
+		list := ""
+		for i, in := range insts {
+			if i > 0 {
+				list += ","
+			}
+			list += in.addr
+		}
+		fmt.Printf("cluster: point clients at -addrs %s\n", list)
+	}
 
-	case "cphash", "lockhash":
-		var newBackend func(int) (kvserver.Backend, error)
-		var closeTable func()
-		if *backend == "cphash" {
-			table, err := core.New(core.Config{
-				Partitions:    *partitions,
-				CapacityBytes: capBytes,
-				MaxClients:    *workers,
-				Policy:        policy,
-				LockOSThread:  *pin,
-			})
-			if err != nil {
-				log.Fatalf("cpserver: %v", err)
-			}
-			newBackend = kvserver.NewCPHashBackend(table)
-			closeTable = table.Close
-			fmt.Printf("CPSERVER: %d partitions, %d client threads, capacity %s\n",
-				table.NumPartitions(), *workers, *capacity)
-		} else {
-			table, err := lockhash.New(lockhash.Config{
-				Partitions:    *partitions,
-				CapacityBytes: capBytes,
-				Policy:        policy,
-			})
-			if err != nil {
-				log.Fatalf("cpserver: %v", err)
-			}
-			newBackend = kvserver.NewLockHashBackend(table)
-			closeTable = func() {}
-			fmt.Printf("LOCKSERVER: %d partitions, %d client threads, capacity %s\n",
-				table.NumPartitions(), *workers, *capacity)
-		}
-		srv, err := kvserver.Serve(kvserver.Config{
-			Addr:       *addr,
-			Workers:    *workers,
-			NewBackend: newBackend,
-		})
+	var statsSrv *http.Server
+	if *statsAddr != "" {
+		statsSrv, err = serveStats(*statsAddr, insts)
 		if err != nil {
-			log.Fatalf("cpserver: %v", err)
+			log.Fatalf("cpserver: stats endpoint: %v", err)
 		}
-		fmt.Printf("listening on %s\n", srv.Addr())
-		waitAndReport(stop, func() int64 { return srv.Stats().Requests })
-		srv.Close()
-		closeTable()
+	}
 
-	default:
-		log.Fatalf("cpserver: unknown backend %q", *backend)
+	waitAndReport(stop, func() int64 {
+		var total int64
+		for _, in := range insts {
+			total += in.requests()
+		}
+		return total
+	})
+
+	if statsSrv != nil {
+		statsSrv.Close()
+	}
+	for _, in := range insts {
+		in.close()
 	}
 }
 

@@ -1,0 +1,132 @@
+// Cluster demo: a 3-node CPHash cache cluster in one process, driven
+// through the sharded client SDK — the architecture of the paper's
+// Figure 13/14 multi-instance experiments.
+//
+// The demo shows the three properties the cluster layer is built around:
+//
+//  1. Routing: every key deterministically owns a slot on the 256-slot
+//     continuum, and slots — not keys — map to nodes.
+//
+//  2. Failure isolation: killing one node fails only its shards; the
+//     other two keep serving.
+//
+//  3. Minimal rebalancing: adding or removing a member moves only the
+//     departing/arriving slots.
+//
+//     go run ./examples/cluster
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"cphash/internal/client"
+	"cphash/internal/cluster"
+	"cphash/internal/kvserver"
+	"cphash/internal/lockhash"
+)
+
+func startNode() (*kvserver.Server, error) {
+	table, err := lockhash.New(lockhash.Config{CapacityBytes: 8 << 20})
+	if err != nil {
+		return nil, err
+	}
+	return kvserver.Serve(kvserver.Config{
+		Addr:       "127.0.0.1:0",
+		Workers:    2,
+		NewBackend: kvserver.NewLockHashBackend(table),
+	})
+}
+
+func main() {
+	// --- 1. a three-node cluster ---
+	var servers []*kvserver.Server
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		s, err := startNode()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		servers = append(servers, s)
+		addrs = append(addrs, s.Addr())
+	}
+	fmt.Printf("cluster members: %v\n", addrs)
+
+	c, err := client.New(client.Config{Nodes: addrs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Pipelined writes: requests batch per node and fan out in parallel,
+	// the client-side half of the paper's batching.
+	p := c.Pipeline()
+	const keys = 3000
+	for k := uint64(0); k < keys; k++ {
+		if err := p.Set(k, []byte(fmt.Sprintf("value-%d", k))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := p.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	p.Close()
+
+	// String keys ride the same continuum via their 60-bit hash.
+	if err := c.SetString([]byte("user:42"), []byte("alice")); err != nil {
+		log.Fatal(err)
+	}
+	v, _, _ := c.GetString([]byte("user:42"))
+	fmt.Printf("GetString(user:42) = %q on node %s\n", v, c.Ring().NodeOfString([]byte("user:42")))
+
+	for id, slots := range c.Ring().SlotCounts() {
+		fmt.Printf("node %s owns %d/%d continuum slots\n", id, slots, cluster.Slots)
+	}
+
+	// --- 2. failure isolation ---
+	dead := addrs[1]
+	fmt.Printf("\nkilling node %s...\n", dead)
+	servers[1].Close()
+
+	var deadErrs, liveOK int
+	for k := uint64(0); k < keys; k++ {
+		_, found, err := c.Get(k)
+		switch owner := c.Ring().NodeOf(k); {
+		case err != nil:
+			var ne *client.NodeError
+			if !errors.As(err, &ne) || ne.Addr != dead {
+				log.Fatalf("error blamed on the wrong node: %v", err)
+			}
+			if owner != dead {
+				log.Fatalf("key %d on healthy node %s errored: %v", k, owner, err)
+			}
+			deadErrs++
+		case found:
+			liveOK++
+		}
+	}
+	fmt.Printf("after the kill: %d keys (dead node's shards) error, %d keys still hit\n",
+		deadErrs, liveOK)
+
+	// --- 3. minimal rebalancing (routing-table arithmetic, no data moves) ---
+	ring := cluster.MustNew(addrs)
+	moved, err := ring.RemoveNode(dead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nremoving %s from the ring moves %d/%d slots (only its own)\n",
+		dead, len(moved), cluster.Slots)
+	grown, err := ring.AddNode("127.0.0.1:65000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adding a fresh node moves %d/%d slots (only toward the newcomer)\n",
+		len(grown), cluster.Slots)
+
+	fmt.Println("\nper-node client stats:")
+	for addr, s := range c.NodeStats() {
+		fmt.Printf("  %s: %d ops, %d errors, %d dials\n", addr, s.Ops, s.Errors, s.Dials)
+	}
+}

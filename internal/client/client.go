@@ -1,0 +1,429 @@
+// Package client is the sharded client SDK for CPHash key/value cache
+// clusters: it routes every key through the internal/cluster continuum to
+// its owning server instance, multiplexes traffic over per-node connection
+// pools, and speaks protocol version 2 (LOOKUP/INSERT plus DELETE, TTL
+// inserts and string keys).
+//
+// Two surfaces are offered. The synchronous methods — Get, Set, SetTTL,
+// Delete and their string-key variants — lease a pooled connection, do one
+// round trip, and return; they are safe for concurrent use and concurrency
+// scales with Config.ConnsPerNode. The Pipeline type is the paper's
+// batching applied client-side: it leases one connection per node, writes
+// windows of requests without waiting, and matches responses back in issue
+// order on Wait — the access pattern that lets CPSERVER batch requests
+// through its message rings (§4.1, Figures 13/14).
+//
+// Failure handling is per node, so one dead instance degrades only its own
+// shards. Transport errors are retried on a fresh connection up to
+// Config.MaxRetries times (every protocol operation is idempotent cache
+// traffic, so blind retry is safe); a node whose dial fails is marked down
+// for Config.DownBackoff and requests routed to it fail fast with a
+// *NodeError until the backoff expires, while requests routed to the other
+// members proceed untouched.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cphash/internal/cluster"
+	"cphash/internal/partition"
+	"cphash/internal/protocol"
+)
+
+// ErrClosed is returned by operations on a closed Client.
+var ErrClosed = errors.New("client: closed")
+
+// errDown marks fail-fast refusals while a node is in dial backoff.
+var errDown = errors.New("node unavailable (connection failed or in dial backoff)")
+
+// NodeError attributes a transport failure to one cluster member, so
+// callers can tell which shards degraded. Use errors.As to recover the
+// address and errors.Is(err, ...) to inspect the cause.
+type NodeError struct {
+	Addr string
+	Err  error
+}
+
+func (e *NodeError) Error() string { return fmt.Sprintf("client: node %s: %v", e.Addr, e.Err) }
+func (e *NodeError) Unwrap() error { return e.Err }
+
+// Config parameterizes New.
+type Config struct {
+	// Nodes are the cluster member addresses ("host:port"). Keys are
+	// spread over them by the cluster continuum.
+	Nodes []string
+	// ConnsPerNode bounds the connection pool per member (default 2).
+	// Synchronous calls block while all connections to a node are leased,
+	// and every live Pipeline holds one connection per node it touches —
+	// size the pool to at least the number of concurrent Pipelines.
+	ConnsPerNode int
+	// Window bounds response-bearing requests in flight per Pipeline; a
+	// Pipeline that exceeds it settles implicitly (default 256).
+	Window int
+	// MaxRetries is how many times a failed synchronous operation is
+	// retried on a fresh connection (default 2; negative disables).
+	// Pipelines never retry — a window's responses are unrecoverable
+	// once its connection dies — they surface the error on every
+	// affected future and lease a fresh connection next window.
+	MaxRetries int
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// DownBackoff is how long a node is marked down after a failed dial,
+	// during which its requests fail fast (default 500ms).
+	DownBackoff time.Duration
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.ConnsPerNode <= 0 {
+		cfg.ConnsPerNode = 2
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.DownBackoff <= 0 {
+		cfg.DownBackoff = 500 * time.Millisecond
+	}
+}
+
+// Stats counts one node's activity as seen by this client.
+type Stats struct {
+	Ops     int64 // operations issued (requests written)
+	Errors  int64 // transport failures (including failed dials)
+	Retries int64 // operations retried on a fresh connection
+	Dials   int64 // connection attempts
+}
+
+// Client is a sharded cache client. It is safe for concurrent use.
+type Client struct {
+	cfg    Config
+	ring   *cluster.Ring
+	nodes  map[string]*node
+	closed atomic.Bool
+}
+
+// New builds a client over the given cluster members and verifies nothing;
+// connections are dialed lazily on first use, so New succeeds even while
+// servers are still starting.
+func New(cfg Config) (*Client, error) {
+	ring, err := cluster.New(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	c := &Client{cfg: cfg, ring: ring, nodes: make(map[string]*node, len(cfg.Nodes))}
+	for _, addr := range ring.Nodes() {
+		n := &node{addr: addr, cfg: &c.cfg, closed: &c.closed}
+		n.tokens = make(chan struct{}, cfg.ConnsPerNode)
+		for i := 0; i < cfg.ConnsPerNode; i++ {
+			n.tokens <- struct{}{}
+		}
+		c.nodes[addr] = n
+	}
+	return c, nil
+}
+
+// Ring exposes the routing continuum (read-only: membership is fixed for
+// the client's lifetime).
+func (c *Client) Ring() *cluster.Ring { return c.ring }
+
+// NodeStats snapshots per-node counters, keyed by member address.
+func (c *Client) NodeStats() map[string]Stats {
+	out := make(map[string]Stats, len(c.nodes))
+	for addr, n := range c.nodes {
+		out[addr] = Stats{
+			Ops:     n.ops.Load(),
+			Errors:  n.errs.Load(),
+			Retries: n.retries.Load(),
+			Dials:   n.dials.Load(),
+		}
+	}
+	return out
+}
+
+// Close shuts the client down. Idle connections close immediately; leased
+// ones close as their holders release them. Close is idempotent.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		for _, cn := range n.idle {
+			cn.nc.Close()
+		}
+		n.idle = nil
+		n.mu.Unlock()
+	}
+	return nil
+}
+
+// nodeFor routes a fixed key (clipped to the 60-bit key space, like
+// kvserver.MaskKey) to its member.
+func (c *Client) nodeFor(key uint64) *node {
+	return c.nodes[c.ring.NodeOf(key)]
+}
+
+func (c *Client) nodeForString(key []byte) *node {
+	return c.nodes[c.ring.NodeOfString(key)]
+}
+
+// --- synchronous operations ---
+
+// Get fetches the value under a fixed 60-bit key. found is false on a
+// miss; the returned slice is owned by the caller.
+func (c *Client) Get(key uint64) (value []byte, found bool, err error) {
+	err = c.withConn(c.nodeFor(key), func(cn *conn) error {
+		return cn.roundTripLookup(protocol.Request{Op: protocol.OpLookup, Key: maskKey(key)},
+			&value, &found)
+	})
+	return value, found, err
+}
+
+// Set stores a value under a fixed key with no expiry. The wire INSERT is
+// silent (as in the paper), so only transport errors are reported.
+func (c *Client) Set(key uint64, value []byte) error {
+	return c.SetTTL(key, value, 0)
+}
+
+// SetTTL stores a value that expires after ttl (0 = never).
+func (c *Client) SetTTL(key uint64, value []byte, ttl time.Duration) error {
+	req := insertRequest(maskKey(key), value, ttl)
+	return c.withConn(c.nodeFor(key), func(cn *conn) error {
+		return cn.send(req)
+	})
+}
+
+// Delete removes a fixed key, reporting whether it existed.
+func (c *Client) Delete(key uint64) (found bool, err error) {
+	err = c.withConn(c.nodeFor(key), func(cn *conn) error {
+		return cn.roundTripDelete(protocol.Request{Op: protocol.OpDelete, Key: maskKey(key)}, &found)
+	})
+	return found, err
+}
+
+// GetString fetches the value under a string key (§8.2 routing: the server
+// detects 60-bit hash collisions and reports them as misses).
+func (c *Client) GetString(key []byte) (value []byte, found bool, err error) {
+	err = c.withConn(c.nodeForString(key), func(cn *conn) error {
+		return cn.roundTripLookup(protocol.Request{Op: protocol.OpGetStr, StrKey: key},
+			&value, &found)
+	})
+	return value, found, err
+}
+
+// SetString stores a value under a string key with no expiry.
+func (c *Client) SetString(key, value []byte) error {
+	return c.SetStringTTL(key, value, 0)
+}
+
+// SetStringTTL stores a value under a string key that expires after ttl.
+func (c *Client) SetStringTTL(key, value []byte, ttl time.Duration) error {
+	req := protocol.Request{Op: protocol.OpSetStr, StrKey: key, TTL: wireTTL(ttl), Value: value}
+	return c.withConn(c.nodeForString(key), func(cn *conn) error {
+		return cn.send(req)
+	})
+}
+
+// DeleteString removes a string key, reporting whether it existed.
+func (c *Client) DeleteString(key []byte) (found bool, err error) {
+	err = c.withConn(c.nodeForString(key), func(cn *conn) error {
+		return cn.roundTripDelete(protocol.Request{Op: protocol.OpDelStr, StrKey: key}, &found)
+	})
+	return found, err
+}
+
+// withConn runs one operation against a node, retrying transport failures
+// on a fresh connection up to MaxRetries times. Dial failures are not
+// retried — the node just entered backoff, and hammering it would defeat
+// the fail-fast isolation.
+func (c *Client) withConn(n *node, fn func(*conn) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			n.retries.Add(1)
+		}
+		cn, err := n.lease()
+		if err != nil {
+			return err
+		}
+		n.ops.Add(1)
+		err = fn(cn)
+		if err == nil {
+			n.release(cn)
+			return nil
+		}
+		cn.dead = true
+		n.release(cn)
+		n.errs.Add(1)
+		lastErr = err
+	}
+	return &NodeError{Addr: n.addr, Err: lastErr}
+}
+
+// maskKey clips a key into the 60-bit key space the protocol requires.
+func maskKey(k uint64) uint64 { return k & uint64(partition.MaxKey) }
+
+// wireTTL converts a duration into the protocol's millisecond field,
+// rounding sub-millisecond TTLs up so "expires soon" never becomes
+// "never expires".
+func wireTTL(ttl time.Duration) uint32 {
+	if ttl <= 0 {
+		return 0
+	}
+	ms := (ttl + time.Millisecond - 1) / time.Millisecond
+	if ms > time.Duration(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(ms)
+}
+
+// insertRequest builds the INSERT/INSERT_TTL frame for a fixed key; plain
+// INSERT keeps version-1 servers compatible when no TTL is asked for.
+func insertRequest(key uint64, value []byte, ttl time.Duration) protocol.Request {
+	if ttl <= 0 {
+		return protocol.Request{Op: protocol.OpInsert, Key: key, Value: value}
+	}
+	return protocol.Request{Op: protocol.OpInsertTTL, Key: key, TTL: wireTTL(ttl), Value: value}
+}
+
+// --- node: pool + health ---
+
+type node struct {
+	addr string
+	cfg  *Config
+	// tokens is the capacity semaphore: ConnsPerNode leases outstanding
+	// at most. idle holds parked connections, most recently used last —
+	// LIFO reuse gives a sequential caller the SAME connection back, and
+	// per-connection request order is the only ordering the servers
+	// guarantee (a silent SET followed by a GET on a different connection
+	// may be batched by different workers).
+	tokens    chan struct{}
+	mu        sync.Mutex
+	idle      []*conn
+	downUntil atomic.Int64 // unix nanos until which dials are refused
+	closed    *atomic.Bool // the owning client's closed flag
+
+	ops, errs, retries, dials atomic.Int64
+}
+
+// lease takes a pooled connection, dialing when none is parked. It blocks
+// while all ConnsPerNode connections are leased, and fails fast while the
+// node is in dial backoff.
+func (n *node) lease() (*conn, error) {
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	if until := n.downUntil.Load(); until > time.Now().UnixNano() {
+		n.errs.Add(1)
+		return nil, &NodeError{Addr: n.addr, Err: errDown}
+	}
+	<-n.tokens
+	if n.closed.Load() {
+		n.tokens <- struct{}{}
+		return nil, ErrClosed
+	}
+	n.mu.Lock()
+	if k := len(n.idle); k > 0 {
+		cn := n.idle[k-1]
+		n.idle = n.idle[:k-1]
+		n.mu.Unlock()
+		return cn, nil
+	}
+	n.mu.Unlock()
+	n.dials.Add(1)
+	nc, err := net.DialTimeout("tcp", n.addr, n.cfg.DialTimeout)
+	if err != nil {
+		n.tokens <- struct{}{}
+		n.downUntil.Store(time.Now().Add(n.cfg.DownBackoff).UnixNano())
+		n.errs.Add(1)
+		return nil, &NodeError{Addr: n.addr, Err: err}
+	}
+	if tcp, ok := nc.(*net.TCPConn); ok {
+		tcp.SetNoDelay(true)
+	}
+	return &conn{
+		nc: nc,
+		w:  bufio.NewWriterSize(nc, 64<<10),
+		r:  bufio.NewReaderSize(nc, 64<<10),
+	}, nil
+}
+
+// release returns a leased connection, parking live ones for reuse and
+// closing dead ones (their capacity token frees regardless).
+func (n *node) release(cn *conn) {
+	if cn != nil {
+		if cn.dead || n.closed.Load() {
+			cn.nc.Close()
+		} else {
+			n.mu.Lock()
+			n.idle = append(n.idle, cn)
+			n.mu.Unlock()
+		}
+	}
+	n.tokens <- struct{}{}
+}
+
+// conn is one pooled connection. A conn is used by one goroutine at a time
+// (the pool enforces exclusivity), which is what makes in-order response
+// matching trivial: responses arrive in request order per connection.
+type conn struct {
+	nc   net.Conn
+	w    *bufio.Writer
+	r    *bufio.Reader
+	dead bool
+}
+
+// send writes and flushes one silent request (INSERT-class).
+func (cn *conn) send(req protocol.Request) error {
+	if err := protocol.WriteRequest(cn.w, req); err != nil {
+		return err
+	}
+	return cn.w.Flush()
+}
+
+// roundTripLookup does a synchronous LOOKUP/GET_STR exchange.
+func (cn *conn) roundTripLookup(req protocol.Request, value *[]byte, found *bool) error {
+	if err := protocol.WriteRequest(cn.w, req); err != nil {
+		return err
+	}
+	if err := cn.w.Flush(); err != nil {
+		return err
+	}
+	v, ok, err := protocol.ReadLookupResponse(cn.r, nil)
+	if err != nil {
+		return err
+	}
+	*value, *found = v, ok
+	return nil
+}
+
+// roundTripDelete does a synchronous DELETE/DEL_STR exchange.
+func (cn *conn) roundTripDelete(req protocol.Request, found *bool) error {
+	if err := protocol.WriteRequest(cn.w, req); err != nil {
+		return err
+	}
+	if err := cn.w.Flush(); err != nil {
+		return err
+	}
+	ok, err := protocol.ReadDeleteResponse(cn.r)
+	if err != nil {
+		return err
+	}
+	*found = ok
+	return nil
+}

@@ -1,0 +1,385 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cphash/internal/kvserver"
+	"cphash/internal/lockhash"
+)
+
+// startCluster brings up n independent LOCKSERVER instances and returns
+// their addresses plus the servers (so tests can kill individual nodes).
+func startCluster(t *testing.T, n int) ([]string, []*kvserver.Server) {
+	t.Helper()
+	addrs := make([]string, n)
+	servers := make([]*kvserver.Server, n)
+	for i := 0; i < n; i++ {
+		table := lockhash.MustNew(lockhash.Config{Partitions: 16, CapacityBytes: 4 << 20, Seed: uint64(i) + 1})
+		s, err := kvserver.Serve(kvserver.Config{
+			Addr:       "127.0.0.1:0",
+			Workers:    2,
+			NewBackend: kvserver.NewLockHashBackend(table),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = s
+		addrs[i] = s.Addr()
+		t.Cleanup(func() { s.Close() })
+	}
+	return addrs, servers
+}
+
+func newClient(t *testing.T, addrs []string) *Client {
+	t.Helper()
+	c, err := New(Config{Nodes: addrs, DownBackoff: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted an empty node list")
+	}
+	if _, err := New(Config{Nodes: []string{"a:1", "a:1"}}); err == nil {
+		t.Error("New accepted duplicate nodes")
+	}
+}
+
+func TestSyncOpsAcrossCluster(t *testing.T) {
+	addrs, _ := startCluster(t, 3)
+	c := newClient(t, addrs)
+
+	const keys = 200
+	for k := uint64(0); k < keys; k++ {
+		if err := c.Set(k, []byte(fmt.Sprintf("value-%d", k))); err != nil {
+			t.Fatalf("Set(%d): %v", k, err)
+		}
+	}
+	for k := uint64(0); k < keys; k++ {
+		v, found, err := c.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", k, err)
+		}
+		if !found || string(v) != fmt.Sprintf("value-%d", k) {
+			t.Fatalf("Get(%d) = %q found=%v", k, v, found)
+		}
+	}
+	// The keys must actually spread over all three nodes.
+	dist := map[string]int{}
+	for k := uint64(0); k < keys; k++ {
+		dist[c.Ring().NodeOf(k)]++
+	}
+	for _, addr := range addrs {
+		if dist[addr] == 0 {
+			t.Errorf("node %s received no keys out of %d", addr, keys)
+		}
+	}
+
+	if found, err := c.Delete(7); err != nil || !found {
+		t.Fatalf("Delete(7) = %v, %v; want found", found, err)
+	}
+	if _, found, err := c.Get(7); err != nil || found {
+		t.Fatalf("Get(7) after delete: found=%v err=%v", found, err)
+	}
+	if found, err := c.Delete(7); err != nil || found {
+		t.Fatalf("second Delete(7) = %v, %v; want not-found", found, err)
+	}
+
+	stats := c.NodeStats()
+	var totalOps int64
+	for _, s := range stats {
+		totalOps += s.Ops
+		if s.Errors != 0 {
+			t.Errorf("unexpected errors in healthy run: %+v", s)
+		}
+	}
+	if totalOps < keys*2 {
+		t.Errorf("NodeStats counted %d ops, want >= %d", totalOps, keys*2)
+	}
+}
+
+func TestStringKeysAndTTL(t *testing.T) {
+	addrs, _ := startCluster(t, 3)
+	c := newClient(t, addrs)
+
+	key := []byte("session:abc123")
+	if err := c.SetString(key, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.GetString(key)
+	if err != nil || !found || string(v) != "hello" {
+		t.Fatalf("GetString = %q, %v, %v", v, found, err)
+	}
+	if found, err := c.DeleteString(key); err != nil || !found {
+		t.Fatalf("DeleteString = %v, %v", found, err)
+	}
+	if _, found, _ := c.GetString(key); found {
+		t.Fatal("string key survived delete")
+	}
+
+	// TTL: entry visible before expiry, gone after.
+	if err := c.SetStringTTL([]byte("ttl-key"), []byte("x"), 30*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := c.GetString([]byte("ttl-key")); !found {
+		t.Fatal("TTL entry missing before expiry")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if _, found, _ := c.GetString([]byte("ttl-key")); found {
+		t.Fatal("TTL entry visible after expiry")
+	}
+	if err := c.SetTTL(99, []byte("y"), 25*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if _, found, _ := c.Get(99); found {
+		t.Fatal("fixed-key TTL entry visible after expiry")
+	}
+}
+
+func TestPipelineWindowing(t *testing.T) {
+	addrs, _ := startCluster(t, 3)
+	c, err := New(Config{Nodes: addrs, Window: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p := c.Pipeline()
+	defer p.Close()
+
+	const keys = 500 // > Window: exercises implicit pacing
+	for k := uint64(0); k < keys; k++ {
+		if err := p.Set(k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatalf("Set(%d): %v", k, err)
+		}
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	looks := make([]*Lookup, keys)
+	for k := uint64(0); k < keys; k++ {
+		looks[k] = p.Get(k)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for k, l := range looks {
+		if l.Err() != nil {
+			t.Fatalf("lookup %d: %v", k, l.Err())
+		}
+		if !l.Found() || string(l.Value()) != fmt.Sprintf("v%d", k) {
+			t.Fatalf("lookup %d = %q found=%v", k, l.Value(), l.Found())
+		}
+	}
+
+	// Mixed window: deletes and string ops ride the same session.
+	d := p.Delete(3)
+	sl := p.GetString([]byte("nope"))
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Found() || d.Err() != nil {
+		t.Fatalf("pipelined delete: found=%v err=%v", d.Found(), d.Err())
+	}
+	if sl.Found() || sl.Err() != nil {
+		t.Fatalf("pipelined string miss: found=%v err=%v", sl.Found(), sl.Err())
+	}
+}
+
+func TestFutureImplicitSettle(t *testing.T) {
+	addrs, _ := startCluster(t, 2)
+	c := newClient(t, addrs)
+	p := c.Pipeline()
+	defer p.Close()
+
+	if err := p.Set(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	l := p.Get(1)
+	// No Wait: Found() must settle the pipeline itself.
+	if !l.Found() || string(l.Value()) != "one" {
+		t.Fatalf("implicit settle: %q found=%v", l.Value(), l.Found())
+	}
+}
+
+// TestPipelineFailover is the cluster acceptance test: three nodes,
+// concurrent pipelined traffic, one node killed mid-run. Operations
+// routed to the dead node must error (attributed to that node), and
+// operations routed to the two surviving nodes must never error.
+func TestPipelineFailover(t *testing.T) {
+	addrs, servers := startCluster(t, 3)
+	const workers = 4
+	c, err := New(Config{
+		Nodes:        addrs,
+		ConnsPerNode: workers + 1, // one per concurrent Pipeline + sync slack
+		Window:       64,
+		DownBackoff:  20 * time.Millisecond,
+		DialTimeout:  500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	dead := addrs[1]
+	var (
+		killed       atomic.Bool
+		liveErrs     atomic.Int64 // errors on keys owned by surviving nodes
+		deadErrs     atomic.Int64 // errors on keys owned by the dead node
+		misattravail atomic.Int64 // NodeError blaming a surviving node
+		liveOK       atomic.Int64 // successes on surviving nodes after the kill
+	)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := c.Pipeline()
+			defer p.Close()
+			val := []byte("payload")
+			for round := 0; round < 60; round++ {
+				looks := make([]*Lookup, 0, 32)
+				keys := make([]uint64, 0, 32)
+				for i := 0; i < 32; i++ {
+					key := uint64(w*1_000_000 + round*1000 + i)
+					// Sets may fail on the dead node; that's the point.
+					_ = p.SetTTL(key, val, 0)
+					looks = append(looks, p.Get(key))
+					keys = append(keys, key)
+				}
+				p.Wait()
+				afterKill := killed.Load()
+				for i, l := range looks {
+					owner := c.Ring().NodeOf(keys[i])
+					if err := l.Err(); err != nil {
+						if owner == dead {
+							deadErrs.Add(1)
+						} else {
+							liveErrs.Add(1)
+						}
+						var ne *NodeError
+						if errors.As(err, &ne) && ne.Addr != dead {
+							misattravail.Add(1)
+						}
+					} else if afterKill && owner != dead {
+						liveOK.Add(1)
+					}
+				}
+				if round == 10 && w == 0 {
+					servers[1].Close()
+					killed.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := liveErrs.Load(); got != 0 {
+		t.Errorf("%d operations on surviving nodes errored; failure not isolated", got)
+	}
+	if got := misattravail.Load(); got != 0 {
+		t.Errorf("%d errors attributed to a surviving node", got)
+	}
+	if deadErrs.Load() == 0 {
+		t.Error("no operation on the killed node errored; kill did not take effect")
+	}
+	if liveOK.Load() == 0 {
+		t.Error("no operation on surviving nodes succeeded after the kill")
+	}
+
+	// Sync ops on surviving shards still work after the failure.
+	for k := uint64(0); k < 300; k++ {
+		if c.Ring().NodeOf(k) == dead {
+			continue
+		}
+		if err := c.Set(k, []byte("post-failure")); err != nil {
+			t.Fatalf("post-failure Set(%d) on surviving node: %v", k, err)
+		}
+	}
+	st := c.NodeStats()
+	if st[dead].Errors == 0 {
+		t.Error("dead node recorded no errors in NodeStats")
+	}
+}
+
+func TestDialFailureFailsFastAndRecovers(t *testing.T) {
+	// Nothing listens on this port.
+	c, err := New(Config{
+		Nodes:       []string{"127.0.0.1:1"},
+		DownBackoff: 30 * time.Millisecond,
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, _, err = c.Get(1)
+	var ne *NodeError
+	if !errors.As(err, &ne) || ne.Addr != "127.0.0.1:1" {
+		t.Fatalf("Get against dead node: %v, want *NodeError for it", err)
+	}
+	// Inside the backoff window the node fails fast without redialing.
+	dials := c.NodeStats()["127.0.0.1:1"].Dials
+	if _, _, err = c.Get(2); err == nil {
+		t.Fatal("Get succeeded against a dead node")
+	}
+	if got := c.NodeStats()["127.0.0.1:1"].Dials; got != dials {
+		t.Errorf("backoff window redialed (%d → %d dials)", dials, got)
+	}
+}
+
+// Wait must report failures that happened at issue time (dial/backoff),
+// even though such futures never enter the pending read queue — otherwise
+// an outage reads as a window of cache misses.
+func TestWaitReportsIssueTimeErrors(t *testing.T) {
+	c, err := New(Config{
+		Nodes:       []string{"127.0.0.1:1"},
+		DownBackoff: 30 * time.Millisecond,
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p := c.Pipeline()
+	defer p.Close()
+	l := p.Get(1)
+	if err := p.Wait(); err == nil {
+		t.Fatal("Wait returned nil after an issue-time dial failure")
+	}
+	if l.Err() == nil {
+		t.Fatal("future carries no error after dial failure")
+	}
+	// The error must not linger into the next (also failing, via backoff)
+	// or a later healthy window.
+	if err := p.Wait(); err != nil {
+		t.Fatalf("second Wait with no issued ops returned %v", err)
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	addrs, _ := startCluster(t, 1)
+	c := newClient(t, addrs)
+	if err := c.Set(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, _, err := c.Get(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get on closed client: %v, want ErrClosed", err)
+	}
+	c.Close() // idempotent
+}

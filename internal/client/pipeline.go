@@ -1,0 +1,316 @@
+// Pipeline: the client-side half of the paper's batching. A Pipeline
+// leases one connection per node it touches, buffers whole windows of
+// requests, and matches responses back in issue order — per connection,
+// responses arrive in request order, so draining the global issue order
+// interleaves correctly across nodes.
+
+package client
+
+import (
+	"time"
+
+	"cphash/internal/protocol"
+)
+
+// Pipeline issues batched, windowed requests over the cluster. It is NOT
+// safe for concurrent use — create one Pipeline per goroutine (they share
+// the client's pools and per-node health state). Typical use:
+//
+//	p := c.Pipeline()
+//	defer p.Close()
+//	for _, k := range keys {
+//		looks = append(looks, p.Get(k))
+//	}
+//	p.Wait()                    // flush + settle the window
+//	for _, l := range looks { _ = l.Found() }
+//
+// Future accessors (Found/Value/Err) settle the pipeline implicitly, so
+// forgetting Wait costs batching, never correctness. A settled Lookup's
+// value remains valid until the Lookup itself is dropped (values are
+// copied off the wire into a per-window slab).
+type Pipeline struct {
+	c       *Client
+	leased  map[*node]*conn
+	pending []pend
+	buf     []byte // value slab for the window being settled
+	// issueErr is the first issue-time failure (lease/dial or write) of
+	// the current window, so Wait reports failures even for futures that
+	// never made it into pending.
+	issueErr error
+}
+
+// pend is one in-flight response-bearing request, in issue order.
+type pend struct {
+	n    *node
+	cn   *conn
+	look *Lookup
+	del  *Delete
+}
+
+// Lookup is the future of a pipelined Get/GetString.
+type Lookup struct {
+	p     *Pipeline
+	value []byte
+	found bool
+	err   error
+	done  bool
+}
+
+// Err reports the lookup's transport error, settling the pipeline first.
+func (l *Lookup) Err() error { l.settle(); return l.err }
+
+// Found reports whether the key was present, settling the pipeline first.
+func (l *Lookup) Found() bool { l.settle(); return l.found }
+
+// Value returns the fetched bytes (nil on miss or error), settling the
+// pipeline first. The slice stays valid as long as the Lookup is held.
+func (l *Lookup) Value() []byte { l.settle(); return l.value }
+
+func (l *Lookup) settle() {
+	if !l.done {
+		l.p.Wait()
+	}
+}
+
+// Delete is the future of a pipelined Delete/DeleteString.
+type Delete struct {
+	p     *Pipeline
+	found bool
+	err   error
+	done  bool
+}
+
+// Err reports the delete's transport error, settling the pipeline first.
+func (d *Delete) Err() error { d.settle(); return d.err }
+
+// Found reports whether the key existed, settling the pipeline first.
+func (d *Delete) Found() bool { d.settle(); return d.found }
+
+func (d *Delete) settle() {
+	if !d.done {
+		d.p.Wait()
+	}
+}
+
+// Pipeline starts a new pipelined session over the client's cluster.
+func (c *Client) Pipeline() *Pipeline {
+	return &Pipeline{c: c, leased: make(map[*node]*conn, len(c.nodes))}
+}
+
+// conn returns the session's connection to n, leasing one on first use.
+func (p *Pipeline) conn(n *node) (*conn, error) {
+	if cn, ok := p.leased[n]; ok {
+		return cn, nil
+	}
+	cn, err := n.lease()
+	if err != nil {
+		return nil, err
+	}
+	p.leased[n] = cn
+	return cn, nil
+}
+
+// issue writes one request on the node's session connection; failures mark
+// the connection dead so the rest of the window fails coherently, and are
+// remembered so Wait reports them even when no future reached pending.
+func (p *Pipeline) issue(n *node, req protocol.Request) (*conn, error) {
+	cn, err := p.conn(n)
+	if err != nil {
+		p.noteIssueErr(err)
+		return nil, err
+	}
+	if cn.dead {
+		err := &NodeError{Addr: n.addr, Err: errDown}
+		p.noteIssueErr(err)
+		return nil, err
+	}
+	n.ops.Add(1)
+	if err := protocol.WriteRequest(cn.w, req); err != nil {
+		cn.dead = true
+		n.errs.Add(1)
+		werr := &NodeError{Addr: n.addr, Err: err}
+		p.noteIssueErr(werr)
+		return nil, werr
+	}
+	return cn, nil
+}
+
+func (p *Pipeline) noteIssueErr(err error) {
+	if p.issueErr == nil {
+		p.issueErr = err
+	}
+}
+
+// Get enqueues a lookup of a fixed key and returns its future.
+func (p *Pipeline) Get(key uint64) *Lookup {
+	return p.get(p.c.nodeFor(key), protocol.Request{Op: protocol.OpLookup, Key: maskKey(key)})
+}
+
+// GetString enqueues a lookup of a string key and returns its future.
+func (p *Pipeline) GetString(key []byte) *Lookup {
+	return p.get(p.c.nodeForString(key), protocol.Request{Op: protocol.OpGetStr, StrKey: key})
+}
+
+func (p *Pipeline) get(n *node, req protocol.Request) *Lookup {
+	l := &Lookup{p: p}
+	cn, err := p.issue(n, req)
+	if err != nil {
+		l.done, l.err = true, err
+		return l
+	}
+	p.pending = append(p.pending, pend{n: n, cn: cn, look: l})
+	p.pace()
+	return l
+}
+
+// Set enqueues a fixed-key store (silent on the wire; the value is copied
+// into the connection buffer before Set returns).
+func (p *Pipeline) Set(key uint64, value []byte) error {
+	return p.SetTTL(key, value, 0)
+}
+
+// SetTTL enqueues a fixed-key store with an expiry (0 = never).
+func (p *Pipeline) SetTTL(key uint64, value []byte, ttl time.Duration) error {
+	_, err := p.issue(p.c.nodeFor(key), insertRequest(maskKey(key), value, ttl))
+	return err
+}
+
+// SetString enqueues a string-key store with no expiry.
+func (p *Pipeline) SetString(key, value []byte) error {
+	return p.SetStringTTL(key, value, 0)
+}
+
+// SetStringTTL enqueues a string-key store with an expiry (0 = never).
+func (p *Pipeline) SetStringTTL(key, value []byte, ttl time.Duration) error {
+	_, err := p.issue(p.c.nodeForString(key),
+		protocol.Request{Op: protocol.OpSetStr, StrKey: key, TTL: wireTTL(ttl), Value: value})
+	return err
+}
+
+// Delete enqueues a fixed-key delete and returns its future.
+func (p *Pipeline) Delete(key uint64) *Delete {
+	return p.del(p.c.nodeFor(key), protocol.Request{Op: protocol.OpDelete, Key: maskKey(key)})
+}
+
+// DeleteString enqueues a string-key delete and returns its future.
+func (p *Pipeline) DeleteString(key []byte) *Delete {
+	return p.del(p.c.nodeForString(key), protocol.Request{Op: protocol.OpDelStr, StrKey: key})
+}
+
+func (p *Pipeline) del(n *node, req protocol.Request) *Delete {
+	d := &Delete{p: p}
+	cn, err := p.issue(n, req)
+	if err != nil {
+		d.done, d.err = true, err
+		return d
+	}
+	p.pending = append(p.pending, pend{n: n, cn: cn, del: d})
+	p.pace()
+	return d
+}
+
+// pace settles implicitly when the window fills, bounding both in-flight
+// state and server-side queue pressure.
+func (p *Pipeline) pace() {
+	if len(p.pending) >= p.c.cfg.Window {
+		p.Wait()
+	}
+}
+
+// Flush pushes all buffered requests to the wire without waiting for
+// responses. Wait flushes too; Flush alone is for fire-and-forget bursts
+// of Sets.
+func (p *Pipeline) Flush() error {
+	var first error
+	for n, cn := range p.leased {
+		if cn.dead {
+			continue
+		}
+		if err := cn.w.Flush(); err != nil {
+			cn.dead = true
+			n.errs.Add(1)
+			if first == nil {
+				first = &NodeError{Addr: n.addr, Err: err}
+			}
+		}
+	}
+	return first
+}
+
+// Wait flushes and settles every outstanding future in issue order,
+// returning the first error encountered — including issue-time failures
+// whose future never carried a wire exchange (each future also carries
+// its own error). Connections that failed are dropped so the next window
+// leases fresh ones — per-node backoff in lease() keeps retries bounded.
+func (p *Pipeline) Wait() error {
+	first := p.issueErr
+	p.issueErr = nil
+	if err := p.Flush(); err != nil && first == nil {
+		first = err
+	}
+	// A fresh slab per window: already-settled futures keep referencing
+	// their old slabs, so values never get invalidated behind the caller.
+	p.buf = nil
+	for i := range p.pending {
+		pd := &p.pending[i]
+		err := p.read(pd)
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	p.pending = p.pending[:0]
+	for n, cn := range p.leased {
+		if cn.dead {
+			delete(p.leased, n)
+			n.release(cn)
+		}
+	}
+	return first
+}
+
+// read settles one pending future off its connection.
+func (p *Pipeline) read(pd *pend) error {
+	var err error
+	if pd.cn.dead {
+		err = &NodeError{Addr: pd.n.addr, Err: errDown}
+	} else if pd.look != nil {
+		start := len(p.buf)
+		var found bool
+		p.buf, found, err = protocol.ReadLookupResponse(pd.cn.r, p.buf)
+		if err == nil {
+			pd.look.found = found
+			if found {
+				pd.look.value = p.buf[start:len(p.buf):len(p.buf)]
+			}
+		}
+	} else {
+		var found bool
+		found, err = protocol.ReadDeleteResponse(pd.cn.r)
+		if err == nil {
+			pd.del.found = found
+		}
+	}
+	if err != nil {
+		if !pd.cn.dead {
+			pd.cn.dead = true
+			pd.n.errs.Add(1)
+			err = &NodeError{Addr: pd.n.addr, Err: err}
+		}
+	}
+	if pd.look != nil {
+		pd.look.done, pd.look.err = true, err
+	} else {
+		pd.del.done, pd.del.err = true, err
+	}
+	return err
+}
+
+// Close settles outstanding work and returns the session's connections to
+// their pools. The Pipeline must not be used afterwards.
+func (p *Pipeline) Close() {
+	p.Wait()
+	for n, cn := range p.leased {
+		delete(p.leased, n)
+		n.release(cn)
+	}
+}

@@ -77,6 +77,7 @@ type Config struct {
 // Stats counts server activity.
 type Stats struct {
 	Connections int64 // lifetime accepted connections
+	Active      int64 // currently-open connections across workers
 	Requests    int64 // requests processed
 	Batches     int64 // batches processed
 }
@@ -168,6 +169,7 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Stats() Stats {
 	st := Stats{Connections: s.accepted.Load()}
 	for _, w := range s.workers {
+		st.Active += w.conns.Load()
 		st.Requests += w.requests.Load()
 		st.Batches += w.batches.Load()
 	}
@@ -212,8 +214,6 @@ func (s *Server) acceptLoop() {
 			tcp.SetNoDelay(true)
 		}
 		s.accepted.Add(1)
-		w := s.leastLoadedWorker()
-		w.conns.Add(1)
 		s.mu.Lock()
 		if s.closed.Load() {
 			s.mu.Unlock()
@@ -221,8 +221,19 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
+		// The worker count is incremented only once the readLoop — whose
+		// defer is the one place it is decremented — is guaranteed to
+		// start. A connection refused above (server closing) or one that
+		// dies instantly inside readLoop therefore balances to zero
+		// exactly once; incrementing before the closed-check leaked a
+		// phantom connection onto the worker forever. Both counters are
+		// bumped while mu is still held: Close sets closed before taking
+		// mu, so once it holds the lock every accepted reader is already
+		// registered and readers.Wait cannot race a pending Add.
+		w := s.leastLoadedWorker()
+		w.conns.Add(1)
 		s.readers.Add(1)
+		s.mu.Unlock()
 		go s.readLoop(conn, w)
 	}
 }

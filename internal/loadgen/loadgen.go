@@ -1,9 +1,12 @@
 // Package loadgen is the TCP load generator for the Figure 13/14
-// experiments: it opens pipelined connections to one or more key/value
-// cache servers, drives a workload.Spec query mix at a configurable window
-// depth, partitions keys across server addresses by hash (how the paper's
-// clients spread keys over memcached instances), and reports throughput,
-// hit rate and latency.
+// experiments: it drives a workload.Spec query mix through the sharded
+// client SDK (internal/client) at a configurable pipeline depth and
+// reports throughput, hit rate and latency.
+//
+// Key→node placement is entirely the client's concern: every key routes
+// through the internal/cluster continuum, the same way the paper's
+// clients spread keys over per-core memcached instances. loadgen itself
+// holds no partitioning logic.
 //
 // The paper generates load from a second 48-core machine over 10 Gbps
 // Ethernet; this reproduction drives loopback on one machine, which
@@ -11,33 +14,30 @@
 package loadgen
 
 import (
-	"bufio"
 	"fmt"
-	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"cphash/internal/partition"
+	"cphash/internal/client"
 	"cphash/internal/perf"
-	"cphash/internal/protocol"
 	"cphash/internal/workload"
 )
 
 // Config parameterizes Run.
 type Config struct {
-	// Addrs are the server addresses. Keys are partitioned across them by
-	// hash (one address for CPSERVER/LOCKSERVER; one per instance for the
-	// memcached cluster).
+	// Addrs are the server addresses. Keys are spread across them by the
+	// cluster continuum (one address for CPSERVER/LOCKSERVER; one per
+	// instance for a multi-instance cluster).
 	Addrs []string
-	// Conns is the total number of client connections (default 4).
+	// Conns is the number of concurrent pipelined sessions (default 4).
 	Conns int
-	// Pipeline is the number of requests written per window before reading
-	// the responses back (default 64).
+	// Pipeline is the number of requests written per window before the
+	// responses are drained (default 64).
 	Pipeline int
 	// Spec is the workload (keys, value size, insert ratio).
 	Spec workload.Spec
-	// OpsPerConn is how many operations each connection performs.
+	// OpsPerConn is how many operations each session performs.
 	OpsPerConn int
 	// Validate checks every hit's bytes against the workload's expected
 	// value (costs CPU; off for throughput runs).
@@ -53,6 +53,8 @@ type Result struct {
 	Elapsed  time.Duration
 	// Latency is the per-window round-trip distribution in nanoseconds.
 	Latency *perf.Histogram
+	// Nodes holds per-server client-side counters, keyed by address.
+	Nodes map[string]client.Stats
 }
 
 // Throughput returns queries/second.
@@ -77,20 +79,8 @@ func (r Result) String() string {
 		r.Throughput(), r.Ops, r.HitRate(), r.Elapsed.Round(time.Millisecond))
 }
 
-// instanceOf picks the server for a key: single server → 0; otherwise the
-// paper's client-side hash partitioning across instances.
-func instanceOf(key uint64, n int) int {
-	if n == 1 {
-		return 0
-	}
-	return int(partition.Mix64(key) >> 17 % uint64(n))
-}
-
 // Run drives the configured load and blocks until done.
 func Run(cfg Config) (Result, error) {
-	if len(cfg.Addrs) == 0 {
-		return Result{}, fmt.Errorf("loadgen: no server addresses")
-	}
 	if cfg.Conns <= 0 {
 		cfg.Conns = 4
 	}
@@ -103,6 +93,17 @@ func Run(cfg Config) (Result, error) {
 	if err := cfg.Spec.Validate(); err != nil {
 		return Result{}, err
 	}
+	// All traffic is pipelined, so MaxRetries (a sync-path knob) is moot;
+	// a transport failure aborts the run, as a measurement tool wants.
+	cli, err := client.New(client.Config{
+		Nodes:        cfg.Addrs,
+		ConnsPerNode: cfg.Conns, // one pipelined session per logical conn
+		Window:       cfg.Pipeline + 1,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("loadgen: %w", err)
+	}
+	defer cli.Close()
 
 	var (
 		ops, hits, misses, bad atomic.Int64
@@ -117,7 +118,7 @@ func Run(cfg Config) (Result, error) {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			h, err := runConn(cfg, ci, &ops, &hits, &misses, &bad)
+			h, err := runConn(cli, cfg, ci, &ops, &hits, &misses, &bad)
 			if err != nil {
 				firstErr.CompareAndSwap(nil, err)
 				return
@@ -135,6 +136,7 @@ func Run(cfg Config) (Result, error) {
 		BadBytes: bad.Load(),
 		Elapsed:  time.Since(start),
 		Latency:  hist,
+		Nodes:    cli.NodeStats(),
 	}
 	if err, _ := firstErr.Load().(error); err != nil {
 		return res, err
@@ -142,42 +144,12 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// connEndpoint is one server connection's codec pair.
-type connEndpoint struct {
-	conn net.Conn
-	w    *bufio.Writer
-	r    *bufio.Reader
-}
-
-// runConn drives one logical client: a connection to every server address,
-// windows of Pipeline requests routed by key hash, then responses drained
-// in order per endpoint.
-func runConn(cfg Config, ci int, ops, hits, misses, bad *atomic.Int64) (*perf.Histogram, error) {
-	eps := make([]*connEndpoint, len(cfg.Addrs))
-	for i, addr := range cfg.Addrs {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			for _, ep := range eps {
-				if ep != nil {
-					ep.conn.Close()
-				}
-			}
-			return nil, fmt.Errorf("loadgen: dial %s: %w", addr, err)
-		}
-		if tcp, ok := conn.(*net.TCPConn); ok {
-			tcp.SetNoDelay(true)
-		}
-		eps[i] = &connEndpoint{
-			conn: conn,
-			w:    bufio.NewWriterSize(conn, 64<<10),
-			r:    bufio.NewReaderSize(conn, 64<<10),
-		}
-	}
-	defer func() {
-		for _, ep := range eps {
-			ep.conn.Close()
-		}
-	}()
+// runConn drives one pipelined session: windows of Pipeline requests
+// issued through the client (which routes each key to its node), then the
+// lookup futures drained and scored.
+func runConn(cli *client.Client, cfg Config, ci int, ops, hits, misses, bad *atomic.Int64) (*perf.Histogram, error) {
+	pipe := cli.Pipeline()
+	defer pipe.Close()
 
 	spec := cfg.Spec
 	spec.Seed = cfg.Spec.Seed + uint64(ci)*0x9e3779b9 + 17
@@ -189,11 +161,10 @@ func runConn(cfg Config, ci int, ops, hits, misses, bad *atomic.Int64) (*perf.Hi
 	hist := perf.NewHistogram()
 	valBuf := make([]byte, cfg.Spec.ValueSize)
 	type pendingLookup struct {
-		ep  int
-		key uint64
+		look *client.Lookup
+		key  uint64
 	}
 	pending := make([]pendingLookup, 0, cfg.Pipeline)
-	respBuf := make([]byte, 0, 4096)
 
 	remaining := cfg.OpsPerConn
 	for remaining > 0 {
@@ -205,39 +176,26 @@ func runConn(cfg Config, ci int, ops, hits, misses, bad *atomic.Int64) (*perf.Hi
 		t0 := time.Now()
 		for i := 0; i < window; i++ {
 			kind, key := gen.Next()
-			ep := instanceOf(key, len(eps))
 			switch kind {
 			case workload.Insert:
 				v := cfg.Spec.FillValue(key, valBuf)
-				if err := protocol.WriteRequest(eps[ep].w, protocol.Request{
-					Op: protocol.OpInsert, Key: key, Value: v,
-				}); err != nil {
-					return nil, err
+				if err := pipe.Set(key, v); err != nil {
+					return nil, fmt.Errorf("loadgen: insert: %w", err)
 				}
 			case workload.Lookup:
-				if err := protocol.WriteRequest(eps[ep].w, protocol.Request{
-					Op: protocol.OpLookup, Key: key,
-				}); err != nil {
-					return nil, err
-				}
-				pending = append(pending, pendingLookup{ep: ep, key: key})
+				pending = append(pending, pendingLookup{look: pipe.Get(key), key: key})
 			}
 		}
-		for _, ep := range eps {
-			if err := ep.w.Flush(); err != nil {
-				return nil, err
-			}
+		if err := pipe.Wait(); err != nil {
+			return nil, fmt.Errorf("loadgen: window: %w", err)
 		}
-		// Responses per endpoint arrive in request order.
 		for _, p := range pending {
-			var found bool
-			respBuf, found, err = protocol.ReadLookupResponse(eps[p.ep].r, respBuf[:0])
-			if err != nil {
-				return nil, fmt.Errorf("loadgen: read response: %w", err)
+			if err := p.look.Err(); err != nil {
+				return nil, fmt.Errorf("loadgen: lookup: %w", err)
 			}
-			if found {
+			if p.look.Found() {
 				hits.Add(1)
-				if cfg.Validate && !cfg.Spec.CheckValue(p.key, respBuf) {
+				if cfg.Validate && !cfg.Spec.CheckValue(p.key, p.look.Value()) {
 					bad.Add(1)
 				}
 			} else {

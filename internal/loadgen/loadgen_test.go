@@ -76,26 +76,45 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
-func TestInstanceOfPartitioning(t *testing.T) {
-	counts := make([]int, 4)
-	for k := uint64(0); k < 4096; k++ {
-		i := instanceOf(k, 4)
-		if i < 0 || i >= 4 {
-			t.Fatalf("instanceOf(%d, 4) = %d", k, i)
+// TestRunMultiNode spreads a validated workload over three server
+// instances through the cluster routing layer; every hit must carry the
+// right bytes, proving key→node placement is consistent between inserts
+// and lookups.
+func TestRunMultiNode(t *testing.T) {
+	servers := make([]string, 3)
+	for i := range servers {
+		servers[i] = startServer(t).Addr()
+	}
+	res, err := Run(Config{
+		Addrs:      servers,
+		Conns:      2,
+		Pipeline:   32,
+		Spec:       workload.Default(8 << 10),
+		OpsPerConn: 3000,
+		Validate:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 6000 {
+		t.Fatalf("ops = %d, want 6000", res.Ops)
+	}
+	if res.BadBytes != 0 {
+		t.Fatalf("%d corrupt responses: cross-node routing inconsistent", res.BadBytes)
+	}
+	if res.Hits == 0 {
+		t.Fatal("no hits across the cluster")
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("per-node stats cover %d nodes, want 3", len(res.Nodes))
+	}
+	for addr, s := range res.Nodes {
+		if s.Ops == 0 {
+			t.Errorf("node %s received no operations; routing degenerate", addr)
 		}
-		counts[i]++
-	}
-	for i, c := range counts {
-		if c < 700 || c > 1350 {
-			t.Errorf("instance %d got %d/4096 keys; partitioning skewed", i, c)
+		if s.Errors != 0 {
+			t.Errorf("node %s recorded %d errors in a healthy run", addr, s.Errors)
 		}
-	}
-	if instanceOf(123, 1) != 0 {
-		t.Error("single instance must map to 0")
-	}
-	// Stability.
-	if instanceOf(7, 4) != instanceOf(7, 4) {
-		t.Error("instanceOf unstable")
 	}
 }
 
