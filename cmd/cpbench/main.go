@@ -13,9 +13,16 @@
 //	cpbench -experiment ablation-ring   # §3.4: single slot vs buffered ring
 //	cpbench -experiment ablation-batch  # §6.1: pipeline-depth sensitivity
 //	cpbench -experiment all
+//
+// With -json out.json, every measurement is also written as a
+// machine-readable record — {experiment, config, qps, p99_ns} — so CI can
+// archive a benchmark trajectory across commits (p99 is reported for the
+// TCP experiments, which measure a latency distribution; table-level
+// benchmarks record 0).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,7 +45,44 @@ var (
 	ops        = flag.Int("ops", 200000, "operations per configuration")
 	clients    = flag.Int("clients", 2, "client goroutines for table benchmarks")
 	servers    = flag.Int("partitions", 2, "CPHASH partitions (server goroutines)")
+	jsonOut    = flag.String("json", "", "write machine-readable results (JSON) to this file")
 )
+
+// benchResult is one machine-readable measurement.
+type benchResult struct {
+	Experiment string         `json:"experiment"`
+	Config     map[string]any `json:"config"`
+	QPS        float64        `json:"qps"`
+	P99Ns      int64          `json:"p99_ns"`
+}
+
+var results []benchResult
+
+// record appends one measurement to the -json document.
+func record(experiment string, cfg map[string]any, qps float64, p99 time.Duration) {
+	results = append(results, benchResult{Experiment: experiment, Config: cfg, QPS: qps, P99Ns: int64(p99)})
+}
+
+// writeResults emits the -json document (nothing without the flag).
+func writeResults() {
+	if *jsonOut == "" {
+		return
+	}
+	doc := map[string]any{
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"ops":        *ops,
+		"results":    results,
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err == nil {
+		err = os.WriteFile(*jsonOut, append(raw, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpbench: writing %s: %v\n", *jsonOut, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(results), *jsonOut)
+}
 
 func main() {
 	flag.Parse()
@@ -58,8 +102,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
-	run("fig5", func() { figWS("Figure 5 (native): throughput vs working set (LRU)", partition.EvictLRU) })
-	run("fig8", func() { figWS("Figure 8 (native): throughput vs working set (random)", partition.EvictRandom) })
+	run("fig5", func() { figWS("fig5", "Figure 5 (native): throughput vs working set (LRU)", partition.EvictLRU) })
+	run("fig8", func() { figWS("fig8", "Figure 8 (native): throughput vs working set (random)", partition.EvictRandom) })
 	run("fig9", fig9)
 	run("fig10", fig10)
 	run("fig11", fig11)
@@ -68,6 +112,7 @@ func main() {
 	run("ablation-ring", ablationRing)
 	run("ablation-batch", ablationBatch)
 	run("ablation-dynamic", ablationDynamic)
+	writeResults()
 }
 
 // runCPHash measures native CPHASH throughput for a spec.
@@ -160,13 +205,15 @@ func runLockHash(spec workload.Spec, capacityValues int, policy partition.Evicti
 	return perf.Throughput{Ops: int64(perThread * nThreads), Elapsed: time.Since(start)}
 }
 
-func figWS(title string, policy partition.EvictionPolicy) {
+func figWS(key, title string, policy partition.EvictionPolicy) {
 	fmt.Println("===", title, "===")
 	fmt.Printf("%-10s %16s %16s %8s\n", "ws", "CPHash q/s", "LockHash q/s", "ratio")
 	for _, ws := range []int{100 << 10, 1 << 20, 16 << 20} {
 		spec := workload.Default(ws)
 		cp := runCPHash(spec, spec.NumKeys(), policy, *clients, *servers, 0)
 		lh := runLockHash(spec, spec.NumKeys(), policy, *clients+*servers)
+		record(key, map[string]any{"design": "cphash", "ws": ws, "eviction": policy.String()}, cp.PerSecond(), 0)
+		record(key, map[string]any{"design": "lockhash", "ws": ws, "eviction": policy.String()}, lh.PerSecond(), 0)
 		fmt.Printf("%-10s %16.3g %16.3g %8.2f\n",
 			perf.FormatBytes(ws), cp.PerSecond(), lh.PerSecond(), cp.PerSecond()/lh.PerSecond())
 	}
@@ -182,6 +229,8 @@ func fig9() {
 		capVals := spec.NumKeys() / frac
 		cp := runCPHash(spec, capVals, partition.EvictLRU, *clients, *servers, 0)
 		lh := runLockHash(spec, capVals, partition.EvictLRU, *clients+*servers)
+		record("fig9", map[string]any{"design": "cphash", "ws": ws, "capacityValues": capVals}, cp.PerSecond(), 0)
+		record("fig9", map[string]any{"design": "lockhash", "ws": ws, "capacityValues": capVals}, lh.PerSecond(), 0)
 		fmt.Printf("%-10s %16.3g %16.3g\n",
 			perf.FormatBytes(capVals*8), cp.PerSecond(), lh.PerSecond())
 	}
@@ -197,6 +246,8 @@ func fig10() {
 		spec.InsertRatio = ratio
 		cp := runCPHash(spec, spec.NumKeys(), partition.EvictLRU, *clients, *servers, 0)
 		lh := runLockHash(spec, spec.NumKeys(), partition.EvictLRU, *clients+*servers)
+		record("fig10", map[string]any{"design": "cphash", "ws": ws, "insertRatio": ratio}, cp.PerSecond(), 0)
+		record("fig10", map[string]any{"design": "lockhash", "ws": ws, "insertRatio": ratio}, lh.PerSecond(), 0)
 		fmt.Printf("%-8.1f %16.3g %16.3g\n", ratio, cp.PerSecond(), lh.PerSecond())
 	}
 	fmt.Println()
@@ -213,13 +264,16 @@ func fig11() {
 	for n := 2; n <= max; n *= 2 {
 		cp := runCPHash(spec, spec.NumKeys(), partition.EvictLRU, n/2, n/2, 0)
 		lh := runLockHash(spec, spec.NumKeys(), partition.EvictLRU, n)
+		record("fig11", map[string]any{"design": "cphash", "goroutines": n, "qpsPerThread": cp.PerSecondPerThread(n)}, cp.PerSecond(), 0)
+		record("fig11", map[string]any{"design": "lockhash", "goroutines": n, "qpsPerThread": lh.PerSecondPerThread(n)}, lh.PerSecond(), 0)
 		fmt.Printf("%-10d %18.3g %18.3g\n", n, cp.PerSecondPerThread(n), lh.PerSecondPerThread(n))
 	}
 	fmt.Println()
 }
 
-// tcpThroughput measures a loadgen run against addrs.
-func tcpThroughput(addrs []string, spec workload.Spec) float64 {
+// tcpThroughput measures a loadgen run against addrs, returning the
+// queries/sec and the p99 of the per-window round-trip distribution.
+func tcpThroughput(addrs []string, spec workload.Spec) (float64, time.Duration) {
 	res, err := loadgen.Run(loadgen.Config{
 		Addrs:      addrs,
 		Conns:      4,
@@ -229,9 +283,9 @@ func tcpThroughput(addrs []string, spec workload.Spec) float64 {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
-		return 0
+		return 0, 0
 	}
-	return res.Throughput()
+	return res.Throughput(), time.Duration(res.Latency.Quantile(0.99))
 }
 
 func fig13() {
@@ -247,7 +301,7 @@ func fig13() {
 			fmt.Fprintln(os.Stderr, err)
 			return
 		}
-		cpQPS := tcpThroughput([]string{cpSrv.Addr()}, spec)
+		cpQPS, cpP99 := tcpThroughput([]string{cpSrv.Addr()}, spec)
 		cpSrv.Close()
 		cpTable.Close()
 
@@ -257,9 +311,11 @@ func fig13() {
 			fmt.Fprintln(os.Stderr, err)
 			return
 		}
-		lhQPS := tcpThroughput([]string{lhSrv.Addr()}, spec)
+		lhQPS, lhP99 := tcpThroughput([]string{lhSrv.Addr()}, spec)
 		lhSrv.Close()
 
+		record("fig13", map[string]any{"design": "cpserver", "ws": ws}, cpQPS, cpP99)
+		record("fig13", map[string]any{"design": "lockserver", "ws": ws}, lhQPS, lhP99)
 		fmt.Printf("%-10s %16.3g %16.3g %8.2f\n", perf.FormatBytes(ws), cpQPS, lhQPS, cpQPS/lhQPS)
 	}
 	fmt.Println()
@@ -273,19 +329,22 @@ func fig14() {
 	for _, n := range []int{1, 2, 4} {
 		cpTable := core.MustNew(core.Config{Partitions: *servers, CapacityBytes: capBytes, MaxClients: n, Seed: 1})
 		cpSrv, _ := kvserver.Serve(kvserver.Config{Addr: "127.0.0.1:0", Workers: n, NewBackend: kvserver.NewCPHashBackend(cpTable)})
-		cpQPS := tcpThroughput([]string{cpSrv.Addr()}, spec)
+		cpQPS, cpP99 := tcpThroughput([]string{cpSrv.Addr()}, spec)
 		cpSrv.Close()
 		cpTable.Close()
 
 		lhTable := lockhash.MustNew(lockhash.Config{CapacityBytes: capBytes, Seed: 1})
 		lhSrv, _ := kvserver.Serve(kvserver.Config{Addr: "127.0.0.1:0", Workers: n, NewBackend: kvserver.NewLockHashBackend(lhTable)})
-		lhQPS := tcpThroughput([]string{lhSrv.Addr()}, spec)
+		lhQPS, lhP99 := tcpThroughput([]string{lhSrv.Addr()}, spec)
 		lhSrv.Close()
 
 		cluster, _ := memcache.ServeCluster(n, capBytes)
-		mcQPS := tcpThroughput(cluster.Addrs(), spec)
+		mcQPS, mcP99 := tcpThroughput(cluster.Addrs(), spec)
 		cluster.Close()
 
+		record("fig14", map[string]any{"design": "cpserver", "instances": n}, cpQPS, cpP99)
+		record("fig14", map[string]any{"design": "lockserver", "instances": n}, lhQPS, lhP99)
+		record("fig14", map[string]any{"design": "memcached", "instances": n}, mcQPS, mcP99)
 		fmt.Printf("%-10d %16.3g %16.3g %16.3g\n", n, cpQPS, lhQPS, mcQPS)
 	}
 	fmt.Println()
@@ -328,6 +387,8 @@ func ablationRing() {
 	<-done
 	ringRate := float64(n) / time.Since(startR).Seconds()
 
+	record("ablation-ring", map[string]any{"design": "single-slot"}, slotRate, 0)
+	record("ablation-ring", map[string]any{"design": "buffered-ring"}, ringRate, 0)
 	fmt.Printf("single slot:   %10.3g msgs/sec\n", slotRate)
 	fmt.Printf("buffered ring: %10.3g msgs/sec (%.1f× — batching wins under load, as §3.4 predicts)\n\n",
 		ringRate, ringRate/slotRate)
@@ -339,6 +400,7 @@ func ablationBatch() {
 	fmt.Printf("%-10s %16s\n", "pipeline", "CPHash q/s")
 	for _, depth := range []int{8, 64, 512, 2048} {
 		cp := runCPHash(spec, spec.NumKeys(), partition.EvictLRU, *clients, *servers, depth)
+		record("ablation-batch", map[string]any{"design": "cphash", "pipeline": depth}, cp.PerSecond(), 0)
 		fmt.Printf("%-10d %16.3g\n", depth, cp.PerSecond())
 	}
 	fmt.Println()
@@ -393,6 +455,7 @@ func ablationDynamic() {
 			<-done
 		}
 		tput := perf.Throughput{Ops: int64(perClient * *clients), Elapsed: time.Since(start)}
+		record("ablation-dynamic", map[string]any{"design": "cphash", "activeServers": active}, tput.PerSecond(), 0)
 		fmt.Printf("%-16d %16.3g\n", active, tput.PerSecond())
 		t.Close()
 	}

@@ -24,6 +24,18 @@
 // -statsaddr, runtime counters — hits, misses, expired, evictions, active
 // connections — are served as JSON at /stats and through expvar at
 // /debug/vars.
+//
+// The stats endpoint doubles as the cluster admin surface for live
+// topology changes with ONLINE SLOT MIGRATION (zero key loss for keys not
+// written mid-move):
+//
+//	POST /join             # start one more instance, stream its slots in
+//	POST /leave?addr=X     # stream X's slots to the survivors, stop X
+//	GET  /migration        # cumulative migration progress stats
+//
+// The in-process coordinator (a sharded SDK client + rebalance.Migrator)
+// performs the move; external clients built before the change keep their
+// old ring until restarted — point them at the new member list.
 package main
 
 import (
@@ -37,14 +49,17 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
+	"cphash/internal/client"
 	"cphash/internal/core"
 	"cphash/internal/kvserver"
 	"cphash/internal/lockhash"
 	"cphash/internal/memcache"
 	"cphash/internal/partition"
+	"cphash/internal/rebalance"
 	"cphash/internal/sizeparse"
 )
 
@@ -194,6 +209,150 @@ func startInstance(addr string, capBytes int, policy partition.EvictionPolicy) (
 	}
 }
 
+// admin owns the mutable instance set plus the migration coordinator: a
+// sharded SDK client whose membership tracks the instances, and the
+// Migrator that streams moved slots on join/leave.
+type admin struct {
+	// opMu serializes join/leave — topology changes take seconds (quiesce
+	// + migration). mu guards insts and is held only for moments, so the
+	// /stats and expvar handlers never stall behind a migration.
+	opMu     sync.Mutex
+	mu       sync.Mutex
+	insts    []*instance
+	capBytes int
+	policy   partition.EvictionPolicy
+	host     string
+	basePort int // 0 = kernel-assigned ports for joiners too
+	started  int // instances ever started (port allocation); under opMu
+	cli      *client.Client
+	migr     *rebalance.Migrator
+}
+
+func newAdmin(insts []*instance, capBytes int, policy partition.EvictionPolicy, host string, basePort int) (*admin, error) {
+	addrs := make([]string, len(insts))
+	for i, in := range insts {
+		addrs[i] = in.addr
+	}
+	cli, err := client.New(client.Config{Nodes: addrs})
+	if err != nil {
+		return nil, err
+	}
+	return &admin{
+		insts:    insts,
+		capBytes: capBytes,
+		policy:   policy,
+		host:     host,
+		basePort: basePort,
+		started:  len(insts),
+		cli:      cli,
+		migr:     rebalance.New(cli, rebalance.Config{}),
+	}, nil
+}
+
+// instances snapshots the current instance list.
+func (a *admin) instances() []*instance {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]*instance(nil), a.insts...)
+}
+
+// totalRequests sums lifetime requests across instances.
+func (a *admin) totalRequests() int64 {
+	var total int64
+	for _, in := range a.instances() {
+		total += in.requests()
+	}
+	return total
+}
+
+// quiesce waits (bounded) for the instances' request counters to stop
+// moving before a migration starts. A client that just disconnected may
+// still have thousands of silent pipelined INSERTs draining through the
+// servers' worker queues; without this, the migration scan can run before
+// those writes land on their (old) owners and the post-move purge then
+// deletes them unreplayed. Unacknowledged writes carry no durability
+// promise — this protects the common populate-then-join pattern, not
+// clients that keep writing through a stale ring (those are documented
+// out of scope). Called with opMu (not mu) held.
+func (a *admin) quiesce() {
+	last := int64(-1)
+	for i := 0; i < 30; i++ {
+		cur := a.totalRequests()
+		if cur == last {
+			return
+		}
+		last = cur
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// join starts one more instance and migrates its continuum slots in.
+func (a *admin) join() (string, error) {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	port := 0
+	if a.basePort != 0 {
+		port = a.basePort + a.started
+	}
+	in, err := startInstance(net.JoinHostPort(a.host, strconv.Itoa(port)), a.capBytes, a.policy)
+	if err != nil {
+		return "", err
+	}
+	a.quiesce()
+	if err := a.migr.AddNode(in.addr); err != nil {
+		in.close()
+		return "", err
+	}
+	a.started++
+	a.mu.Lock()
+	a.insts = append(a.insts, in)
+	n := len(a.insts)
+	a.mu.Unlock()
+	fmt.Printf("cluster: %s joined with live migration (%d instances)\n", in.addr, n)
+	return in.addr, nil
+}
+
+// leave migrates an instance's slots to the survivors, then stops it.
+func (a *admin) leave(addr string) error {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	var target *instance
+	for _, in := range a.instances() {
+		if in.addr == addr {
+			target = in
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("no instance %q", addr)
+	}
+	if len(a.instances()) == 1 {
+		return fmt.Errorf("cannot remove the last instance")
+	}
+	a.quiesce()
+	if err := a.migr.RemoveNode(addr); err != nil {
+		return err
+	}
+	target.close()
+	a.mu.Lock()
+	for i, in := range a.insts {
+		if in == target {
+			a.insts = append(a.insts[:i], a.insts[i+1:]...)
+			break
+		}
+	}
+	n := len(a.insts)
+	a.mu.Unlock()
+	fmt.Printf("cluster: %s left with live migration (%d instances)\n", addr, n)
+	return nil
+}
+
+// close shuts the coordinator down (instances are closed by main).
+func (a *admin) close() {
+	if a.cli != nil {
+		a.cli.Close()
+	}
+}
+
 // snapshotAll renders the /stats document: one entry per instance plus the
 // backend name, so a scraper can tell deployments apart.
 func snapshotAll(insts []*instance) map[string]any {
@@ -206,17 +365,71 @@ func snapshotAll(insts []*instance) map[string]any {
 	return map[string]any{"backend": *backend, "instances": list}
 }
 
-// serveStats exposes /stats (JSON) and /debug/vars (expvar) on its own
-// mux, keeping the default mux untouched.
-func serveStats(addr string, insts []*instance) (*http.Server, error) {
-	expvar.Publish("cpserver", expvar.Func(func() any { return snapshotAll(insts) }))
-	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+// migrationSnapshot renders the /migration document.
+func (a *admin) migrationSnapshot() map[string]any {
+	st := a.migr.Stats()
+	return map[string]any{
+		"active":          st.Active,
+		"migrations":      st.Migrations,
+		"slotsTotal":      st.SlotsTotal,
+		"slotsDone":       st.SlotsDone,
+		"slotsPending":    a.cli.MigratingSlots(),
+		"sourcesPending":  a.migr.Pending(),
+		"sourcesDrained":  st.Sources,
+		"entriesStreamed": st.Entries,
+		"bytesStreamed":   st.Bytes,
+		"entriesReplayed": st.Replayed,
+		"replayErrors":    st.ReplayErrors,
+		"stalePurged":     st.Purged,
+	}
+}
+
+// serveStats exposes /stats (JSON), /debug/vars (expvar) and the cluster
+// admin surface (/join, /leave, /migration) on its own mux, keeping the
+// default mux untouched.
+func serveStats(addr string, a *admin) (*http.Server, error) {
+	expvar.Publish("cpserver", expvar.Func(func() any { return snapshotAll(a.instances()) }))
+	writeJSON := func(w http.ResponseWriter, doc any) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(snapshotAll(insts))
+		_ = enc.Encode(doc)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, snapshotAll(a.instances()))
+	})
+	mux.HandleFunc("/migration", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, a.migrationSnapshot())
+	})
+	mux.HandleFunc("/join", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		joined, err := a.join()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"joined": joined, "migration": a.migrationSnapshot()})
+	})
+	mux.HandleFunc("/leave", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		addr := r.URL.Query().Get("addr")
+		if addr == "" {
+			http.Error(w, "missing ?addr=", http.StatusBadRequest)
+			return
+		}
+		if err := a.leave(addr); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"left": addr, "migration": a.migrationSnapshot()})
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -224,7 +437,7 @@ func serveStats(addr string, insts []*instance) (*http.Server, error) {
 	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
-	fmt.Printf("stats endpoint on http://%s/stats (expvar at /debug/vars)\n", ln.Addr())
+	fmt.Printf("stats endpoint on http://%s/stats (admin: POST /join, POST /leave?addr=, GET /migration)\n", ln.Addr())
 	return srv, nil
 }
 
@@ -278,26 +491,30 @@ func main() {
 		fmt.Printf("cluster: point clients at -addrs %s\n", list)
 	}
 
+	// The admin coordinator owns the (now mutable) instance list and the
+	// live-migration machinery behind /join and /leave.
+	host, portStr, _ := net.SplitHostPort(*addr)
+	basePort, _ := strconv.Atoi(portStr)
+	adm, err := newAdmin(insts, capBytes, policy, host, basePort)
+	if err != nil {
+		log.Fatalf("cpserver: coordinator: %v", err)
+	}
+
 	var statsSrv *http.Server
 	if *statsAddr != "" {
-		statsSrv, err = serveStats(*statsAddr, insts)
+		statsSrv, err = serveStats(*statsAddr, adm)
 		if err != nil {
 			log.Fatalf("cpserver: stats endpoint: %v", err)
 		}
 	}
 
-	waitAndReport(stop, func() int64 {
-		var total int64
-		for _, in := range insts {
-			total += in.requests()
-		}
-		return total
-	})
+	waitAndReport(stop, adm.totalRequests)
 
 	if statsSrv != nil {
 		statsSrv.Close()
 	}
-	for _, in := range insts {
+	adm.close()
+	for _, in := range adm.instances() {
 		in.close()
 	}
 }

@@ -1,17 +1,21 @@
-// Cluster demo: a 3-node CPHash cache cluster in one process, driven
-// through the sharded client SDK — the architecture of the paper's
-// Figure 13/14 multi-instance experiments.
+// Cluster demo: a CPHash cache cluster in one process, driven through the
+// sharded client SDK — the architecture of the paper's Figure 13/14
+// multi-instance experiments, grown into a live-reconfigurable cluster.
 //
-// The demo shows the three properties the cluster layer is built around:
+// The demo walks through the cluster layer's four properties:
 //
 //  1. Routing: every key deterministically owns a slot on the 256-slot
 //     continuum, and slots — not keys — map to nodes.
 //
-//  2. Failure isolation: killing one node fails only its shards; the
-//     other two keep serving.
+//  2. Live join: a new node enters while read traffic keeps flowing; its
+//     slots are streamed in with online migration (dual-read window), and
+//     not a single key is lost or even missed.
 //
-//  3. Minimal rebalancing: adding or removing a member moves only the
-//     departing/arriving slots.
+//  3. Live leave: a member drains its slots to the survivors and shuts
+//     down — again with zero key loss.
+//
+//  4. Failure isolation: killing a node WITHOUT migration loses only its
+//     shards; the other members keep serving.
 //
 //     go run ./examples/cluster
 package main
@@ -20,11 +24,14 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sync"
+	"sync/atomic"
 
 	"cphash/internal/client"
 	"cphash/internal/cluster"
 	"cphash/internal/kvserver"
 	"cphash/internal/lockhash"
+	"cphash/internal/rebalance"
 )
 
 func startNode() (*kvserver.Server, error) {
@@ -39,9 +46,25 @@ func startNode() (*kvserver.Server, error) {
 	})
 }
 
+const keys = 3000
+
+// verifyAll returns how many of the seeded keys read back correctly.
+func verifyAll(c *client.Client) (ok int, err error) {
+	for k := uint64(0); k < keys; k++ {
+		v, found, e := c.Get(k)
+		if e != nil {
+			return ok, e
+		}
+		if found && string(v) == fmt.Sprintf("value-%d", k) {
+			ok++
+		}
+	}
+	return ok, nil
+}
+
 func main() {
-	// --- 1. a three-node cluster ---
-	var servers []*kvserver.Server
+	// --- 1. a three-node cluster, keys spread over the continuum ---
+	servers := map[string]*kvserver.Server{}
 	var addrs []string
 	for i := 0; i < 3; i++ {
 		s, err := startNode()
@@ -49,12 +72,12 @@ func main() {
 			log.Fatal(err)
 		}
 		defer s.Close()
-		servers = append(servers, s)
+		servers[s.Addr()] = s
 		addrs = append(addrs, s.Addr())
 	}
 	fmt.Printf("cluster members: %v\n", addrs)
 
-	c, err := client.New(client.Config{Nodes: addrs})
+	c, err := client.New(client.Config{Nodes: addrs, ConnsPerNode: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +86,6 @@ func main() {
 	// Pipelined writes: requests batch per node and fan out in parallel,
 	// the client-side half of the paper's batching.
 	p := c.Pipeline()
-	const keys = 3000
 	for k := uint64(0); k < keys; k++ {
 		if err := p.Set(k, []byte(fmt.Sprintf("value-%d", k))); err != nil {
 			log.Fatal(err)
@@ -85,15 +107,76 @@ func main() {
 		fmt.Printf("node %s owns %d/%d continuum slots\n", id, slots, cluster.Slots)
 	}
 
-	// --- 2. failure isolation ---
-	dead := addrs[1]
-	fmt.Printf("\nkilling node %s...\n", dead)
-	servers[1].Close()
+	// --- 2. live join under load: zero key loss, zero misses ---
+	joining, err := startNode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer joining.Close()
+	servers[joining.Addr()] = joining
+	fmt.Printf("\njoining %s with online slot migration (reads keep flowing)...\n", joining.Addr())
+
+	m := rebalance.New(c, rebalance.Config{})
+	var misses, reads atomic.Int64
+	stopLoad := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // read load across the whole key space during the move
+		defer wg.Done()
+		for k := uint64(0); ; k = (k + 1) % keys {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			_, found, err := c.Get(k)
+			reads.Add(1)
+			if err != nil || !found {
+				misses.Add(1)
+			}
+		}
+	}()
+	if err := m.AddNode(joining.Addr()); err != nil {
+		log.Fatal(err)
+	}
+	close(stopLoad)
+	wg.Wait()
+
+	st := m.Stats()
+	fmt.Printf("migrated %d entries (%d bytes) off %d source(s); %d slots moved\n",
+		st.Entries, st.Bytes, st.Sources, st.SlotsDone)
+	fmt.Printf("during the move: %d reads, %d misses/errors (dual-read window)\n",
+		reads.Load(), misses.Load())
+	if ok, err := verifyAll(c); err != nil || ok != keys {
+		log.Fatalf("after join: %d/%d keys readable (err=%v)", ok, keys, err)
+	}
+	fmt.Printf("after the join: %d/%d keys readable — zero loss\n", keys, keys)
+	for id, slots := range c.Ring().SlotCounts() {
+		fmt.Printf("node %s now owns %d/%d slots\n", id, slots, cluster.Slots)
+	}
+
+	// --- 3. live leave: drain a member, then shut it down ---
+	leaving := addrs[1]
+	fmt.Printf("\ndraining %s out of the cluster...\n", leaving)
+	if err := m.RemoveNode(leaving); err != nil {
+		log.Fatal(err)
+	}
+	servers[leaving].Close() // safe: its slots were streamed to survivors
+	if ok, err := verifyAll(c); err != nil || ok != keys {
+		log.Fatalf("after leave: %d/%d keys readable (err=%v)", ok, keys, err)
+	}
+	fmt.Printf("after the leave: %d/%d keys readable — zero loss\n", keys, keys)
+
+	// --- 4. failure isolation: a crash WITHOUT migration ---
+	dead := addrs[2]
+	fmt.Printf("\nkilling %s without migration (simulated crash)...\n", dead)
+	servers[dead].Close()
 
 	var deadErrs, liveOK int
+	ring := c.Ring()
 	for k := uint64(0); k < keys; k++ {
 		_, found, err := c.Get(k)
-		switch owner := c.Ring().NodeOf(k); {
+		switch owner := ring.NodeOf(k); {
 		case err != nil:
 			var ne *client.NodeError
 			if !errors.As(err, &ne) || ne.Addr != dead {
@@ -107,23 +190,8 @@ func main() {
 			liveOK++
 		}
 	}
-	fmt.Printf("after the kill: %d keys (dead node's shards) error, %d keys still hit\n",
+	fmt.Printf("after the crash: %d keys (dead node's shards) error, %d keys still hit\n",
 		deadErrs, liveOK)
-
-	// --- 3. minimal rebalancing (routing-table arithmetic, no data moves) ---
-	ring := cluster.MustNew(addrs)
-	moved, err := ring.RemoveNode(dead)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nremoving %s from the ring moves %d/%d slots (only its own)\n",
-		dead, len(moved), cluster.Slots)
-	grown, err := ring.AddNode("127.0.0.1:65000")
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("adding a fresh node moves %d/%d slots (only toward the newcomer)\n",
-		len(grown), cluster.Slots)
 
 	fmt.Println("\nper-node client stats:")
 	for addr, s := range c.NodeStats() {

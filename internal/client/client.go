@@ -111,9 +111,20 @@ type Stats struct {
 // Client is a sharded cache client. It is safe for concurrent use.
 type Client struct {
 	cfg    Config
-	ring   *cluster.Ring
-	nodes  map[string]*node
 	closed atomic.Bool
+
+	// mu guards the routing state below. Reads take the shared lock on
+	// every operation (cheap: no contention until a topology change);
+	// AddNode/RemoveNode/MarkMigrated take it exclusively.
+	mu    sync.RWMutex
+	ring  *cluster.Ring
+	nodes map[string]*node // every routable member, plus draining ex-members
+	// fallback[s] is the previous owner of slot s while s is being
+	// migrated ("" = settled): reads that miss on the new owner retry
+	// there, and deletes apply to both, so in-flight traffic sees no
+	// misses during the dual-read window.
+	fallback     [cluster.Slots]string
+	pendingSlots int // fallback entries currently set
 }
 
 // New builds a client over the given cluster members and verifies nothing;
@@ -127,22 +138,33 @@ func New(cfg Config) (*Client, error) {
 	cfg.applyDefaults()
 	c := &Client{cfg: cfg, ring: ring, nodes: make(map[string]*node, len(cfg.Nodes))}
 	for _, addr := range ring.Nodes() {
-		n := &node{addr: addr, cfg: &c.cfg, closed: &c.closed}
-		n.tokens = make(chan struct{}, cfg.ConnsPerNode)
-		for i := 0; i < cfg.ConnsPerNode; i++ {
-			n.tokens <- struct{}{}
-		}
-		c.nodes[addr] = n
+		c.nodes[addr] = c.newNode(addr)
 	}
 	return c, nil
 }
 
-// Ring exposes the routing continuum (read-only: membership is fixed for
-// the client's lifetime).
-func (c *Client) Ring() *cluster.Ring { return c.ring }
+func (c *Client) newNode(addr string) *node {
+	n := &node{addr: addr, cfg: &c.cfg, closed: &c.closed}
+	n.tokens = make(chan struct{}, c.cfg.ConnsPerNode)
+	for i := 0; i < c.cfg.ConnsPerNode; i++ {
+		n.tokens <- struct{}{}
+	}
+	return n
+}
+
+// Ring returns a snapshot of the routing continuum. Membership can change
+// (AddNode/RemoveNode), so the snapshot is a copy — stable for the caller,
+// stale after the next topology change.
+func (c *Client) Ring() *cluster.Ring {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Clone()
+}
 
 // NodeStats snapshots per-node counters, keyed by member address.
 func (c *Client) NodeStats() map[string]Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make(map[string]Stats, len(c.nodes))
 	for addr, n := range c.nodes {
 		out[addr] = Stats{
@@ -161,6 +183,8 @@ func (c *Client) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, n := range c.nodes {
 		n.mu.Lock()
 		for _, cn := range n.idle {
@@ -172,24 +196,92 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// route resolves a continuum slot to its owning member and, during a
+// migration of that slot, the previous owner to fall back to.
+func (c *Client) route(slot int) (primary, fb *node) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	primary = c.nodes[c.ring.Owner(slot)]
+	if a := c.fallback[slot]; a != "" {
+		fb = c.nodes[a]
+	}
+	return primary, fb
+}
+
 // nodeFor routes a fixed key (clipped to the 60-bit key space, like
 // kvserver.MaskKey) to its member.
 func (c *Client) nodeFor(key uint64) *node {
-	return c.nodes[c.ring.NodeOf(key)]
+	n, _ := c.route(cluster.SlotOf(maskKey(key)))
+	return n
 }
 
 func (c *Client) nodeForString(key []byte) *node {
-	return c.nodes[c.ring.NodeOfString(key)]
+	n, _ := c.route(cluster.SlotOfString(key))
+	return n
+}
+
+// nodeByAddr resolves a member (or draining ex-member) by address.
+func (c *Client) nodeByAddr(addr string) (*node, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n, ok := c.nodes[addr]
+	if !ok {
+		return nil, fmt.Errorf("client: unknown node %q", addr)
+	}
+	return n, nil
 }
 
 // --- synchronous operations ---
 
 // Get fetches the value under a fixed 60-bit key. found is false on a
-// miss; the returned slice is owned by the caller.
+// miss; the returned slice is owned by the caller. While the key's slot is
+// mid-migration, a miss (or error) on the new owner falls back to the old
+// owner, so in-flight traffic sees no migration-induced misses.
 func (c *Client) Get(key uint64) (value []byte, found bool, err error) {
-	err = c.withConn(c.nodeFor(key), func(cn *conn) error {
-		return cn.roundTripLookup(protocol.Request{Op: protocol.OpLookup, Key: maskKey(key)},
-			&value, &found)
+	return c.dualLookup(cluster.SlotOf(maskKey(key)),
+		protocol.Request{Op: protocol.OpLookup, Key: maskKey(key)})
+}
+
+// GetString fetches the value under a string key (§8.2 routing: the server
+// detects 60-bit hash collisions and reports them as misses), with the
+// same dual-read fallback as Get during a migration window.
+func (c *Client) GetString(key []byte) (value []byte, found bool, err error) {
+	return c.dualLookup(cluster.SlotOfString(key),
+		protocol.Request{Op: protocol.OpGetStr, StrKey: key})
+}
+
+// dualLookup is the migration-aware read path. The subtle case is a read
+// that straddles the end of a migration: it misses on the new owner
+// (entry not yet replayed), and by the time its fallback reaches the old
+// owner the migrator has already replayed everything, closed the window
+// and PURGEd the source — a double miss for a key that was never absent.
+// A double miss (or fallback failure) therefore re-checks the route: if
+// the window closed or moved mid-flight, retry on the settled route, where
+// the replay is guaranteed complete. Bounded retries keep pathological
+// topology churn from looping.
+func (c *Client) dualLookup(slot int, req protocol.Request) (value []byte, found bool, err error) {
+	for attempt := 0; ; attempt++ {
+		primary, fb := c.route(slot)
+		value, found, err = c.lookupAt(primary, req)
+		if found || fb == nil {
+			return value, found, err
+		}
+		if v2, f2, err2 := c.lookupAt(fb, req); err2 == nil && (f2 || err != nil) {
+			return v2, f2, nil
+		}
+		if attempt < 2 {
+			if p2, f2 := c.route(slot); p2 != primary || f2 != fb {
+				continue // routing changed mid-read: retry on the settled route
+			}
+		}
+		return value, found, err
+	}
+}
+
+// lookupAt does one synchronous lookup against a specific member.
+func (c *Client) lookupAt(n *node, req protocol.Request) (value []byte, found bool, err error) {
+	err = c.withConn(n, func(cn *conn) error {
+		return cn.roundTripLookup(req, &value, &found)
 	})
 	return value, found, err
 }
@@ -208,22 +300,37 @@ func (c *Client) SetTTL(key uint64, value []byte, ttl time.Duration) error {
 	})
 }
 
-// Delete removes a fixed key, reporting whether it existed.
+// Delete removes a fixed key, reporting whether it existed. While the
+// key's slot is mid-migration the delete applies to both the new and the
+// old owner, so the dual-read window cannot resurrect a deleted key.
 func (c *Client) Delete(key uint64) (found bool, err error) {
-	err = c.withConn(c.nodeFor(key), func(cn *conn) error {
-		return cn.roundTripDelete(protocol.Request{Op: protocol.OpDelete, Key: maskKey(key)}, &found)
-	})
-	return found, err
+	primary, fb := c.route(cluster.SlotOf(maskKey(key)))
+	return c.deleteAt(primary, fb, protocol.Request{Op: protocol.OpDelete, Key: maskKey(key)})
 }
 
-// GetString fetches the value under a string key (§8.2 routing: the server
-// detects 60-bit hash collisions and reports them as misses).
-func (c *Client) GetString(key []byte) (value []byte, found bool, err error) {
-	err = c.withConn(c.nodeForString(key), func(cn *conn) error {
-		return cn.roundTripLookup(protocol.Request{Op: protocol.OpGetStr, StrKey: key},
-			&value, &found)
+// deleteAt deletes on the primary and, during a migration window, the old
+// owner too; found is the OR of the successful responses.
+func (c *Client) deleteAt(primary, fb *node, req protocol.Request) (found bool, err error) {
+	err = c.withConn(primary, func(cn *conn) error {
+		return cn.roundTripDelete(req, &found)
 	})
-	return value, found, err
+	if fb != nil {
+		var fbFound bool
+		fbErr := c.withConn(fb, func(cn *conn) error {
+			return cn.roundTripDelete(req, &fbFound)
+		})
+		if fbErr == nil {
+			found = found || fbFound
+			if err != nil {
+				// The new owner failed but the old one answered: the key
+				// is gone everywhere a dual read would look.
+				return found, nil
+			}
+		} else if err == nil {
+			return found, fbErr
+		}
+	}
+	return found, err
 }
 
 // SetString stores a value under a string key with no expiry.
@@ -239,12 +346,11 @@ func (c *Client) SetStringTTL(key, value []byte, ttl time.Duration) error {
 	})
 }
 
-// DeleteString removes a string key, reporting whether it existed.
+// DeleteString removes a string key, reporting whether it existed, with
+// the same dual-delete as Delete during a migration window.
 func (c *Client) DeleteString(key []byte) (found bool, err error) {
-	err = c.withConn(c.nodeForString(key), func(cn *conn) error {
-		return cn.roundTripDelete(protocol.Request{Op: protocol.OpDelStr, StrKey: key}, &found)
-	})
-	return found, err
+	primary, fb := c.route(cluster.SlotOfString(key))
+	return c.deleteAt(primary, fb, protocol.Request{Op: protocol.OpDelStr, StrKey: key})
 }
 
 // withConn runs one operation against a node, retrying transport failures
@@ -317,6 +423,9 @@ type node struct {
 	idle      []*conn
 	downUntil atomic.Int64 // unix nanos until which dials are refused
 	closed    *atomic.Bool // the owning client's closed flag
+	// retired marks a departed member whose migration has completed: new
+	// leases fail fast and connections close as they are released.
+	retired atomic.Bool
 
 	ops, errs, retries, dials atomic.Int64
 }
@@ -327,6 +436,10 @@ type node struct {
 func (n *node) lease() (*conn, error) {
 	if n.closed.Load() {
 		return nil, ErrClosed
+	}
+	if n.retired.Load() {
+		n.errs.Add(1)
+		return nil, &NodeError{Addr: n.addr, Err: errDown}
 	}
 	if until := n.downUntil.Load(); until > time.Now().UnixNano() {
 		n.errs.Add(1)
@@ -367,7 +480,7 @@ func (n *node) lease() (*conn, error) {
 // closing dead ones (their capacity token frees regardless).
 func (n *node) release(cn *conn) {
 	if cn != nil {
-		if cn.dead || n.closed.Load() {
+		if cn.dead || n.closed.Load() || n.retired.Load() {
 			cn.nc.Close()
 		} else {
 			n.mu.Lock()
@@ -426,4 +539,27 @@ func (cn *conn) roundTripDelete(req protocol.Request, found *bool) error {
 	}
 	*found = ok
 	return nil
+}
+
+// roundTripScan does one synchronous SCAN exchange, appending entries to
+// dst.
+func (cn *conn) roundTripScan(req protocol.Request, dst []protocol.ScanEntry) (next uint64, out []protocol.ScanEntry, err error) {
+	if err := protocol.WriteRequest(cn.w, req); err != nil {
+		return 0, dst, err
+	}
+	if err := cn.w.Flush(); err != nil {
+		return 0, dst, err
+	}
+	return protocol.ReadScanResponse(cn.r, dst)
+}
+
+// roundTripPurge does one synchronous PURGE exchange.
+func (cn *conn) roundTripPurge(req protocol.Request) (next uint64, removed uint32, err error) {
+	if err := protocol.WriteRequest(cn.w, req); err != nil {
+		return 0, 0, err
+	}
+	if err := cn.w.Flush(); err != nil {
+		return 0, 0, err
+	}
+	return protocol.ReadPurgeResponse(cn.r)
 }

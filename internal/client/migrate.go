@@ -1,0 +1,257 @@
+// Topology changes and the dual-read migration window.
+//
+// The SDK's membership is mutable: AddNode/RemoveNode rebalance the
+// continuum immediately (writes start flowing to the new owners at once)
+// and open a migration window for every moved slot, recording its previous
+// owner in the fallback table. During the window reads that miss on the
+// new owner retry the old one and deletes apply to both, so traffic sees
+// no misses while a Migrator (internal/rebalance) streams the moved
+// entries across. MarkMigrated closes the window per slot; once a departed
+// member backs no remaining slot its connection pool is retired.
+//
+// One coordinator at a time: a second topology change while slots are
+// still migrating returns ErrMigrationPending — chaining changes before
+// data movement settles would leave entries stranded on owners the
+// fallback table no longer names.
+
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"cphash/internal/cluster"
+	"cphash/internal/protocol"
+)
+
+// ErrMigrationPending rejects a topology change while slots from the
+// previous change are still migrating.
+var ErrMigrationPending = errors.New("client: a slot migration is still pending")
+
+// Migration describes one topology change awaiting data movement: for
+// every source member, the slots that moved away from it (to the new
+// owner the updated ring now names). The rebalance.Migrator consumes it.
+type Migration struct {
+	// Added or Removed names the member that joined or departed (exactly
+	// one is set).
+	Added, Removed string
+	// Moved maps each source (previous owner) to the slots that left it.
+	Moved map[string][]int
+}
+
+// Slots counts the moved slots across all sources.
+func (m *Migration) Slots() int {
+	n := 0
+	for _, s := range m.Moved {
+		n += len(s)
+	}
+	return n
+}
+
+// AddNode adds a member to the ring and opens the dual-read window for
+// every slot that moved to it, returning the migration plan. The caller
+// (or a rebalance.Migrator) must stream the moved entries and then
+// MarkMigrated them; until then reads fall back to the slots' previous
+// owners.
+func (c *Client) AddNode(addr string) (*Migration, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pendingSlots > 0 {
+		return nil, ErrMigrationPending
+	}
+	before := c.ring.Owners()
+	moved, err := c.ring.AddNode(addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := c.nodes[addr]; !ok {
+		c.nodes[addr] = c.newNode(addr)
+	}
+	c.nodes[addr].retired.Store(false)
+	mig := &Migration{Added: addr, Moved: map[string][]int{}}
+	for _, s := range moved {
+		c.fallback[s] = before[s]
+		mig.Moved[before[s]] = append(mig.Moved[before[s]], s)
+	}
+	c.pendingSlots = len(moved)
+	return mig, nil
+}
+
+// RemoveNode removes a member from the ring and opens the dual-read
+// window for every slot it owned — the departing member keeps serving
+// fallback reads (and the migration scan) until MarkMigrated closes the
+// window and RetireNode drops its pool.
+// Removing a dead member works too: fallback reads to it simply fail fast
+// and reads resolve on the new owners (its data is lost, as for any crash).
+func (c *Client) RemoveNode(addr string) (*Migration, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pendingSlots > 0 {
+		return nil, ErrMigrationPending
+	}
+	moved, err := c.ring.RemoveNode(addr)
+	if err != nil {
+		return nil, err
+	}
+	mig := &Migration{Removed: addr, Moved: map[string][]int{addr: moved}}
+	for _, s := range moved {
+		c.fallback[s] = addr
+	}
+	c.pendingSlots = len(moved)
+	return mig, nil
+}
+
+// MarkMigrated closes the dual-read window for the given slots, returning
+// how many windows this call actually closed (already-settled slots count
+// zero, so migrator retries keep exact books). Reads route only to the
+// new owners from here on. A departed member is NOT retired here — it
+// must stay addressable so the migrator can PURGE its stale copies after
+// the window closes; call RetireNode once that is done.
+func (c *Client) MarkMigrated(slots []int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	closed := 0
+	for _, s := range slots {
+		if s < 0 || s >= cluster.Slots {
+			continue
+		}
+		if c.fallback[s] != "" {
+			c.fallback[s] = ""
+			c.pendingSlots--
+			closed++
+		}
+	}
+	return closed
+}
+
+// MigratingIn reports how many of the given slots are still inside their
+// dual-read window (0 = those slots are settled).
+func (c *Client) MigratingIn(slots []int) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	pending := 0
+	for _, s := range slots {
+		if s >= 0 && s < cluster.Slots && c.fallback[s] != "" {
+			pending++
+		}
+	}
+	return pending
+}
+
+// RetireNode drops a departed member's connection pool: new leases fail
+// fast and connections close as they drain. It refuses while the member
+// is still routable (a ring member or a fallback target).
+func (c *Client) RetireNode(addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[addr]
+	if !ok {
+		return nil // already retired
+	}
+	if c.ring.Contains(addr) {
+		return fmt.Errorf("client: cannot retire ring member %q", addr)
+	}
+	for _, a := range c.fallback {
+		if a == addr {
+			return fmt.Errorf("client: cannot retire %q: still a fallback target", addr)
+		}
+	}
+	n.retired.Store(true)
+	n.mu.Lock()
+	for _, cn := range n.idle {
+		cn.nc.Close()
+	}
+	n.idle = nil
+	n.mu.Unlock()
+	delete(c.nodes, addr)
+	return nil
+}
+
+// MigratingSlots reports how many slots are still inside their dual-read
+// window (0 = routing is settled).
+func (c *Client) MigratingSlots() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.pendingSlots
+}
+
+// ScanNode streams every live entry of the selected slots off one member,
+// invoking fn per entry in iteration order. batch bounds entries per round
+// trip (0 = protocol.MaxScanBatch). The cursor is server-stateless, so a
+// transport failure resumes on a fresh connection via the usual retry
+// path. fn returning an error aborts the stream.
+func (c *Client) ScanNode(addr string, slots *protocol.SlotSet, batch int, fn func(e protocol.ScanEntry) error) error {
+	n, err := c.nodeByAddr(addr)
+	if err != nil {
+		return err
+	}
+	if batch <= 0 || batch > protocol.MaxScanBatch {
+		batch = protocol.MaxScanBatch
+	}
+	cursor := uint64(0)
+	var entries []protocol.ScanEntry
+	for {
+		req := protocol.Request{Op: protocol.OpScan, Slots: *slots, Cursor: cursor, Count: uint32(batch)}
+		var next uint64
+		entries = entries[:0]
+		err := c.withConn(n, func(cn *conn) error {
+			var err error
+			next, entries, err = cn.roundTripScan(req, entries[:0])
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if err := fn(e); err != nil {
+				return err
+			}
+		}
+		if next == protocol.ScanDone {
+			return nil
+		}
+		if next == cursor && len(entries) == 0 {
+			return fmt.Errorf("client: scan of %s made no progress at cursor %d", addr, cursor)
+		}
+		cursor = next
+	}
+}
+
+// PurgeNode removes every live entry of the selected slots from one
+// member, returning how many entries were removed. Migrators call it on
+// each source after its slots are marked migrated, so entries cannot
+// resurface as stale copies if a later topology change hands a slot back.
+func (c *Client) PurgeNode(addr string, slots *protocol.SlotSet) (removed int, err error) {
+	n, err := c.nodeByAddr(addr)
+	if err != nil {
+		return 0, err
+	}
+	cursor := uint64(0)
+	for {
+		req := protocol.Request{Op: protocol.OpPurge, Slots: *slots, Cursor: cursor}
+		var next uint64
+		var batchRemoved uint32
+		err := c.withConn(n, func(cn *conn) error {
+			var err error
+			next, batchRemoved, err = cn.roundTripPurge(req)
+			return err
+		})
+		if err != nil {
+			return removed, err
+		}
+		removed += int(batchRemoved)
+		if next == protocol.ScanDone {
+			return removed, nil
+		}
+		if next == cursor && batchRemoved == 0 {
+			return removed, fmt.Errorf("client: purge of %s made no progress at cursor %d", addr, cursor)
+		}
+		cursor = next
+	}
+}

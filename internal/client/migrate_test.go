@@ -1,0 +1,210 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cphash/internal/cluster"
+	"cphash/internal/kvserver"
+	"cphash/internal/lockhash"
+	"cphash/internal/protocol"
+)
+
+// startNode brings up one lockhash-backed server (the cheap backend; the
+// wire path under test is identical for all of them).
+func startNode(t *testing.T) *kvserver.Server {
+	t.Helper()
+	table := lockhash.MustNew(lockhash.Config{Partitions: 16, CapacityBytes: 4 << 20})
+	srv, err := kvserver.Serve(kvserver.Config{
+		Addr:       "127.0.0.1:0",
+		Workers:    1,
+		NewBackend: kvserver.NewLockHashBackend(table),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestDualReadWindowOnAddNode: after AddNode, keys whose slots moved to
+// the (empty) new node keep hitting through the fallback to their old
+// owner — sync and pipelined — until MarkMigrated closes the window.
+func TestDualReadWindowOnAddNode(t *testing.T) {
+	a, b := startNode(t), startNode(t)
+	c, err := New(Config{Nodes: []string{a.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 800
+	for k := uint64(0); k < n; k++ {
+		if err := c.Set(k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One string key too.
+	if err := c.SetString([]byte("who"), []byte("alice")); err != nil {
+		t.Fatal(err)
+	}
+
+	mig, err := c.AddNode(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Added != b.Addr() || mig.Slots() == 0 {
+		t.Fatalf("bad migration plan: %+v", mig)
+	}
+	if got := c.MigratingSlots(); got != mig.Slots() {
+		t.Fatalf("MigratingSlots = %d, want %d", got, mig.Slots())
+	}
+	// Every moved slot's source must be the old single node.
+	if len(mig.Moved) != 1 || len(mig.Moved[a.Addr()]) != mig.Slots() {
+		t.Fatalf("sources: %+v", mig.Moved)
+	}
+
+	// Nothing streamed yet: all keys must still read through the window.
+	for k := uint64(0); k < n; k++ {
+		v, found, err := c.Get(k)
+		if err != nil || !found || string(v) != fmt.Sprintf("v%d", k) {
+			t.Fatalf("dual read Get(%d) = %q %v %v", k, v, found, err)
+		}
+	}
+	if v, found, _ := c.GetString([]byte("who")); !found || string(v) != "alice" {
+		t.Fatalf("dual read GetString = %q %v", v, found)
+	}
+	// Pipelined reads see the window too.
+	p := c.Pipeline()
+	looks := make([]*Lookup, n)
+	for k := uint64(0); k < n; k++ {
+		looks[k] = p.Get(k)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("pipeline wait: %v", err)
+	}
+	for k, l := range looks {
+		if !l.Found() || string(l.Value()) != fmt.Sprintf("v%d", k) {
+			t.Fatalf("pipeline Get(%d) = %q %v err=%v", k, l.Value(), l.Found(), l.Err())
+		}
+	}
+	p.Close()
+
+	// A delete during the window applies to both owners: re-set a moved
+	// key's value on BOTH nodes (simulating a mid-migration copy), then
+	// Delete and verify it stays gone through the dual-read.
+	movedSlots := map[int]bool{}
+	for _, s := range mig.Moved[a.Addr()] {
+		movedSlots[s] = true
+	}
+	var movedKey uint64
+	for k := uint64(0); k < n; k++ {
+		if movedSlots[cluster.SlotOf(k)] {
+			movedKey = k
+			break
+		}
+	}
+	if err := c.Set(movedKey, []byte("copied")); err != nil { // routes to b
+		t.Fatal(err)
+	}
+	if found, err := c.Delete(movedKey); err != nil || !found {
+		t.Fatalf("dual delete: %v %v", found, err)
+	}
+	if _, found, _ := c.Get(movedKey); found {
+		t.Fatal("deleted key resurrected through the dual-read window")
+	}
+
+	// A second topology change is refused while the window is open.
+	if _, err := c.AddNode("127.0.0.1:1"); !errors.Is(err, ErrMigrationPending) {
+		t.Fatalf("chained AddNode: %v", err)
+	}
+
+	// Close the window without streaming: moved keys now miss (the data
+	// was never copied), unmoved keys still hit — routing is settled.
+	c.MarkMigrated(mig.Moved[a.Addr()])
+	if got := c.MigratingSlots(); got != 0 {
+		t.Fatalf("MigratingSlots = %d after MarkMigrated", got)
+	}
+	ring := c.Ring()
+	for k := uint64(0); k < n; k++ {
+		if k == movedKey {
+			continue
+		}
+		_, found, err := c.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", k, err)
+		}
+		if want := ring.NodeOf(k) == a.Addr(); found != want {
+			t.Fatalf("settled Get(%d) found=%v, want %v", k, found, want)
+		}
+	}
+}
+
+// TestRemoveNodeDrainsAndRetires: removing a member keeps its data
+// readable through the window, and MarkMigrated retires its pool.
+func TestRemoveNodeDrainsAndRetires(t *testing.T) {
+	a, b := startNode(t), startNode(t)
+	c, err := New(Config{Nodes: []string{a.Addr(), b.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 500
+	for k := uint64(0); k < n; k++ {
+		if err := c.Set(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mig, err := c.RemoveNode(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Removed != b.Addr() || len(mig.Moved[b.Addr()]) != mig.Slots() {
+		t.Fatalf("bad plan: %+v", mig)
+	}
+	// Everything still reads (b's keys through the fallback).
+	for k := uint64(0); k < n; k++ {
+		if _, found, err := c.Get(k); err != nil || !found {
+			t.Fatalf("window Get(%d) = %v %v", k, found, err)
+		}
+	}
+	// The departed node is still scannable during the window (that is how
+	// a migrator streams it).
+	var set protocol.SlotSet
+	for _, s := range mig.Moved[b.Addr()] {
+		set.Add(s)
+	}
+	got := 0
+	if err := c.ScanNode(b.Addr(), &set, 64, func(e protocol.ScanEntry) error {
+		got++
+		return nil
+	}); err != nil {
+		t.Fatalf("ScanNode during window: %v", err)
+	}
+	if got == 0 {
+		t.Fatal("scan of the departing node streamed nothing")
+	}
+
+	// Retirement is refused while the node still backs open windows...
+	if err := c.RetireNode(b.Addr()); err == nil {
+		t.Fatal("RetireNode succeeded during the dual-read window")
+	}
+	c.MarkMigrated(mig.Moved[b.Addr()])
+	// ...and the departed node stays addressable after MarkMigrated (a
+	// migrator purges it at this point), until retired explicitly.
+	if _, err := c.PurgeNode(b.Addr(), &set); err != nil {
+		t.Fatalf("PurgeNode after MarkMigrated: %v", err)
+	}
+	if err := c.RetireNode(b.Addr()); err != nil {
+		t.Fatalf("RetireNode: %v", err)
+	}
+	// The pool is retired: per-node ops now fail fast with unknown node.
+	if err := c.ScanNode(b.Addr(), &set, 64, func(protocol.ScanEntry) error { return nil }); err == nil {
+		t.Fatal("ScanNode succeeded on a retired node")
+	}
+	if _, ok := c.NodeStats()[b.Addr()]; ok {
+		t.Fatal("retired node still in NodeStats")
+	}
+}

@@ -9,6 +9,7 @@ package client
 import (
 	"time"
 
+	"cphash/internal/cluster"
 	"cphash/internal/protocol"
 )
 
@@ -39,12 +40,21 @@ type Pipeline struct {
 	issueErr error
 }
 
-// pend is one in-flight response-bearing request, in issue order.
+// pend is one in-flight response-bearing request, in issue order. fb
+// marks a dual-read/dual-delete duplicate issued to a migrating slot's
+// previous owner: it fills the same future as its primary pend (which
+// precedes it in issue order) and is strictly best-effort — its failures
+// never fail the window. fb pends remember the request and the routing
+// they were issued under so a double miss can detect a migration that
+// completed mid-window (see Wait's recheck pass).
 type pend struct {
-	n    *node
-	cn   *conn
-	look *Lookup
-	del  *Delete
+	n       *node
+	cn      *conn
+	look    *Lookup
+	del     *Delete
+	fb      bool
+	req     protocol.Request // fb lookups only
+	primary *node            // fb lookups only: the primary the pair used
 }
 
 // Lookup is the future of a pipelined Get/GetString.
@@ -114,23 +124,28 @@ func (p *Pipeline) conn(n *node) (*conn, error) {
 // the connection dead so the rest of the window fails coherently, and are
 // remembered so Wait reports them even when no future reached pending.
 func (p *Pipeline) issue(n *node, req protocol.Request) (*conn, error) {
-	cn, err := p.conn(n)
+	cn, err := p.issueQuiet(n, req)
 	if err != nil {
 		p.noteIssueErr(err)
+	}
+	return cn, err
+}
+
+// issueQuiet is issue without the window-failing bookkeeping, for
+// best-effort fallback duplicates.
+func (p *Pipeline) issueQuiet(n *node, req protocol.Request) (*conn, error) {
+	cn, err := p.conn(n)
+	if err != nil {
 		return nil, err
 	}
 	if cn.dead {
-		err := &NodeError{Addr: n.addr, Err: errDown}
-		p.noteIssueErr(err)
-		return nil, err
+		return nil, &NodeError{Addr: n.addr, Err: errDown}
 	}
 	n.ops.Add(1)
 	if err := protocol.WriteRequest(cn.w, req); err != nil {
 		cn.dead = true
 		n.errs.Add(1)
-		werr := &NodeError{Addr: n.addr, Err: err}
-		p.noteIssueErr(werr)
-		return nil, werr
+		return nil, &NodeError{Addr: n.addr, Err: err}
 	}
 	return cn, nil
 }
@@ -141,17 +156,21 @@ func (p *Pipeline) noteIssueErr(err error) {
 	}
 }
 
-// Get enqueues a lookup of a fixed key and returns its future.
+// Get enqueues a lookup of a fixed key and returns its future. While the
+// key's slot is mid-migration a best-effort duplicate goes to the old
+// owner in the same window; a primary miss adopts the duplicate's hit.
 func (p *Pipeline) Get(key uint64) *Lookup {
-	return p.get(p.c.nodeFor(key), protocol.Request{Op: protocol.OpLookup, Key: maskKey(key)})
+	primary, fb := p.c.route(cluster.SlotOf(maskKey(key)))
+	return p.get(primary, fb, protocol.Request{Op: protocol.OpLookup, Key: maskKey(key)})
 }
 
 // GetString enqueues a lookup of a string key and returns its future.
 func (p *Pipeline) GetString(key []byte) *Lookup {
-	return p.get(p.c.nodeForString(key), protocol.Request{Op: protocol.OpGetStr, StrKey: key})
+	primary, fb := p.c.route(cluster.SlotOfString(key))
+	return p.get(primary, fb, protocol.Request{Op: protocol.OpGetStr, StrKey: key})
 }
 
-func (p *Pipeline) get(n *node, req protocol.Request) *Lookup {
+func (p *Pipeline) get(n, fb *node, req protocol.Request) *Lookup {
 	l := &Lookup{p: p}
 	cn, err := p.issue(n, req)
 	if err != nil {
@@ -159,6 +178,13 @@ func (p *Pipeline) get(n *node, req protocol.Request) *Lookup {
 		return l
 	}
 	p.pending = append(p.pending, pend{n: n, cn: cn, look: l})
+	if fb != nil {
+		// Both pends join the window before pace() so one Wait settles
+		// them together; the future is never mutated after it settles.
+		if cnf, err := p.issueQuiet(fb, req); err == nil {
+			p.pending = append(p.pending, pend{n: fb, cn: cnf, look: l, fb: true, req: req, primary: n})
+		}
+	}
 	p.pace()
 	return l
 }
@@ -187,17 +213,21 @@ func (p *Pipeline) SetStringTTL(key, value []byte, ttl time.Duration) error {
 	return err
 }
 
-// Delete enqueues a fixed-key delete and returns its future.
+// Delete enqueues a fixed-key delete and returns its future. While the
+// key's slot is mid-migration a best-effort duplicate delete goes to the
+// old owner too (the sync Delete path is the strict variant).
 func (p *Pipeline) Delete(key uint64) *Delete {
-	return p.del(p.c.nodeFor(key), protocol.Request{Op: protocol.OpDelete, Key: maskKey(key)})
+	primary, fb := p.c.route(cluster.SlotOf(maskKey(key)))
+	return p.del(primary, fb, protocol.Request{Op: protocol.OpDelete, Key: maskKey(key)})
 }
 
 // DeleteString enqueues a string-key delete and returns its future.
 func (p *Pipeline) DeleteString(key []byte) *Delete {
-	return p.del(p.c.nodeForString(key), protocol.Request{Op: protocol.OpDelStr, StrKey: key})
+	primary, fb := p.c.route(cluster.SlotOfString(key))
+	return p.del(primary, fb, protocol.Request{Op: protocol.OpDelStr, StrKey: key})
 }
 
-func (p *Pipeline) del(n *node, req protocol.Request) *Delete {
+func (p *Pipeline) del(n, fb *node, req protocol.Request) *Delete {
 	d := &Delete{p: p}
 	cn, err := p.issue(n, req)
 	if err != nil {
@@ -205,6 +235,11 @@ func (p *Pipeline) del(n *node, req protocol.Request) *Delete {
 		return d
 	}
 	p.pending = append(p.pending, pend{n: n, cn: cn, del: d})
+	if fb != nil {
+		if cnf, err := p.issueQuiet(fb, req); err == nil {
+			p.pending = append(p.pending, pend{n: fb, cn: cnf, del: d, fb: true})
+		}
+	}
 	p.pace()
 	return d
 }
@@ -251,14 +286,26 @@ func (p *Pipeline) Wait() error {
 	// A fresh slab per window: already-settled futures keep referencing
 	// their old slabs, so values never get invalidated behind the caller.
 	p.buf = nil
+	var rechecks []*pend
 	for i := range p.pending {
 		pd := &p.pending[i]
 		err := p.read(pd)
 		if err != nil && first == nil {
 			first = err
 		}
+		// A dual-read pair that ended in a double miss may have straddled
+		// the end of the migration (entry replayed to the primary after
+		// the primary's read, purged from the source before the source's
+		// read). Recheck those once the window is fully drained and the
+		// connections are quiescent.
+		if pd.fb && pd.look != nil && pd.look.err == nil && !pd.look.found {
+			rechecks = append(rechecks, pd)
+		}
 	}
 	p.pending = p.pending[:0]
+	for _, pd := range rechecks {
+		p.recheck(pd)
+	}
 	for n, cn := range p.leased {
 		if cn.dead {
 			delete(p.leased, n)
@@ -270,6 +317,10 @@ func (p *Pipeline) Wait() error {
 
 // read settles one pending future off its connection.
 func (p *Pipeline) read(pd *pend) error {
+	if pd.fb {
+		p.readFB(pd)
+		return nil // fallback duplicates never fail the window
+	}
 	var err error
 	if pd.cn.dead {
 		err = &NodeError{Addr: pd.n.addr, Err: errDown}
@@ -303,6 +354,80 @@ func (p *Pipeline) read(pd *pend) error {
 		pd.del.done, pd.del.err = true, err
 	}
 	return err
+}
+
+// readFB settles a fallback duplicate: its response must be consumed to
+// keep the connection's FIFO aligned, and a hit (or a delete-found) is
+// adopted only when the primary — which settled just before it in issue
+// order — came back empty-handed.
+func (p *Pipeline) readFB(pd *pend) {
+	if pd.cn.dead {
+		return
+	}
+	if pd.look != nil {
+		start := len(p.buf)
+		buf, found, err := protocol.ReadLookupResponse(pd.cn.r, p.buf)
+		p.buf = buf
+		if err != nil {
+			pd.cn.dead = true
+			pd.n.errs.Add(1)
+			return
+		}
+		if found && (pd.look.err != nil || !pd.look.found) {
+			pd.look.err = nil
+			pd.look.found = true
+			pd.look.value = p.buf[start:len(p.buf):len(p.buf)]
+		}
+		return
+	}
+	found, err := protocol.ReadDeleteResponse(pd.cn.r)
+	if err != nil {
+		pd.cn.dead = true
+		pd.n.errs.Add(1)
+		return
+	}
+	if found && pd.del.err == nil {
+		pd.del.found = true
+	}
+}
+
+// recheck resolves a double-missed dual-read pair after the window has
+// drained: if the slot's routing is unchanged the miss is genuine; if a
+// migration completed mid-window, one more round trip on the session's
+// connection to the settled owner finds the replayed entry. It runs only
+// between windows, when the leased connections have no responses in
+// flight, so a synchronous exchange cannot misalign the FIFO — and it
+// deliberately avoids the sync-op pool (a Pipeline may hold the pool's
+// only token for a node).
+func (p *Pipeline) recheck(pd *pend) {
+	var slot int
+	if pd.req.StrKey != nil {
+		slot = cluster.SlotOfString(pd.req.StrKey)
+	} else {
+		slot = cluster.SlotOf(pd.req.Key)
+	}
+	primary, fb := p.c.route(slot)
+	if primary == pd.primary && fb == pd.n {
+		return // routing unchanged: a genuine miss
+	}
+	cn, err := p.conn(primary)
+	if err != nil || cn.dead {
+		return // best-effort, like every fallback path
+	}
+	primary.ops.Add(1)
+	var value []byte
+	var found bool
+	if err := cn.roundTripLookup(pd.req, &value, &found); err != nil {
+		cn.dead = true
+		primary.errs.Add(1)
+		return
+	}
+	if found {
+		start := len(p.buf)
+		p.buf = append(p.buf, value...)
+		pd.look.found = true
+		pd.look.value = p.buf[start:len(p.buf):len(p.buf)]
+	}
 }
 
 // Close settles outstanding work and returns the session's connections to

@@ -50,6 +50,14 @@ const Slots = 256
 // could not all own keys.
 const MaxNodes = Slots
 
+// The SCAN/PURGE wire slot bitmap indexes this same continuum; the two
+// constants must agree (both expressions are negative if they diverge in
+// either direction, and constant underflow of a uint fails to compile).
+const (
+	_ = uint(Slots - protocol.SlotCount)
+	_ = uint(protocol.SlotCount - Slots)
+)
+
 // SlotOf returns the continuum slot of a fixed 60-bit key: the top eight
 // bits of the splitmix64-mixed key. The same mixer drives bucket and
 // partition selection inside the servers, but those consume low bits, so
@@ -108,6 +116,17 @@ func MustNew(ids []string) *Ring {
 	return r
 }
 
+// Clone returns an independent copy of the ring; mutating one does not
+// affect the other. Callers that publish snapshots of a mutable ring
+// (the client SDK) hand out clones.
+func (r *Ring) Clone() *Ring {
+	return &Ring{
+		ids:    append([]string(nil), r.ids...),
+		hashes: append([]uint64(nil), r.hashes...),
+		owner:  r.owner,
+	}
+}
+
 // idHash seeds a member's rendezvous scores from its ID.
 func idHash(id string) uint64 {
 	h := fnv.New64a()
@@ -146,9 +165,18 @@ func (r *Ring) Nodes() []string {
 // Len returns the number of member nodes.
 func (r *Ring) Len() int { return len(r.ids) }
 
+// Contains reports whether id is a member.
+func (r *Ring) Contains(id string) bool { return r.indexOf(id) >= 0 }
+
 // Owner returns the member that owns a continuum slot.
 func (r *Ring) Owner(slot int) string {
 	return r.ids[r.owner[slot]]
+}
+
+// Owners snapshots the whole owner table as member IDs. Migration planners
+// diff two of these to learn which slots moved where.
+func (r *Ring) Owners() [Slots]string {
+	return r.ownerIDs()
 }
 
 // NodeOf routes a fixed 60-bit key to its owning member.

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"time"
+
+	"cphash/internal/partition"
+)
+
+// Slot-migration scan support. A partition's state may only ever be
+// touched by the server goroutine that owns it (the whole point of CPHASH),
+// so bulk iteration cannot simply walk t.parts from the caller. Instead the
+// caller posts a scanJob into a one-deep per-partition mailbox; the owning
+// server executes it at its next sweep — between batches, exactly like the
+// §8.1 ownership handoffs — and the caller blocks until the job's channel
+// closes. Each job is bounded (scanJobBuckets) so a migration never stalls
+// the partition's regular traffic for long; ScanEntries/PurgeEntries chain
+// bounded jobs and return a resumable cursor.
+
+// ErrClosed is returned by scans posted to a closed (or closing) table.
+var ErrClosed = errors.New("core: table closed")
+
+// scanJob is one bounded iteration request executed by a partition's
+// owning server goroutine.
+type scanJob struct {
+	start      int  // first bucket
+	maxBuckets int  // bucket budget for this job
+	maxEntries int  // entry budget (scan only)
+	purge      bool // remove matching entries instead of copying them
+	filter     func(Key) bool
+
+	// results, valid once ch is closed
+	entries []partition.ScanEntry
+	removed int
+	next    int
+	done    bool
+
+	ch chan struct{}
+}
+
+// scanJobBuckets bounds the buckets one job examines, i.e. the longest a
+// server goroutine is away from its rings serving a migration.
+const scanJobBuckets = 1 << 12
+
+// scanCallBuckets bounds the buckets one ScanEntries/PurgeEntries call
+// examines across jobs, i.e. the longest a *caller* (a kvserver worker
+// serving one SCAN round trip) blocks before returning a resume cursor.
+const scanCallBuckets = 1 << 16
+
+// runScanJob executes a job against the local partition; called only by
+// the owning server goroutine (from serverLoop).
+func (t *Table) runScanJob(store *partition.Store, j *scanJob) {
+	if j.purge {
+		j.removed, j.next, j.done = store.PurgeBuckets(j.start, j.maxBuckets, j.filter)
+	} else {
+		j.entries, j.next, j.done = store.AppendScan(j.entries, j.start, j.maxBuckets, j.maxEntries, j.filter)
+	}
+	close(j.ch)
+}
+
+// postScanJob installs j in partition p's mailbox (spinning while another
+// scan holds it), wakes the owner, and blocks until the job completes. The
+// periodic re-kick makes the wait robust against ownership handoffs and
+// park/wake races; the withdraw path keeps Close from stranding a waiter.
+func (t *Table) postScanJob(p int, j *scanJob) error {
+	for !t.scans[p].CompareAndSwap(nil, j) {
+		if t.closed.Load() {
+			return ErrClosed
+		}
+		runtime.Gosched()
+	}
+	for {
+		t.kickServerAlways(int(t.owner[p].Load()))
+		select {
+		case <-j.ch:
+			return nil
+		case <-time.After(200 * time.Microsecond):
+			if t.closed.Load() {
+				// Withdraw if still posted; if a server already took the
+				// job it will complete it synchronously, so keep waiting.
+				if t.scans[p].CompareAndSwap(j, nil) {
+					return ErrClosed
+				}
+			}
+		}
+	}
+}
+
+// ScanEntries copies live entries whose key satisfies filter (nil = all)
+// out of the table, resuming at cursor (0 starts an iteration) and
+// returning at least one entry when any remain within the call's bucket
+// budget. It returns the entries, the cursor to resume at, and whether the
+// whole table has been iterated. Any goroutine may call it, concurrently
+// with regular traffic; entries inserted or removed while an iteration is
+// in flight may or may not be observed (cache-migration semantics).
+func (t *Table) ScanEntries(cursor uint64, maxEntries int, filter func(Key) bool) (entries []partition.ScanEntry, next uint64, done bool, err error) {
+	if maxEntries <= 0 {
+		maxEntries = 1
+	}
+	p, bucket := partition.DecodeScanCursor(cursor)
+	budget := scanCallBuckets
+	for p < t.cfg.Partitions && budget > 0 && len(entries) < maxEntries {
+		mb := scanJobBuckets
+		if mb > budget {
+			mb = budget
+		}
+		j := &scanJob{
+			start:      bucket,
+			maxBuckets: mb,
+			maxEntries: maxEntries - len(entries),
+			filter:     filter,
+			entries:    entries,
+			ch:         make(chan struct{}),
+		}
+		if err := t.postScanJob(p, j); err != nil {
+			return entries, cursor, false, err
+		}
+		entries = j.entries
+		if adv := j.next - bucket; adv > 0 {
+			budget -= adv
+		} else {
+			budget--
+		}
+		if j.done {
+			p, bucket = p+1, 0
+		} else {
+			bucket = j.next
+		}
+	}
+	if p >= t.cfg.Partitions {
+		return entries, 0, true, nil
+	}
+	return entries, partition.EncodeScanCursor(p, bucket), false, nil
+}
+
+// PurgeEntries removes live entries whose key satisfies filter (nil =
+// all), with the same cursor/budget contract as ScanEntries. It returns
+// how many entries this call removed.
+func (t *Table) PurgeEntries(cursor uint64, filter func(Key) bool) (removed int, next uint64, done bool, err error) {
+	p, bucket := partition.DecodeScanCursor(cursor)
+	budget := scanCallBuckets
+	for p < t.cfg.Partitions && budget > 0 {
+		mb := scanJobBuckets
+		if mb > budget {
+			mb = budget
+		}
+		j := &scanJob{
+			start:      bucket,
+			maxBuckets: mb,
+			purge:      true,
+			filter:     filter,
+			ch:         make(chan struct{}),
+		}
+		if err := t.postScanJob(p, j); err != nil {
+			return removed, cursor, false, err
+		}
+		removed += j.removed
+		if adv := j.next - bucket; adv > 0 {
+			budget -= adv
+		} else {
+			budget--
+		}
+		if j.done {
+			p, bucket = p+1, 0
+		} else {
+			bucket = j.next
+		}
+	}
+	if p >= t.cfg.Partitions {
+		return removed, 0, true, nil
+	}
+	return removed, partition.EncodeScanCursor(p, bucket), false, nil
+}

@@ -134,6 +134,11 @@ type Table struct {
 	owner  []atomic.Int32
 	target []atomic.Int32
 
+	// scans[p] is partition p's one-deep scan mailbox: bulk iteration
+	// (slot migration) posts bounded jobs here and the owning server
+	// executes them at sweep boundaries, preserving single-owner access.
+	scans []atomic.Pointer[scanJob]
+
 	stop    atomic.Bool
 	wg      sync.WaitGroup
 	clientN atomic.Int32
@@ -174,6 +179,7 @@ func New(cfg Config) (*Table, error) {
 	t.wake = make([]chan struct{}, cfg.Partitions)
 	t.owner = make([]atomic.Int32, cfg.Partitions)
 	t.target = make([]atomic.Int32, cfg.Partitions)
+	t.scans = make([]atomic.Pointer[scanJob], cfg.Partitions)
 	for p := range t.wake {
 		t.wake[p] = make(chan struct{}, 1)
 		t.owner[p].Store(int32(p))
@@ -423,6 +429,18 @@ func (t *Table) serverLoop(id int) {
 				}
 				out.Flush()
 			}
+			// Bulk iteration rides the sweep boundary, like handoffs: the
+			// mailbox is drained only by the owner, so a plain Load guards
+			// the (rare) Swap. Checking it AFTER the ring drain gives scans
+			// a useful ordering guarantee: any Ready/Insert published to
+			// this partition's rings before the scan job was posted is
+			// applied before the scan runs.
+			if t.scans[p].Load() != nil {
+				if j := t.scans[p].Swap(nil); j != nil {
+					t.runScanJob(store, j)
+					work = true
+				}
+			}
 		}
 		if work {
 			idle = 0
@@ -471,6 +489,9 @@ func (t *Table) anyWork(id int) bool {
 		}
 		if own != me {
 			continue
+		}
+		if t.scans[p].Load() != nil {
+			return true // a posted scan job awaits this owner
 		}
 		for c := 0; c < t.cfg.MaxClients; c++ {
 			if t.clientActive[c].Load() && t.toServer[c][p].Len() > 0 {

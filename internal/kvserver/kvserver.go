@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cphash/internal/cluster"
 	"cphash/internal/core"
 	"cphash/internal/lockhash"
 	"cphash/internal/partition"
@@ -57,6 +58,23 @@ type Result struct {
 type Backend interface {
 	ProcessBatch(reqs []protocol.Request, results []Result, buf []byte) []byte
 	Close()
+}
+
+// SlotScanner is the optional Backend extension behind the protocol v3
+// SCAN/PURGE ops, the primitives online slot migration is built on. Both
+// methods are bounded per call and cursor-resumable (next ==
+// protocol.ScanDone once iteration completes); both may be called by any
+// worker goroutine concurrently with regular batches. A backend that does
+// not implement it answers SCAN/PURGE with an immediate empty ScanDone, so
+// migrating away from it silently moves nothing — callers can detect that
+// by the zero entry count.
+type SlotScanner interface {
+	// ScanSlots appends up to max live entries whose keys fall in the
+	// selected continuum slots to dst, resuming at cursor.
+	ScanSlots(slots *protocol.SlotSet, cursor uint64, max int, dst []protocol.ScanEntry) (out []protocol.ScanEntry, next uint64, err error)
+	// PurgeSlots removes live entries in the selected slots, resuming at
+	// cursor, returning how many this call removed.
+	PurgeSlots(slots *protocol.SlotSet, cursor uint64) (removed int, next uint64, err error)
 }
 
 // Config parameterizes Serve.
@@ -279,6 +297,7 @@ func (w *worker) run() {
 	items := make([]connReq, 0, w.maxBatch)
 	results := make([]Result, 0, w.maxBatch)
 	var buf []byte
+	var scanBuf []protocol.ScanEntry
 	touched := map[*connState]struct{}{}
 
 	for {
@@ -300,31 +319,60 @@ func (w *worker) run() {
 			}
 		}
 
-		reqs = reqs[:0]
-		for _, it := range items {
-			reqs = append(reqs, it.req)
-		}
-		results = results[:len(items)]
-		for i := range results {
-			results[i] = Result{}
-		}
-		buf = w.backend.ProcessBatch(reqs, results, buf[:0])
-
-		for i, it := range items {
-			cs := it.cs
-			if cs.wErr != nil {
-				continue
+		// SCAN/PURGE are execution barriers: a gathered batch is split at
+		// each one so bulk iteration observes every earlier mutation of
+		// its batch and none of the later ones — the per-connection FIFO
+		// the protocol promises — while plain segments still flow through
+		// the backend as whole batches.
+		for start := 0; start < len(items); {
+			end := start
+			for end < len(items) && items[end].req.Op != protocol.OpScan && items[end].req.Op != protocol.OpPurge {
+				end++
 			}
-			r := results[i]
-			switch it.req.Op {
-			case protocol.OpLookup, protocol.OpGetStr:
-				cs.wErr = protocol.WriteLookupResponse(cs.w, buf[r.Start:r.End], r.Found)
-			case protocol.OpDelete, protocol.OpDelStr:
-				cs.wErr = protocol.WriteDeleteResponse(cs.w, r.Found)
-			default:
-				continue // inserts are silent
+			if seg := items[start:end]; len(seg) > 0 {
+				reqs = reqs[:0]
+				for _, it := range seg {
+					reqs = append(reqs, it.req)
+				}
+				results = results[:len(seg)]
+				for i := range results {
+					results[i] = Result{}
+				}
+				buf = w.backend.ProcessBatch(reqs, results, buf[:0])
+				for i, it := range seg {
+					cs := it.cs
+					if cs.wErr != nil {
+						continue
+					}
+					r := results[i]
+					switch it.req.Op {
+					case protocol.OpLookup, protocol.OpGetStr:
+						cs.wErr = protocol.WriteLookupResponse(cs.w, buf[r.Start:r.End], r.Found)
+					case protocol.OpDelete, protocol.OpDelStr:
+						cs.wErr = protocol.WriteDeleteResponse(cs.w, r.Found)
+					default:
+						continue // inserts are silent
+					}
+					touched[cs] = struct{}{}
+				}
 			}
-			touched[cs] = struct{}{}
+			if end < len(items) { // the scan/purge that split the batch
+				it := items[end]
+				if it.cs.wErr == nil {
+					scanBuf, it.cs.wErr = w.respondScan(it.cs, it.req, scanBuf)
+					if it.cs.wErr != nil {
+						// A backend error (table closing) means no
+						// response was written; unlike a wire write
+						// failure the socket is still healthy, so close
+						// it — a silently dropped response would leave
+						// the client waiting forever.
+						it.cs.conn.Close()
+					}
+					touched[it.cs] = struct{}{}
+				}
+				end++
+			}
+			start = end
 		}
 		for cs := range touched {
 			if cs.wErr == nil {
@@ -335,6 +383,35 @@ func (w *worker) run() {
 		w.requests.Add(int64(len(items)))
 		w.batches.Add(1)
 	}
+}
+
+// respondScan serves one SCAN/PURGE request against the worker's backend,
+// reusing scanBuf across calls. A backend error (the table is closing)
+// poisons the connection's writer so no misaligned response follows.
+func (w *worker) respondScan(cs *connState, req protocol.Request, scanBuf []protocol.ScanEntry) ([]protocol.ScanEntry, error) {
+	sc, ok := w.backend.(SlotScanner)
+	if !ok {
+		if req.Op == protocol.OpPurge {
+			return scanBuf, protocol.WritePurgeResponse(cs.w, protocol.ScanDone, 0)
+		}
+		return scanBuf, protocol.WriteScanResponse(cs.w, protocol.ScanDone, nil)
+	}
+	if req.Op == protocol.OpPurge {
+		removed, next, err := sc.PurgeSlots(&req.Slots, req.Cursor)
+		if err != nil {
+			return scanBuf, err
+		}
+		return scanBuf, protocol.WritePurgeResponse(cs.w, next, uint32(removed))
+	}
+	max := int(req.Count)
+	if max <= 0 || max > protocol.MaxScanBatch {
+		max = protocol.MaxScanBatch
+	}
+	scanBuf, next, err := sc.ScanSlots(&req.Slots, req.Cursor, max, scanBuf[:0])
+	if err != nil {
+		return scanBuf, err
+	}
+	return scanBuf, protocol.WriteScanResponse(cs.w, next, scanBuf)
 }
 
 // --- backends ---
@@ -473,6 +550,61 @@ func (b *cphashBackend) settle(results []Result, buf []byte, from int) []byte {
 
 func (b *cphashBackend) Close() { b.client.Close() }
 
+// slotFilter adapts a wire slot bitmap to the key predicate the tables'
+// scan paths take. Keys land in slots exactly as the client-side continuum
+// places them, so client and server agree on which entries a slot owns.
+func slotFilter(slots *protocol.SlotSet) func(uint64) bool {
+	return func(k uint64) bool { return slots.Has(cluster.SlotOf(k)) }
+}
+
+// ttlMillis converts a remaining TTL to the wire's millisecond field,
+// rounding up so "expires soon" never becomes "never expires" (0).
+func ttlMillis(ttl time.Duration) uint32 {
+	if ttl <= 0 {
+		return 0
+	}
+	ms := (ttl + time.Millisecond - 1) / time.Millisecond
+	if ms > time.Duration(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(ms)
+}
+
+// appendWireEntries converts partition scan entries to wire entries. The
+// value bytes were already copied out of the partition by the scan, so the
+// wire entry aliases them instead of copying again.
+func appendWireEntries(dst []protocol.ScanEntry, entries []partition.ScanEntry) []protocol.ScanEntry {
+	for _, e := range entries {
+		dst = append(dst, protocol.ScanEntry{Key: e.Key, TTL: ttlMillis(e.TTL), Value: e.Value})
+	}
+	return dst
+}
+
+// ScanSlots implements SlotScanner over the CPHASH table: iteration jobs
+// execute on the owning server goroutines at sweep boundaries.
+func (b *cphashBackend) ScanSlots(slots *protocol.SlotSet, cursor uint64, max int, dst []protocol.ScanEntry) ([]protocol.ScanEntry, uint64, error) {
+	entries, next, done, err := b.table.ScanEntries(cursor, max, slotFilter(slots))
+	if err != nil {
+		return dst, cursor, err
+	}
+	if done {
+		next = protocol.ScanDone
+	}
+	return appendWireEntries(dst, entries), next, nil
+}
+
+// PurgeSlots implements SlotScanner over the CPHASH table.
+func (b *cphashBackend) PurgeSlots(slots *protocol.SlotSet, cursor uint64) (int, uint64, error) {
+	removed, next, done, err := b.table.PurgeEntries(cursor, slotFilter(slots))
+	if err != nil {
+		return 0, cursor, err
+	}
+	if done {
+		next = protocol.ScanDone
+	}
+	return removed, next, nil
+}
+
 // lockhashBackend executes a batch synchronously against LOCKHASH.
 type lockhashBackend struct {
 	table   *lockhash.Table
@@ -522,10 +654,31 @@ func (b *lockhashBackend) ProcessBatch(reqs []protocol.Request, results []Result
 
 func (b *lockhashBackend) Close() {}
 
-// Sanity: both backends implement Backend.
+// ScanSlots implements SlotScanner over the LOCKHASH table, holding each
+// partition spinlock only for a bounded bucket stretch.
+func (b *lockhashBackend) ScanSlots(slots *protocol.SlotSet, cursor uint64, max int, dst []protocol.ScanEntry) ([]protocol.ScanEntry, uint64, error) {
+	entries, next, done := b.table.ScanEntries(cursor, max, slotFilter(slots))
+	if done {
+		next = protocol.ScanDone
+	}
+	return appendWireEntries(dst, entries), next, nil
+}
+
+// PurgeSlots implements SlotScanner over the LOCKHASH table.
+func (b *lockhashBackend) PurgeSlots(slots *protocol.SlotSet, cursor uint64) (int, uint64, error) {
+	removed, next, done := b.table.PurgeEntries(cursor, slotFilter(slots))
+	if done {
+		next = protocol.ScanDone
+	}
+	return removed, next, nil
+}
+
+// Sanity: both backends implement Backend and its migration extension.
 var (
-	_ Backend = (*cphashBackend)(nil)
-	_ Backend = (*lockhashBackend)(nil)
+	_ Backend     = (*cphashBackend)(nil)
+	_ Backend     = (*lockhashBackend)(nil)
+	_ SlotScanner = (*cphashBackend)(nil)
+	_ SlotScanner = (*lockhashBackend)(nil)
 )
 
 // Dial is a tiny client helper used by tests and examples: it connects and

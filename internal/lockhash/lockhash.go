@@ -230,6 +230,87 @@ func (t *Table) CapacityBytes() int {
 	return t.parts[0].store.CapacityBytes() * len(t.parts)
 }
 
+// scanCallBuckets bounds the buckets one ScanEntries/PurgeEntries call
+// examines, so a migration round trip holds each partition lock only
+// briefly and never stalls regular traffic for long. Same contract as
+// core.Table: resume with the returned cursor.
+const scanCallBuckets = 1 << 16
+
+// scanLockBuckets bounds the buckets examined under one spinlock hold.
+const scanLockBuckets = 1 << 12
+
+// ScanEntries copies live entries whose key satisfies filter (nil = all)
+// out of the table, resuming at cursor (0 starts an iteration). It takes
+// each partition's spinlock for at most one bucket-budget stretch, returns
+// at least one entry when any remain within the call's budget, and
+// reports the cursor to resume at plus whether iteration is complete.
+func (t *Table) ScanEntries(cursor uint64, maxEntries int, filter func(Key) bool) (entries []partition.ScanEntry, next uint64, done bool) {
+	if maxEntries <= 0 {
+		maxEntries = 1
+	}
+	pi, bucket := partition.DecodeScanCursor(cursor)
+	budget := scanCallBuckets
+	for pi < len(t.parts) && budget > 0 && len(entries) < maxEntries {
+		p := &t.parts[pi]
+		mb := scanLockBuckets
+		if mb > budget {
+			mb = budget
+		}
+		p.mu.Lock()
+		var pdone bool
+		var nb int
+		entries, nb, pdone = p.store.AppendScan(entries, bucket, mb, maxEntries-len(entries), filter)
+		p.mu.Unlock()
+		if adv := nb - bucket; adv > 0 {
+			budget -= adv
+		} else {
+			budget--
+		}
+		if pdone {
+			pi, bucket = pi+1, 0
+		} else {
+			bucket = nb
+		}
+	}
+	if pi >= len(t.parts) {
+		return entries, 0, true
+	}
+	return entries, partition.EncodeScanCursor(pi, bucket), false
+}
+
+// PurgeEntries removes live entries whose key satisfies filter (nil =
+// all), with the same cursor/budget contract as ScanEntries, returning
+// how many entries this call removed.
+func (t *Table) PurgeEntries(cursor uint64, filter func(Key) bool) (removed int, next uint64, done bool) {
+	pi, bucket := partition.DecodeScanCursor(cursor)
+	budget := scanCallBuckets
+	for pi < len(t.parts) && budget > 0 {
+		p := &t.parts[pi]
+		mb := scanLockBuckets
+		if mb > budget {
+			mb = budget
+		}
+		p.mu.Lock()
+		r, nb, pdone := p.store.PurgeBuckets(bucket, mb, filter)
+		p.mu.Unlock()
+		removed += r
+		if adv := nb - bucket; adv > 0 {
+			budget -= adv
+		} else {
+			budget--
+		}
+		if pdone {
+			pi, bucket = pi+1, 0
+		} else {
+			bucket = nb
+		}
+	}
+	if pi >= len(t.parts) {
+		return removed, 0, true
+	}
+	return removed, partition.EncodeScanCursor(pi, bucket), false
+}
+
 // CheckInvariants validates every partition; the table must be quiescent.
 func (t *Table) CheckInvariants() error {
 	for i := range t.parts {

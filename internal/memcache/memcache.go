@@ -15,10 +15,12 @@ import (
 	"bufio"
 	"container/list"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cphash/internal/cluster"
 	"cphash/internal/protocol"
 )
 
@@ -174,8 +176,103 @@ func (i *Instance) serveConn(conn net.Conn) {
 			if err := bw.Flush(); err != nil {
 				return
 			}
+		case protocol.OpScan:
+			count := int(req.Count)
+			if count <= 0 || count > protocol.MaxScanBatch {
+				count = protocol.MaxScanBatch
+			}
+			next, entries := i.scan(&req.Slots, req.Cursor, count)
+			if err := protocol.WriteScanResponse(bw, next, entries); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case protocol.OpPurge:
+			removed := i.purge(&req.Slots)
+			if err := protocol.WritePurgeResponse(bw, protocol.ScanDone, removed); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		}
 	}
+}
+
+// scan returns up to count live entries in the selected slots with keys ≥
+// cursor, in ascending key order — the map has no stable iteration order,
+// so the key itself is the cursor (keys are 60-bit; the resume cursor
+// last+1 can never collide with protocol.ScanDone). The selection is
+// O(n log n) under the global lock, in keeping with this baseline's
+// deliberately coarse design.
+func (i *Instance) scan(slots *protocol.SlotSet, cursor uint64, count int) (uint64, []protocol.ScanEntry) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	now := time.Now().UnixNano()
+	var keys []uint64
+	for k, e := range i.m {
+		if k < cursor || !slots.Has(cluster.SlotOf(k)) {
+			continue
+		}
+		if e.expires != 0 && now >= e.expires {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	done := len(keys) <= count
+	if !done {
+		keys = keys[:count]
+	}
+	entries := make([]protocol.ScanEntry, 0, len(keys))
+	for _, k := range keys {
+		e := i.m[k]
+		var ttl uint32
+		if e.expires != 0 {
+			ms := (e.expires - now + int64(time.Millisecond) - 1) / int64(time.Millisecond)
+			if ms < 1 {
+				ms = 1 // still live at the clock read above; keep it expiring
+			}
+			ttl = uint32(min64(ms, int64(^uint32(0))))
+		}
+		entries = append(entries, protocol.ScanEntry{
+			Key:   k,
+			TTL:   ttl,
+			Value: append([]byte(nil), e.value...),
+		})
+	}
+	if done {
+		return protocol.ScanDone, entries
+	}
+	return keys[len(keys)-1] + 1, entries
+}
+
+// purge removes every live entry in the selected slots in one pass (a
+// single-lock instance has no reason to cursor).
+func (i *Instance) purge(slots *protocol.SlotSet) uint32 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	now := time.Now().UnixNano()
+	var removed uint32
+	for k, e := range i.m {
+		if !slots.Has(cluster.SlotOf(k)) {
+			continue
+		}
+		live := e.expires == 0 || now < e.expires
+		i.removeLocked(e)
+		if live {
+			removed++
+		}
+	}
+	return removed
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // get copies the value under the global lock. An entry whose TTL elapsed

@@ -91,7 +91,8 @@ func TestQuickValidStreamAlwaysParses(t *testing.T) {
 // empty slices as equal (the wire cannot distinguish them).
 func requestEqual(a, b Request) bool {
 	return a.Op == b.Op && a.Key == b.Key && a.TTL == b.TTL &&
-		bytes.Equal(a.StrKey, b.StrKey) && bytes.Equal(a.Value, b.Value)
+		bytes.Equal(a.StrKey, b.StrKey) && bytes.Equal(a.Value, b.Value) &&
+		a.Slots == b.Slots && a.Cursor == b.Cursor && a.Count == b.Count
 }
 
 // TestQuickV2StreamRoundTrips: arbitrary mixed streams of every version-2
@@ -151,6 +152,136 @@ func TestQuickV2StreamRoundTrips(t *testing.T) {
 		}
 		_, err := ReadRequest(r)
 		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickV3StreamRoundTrips: arbitrary mixed streams including the
+// version-3 SCAN/PURGE frames (slot bitmaps, cursors, counts) round-trip
+// exactly and terminate with a clean EOF.
+func TestQuickV3StreamRoundTrips(t *testing.T) {
+	f := func(sel []uint8, slots [][]byte, cursors []uint64, counts []uint32, keys []uint64) bool {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		var want []Request
+		for i, s := range sel {
+			var req Request
+			switch s % 4 {
+			case 0:
+				req = Request{Op: OpScan}
+			case 1:
+				req = Request{Op: OpPurge}
+			case 2:
+				req = Request{Op: OpLookup}
+			case 3:
+				req = Request{Op: OpDelete}
+			}
+			if len(keys) > 0 {
+				k := keys[i%len(keys)]
+				if req.Op == OpScan || req.Op == OpPurge {
+					if len(cursors) > 0 {
+						req.Cursor = cursors[i%len(cursors)]
+					}
+					if len(counts) > 0 {
+						req.Count = counts[i%len(counts)] % (MaxScanBatch + 1)
+					}
+					if len(slots) > 0 {
+						for _, b := range slots[i%len(slots)] {
+							req.Slots.Add(int(b))
+						}
+					}
+				} else {
+					req.Key = k
+				}
+			}
+			if err := WriteRequest(w, req); err != nil {
+				return false
+			}
+			want = append(want, req)
+		}
+		w.Flush()
+		r := bufio.NewReader(&buf)
+		for _, wr := range want {
+			got, err := ReadRequest(r)
+			if err != nil || !requestEqual(got, wr) {
+				return false
+			}
+		}
+		_, err := ReadRequest(r)
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReadScanResponseNeverPanics: arbitrary byte streams fed to the
+// scan-response parser produce entries or an error, never a panic or an
+// over-bound allocation.
+func TestQuickReadScanResponseNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		r := bufio.NewReader(bytes.NewReader(raw))
+		for {
+			_, entries, err := ReadScanResponse(r, nil)
+			if err != nil {
+				return true
+			}
+			if len(entries) > MaxScanBatch {
+				return false
+			}
+			for _, e := range entries {
+				if len(e.Value) > MaxValueSize {
+					return false
+				}
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScanResponseRoundTrips: scan batches of arbitrary entries
+// round-trip exactly (values clipped to a sane fuzz bound).
+func TestQuickScanResponseRoundTrips(t *testing.T) {
+	f := func(next uint64, ks []uint64, ttls []uint32, vals [][]byte) bool {
+		var entries []ScanEntry
+		for i, k := range ks {
+			e := ScanEntry{Key: k}
+			if len(ttls) > 0 {
+				e.TTL = ttls[i%len(ttls)]
+			}
+			if len(vals) > 0 {
+				v := vals[i%len(vals)]
+				if len(v) > 1024 {
+					v = v[:1024]
+				}
+				e.Value = v
+			}
+			entries = append(entries, e)
+			if len(entries) == MaxScanBatch {
+				break
+			}
+		}
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if WriteScanResponse(w, next, entries) != nil {
+			return false
+		}
+		w.Flush()
+		gotNext, got, err := ReadScanResponse(bufio.NewReader(&buf), nil)
+		if err != nil || gotNext != next || len(got) != len(entries) {
+			return false
+		}
+		for i := range entries {
+			if got[i].Key != entries[i].Key || got[i].TTL != entries[i].TTL ||
+				!bytes.Equal(got[i].Value, entries[i].Value) {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)

@@ -23,6 +23,33 @@
 // A ttl_ms of zero means "never expires"; otherwise the entry becomes
 // invisible ttl_ms milliseconds after the server stores it.
 //
+// Version 3 adds the bulk iteration primitives that online slot migration
+// is built on:
+//
+//	SCAN:   op(1) | slots(32) | cursor(8) | count(4)
+//	PURGE:  op(1) | slots(32) | cursor(8) | count(4)
+//
+// slots is a 256-bit bitmap selecting continuum slots (the top eight bits
+// of the splitmix64-mixed key — see internal/cluster); cursor is an opaque
+// server-defined iteration position (0 starts a scan) and count bounds the
+// entries returned (0 = server default, at most MaxScanBatch). A SCAN
+// response is
+//
+//	next_cursor(8) | n(4) | n × [ key(8) | ttl_ms(4) | size(4) | value(size) ]
+//
+// where next_cursor is ScanDone once iteration is complete and ttl_ms is
+// the entry's REMAINING lifetime (0 = never expires), so a migrator can
+// re-insert the entry elsewhere with its TTL preserved. A batch may be
+// empty with next_cursor ≠ ScanDone: servers bound the work per round trip
+// and the client resumes. A PURGE removes every live entry in the selected
+// slots (same bounded-cursor contract) and responds
+//
+//	next_cursor(8) | removed(4)
+//
+// String-key entries travel through SCAN as their 60-bit hash key plus the
+// stored entry bytes (klen|key|value framing), so replaying them with
+// INSERT_TTL on another server reproduces GET_STR-visible state exactly.
+//
 // String keys are variable-length (up to MaxKeyLen bytes) and are routed
 // to the fixed 60-bit key space by HashStringKey, the paper's Section 8.2
 // extension; AppendStringEntry/CutStringEntry define the stored-entry
@@ -40,6 +67,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math/bits"
 )
 
 // Op codes. Ops 1–2 are protocol version 1 (the paper's CPSERVER); ops
@@ -59,10 +87,14 @@ const (
 	OpSetStr uint8 = 6
 	// OpDelStr is OpDelete with a variable-length string key.
 	OpDelStr uint8 = 7
+	// OpScan iterates live entries of a slot set, cursor-based.
+	OpScan uint8 = 8
+	// OpPurge removes live entries of a slot set, cursor-based.
+	OpPurge uint8 = 9
 )
 
 // Version is the highest protocol version this package speaks.
-const Version = 2
+const Version = 3
 
 // OpVersion returns the protocol version that introduced op, or 0 for an
 // unknown opcode.
@@ -72,6 +104,8 @@ func OpVersion(op uint8) int {
 		return 1
 	case OpDelete, OpInsertTTL, OpGetStr, OpSetStr, OpDelStr:
 		return 2
+	case OpScan, OpPurge:
+		return 3
 	default:
 		return 0
 	}
@@ -90,18 +124,75 @@ const MaxKeyLen = 4 << 10
 // maxFixedKey is the largest valid fixed key (60 bits, as in the paper).
 const maxFixedKey = 1<<60 - 1
 
+// SlotCount is the size of the continuum the SCAN/PURGE slot bitmap
+// indexes. It must equal cluster.Slots; the cluster package asserts the
+// equality at compile time.
+const SlotCount = 256
+
+// MaxScanBatch bounds the entries in one SCAN response (and the count a
+// request may ask for), so a corrupt stream cannot force huge allocations.
+const MaxScanBatch = 4096
+
+// ScanDone is the next_cursor value marking a completed SCAN/PURGE
+// iteration. It cannot collide with a real cursor: keys are 60-bit and
+// servers encode cursors well below 2^64-1.
+const ScanDone = ^uint64(0)
+
+// SlotSet is a 256-bit bitmap of continuum slots, the unit SCAN and PURGE
+// select entries by.
+type SlotSet [SlotCount / 8]byte
+
+// Add marks a slot as selected. Slots outside [0, SlotCount) are ignored.
+func (s *SlotSet) Add(slot int) {
+	if slot >= 0 && slot < SlotCount {
+		s[slot>>3] |= 1 << (slot & 7)
+	}
+}
+
+// Has reports whether a slot is selected; false outside [0, SlotCount).
+func (s *SlotSet) Has(slot int) bool {
+	return slot >= 0 && slot < SlotCount && s[slot>>3]&(1<<(slot&7)) != 0
+}
+
+// Len counts the selected slots.
+func (s *SlotSet) Len() int {
+	n := 0
+	for _, b := range s {
+		n += bits.OnesCount8(b)
+	}
+	return n
+}
+
+// ScanEntry is one live entry streamed by a SCAN response: the fixed
+// 60-bit key, the remaining TTL in milliseconds (0 = never expires), and
+// the raw stored value bytes.
+type ScanEntry struct {
+	Key   uint64
+	TTL   uint32
+	Value []byte
+}
+
 // Request is one parsed client request.
 type Request struct {
 	Op     uint8
-	Key    uint64 // fixed 60-bit key; unset for string-key ops
-	StrKey []byte // string key for OpGetStr/OpSetStr/OpDelStr
-	TTL    uint32 // milliseconds; 0 = never expires (OpInsertTTL/OpSetStr)
-	Value  []byte // INSERT/INSERT_TTL/SET_STR payload
+	Key    uint64  // fixed 60-bit key; unset for string-key ops
+	StrKey []byte  // string key for OpGetStr/OpSetStr/OpDelStr
+	TTL    uint32  // milliseconds; 0 = never expires (OpInsertTTL/OpSetStr)
+	Value  []byte  // INSERT/INSERT_TTL/SET_STR payload
+	Slots  SlotSet // slot bitmap for OpScan/OpPurge
+	Cursor uint64  // iteration position for OpScan/OpPurge (0 = start)
+	Count  uint32  // max entries per OpScan batch (0 = server default)
 }
 
 // hasStrKey reports whether op carries a variable-length key.
 func hasStrKey(op uint8) bool {
 	return op == OpGetStr || op == OpSetStr || op == OpDelStr
+}
+
+// hasSlots reports whether op carries a slots+cursor+count trailer instead
+// of a key.
+func hasSlots(op uint8) bool {
+	return op == OpScan || op == OpPurge
 }
 
 // hasValue reports whether op carries a ttl+size+value trailer.
@@ -123,10 +214,25 @@ func WriteRequest(w *bufio.Writer, r Request) error {
 	if hasValue(r.Op) && len(r.Value) > MaxValueSize {
 		return fmt.Errorf("protocol: value of %d bytes exceeds maximum %d", len(r.Value), MaxValueSize)
 	}
+	if hasSlots(r.Op) && r.Count > MaxScanBatch {
+		return fmt.Errorf("protocol: scan count %d exceeds maximum %d", r.Count, MaxScanBatch)
+	}
 	if err := w.WriteByte(r.Op); err != nil {
 		return err
 	}
 	var scratch [8]byte
+	if hasSlots(r.Op) {
+		if _, err := w.Write(r.Slots[:]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(scratch[:], r.Cursor)
+		if _, err := w.Write(scratch[:8]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(scratch[:], r.Count)
+		_, err := w.Write(scratch[:4])
+		return err
+	}
 	if hasStrKey(r.Op) {
 		binary.LittleEndian.PutUint16(scratch[:], uint16(len(r.StrKey)))
 		if _, err := w.Write(scratch[:2]); err != nil {
@@ -171,6 +277,23 @@ func ReadRequest(r *bufio.Reader) (Request, error) {
 	}
 	req := Request{Op: op}
 	var scratch [8]byte
+	if hasSlots(op) {
+		if _, err := io.ReadFull(r, req.Slots[:]); err != nil {
+			return Request{}, unexpected(err)
+		}
+		if _, err := io.ReadFull(r, scratch[:8]); err != nil {
+			return Request{}, unexpected(err)
+		}
+		req.Cursor = binary.LittleEndian.Uint64(scratch[:8])
+		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+			return Request{}, unexpected(err)
+		}
+		req.Count = binary.LittleEndian.Uint32(scratch[:4])
+		if req.Count > MaxScanBatch {
+			return Request{}, fmt.Errorf("protocol: scan count %d exceeds maximum %d", req.Count, MaxScanBatch)
+		}
+		return req, nil
+	}
 	if hasStrKey(op) {
 		if _, err := io.ReadFull(r, scratch[:2]); err != nil {
 			return Request{}, unexpected(err)
@@ -270,6 +393,116 @@ func ReadDeleteResponse(r *bufio.Reader) (found bool, err error) {
 		return false, err
 	}
 	return b != 0, nil
+}
+
+// WriteScanResponse serializes one SCAN response batch. next is the cursor
+// the client resumes at (ScanDone once iteration is complete); entries may
+// be empty even mid-iteration (the server bounds work per round trip).
+func WriteScanResponse(w *bufio.Writer, next uint64, entries []ScanEntry) error {
+	if len(entries) > MaxScanBatch {
+		return fmt.Errorf("protocol: scan batch of %d entries exceeds maximum %d", len(entries), MaxScanBatch)
+	}
+	for _, e := range entries {
+		if len(e.Value) > MaxValueSize {
+			return fmt.Errorf("protocol: scan value of %d bytes exceeds maximum %d", len(e.Value), MaxValueSize)
+		}
+	}
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], next)
+	if _, err := w.Write(scratch[:8]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(scratch[:], uint32(len(entries)))
+	if _, err := w.Write(scratch[:4]); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(scratch[:], e.Key)
+		if _, err := w.Write(scratch[:8]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(scratch[:], e.TTL)
+		if _, err := w.Write(scratch[:4]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(scratch[:], uint32(len(e.Value)))
+		if _, err := w.Write(scratch[:4]); err != nil {
+			return err
+		}
+		if _, err := w.Write(e.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadScanResponse parses one SCAN response batch, appending entries to
+// dst. Entry values are fresh copies owned by the caller. Truncated or
+// oversized frames are reported as errors, never panics.
+func ReadScanResponse(r *bufio.Reader, dst []ScanEntry) (next uint64, out []ScanEntry, err error) {
+	var scratch [8]byte
+	if _, err := io.ReadFull(r, scratch[:8]); err != nil {
+		return 0, dst, err
+	}
+	next = binary.LittleEndian.Uint64(scratch[:8])
+	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+		return 0, dst, unexpected(err)
+	}
+	n := binary.LittleEndian.Uint32(scratch[:4])
+	if n > MaxScanBatch {
+		return 0, dst, fmt.Errorf("protocol: scan batch of %d entries exceeds maximum %d", n, MaxScanBatch)
+	}
+	mark := len(dst)
+	for i := uint32(0); i < n; i++ {
+		var e ScanEntry
+		if _, err := io.ReadFull(r, scratch[:8]); err != nil {
+			return 0, dst[:mark], unexpected(err)
+		}
+		e.Key = binary.LittleEndian.Uint64(scratch[:8])
+		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+			return 0, dst[:mark], unexpected(err)
+		}
+		e.TTL = binary.LittleEndian.Uint32(scratch[:4])
+		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+			return 0, dst[:mark], unexpected(err)
+		}
+		size := binary.LittleEndian.Uint32(scratch[:4])
+		if size > MaxValueSize {
+			return 0, dst[:mark], fmt.Errorf("protocol: scan value size %d exceeds maximum %d", size, MaxValueSize)
+		}
+		e.Value = make([]byte, size)
+		if _, err := io.ReadFull(r, e.Value); err != nil {
+			return 0, dst[:mark], unexpected(err)
+		}
+		dst = append(dst, e)
+	}
+	return next, dst, nil
+}
+
+// WritePurgeResponse serializes one PURGE response: the resume cursor
+// (ScanDone once complete) and how many entries this batch removed.
+func WritePurgeResponse(w *bufio.Writer, next uint64, removed uint32) error {
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], next)
+	if _, err := w.Write(scratch[:8]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(scratch[:], removed)
+	_, err := w.Write(scratch[:4])
+	return err
+}
+
+// ReadPurgeResponse parses one PURGE response.
+func ReadPurgeResponse(r *bufio.Reader) (next uint64, removed uint32, err error) {
+	var scratch [8]byte
+	if _, err := io.ReadFull(r, scratch[:8]); err != nil {
+		return 0, 0, err
+	}
+	next = binary.LittleEndian.Uint64(scratch[:8])
+	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+		return 0, 0, unexpected(err)
+	}
+	return next, binary.LittleEndian.Uint32(scratch[:4]), nil
 }
 
 // unexpected converts a mid-frame EOF into io.ErrUnexpectedEOF so callers

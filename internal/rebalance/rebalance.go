@@ -1,0 +1,274 @@
+// Package rebalance implements online slot migration for CPHash clusters:
+// when the member set changes, the entries of every moved continuum slot
+// are streamed from their previous owner to their new one while clients
+// keep serving traffic.
+//
+// The protocol is deliberately simple, built from three primitives the
+// rest of the stack provides:
+//
+//  1. client.AddNode/RemoveNode rebalance the ring immediately — writes
+//     start flowing to the new owners at once — and open a dual-read
+//     window per moved slot (miss on the new owner → retry the old one),
+//     so no request observes a half-moved slot as a miss.
+//
+//  2. The wire SCAN op streams a slot set's live entries off each source
+//     with TTLs preserved; the Migrator replays them through the updated
+//     ring, which routes every moved key to its new owner by construction.
+//     Replays use plain INSERT_TTL frames, so string-key entries (whose
+//     stored value embeds the key) move byte-identically.
+//
+//  3. MarkMigrated closes the window per source, and PURGE removes the
+//     moved entries from the source so a later topology change that hands
+//     a slot back cannot resurrect stale copies.
+//
+// Consistency contract (cache semantics, the same the paper's memcached
+// deployments give): keys not written concurrently with a migration are
+// never lost and never duplicated; a key written concurrently may land
+// either its old or its new value (a refill repairs it), exactly as with
+// any concurrent SET race. Entries whose TTL elapses mid-migration may
+// expire on either side; remaining TTLs transfer within clock skew plus
+// stream latency.
+//
+// One Migrator instance serializes migrations and accumulates progress
+// stats, which cmd/cpserver exposes over HTTP.
+package rebalance
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cphash/internal/client"
+	"cphash/internal/protocol"
+)
+
+// Config parameterizes a Migrator.
+type Config struct {
+	// Batch bounds entries per SCAN round trip (default 512).
+	Batch int
+}
+
+// Stats is a snapshot of migration progress, cumulative across runs.
+type Stats struct {
+	Migrations   int64 // topology changes processed
+	SlotsTotal   int64 // slots scheduled for movement
+	SlotsDone    int64 // slots whose window has been closed
+	Sources      int64 // source members drained (cumulative)
+	Entries      int64 // entries streamed off sources
+	Bytes        int64 // value bytes streamed
+	Replayed     int64 // entries written to their new owners
+	ReplayErrors int64 // entries that failed to replay
+	Purged       int64 // stale source entries removed after migration
+	Active       bool  // a migration is running right now
+}
+
+// Migrator moves slot data when a Client's membership changes.
+type Migrator struct {
+	c     *client.Client
+	batch int
+
+	mu      sync.Mutex // serializes migrations
+	pending *client.Migration
+	active  atomic.Bool
+
+	migrations, slotsTotal, slotsDone   atomic.Int64
+	sources, entries, bytes             atomic.Int64
+	replayed, replayErrors, purgedStale atomic.Int64
+}
+
+// New builds a Migrator over the client whose membership it will follow.
+func New(c *client.Client, cfg Config) *Migrator {
+	if cfg.Batch <= 0 {
+		cfg.Batch = 512
+	}
+	return &Migrator{c: c, batch: cfg.Batch}
+}
+
+// Stats snapshots progress counters.
+func (m *Migrator) Stats() Stats {
+	return Stats{
+		Migrations:   m.migrations.Load(),
+		SlotsTotal:   m.slotsTotal.Load(),
+		SlotsDone:    m.slotsDone.Load(),
+		Sources:      m.sources.Load(),
+		Entries:      m.entries.Load(),
+		Bytes:        m.bytes.Load(),
+		Replayed:     m.replayed.Load(),
+		ReplayErrors: m.replayErrors.Load(),
+		Purged:       m.purgedStale.Load(),
+		Active:       m.active.Load(),
+	}
+}
+
+// AddNode joins a member and migrates the slots that moved to it. A plan
+// left unfinished by an earlier failure is resumed first, so a transient
+// fault never wedges the coordinator behind ErrMigrationPending.
+func (m *Migrator) AddNode(addr string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.resumeLocked(); err != nil {
+		return fmt.Errorf("rebalance: resuming pending migration: %w", err)
+	}
+	mig, err := m.c.AddNode(addr)
+	if err != nil {
+		return err
+	}
+	return m.runLocked(mig)
+}
+
+// RemoveNode departs a member, migrating its slots to the survivors
+// first (resuming any unfinished plan, like AddNode). The member's server
+// can be shut down once this returns.
+func (m *Migrator) RemoveNode(addr string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.resumeLocked(); err != nil {
+		return fmt.Errorf("rebalance: resuming pending migration: %w", err)
+	}
+	mig, err := m.c.RemoveNode(addr)
+	if err != nil {
+		return err
+	}
+	return m.runLocked(mig)
+}
+
+// Run executes a migration plan produced by client.AddNode/RemoveNode
+// directly, for callers that manage membership themselves. Re-running a
+// partially failed plan is safe: drained sources stream nothing and their
+// windows are already closed.
+func (m *Migrator) Run(mig *client.Migration) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runLocked(mig)
+}
+
+// Resume retries the unfinished plan from the last failed migration, if
+// any. It reports nil when there is nothing to resume.
+func (m *Migrator) Resume() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resumeLocked()
+}
+
+// Pending reports how many sources of a failed plan still await draining
+// (0 = no failed plan outstanding).
+func (m *Migrator) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pending == nil {
+		return 0
+	}
+	return len(m.pending.Moved)
+}
+
+// runLocked executes a fresh plan, remembering it for Resume on failure.
+// Plan-level counters are charged here, once per plan; retries charge
+// nothing extra (drainSource books only windows it actually closes).
+func (m *Migrator) runLocked(mig *client.Migration) error {
+	m.migrations.Add(1)
+	m.slotsTotal.Add(int64(mig.Slots()))
+	m.pending = mig
+	if err := m.run(mig); err != nil {
+		return err
+	}
+	m.pending = nil
+	return nil
+}
+
+func (m *Migrator) resumeLocked() error {
+	if m.pending == nil {
+		return nil
+	}
+	if err := m.run(m.pending); err != nil {
+		return err
+	}
+	m.pending = nil
+	return nil
+}
+
+// run streams every source in parallel (sources are distinct members, so
+// the streams do not contend). Per source: scan the moved slots, replay
+// each entry through the updated ring, close the dual-read window, purge
+// the source's stale copies, and retire a departing member's pool.
+//
+// On error the affected source's window stays OPEN: reads keep falling
+// back to it, nothing is lost, and a retry (Resume, or the automatic one
+// before the next AddNode/RemoveNode) re-drains exactly the unfinished
+// sources. The other sources proceed independently.
+func (m *Migrator) run(mig *client.Migration) error {
+	m.active.Store(true)
+	defer m.active.Store(false)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 0, len(mig.Moved))
+	var errMu sync.Mutex
+	for source, slots := range mig.Moved {
+		wg.Add(1)
+		go func(source string, slots []int) {
+			defer wg.Done()
+			if err := m.drainSource(mig, source, slots); err != nil {
+				errMu.Lock()
+				errs = append(errs, fmt.Errorf("rebalance: source %s: %w", source, err))
+				errMu.Unlock()
+			}
+		}(source, slots)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// drainSource migrates one source's moved slots.
+func (m *Migrator) drainSource(mig *client.Migration, source string, slots []int) error {
+	if m.c.MigratingIn(slots) == 0 {
+		// Already drained (a retried plan): the windows are closed, so
+		// the data moved and the source was purged — nothing to do.
+		return nil
+	}
+	var set protocol.SlotSet
+	for _, s := range slots {
+		set.Add(s)
+	}
+	err := m.c.ScanNode(source, &set, m.batch, func(e protocol.ScanEntry) error {
+		m.entries.Add(1)
+		m.bytes.Add(int64(len(e.Value)))
+		// Replay through the updated ring: the moved key routes to its
+		// new owner. INSERT_TTL reproduces the stored entry exactly —
+		// including embedded string-key framing — with its remaining TTL.
+		if err := m.c.SetTTL(e.Key, e.Value, time.Duration(e.TTL)*time.Millisecond); err != nil {
+			m.replayErrors.Add(1)
+			return err
+		}
+		m.replayed.Add(1)
+		return nil
+	})
+	if err != nil {
+		return err // window stays open; re-running the plan resumes
+	}
+	m.slotsDone.Add(int64(m.c.MarkMigrated(slots)))
+	m.sources.Add(1)
+	// Purge the moved entries from the source so they cannot resurface as
+	// stale copies if a later topology change (or a rejoin of the same
+	// server) hands a slot back. The purge strictly FOLLOWS MarkMigrated:
+	// while the window is open, fallback reads depend on the source still
+	// holding the data; once it closes, an in-flight dual read that races
+	// the purge re-checks its route and retries on the settled owner. A
+	// departing member stays addressable (not retired) until its purge is
+	// done.
+	purged, perr := m.c.PurgeNode(source, &set)
+	m.purgedStale.Add(int64(purged))
+	if mig.Removed == source {
+		if rerr := m.c.RetireNode(source); rerr != nil && perr == nil {
+			perr = rerr
+		}
+	}
+	if perr != nil {
+		// The window is already closed and the data already moved;
+		// report the purge failure but do not undo the migration.
+		return fmt.Errorf("purge after migration: %w", perr)
+	}
+	return nil
+}
