@@ -35,6 +35,7 @@ import (
 // benchCPHash drives b.N mixed operations through one CPHASH client.
 func benchCPHash(b *testing.B, spec workload.Spec, capacityValues int, policy partition.EvictionPolicy) {
 	b.Helper()
+	b.ReportAllocs()
 	t := core.MustNew(core.Config{
 		Partitions:    2,
 		CapacityBytes: partition.CapacityForValues(capacityValues, spec.ValueSize),
@@ -73,6 +74,7 @@ func benchCPHash(b *testing.B, spec workload.Spec, capacityValues int, policy pa
 // benchLockHash drives b.N mixed operations against LOCKHASH in parallel.
 func benchLockHash(b *testing.B, spec workload.Spec, capacityValues int, policy partition.EvictionPolicy) {
 	b.Helper()
+	b.ReportAllocs()
 	t := lockhash.MustNew(lockhash.Config{
 		CapacityBytes: partition.CapacityForValues(capacityValues, spec.ValueSize),
 		Policy:        policy,
@@ -161,6 +163,7 @@ func BenchmarkFig10_InsertRatio(b *testing.B) {
 // benchSimCPHash runs the simulated CPHASH for ≥ b.N operations and
 // reports the Figure 6 metrics.
 func BenchmarkFig6_Simulated_CPHash(b *testing.B) {
+	b.ReportAllocs()
 	spec := workload.Default(1 << 20)
 	s := simhash.MustCPHash(simhash.CPConfig{Spec: spec, LRU: true})
 	s.Preload()
@@ -179,6 +182,7 @@ func BenchmarkFig6_Simulated_CPHash(b *testing.B) {
 }
 
 func BenchmarkFig6_Simulated_LockHash(b *testing.B) {
+	b.ReportAllocs()
 	spec := workload.Default(1 << 20)
 	s := simhash.MustLockHash(simhash.LockConfig{Spec: spec, LRU: true})
 	s.Preload()
@@ -196,6 +200,7 @@ func BenchmarkFig6_Simulated_LockHash(b *testing.B) {
 
 // BenchmarkFig7_Breakdown reports the per-function miss rows (Figure 7).
 func BenchmarkFig7_Breakdown(b *testing.B) {
+	b.ReportAllocs()
 	spec := workload.Default(1 << 20)
 	s := simhash.MustCPHash(simhash.CPConfig{Spec: spec, LRU: true})
 	s.Preload()
@@ -216,6 +221,7 @@ func BenchmarkFig7_Breakdown(b *testing.B) {
 func BenchmarkFig11_Sockets(b *testing.B) {
 	for _, sockets := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("sockets=%d", sockets), func(b *testing.B) {
+			b.ReportAllocs()
 			m := topology.PaperMachine()
 			m.Sockets = sockets
 			spec := workload.Default(1 << 20)
@@ -234,6 +240,7 @@ func BenchmarkFig11_Sockets(b *testing.B) {
 func BenchmarkFig12_Configs(b *testing.B) {
 	spec := workload.Default(1 << 20)
 	run := func(b *testing.B, m topology.Machine, clients, servers []int) {
+		b.ReportAllocs()
 		s := simhash.MustCPHash(simhash.CPConfig{
 			Machine: m, Spec: spec, LRU: true,
 			ClientThreads: clients, ServerThreads: servers,
@@ -275,6 +282,7 @@ func BenchmarkFig12_Configs(b *testing.B) {
 // benchTCP drives b.N operations at a server via the load generator.
 func benchTCP(b *testing.B, addrs []string, spec workload.Spec) {
 	b.Helper()
+	b.ReportAllocs()
 	conns := 2
 	res, err := loadgen.Run(loadgen.Config{
 		Addrs:      addrs,
@@ -342,6 +350,7 @@ func BenchmarkFig14_Memcached(b *testing.B) {
 // BenchmarkRingDesigns_SingleSlot vs _Buffered: the §3.4 message-passing
 // design comparison.
 func BenchmarkRingDesigns_SingleSlot(b *testing.B) {
+	b.ReportAllocs()
 	var s ring.SingleSlot[uint64]
 	done := make(chan struct{})
 	go func() {
@@ -358,6 +367,7 @@ func BenchmarkRingDesigns_SingleSlot(b *testing.B) {
 }
 
 func BenchmarkRingDesigns_Buffered(b *testing.B) {
+	b.ReportAllocs()
 	r := ring.MustSPSC[uint64](4096, 8)
 	done := make(chan struct{})
 	go func() {
@@ -386,6 +396,7 @@ func BenchmarkRingDesigns_Buffered(b *testing.B) {
 func BenchmarkBatchSize(b *testing.B) {
 	for _, depth := range []int{8, 64, 512, 4096} {
 		b.Run(fmt.Sprintf("pipeline=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			spec := workload.Default(1 << 20)
 			t := core.MustNew(core.Config{
 				Partitions:    2,
@@ -422,6 +433,7 @@ func BenchmarkBatchSize(b *testing.B) {
 
 // BenchmarkStringTable covers the §8.2 arbitrary-key extension.
 func BenchmarkStringTable(b *testing.B) {
+	b.ReportAllocs()
 	lt := MustNewLocked(Options{Capacity: 32 << 20})
 	st := NewStringTable(lt)
 	for i := 0; i < 1024; i++ {

@@ -12,7 +12,16 @@
 //	cpbench -experiment fig14     # servers vs memcached-style per core
 //	cpbench -experiment ablation-ring   # §3.4: single slot vs buffered ring
 //	cpbench -experiment ablation-batch  # §6.1: pipeline-depth sensitivity
+//	cpbench -experiment hotpath   # wire-level GET/SET mix: qps, p99, allocs/op
 //	cpbench -experiment all
+//
+// The hotpath experiment is the steady-state perf gate: a 90/10 GET/SET
+// mix over loopback TCP with allocation-free client loops, reporting
+// whole-process allocations per operation from runtime.ReadMemStats
+// deltas — the number that must stay at zero for the batching win to
+// survive GC pressure. -bufsize sweeps the connection buffer size
+// (Config.BufferSize on the server, DialBuf on the client); pass
+// -bufsize sweep for a built-in sweep.
 //
 // With -json out.json, every measurement is also written as a
 // machine-readable record — {experiment, config, qps, p99_ns} — so CI can
@@ -27,9 +36,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"cphash/internal/core"
+	"cphash/internal/hotpath"
 	"cphash/internal/kvserver"
 	"cphash/internal/loadgen"
 	"cphash/internal/lockhash"
@@ -37,6 +48,7 @@ import (
 	"cphash/internal/partition"
 	"cphash/internal/perf"
 	"cphash/internal/ring"
+	"cphash/internal/sizeparse"
 	"cphash/internal/workload"
 )
 
@@ -46,6 +58,7 @@ var (
 	clients    = flag.Int("clients", 2, "client goroutines for table benchmarks")
 	servers    = flag.Int("partitions", 2, "CPHASH partitions (server goroutines)")
 	jsonOut    = flag.String("json", "", "write machine-readable results (JSON) to this file")
+	bufSize    = flag.String("bufsize", "64KiB", "hotpath connection buffer size (server and client side), or \"sweep\"")
 )
 
 // benchResult is one machine-readable measurement.
@@ -96,7 +109,7 @@ func main() {
 	known := map[string]bool{
 		"fig5": true, "fig8": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig13": true, "fig14": true, "ablation-ring": true, "ablation-batch": true,
-		"ablation-dynamic": true, "all": true,
+		"ablation-dynamic": true, "hotpath": true, "all": true,
 	}
 	if !known[*experiment] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -112,6 +125,7 @@ func main() {
 	run("ablation-ring", ablationRing)
 	run("ablation-batch", ablationBatch)
 	run("ablation-dynamic", ablationDynamic)
+	run("hotpath", hotpathExperiment)
 	writeResults()
 }
 
@@ -402,6 +416,167 @@ func ablationBatch() {
 		cp := runCPHash(spec, spec.NumKeys(), partition.EvictLRU, *clients, *servers, depth)
 		record("ablation-batch", map[string]any{"design": "cphash", "pipeline": depth}, cp.PerSecond(), 0)
 		fmt.Printf("%-10d %16.3g\n", depth, cp.PerSecond())
+	}
+	fmt.Println()
+}
+
+// --- hotpath: the steady-state perf gate ---
+
+const (
+	hotpathConns   = 4
+	hotpathWorkers = 2
+)
+
+// hotpathConnLoop dials once, runs a warmup round of the canonical
+// internal/hotpath 90/10 GET/SET mix, waits at the measurement barrier,
+// then runs the measured round on the SAME warmed connection, recording
+// per-window round-trip latency. Keeping the connection across phases is
+// what makes the whole-process allocation delta a steady-state number:
+// no dial, bufio, connState, or cold-arena setup lands inside the timed
+// region. The loop body is allocation-free.
+func hotpathConnLoop(addr string, size, connOps int, seed uint64, hist *perf.Histogram, warmed *sync.WaitGroup, start <-chan struct{}) error {
+	bw, br, closer, err := kvserver.DialBuf(addr, size)
+	if err != nil {
+		warmed.Done()
+		return err
+	}
+	defer closer.Close()
+	val := make([]byte, hotpath.ValueSize)
+	dst := make([]byte, 0, 2*hotpath.ValueSize)
+	warmupOps := connOps / 4
+	if warmupOps < 4*hotpath.Window {
+		warmupOps = 4 * hotpath.Window
+	}
+	dst, err = hotpath.Mix(bw, br, warmupOps, hotpath.Window, seed, val, dst, nil)
+	warmed.Done()
+	if err != nil {
+		return err
+	}
+	<-start
+	windowStart := time.Now()
+	onWindow := func() {
+		now := time.Now()
+		hist.Record(now.Sub(windowStart).Nanoseconds())
+		windowStart = now
+	}
+	_, err = hotpath.Mix(bw, br, connOps, hotpath.Window, seed, val, dst, onWindow)
+	return err
+}
+
+// hotpathRun measures one buffer-size configuration: qps, window p99, and
+// allocations per operation across the whole process.
+func hotpathRun(size int) {
+	table := core.MustNew(core.Config{
+		Partitions:    *servers,
+		CapacityBytes: partition.CapacityForValues(2*hotpath.Keys, hotpath.ValueSize),
+		MaxClients:    hotpathWorkers,
+		Seed:          1,
+	})
+	defer table.Close()
+	srv, err := kvserver.Serve(kvserver.Config{
+		Addr:       "127.0.0.1:0",
+		Workers:    hotpathWorkers,
+		BufferSize: size,
+		NewBackend: kvserver.NewCPHashBackend(table),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer srv.Close()
+
+	// Preload the working set, then warm every pooled buffer with one
+	// unmeasured round so the measurement sees the steady state.
+	bw, _, closer, err := kvserver.DialBuf(srv.Addr(), size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	val := make([]byte, hotpath.ValueSize)
+	if err := hotpath.Preload(bw, val); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		closer.Close()
+		return
+	}
+	closer.Close()
+
+	connOps := *ops / hotpathConns
+	if connOps < hotpath.Window {
+		connOps = hotpath.Window
+	}
+	// Every connection dials and warms up once, parks at the barrier, and
+	// runs its measured round on the same connection — so the MemStats
+	// window brackets pure steady state.
+	hists := make([]*perf.Histogram, hotpathConns)
+	for i := range hists {
+		hists[i] = perf.NewHistogram()
+	}
+	var warmed sync.WaitGroup
+	warmed.Add(hotpathConns)
+	startGate := make(chan struct{})
+	errs := make(chan error, hotpathConns)
+	for ci := 0; ci < hotpathConns; ci++ {
+		go func(ci int) {
+			errs <- hotpathConnLoop(srv.Addr(), size, connOps, uint64(ci)*0x9e3779b9+1, hists[ci], &warmed, startGate)
+		}(ci)
+	}
+	warmed.Wait()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	close(startGate)
+	var firstErr error
+	for ci := 0; ci < hotpathConns; ci++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if firstErr != nil {
+		fmt.Fprintln(os.Stderr, firstErr)
+		return
+	}
+
+	total := int64(connOps * hotpathConns)
+	allocsPerOp := float64(after.Mallocs-before.Mallocs) / float64(total)
+	hist := perf.NewHistogram()
+	for _, h := range hists {
+		hist.Merge(h)
+	}
+	qps := float64(total) / elapsed.Seconds()
+	p99 := time.Duration(hist.Quantile(0.99))
+	record("hotpath", map[string]any{
+		"design":      "cpserver",
+		"bufsize":     size,
+		"conns":       hotpathConns,
+		"window":      hotpath.Window,
+		"getRatio":    0.9,
+		"valueSize":   hotpath.ValueSize,
+		"allocsPerOp": allocsPerOp,
+	}, qps, p99)
+	fmt.Printf("%-10s %16.3g %14v %14.4f\n", perf.FormatBytes(size), qps, p99, allocsPerOp)
+}
+
+// hotpathExperiment is the steady-state wire-level perf gate: 90/10
+// GET/SET over loopback, reporting throughput, p99 window latency, and
+// allocs/op. Its JSON records seed the BENCH_hotpath.json trajectory CI
+// archives.
+func hotpathExperiment() {
+	fmt.Println("=== hotpath: wire-level 90/10 GET/SET, allocation-gated ===")
+	fmt.Printf("%-10s %16s %14s %14s\n", "bufsize", "queries/s", "window p99", "allocs/op")
+	sizes := []int{16 << 10, 64 << 10, 256 << 10}
+	if *bufSize != "sweep" {
+		n, err := sizeparse.Parse(*bufSize)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpbench: -bufsize: %v\n", err)
+			os.Exit(2)
+		}
+		sizes = []int{n}
+	}
+	for _, size := range sizes {
+		hotpathRun(size)
 	}
 	fmt.Println()
 }

@@ -1,0 +1,125 @@
+// Hot-path benchmark and allocation gate: the canonical wire-level
+// GET/SET mix (internal/hotpath — 90/10, the memcached-class read-heavy
+// ratio) against CPSERVER over loopback TCP, measured both for
+// throughput and for allocations per operation. The companion test
+// asserts the allocation ceiling so a regression in the zero-allocation
+// request path fails `go test` rather than silently eroding the batching
+// advantage the paper is about.
+package cphash
+
+import (
+	"bufio"
+	"runtime"
+	"testing"
+
+	"cphash/internal/core"
+	"cphash/internal/hotpath"
+	"cphash/internal/kvserver"
+	"cphash/internal/partition"
+)
+
+// hotPathConn bundles one dialed connection's codecs.
+type hotPathConn struct {
+	bw *bufio.Writer
+	br *bufio.Reader
+}
+
+// startHotPathServer boots a CPSERVER (CPHASH backend) sized for the
+// hot-path working set and dials one connection to it.
+func startHotPathServer(tb testing.TB) (*hotPathConn, func()) {
+	tb.Helper()
+	table := core.MustNew(core.Config{
+		Partitions:    2,
+		CapacityBytes: partition.CapacityForValues(2*hotpath.Keys, hotpath.ValueSize),
+		MaxClients:    1,
+		Seed:          1,
+	})
+	srv, err := kvserver.Serve(kvserver.Config{
+		Addr:       "127.0.0.1:0",
+		Workers:    1,
+		NewBackend: kvserver.NewCPHashBackend(table),
+	})
+	if err != nil {
+		table.Close()
+		tb.Fatal(err)
+	}
+	bw, br, closer, err := kvserver.Dial(srv.Addr())
+	if err != nil {
+		srv.Close()
+		table.Close()
+		tb.Fatal(err)
+	}
+	pw := &hotPathConn{bw: bw, br: br}
+	return pw, func() {
+		closer.Close()
+		srv.Close()
+		table.Close()
+	}
+}
+
+// hotPathWarmup preloads the working set and runs enough of the mix that
+// every pooled buffer (connection arenas, worker batch slices, op free
+// lists, response buffers) reaches steady state.
+func hotPathWarmup(tb testing.TB, pw *hotPathConn, val, dst []byte) []byte {
+	tb.Helper()
+	if err := hotpath.Preload(pw.bw, val); err != nil {
+		tb.Fatal(err)
+	}
+	dst, err := hotpath.Mix(pw.bw, pw.br, 4096, hotpath.Window, 1, val, dst, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return dst
+}
+
+// BenchmarkHotPath_WireGetSet measures the full TCP round trip of the
+// steady-state 90/10 GET/SET mix. The embedded ReportAllocs shows
+// allocs/op; the steady-state server path is expected to be
+// allocation-free.
+func BenchmarkHotPath_WireGetSet(b *testing.B) {
+	pw, stop := startHotPathServer(b)
+	defer stop()
+	val := make([]byte, hotpath.ValueSize)
+	dst := make([]byte, 0, 2*hotpath.ValueSize)
+	dst = hotPathWarmup(b, pw, val, dst)
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := hotpath.Mix(pw.bw, pw.br, b.N, hotpath.Window, 1, val, dst, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestHotPathAllocCeiling is the allocation gate on the wire hot path: it
+// runs the steady-state mix and fails if the whole process (client loop +
+// server stack) exceeds the ceiling. The client loop is allocation-free by
+// construction, so the budget effectively bounds the server's per-op
+// allocations. Guarded by testing.Short so the race-enabled CI test run —
+// where the race runtime itself allocates — skips it; the dedicated bench
+// smoke job runs it unraced.
+func TestHotPathAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation ceiling is measured by the bench smoke job, not under -short/-race")
+	}
+	pw, stop := startHotPathServer(t)
+	defer stop()
+	val := make([]byte, hotpath.ValueSize)
+	dst := make([]byte, 0, 2*hotpath.ValueSize)
+	dst = hotPathWarmup(t, pw, val, dst)
+
+	const ops = 50000
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := hotpath.Mix(pw.bw, pw.br, ops, hotpath.Window, 1, val, dst, nil); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	perOp := float64(after.Mallocs-before.Mallocs) / float64(ops)
+	t.Logf("hot path: %.4f allocs/op (%d allocations over %d ops)", perOp, after.Mallocs-before.Mallocs, ops)
+	// The steady-state path is allocation-free; the ceiling leaves room
+	// only for incidental runtime activity (timers, GC bookkeeping).
+	if perOp > 0.05 {
+		t.Fatalf("hot path allocates %.4f allocs/op, ceiling 0.05 — the zero-allocation request path regressed", perOp)
+	}
+}

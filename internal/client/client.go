@@ -238,16 +238,28 @@ func (c *Client) nodeByAddr(addr string) (*node, error) {
 // mid-migration, a miss (or error) on the new owner falls back to the old
 // owner, so in-flight traffic sees no migration-induced misses.
 func (c *Client) Get(key uint64) (value []byte, found bool, err error) {
+	return c.GetInto(key, nil)
+}
+
+// GetInto is Get appending the value to dst instead of allocating: a
+// caller that recycles dst across calls reads hits without any per-hit
+// copy allocation. On a miss or error dst is returned unchanged.
+func (c *Client) GetInto(key uint64, dst []byte) (value []byte, found bool, err error) {
 	return c.dualLookup(cluster.SlotOf(maskKey(key)),
-		protocol.Request{Op: protocol.OpLookup, Key: maskKey(key)})
+		protocol.Request{Op: protocol.OpLookup, Key: maskKey(key)}, dst)
 }
 
 // GetString fetches the value under a string key (§8.2 routing: the server
 // detects 60-bit hash collisions and reports them as misses), with the
 // same dual-read fallback as Get during a migration window.
 func (c *Client) GetString(key []byte) (value []byte, found bool, err error) {
+	return c.GetStringInto(key, nil)
+}
+
+// GetStringInto is GetString appending the value to dst, like GetInto.
+func (c *Client) GetStringInto(key, dst []byte) (value []byte, found bool, err error) {
 	return c.dualLookup(cluster.SlotOfString(key),
-		protocol.Request{Op: protocol.OpGetStr, StrKey: key})
+		protocol.Request{Op: protocol.OpGetStr, StrKey: key}, dst)
 }
 
 // dualLookup is the migration-aware read path. The subtle case is a read
@@ -259,14 +271,15 @@ func (c *Client) GetString(key []byte) (value []byte, found bool, err error) {
 // the window closed or moved mid-flight, retry on the settled route, where
 // the replay is guaranteed complete. Bounded retries keep pathological
 // topology churn from looping.
-func (c *Client) dualLookup(slot int, req protocol.Request) (value []byte, found bool, err error) {
+func (c *Client) dualLookup(slot int, req protocol.Request, dst []byte) (value []byte, found bool, err error) {
 	for attempt := 0; ; attempt++ {
 		primary, fb := c.route(slot)
-		value, found, err = c.lookupAt(primary, req)
+		value, found, err = c.lookupAt(primary, req, dst)
 		if found || fb == nil {
 			return value, found, err
 		}
-		if v2, f2, err2 := c.lookupAt(fb, req); err2 == nil && (f2 || err != nil) {
+		// A miss leaves dst unextended, so the fallback reuses it.
+		if v2, f2, err2 := c.lookupAt(fb, req, dst); err2 == nil && (f2 || err != nil) {
 			return v2, f2, nil
 		}
 		if attempt < 2 {
@@ -278,10 +291,12 @@ func (c *Client) dualLookup(slot int, req protocol.Request) (value []byte, found
 	}
 }
 
-// lookupAt does one synchronous lookup against a specific member.
-func (c *Client) lookupAt(n *node, req protocol.Request) (value []byte, found bool, err error) {
+// lookupAt does one synchronous lookup against a specific member,
+// appending a hit's value to dst.
+func (c *Client) lookupAt(n *node, req protocol.Request, dst []byte) (value []byte, found bool, err error) {
+	value = dst
 	err = c.withConn(n, func(cn *conn) error {
-		return cn.roundTripLookup(req, &value, &found)
+		return cn.roundTripLookup(req, dst, &value, &found)
 	})
 	return value, found, err
 }
@@ -509,15 +524,16 @@ func (cn *conn) send(req protocol.Request) error {
 	return cn.w.Flush()
 }
 
-// roundTripLookup does a synchronous LOOKUP/GET_STR exchange.
-func (cn *conn) roundTripLookup(req protocol.Request, value *[]byte, found *bool) error {
+// roundTripLookup does a synchronous LOOKUP/GET_STR exchange, appending a
+// hit's value to dst.
+func (cn *conn) roundTripLookup(req protocol.Request, dst []byte, value *[]byte, found *bool) error {
 	if err := protocol.WriteRequest(cn.w, req); err != nil {
 		return err
 	}
 	if err := cn.w.Flush(); err != nil {
 		return err
 	}
-	v, ok, err := protocol.ReadLookupResponse(cn.r, nil)
+	v, ok, err := protocol.ReadLookupResponse(cn.r, dst)
 	if err != nil {
 		return err
 	}

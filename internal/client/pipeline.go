@@ -28,7 +28,9 @@ import (
 // Future accessors (Found/Value/Err) settle the pipeline implicitly, so
 // forgetting Wait costs batching, never correctness. A settled Lookup's
 // value remains valid until the Lookup itself is dropped (values are
-// copied off the wire into a per-window slab).
+// copied off the wire into a per-window slab) — unless the pipeline has
+// opted into buffer recycling, whose shorter validity window is
+// documented on SetReuseValues.
 type Pipeline struct {
 	c       *Client
 	leased  map[*node]*conn
@@ -38,6 +40,71 @@ type Pipeline struct {
 	// the current window, so Wait reports failures even for futures that
 	// never made it into pending.
 	issueErr error
+
+	// reuse enables allocation-free steady-state windows: the value slab
+	// and the future structs recycle instead of being dropped to the GC.
+	// Futures rotate cur → grace → free across explicit Waits and the
+	// slab ping-pongs with prevBuf, so everything settled in one window
+	// stays intact until the NEXT explicit Wait — implicit pace() settles
+	// do not rotate, so they inherit their window's grace. See
+	// SetReuseValues for the contract the caller accepts.
+	reuse              bool
+	curLook, graceLook []*Lookup
+	freeLook           []*Lookup
+	curDel, graceDel   []*Delete
+	freeDel            []*Delete
+	prevBuf            []byte // previous window's slab, held for its grace period
+}
+
+// SetReuseValues opts this Pipeline into buffer recycling: the per-window
+// value slab and the Lookup/Delete future structs are reused instead of
+// reallocated, making steady-state windows allocation-free. In exchange
+// the caller promises to finish reading every settled future (including
+// any Value slice) before its NEXT explicit Wait (or Close, or
+// accessor-triggered settle) after the Wait that settled it. Implicit
+// settles forced by a full pending window do not advance the generations
+// — futures and values they settle stay readable exactly as long as the
+// rest of their window — so the usual issue-window/Wait/read-results
+// loop complies as-is no matter how the window sizes interact. Without
+// reuse (the default) settled values stay valid until the futures are
+// dropped, at the cost of a fresh slab and fresh futures per window.
+func (p *Pipeline) SetReuseValues(on bool) { p.reuse = on }
+
+// newLookup takes a recycled Lookup (reuse mode) or allocates one; the
+// future is tracked so Wait can cycle it through the grace generation.
+func (p *Pipeline) newLookup() *Lookup {
+	if !p.reuse {
+		return &Lookup{p: p}
+	}
+	var l *Lookup
+	if k := len(p.freeLook); k > 0 {
+		l = p.freeLook[k-1]
+		p.freeLook[k-1] = nil
+		p.freeLook = p.freeLook[:k-1]
+		*l = Lookup{p: p}
+	} else {
+		l = &Lookup{p: p}
+	}
+	p.curLook = append(p.curLook, l)
+	return l
+}
+
+// newDelete is newLookup for Delete futures.
+func (p *Pipeline) newDelete() *Delete {
+	if !p.reuse {
+		return &Delete{p: p}
+	}
+	var d *Delete
+	if k := len(p.freeDel); k > 0 {
+		d = p.freeDel[k-1]
+		p.freeDel[k-1] = nil
+		p.freeDel = p.freeDel[:k-1]
+		*d = Delete{p: p}
+	} else {
+		d = &Delete{p: p}
+	}
+	p.curDel = append(p.curDel, d)
+	return d
 }
 
 // pend is one in-flight response-bearing request, in issue order. fb
@@ -73,7 +140,8 @@ func (l *Lookup) Err() error { l.settle(); return l.err }
 func (l *Lookup) Found() bool { l.settle(); return l.found }
 
 // Value returns the fetched bytes (nil on miss or error), settling the
-// pipeline first. The slice stays valid as long as the Lookup is held.
+// pipeline first. The slice stays valid as long as the Lookup is held —
+// under SetReuseValues, only until the next explicit Wait (see there).
 func (l *Lookup) Value() []byte { l.settle(); return l.value }
 
 func (l *Lookup) settle() {
@@ -171,7 +239,7 @@ func (p *Pipeline) GetString(key []byte) *Lookup {
 }
 
 func (p *Pipeline) get(n, fb *node, req protocol.Request) *Lookup {
-	l := &Lookup{p: p}
+	l := p.newLookup()
 	cn, err := p.issue(n, req)
 	if err != nil {
 		l.done, l.err = true, err
@@ -228,7 +296,7 @@ func (p *Pipeline) DeleteString(key []byte) *Delete {
 }
 
 func (p *Pipeline) del(n, fb *node, req protocol.Request) *Delete {
-	d := &Delete{p: p}
+	d := p.newDelete()
 	cn, err := p.issue(n, req)
 	if err != nil {
 		d.done, d.err = true, err
@@ -245,10 +313,13 @@ func (p *Pipeline) del(n, fb *node, req protocol.Request) *Delete {
 }
 
 // pace settles implicitly when the window fills, bounding both in-flight
-// state and server-side queue pressure.
+// state and server-side queue pressure. An implicit settle does not
+// rotate the reuse generations: everything settled since the caller's
+// last explicit Wait shares that window's grace period, so pace cannot
+// recycle values the caller has not had a chance to read.
 func (p *Pipeline) pace() {
 	if len(p.pending) >= p.c.cfg.Window {
-		p.Wait()
+		p.wait(false)
 	}
 }
 
@@ -277,15 +348,40 @@ func (p *Pipeline) Flush() error {
 // whose future never carried a wire exchange (each future also carries
 // its own error). Connections that failed are dropped so the next window
 // leases fresh ones — per-node backoff in lease() keeps retries bounded.
-func (p *Pipeline) Wait() error {
+func (p *Pipeline) Wait() error { return p.wait(true) }
+
+// wait implements Wait; rotate is false for pace's implicit settles,
+// which must not advance the reuse generations (see pace).
+func (p *Pipeline) wait(rotate bool) error {
 	first := p.issueErr
 	p.issueErr = nil
 	if err := p.Flush(); err != nil && first == nil {
 		first = err
 	}
-	// A fresh slab per window: already-settled futures keep referencing
-	// their old slabs, so values never get invalidated behind the caller.
-	p.buf = nil
+	if p.reuse {
+		if rotate {
+			// Rotate the generations: futures settled before the previous
+			// explicit Wait are past their grace window and recycle;
+			// everything settled since (implicitly or by this Wait) enters
+			// grace. The slab ping-pongs, so the slab holding the previous
+			// window's values survives this entire Wait and is reclaimed
+			// only by the next rotation.
+			p.freeLook = append(p.freeLook, p.graceLook...)
+			p.freeDel = append(p.freeDel, p.graceDel...)
+			clear(p.graceLook)
+			clear(p.graceDel)
+			p.graceLook, p.curLook = p.curLook, p.graceLook[:0]
+			p.graceDel, p.curDel = p.curDel, p.graceDel[:0]
+			p.buf, p.prevBuf = p.prevBuf[:0], p.buf
+		}
+		// rotate=false: keep appending to the current slab and leave the
+		// settling futures in the current generation.
+	} else {
+		// A fresh slab per window: already-settled futures keep referencing
+		// their old slabs, so values never get invalidated behind the
+		// caller.
+		p.buf = nil
+	}
 	var rechecks []*pend
 	for i := range p.pending {
 		pd := &p.pending[i]
@@ -310,6 +406,22 @@ func (p *Pipeline) Wait() error {
 		if cn.dead {
 			delete(p.leased, n)
 			n.release(cn)
+		}
+	}
+	if p.reuse && !rotate {
+		// A caller that only ever settles implicitly (fire-and-forget
+		// Set/Delete bursts with no explicit Wait) never rotates, so the
+		// current generation and its slab would grow forever. Once the
+		// generation is clearly oversized, hand it to the GC instead of
+		// tracking it for recycling: dropped futures are never reused, so
+		// nothing the caller holds is invalidated, and memory reverts to
+		// the non-reuse per-window profile until the next explicit Wait.
+		if len(p.curLook)+len(p.curDel) > 4*p.c.cfg.Window {
+			clear(p.curLook)
+			clear(p.curDel)
+			p.curLook = p.curLook[:0]
+			p.curDel = p.curDel[:0]
+			p.buf = nil
 		}
 	}
 	return first
@@ -417,7 +529,7 @@ func (p *Pipeline) recheck(pd *pend) {
 	primary.ops.Add(1)
 	var value []byte
 	var found bool
-	if err := cn.roundTripLookup(pd.req, &value, &found); err != nil {
+	if err := cn.roundTripLookup(pd.req, nil, &value, &found); err != nil {
 		cn.dead = true
 		primary.errs.Add(1)
 		return

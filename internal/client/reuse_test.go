@@ -1,0 +1,216 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestGetInto verifies the append-into-dst read path: values land in the
+// caller's buffer, a recycled buffer is reused rather than reallocated,
+// and misses leave dst untouched.
+func TestGetInto(t *testing.T) {
+	addrs, _ := startCluster(t, 2)
+	c := newClient(t, addrs)
+	defer c.Close()
+
+	if err := c.Set(7, []byte("seven-value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetString([]byte("skey"), []byte("string-value")); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := make([]byte, 0, 64)
+	base := &dst[:1][0]
+	got, found, err := c.GetInto(7, dst)
+	if err != nil || !found || string(got) != "seven-value" {
+		t.Fatalf("GetInto = %q (found=%v, err=%v)", got, found, err)
+	}
+	if &got[0] != base {
+		t.Fatal("GetInto reallocated despite sufficient dst capacity")
+	}
+
+	// Appending semantics: existing bytes stay in place.
+	prefixed, found, err := c.GetInto(7, []byte("prefix-"))
+	if err != nil || !found || string(prefixed) != "prefix-seven-value" {
+		t.Fatalf("GetInto append = %q (found=%v, err=%v)", prefixed, found, err)
+	}
+
+	sgot, found, err := c.GetStringInto([]byte("skey"), got[:0])
+	if err != nil || !found || string(sgot) != "string-value" {
+		t.Fatalf("GetStringInto = %q (found=%v, err=%v)", sgot, found, err)
+	}
+
+	miss, found, err := c.GetInto(999999, []byte("keepme"))
+	if err != nil || found || string(miss) != "keepme" {
+		t.Fatalf("miss: got %q (found=%v, err=%v), want dst unchanged", miss, found, err)
+	}
+}
+
+// TestPipelineReuseValues drives many windows through a recycling
+// pipeline and checks every value, so slab/future recycling bugs show up
+// as cross-window corruption.
+func TestPipelineReuseValues(t *testing.T) {
+	addrs, _ := startCluster(t, 2)
+	c := newClient(t, addrs)
+	defer c.Close()
+
+	p := c.Pipeline()
+	defer p.Close()
+	p.SetReuseValues(true)
+
+	const window = 32
+	const windows = 40
+	looks := make([]*Lookup, 0, window)
+	for w := 0; w < windows; w++ {
+		looks = looks[:0]
+		for i := 0; i < window; i++ {
+			key := uint64(w*window + i)
+			val := []byte(fmt.Sprintf("w%03d-i%02d-value", w, i))
+			if err := p.Set(key, val); err != nil {
+				t.Fatal(err)
+			}
+			looks = append(looks, p.Get(key))
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range looks {
+			want := fmt.Sprintf("w%03d-i%02d-value", w, i)
+			if err := l.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if !l.Found() || !bytes.Equal(l.Value(), []byte(want)) {
+				t.Fatalf("window %d lookup %d = %q (found=%v), want %q",
+					w, i, l.Value(), l.Found(), want)
+			}
+		}
+	}
+
+	// Deletes recycle through their own free list.
+	dels := make([]*Delete, 0, window)
+	for w := 0; w < 4; w++ {
+		dels = dels[:0]
+		for i := 0; i < window; i++ {
+			dels = append(dels, p.Delete(uint64(w*window+i)))
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range dels {
+			if err := d.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if !d.Found() {
+				t.Fatalf("window %d delete %d: key missing", w, i)
+			}
+		}
+	}
+}
+
+// TestPipelineReuseRecyclesFutures pins the recycling mechanics: after
+// the one-full-window grace period ends (two Waits after settling),
+// future structs come back out of the free list instead of being freshly
+// allocated.
+func TestPipelineReuseRecyclesFutures(t *testing.T) {
+	addrs, _ := startCluster(t, 1)
+	c := newClient(t, addrs)
+	defer c.Close()
+
+	p := c.Pipeline()
+	defer p.Close()
+	p.SetReuseValues(true)
+
+	first := p.Get(1)
+	if err := p.Wait(); err != nil { // settles first: cur → grace
+		t.Fatal(err)
+	}
+	_ = first.Found()
+	if l := p.Get(2); l == first {
+		t.Fatal("future recycled while still inside its grace window")
+	}
+	if err := p.Wait(); err != nil { // grace → free: first is recyclable now
+		t.Fatal(err)
+	}
+	third := p.Get(3)
+	if third != first {
+		t.Fatalf("expected this window to recycle the first future (%p), got %p", first, third)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineReuseSurvivesImplicitSettle forces pace() to settle a
+// window implicitly mid-issue (pending > Config.Window) and verifies the
+// grace period keeps every value readable after the explicit Wait — the
+// exact scenario that would corrupt values under one-generation
+// recycling.
+func TestPipelineReuseSurvivesImplicitSettle(t *testing.T) {
+	addrs, _ := startCluster(t, 2)
+	c, err := New(Config{Nodes: addrs, Window: 8}) // tiny window: pace fires often
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p := c.Pipeline()
+	defer p.Close()
+	p.SetReuseValues(true)
+
+	const n = 30 // ≫ Window: several implicit settles per loop
+	looks := make([]*Lookup, 0, n)
+	for round := 0; round < 5; round++ {
+		looks = looks[:0]
+		for i := 0; i < n; i++ {
+			key := uint64(round*n + i)
+			val := []byte(fmt.Sprintf("round-%d-key-%02d", round, i))
+			if err := p.Set(key, val); err != nil {
+				t.Fatal(err)
+			}
+			looks = append(looks, p.Get(key))
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range looks {
+			want := fmt.Sprintf("round-%d-key-%02d", round, i)
+			if err := l.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if !l.Found() || string(l.Value()) != want {
+				t.Fatalf("round %d lookup %d = %q (found=%v), want %q — implicit settle recycled live values",
+					round, i, l.Value(), l.Found(), want)
+			}
+		}
+	}
+}
+
+// TestPipelineReuseFireAndForgetBounded guards the memory bound for a
+// reuse-mode caller that never calls Wait explicitly: implicit pace()
+// settles must not accumulate futures (or slab) without limit.
+func TestPipelineReuseFireAndForgetBounded(t *testing.T) {
+	addrs, _ := startCluster(t, 1)
+	c, err := New(Config{Nodes: addrs, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p := c.Pipeline()
+	defer p.Close()
+	p.SetReuseValues(true)
+
+	// Thousands of fire-and-forget deletes, never an explicit Wait: every
+	// full window pace() settles implicitly.
+	for i := 0; i < 5000; i++ {
+		p.Delete(uint64(i))
+	}
+	if got := len(p.curDel) + len(p.graceDel) + len(p.freeDel); got > 8*8 {
+		t.Fatalf("pipeline tracks %d delete futures after fire-and-forget burst, want a bounded handful", got)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

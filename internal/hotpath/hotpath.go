@@ -1,0 +1,80 @@
+// Package hotpath is the canonical steady-state wire workload: a 90/10
+// GET/SET mix of fixed keys over one pipelined connection. Both the
+// cpbench "hotpath" experiment (the archived BENCH_hotpath.json
+// trajectory) and the root package's BenchmarkHotPath_WireGetSet /
+// TestHotPathAllocCeiling (the CI allocation gate) drive this exact
+// loop, so the gate and the trajectory cannot drift apart.
+//
+// The driver is deliberately allocation-free: every buffer is
+// caller-owned and recycled, so whole-process allocation deltas measured
+// around Mix isolate the server stack under test.
+package hotpath
+
+import (
+	"bufio"
+
+	"cphash/internal/partition"
+	"cphash/internal/protocol"
+)
+
+const (
+	// Keys is the working-set size (fixed 60-bit keys 0..Keys-1).
+	Keys = 1 << 14
+	// ValueSize is the payload size of every SET.
+	ValueSize = 64
+	// Window is the default pipeline window: requests written per flush.
+	Window = 128
+)
+
+// Preload stores every key once (values all zero) and flushes, so the
+// mix runs against a warm working set.
+func Preload(bw *bufio.Writer, val []byte) error {
+	for k := uint64(0); k < Keys; k++ {
+		if err := protocol.WriteRequest(bw, protocol.Request{Op: protocol.OpInsert, Key: k, Value: val}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Mix drives ops operations of the 90/10 GET/SET mix in pipelined
+// windows over one connection's codecs: each window writes its requests,
+// flushes once, and drains the GET responses in order into dst. seed
+// offsets the key sequence so concurrent connections touch the working
+// set in different orders. onWindow, when non-nil, runs after each
+// window drains (latency recording). The returned dst is the recycled
+// response buffer; the loop body performs no heap allocation.
+func Mix(bw *bufio.Writer, br *bufio.Reader, ops, window int, seed uint64, val, dst []byte, onWindow func()) ([]byte, error) {
+	if window <= 0 {
+		window = Window
+	}
+	gets := 0
+	for i := 0; i < ops; i++ {
+		key := partition.Mix64(seed+uint64(i)) % Keys
+		if i%10 == 9 {
+			if err := protocol.WriteRequest(bw, protocol.Request{Op: protocol.OpInsert, Key: key, Value: val}); err != nil {
+				return dst, err
+			}
+		} else {
+			if err := protocol.WriteRequest(bw, protocol.Request{Op: protocol.OpLookup, Key: key}); err != nil {
+				return dst, err
+			}
+			gets++
+		}
+		if (i+1)%window == 0 || i == ops-1 {
+			if err := bw.Flush(); err != nil {
+				return dst, err
+			}
+			for ; gets > 0; gets-- {
+				var err error
+				if dst, _, err = protocol.ReadLookupResponse(br, dst[:0]); err != nil {
+					return dst, err
+				}
+			}
+			if onWindow != nil {
+				onWindow()
+			}
+		}
+	}
+	return dst, nil
+}

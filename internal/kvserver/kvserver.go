@@ -55,6 +55,17 @@ type Result struct {
 // DELETE/DEL_STR request i and may append value bytes to buf, returning
 // the grown buffer. A Backend instance is owned by a single worker
 // goroutine.
+//
+// No-retention contract: everything a Backend is handed is on loan for
+// the duration of the call. reqs, each request's StrKey/Value bytes (they
+// alias per-connection decode arenas that are recycled as soon as the
+// batch's responses have been buffered), results, and buf are all reused
+// by the worker; ProcessBatch must not retain any of them — not in the
+// table, not in goroutines it spawns — past its return. Anything a
+// backend stores must be copied first (the CPHASH backend copies values
+// while settling its pipelined inserts; LOCKHASH copies under the
+// partition lock). The buffer-aliasing regression tests in alias_test.go
+// enforce this by scribbling over the arena after the batch settles.
 type Backend interface {
 	ProcessBatch(reqs []protocol.Request, results []Result, buf []byte) []byte
 	Close()
@@ -88,6 +99,11 @@ type Config struct {
 	MaxBatch int
 	// QueueDepth bounds queued requests per worker (default 4·MaxBatch).
 	QueueDepth int
+	// BufferSize is the per-connection bufio buffer size in bytes, applied
+	// to both the read and the write side (default 64 KiB). Larger buffers
+	// admit bigger wire batches per syscall at the cost of per-connection
+	// memory; `cpbench -experiment hotpath -bufsize` sweeps it.
+	BufferSize int
 	// NewBackend builds the per-worker backend.
 	NewBackend func(worker int) (Backend, error)
 }
@@ -103,6 +119,7 @@ type Stats struct {
 // Server is a running key/value cache server.
 type Server struct {
 	ln      net.Listener
+	bufSize int
 	workers []*worker
 	wg      sync.WaitGroup // acceptor + workers
 	readers sync.WaitGroup // per-connection readers
@@ -113,15 +130,83 @@ type Server struct {
 	accepted atomic.Int64
 }
 
+// maxConnArenas bounds how many decode arenas one connection may have in
+// flight; a reader that outruns its worker by more blocks until the worker
+// recycles one, which is the backpressure we want.
+const maxConnArenas = 256
+
+// maxRecycledArena is the largest arena returned to a connection's free
+// list; oversized ones (a rare huge value) are dropped to the GC so a
+// single large request cannot pin megabytes per pooled slot.
+const maxRecycledArena = 64 << 10
+
 type connState struct {
 	conn net.Conn
 	w    *bufio.Writer
 	wErr error
+	// touched is worker-private: whether this connection is already on the
+	// current batch's flush list.
+	touched bool
+
+	// Decode-arena recycling. The readLoop acquires an arena, decodes a
+	// request's variable-length bytes into it, and attaches it to the
+	// queued request; the worker returns it once the batch segment holding
+	// the request has been processed and its responses buffered. mu/cond
+	// see traffic from exactly two goroutines (the connection's reader and
+	// its worker), so contention is negligible.
+	mu      sync.Mutex
+	notFull sync.Cond
+	free    [][]byte
+	created int
+}
+
+func newConnState(conn net.Conn, w *bufio.Writer) *connState {
+	cs := &connState{conn: conn, w: w}
+	cs.notFull.L = &cs.mu
+	return cs
+}
+
+// getArena takes a recycled decode arena (empty, capacity warm) or nil
+// when the connection is entitled to grow a fresh one; it blocks while
+// maxConnArenas are already in flight.
+func (cs *connState) getArena() []byte {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for {
+		if k := len(cs.free); k > 0 {
+			a := cs.free[k-1]
+			cs.free[k-1] = nil
+			cs.free = cs.free[:k-1]
+			return a[:0]
+		}
+		if cs.created < maxConnArenas {
+			cs.created++
+			return nil
+		}
+		cs.notFull.Wait()
+	}
+}
+
+// putArena recycles a decode arena (dropping oversized ones) and wakes a
+// reader blocked on the in-flight bound.
+func (cs *connState) putArena(a []byte) {
+	cs.mu.Lock()
+	if cap(a) > maxRecycledArena {
+		cs.created-- // let the reader grow a fresh, smaller one
+	} else {
+		cs.free = append(cs.free, a)
+	}
+	cs.mu.Unlock()
+	cs.notFull.Signal()
 }
 
 type connReq struct {
 	cs  *connState
 	req protocol.Request
+	// arena backs req.StrKey/req.Value; nil for requests with no
+	// variable-length bytes. The worker recycles it via cs.putArena once
+	// the request's batch segment has been processed.
+	arena []byte
 }
 
 type worker struct {
@@ -145,6 +230,9 @@ func Serve(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4 * cfg.MaxBatch
 	}
+	if cfg.BufferSize <= 0 {
+		cfg.BufferSize = DefaultBufferSize
+	}
 	if cfg.NewBackend == nil {
 		return nil, fmt.Errorf("kvserver: Config.NewBackend is required")
 	}
@@ -152,7 +240,7 @@ func Serve(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, conns: map[net.Conn]struct{}{}}
+	s := &Server{ln: ln, bufSize: cfg.BufferSize, conns: map[net.Conn]struct{}{}}
 	for i := 0; i < cfg.Workers; i++ {
 		b, err := cfg.NewBackend(i)
 		if err != nil {
@@ -267,6 +355,10 @@ func (s *Server) leastLoadedWorker() *worker {
 }
 
 // readLoop parses requests off one connection and feeds the worker.
+// Requests decode into recycled per-connection arenas, so the steady
+// state allocates nothing per request; an arena travels with its request
+// through the worker queue and returns to the pool once the batch segment
+// holding it has been processed.
 func (s *Server) readLoop(conn net.Conn, w *worker) {
 	defer s.readers.Done()
 	defer func() {
@@ -276,29 +368,46 @@ func (s *Server) readLoop(conn net.Conn, w *worker) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	cs := &connState{conn: conn, w: bufio.NewWriterSize(conn, 64<<10)}
-	br := bufio.NewReaderSize(conn, 64<<10)
+	cs := newConnState(conn, bufio.NewWriterSize(conn, s.bufSize))
+	br := bufio.NewReaderSize(conn, s.bufSize)
+	var req protocol.Request
+	var spare []byte // acquired arena awaiting a request that needs bytes
+	haveSpare := false
 	for {
-		req, err := protocol.ReadRequest(br)
+		if !haveSpare {
+			spare = cs.getArena()
+			haveSpare = true
+		}
+		out, err := protocol.DecodeRequestInto(br, &req, spare[:0])
 		if err != nil {
 			return // EOF, truncation, or protocol error: drop the conn
 		}
 		if s.closed.Load() {
 			return
 		}
-		w.queue <- connReq{cs: cs, req: req}
+		if len(out) > 0 {
+			// The request's StrKey/Value alias the arena; hand it off.
+			w.queue <- connReq{cs: cs, req: req, arena: out}
+			haveSpare = false
+		} else {
+			spare = out // untouched (or grown empty): reuse for the next frame
+			w.queue <- connReq{cs: cs, req: req}
+		}
 	}
 }
 
 // run is the worker ("client thread") loop: gather a batch, process it
-// through the backend, write responses in order, flush.
+// through the backend, write responses in order, flush. Every buffer —
+// the request/result batch slices, the backend's value buffer, the
+// response writers, the per-connection decode arenas — is reused across
+// batches, so the steady-state loop allocates nothing.
 func (w *worker) run() {
 	reqs := make([]protocol.Request, 0, w.maxBatch)
 	items := make([]connReq, 0, w.maxBatch)
 	results := make([]Result, 0, w.maxBatch)
 	var buf []byte
 	var scanBuf []protocol.ScanEntry
-	touched := map[*connState]struct{}{}
+	touched := make([]*connState, 0, 16)
 
 	for {
 		first, ok := <-w.queue
@@ -339,13 +448,13 @@ func (w *worker) run() {
 					results[i] = Result{}
 				}
 				buf = w.backend.ProcessBatch(reqs, results, buf[:0])
-				for i, it := range seg {
-					cs := it.cs
+				for i := range seg {
+					cs := seg[i].cs
 					if cs.wErr != nil {
 						continue
 					}
 					r := results[i]
-					switch it.req.Op {
+					switch seg[i].req.Op {
 					case protocol.OpLookup, protocol.OpGetStr:
 						cs.wErr = protocol.WriteLookupResponse(cs.w, buf[r.Start:r.End], r.Found)
 					case protocol.OpDelete, protocol.OpDelStr:
@@ -353,7 +462,19 @@ func (w *worker) run() {
 					default:
 						continue // inserts are silent
 					}
-					touched[cs] = struct{}{}
+					if !cs.touched {
+						cs.touched = true
+						touched = append(touched, cs)
+					}
+				}
+				// The segment's responses are buffered (or its writes are
+				// poisoned) and the backend settled without retaining the
+				// request bytes, so the decode arenas can recycle now.
+				for i := range seg {
+					if a := seg[i].arena; a != nil {
+						seg[i].arena = nil
+						seg[i].cs.putArena(a)
+					}
 				}
 			}
 			if end < len(items) { // the scan/purge that split the batch
@@ -368,18 +489,23 @@ func (w *worker) run() {
 						// the client waiting forever.
 						it.cs.conn.Close()
 					}
-					touched[it.cs] = struct{}{}
+					if !it.cs.touched {
+						it.cs.touched = true
+						touched = append(touched, it.cs)
+					}
 				}
 				end++
 			}
 			start = end
 		}
-		for cs := range touched {
+		for i, cs := range touched {
 			if cs.wErr == nil {
 				cs.wErr = cs.w.Flush()
 			}
-			delete(touched, cs)
+			cs.touched = false
+			touched[i] = nil
 		}
+		touched = touched[:0]
 		w.requests.Add(int64(len(items)))
 		w.batches.Add(1)
 	}
@@ -438,6 +564,11 @@ type cphashBackend struct {
 	idx      []int    // result index per op; -1 for inserts
 	keys     [][]byte // string key per op for GET_STR verification; else nil
 	inserted map[uint64]struct{}
+	// entryBuf stages SET_STR stored entries (klen|key|value framing) for
+	// the current batch. It is sized up front so mid-batch appends never
+	// reallocate: in-flight inserts hold pointers into it until they
+	// settle, which all happens before ProcessBatch returns.
+	entryBuf []byte
 }
 
 // NewCPHashBackend returns a Backend factory over one CPHASH table: worker
@@ -468,6 +599,18 @@ func (b *cphashBackend) ProcessBatch(reqs []protocol.Request, results []Result, 
 	b.idx = b.idx[:0]
 	b.keys = b.keys[:0]
 	clear(b.inserted)
+	// Pre-size the SET_STR staging slab: growing it mid-batch would move
+	// entries out from under in-flight inserts.
+	need := 0
+	for i := range reqs {
+		if reqs[i].Op == protocol.OpSetStr {
+			need += 4 + len(reqs[i].StrKey) + len(reqs[i].Value)
+		}
+	}
+	if cap(b.entryBuf) < need {
+		b.entryBuf = make([]byte, 0, need+need/2)
+	}
+	b.entryBuf = b.entryBuf[:0]
 	pendingStart := 0
 	for i, r := range reqs {
 		key := routedKey(r)
@@ -490,10 +633,12 @@ func (b *cphashBackend) ProcessBatch(reqs []protocol.Request, results []Result, 
 			b.inserted[key] = struct{}{}
 		case protocol.OpSetStr:
 			// Embed the string key in the stored entry so collisions are
-			// detectable at read time. The entry buffer must stay stable
-			// until the op settles (the client copies on reply), so each
-			// SET_STR gets its own allocation.
-			entry := protocol.AppendStringEntry(nil, r.StrKey, r.Value)
+			// detectable at read time. The entry bytes must stay stable
+			// until the op settles (the client copies on reply); they live
+			// in the pre-sized batch slab, which cannot reallocate.
+			mark := len(b.entryBuf)
+			b.entryBuf = protocol.AppendStringEntry(b.entryBuf, r.StrKey, r.Value)
+			entry := b.entryBuf[mark:len(b.entryBuf):len(b.entryBuf)]
 			b.ops = append(b.ops, b.client.InsertTTLAsync(key, entry, wireTTL(r.TTL)))
 			b.idx = append(b.idx, -1)
 			b.keys = append(b.keys, nil)
@@ -681,9 +826,25 @@ var (
 	_ SlotScanner = (*lockhashBackend)(nil)
 )
 
+// DefaultBufferSize is the per-connection bufio buffer size used when
+// Config.BufferSize (server side) or DialBuf's bufSize (client side) is
+// not set.
+const DefaultBufferSize = 64 << 10
+
 // Dial is a tiny client helper used by tests and examples: it connects and
-// returns request/response codecs plus a closer.
+// returns request/response codecs plus a closer, with default-sized
+// buffers.
 func Dial(addr string) (*bufio.Writer, *bufio.Reader, io.Closer, error) {
+	return DialBuf(addr, DefaultBufferSize)
+}
+
+// DialBuf is Dial with an explicit bufio size for both directions, so a
+// benchmark can sweep the client buffers in step with the server's
+// Config.BufferSize.
+func DialBuf(addr string, bufSize int) (*bufio.Writer, *bufio.Reader, io.Closer, error) {
+	if bufSize <= 0 {
+		bufSize = DefaultBufferSize
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, nil, nil, err
@@ -691,7 +852,7 @@ func Dial(addr string) (*bufio.Writer, *bufio.Reader, io.Closer, error) {
 	if tcp, ok := conn.(*net.TCPConn); ok {
 		tcp.SetNoDelay(true)
 	}
-	return bufio.NewWriter(conn), bufio.NewReader(conn), conn, nil
+	return bufio.NewWriterSize(conn, bufSize), bufio.NewReaderSize(conn, bufSize), conn, nil
 }
 
 // MaskKey clips a wire key into the table's 60-bit key space.

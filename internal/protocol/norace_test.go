@@ -1,0 +1,7 @@
+//go:build !race
+
+package protocol
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation allocates, so allocation-count pins are skipped.
+const raceEnabled = false

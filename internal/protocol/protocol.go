@@ -200,8 +200,125 @@ func hasValue(op uint8) bool {
 	return op == OpInsert || op == OpInsertTTL || op == OpSetStr
 }
 
+// --- allocation-free wire primitives ---
+//
+// The helpers below exist so the steady-state request path performs no
+// heap allocation at all. Passing a stack scratch array into io.ReadFull
+// or Writer.Write makes it escape (the io interfaces may retain it, as
+// far as escape analysis can tell), which costs one hidden allocation per
+// call — over half the hot path's allocations before this package staged
+// integers in the bufio buffers themselves. Writes append into
+// w.AvailableBuffer (the writer's own storage) and reads decode in place
+// via Peek/Discard, so no scratch memory exists to escape. Similarly,
+// SlotSet bitmaps are copied chunk-wise rather than sliced, so a by-value
+// Request never gets forced to the heap by `r.Slots[:]`.
+
+// writeUintN appends the n low-order bytes of v (little-endian) to w
+// without any intermediate buffer.
+func writeUintN(w *bufio.Writer, v uint64, n int) error {
+	if w.Available() < n {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if w.Available() < n {
+			// Degenerate writer smaller than one integer: byte at a time.
+			for i := 0; i < n; i++ {
+				if err := w.WriteByte(byte(v >> (8 * i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	b := w.AvailableBuffer()[:n]
+	for i := 0; i < n; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// writeCopied writes p by staging it through the writer's own buffer, so
+// p itself is never handed to the underlying io.Writer. Use it for data
+// whose address must not escape (e.g. an array field of a by-value
+// request); heap-backed payloads can use w.Write directly.
+func writeCopied(w *bufio.Writer, p []byte) error {
+	for len(p) > 0 {
+		if w.Available() == 0 {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		}
+		b := w.AvailableBuffer()
+		n := copy(b[:cap(b)], p)
+		if _, err := w.Write(b[:n]); err != nil {
+			return err
+		}
+		p = p[n:]
+	}
+	return nil
+}
+
+// readUintN decodes an n-byte little-endian integer in place (n ≤ 8,
+// within bufio's minimum buffer size). Errors mirror io.ReadFull: io.EOF
+// with no bytes consumed, io.ErrUnexpectedEOF mid-integer.
+func readUintN(r *bufio.Reader, n int) (uint64, error) {
+	p, err := r.Peek(n)
+	if err != nil {
+		if len(p) > 0 && err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(p[i]) << (8 * i)
+	}
+	_, _ = r.Discard(n)
+	return v, nil
+}
+
+// readSlots fills a slot bitmap by copying out of the reader's buffer in
+// sub-line chunks, so the destination's address never escapes.
+func readSlots(r *bufio.Reader, s *SlotSet) error {
+	for off := 0; off < len(s); {
+		want := len(s) - off
+		if want > 8 {
+			want = 8
+		}
+		p, err := r.Peek(want)
+		if err != nil {
+			return unexpected(err)
+		}
+		n := copy(s[off:], p)
+		_, _ = r.Discard(n)
+		off += n
+	}
+	return nil
+}
+
+// emptyBytes backs zero-length StrKey/Value results so decoded requests
+// never carry a nil slice for a field that was present on the wire.
+var emptyBytes = make([]byte, 0)
+
+// appendReadFull appends n bytes from r to scratch, returning the grown
+// scratch and the freshly-read tail (non-nil even for n = 0). On error
+// scratch is returned un-grown.
+func appendReadFull(r *bufio.Reader, scratch []byte, n int) ([]byte, []byte, error) {
+	if n == 0 {
+		return scratch, emptyBytes, nil
+	}
+	start := len(scratch)
+	scratch = append(scratch, make([]byte, n)...)
+	if _, err := io.ReadFull(r, scratch[start:]); err != nil {
+		return scratch[:start], nil, unexpected(err)
+	}
+	return scratch, scratch[start:len(scratch):len(scratch)], nil
+}
+
 // WriteRequest serializes r. The caller flushes the writer when its batch
-// is complete (batching is the point of the protocol).
+// is complete (batching is the point of the protocol). The steady-state
+// path performs no heap allocation.
 func WriteRequest(w *bufio.Writer, r Request) error {
 	// Validate the whole frame before buffering any byte of it: a failed
 	// call must leave the stream clean for the caller's next request.
@@ -220,42 +337,34 @@ func WriteRequest(w *bufio.Writer, r Request) error {
 	if err := w.WriteByte(r.Op); err != nil {
 		return err
 	}
-	var scratch [8]byte
 	if hasSlots(r.Op) {
-		if _, err := w.Write(r.Slots[:]); err != nil {
+		if err := writeCopied(w, r.Slots[:]); err != nil {
 			return err
 		}
-		binary.LittleEndian.PutUint64(scratch[:], r.Cursor)
-		if _, err := w.Write(scratch[:8]); err != nil {
+		if err := writeUintN(w, r.Cursor, 8); err != nil {
 			return err
 		}
-		binary.LittleEndian.PutUint32(scratch[:], r.Count)
-		_, err := w.Write(scratch[:4])
-		return err
+		return writeUintN(w, uint64(r.Count), 4)
 	}
 	if hasStrKey(r.Op) {
-		binary.LittleEndian.PutUint16(scratch[:], uint16(len(r.StrKey)))
-		if _, err := w.Write(scratch[:2]); err != nil {
+		if err := writeUintN(w, uint64(len(r.StrKey)), 2); err != nil {
 			return err
 		}
 		if _, err := w.Write(r.StrKey); err != nil {
 			return err
 		}
 	} else {
-		binary.LittleEndian.PutUint64(scratch[:], r.Key)
-		if _, err := w.Write(scratch[:8]); err != nil {
+		if err := writeUintN(w, r.Key, 8); err != nil {
 			return err
 		}
 	}
 	if r.Op == OpInsertTTL || r.Op == OpSetStr {
-		binary.LittleEndian.PutUint32(scratch[:], r.TTL)
-		if _, err := w.Write(scratch[:4]); err != nil {
+		if err := writeUintN(w, uint64(r.TTL), 4); err != nil {
 			return err
 		}
 	}
 	if hasValue(r.Op) {
-		binary.LittleEndian.PutUint32(scratch[:], uint32(len(r.Value)))
-		if _, err := w.Write(scratch[:4]); err != nil {
+		if err := writeUintN(w, uint64(len(r.Value)), 4); err != nil {
 			return err
 		}
 		_, err := w.Write(r.Value)
@@ -265,89 +374,111 @@ func WriteRequest(w *bufio.Writer, r Request) error {
 }
 
 // ReadRequest parses one request. The returned StrKey/Value slices are
-// fresh copies owned by the caller. io.EOF is returned cleanly only at a
-// message boundary.
+// fresh copies owned by the caller (they may share one backing array).
+// io.EOF is returned cleanly only at a message boundary. Hot paths should
+// prefer DecodeRequestInto, which recycles the caller's arena instead of
+// allocating per request.
 func ReadRequest(r *bufio.Reader) (Request, error) {
-	op, err := r.ReadByte()
-	if err != nil {
-		return Request{}, err // io.EOF at boundary is clean shutdown
-	}
-	if OpVersion(op) == 0 {
-		return Request{}, fmt.Errorf("protocol: unknown op %d", op)
-	}
-	req := Request{Op: op}
-	var scratch [8]byte
-	if hasSlots(op) {
-		if _, err := io.ReadFull(r, req.Slots[:]); err != nil {
-			return Request{}, unexpected(err)
-		}
-		if _, err := io.ReadFull(r, scratch[:8]); err != nil {
-			return Request{}, unexpected(err)
-		}
-		req.Cursor = binary.LittleEndian.Uint64(scratch[:8])
-		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
-			return Request{}, unexpected(err)
-		}
-		req.Count = binary.LittleEndian.Uint32(scratch[:4])
-		if req.Count > MaxScanBatch {
-			return Request{}, fmt.Errorf("protocol: scan count %d exceeds maximum %d", req.Count, MaxScanBatch)
-		}
-		return req, nil
-	}
-	if hasStrKey(op) {
-		if _, err := io.ReadFull(r, scratch[:2]); err != nil {
-			return Request{}, unexpected(err)
-		}
-		klen := binary.LittleEndian.Uint16(scratch[:2])
-		if klen > MaxKeyLen {
-			return Request{}, fmt.Errorf("protocol: key length %d exceeds maximum %d", klen, MaxKeyLen)
-		}
-		req.StrKey = make([]byte, klen)
-		if _, err := io.ReadFull(r, req.StrKey); err != nil {
-			return Request{}, unexpected(err)
-		}
-	} else {
-		if _, err := io.ReadFull(r, scratch[:8]); err != nil {
-			return Request{}, unexpected(err)
-		}
-		req.Key = binary.LittleEndian.Uint64(scratch[:8])
-	}
-	if op == OpInsertTTL || op == OpSetStr {
-		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
-			return Request{}, unexpected(err)
-		}
-		req.TTL = binary.LittleEndian.Uint32(scratch[:4])
-	}
-	if hasValue(op) {
-		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
-			return Request{}, unexpected(err)
-		}
-		size := binary.LittleEndian.Uint32(scratch[:4])
-		if size > MaxValueSize {
-			return Request{}, fmt.Errorf("protocol: value size %d exceeds maximum %d", size, MaxValueSize)
-		}
-		req.Value = make([]byte, size)
-		if _, err := io.ReadFull(r, req.Value); err != nil {
-			return Request{}, unexpected(err)
-		}
+	var req Request
+	if _, err := DecodeRequestInto(r, &req, nil); err != nil {
+		return Request{}, err
 	}
 	return req, nil
 }
 
+// DecodeRequestInto parses one request into *req, appending any
+// variable-length bytes (string key and value payload) to scratch;
+// req.StrKey and req.Value alias the returned buffer. The returned slice
+// is the grown scratch: the caller owns it and may recycle it once the
+// request has been fully processed (see the no-retention contract on
+// kvserver.Backend.ProcessBatch). A nil scratch allocates a fresh arena
+// sized to the frame, which is exactly what ReadRequest does. On error
+// *req is undefined, scratch is returned un-grown, and io.EOF is returned
+// cleanly only at a message boundary. The steady-state path (scratch
+// capacity sufficient) performs no heap allocation.
+func DecodeRequestInto(r *bufio.Reader, req *Request, scratch []byte) ([]byte, error) {
+	op, err := r.ReadByte()
+	if err != nil {
+		return scratch, err // io.EOF at boundary is clean shutdown
+	}
+	if OpVersion(op) == 0 {
+		return scratch, fmt.Errorf("protocol: unknown op %d", op)
+	}
+	*req = Request{Op: op}
+	if hasSlots(op) {
+		if err := readSlots(r, &req.Slots); err != nil {
+			return scratch, err
+		}
+		cursor, err := readUintN(r, 8)
+		if err != nil {
+			return scratch, unexpected(err)
+		}
+		req.Cursor = cursor
+		count, err := readUintN(r, 4)
+		if err != nil {
+			return scratch, unexpected(err)
+		}
+		req.Count = uint32(count)
+		if req.Count > MaxScanBatch {
+			return scratch, fmt.Errorf("protocol: scan count %d exceeds maximum %d", req.Count, MaxScanBatch)
+		}
+		return scratch, nil
+	}
+	// mark restores scratch's length on any failure after bytes were
+	// appended, honoring the un-grown-on-error contract (the backing
+	// array may still have been reallocated by a successful grow).
+	mark := len(scratch)
+	if hasStrKey(op) {
+		klen, err := readUintN(r, 2)
+		if err != nil {
+			return scratch, unexpected(err)
+		}
+		if klen > MaxKeyLen {
+			return scratch, fmt.Errorf("protocol: key length %d exceeds maximum %d", klen, MaxKeyLen)
+		}
+		if scratch, req.StrKey, err = appendReadFull(r, scratch, int(klen)); err != nil {
+			return scratch[:mark], err
+		}
+	} else {
+		key, err := readUintN(r, 8)
+		if err != nil {
+			return scratch, unexpected(err)
+		}
+		req.Key = key
+	}
+	if op == OpInsertTTL || op == OpSetStr {
+		ttl, err := readUintN(r, 4)
+		if err != nil {
+			return scratch[:mark], unexpected(err)
+		}
+		req.TTL = uint32(ttl)
+	}
+	if hasValue(op) {
+		size, err := readUintN(r, 4)
+		if err != nil {
+			return scratch[:mark], unexpected(err)
+		}
+		if size > MaxValueSize {
+			return scratch[:mark], fmt.Errorf("protocol: value size %d exceeds maximum %d", size, MaxValueSize)
+		}
+		if scratch, req.Value, err = appendReadFull(r, scratch, int(size)); err != nil {
+			return scratch[:mark], err
+		}
+	}
+	return scratch, nil
+}
+
 // WriteLookupResponse serializes a LOOKUP/GET_STR response; found=false
 // (or an empty value with found=true) is indistinguishable on the wire, as
-// in the paper: "a size field of zero".
+// in the paper: "a size field of zero". It performs no heap allocation.
 func WriteLookupResponse(w *bufio.Writer, value []byte, found bool) error {
-	var szBuf [4]byte
 	if !found {
-		_, err := w.Write(szBuf[:])
-		return err
+		return writeUintN(w, 0, 4)
 	}
 	if len(value) > MaxValueSize {
 		return fmt.Errorf("protocol: value of %d bytes exceeds maximum %d", len(value), MaxValueSize)
 	}
-	binary.LittleEndian.PutUint32(szBuf[:], uint32(len(value)))
-	if _, err := w.Write(szBuf[:]); err != nil {
+	if err := writeUintN(w, uint64(len(value)), 4); err != nil {
 		return err
 	}
 	_, err := w.Write(value)
@@ -355,13 +486,13 @@ func WriteLookupResponse(w *bufio.Writer, value []byte, found bool) error {
 }
 
 // ReadLookupResponse parses one LOOKUP/GET_STR response, appending the
-// value to dst. found is false for a zero-size response.
+// value to dst. found is false for a zero-size response. With sufficient
+// dst capacity it performs no heap allocation.
 func ReadLookupResponse(r *bufio.Reader, dst []byte) (out []byte, found bool, err error) {
-	var szBuf [4]byte
-	if _, err := io.ReadFull(r, szBuf[:]); err != nil {
+	size, err := readUintN(r, 4)
+	if err != nil {
 		return dst, false, err
 	}
-	size := binary.LittleEndian.Uint32(szBuf[:])
 	if size == 0 {
 		return dst, false, nil
 	}
@@ -407,26 +538,20 @@ func WriteScanResponse(w *bufio.Writer, next uint64, entries []ScanEntry) error 
 			return fmt.Errorf("protocol: scan value of %d bytes exceeds maximum %d", len(e.Value), MaxValueSize)
 		}
 	}
-	var scratch [8]byte
-	binary.LittleEndian.PutUint64(scratch[:], next)
-	if _, err := w.Write(scratch[:8]); err != nil {
+	if err := writeUintN(w, next, 8); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint32(scratch[:], uint32(len(entries)))
-	if _, err := w.Write(scratch[:4]); err != nil {
+	if err := writeUintN(w, uint64(len(entries)), 4); err != nil {
 		return err
 	}
 	for _, e := range entries {
-		binary.LittleEndian.PutUint64(scratch[:], e.Key)
-		if _, err := w.Write(scratch[:8]); err != nil {
+		if err := writeUintN(w, e.Key, 8); err != nil {
 			return err
 		}
-		binary.LittleEndian.PutUint32(scratch[:], e.TTL)
-		if _, err := w.Write(scratch[:4]); err != nil {
+		if err := writeUintN(w, uint64(e.TTL), 4); err != nil {
 			return err
 		}
-		binary.LittleEndian.PutUint32(scratch[:], uint32(len(e.Value)))
-		if _, err := w.Write(scratch[:4]); err != nil {
+		if err := writeUintN(w, uint64(len(e.Value)), 4); err != nil {
 			return err
 		}
 		if _, err := w.Write(e.Value); err != nil {
@@ -437,72 +562,82 @@ func WriteScanResponse(w *bufio.Writer, next uint64, entries []ScanEntry) error 
 }
 
 // ReadScanResponse parses one SCAN response batch, appending entries to
-// dst. Entry values are fresh copies owned by the caller. Truncated or
-// oversized frames are reported as errors, never panics.
+// dst. Entry values are fresh copies owned by the caller (they may share
+// backing arrays). Truncated or oversized frames are reported as errors,
+// never panics. Hot paths should prefer ReadScanResponseInto, which
+// recycles a caller-owned arena.
 func ReadScanResponse(r *bufio.Reader, dst []ScanEntry) (next uint64, out []ScanEntry, err error) {
-	var scratch [8]byte
-	if _, err := io.ReadFull(r, scratch[:8]); err != nil {
-		return 0, dst, err
+	next, out, _, err = ReadScanResponseInto(r, dst, nil)
+	return next, out, err
+}
+
+// ReadScanResponseInto parses one SCAN response batch, appending entries
+// to dst and their value bytes to scratch. Entry values alias the arena
+// (or, when growth reallocated it mid-batch, a predecessor array whose
+// bytes remain valid); the caller owns both slices and may recycle
+// scratch once it is done with every entry of the batch. A nil scratch
+// allocates a fresh arena. With sufficient capacity in dst and scratch it
+// performs no heap allocation.
+func ReadScanResponseInto(r *bufio.Reader, dst []ScanEntry, scratch []byte) (next uint64, out []ScanEntry, outScratch []byte, err error) {
+	next, err = readUintN(r, 8)
+	if err != nil {
+		return 0, dst, scratch, err
 	}
-	next = binary.LittleEndian.Uint64(scratch[:8])
-	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
-		return 0, dst, unexpected(err)
+	n, err := readUintN(r, 4)
+	if err != nil {
+		return 0, dst, scratch, unexpected(err)
 	}
-	n := binary.LittleEndian.Uint32(scratch[:4])
 	if n > MaxScanBatch {
-		return 0, dst, fmt.Errorf("protocol: scan batch of %d entries exceeds maximum %d", n, MaxScanBatch)
+		return 0, dst, scratch, fmt.Errorf("protocol: scan batch of %d entries exceeds maximum %d", n, MaxScanBatch)
 	}
 	mark := len(dst)
-	for i := uint32(0); i < n; i++ {
+	for i := uint64(0); i < n; i++ {
 		var e ScanEntry
-		if _, err := io.ReadFull(r, scratch[:8]); err != nil {
-			return 0, dst[:mark], unexpected(err)
+		key, err := readUintN(r, 8)
+		if err != nil {
+			return 0, dst[:mark], scratch, unexpected(err)
 		}
-		e.Key = binary.LittleEndian.Uint64(scratch[:8])
-		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
-			return 0, dst[:mark], unexpected(err)
+		e.Key = key
+		ttl, err := readUintN(r, 4)
+		if err != nil {
+			return 0, dst[:mark], scratch, unexpected(err)
 		}
-		e.TTL = binary.LittleEndian.Uint32(scratch[:4])
-		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
-			return 0, dst[:mark], unexpected(err)
+		e.TTL = uint32(ttl)
+		size, err := readUintN(r, 4)
+		if err != nil {
+			return 0, dst[:mark], scratch, unexpected(err)
 		}
-		size := binary.LittleEndian.Uint32(scratch[:4])
 		if size > MaxValueSize {
-			return 0, dst[:mark], fmt.Errorf("protocol: scan value size %d exceeds maximum %d", size, MaxValueSize)
+			return 0, dst[:mark], scratch, fmt.Errorf("protocol: scan value size %d exceeds maximum %d", size, MaxValueSize)
 		}
-		e.Value = make([]byte, size)
-		if _, err := io.ReadFull(r, e.Value); err != nil {
-			return 0, dst[:mark], unexpected(err)
+		if scratch, e.Value, err = appendReadFull(r, scratch, int(size)); err != nil {
+			return 0, dst[:mark], scratch, err
 		}
 		dst = append(dst, e)
 	}
-	return next, dst, nil
+	return next, dst, scratch, nil
 }
 
 // WritePurgeResponse serializes one PURGE response: the resume cursor
 // (ScanDone once complete) and how many entries this batch removed.
 func WritePurgeResponse(w *bufio.Writer, next uint64, removed uint32) error {
-	var scratch [8]byte
-	binary.LittleEndian.PutUint64(scratch[:], next)
-	if _, err := w.Write(scratch[:8]); err != nil {
+	if err := writeUintN(w, next, 8); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint32(scratch[:], removed)
-	_, err := w.Write(scratch[:4])
-	return err
+	return writeUintN(w, uint64(removed), 4)
 }
 
 // ReadPurgeResponse parses one PURGE response.
 func ReadPurgeResponse(r *bufio.Reader) (next uint64, removed uint32, err error) {
-	var scratch [8]byte
-	if _, err := io.ReadFull(r, scratch[:8]); err != nil {
+	next, err = readUintN(r, 8)
+	if err != nil {
 		return 0, 0, err
 	}
-	next = binary.LittleEndian.Uint64(scratch[:8])
-	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+	rm, err := readUintN(r, 4)
+	if err != nil {
 		return 0, 0, unexpected(err)
 	}
-	return next, binary.LittleEndian.Uint32(scratch[:4]), nil
+	return next, uint32(rm), nil
 }
 
 // unexpected converts a mid-frame EOF into io.ErrUnexpectedEOF so callers

@@ -197,6 +197,35 @@ func (r *SPSC[T]) ConsumeBatch(dst []T) int {
 	return n
 }
 
+// ConsumeBatchAdaptive fills dst like ConsumeBatch but, when messages are
+// only trickling in, briefly waits for a fuller batch: if at least one
+// message is available but fewer than lowWater, it re-polls the producer
+// index up to spinBudget times before draining whatever has arrived.
+// Amortizing the index publication and the consumer's downstream
+// per-batch costs over more messages is the paper's batching argument
+// (Figure 7's batch-size sensitivity); the low-watermark and the spin
+// budget bound how long a near-idle consumer waits for stragglers. An
+// empty ring returns 0 immediately — adaptive batching must never slow
+// the no-work sweep of a consumer polling many rings.
+func (r *SPSC[T]) ConsumeBatchAdaptive(dst []T, lowWater, spinBudget int) int {
+	if lowWater > len(dst) {
+		lowWater = len(dst)
+	}
+	avail := int(r.cachedWrite - r.tmpRead)
+	if avail < lowWater {
+		r.cachedWrite = r.write.Load()
+		avail = int(r.cachedWrite - r.tmpRead)
+		if avail == 0 {
+			return 0
+		}
+		for spin := 0; avail < lowWater && spin < spinBudget; spin++ {
+			r.cachedWrite = r.write.Load()
+			avail = int(r.cachedWrite - r.tmpRead)
+		}
+	}
+	return r.ConsumeBatch(dst)
+}
+
 // Len returns the number of published, unconsumed messages. It is exact
 // when called from either endpoint goroutine and a lower bound otherwise.
 func (r *SPSC[T]) Len() int {

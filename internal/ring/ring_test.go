@@ -401,3 +401,92 @@ func TestLenAndEmpty(t *testing.T) {
 		t.Fatalf("Len = %d; advisory Len should still be 5 before index publication", r.Len())
 	}
 }
+
+func TestConsumeBatchAdaptiveEmptyReturnsImmediately(t *testing.T) {
+	r := MustSPSC[int](64, 4)
+	dst := make([]int, 16)
+	if n := r.ConsumeBatchAdaptive(dst, 4, 1<<20); n != 0 {
+		t.Fatalf("empty ring: got %d messages, want 0", n)
+	}
+}
+
+func TestConsumeBatchAdaptiveDrainsBelowWatermarkAfterBudget(t *testing.T) {
+	r := MustSPSC[int](64, 4)
+	r.Produce(1)
+	r.Flush()
+	dst := make([]int, 16)
+	// One message, watermark 8: the spin budget expires with no producer
+	// activity and the single message must still come out.
+	if n := r.ConsumeBatchAdaptive(dst, 8, 64); n != 1 || dst[0] != 1 {
+		t.Fatalf("got %d messages (dst[0]=%d), want the 1 pending message", n, dst[0])
+	}
+}
+
+func TestConsumeBatchAdaptiveWaitsForWatermark(t *testing.T) {
+	r := MustSPSC[int](1024, 4)
+	for i := 0; i < 2; i++ {
+		r.Produce(i)
+	}
+	r.Flush()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 2; i < 8; i++ {
+			r.Produce(i)
+		}
+		r.Flush()
+	}()
+	<-done // producer finished: the adaptive consumer must see ≥ lowWater
+	dst := make([]int, 16)
+	if n := r.ConsumeBatchAdaptive(dst, 8, 1<<20); n != 8 {
+		t.Fatalf("got %d messages, want all 8 once the watermark was met", n)
+	}
+	for i := 0; i < 8; i++ {
+		if dst[i] != i {
+			t.Fatalf("dst[%d] = %d, want %d (FIFO violated)", i, dst[i], i)
+		}
+	}
+}
+
+func TestConsumeBatchAdaptiveWatermarkClippedToDst(t *testing.T) {
+	r := MustSPSC[int](64, 4)
+	for i := 0; i < 3; i++ {
+		r.Produce(i)
+	}
+	r.Flush()
+	// lowWater 16 > len(dst) 3 must clip, not spin the full budget waiting
+	// for messages dst could never hold.
+	dst := make([]int, 3)
+	if n := r.ConsumeBatchAdaptive(dst, 16, 1<<30); n != 3 {
+		t.Fatalf("got %d messages, want 3", n)
+	}
+}
+
+func TestConcurrentAdaptiveBatchStress(t *testing.T) {
+	const total = 200000
+	r := MustSPSC[uint64](256, 8)
+	var sum uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]uint64, 64)
+		got := 0
+		for got < total {
+			n := r.ConsumeBatchAdaptive(buf, 8, 32)
+			for i := 0; i < n; i++ {
+				sum += buf[i]
+			}
+			got += n
+		}
+	}()
+	var want uint64
+	for i := 0; i < total; i++ {
+		r.ProduceSpin(uint64(i))
+		want += uint64(i)
+	}
+	r.Flush()
+	<-done
+	if sum != want {
+		t.Fatalf("adaptive consumer summed %d, want %d (lost or duplicated messages)", sum, want)
+	}
+}
