@@ -47,6 +47,7 @@ import (
 	"cphash/internal/memcache"
 	"cphash/internal/partition"
 	"cphash/internal/perf"
+	"cphash/internal/persist"
 	"cphash/internal/ring"
 	"cphash/internal/sizeparse"
 	"cphash/internal/workload"
@@ -463,25 +464,61 @@ func hotpathConnLoop(addr string, size, connOps int, seed uint64, hist *perf.His
 	return err
 }
 
-// hotpathRun measures one buffer-size configuration: qps, window p99, and
-// allocations per operation across the whole process.
-func hotpathRun(size int) {
+// hotpathRun measures one buffer-size configuration: qps, window p99,
+// and allocations per operation across the whole process. With
+// persistDir non-empty the server runs the full durability pipeline
+// (sync=interval) rooted there and the measurement is recorded as the
+// design "cpserver+persist" — the number whose ratio to the bare run is
+// the durability overhead the trajectory tracks. Returns ok=false on
+// failure; the caller picks the best of several runs before recording,
+// so one scheduler hiccup cannot poison the trajectory.
+func hotpathRun(size int, persistDir string) (res hotpathResult, ok bool) {
+	design := "cpserver"
+	var pipe *persist.Pipeline
+	var sink func(int) partition.ChangeSink
+	if persistDir != "" {
+		design = "cpserver+persist"
+		var err error
+		pipe, err = persist.Open(persist.Config{Dir: persistDir, Policy: persist.SyncInterval})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return res, false
+		}
+		sink = func(p int) partition.ChangeSink { return pipe.Appender(p) }
+	}
 	table := core.MustNew(core.Config{
 		Partitions:    *servers,
 		CapacityBytes: partition.CapacityForValues(2*hotpath.Keys, hotpath.ValueSize),
 		MaxClients:    hotpathWorkers,
 		Seed:          1,
+		Sink:          sink,
 	})
 	defer table.Close()
+	if pipe != nil {
+		pipe.SetSource(persist.CoreSource(table))
+		if err := pipe.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return res, false
+		}
+		// Serve owns the pipeline lifecycle once it starts; until (and
+		// unless) that succeeds, shut it down here so a failed run never
+		// leaks persister goroutines into the remaining measurements.
+		defer func() {
+			if !ok {
+				pipe.Close()
+			}
+		}()
+	}
 	srv, err := kvserver.Serve(kvserver.Config{
 		Addr:       "127.0.0.1:0",
 		Workers:    hotpathWorkers,
 		BufferSize: size,
 		NewBackend: kvserver.NewCPHashBackend(table),
+		Persist:    pipe,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return
+		return res, false
 	}
 	defer srv.Close()
 
@@ -490,13 +527,13 @@ func hotpathRun(size int) {
 	bw, _, closer, err := kvserver.DialBuf(srv.Addr(), size)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return
+		return res, false
 	}
 	val := make([]byte, hotpath.ValueSize)
 	if err := hotpath.Preload(bw, val); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		closer.Close()
-		return
+		return res, false
 	}
 	closer.Close()
 
@@ -536,7 +573,7 @@ func hotpathRun(size int) {
 	runtime.ReadMemStats(&after)
 	if firstErr != nil {
 		fmt.Fprintln(os.Stderr, firstErr)
-		return
+		return res, false
 	}
 
 	total := int64(connOps * hotpathConns)
@@ -547,16 +584,47 @@ func hotpathRun(size int) {
 	}
 	qps := float64(total) / elapsed.Seconds()
 	p99 := time.Duration(hist.Quantile(0.99))
+	return hotpathResult{design: design, size: size, qps: qps, p99: p99, allocs: allocsPerOp}, true
+}
+
+// hotpathResult is one hotpath measurement.
+type hotpathResult struct {
+	design string
+	size   int
+	qps    float64
+	p99    time.Duration
+	allocs float64
+}
+
+// hotpathBest runs one configuration hotpathRuns times and records the
+// best run. Measurement windows are tens of milliseconds, so on a busy
+// (or single-core) host individual runs swing wildly with scheduler
+// luck; the best of several is the stable, comparable number — the same
+// reason `go test -bench` reports are taken over multiple -count runs.
+const hotpathRuns = 5
+
+func hotpathBest(size int, persistDir string) float64 {
+	var b hotpathResult
+	for i := 0; i < hotpathRuns; i++ {
+		if r, ok := hotpathRun(size, persistDir); ok && r.qps > b.qps {
+			b = r
+		}
+	}
+	if b.qps == 0 {
+		return 0
+	}
 	record("hotpath", map[string]any{
-		"design":      "cpserver",
-		"bufsize":     size,
+		"design":      b.design,
+		"bufsize":     b.size,
 		"conns":       hotpathConns,
 		"window":      hotpath.Window,
 		"getRatio":    0.9,
 		"valueSize":   hotpath.ValueSize,
-		"allocsPerOp": allocsPerOp,
-	}, qps, p99)
-	fmt.Printf("%-10s %16.3g %14v %14.4f\n", perf.FormatBytes(size), qps, p99, allocsPerOp)
+		"allocsPerOp": b.allocs,
+		"bestOf":      hotpathRuns,
+	}, b.qps, b.p99)
+	fmt.Printf("%-18s %-10s %14.3g %12v %12.4f\n", b.design, perf.FormatBytes(b.size), b.qps, b.p99, b.allocs)
+	return b.qps
 }
 
 // hotpathExperiment is the steady-state wire-level perf gate: 90/10
@@ -565,7 +633,7 @@ func hotpathRun(size int) {
 // archives.
 func hotpathExperiment() {
 	fmt.Println("=== hotpath: wire-level 90/10 GET/SET, allocation-gated ===")
-	fmt.Printf("%-10s %16s %14s %14s\n", "bufsize", "queries/s", "window p99", "allocs/op")
+	fmt.Printf("%-18s %-10s %14s %12s %12s\n", "design", "bufsize", "queries/s", "window p99", "allocs/op")
 	sizes := []int{16 << 10, 64 << 10, 256 << 10}
 	if *bufSize != "sweep" {
 		n, err := sizeparse.Parse(*bufSize)
@@ -576,7 +644,18 @@ func hotpathExperiment() {
 		sizes = []int{n}
 	}
 	for _, size := range sizes {
-		hotpathRun(size)
+		bare := hotpathBest(size, "")
+		dir, err := os.MkdirTemp("", "cpbench-persist-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		durable := hotpathBest(size, dir)
+		os.RemoveAll(dir)
+		if bare > 0 && durable > 0 {
+			fmt.Printf("  durability overhead at %s: %.1f%% qps (WAL on, sync=interval, best of %d)\n",
+				perf.FormatBytes(size), 100*(1-durable/bare), hotpathRuns)
+		}
 	}
 	fmt.Println()
 }

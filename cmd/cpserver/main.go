@@ -36,6 +36,28 @@
 // The in-process coordinator (a sharded SDK client + rebalance.Migrator)
 // performs the move; external clients built before the change keep their
 // old ring until restarted — point them at the new member list.
+//
+// # Durability
+//
+// With -datadir, every instance (cphash and lockhash backends) runs the
+// internal/persist pipeline: per-partition change rings feeding
+// segmented, CRC-framed WAL streams plus periodic compact snapshots. On
+// startup each instance recovers its table from the newest valid
+// snapshot and the WAL tail, so a restart comes back warm. Flags:
+//
+//	-datadir DIR             # enable persistence; instance i uses DIR/iNNN
+//	-sync none|interval|always
+//	-syncevery 100ms         # fsync cadence under -sync interval
+//	-snapshot-interval 5m    # 0 disables periodic snapshots
+//	-maxsegment 64MiB        # WAL segment roll size
+//
+// GET /persistence (on -statsaddr) reports WAL/snapshot/recovery
+// counters per instance; POST /snapshot triggers an immediate snapshot
+// on every instance (or one with ?addr=). SIGINT/SIGTERM shuts down
+// gracefully: the servers quiesce their worker queues, then the WAL is
+// flushed and fsynced before the process exits — with -sync always a
+// client response is never written before its batch's records are on
+// disk (group commit).
 package main
 
 import (
@@ -48,6 +70,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"syscall"
@@ -59,6 +82,7 @@ import (
 	"cphash/internal/lockhash"
 	"cphash/internal/memcache"
 	"cphash/internal/partition"
+	"cphash/internal/persist"
 	"cphash/internal/rebalance"
 	"cphash/internal/sizeparse"
 )
@@ -74,6 +98,12 @@ var (
 	pin        = flag.Bool("pin", false, "dedicate an OS thread to each CPHASH server goroutine")
 	statsEvery = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
 	statsAddr  = flag.String("statsaddr", "", "optional HTTP address serving /stats JSON and /debug/vars")
+
+	dataDir      = flag.String("datadir", "", "enable durability: WAL + snapshots under this directory (instance i uses <datadir>/iNNN)")
+	syncPolicy   = flag.String("sync", "interval", "WAL sync policy: none | interval | always (group commit)")
+	syncEvery    = flag.Duration("syncevery", 100*time.Millisecond, "fsync cadence under -sync interval")
+	snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "automatic snapshot cadence (0 = manual POST /snapshot only)")
+	maxSegment   = flag.String("maxsegment", "64MiB", "WAL segment size before rolling (e.g. 16MiB, 1GiB)")
 )
 
 // instance is one running server plus its observability hooks.
@@ -82,7 +112,17 @@ type instance struct {
 	requests func() int64
 	snapshot func() map[string]any
 	close    func()
+	// persistence hooks; nil pipe when -datadir is unset.
+	pipe      *persist.Pipeline
+	recovered persist.RecoverStats
 }
+
+// parsed persistence options (set in main, read by startInstance —
+// including joins started later through the admin surface).
+var (
+	persistPol  persist.SyncPolicy
+	maxSegBytes int
+)
 
 // instanceAddrs derives the listen address of each instance from the base
 // address: port 0 stays 0 (kernel-assigned) for every instance, a fixed
@@ -107,6 +147,15 @@ func instanceAddrs(base string, n int) ([]string, error) {
 	return out, nil
 }
 
+// instanceDir returns instance i's durability directory ("" when
+// persistence is disabled).
+func instanceDir(i int) string {
+	if *dataDir == "" {
+		return ""
+	}
+	return filepath.Join(*dataDir, fmt.Sprintf("i%03d", i))
+}
+
 // tableSnapshot renders aggregated table counters in the shape the /stats
 // endpoint serves for every backend.
 func tableSnapshot(st partition.Stats) map[string]any {
@@ -124,9 +173,15 @@ func tableSnapshot(st partition.Stats) map[string]any {
 }
 
 // startInstance builds one table + server pair for the selected backend.
-func startInstance(addr string, capBytes int, policy partition.EvictionPolicy) (*instance, error) {
+// dir, when non-empty, is the instance's durability directory: the table
+// is recovered from it on the way up and every mutation is WAL-logged
+// from then on.
+func startInstance(addr, dir string, capBytes int, policy partition.EvictionPolicy) (*instance, error) {
 	switch *backend {
 	case "memcache":
+		if dir != "" {
+			return nil, fmt.Errorf("-datadir is not supported by the memcache backend (use cphash or lockhash)")
+		}
 		inst, err := memcache.ServeInstance(addr, capBytes)
 		if err != nil {
 			return nil, err
@@ -148,7 +203,24 @@ func startInstance(addr string, capBytes int, policy partition.EvictionPolicy) (
 			newBackend func(int) (kvserver.Backend, error)
 			tableStats func() partition.Stats
 			closeTable func()
+			pipe       *persist.Pipeline
+			recovered  persist.RecoverStats
+			err        error
+			sink       func(int) partition.ChangeSink
 		)
+		if dir != "" {
+			pipe, err = persist.Open(persist.Config{
+				Dir:              dir,
+				Policy:           persistPol,
+				SyncInterval:     *syncEvery,
+				MaxSegment:       maxSegBytes,
+				SnapshotInterval: *snapInterval,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sink = func(p int) partition.ChangeSink { return pipe.Appender(p) }
+		}
 		if *backend == "cphash" {
 			table, err := core.New(core.Config{
 				Partitions:    *partitions,
@@ -156,9 +228,17 @@ func startInstance(addr string, capBytes int, policy partition.EvictionPolicy) (
 				MaxClients:    *workers,
 				Policy:        policy,
 				LockOSThread:  *pin,
+				Sink:          sink,
 			})
 			if err != nil {
 				return nil, err
+			}
+			if pipe != nil {
+				pipe.SetSource(persist.CoreSource(table))
+				if recovered, err = persist.RestoreCore(pipe, table, 0); err != nil {
+					table.Close()
+					return nil, fmt.Errorf("recovering %s: %w", dir, err)
+				}
 			}
 			newBackend = kvserver.NewCPHashBackend(table)
 			tableStats = func() partition.Stats { return table.Stats().Stats }
@@ -168,22 +248,43 @@ func startInstance(addr string, capBytes int, policy partition.EvictionPolicy) (
 				Partitions:    *partitions,
 				CapacityBytes: capBytes,
 				Policy:        policy,
+				Sink:          sink,
 			})
 			if err != nil {
 				return nil, err
+			}
+			if pipe != nil {
+				pipe.SetSource(persist.LockHashSource(table))
+				if recovered, err = persist.RestoreLockHash(pipe, table); err != nil {
+					return nil, fmt.Errorf("recovering %s: %w", dir, err)
+				}
 			}
 			newBackend = kvserver.NewLockHashBackend(table)
 			tableStats = table.Stats
 			closeTable = func() {}
 		}
+		if pipe != nil {
+			if err := pipe.Start(); err != nil {
+				closeTable()
+				return nil, err
+			}
+		}
 		srv, err := kvserver.Serve(kvserver.Config{
 			Addr:       addr,
 			Workers:    *workers,
 			NewBackend: newBackend,
+			Persist:    pipe,
 		})
 		if err != nil {
+			if pipe != nil {
+				pipe.Close()
+			}
 			closeTable()
 			return nil, err
+		}
+		if pipe != nil {
+			fmt.Printf("persistence: %s recovered %d snapshot entries + %d WAL records (sync=%s)\n",
+				dir, recovered.SnapshotEntries, recovered.WALRecords, persistPol)
 		}
 		return &instance{
 			addr:     srv.Addr(),
@@ -201,7 +302,11 @@ func startInstance(addr string, capBytes int, policy partition.EvictionPolicy) (
 				}
 				return out
 			},
-			close: func() { srv.Close(); closeTable() },
+			// srv.Close drains the worker queues and flushes + closes
+			// the pipeline; only then is the table torn down.
+			close:     func() { srv.Close(); closeTable() },
+			pipe:      pipe,
+			recovered: recovered,
 		}, nil
 
 	default:
@@ -294,7 +399,7 @@ func (a *admin) join() (string, error) {
 	if a.basePort != 0 {
 		port = a.basePort + a.started
 	}
-	in, err := startInstance(net.JoinHostPort(a.host, strconv.Itoa(port)), a.capBytes, a.policy)
+	in, err := startInstance(net.JoinHostPort(a.host, strconv.Itoa(port)), instanceDir(a.started), a.capBytes, a.policy)
 	if err != nil {
 		return "", err
 	}
@@ -365,6 +470,56 @@ func snapshotAll(insts []*instance) map[string]any {
 	return map[string]any{"backend": *backend, "instances": list}
 }
 
+// persistenceSnapshot renders the /persistence document: WAL, snapshot
+// and recovery counters for every persisted instance.
+func (a *admin) persistenceSnapshot() map[string]any {
+	list := []map[string]any{}
+	for _, in := range a.instances() {
+		if in.pipe == nil {
+			continue
+		}
+		st := in.pipe.Stats()
+		list = append(list, map[string]any{
+			"addr":      in.addr,
+			"dir":       in.pipe.Dir(),
+			"stats":     st,
+			"wal":       in.pipe.WALStatus(),
+			"recovered": in.recovered,
+		})
+	}
+	return map[string]any{
+		"enabled":   *dataDir != "",
+		"sync":      persistPol.String(),
+		"instances": list,
+	}
+}
+
+// snapshotNow triggers an immediate snapshot on the addressed instance
+// ("" = all persisted instances), returning per-instance outcomes.
+func (a *admin) snapshotNow(addr string) (map[string]string, error) {
+	out := map[string]string{}
+	matched := false
+	for _, in := range a.instances() {
+		if addr != "" && in.addr != addr {
+			continue
+		}
+		matched = true
+		if in.pipe == nil {
+			out[in.addr] = "persistence disabled"
+			continue
+		}
+		if err := in.pipe.Snapshot(); err != nil {
+			out[in.addr] = err.Error()
+		} else {
+			out[in.addr] = "ok"
+		}
+	}
+	if !matched {
+		return nil, fmt.Errorf("no instance %q", addr)
+	}
+	return out, nil
+}
+
 // migrationSnapshot renders the /migration document.
 func (a *admin) migrationSnapshot() map[string]any {
 	st := a.migr.Stats()
@@ -403,6 +558,21 @@ func serveStats(addr string, a *admin) (*http.Server, error) {
 	mux.HandleFunc("/migration", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, a.migrationSnapshot())
 	})
+	mux.HandleFunc("/persistence", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, a.persistenceSnapshot())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		out, err := a.snapshotNow(r.URL.Query().Get("addr"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{"snapshot": out, "persistence": a.persistenceSnapshot()})
+	})
 	mux.HandleFunc("/join", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -437,7 +607,7 @@ func serveStats(addr string, a *admin) (*http.Server, error) {
 	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
-	fmt.Printf("stats endpoint on http://%s/stats (admin: POST /join, POST /leave?addr=, GET /migration)\n", ln.Addr())
+	fmt.Printf("stats endpoint on http://%s/stats (admin: POST /join, POST /leave?addr=, GET /migration, GET /persistence, POST /snapshot)\n", ln.Addr())
 	return srv, nil
 }
 
@@ -449,6 +619,12 @@ func main() {
 	}
 	if *instances <= 0 {
 		log.Fatalf("cpserver: -instances must be positive, got %d", *instances)
+	}
+	if persistPol, err = persist.ParseSyncPolicy(*syncPolicy); err != nil {
+		log.Fatalf("cpserver: -sync: %v", err)
+	}
+	if maxSegBytes, err = sizeparse.Parse(*maxSegment); err != nil {
+		log.Fatalf("cpserver: -maxsegment: %v", err)
 	}
 	policy := partition.EvictLRU
 	switch *eviction {
@@ -469,7 +645,7 @@ func main() {
 
 	insts := make([]*instance, 0, *instances)
 	for i, a := range addrs {
-		in, err := startInstance(a, capBytes, policy)
+		in, err := startInstance(a, instanceDir(i), capBytes, policy)
 		if err != nil {
 			for _, prev := range insts {
 				prev.close()

@@ -1,0 +1,260 @@
+// Persistence demo: the durability subsystem (internal/persist) end to
+// end — per-partition WAL logging, compact snapshots, crash-tolerant
+// recovery, and the warm-restart rejoin that spares a restarting
+// cluster node a full slot migration.
+//
+// The demo walks four phases:
+//
+//  1. Durable writes: a CPSERVER with a data directory logs every
+//     mutation (TTLs included) through its per-partition change rings
+//     into a segmented, CRC-framed WAL.
+//
+//  2. Snapshot + tail: a snapshot compacts the WAL (covered segments
+//     are deleted); later writes land in the WAL tail. Recovery is
+//     "newest valid snapshot + tail replay".
+//
+//  3. Warm restart: the server stops (queues quiesced, WAL flushed)
+//     and a new incarnation rebuilds the exact table from disk — every
+//     key readable, zero misses, TTLs still ticking from where they
+//     were.
+//
+//  4. Warm rejoin: a cluster coordinator re-admits the restarted node
+//     with rebalance.AddNodeWarm — its slots settle instantly with
+//     ZERO entries streamed (PR 3's cold join streams every entry),
+//     and it serves its slots straight from the recovered table.
+//
+//     go run ./examples/persistence
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"cphash/internal/client"
+	"cphash/internal/kvserver"
+	"cphash/internal/lockhash"
+	"cphash/internal/partition"
+	"cphash/internal/persist"
+	"cphash/internal/rebalance"
+)
+
+const (
+	keys    = 2000
+	ttlKeys = 200 // every tenth key carries a TTL
+	ttl     = time.Hour
+)
+
+// node is one persisted cache server.
+type node struct {
+	srv  *kvserver.Server
+	pipe *persist.Pipeline
+}
+
+// startNode boots a lockhash-backed server persisted under dir,
+// recovering any state a previous incarnation left. addr "" picks a
+// fresh port; a warm restart passes the old address.
+func startNode(dir, addr string) (*node, persist.RecoverStats, error) {
+	pipe, err := persist.Open(persist.Config{
+		Dir:    dir,
+		Policy: persist.SyncInterval,
+	})
+	if err != nil {
+		return nil, persist.RecoverStats{}, err
+	}
+	table, err := lockhash.New(lockhash.Config{
+		CapacityBytes: 8 << 20,
+		Sink:          func(p int) partition.ChangeSink { return pipe.Appender(p) },
+	})
+	if err != nil {
+		return nil, persist.RecoverStats{}, err
+	}
+	pipe.SetSource(persist.LockHashSource(table))
+	rst, err := persist.RestoreLockHash(pipe, table)
+	if err != nil {
+		return nil, rst, err
+	}
+	if err := pipe.Start(); err != nil {
+		return nil, rst, err
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	srv, err := kvserver.Serve(kvserver.Config{
+		Addr:       addr,
+		Workers:    2,
+		NewBackend: kvserver.NewLockHashBackend(table),
+		Persist:    pipe,
+	})
+	if err != nil {
+		return nil, rst, err
+	}
+	return &node{srv: srv, pipe: pipe}, rst, nil
+}
+
+func value(k uint64) []byte { return []byte(fmt.Sprintf("value-%d", k)) }
+
+// readBack GETs keys [from, to), skipping skip, and dies on any miss.
+func readBack(c *client.Client, from, to, skip uint64) {
+	for k := from; k < to; k++ {
+		if k == skip && skip != 0 {
+			continue
+		}
+		v, found, err := c.Get(k)
+		if err != nil {
+			log.Fatalf("get %d: %v", k, err)
+		}
+		if !found || string(v) != string(value(k)) {
+			log.Fatalf("read-back miss on key %d", k)
+		}
+	}
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "cphash-persistence-demo-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// --- Phase 1: durable writes ---------------------------------------
+	fmt.Println("=== phase 1: durable writes (WAL) ===")
+	n1, _, err := startNode(dir, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := n1.srv.Addr()
+	c, err := client.New(client.Config{Nodes: []string{addr}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := uint64(0); k < keys/2; k++ {
+		if k%10 == 0 {
+			err = c.SetTTL(k, value(k), ttl)
+		} else {
+			err = c.Set(k, value(k))
+		}
+		if err != nil {
+			log.Fatalf("set %d: %v", k, err)
+		}
+	}
+	// SETs are silent on the wire; a full read-back fences them (each
+	// GET round-trips behind the SETs on its connection), so the table
+	// and the change stream have seen everything before we look.
+	readBack(c, 0, keys/2, 0)
+	n1.pipe.Barrier() // force the WAL tail durable so the stats settle
+	st := n1.pipe.Stats()
+	fmt.Printf("wrote %d keys -> %d WAL records (%d bytes), %d fsyncs\n",
+		keys/2, st.Records, st.RecordBytes, st.Fsyncs)
+
+	// --- Phase 2: snapshot + WAL tail ----------------------------------
+	fmt.Println("\n=== phase 2: snapshot compaction + WAL tail ===")
+	if err := n1.pipe.Snapshot(); err != nil {
+		log.Fatal(err)
+	}
+	st = n1.pipe.Stats()
+	fmt.Printf("snapshot: %d entries, %d bytes (older WAL segments deleted)\n",
+		st.LastSnapEntries, st.LastSnapBytes)
+	for k := uint64(keys / 2); k < keys; k++ {
+		if err := c.Set(k, value(k)); err != nil {
+			log.Fatalf("set %d: %v", k, err)
+		}
+	}
+	readBack(c, keys/2, keys, 0)
+	c.Delete(1) // a tail delete, to prove deletes replay too
+	fmt.Printf("wrote %d more keys into the WAL tail (and deleted key 1)\n", keys/2)
+
+	// --- Phase 3: warm restart -----------------------------------------
+	fmt.Println("\n=== phase 3: stop, restart from disk, zero misses ===")
+	c.Close()
+	if err := n1.srv.Close(); err != nil { // quiesce queues, flush WAL
+		log.Fatal(err)
+	}
+	n2, rst, err := startNode(dir, addr) // same address: slots unchanged
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: %d snapshot entries + %d WAL tail records (torn segments: %d)\n",
+		rst.SnapshotEntries, rst.WALRecords, rst.TornSegments)
+	c, err = client.New(client.Config{Nodes: []string{addr}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	misses := 0
+	for k := uint64(0); k < keys; k++ {
+		v, found, err := c.Get(k)
+		if err != nil {
+			log.Fatalf("get %d: %v", k, err)
+		}
+		if k == 1 {
+			if found {
+				log.Fatal("deleted key 1 resurrected by recovery")
+			}
+			continue
+		}
+		if !found || string(v) != string(value(k)) {
+			misses++
+		}
+	}
+	if misses != 0 {
+		log.Fatalf("warm restart missed %d keys", misses)
+	}
+	fmt.Printf("read back all %d keys after restart: 0 misses (the tail delete stayed deleted)\n", keys-1)
+
+	// --- Phase 4: warm rejoin vs cold join ------------------------------
+	fmt.Println("\n=== phase 4: cluster rejoin — warm (0 streamed) vs cold ===")
+	c.Close()
+	if err := n2.srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A fresh empty node becomes the interim cluster; the restarted
+	// node rejoins it warm under its old address.
+	interimDir, err := os.MkdirTemp("", "cphash-persistence-demo-interim-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(interimDir)
+	interim, _, err := startNode(interimDir, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer interim.srv.Close()
+	c, err = client.New(client.Config{Nodes: []string{interim.srv.Addr()}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	n3, _, err := startNode(dir, addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer n3.srv.Close()
+
+	migr := rebalance.New(c, rebalance.Config{})
+	t0 := time.Now()
+	if err := migr.AddNodeWarm(addr); err != nil {
+		log.Fatal(err)
+	}
+	ms := migr.Stats()
+	fmt.Printf("warm rejoin: %d slots settled in %v, %d entries streamed (cold join would stream every key)\n",
+		ms.SlotsDone, time.Since(t0).Round(time.Microsecond), ms.Entries)
+
+	ring := c.Ring()
+	owned, ownedMisses := 0, 0
+	for k := uint64(0); k < keys; k++ {
+		if k == 1 || ring.NodeOf(k) != addr {
+			continue
+		}
+		owned++
+		if _, found, err := c.Get(k); err != nil || !found {
+			ownedMisses++
+		}
+	}
+	if ownedMisses != 0 {
+		log.Fatalf("warm joiner missed %d of its %d slots' keys", ownedMisses, owned)
+	}
+	fmt.Printf("the rejoined node serves all %d keys in its slots from disk: 0 misses\n", owned)
+	fmt.Println("\ndemo complete: durability + warm restart + zero-stream rejoin")
+}

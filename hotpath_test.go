@@ -4,7 +4,10 @@
 // throughput and for allocations per operation. The companion test
 // asserts the allocation ceiling so a regression in the zero-allocation
 // request path fails `go test` rather than silently eroding the batching
-// advantage the paper is about.
+// advantage the paper is about — and it asserts it both bare and with
+// the durability pipeline enabled (sync=interval), because the WAL's
+// pooled-buffer staging is designed to keep the hot path allocation-free
+// too.
 package cphash
 
 import (
@@ -16,6 +19,7 @@ import (
 	"cphash/internal/hotpath"
 	"cphash/internal/kvserver"
 	"cphash/internal/partition"
+	"cphash/internal/persist"
 )
 
 // hotPathConn bundles one dialed connection's codecs.
@@ -25,19 +29,40 @@ type hotPathConn struct {
 }
 
 // startHotPathServer boots a CPSERVER (CPHASH backend) sized for the
-// hot-path working set and dials one connection to it.
-func startHotPathServer(tb testing.TB) (*hotPathConn, func()) {
+// hot-path working set and dials one connection to it. With persistDir
+// non-empty the table is wired to a durability pipeline (sync=interval)
+// rooted there.
+func startHotPathServer(tb testing.TB, persistDir string) (*hotPathConn, func()) {
 	tb.Helper()
+	var pipe *persist.Pipeline
+	var sink func(int) partition.ChangeSink
+	if persistDir != "" {
+		var err error
+		pipe, err = persist.Open(persist.Config{Dir: persistDir, Policy: persist.SyncInterval})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sink = func(p int) partition.ChangeSink { return pipe.Appender(p) }
+	}
 	table := core.MustNew(core.Config{
 		Partitions:    2,
 		CapacityBytes: partition.CapacityForValues(2*hotpath.Keys, hotpath.ValueSize),
 		MaxClients:    1,
 		Seed:          1,
+		Sink:          sink,
 	})
+	if pipe != nil {
+		pipe.SetSource(persist.CoreSource(table))
+		if err := pipe.Start(); err != nil {
+			table.Close()
+			tb.Fatal(err)
+		}
+	}
 	srv, err := kvserver.Serve(kvserver.Config{
 		Addr:       "127.0.0.1:0",
 		Workers:    1,
 		NewBackend: kvserver.NewCPHashBackend(table),
+		Persist:    pipe,
 	})
 	if err != nil {
 		table.Close()
@@ -52,14 +77,14 @@ func startHotPathServer(tb testing.TB) (*hotPathConn, func()) {
 	pw := &hotPathConn{bw: bw, br: br}
 	return pw, func() {
 		closer.Close()
-		srv.Close()
+		srv.Close() // flushes and closes the pipeline, if any
 		table.Close()
 	}
 }
 
 // hotPathWarmup preloads the working set and runs enough of the mix that
 // every pooled buffer (connection arenas, worker batch slices, op free
-// lists, response buffers) reaches steady state.
+// lists, response buffers, WAL record pools) reaches steady state.
 func hotPathWarmup(tb testing.TB, pw *hotPathConn, val, dst []byte) []byte {
 	tb.Helper()
 	if err := hotpath.Preload(pw.bw, val); err != nil {
@@ -77,7 +102,7 @@ func hotPathWarmup(tb testing.TB, pw *hotPathConn, val, dst []byte) []byte {
 // allocs/op; the steady-state server path is expected to be
 // allocation-free.
 func BenchmarkHotPath_WireGetSet(b *testing.B) {
-	pw, stop := startHotPathServer(b)
+	pw, stop := startHotPathServer(b, "")
 	defer stop()
 	val := make([]byte, hotpath.ValueSize)
 	dst := make([]byte, 0, 2*hotpath.ValueSize)
@@ -90,36 +115,61 @@ func BenchmarkHotPath_WireGetSet(b *testing.B) {
 	}
 }
 
-// TestHotPathAllocCeiling is the allocation gate on the wire hot path: it
-// runs the steady-state mix and fails if the whole process (client loop +
-// server stack) exceeds the ceiling. The client loop is allocation-free by
+// BenchmarkHotPath_WireGetSetPersist is the same round trip with the
+// durability pipeline on (sync=interval), so the WAL overhead shows up
+// in the benchmark trajectory next to the bare number.
+func BenchmarkHotPath_WireGetSetPersist(b *testing.B) {
+	pw, stop := startHotPathServer(b, b.TempDir())
+	defer stop()
+	val := make([]byte, hotpath.ValueSize)
+	dst := make([]byte, 0, 2*hotpath.ValueSize)
+	dst = hotPathWarmup(b, pw, val, dst)
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := hotpath.Mix(pw.bw, pw.br, b.N, hotpath.Window, 1, val, dst, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestHotPathAllocCeiling is the allocation gate on the wire hot path:
+// it runs the steady-state mix and fails if the whole process (client
+// loop + server stack) exceeds the ceiling — once bare, once with the
+// durability pipeline enabled at sync=interval (change records stage
+// into pooled, recycled buffers, so persistence must not reintroduce
+// per-op allocation). The client loop is allocation-free by
 // construction, so the budget effectively bounds the server's per-op
-// allocations. Guarded by testing.Short so the race-enabled CI test run —
-// where the race runtime itself allocates — skips it; the dedicated bench
-// smoke job runs it unraced.
+// allocations. Guarded by testing.Short so the race-enabled CI test run
+// — where the race runtime itself allocates — skips it; the dedicated
+// bench smoke job runs it unraced.
 func TestHotPathAllocCeiling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation ceiling is measured by the bench smoke job, not under -short/-race")
 	}
-	pw, stop := startHotPathServer(t)
-	defer stop()
-	val := make([]byte, hotpath.ValueSize)
-	dst := make([]byte, 0, 2*hotpath.ValueSize)
-	dst = hotPathWarmup(t, pw, val, dst)
+	run := func(t *testing.T, persistDir string) {
+		pw, stop := startHotPathServer(t, persistDir)
+		defer stop()
+		val := make([]byte, hotpath.ValueSize)
+		dst := make([]byte, 0, 2*hotpath.ValueSize)
+		dst = hotPathWarmup(t, pw, val, dst)
 
-	const ops = 50000
-	runtime.GC()
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	if _, err := hotpath.Mix(pw.bw, pw.br, ops, hotpath.Window, 1, val, dst, nil); err != nil {
-		t.Fatal(err)
+		const ops = 50000
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		if _, err := hotpath.Mix(pw.bw, pw.br, ops, hotpath.Window, 1, val, dst, nil); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		perOp := float64(after.Mallocs-before.Mallocs) / float64(ops)
+		t.Logf("hot path: %.4f allocs/op (%d allocations over %d ops)", perOp, after.Mallocs-before.Mallocs, ops)
+		// The steady-state path is allocation-free; the ceiling leaves
+		// room only for incidental runtime activity (timers, GC
+		// bookkeeping).
+		if perOp > 0.05 {
+			t.Fatalf("hot path allocates %.4f allocs/op, ceiling 0.05 — the zero-allocation request path regressed", perOp)
+		}
 	}
-	runtime.ReadMemStats(&after)
-	perOp := float64(after.Mallocs-before.Mallocs) / float64(ops)
-	t.Logf("hot path: %.4f allocs/op (%d allocations over %d ops)", perOp, after.Mallocs-before.Mallocs, ops)
-	// The steady-state path is allocation-free; the ceiling leaves room
-	// only for incidental runtime activity (timers, GC bookkeeping).
-	if perOp > 0.05 {
-		t.Fatalf("hot path allocates %.4f allocs/op, ceiling 0.05 — the zero-allocation request path regressed", perOp)
-	}
+	t.Run("plain", func(t *testing.T) { run(t, "") })
+	t.Run("persist", func(t *testing.T) { run(t, t.TempDir()) })
 }

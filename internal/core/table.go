@@ -59,6 +59,13 @@ type Config struct {
 	// Clock supplies "now" in nanoseconds for TTL expiry (nil = wall
 	// clock). Tests inject fake clocks to make expiry deterministic.
 	Clock func() int64
+	// Sink, when non-nil, supplies each partition's durability change sink
+	// (internal/persist hands out one appender per partition). The sink is
+	// invoked only by the partition's owning server goroutine, so the
+	// single-producer contract holds even across §8.1 ownership handoffs —
+	// a partition moves between goroutines only at sweep boundaries, never
+	// mid-operation.
+	Sink func(partition int) partition.ChangeSink
 }
 
 func (c *Config) setDefaults() error {
@@ -184,12 +191,17 @@ func New(cfg Config) (*Table, error) {
 	}
 	per := cfg.CapacityBytes / cfg.Partitions
 	for p := range t.parts {
+		var sink partition.ChangeSink
+		if cfg.Sink != nil {
+			sink = cfg.Sink(p)
+		}
 		s, err := partition.NewStore(partition.Config{
 			CapacityBytes: per,
 			Buckets:       cfg.BucketsPerPartition,
 			Policy:        cfg.Policy,
 			Seed:          cfg.Seed + uint64(p)*0x9e3779b97f4a7c15 + 1,
 			Clock:         cfg.Clock,
+			Sink:          sink,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: partition %d: %w", p, err)

@@ -38,6 +38,7 @@ import (
 	"cphash/internal/core"
 	"cphash/internal/lockhash"
 	"cphash/internal/partition"
+	"cphash/internal/persist"
 	"cphash/internal/protocol"
 )
 
@@ -69,6 +70,18 @@ type Result struct {
 type Backend interface {
 	ProcessBatch(reqs []protocol.Request, results []Result, buf []byte) []byte
 	Close()
+}
+
+// BatchFencer is the optional Backend extension group commit needs: a
+// backend whose writes become durable-visible asynchronously (CPHASH's
+// Ready messages are fire-and-forget, so a batch's change records may
+// still be in flight toward the durability sink when ProcessBatch
+// returns) must implement FenceBatch to block until every record of the
+// previously processed batches has reached the sink. Synchronous
+// backends (LOCKHASH publishes under the partition lock) need not
+// implement it.
+type BatchFencer interface {
+	FenceBatch()
 }
 
 // SlotScanner is the optional Backend extension behind the protocol v3
@@ -106,6 +119,14 @@ type Config struct {
 	BufferSize int
 	// NewBackend builds the per-worker backend.
 	NewBackend func(worker int) (Backend, error)
+	// Persist, when non-nil, is the durability pipeline behind the
+	// backend's table. The server owns its lifecycle from here on: under
+	// SyncAlways every batch group-commits (the WAL is fsynced before
+	// any of the batch's responses reach the wire), and Close drains the
+	// worker queues and then flushes and closes the pipeline, so a
+	// graceful shutdown loses nothing. The pipeline must already be
+	// Started.
+	Persist *persist.Pipeline
 }
 
 // Stats counts server activity.
@@ -120,6 +141,7 @@ type Stats struct {
 type Server struct {
 	ln      net.Listener
 	bufSize int
+	persist *persist.Pipeline
 	workers []*worker
 	wg      sync.WaitGroup // acceptor + workers
 	readers sync.WaitGroup // per-connection readers
@@ -217,6 +239,25 @@ type worker struct {
 	requests atomic.Int64
 	batches  atomic.Int64
 	maxBatch int
+	// persist is the server's durability pipeline (nil without one);
+	// groupCommit is set under SyncAlways, where every mutating batch
+	// barriers on the WAL before its responses are written.
+	persist     *persist.Pipeline
+	groupCommit bool
+}
+
+// commit is the group-commit barrier: under sync=always it first fences
+// the backend (flushing any in-flight fire-and-forget publications into
+// the change rings) and then blocks until every published record is
+// fsynced. Responses are written only after it returns, so an
+// acknowledged write is on disk.
+func (w *worker) commit() {
+	if w.groupCommit {
+		if f, ok := w.backend.(BatchFencer); ok {
+			f.FenceBatch()
+		}
+		w.persist.Barrier()
+	}
 }
 
 // Serve starts the server; it returns once the listener is ready.
@@ -240,7 +281,7 @@ func Serve(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, bufSize: cfg.BufferSize, conns: map[net.Conn]struct{}{}}
+	s := &Server{ln: ln, bufSize: cfg.BufferSize, persist: cfg.Persist, conns: map[net.Conn]struct{}{}}
 	for i := 0; i < cfg.Workers; i++ {
 		b, err := cfg.NewBackend(i)
 		if err != nil {
@@ -251,10 +292,12 @@ func Serve(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("kvserver: backend %d: %w", i, err)
 		}
 		w := &worker{
-			id:       i,
-			queue:    make(chan connReq, cfg.QueueDepth),
-			backend:  b,
-			maxBatch: cfg.MaxBatch,
+			id:          i,
+			queue:       make(chan connReq, cfg.QueueDepth),
+			backend:     b,
+			maxBatch:    cfg.MaxBatch,
+			persist:     cfg.Persist,
+			groupCommit: cfg.Persist != nil && cfg.Persist.Policy() == persist.SyncAlways,
 		}
 		s.workers = append(s.workers, w)
 		s.wg.Add(1)
@@ -302,7 +345,22 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	for _, w := range s.workers {
+		// With the workers stopped, fence each backend once more so the
+		// final batches' fire-and-forget publications are in the change
+		// rings before the pipeline's closing drain.
+		if s.persist != nil {
+			if f, ok := w.backend.(BatchFencer); ok {
+				f.FenceBatch()
+			}
+		}
 		w.backend.Close()
+	}
+	// The worker queues are drained and the backends fenced, so every
+	// processed mutation has been published to the pipeline's change
+	// rings; closing it drains them and fsyncs the WAL. Shutdown is the
+	// one flush even sync=none gets.
+	if s.persist != nil {
+		s.persist.Close()
 	}
 	return nil
 }
@@ -440,14 +498,27 @@ func (w *worker) run() {
 			}
 			if seg := items[start:end]; len(seg) > 0 {
 				reqs = reqs[:0]
+				mutating := false
 				for _, it := range seg {
 					reqs = append(reqs, it.req)
+					switch it.req.Op {
+					case protocol.OpLookup, protocol.OpGetStr:
+					default:
+						mutating = true
+					}
 				}
 				results = results[:len(seg)]
 				for i := range results {
 					results[i] = Result{}
 				}
 				buf = w.backend.ProcessBatch(reqs, results, buf[:0])
+				// Group commit before any response bytes are staged: the
+				// bufio writers may spill to the socket mid-loop, so the
+				// barrier cannot wait until the flush below. Read-only
+				// segments publish nothing and skip the barrier.
+				if mutating {
+					w.commit()
+				}
 				for i := range seg {
 					cs := seg[i].cs
 					if cs.wErr != nil {
@@ -527,6 +598,10 @@ func (w *worker) respondScan(cs *connState, req protocol.Request, scanBuf []prot
 		if err != nil {
 			return scanBuf, err
 		}
+		// Purges delete entries (migration's post-move cleanup); under
+		// group commit their removal records hit disk before the ack, so
+		// a crash cannot resurrect entries the coordinator saw purged.
+		w.commit()
 		return scanBuf, protocol.WritePurgeResponse(cs.w, next, uint32(removed))
 	}
 	max := int(req.Count)
@@ -564,6 +639,14 @@ type cphashBackend struct {
 	idx      []int    // result index per op; -1 for inserts
 	keys     [][]byte // string key per op for GET_STR verification; else nil
 	inserted map[uint64]struct{}
+	// fenceKeys holds, per partition, one key inserted since the last
+	// FenceBatch. An insert's change record is published by the server
+	// goroutine only when it processes the (fire-and-forget) Ready
+	// message, so "batch settled" does not imply "records published";
+	// FenceBatch closes that gap with a lookup per touched partition —
+	// its reply rides the same FIFO ring, so receiving it proves every
+	// earlier Ready executed. Bounded by the partition count.
+	fenceKeys map[int]uint64
 	// entryBuf stages SET_STR stored entries (klen|key|value framing) for
 	// the current batch. It is sized up front so mid-batch appends never
 	// reallocate: in-flight inserts hold pointers into it until they
@@ -580,7 +663,7 @@ func NewCPHashBackend(t *core.Table) func(worker int) (Backend, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &cphashBackend{client: c, table: t, inserted: map[uint64]struct{}{}}, nil
+		return &cphashBackend{client: c, table: t, inserted: map[uint64]struct{}{}, fenceKeys: map[int]uint64{}}, nil
 	}
 }
 
@@ -631,6 +714,7 @@ func (b *cphashBackend) ProcessBatch(reqs []protocol.Request, results []Result, 
 			b.idx = append(b.idx, -1)
 			b.keys = append(b.keys, nil)
 			b.inserted[key] = struct{}{}
+			b.fenceKeys[b.table.PartitionOf(key)] = key
 		case protocol.OpSetStr:
 			// Embed the string key in the stored entry so collisions are
 			// detectable at read time. The entry bytes must stay stable
@@ -643,6 +727,7 @@ func (b *cphashBackend) ProcessBatch(reqs []protocol.Request, results []Result, 
 			b.idx = append(b.idx, -1)
 			b.keys = append(b.keys, nil)
 			b.inserted[key] = struct{}{}
+			b.fenceKeys[b.table.PartitionOf(key)] = key
 		case protocol.OpDelete, protocol.OpDelStr:
 			b.ops = append(b.ops, b.client.DeleteAsync(key))
 			b.idx = append(b.idx, i)
@@ -694,6 +779,27 @@ func (b *cphashBackend) settle(results []Result, buf []byte, from int) []byte {
 }
 
 func (b *cphashBackend) Close() { b.client.Close() }
+
+// FenceBatch implements BatchFencer: one pipelined lookup per partition
+// with unfenced inserts. Each reply proves, by per-ring FIFO order, that
+// every Ready message issued before it — and therefore every change
+// record of the settled batches — has executed on the owning server
+// goroutine and been published to the durability sink.
+func (b *cphashBackend) FenceBatch() {
+	if len(b.fenceKeys) == 0 {
+		return
+	}
+	from := len(b.ops)
+	for _, key := range b.fenceKeys {
+		b.ops = append(b.ops, b.client.LookupAsync(key))
+	}
+	b.client.WaitAll()
+	for _, op := range b.ops[from:] {
+		b.client.Release(op)
+	}
+	b.ops = b.ops[:from]
+	clear(b.fenceKeys)
+}
 
 // slotFilter adapts a wire slot bitmap to the key predicate the tables'
 // scan paths take. Keys land in slots exactly as the client-side continuum
@@ -818,12 +924,15 @@ func (b *lockhashBackend) PurgeSlots(slots *protocol.SlotSet, cursor uint64) (in
 	return removed, next, nil
 }
 
-// Sanity: both backends implement Backend and its migration extension.
+// Sanity: both backends implement Backend and its migration extension;
+// only CPHASH needs the group-commit fence (LOCKHASH publishes change
+// records synchronously under the partition lock).
 var (
 	_ Backend     = (*cphashBackend)(nil)
 	_ Backend     = (*lockhashBackend)(nil)
 	_ SlotScanner = (*cphashBackend)(nil)
 	_ SlotScanner = (*lockhashBackend)(nil)
+	_ BatchFencer = (*cphashBackend)(nil)
 )
 
 // DefaultBufferSize is the per-connection bufio buffer size used when

@@ -55,6 +55,11 @@ type Config struct {
 	// Clock supplies "now" in nanoseconds for TTL expiry (nil = wall
 	// clock). Tests inject fake clocks to make expiry deterministic.
 	Clock func() int64
+	// Sink, when non-nil, supplies each partition's durability change sink
+	// (internal/persist hands out one appender per partition). Sink calls
+	// happen under the partition spinlock, which serializes them — the
+	// single-producer contract the appender requires.
+	Sink func(partition int) partition.ChangeSink
 }
 
 // Table is a LOCKHASH hash table. All methods are safe for concurrent use
@@ -90,12 +95,17 @@ func New(cfg Config) (*Table, error) {
 	per := cfg.CapacityBytes / n
 	t := &Table{parts: make([]lockedPartition, n), mask: uint64(n - 1)}
 	for i := range t.parts {
+		var sink partition.ChangeSink
+		if cfg.Sink != nil {
+			sink = cfg.Sink(i)
+		}
 		s, err := partition.NewStore(partition.Config{
 			CapacityBytes: per,
 			Buckets:       cfg.BucketsPerPartition,
 			Policy:        cfg.Policy,
 			Seed:          cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1,
 			Clock:         cfg.Clock,
+			Sink:          sink,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("lockhash: partition %d: %w", i, err)
@@ -184,6 +194,25 @@ func (t *Table) PutTTL(key Key, value []byte, ttl time.Duration) bool {
 	p := t.part(key)
 	p.mu.Lock()
 	e := p.store.InsertTTL(key&partition.MaxKey, len(value), ttl)
+	if e == nil {
+		p.mu.Unlock()
+		return false
+	}
+	copy(e.Value(), value)
+	p.store.MarkReady(e)
+	p.store.Decref(e)
+	p.mu.Unlock()
+	return true
+}
+
+// PutExpire stores value under key with an absolute expiry deadline on
+// the table's clock in nanoseconds (0 = never expires), reporting whether
+// space was obtained. Durability recovery uses it to restore TTLs
+// exactly as logged.
+func (t *Table) PutExpire(key Key, value []byte, expireAt int64) bool {
+	p := t.part(key)
+	p.mu.Lock()
+	e := p.store.InsertExpire(key&partition.MaxKey, len(value), expireAt)
 	if e == nil {
 		p.mu.Unlock()
 		return false

@@ -147,7 +147,14 @@ func (s *Store) PurgeBuckets(start, maxBuckets int, filter func(Key) bool) (remo
 					s.expireElement(e)
 				} else {
 					s.stats.Deletes++
+					key := e.key
 					s.unlink(e)
+					if s.sink != nil {
+						// Purges are explicit removals (slot migration's
+						// post-move cleanup): stream them so a warm restart
+						// cannot resurrect entries this node no longer owns.
+						s.sink.Delete(key)
+					}
 					removed++
 				}
 			}

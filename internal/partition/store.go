@@ -38,6 +38,32 @@ func CapacityForValues(n, valueSize int) int {
 	return c
 }
 
+// ChangeSink receives a partition's durable mutation stream. The store
+// invokes it inline, on the goroutine that owns the store (CPHASH's server
+// goroutine; LOCKHASH's caller under the partition spinlock), so calls for
+// one partition are strictly ordered and never concurrent. Implementations
+// must treat the value slice as borrowed: it aliases partition arena memory
+// and is valid only for the duration of the call.
+//
+// The stream is the write-ahead contract internal/persist logs:
+//
+//   - Set fires when a value becomes visible (MarkReady), with the
+//     element's absolute expiry deadline on the store's clock (0 = never).
+//   - Delete fires for explicit removals: Delete and PurgeBuckets, plus
+//     the rare insert-over-existing-key that unlinks the old element and
+//     then fails to allocate (the key vanished with no Set to supersede
+//     the logged old value).
+//
+// Evictions and TTL expiries are deliberately NOT streamed: a recovery may
+// therefore resurrect entries the cache had dropped, which is harmless —
+// they hold valid (never silently overwritten) data and simply re-expire
+// or re-evict — and it keeps the no-TTL eviction path free of sink
+// traffic. Recovery filters elapsed deadlines itself.
+type ChangeSink interface {
+	Set(key Key, value []byte, expireAt int64)
+	Delete(key Key)
+}
+
 // EvictionPolicy selects how a full partition makes room (Section 6.3).
 type EvictionPolicy uint8
 
@@ -135,6 +161,9 @@ type Config struct {
 	// expiry; nil uses the wall clock. Tests inject fake clocks to make
 	// expiry deterministic.
 	Clock func() int64
+	// Sink, when non-nil, receives the store's mutation stream (see
+	// ChangeSink). It is fixed for the store's lifetime.
+	Sink ChangeSink
 }
 
 // Store is one CPHash partition: a chained hash table plus LRU list over an
@@ -156,6 +185,7 @@ type Store struct {
 	sweepCursor uint64   // next bucket SweepExpired examines
 	ttlElems    int      // linked elements with a nonzero expiry deadline
 	free        *Element // recycled Element headers
+	sink        ChangeSink
 }
 
 // NewStore returns an empty partition with the given configuration.
@@ -192,6 +222,7 @@ func NewStore(cfg Config) (*Store, error) {
 		policy:  cfg.Policy,
 		rng:     seed,
 		clock:   clock,
+		sink:    cfg.Sink,
 	}, nil
 }
 
@@ -328,12 +359,20 @@ func (s *Store) InsertExpire(k Key, size int, expireAt int64) *Element {
 		s.stats.InsertErr++
 		return nil
 	}
+	hadOld := false
 	if old := s.find(k); old != nil {
 		s.unlink(old)
+		hadOld = true
 	}
 	off, ok := s.allocEvicting(size)
 	if !ok {
 		s.stats.InsertErr++
+		if hadOld && s.sink != nil {
+			// The old element is gone and no MarkReady will follow to
+			// supersede its logged value; stream the removal so recovery
+			// does not resurrect it.
+			s.sink.Delete(k)
+		}
 		return nil
 	}
 	e := s.newElement()
@@ -465,13 +504,21 @@ func (s *Store) Delete(k Key) bool {
 	}
 	s.stats.Deletes++
 	s.unlink(e)
+	if s.sink != nil {
+		s.sink.Delete(k)
+	}
 	return true
 }
 
 // MarkReady publishes a previously inserted element's value (the paper's
-// Ready message). Lookups return the element only after this.
+// Ready message). Lookups return the element only after this. Publication
+// is also the write-ahead point: the value bytes are complete, so the
+// change sink (if any) streams the Set here.
 func (s *Store) MarkReady(e *Element) {
 	e.ready = true
+	if s.sink != nil {
+		s.sink.Set(e.key, e.Value(), e.expire)
+	}
 }
 
 // Decref drops one caller reference. When the element is dead (evicted or

@@ -1,0 +1,239 @@
+package persist
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"cphash/internal/lockhash"
+	"cphash/internal/partition"
+)
+
+// Crash-recovery property test: random Set/SetTTL/Delete traffic runs
+// against a table wired to the pipeline; the persister is then killed
+// abruptly and the WAL tail truncated at a random byte offset at or
+// beyond the durable watermark — the on-disk states a real crash can
+// leave behind (fsynced data survives a crash; everything after it may
+// tear anywhere). Recovery must then satisfy, for every key:
+//
+//   - prefix consistency (no corruption): the recovered (value,
+//     expireAt) equals the state after some prefix of that key's
+//     operation history — never a mangled value, never a state the key
+//     was not in;
+//   - no acked-write loss: the prefix is at least as long as the key's
+//     history at the last Barrier (under sync=always the server
+//     barriers every batch before acknowledging, so "acked" means
+//     exactly this).
+//
+// Both properties are checked for every policy; the policies differ
+// only in how often traffic is barriered.
+
+// keyState is one historical state of a key.
+type keyState struct {
+	present  bool
+	val      string
+	expireAt int64
+}
+
+func (s keyState) String() string {
+	if !s.present {
+		return "<absent>"
+	}
+	return fmt.Sprintf("%q exp=%d", s.val, s.expireAt)
+}
+
+func TestCrashRecoveryProperty(t *testing.T) {
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			for trial := 0; trial < trials; trial++ {
+				runCrashTrial(t, policy, int64(trial)*7919+int64(policy))
+			}
+		})
+	}
+}
+
+func runCrashTrial(t *testing.T, policy SyncPolicy, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dir := t.TempDir()
+	clk := &fakeClock{now: int64(1000000 + rng.Intn(1000))}
+	cfg := Config{
+		Dir:     dir,
+		Policy:  policy,
+		Streams: 1 + rng.Intn(3),
+		// Small rings stress the publish backpressure path.
+		RingDepth: 16,
+		Clock:     clk.Now,
+		// A long interval so interval-mode durability comes only from
+		// explicit barriers — the trial controls what is acked.
+		SyncInterval: time.Hour,
+	}
+	p, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := lockhash.New(lockhash.Config{
+		Partitions:    4,
+		CapacityBytes: 4 << 20, // ample: the model assumes no evictions
+		Clock:         clk.Now,
+		Seed:          uint64(seed) + 1,
+		Sink:          func(i int) partition.ChangeSink { return p.Appender(i) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetSource(LockHashSource(table))
+	if _, err := RestoreLockHash(p, table); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 96
+	versions := map[uint64][]keyState{} // implicit version 0 = absent
+	acked := map[uint64]int{}           // min surviving version index
+	state := func(k uint64) keyState {
+		vs := versions[k]
+		if len(vs) == 0 {
+			return keyState{}
+		}
+		return vs[len(vs)-1]
+	}
+
+	nOps := 300 + rng.Intn(400)
+	barrierEvery := 0 // ops between barriers; always-mode barriers often
+	if policy == SyncAlways {
+		barrierEvery = 1 + rng.Intn(8)
+	}
+	snapshotAt := -1
+	if rng.Intn(2) == 0 {
+		snapshotAt = nOps / 2
+	}
+	val := make([]byte, 64)
+	lastBarrier := func() {
+		for k, vs := range versions {
+			acked[k] = len(vs)
+		}
+	}
+	for i := 0; i < nOps; i++ {
+		k := uint64(rng.Intn(keys))
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			wasPresent := state(k).present
+			if found := table.Delete(k); found != wasPresent {
+				t.Fatalf("trial %d: live table drifted from the model at delete(%d): found=%v want %v", seed, k, found, wasPresent)
+			}
+			if wasPresent {
+				// A delete-miss changes nothing and logs nothing; only a
+				// hit adds an absent state to the history.
+				versions[k] = append(versions[k], keyState{})
+			}
+		case 3, 4:
+			n := 1 + rng.Intn(len(val))
+			for j := 0; j < n; j++ {
+				val[j] = byte(rng.Intn(256))
+			}
+			ttl := time.Duration(1+rng.Intn(48)) * time.Hour
+			if !table.PutTTL(k, val[:n], ttl) {
+				t.Fatalf("trial %d: PutTTL failed (capacity?)", seed)
+			}
+			versions[k] = append(versions[k], keyState{present: true, val: string(val[:n]), expireAt: clk.now + int64(ttl)})
+		default:
+			n := 1 + rng.Intn(len(val))
+			for j := 0; j < n; j++ {
+				val[j] = byte(rng.Intn(256))
+			}
+			if !table.Put(k, val[:n]) {
+				t.Fatalf("trial %d: Put failed (capacity?)", seed)
+			}
+			versions[k] = append(versions[k], keyState{present: true, val: string(val[:n])})
+		}
+		if barrierEvery > 0 && i%barrierEvery == barrierEvery-1 {
+			p.Barrier()
+			lastBarrier()
+		}
+		if policy == SyncInterval && rng.Intn(50) == 0 {
+			p.Barrier()
+			lastBarrier()
+		}
+		if i == snapshotAt {
+			if err := p.Snapshot(); err != nil {
+				t.Fatalf("trial %d: snapshot: %v", seed, err)
+			}
+		}
+	}
+	if st := table.Stats(); st.Evictions != 0 || st.InsertErr != 0 {
+		t.Fatalf("trial %d: table evicted (%d) or failed inserts (%d); the model assumes neither", seed, st.Evictions, st.InsertErr)
+	}
+
+	// Crash: kill the persisters mid-flight, then tear the tail of a
+	// random stream's current segment at a random offset at or beyond
+	// its durable watermark.
+	p.Kill()
+	ws := p.WALStatus()
+	victim := ws[rng.Intn(len(ws))]
+	if victim.Segment != "" {
+		fi, err := os.Stat(victim.Segment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() > victim.DurableBytes {
+			cut := victim.DurableBytes + rng.Int63n(fi.Size()-victim.DurableBytes+1)
+			if err := os.Truncate(victim.Segment, cut); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Recover and check the two properties.
+	p2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := newMemState()
+	if _, err := p2.Recover(got.apply); err != nil {
+		t.Fatalf("trial %d: recover: %v", seed, err)
+	}
+	for k := range got.vals {
+		if len(versions[k]) == 0 {
+			t.Fatalf("trial %d: key %d recovered but never written", seed, k)
+		}
+	}
+	for k, vs := range versions {
+		g := keyState{}
+		if v, ok := got.vals[k]; ok {
+			g = keyState{present: true, val: string(v), expireAt: got.exps[k]}
+		}
+		min := acked[k]
+		matched := -1
+		for j := min; j <= len(vs); j++ {
+			var want keyState
+			if j > 0 {
+				want = vs[j-1]
+			}
+			if want == g {
+				matched = j
+				break
+			}
+		}
+		if matched < 0 {
+			t.Fatalf("trial %d (policy %v): key %d recovered as %v, which is no state at or after the acked version %d of its %d-op history (last acked state %v, final state %v)",
+				seed, policy, k, g, min, len(vs), stateAt(vs, min), stateAt(vs, len(vs)))
+		}
+	}
+}
+
+func stateAt(vs []keyState, j int) keyState {
+	if j <= 0 || j > len(vs) {
+		return keyState{}
+	}
+	return vs[j-1]
+}

@@ -1,0 +1,519 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+)
+
+// WAL on-disk format. A stream is a sequence of segment files named
+// w<stream>-<seq>.wal; seq is allocated from one pipeline-global counter
+// so segments across all streams (and across restarts) sort into a
+// single timeline. Each segment is:
+//
+//	header:  magic "CPWAL001" (8) | stream (4 LE) | seq (8 LE)
+//	frames:  length (4 LE) | crc32c(payload) (4 LE) | payload
+//	payload: op (1) | key (8 LE) | expireAt ns (8 LE) | value bytes
+//
+// Frames are written strictly append-only and a restart always rolls to
+// a fresh segment, so a frame that fails its length or CRC check marks
+// the end of that segment's valid prefix (a torn final write), never a
+// gap with valid data after it. ops: 1 = set, 2 = delete.
+const (
+	walMagic  = "CPWAL001"
+	walSuffix = ".wal"
+
+	segHeaderLen   = 8 + 4 + 8
+	frameHeaderLen = 4 + 4
+
+	opSet    = byte(1)
+	opDelete = byte(2)
+
+	// maxRecordLen rejects absurd frame lengths during replay before
+	// allocating (a corrupt length field must not OOM recovery).
+	maxRecordLen = 64 << 20
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// walName formats a segment file name.
+func walName(stream int, seq uint64) string {
+	return fmt.Sprintf("w%03d-%016x%s", stream, seq, walSuffix)
+}
+
+// stream is one WAL stream: a persister goroutine draining the change
+// rings of its assigned partitions into segment files.
+type stream struct {
+	p  *Pipeline
+	id int
+
+	apps atomic.Pointer[[]*Appender]
+
+	// persister-owned segment state
+	f      *os.File
+	bw     *bufio.Writer
+	crcBuf [frameHeaderLen]byte
+
+	// observable from other goroutines
+	seq     atomic.Uint64
+	path    atomicString
+	written atomic.Int64 // bytes handed to bw for the current segment
+	synced  atomic.Int64 // bytes known fsynced in the current segment
+
+	wake    chan struct{}
+	parked  atomic.Bool
+	syncReq atomic.Bool
+	rollReq chan chan rollAck
+}
+
+// rollAck reports the seq of the fresh segment a roll opened.
+type rollAck struct {
+	newSeq uint64
+	err    error
+}
+
+// atomicString is a tiny atomic string cell (for the segment path).
+type atomicString struct{ v atomic.Pointer[string] }
+
+func (s *atomicString) Store(v string) { s.v.Store(&v) }
+func (s *atomicString) Load() string {
+	if p := s.v.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func newStream(p *Pipeline, id int) *stream {
+	s := &stream{
+		p:       p,
+		id:      id,
+		wake:    make(chan struct{}, 1),
+		rollReq: make(chan chan rollAck),
+	}
+	empty := []*Appender{}
+	s.apps.Store(&empty)
+	return s
+}
+
+func (s *stream) addAppender(a *Appender) {
+	old := *s.apps.Load()
+	next := make([]*Appender, len(old)+1)
+	copy(next, old)
+	next[len(old)] = a
+	s.apps.Store(&next)
+}
+
+// kick wakes the persister if it is parked; called by producers after
+// publishing (same store-then-check protocol as core.Table.kick).
+func (s *stream) kick() {
+	if s.parked.Load() {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// kickAlways queues a wake token unconditionally (commands, shutdown).
+func (s *stream) kickAlways() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// openSegment seals the current segment (if any) and opens the next one.
+func (s *stream) openSegment() error {
+	if s.f != nil {
+		if err := s.seal(); err != nil {
+			return err
+		}
+	}
+	seq := s.p.nextSeq.Add(1) - 1
+	path := filepath.Join(s.p.cfg.Dir, walName(s.id, seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	// Persist the dirent too: without this, a power failure after a
+	// group-committed batch in a freshly rolled segment could lose the
+	// whole segment (file data fsynced, directory entry not), silently
+	// dropping acked writes. Once per roll, so the cost is noise.
+	syncDir(s.p.cfg.Dir)
+	var hdr [segHeaderLen]byte
+	copy(hdr[:8], walMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(s.id))
+	binary.LittleEndian.PutUint64(hdr[12:20], seq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if s.bw == nil {
+		s.bw = bufio.NewWriterSize(f, 256<<10)
+	} else {
+		s.bw.Reset(f)
+	}
+	s.f = f
+	s.seq.Store(seq)
+	s.path.Store(path)
+	s.written.Store(segHeaderLen)
+	s.synced.Store(segHeaderLen)
+	return nil
+}
+
+// seal flushes, fsyncs and closes the current segment, advancing every
+// durable watermark (a sealed segment is fully durable).
+func (s *stream) seal() error {
+	if err := s.syncNow(); err != nil {
+		return err
+	}
+	err := s.f.Close()
+	s.f = nil
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// writeRecord frames one staged payload into the segment writer,
+// returning the framed length (stats are batched by drain).
+func (s *stream) writeRecord(payload []byte) (int, error) {
+	binary.LittleEndian.PutUint32(s.crcBuf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(s.crcBuf[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := s.bw.Write(s.crcBuf[:]); err != nil {
+		return 0, err
+	}
+	if _, err := s.bw.Write(payload); err != nil {
+		return 0, err
+	}
+	return frameHeaderLen + len(payload), nil
+}
+
+// drain consumes every staged record from the stream's appenders and
+// writes it to the segment, rolling to a fresh segment whenever the
+// current one reaches the configured size (the bound holds even when a
+// deep ring drains in one sweep). It returns how many records were
+// written; the per-record counters are batched into the shared stats
+// once per sweep.
+func (s *stream) drain() (int, error) {
+	n := 0
+	bytes := 0
+	max := int64(s.p.cfg.MaxSegment)
+	flush := func() {
+		if n > 0 {
+			s.p.records.Add(int64(n))
+			s.p.recordBytes.Add(int64(bytes - n*frameHeaderLen))
+		}
+	}
+	for _, a := range *s.apps.Load() {
+		for {
+			b, ok := a.pub.Consume()
+			if !ok {
+				break
+			}
+			w, err := s.writeRecord(b)
+			a.recycle(b)
+			if err != nil {
+				flush()
+				return n, fmt.Errorf("persist: wal write: %w", err)
+			}
+			a.wseq++
+			n++
+			bytes += w
+			if s.written.Add(int64(w)) >= max {
+				s.p.rolls.Add(1)
+				if err := s.openSegment(); err != nil {
+					flush()
+					return n, err
+				}
+			}
+		}
+	}
+	flush()
+	return n, nil
+}
+
+// syncNow flushes the segment writer and fsyncs the file, then advances
+// the durable watermarks and wakes Barrier waiters.
+func (s *stream) syncNow() error {
+	target := s.written.Load()
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("persist: wal flush: %w", err)
+	}
+	if s.synced.Load() == target {
+		return nil // nothing new since the last sync
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("persist: wal fsync: %w", err)
+	}
+	s.p.fsyncs.Add(1)
+	s.synced.Store(target)
+	s.markDurable()
+	return nil
+}
+
+// markDurable publishes each appender's written-record count as its
+// durable watermark and wakes Barrier waiters.
+func (s *stream) markDurable() {
+	for _, a := range *s.apps.Load() {
+		if a.durable.Load() != a.wseq {
+			a.durable.Store(a.wseq)
+		}
+	}
+	s.p.mu.Lock()
+	s.p.cond.Broadcast()
+	s.p.mu.Unlock()
+}
+
+// flushBatch is the post-drain policy step: under SyncAlways the batch
+// group-commits (one fsync covers every record drained in it).
+func (s *stream) flushBatch() error {
+	if s.p.cfg.Policy == SyncAlways {
+		return s.syncNow()
+	}
+	return nil
+}
+
+// Idle pacing. An empty persister first poll-sleeps (shallowPoll at a
+// time, costing the producers nothing), and only after parkAfterPolls
+// consecutive empty polls — ~100ms of real idleness — parks on its wake
+// channel. The two-phase design keeps the producers' kick (a futex
+// wake) entirely off the steady-state hot path: between pipelined
+// request windows the persister is merely sleeping, not parked, so
+// appenders never pay to wake it. Busy-spinning instead would fight the
+// table's own spinning server goroutines for cores and lose badly on
+// oversubscribed hosts.
+const (
+	shallowPoll    = 500 * time.Microsecond
+	parkAfterPolls = 500
+)
+
+// run is the persister goroutine.
+func (s *stream) run() {
+	defer s.p.wg.Done()
+	fail := func(err error) {
+		// A failing WAL device cannot be hidden: surface loudly and stop
+		// persisting. markBroken stops the appenders (the server keeps
+		// serving, cache first), releases Barrier waiters, and turns
+		// pending/future roll requests into errors instead of leaving
+		// them blocked on a goroutine that no longer exists.
+		fmt.Fprintf(os.Stderr, "persist: stream %d: %v\n", s.id, err)
+		s.p.markBroken()
+	}
+	// Interval syncs are driven by a deadline check on the write path,
+	// not a timer in a select: a stream under sustained traffic never
+	// goes idle, and its fsyncs must not wait until it does.
+	lastSync := time.Now()
+	syncDeadline := func() error {
+		if s.p.cfg.Policy != SyncInterval {
+			return nil
+		}
+		if now := time.Now(); now.Sub(lastSync) >= s.p.cfg.SyncInterval {
+			lastSync = now
+			return s.syncNow()
+		}
+		return nil
+	}
+	// One reusable park timer (interval policy only): armed when the
+	// persister parks, stopped on wake, so parking allocates nothing.
+	var parkTimer *time.Timer
+	if s.p.cfg.Policy == SyncInterval {
+		parkTimer = time.NewTimer(time.Hour)
+		parkTimer.Stop()
+		defer parkTimer.Stop()
+	}
+	idle := 0
+	for {
+		// Commands are accepted between batches even under continuous
+		// traffic: a snapshot roll must not wait for an idle moment.
+		select {
+		case reply := <-s.rollReq:
+			err := s.openSegment()
+			reply <- rollAck{newSeq: s.seq.Load(), err: err}
+			if err != nil {
+				fail(err)
+				return
+			}
+		case <-s.p.killed:
+			return
+		default:
+		}
+		n, err := s.drain()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if n > 0 {
+			idle = 0
+			if err := s.flushBatch(); err != nil {
+				fail(err)
+				return
+			}
+			if err := syncDeadline(); err != nil {
+				fail(err)
+				return
+			}
+			// Honor Barrier requests here too: under sustained traffic
+			// this loop never goes idle, and a SyncNone/SyncInterval
+			// Barrier would otherwise wait for a pause that may never
+			// come.
+			if s.syncReq.Swap(false) {
+				if err := s.syncNow(); err != nil {
+					fail(err)
+					return
+				}
+			}
+			continue
+		}
+		if s.syncReq.Swap(false) {
+			if err := s.syncNow(); err != nil {
+				fail(err)
+				return
+			}
+			continue
+		}
+		if s.p.stopping.Load() {
+			// Rings drained (n == 0), no pending command: final sync and
+			// exit. Producers are quiescent by the Close contract.
+			if err := s.seal(); err != nil {
+				fail(err)
+			}
+			return
+		}
+		if idle++; idle < parkAfterPolls {
+			if err := syncDeadline(); err != nil {
+				fail(err)
+				return
+			}
+			time.Sleep(shallowPoll)
+			continue
+		}
+		idle = 0
+		s.parked.Store(true)
+		if s.anyWork() {
+			s.parked.Store(false)
+			continue
+		}
+		var tickC <-chan time.Time
+		if parkTimer != nil {
+			parkTimer.Reset(s.p.cfg.SyncInterval)
+			tickC = parkTimer.C
+		}
+		select {
+		case <-s.wake:
+		case reply := <-s.rollReq:
+			err := s.openSegment()
+			reply <- rollAck{newSeq: s.seq.Load(), err: err}
+			if err != nil {
+				s.parked.Store(false)
+				fail(err)
+				return
+			}
+		case <-tickC:
+			lastSync = time.Now()
+			if err := s.syncNow(); err != nil {
+				s.parked.Store(false)
+				fail(err)
+				return
+			}
+		case <-s.p.killed:
+			// Abrupt death: leave buffered bytes unflushed, exactly like
+			// a crash.
+			s.parked.Store(false)
+			return
+		}
+		s.parked.Store(false)
+		if parkTimer != nil {
+			parkTimer.Stop()
+		}
+	}
+}
+
+// anyWork reports whether any assigned appender has published records.
+func (s *stream) anyWork() bool {
+	for _, a := range *s.apps.Load() {
+		if a.pub.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// roll asks the persister to seal the current segment and open a fresh
+// one, returning the fresh segment's seq. Used by the snapshotter: every
+// segment sealed before the roll is covered by the snapshot that
+// follows.
+func (s *stream) roll() (uint64, error) {
+	reply := make(chan rollAck, 1)
+	select {
+	case s.rollReq <- reply:
+	case <-s.p.killed:
+		return 0, fmt.Errorf("persist: pipeline killed")
+	case <-s.p.broken:
+		return 0, fmt.Errorf("persist: stream %d persister failed", s.id)
+	}
+	select {
+	case ack := <-reply:
+		return ack.newSeq, ack.err
+	case <-s.p.broken:
+		// The persister accepted the request and then died on it.
+		return 0, fmt.Errorf("persist: stream %d persister failed", s.id)
+	}
+}
+
+// --- replay ---
+
+// replaySegment streams the valid frame prefix of one segment into fn,
+// stopping cleanly at a torn or corrupt frame. It returns the number of
+// applied records and whether the segment ended with a tear.
+func replaySegment(path string, fn func(op byte, key uint64, expireAt int64, value []byte) error) (records int, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 256<<10)
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, true, nil // shorter than a header: torn at birth
+	}
+	if string(hdr[:8]) != walMagic {
+		return 0, false, fmt.Errorf("persist: %s: bad segment magic", path)
+	}
+	var frame [frameHeaderLen]byte
+	payload := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			return records, err != io.EOF, nil // EOF = clean end; short = torn
+		}
+		n := binary.LittleEndian.Uint32(frame[0:4])
+		want := binary.LittleEndian.Uint32(frame[4:8])
+		if n < recHeaderLen || n > maxRecordLen {
+			return records, true, nil // corrupt length: end of valid prefix
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return records, true, nil // torn mid-payload
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			return records, true, nil // torn or bit-rotted: stop here
+		}
+		op := payload[0]
+		key := binary.LittleEndian.Uint64(payload[1:9])
+		exp := int64(binary.LittleEndian.Uint64(payload[9:17]))
+		if err := fn(op, key, exp, payload[17:]); err != nil {
+			return records, false, err
+		}
+		records++
+	}
+}

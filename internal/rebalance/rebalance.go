@@ -117,6 +117,39 @@ func (m *Migrator) AddNode(addr string) error {
 	return m.runLocked(mig)
 }
 
+// AddNodeWarm joins a member that already holds its slots' data — a
+// node restarting warm from its durability directory (internal/persist)
+// after a stop or crash. The ring placement is deterministic (rendezvous
+// on the member address), so a node rejoining under the same address is
+// assigned exactly the slots it served before; instead of streaming
+// those entries from scratch, every moved slot's window is closed
+// immediately and the joiner serves them from its recovered table.
+//
+// Cache-consistency caveat, same family as the migration contract: keys
+// in the joiner's slots that were WRITTEN while it was away live on the
+// interim owners, and reads route back to the joiner after this call —
+// a stale or missing copy there reads as stale data or a miss until the
+// entry is refilled or expires. Populate-then-rejoin workloads (and any
+// workload that can tolerate a cache miss) are unaffected. Use AddNode
+// when the joiner's disk state is gone or its address changed.
+func (m *Migrator) AddNodeWarm(addr string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.resumeLocked(); err != nil {
+		return fmt.Errorf("rebalance: resuming pending migration: %w", err)
+	}
+	mig, err := m.c.AddNode(addr)
+	if err != nil {
+		return err
+	}
+	m.migrations.Add(1)
+	for _, slots := range mig.Moved {
+		m.slotsTotal.Add(int64(len(slots)))
+		m.slotsDone.Add(int64(m.c.MarkMigrated(slots)))
+	}
+	return nil
+}
+
 // RemoveNode departs a member, migrating its slots to the survivors
 // first (resuming any unfinished plan, like AddNode). The member's server
 // can be shut down once this returns.

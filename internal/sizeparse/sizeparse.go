@@ -23,13 +23,16 @@ var suffixes = []struct {
 // Parse converts a size string to bytes. Accepted forms: a bare integer
 // (bytes) or an integer with one of the suffixes B, K/KB/KiB, M/MB/MiB,
 // G/GB/GiB (all binary multiples, as conventional for memory sizes).
+// Suffixes match case-insensitively ("64kib", "1gb" and "16MIB" all
+// work), since they arrive from command-line flags (-capacity,
+// -maxsegment) typed by humans.
 func Parse(s string) (int, error) {
 	orig := s
 	s = strings.TrimSpace(s)
 	mult := 1
 	for _, suf := range suffixes {
-		if strings.HasSuffix(s, suf.name) {
-			s = strings.TrimSuffix(s, suf.name)
+		if hasSuffixFold(s, suf.name) {
+			s = s[:len(s)-len(suf.name)]
 			mult = suf.mult
 			break
 		}
@@ -43,4 +46,19 @@ func Parse(s string) (int, error) {
 		return 0, fmt.Errorf("sizeparse: size %q overflows", orig)
 	}
 	return n * mult, nil
+}
+
+// hasSuffixFold is strings.HasSuffix under ASCII case folding (the
+// suffix alphabet is plain ASCII, so EqualFold suffices).
+func hasSuffixFold(s, suffix string) bool {
+	return len(s) >= len(suffix) && strings.EqualFold(s[len(s)-len(suffix):], suffix)
+}
+
+// MustParse is Parse that panics on error, for constant call sites.
+func MustParse(s string) int {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
 }

@@ -17,6 +17,17 @@ func TestParse(t *testing.T) {
 		"1G":     1 << 30,
 		" 7MiB ": 7 << 20,
 		"12 MiB": 12 << 20,
+		// Suffixes fold case: command-line flags (-capacity,
+		// -maxsegment, cpbench -bufsize) accept what humans type.
+		"64kib":  64 << 10,
+		"64kb":   64 << 10,
+		"64k":    64 << 10,
+		"16mib":  16 << 20,
+		"1gb":    1 << 30,
+		"2g":     2 << 30,
+		"16MIB":  16 << 20,
+		"512b":   512,
+		"3 gib ": 3 << 30,
 	}
 	for in, want := range good {
 		got, err := Parse(in)
@@ -24,12 +35,24 @@ func TestParse(t *testing.T) {
 			t.Errorf("Parse(%q) = %d, %v; want %d", in, got, err, want)
 		}
 	}
-	bad := []string{"", "abc", "-1", "-5MB", "1.5MB", "MB", "10TB10"}
+	bad := []string{"", "abc", "-1", "-5MB", "1.5MB", "MB", "10TB10", "64 k b", "kib", "12x"}
 	for _, in := range bad {
 		if _, err := Parse(in); err == nil {
 			t.Errorf("Parse(%q) succeeded", in)
 		}
 	}
+}
+
+func TestMustParse(t *testing.T) {
+	if got := MustParse("64MiB"); got != 64<<20 {
+		t.Fatalf("MustParse(64MiB) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on garbage did not panic")
+		}
+	}()
+	MustParse("not-a-size")
 }
 
 func TestParseOverflow(t *testing.T) {
