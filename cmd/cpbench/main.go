@@ -13,6 +13,7 @@
 //	cpbench -experiment ablation-ring   # §3.4: single slot vs buffered ring
 //	cpbench -experiment ablation-batch  # §6.1: pipeline-depth sensitivity
 //	cpbench -experiment hotpath   # wire-level GET/SET mix: qps, p99, allocs/op
+//	cpbench -experiment replication # hotpath with a live follower: streaming overhead
 //	cpbench -experiment all
 //
 // The hotpath experiment is the steady-state perf gate: a 90/10 GET/SET
@@ -48,6 +49,7 @@ import (
 	"cphash/internal/partition"
 	"cphash/internal/perf"
 	"cphash/internal/persist"
+	"cphash/internal/replica"
 	"cphash/internal/ring"
 	"cphash/internal/sizeparse"
 	"cphash/internal/workload"
@@ -110,7 +112,7 @@ func main() {
 	known := map[string]bool{
 		"fig5": true, "fig8": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig13": true, "fig14": true, "ablation-ring": true, "ablation-batch": true,
-		"ablation-dynamic": true, "hotpath": true, "all": true,
+		"ablation-dynamic": true, "hotpath": true, "replication": true, "all": true,
 	}
 	if !known[*experiment] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -127,6 +129,7 @@ func main() {
 	run("ablation-batch", ablationBatch)
 	run("ablation-dynamic", ablationDynamic)
 	run("hotpath", hotpathExperiment)
+	run("replication", replicationExperiment)
 	writeResults()
 }
 
@@ -472,7 +475,12 @@ func hotpathConnLoop(addr string, size, connOps int, seed uint64, hist *perf.His
 // the durability overhead the trajectory tracks. Returns ok=false on
 // failure; the caller picks the best of several runs before recording,
 // so one scheduler hiccup cannot poison the trajectory.
-func hotpathRun(size int, persistDir string) (res hotpathResult, ok bool) {
+//
+// With replicate true (requires persistDir), a replication source
+// streams the pipeline's tail to an in-process follower applying into a
+// second table — the design "cpserver+replica", whose ratio to the
+// persist-only number is the replication overhead.
+func hotpathRun(size int, persistDir string, replicate bool) (res hotpathResult, ok bool) {
 	design := "cpserver"
 	var pipe *persist.Pipeline
 	var sink func(int) partition.ChangeSink
@@ -509,12 +517,47 @@ func hotpathRun(size int, persistDir string) (res hotpathResult, ok bool) {
 			}
 		}()
 	}
+	var src *replica.Source
+	var fl *replica.Follower
+	if replicate {
+		design = "cpserver+replica"
+		var err error
+		// A backlog small enough that the warmup rounds (~10% SETs)
+		// cycle every slot: the tail ring reuses slot buffers in place,
+		// so the measured window is allocation-free only once every slot
+		// has been written at the workload's record size.
+		src, err = replica.NewSource(replica.SourceConfig{Pipe: pipe, Addr: "127.0.0.1:0", BacklogRecords: 2048})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return res, false
+		}
+		defer func() {
+			if !ok {
+				src.Close()
+			}
+		}()
+		ftable := lockhash.MustNew(lockhash.Config{
+			Partitions:    *servers,
+			CapacityBytes: partition.CapacityForValues(2*hotpath.Keys, hotpath.ValueSize),
+		})
+		fl, err = replica.StartFollower(replica.FollowerConfig{
+			Source: src.Addr(),
+			Name:   "bench",
+			Apply:  replica.NewLockHashApplier(ftable),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return res, false
+		}
+		defer fl.Close()
+	}
 	srv, err := kvserver.Serve(kvserver.Config{
-		Addr:       "127.0.0.1:0",
-		Workers:    hotpathWorkers,
-		BufferSize: size,
-		NewBackend: kvserver.NewCPHashBackend(table),
-		Persist:    pipe,
+		Addr:        "127.0.0.1:0",
+		Workers:     hotpathWorkers,
+		BufferSize:  size,
+		NewBackend:  kvserver.NewCPHashBackend(table),
+		Persist:     pipe,
+		Replication: src,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -558,6 +601,10 @@ func hotpathRun(size int, persistDir string) (res hotpathResult, ok bool) {
 		}(ci)
 	}
 	warmed.Wait()
+	if src != nil && !waitSynced(src, 10*time.Second) {
+		fmt.Fprintln(os.Stderr, "cpbench: follower did not reach the tail watermark")
+		return res, false
+	}
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -603,17 +650,17 @@ type hotpathResult struct {
 // reason `go test -bench` reports are taken over multiple -count runs.
 const hotpathRuns = 5
 
-func hotpathBest(size int, persistDir string) float64 {
+func hotpathBest(exp string, size int, persistDir string, replicate bool) float64 {
 	var b hotpathResult
 	for i := 0; i < hotpathRuns; i++ {
-		if r, ok := hotpathRun(size, persistDir); ok && r.qps > b.qps {
+		if r, ok := hotpathRun(size, persistDir, replicate); ok && r.qps > b.qps {
 			b = r
 		}
 	}
 	if b.qps == 0 {
 		return 0
 	}
-	record("hotpath", map[string]any{
+	record(exp, map[string]any{
 		"design":      b.design,
 		"bufsize":     b.size,
 		"conns":       hotpathConns,
@@ -644,18 +691,78 @@ func hotpathExperiment() {
 		sizes = []int{n}
 	}
 	for _, size := range sizes {
-		bare := hotpathBest(size, "")
+		bare := hotpathBest("hotpath", size, "", false)
 		dir, err := os.MkdirTemp("", "cpbench-persist-")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			continue
 		}
-		durable := hotpathBest(size, dir)
+		durable := hotpathBest("hotpath", size, dir, false)
 		os.RemoveAll(dir)
 		if bare > 0 && durable > 0 {
 			fmt.Printf("  durability overhead at %s: %.1f%% qps (WAL on, sync=interval, best of %d)\n",
 				perf.FormatBytes(size), 100*(1-durable/bare), hotpathRuns)
 		}
+	}
+	fmt.Println()
+}
+
+// waitSynced polls the source until its follower has completed the
+// initial sync and acknowledged the current tail, so the measured window
+// starts from replication steady state.
+func waitSynced(src *replica.Source, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		tail := src.Tail()
+		for _, ps := range src.Status() {
+			if ps.Synced && ps.Acked >= tail {
+				return true
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// replicationExperiment measures the cost of the replication stack on
+// the wire hot path: the same 90/10 GET/SET mix as the hotpath
+// experiment, run bare, with the durability pipeline, and with the
+// pipeline plus a live in-process follower (source backlog staging,
+// frame compression, socket writes, follower applies). The two ratios it
+// prints separate what durability costs from what shipping the tail to a
+// replica adds on top.
+func replicationExperiment() {
+	fmt.Println("=== replication: hot-path overhead of a live follower ===")
+	fmt.Printf("%-18s %-10s %14s %12s %12s\n", "design", "bufsize", "queries/s", "window p99", "allocs/op")
+	size := 64 << 10
+	if *bufSize != "sweep" {
+		n, err := sizeparse.Parse(*bufSize)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpbench: -bufsize: %v\n", err)
+			os.Exit(2)
+		}
+		size = n
+	}
+	bare := hotpathBest("replication", size, "", false)
+	dir, err := os.MkdirTemp("", "cpbench-repl-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	durable := hotpathBest("replication", size, dir, false)
+	rdir, err := os.MkdirTemp("", "cpbench-repl-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer os.RemoveAll(rdir)
+	replicated := hotpathBest("replication", size, rdir, true)
+	if bare > 0 && durable > 0 && replicated > 0 {
+		fmt.Printf("  durability overhead at %s: %.1f%% qps (WAL on, sync=interval)\n",
+			perf.FormatBytes(size), 100*(1-durable/bare))
+		fmt.Printf("  replication overhead at %s: %.1f%% qps over persist-only (live follower, best of %d)\n",
+			perf.FormatBytes(size), 100*(1-replicated/durable), hotpathRuns)
 	}
 	fmt.Println()
 }

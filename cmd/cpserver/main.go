@@ -58,6 +58,28 @@
 // flushed and fsynced before the process exits — with -sync always a
 // client response is never written before its batch's records are on
 // disk (group commit).
+//
+// # Replication
+//
+// With -replicas 2 (requires -datadir), every continuum slot's entries
+// are streamed from the owning instance to the slot's standby — the
+// rendezvous rank-1 member, provably the instance the slot reassigns to
+// if its owner is removed (internal/replica). Each instance runs a
+// replication source next to its WAL and one follower link per primary
+// it stands by for; links resync from the durable prefix (snapshot +
+// sealed segments) and then apply the live tail, acknowledging a
+// watermark the coordinator can trust (an acked frame IS applied).
+//
+//	POST /promote?addr=X   # fail X over to its slots' standby replicas
+//	GET  /replication      # per-instance source peers + follower links
+//
+// Promotion is an ownership flip, not a data move: the standby already
+// holds every slot it inherits, so /promote waits only for the surviving
+// links to drain before closing the dual-read window — zero acked-write
+// loss on a clean stop, crash-loss bounded by the replication watermark.
+// After any topology change the replication mesh is rewired and entries
+// of slots an instance no longer owns or stands by for are purged, so a
+// later flip cannot resurrect stale copies.
 package main
 
 import (
@@ -77,13 +99,16 @@ import (
 	"time"
 
 	"cphash/internal/client"
+	"cphash/internal/cluster"
 	"cphash/internal/core"
 	"cphash/internal/kvserver"
 	"cphash/internal/lockhash"
 	"cphash/internal/memcache"
 	"cphash/internal/partition"
 	"cphash/internal/persist"
+	"cphash/internal/protocol"
 	"cphash/internal/rebalance"
+	"cphash/internal/replica"
 	"cphash/internal/sizeparse"
 )
 
@@ -98,6 +123,8 @@ var (
 	pin        = flag.Bool("pin", false, "dedicate an OS thread to each CPHASH server goroutine")
 	statsEvery = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
 	statsAddr  = flag.String("statsaddr", "", "optional HTTP address serving /stats JSON and /debug/vars")
+
+	replicas = flag.Int("replicas", 1, "replication factor: 1 = off, 2 = stream each slot's entries to its standby instance for failover promotion and follower reads (requires -datadir)")
 
 	dataDir      = flag.String("datadir", "", "enable durability: WAL + snapshots under this directory (instance i uses <datadir>/iNNN)")
 	syncPolicy   = flag.String("sync", "interval", "WAL sync policy: none | interval | always (group commit)")
@@ -115,6 +142,40 @@ type instance struct {
 	// persistence hooks; nil pipe when -datadir is unset.
 	pipe      *persist.Pipeline
 	recovered persist.RecoverStats
+	// replication hooks; nil src when -replicas is 1.
+	src        *replica.Source
+	newApplier func() replica.Applier // one per follower link
+}
+
+// frameLockedApplier serializes several follower links through one
+// underlying applier (a CPHASH table has a single reserved replay client
+// handle, which is single-goroutine). Each link gets its own wrapper over
+// the shared mutex: the lock is taken at a frame's first Apply and
+// released by its Flush — the follower guarantees exactly one Flush per
+// frame — so a frame applies atomically with respect to the other links
+// and the underlying pipelined ops are settled by their own frame.
+type frameLockedApplier struct {
+	mu   *sync.Mutex
+	a    replica.Applier
+	held bool // touched only by this link's apply goroutine
+}
+
+func (l *frameLockedApplier) Apply(op persist.Op, key uint64, expireAt int64, value []byte) error {
+	if !l.held {
+		l.mu.Lock()
+		l.held = true
+	}
+	return l.a.Apply(op, key, expireAt, value)
+}
+
+func (l *frameLockedApplier) Flush() error {
+	if !l.held {
+		return nil
+	}
+	err := l.a.Flush()
+	l.held = false
+	l.mu.Unlock()
+	return err
 }
 
 // parsed persistence options (set in main, read by startInstance —
@@ -200,14 +261,17 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 
 	case "cphash", "lockhash":
 		var (
-			newBackend func(int) (kvserver.Backend, error)
-			tableStats func() partition.Stats
-			closeTable func()
-			pipe       *persist.Pipeline
-			recovered  persist.RecoverStats
-			err        error
-			sink       func(int) partition.ChangeSink
+			newBackend   func(int) (kvserver.Backend, error)
+			tableStats   func() partition.Stats
+			closeTable   func()
+			pipe         *persist.Pipeline
+			recovered    persist.RecoverStats
+			err          error
+			sink         func(int) partition.ChangeSink
+			newApplier   func() replica.Applier
+			applierClose func()
 		)
+		replOn := *replicas >= 2
 		if dir != "" {
 			pipe, err = persist.Open(persist.Config{
 				Dir:              dir,
@@ -222,10 +286,14 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 			sink = func(p int) partition.ChangeSink { return pipe.Appender(p) }
 		}
 		if *backend == "cphash" {
+			maxClients := *workers
+			if replOn {
+				maxClients++ // one reserved client handle for the replica applier
+			}
 			table, err := core.New(core.Config{
 				Partitions:    *partitions,
 				CapacityBytes: capBytes,
-				MaxClients:    *workers,
+				MaxClients:    maxClients,
 				Policy:        policy,
 				LockOSThread:  *pin,
 				Sink:          sink,
@@ -239,6 +307,16 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 					table.Close()
 					return nil, fmt.Errorf("recovering %s: %w", dir, err)
 				}
+			}
+			if replOn {
+				ca, err := replica.NewCoreApplier(table, *workers, nil)
+				if err != nil {
+					table.Close()
+					return nil, err
+				}
+				applyMu := &sync.Mutex{}
+				newApplier = func() replica.Applier { return &frameLockedApplier{mu: applyMu, a: ca} }
+				applierClose = ca.Close
 			}
 			newBackend = kvserver.NewCPHashBackend(table)
 			tableStats = func() partition.Stats { return table.Stats().Stats }
@@ -259,6 +337,10 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 					return nil, fmt.Errorf("recovering %s: %w", dir, err)
 				}
 			}
+			if replOn {
+				la := replica.NewLockHashApplier(table)
+				newApplier = func() replica.Applier { return la }
+			}
 			newBackend = kvserver.NewLockHashBackend(table)
 			tableStats = table.Stats
 			closeTable = func() {}
@@ -269,13 +351,33 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 				return nil, err
 			}
 		}
+		var src *replica.Source
+		if replOn && pipe != nil {
+			// The replication listener shares the serving host on a
+			// kernel-assigned port; followers learn it in-process through
+			// the admin coordinator, never from configuration.
+			rhost, _, _ := net.SplitHostPort(addr)
+			src, err = replica.NewSource(replica.SourceConfig{
+				Pipe: pipe,
+				Addr: net.JoinHostPort(rhost, "0"),
+			})
+			if err != nil {
+				pipe.Close()
+				closeTable()
+				return nil, err
+			}
+		}
 		srv, err := kvserver.Serve(kvserver.Config{
-			Addr:       addr,
-			Workers:    *workers,
-			NewBackend: newBackend,
-			Persist:    pipe,
+			Addr:        addr,
+			Workers:     *workers,
+			NewBackend:  newBackend,
+			Persist:     pipe,
+			Replication: src,
 		})
 		if err != nil {
+			if src != nil {
+				src.Close()
+			}
 			if pipe != nil {
 				pipe.Close()
 			}
@@ -302,11 +404,23 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 				}
 				return out
 			},
-			// srv.Close drains the worker queues and flushes + closes
-			// the pipeline; only then is the table torn down.
-			close:     func() { srv.Close(); closeTable() },
-			pipe:      pipe,
-			recovered: recovered,
+			// srv.Close drains the worker queues, closes the replication
+			// source (followers receive the final records first) and
+			// flushes + closes the pipeline; only then are the replica
+			// applier and the table torn down. The admin coordinator
+			// closes this instance's own follower links before calling
+			// close, so nothing feeds the applier by then.
+			close: func() {
+				srv.Close()
+				if applierClose != nil {
+					applierClose()
+				}
+				closeTable()
+			},
+			pipe:       pipe,
+			recovered:  recovered,
+			src:        src,
+			newApplier: newApplier,
 		}, nil
 
 	default:
@@ -331,6 +445,9 @@ type admin struct {
 	started  int // instances ever started (port allocation); under opMu
 	cli      *client.Client
 	migr     *rebalance.Migrator
+	// links is the replication mesh: follower instance addr → primary
+	// instance addr → the live link (under mu; rebuilt by rewire).
+	links map[string]map[string]*replica.Follower
 }
 
 func newAdmin(insts []*instance, capBytes int, policy partition.EvictionPolicy, host string, basePort int) (*admin, error) {
@@ -338,20 +455,158 @@ func newAdmin(insts []*instance, capBytes int, policy partition.EvictionPolicy, 
 	for i, in := range insts {
 		addrs[i] = in.addr
 	}
-	cli, err := client.New(client.Config{Nodes: addrs})
-	if err != nil {
-		return nil, err
-	}
-	return &admin{
+	a := &admin{
 		insts:    insts,
 		capBytes: capBytes,
 		policy:   policy,
 		host:     host,
 		basePort: basePort,
 		started:  len(insts),
-		cli:      cli,
-		migr:     rebalance.New(cli, rebalance.Config{}),
-	}, nil
+		links:    map[string]map[string]*replica.Follower{},
+	}
+	// The coordinator's own client gets the follower-lag hook, so an
+	// operator flipping it to ReadFollower (or SDK users copying this
+	// wiring) reads standbys only within the staleness bound.
+	cli, err := client.New(client.Config{Nodes: addrs, FollowerLag: a.followerLag})
+	if err != nil {
+		return nil, err
+	}
+	a.cli = cli
+	a.migr = rebalance.New(cli, rebalance.Config{})
+	return a, nil
+}
+
+// followerLag reports the staleness of follower reads served by addr:
+// the worst staleness across the instance's live links (it may stand by
+// for several primaries). Reports unknown while any link has never
+// completed its initial sync.
+func (a *admin) followerLag(addr string) (time.Duration, bool) {
+	a.mu.Lock()
+	links := make([]*replica.Follower, 0, len(a.links[addr]))
+	for _, f := range a.links[addr] {
+		links = append(links, f)
+	}
+	a.mu.Unlock()
+	if len(links) == 0 {
+		return 0, false
+	}
+	var worst time.Duration
+	for _, f := range links {
+		d, ok := f.Staleness()
+		if !ok {
+			return 0, false
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, true
+}
+
+// dropLinks closes every link in which addr is the follower (called
+// before stopping the instance, so nothing feeds its applier).
+func (a *admin) dropLinks(addr string) {
+	a.mu.Lock()
+	m := a.links[addr]
+	delete(a.links, addr)
+	a.mu.Unlock()
+	for _, f := range m {
+		f.Close()
+	}
+}
+
+// rewire rebuilds the replication mesh for the current ring and purges
+// stale replica copies. Links are torn down and recreated from scratch:
+// topology changes are rare, and a follower resync is one snapshot +
+// sealed-segment replay, so simplicity wins over link diffing. Called
+// with opMu held.
+func (a *admin) rewire() {
+	if *replicas < 2 {
+		return
+	}
+	a.mu.Lock()
+	old := a.links
+	a.links = map[string]map[string]*replica.Follower{}
+	insts := append([]*instance(nil), a.insts...)
+	a.mu.Unlock()
+	for _, m := range old {
+		for _, f := range m {
+			f.Close()
+		}
+	}
+	byAddr := make(map[string]*instance, len(insts))
+	for _, in := range insts {
+		byAddr[in.addr] = in
+	}
+	ring := a.cli.Ring()
+	// follower addr → primary addr → subscribed slots
+	want := map[string]map[string]*protocol.SlotSet{}
+	for s := 0; s < cluster.Slots; s++ {
+		owner, standby := ring.Owner(s), ring.Standby(s)
+		if standby == "" || byAddr[owner] == nil || byAddr[standby] == nil {
+			continue
+		}
+		m := want[standby]
+		if m == nil {
+			m = map[string]*protocol.SlotSet{}
+			want[standby] = m
+		}
+		set := m[owner]
+		if set == nil {
+			set = &protocol.SlotSet{}
+			m[owner] = set
+		}
+		set.Add(s)
+	}
+	fresh := map[string]map[string]*replica.Follower{}
+	for fAddr, srcs := range want {
+		fin := byAddr[fAddr]
+		if fin.newApplier == nil {
+			continue // replication pieces missing (should not happen with -replicas 2)
+		}
+		for pAddr, set := range srcs {
+			pin := byAddr[pAddr]
+			if pin.src == nil {
+				continue
+			}
+			link, err := replica.StartFollower(replica.FollowerConfig{
+				Source: pin.src.Addr(),
+				Name:   fAddr,
+				Slots:  set,
+				Apply:  fin.newApplier(),
+			})
+			if err != nil {
+				log.Printf("cpserver: replication link %s ← %s: %v", fAddr, pAddr, err)
+				continue
+			}
+			if fresh[fAddr] == nil {
+				fresh[fAddr] = map[string]*replica.Follower{}
+			}
+			fresh[fAddr][pAddr] = link
+		}
+	}
+	a.mu.Lock()
+	a.links = fresh
+	a.mu.Unlock()
+	// Purge entries of slots an instance neither owns nor stands by for:
+	// a stale copy there would resurrect if a later topology change (or
+	// promotion) handed the slot back.
+	for _, in := range insts {
+		var stale protocol.SlotSet
+		n := 0
+		for s := 0; s < cluster.Slots; s++ {
+			if ring.Owner(s) != in.addr && ring.Standby(s) != in.addr {
+				stale.Add(s)
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		if _, err := a.cli.PurgeNode(in.addr, &stale); err != nil {
+			log.Printf("cpserver: purging stale replica slots on %s: %v", in.addr, err)
+		}
+	}
 }
 
 // instances snapshots the current instance list.
@@ -413,6 +668,7 @@ func (a *admin) join() (string, error) {
 	a.insts = append(a.insts, in)
 	n := len(a.insts)
 	a.mu.Unlock()
+	a.rewire()
 	fmt.Printf("cluster: %s joined with live migration (%d instances)\n", in.addr, n)
 	return in.addr, nil
 }
@@ -437,6 +693,7 @@ func (a *admin) leave(addr string) error {
 	if err := a.migr.RemoveNode(addr); err != nil {
 		return err
 	}
+	a.dropLinks(addr)
 	target.close()
 	a.mu.Lock()
 	for i, in := range a.insts {
@@ -447,12 +704,90 @@ func (a *admin) leave(addr string) error {
 	}
 	n := len(a.insts)
 	a.mu.Unlock()
+	a.rewire()
 	fmt.Printf("cluster: %s left with live migration (%d instances)\n", addr, n)
 	return nil
 }
 
-// close shuts the coordinator down (instances are closed by main).
+// promote fails the addressed instance over to its slots' standby
+// replicas. The instance is stopped first (a real failover starts with a
+// dead primary; a drill makes it one — the graceful close barriers its
+// final writes through the replication source), then for every new owner
+// the link from the dead primary is drained so the acked watermark is
+// fully applied before rebalance.Migrator.Promote closes the slot
+// windows. No data is streamed: the standby already holds every slot it
+// inherits. Afterwards the mesh is rewired around the survivors.
+func (a *admin) promote(addr string) error {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	if *replicas < 2 {
+		return fmt.Errorf("replication is disabled (run with -replicas 2)")
+	}
+	var target *instance
+	for _, in := range a.instances() {
+		if in.addr == addr {
+			target = in
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("no instance %q", addr)
+	}
+	if len(a.instances()) == 1 {
+		return fmt.Errorf("cannot promote away the last instance")
+	}
+	a.quiesce()
+	a.dropLinks(addr) // stop following others before its applier goes away
+	target.close()
+	confirm := func(newOwner string, slots []int) error {
+		a.mu.Lock()
+		var f *replica.Follower
+		if m := a.links[newOwner]; m != nil {
+			f = m[addr]
+			delete(m, addr)
+		}
+		a.mu.Unlock()
+		if f == nil {
+			// No live link: the new owner never replicated from the dead
+			// member (e.g. it joined moments ago). Promotion proceeds with
+			// whatever it has — the loss semantics of removing a dead node.
+			return nil
+		}
+		defer f.Close()
+		if !f.WaitDisconnected(10 * time.Second) {
+			return fmt.Errorf("link %s ← %s did not drain", newOwner, addr)
+		}
+		return nil
+	}
+	if err := a.migr.Promote(addr, confirm); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	for i, in := range a.insts {
+		if in == target {
+			a.insts = append(a.insts[:i], a.insts[i+1:]...)
+			break
+		}
+	}
+	n := len(a.insts)
+	a.mu.Unlock()
+	a.rewire()
+	fmt.Printf("cluster: %s promoted away to its standbys (%d instances)\n", addr, n)
+	return nil
+}
+
+// close shuts the coordinator down: replication links first (so nothing
+// feeds the instances' appliers while they tear down), then the client.
+// Instances are closed by main.
 func (a *admin) close() {
+	a.mu.Lock()
+	links := a.links
+	a.links = map[string]map[string]*replica.Follower{}
+	a.mu.Unlock()
+	for _, m := range links {
+		for _, f := range m {
+			f.Close()
+		}
+	}
 	if a.cli != nil {
 		a.cli.Close()
 	}
@@ -536,6 +871,64 @@ func (a *admin) migrationSnapshot() map[string]any {
 		"entriesReplayed": st.Replayed,
 		"replayErrors":    st.ReplayErrors,
 		"stalePurged":     st.Purged,
+		"promotions":      st.Promotions,
+	}
+}
+
+// replicationSnapshot renders the /replication document: per instance,
+// its source's peers (who replicates FROM it) and its follower links
+// (who it replicates from), with watermarks and staleness.
+func (a *admin) replicationSnapshot() map[string]any {
+	doc := map[string]any{"enabled": *replicas >= 2, "replicas": *replicas}
+	if *replicas < 2 {
+		return doc
+	}
+	a.mu.Lock()
+	insts := append([]*instance(nil), a.insts...)
+	links := make(map[string]map[string]*replica.Follower, len(a.links))
+	for fa, m := range a.links {
+		links[fa] = make(map[string]*replica.Follower, len(m))
+		for pa, f := range m {
+			links[fa][pa] = f
+		}
+	}
+	a.mu.Unlock()
+	list := make([]map[string]any, 0, len(insts))
+	for _, in := range insts {
+		e := map[string]any{"addr": in.addr}
+		if in.src != nil {
+			e["sourceAddr"] = in.src.Addr()
+			e["tail"] = in.src.Tail()
+			e["peers"] = in.src.Status()
+		}
+		follows := []map[string]any{}
+		for pAddr, f := range links[in.addr] {
+			st := f.Status()
+			follows = append(follows, map[string]any{
+				"primary": pAddr,
+				"status":  st,
+			})
+		}
+		e["follows"] = follows
+		list = append(list, e)
+	}
+	doc["instances"] = list
+	doc["promotions"] = a.migr.Stats().Promotions
+	return doc
+}
+
+// replicationSummary is the compact form embedded in /stats.
+func (a *admin) replicationSummary() map[string]any {
+	a.mu.Lock()
+	n := 0
+	for _, m := range a.links {
+		n += len(m)
+	}
+	a.mu.Unlock()
+	return map[string]any{
+		"enabled":    *replicas >= 2,
+		"links":      n,
+		"promotions": a.migr.Stats().Promotions,
 	}
 }
 
@@ -553,10 +946,31 @@ func serveStats(addr string, a *admin) (*http.Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, snapshotAll(a.instances()))
+		doc := snapshotAll(a.instances())
+		doc["replication"] = a.replicationSummary()
+		writeJSON(w, doc)
 	})
 	mux.HandleFunc("/migration", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, a.migrationSnapshot())
+	})
+	mux.HandleFunc("/replication", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, a.replicationSnapshot())
+	})
+	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		addr := r.URL.Query().Get("addr")
+		if addr == "" {
+			http.Error(w, "missing ?addr=", http.StatusBadRequest)
+			return
+		}
+		if err := a.promote(addr); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"promoted": addr, "replication": a.replicationSnapshot(), "migration": a.migrationSnapshot()})
 	})
 	mux.HandleFunc("/persistence", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, a.persistenceSnapshot())
@@ -607,7 +1021,7 @@ func serveStats(addr string, a *admin) (*http.Server, error) {
 	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
-	fmt.Printf("stats endpoint on http://%s/stats (admin: POST /join, POST /leave?addr=, GET /migration, GET /persistence, POST /snapshot)\n", ln.Addr())
+	fmt.Printf("stats endpoint on http://%s/stats (admin: POST /join, POST /leave?addr=, POST /promote?addr=, GET /migration, GET /replication, GET /persistence, POST /snapshot)\n", ln.Addr())
 	return srv, nil
 }
 
@@ -625,6 +1039,17 @@ func main() {
 	}
 	if maxSegBytes, err = sizeparse.Parse(*maxSegment); err != nil {
 		log.Fatalf("cpserver: -maxsegment: %v", err)
+	}
+	if *replicas < 1 || *replicas > 2 {
+		log.Fatalf("cpserver: -replicas must be 1 (off) or 2, got %d", *replicas)
+	}
+	if *replicas == 2 {
+		if *dataDir == "" {
+			log.Fatalf("cpserver: -replicas 2 requires -datadir (replication streams the WAL)")
+		}
+		if *backend == "memcache" {
+			log.Fatalf("cpserver: -replicas is not supported by the memcache backend")
+		}
 	}
 	policy := partition.EvictLRU
 	switch *eviction {
@@ -674,6 +1099,16 @@ func main() {
 	adm, err := newAdmin(insts, capBytes, policy, host, basePort)
 	if err != nil {
 		log.Fatalf("cpserver: coordinator: %v", err)
+	}
+	if *replicas >= 2 {
+		adm.opMu.Lock()
+		adm.rewire()
+		adm.opMu.Unlock()
+		fmt.Printf("replication: factor %d, %d links wired\n", *replicas, func() int {
+			s := adm.replicationSummary()
+			n, _ := s["links"].(int)
+			return n
+		}())
 	}
 
 	var statsSrv *http.Server

@@ -14,25 +14,34 @@ import (
 	"bufio"
 	"runtime"
 	"testing"
+	"time"
 
 	"cphash/internal/core"
 	"cphash/internal/hotpath"
 	"cphash/internal/kvserver"
+	"cphash/internal/lockhash"
 	"cphash/internal/partition"
 	"cphash/internal/persist"
+	"cphash/internal/replica"
 )
 
-// hotPathConn bundles one dialed connection's codecs.
+// hotPathConn bundles one dialed connection's codecs, plus the
+// replication source when the server was started with one.
 type hotPathConn struct {
-	bw *bufio.Writer
-	br *bufio.Reader
+	bw  *bufio.Writer
+	br  *bufio.Reader
+	src *replica.Source
 }
 
 // startHotPathServer boots a CPSERVER (CPHASH backend) sized for the
 // hot-path working set and dials one connection to it. With persistDir
 // non-empty the table is wired to a durability pipeline (sync=interval)
-// rooted there.
-func startHotPathServer(tb testing.TB, persistDir string) (*hotPathConn, func()) {
+// rooted there. With replicate also true, a replication source streams
+// the pipeline's tail to an in-process follower applying into a second
+// table — the full primary-side replication overhead (backlog append,
+// frame compression, ack reads) plus the follower's apply loop, all
+// inside this process so the allocation gate sees both sides.
+func startHotPathServer(tb testing.TB, persistDir string, replicate bool) (*hotPathConn, func()) {
 	tb.Helper()
 	var pipe *persist.Pipeline
 	var sink func(int) partition.ChangeSink
@@ -58,11 +67,43 @@ func startHotPathServer(tb testing.TB, persistDir string) (*hotPathConn, func())
 			tb.Fatal(err)
 		}
 	}
+	var src *replica.Source
+	var fl *replica.Follower
+	if replicate {
+		if pipe == nil {
+			tb.Fatal("replicate requires a persist dir")
+		}
+		var err error
+		// A backlog small enough for the warmup to touch every slot:
+		// the tail ring reuses each slot's buffer in place, so the
+		// steady state is allocation-free only once all slots have been
+		// written at the workload's record size.
+		src, err = replica.NewSource(replica.SourceConfig{Pipe: pipe, Addr: "127.0.0.1:0", BacklogRecords: 512})
+		if err != nil {
+			table.Close()
+			tb.Fatal(err)
+		}
+		ftable := lockhash.MustNew(lockhash.Config{
+			Partitions:    2,
+			CapacityBytes: partition.CapacityForValues(2*hotpath.Keys, hotpath.ValueSize),
+		})
+		fl, err = replica.StartFollower(replica.FollowerConfig{
+			Source: src.Addr(),
+			Name:   "alloc-gate",
+			Apply:  replica.NewLockHashApplier(ftable),
+		})
+		if err != nil {
+			src.Close()
+			table.Close()
+			tb.Fatal(err)
+		}
+	}
 	srv, err := kvserver.Serve(kvserver.Config{
-		Addr:       "127.0.0.1:0",
-		Workers:    1,
-		NewBackend: kvserver.NewCPHashBackend(table),
-		Persist:    pipe,
+		Addr:        "127.0.0.1:0",
+		Workers:     1,
+		NewBackend:  kvserver.NewCPHashBackend(table),
+		Persist:     pipe,
+		Replication: src,
 	})
 	if err != nil {
 		table.Close()
@@ -74,11 +115,36 @@ func startHotPathServer(tb testing.TB, persistDir string) (*hotPathConn, func())
 		table.Close()
 		tb.Fatal(err)
 	}
-	pw := &hotPathConn{bw: bw, br: br}
+	pw := &hotPathConn{bw: bw, br: br, src: src}
 	return pw, func() {
 		closer.Close()
-		srv.Close() // flushes and closes the pipeline, if any
+		if fl != nil {
+			fl.Close()
+		}
+		srv.Close() // flushes and closes replication + pipeline, if any
 		table.Close()
+	}
+}
+
+// waitReplicated blocks until the follower behind src has completed its
+// initial sync and acknowledged the current tail, so the measured window
+// starts from replication steady state (pools warm, backlog slots sized).
+func waitReplicated(tb testing.TB, src *replica.Source) {
+	tb.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		tail := src.Tail()
+		ok := false
+		for _, ps := range src.Status() {
+			ok = ps.Synced && ps.Acked >= tail
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("follower did not reach the tail watermark: %+v", src.Status())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -94,6 +160,14 @@ func hotPathWarmup(tb testing.TB, pw *hotPathConn, val, dst []byte) []byte {
 	if err != nil {
 		tb.Fatal(err)
 	}
+	if pw.src != nil {
+		// Enough extra SET traffic (~10% of the mix) to cycle the whole
+		// replication backlog ring, warming every slot's reused buffer.
+		dst, err = hotpath.Mix(pw.bw, pw.br, 8192, hotpath.Window, 1, val, dst, nil)
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
 	return dst
 }
 
@@ -102,7 +176,7 @@ func hotPathWarmup(tb testing.TB, pw *hotPathConn, val, dst []byte) []byte {
 // allocs/op; the steady-state server path is expected to be
 // allocation-free.
 func BenchmarkHotPath_WireGetSet(b *testing.B) {
-	pw, stop := startHotPathServer(b, "")
+	pw, stop := startHotPathServer(b, "", false)
 	defer stop()
 	val := make([]byte, hotpath.ValueSize)
 	dst := make([]byte, 0, 2*hotpath.ValueSize)
@@ -119,11 +193,31 @@ func BenchmarkHotPath_WireGetSet(b *testing.B) {
 // durability pipeline on (sync=interval), so the WAL overhead shows up
 // in the benchmark trajectory next to the bare number.
 func BenchmarkHotPath_WireGetSetPersist(b *testing.B) {
-	pw, stop := startHotPathServer(b, b.TempDir())
+	pw, stop := startHotPathServer(b, b.TempDir(), false)
 	defer stop()
 	val := make([]byte, hotpath.ValueSize)
 	dst := make([]byte, 0, 2*hotpath.ValueSize)
 	dst = hotPathWarmup(b, pw, val, dst)
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := hotpath.Mix(pw.bw, pw.br, b.N, hotpath.Window, 1, val, dst, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHotPath_WireGetSetReplicated adds a live in-process follower
+// on top of the persisted configuration, so the replication overhead —
+// backlog staging on the persister, frame compression and socket writes
+// on the peer sender, decompression and applies on the follower — shows
+// up in the benchmark trajectory next to the bare and persist numbers.
+func BenchmarkHotPath_WireGetSetReplicated(b *testing.B) {
+	pw, stop := startHotPathServer(b, b.TempDir(), true)
+	defer stop()
+	val := make([]byte, hotpath.ValueSize)
+	dst := make([]byte, 0, 2*hotpath.ValueSize)
+	dst = hotPathWarmup(b, pw, val, dst)
+	waitReplicated(b, pw.src)
 	runtime.GC()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -146,12 +240,15 @@ func TestHotPathAllocCeiling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation ceiling is measured by the bench smoke job, not under -short/-race")
 	}
-	run := func(t *testing.T, persistDir string) {
-		pw, stop := startHotPathServer(t, persistDir)
+	run := func(t *testing.T, persistDir string, replicate bool) {
+		pw, stop := startHotPathServer(t, persistDir, replicate)
 		defer stop()
 		val := make([]byte, hotpath.ValueSize)
 		dst := make([]byte, 0, 2*hotpath.ValueSize)
 		dst = hotPathWarmup(t, pw, val, dst)
+		if replicate {
+			waitReplicated(t, pw.src)
+		}
 
 		const ops = 50000
 		runtime.GC()
@@ -170,6 +267,11 @@ func TestHotPathAllocCeiling(t *testing.T) {
 			t.Fatalf("hot path allocates %.4f allocs/op, ceiling 0.05 — the zero-allocation request path regressed", perOp)
 		}
 	}
-	t.Run("plain", func(t *testing.T) { run(t, "") })
-	t.Run("persist", func(t *testing.T) { run(t, t.TempDir()) })
+	t.Run("plain", func(t *testing.T) { run(t, "", false) })
+	t.Run("persist", func(t *testing.T) { run(t, t.TempDir(), false) })
+	// With a connected follower the whole replication stack runs in this
+	// process, so the same ceiling also bounds the source's streaming
+	// side and the follower's apply loop — replication must not
+	// reintroduce per-op allocation on or next to the hot path.
+	t.Run("replicated", func(t *testing.T) { run(t, t.TempDir(), true) })
 }

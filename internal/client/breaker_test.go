@@ -1,0 +1,255 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cphash/internal/cluster"
+	"cphash/internal/kvserver"
+	"cphash/internal/lockhash"
+)
+
+// fakeClock is a settable wall clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// oneNode returns the single member node of a client built over addrs[0].
+func oneNode(t *testing.T, c *Client) *node {
+	t.Helper()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.nodes) != 1 {
+		t.Fatalf("want 1 node, have %d", len(c.nodes))
+	}
+	for _, n := range c.nodes {
+		return n
+	}
+	return nil
+}
+
+// TestBreakerBackoffSchedule pins the shape of the breaker's backoff: the
+// window doubles per consecutive trip from DownBackoff to DownBackoffMax,
+// every window lands in [d/2, d] (jitter), and a success resets the
+// schedule to the start.
+func TestBreakerBackoffSchedule(t *testing.T) {
+	fc := newFakeClock()
+	c, err := New(Config{
+		Nodes:          []string{"203.0.113.1:9"}, // never dialed
+		DownBackoff:    100 * time.Millisecond,
+		DownBackoffMax: 800 * time.Millisecond,
+		Clock:          fc.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n := oneNode(t, c)
+
+	want := []time.Duration{100, 200, 400, 800, 800, 800} // ms, capped
+	for i, base := range want {
+		base *= time.Millisecond
+		n.tripBreaker()
+		window := time.Duration(n.downUntil.Load() - fc.now().UnixNano())
+		if window < base/2 || window > base {
+			t.Fatalf("trip %d: window %v outside [%v, %v]", i+1, window, base/2, base)
+		}
+		if got := n.failStreak.Load(); got != int64(i+1) {
+			t.Fatalf("trip %d: failStreak = %d", i+1, got)
+		}
+	}
+
+	// While the window is open, leases fail fast with errDown.
+	if _, err := n.lease(); !errors.Is(err, errDown) {
+		t.Fatalf("lease during backoff: err = %v, want errDown", err)
+	}
+
+	// A success restarts the schedule at the base window.
+	n.noteSuccess()
+	if got := n.failStreak.Load(); got != 0 {
+		t.Fatalf("failStreak after success = %d, want 0", got)
+	}
+	fc.advance(time.Second)
+	n.tripBreaker()
+	window := time.Duration(n.downUntil.Load() - fc.now().UnixNano())
+	if base := 100 * time.Millisecond; window < base/2 || window > base {
+		t.Fatalf("post-reset window %v outside [%v, %v]", window, base/2, base)
+	}
+}
+
+// TestBreakerTripsOnIOError is the regression test for the half-dead-node
+// bug: a server that accepts TCP but fails every operation used to be
+// hammered at full rate forever, because only failed *dials* set
+// downUntil. Now exhausting the per-operation retries trips the breaker
+// too, and the node fails fast until the window expires.
+func TestBreakerTripsOnIOError(t *testing.T) {
+	// A listener that accepts and immediately closes: dials succeed, every
+	// round trip dies with an I/O error.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			cn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			cn.Close()
+		}
+	}()
+
+	fc := newFakeClock()
+	c, err := New(Config{
+		Nodes:       []string{ln.Addr().String()},
+		MaxRetries:  1,
+		DownBackoff: 100 * time.Millisecond,
+		Clock:       fc.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n := oneNode(t, c)
+
+	if _, _, err := c.Get(1); err == nil {
+		t.Fatal("Get against accept-and-close server succeeded")
+	}
+	if got := n.failStreak.Load(); got != 1 {
+		t.Fatalf("failStreak after exhausted retries = %d, want 1", got)
+	}
+	dials := n.dials.Load()
+	if dials == 0 {
+		t.Fatal("expected at least one dial before the breaker tripped")
+	}
+
+	// Fail fast while the window is open: no new dials, errDown.
+	if _, _, err := c.Get(2); !errors.Is(err, errDown) {
+		t.Fatalf("Get during backoff: err = %v, want errDown", err)
+	}
+	if got := n.dials.Load(); got != dials {
+		t.Fatalf("breaker open but dials advanced %d → %d", dials, got)
+	}
+
+	// After the window the client probes again.
+	fc.advance(200 * time.Millisecond)
+	c.Get(3)
+	if got := n.dials.Load(); got <= dials {
+		t.Fatal("no dial after the backoff window expired")
+	}
+}
+
+// startClusterTables is startCluster exposing each member's table, so
+// follower-read tests can stage divergent replica state directly.
+func startClusterTables(t *testing.T, n int) ([]string, []*lockhash.Table) {
+	t.Helper()
+	addrs := make([]string, n)
+	tables := make([]*lockhash.Table, n)
+	for i := 0; i < n; i++ {
+		tables[i] = lockhash.MustNew(lockhash.Config{Partitions: 8, CapacityBytes: 4 << 20, Seed: uint64(i) + 1})
+		s, err := kvserver.Serve(kvserver.Config{
+			Addr:       "127.0.0.1:0",
+			Workers:    2,
+			NewBackend: kvserver.NewLockHashBackend(tables[i]),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = s.Addr()
+		t.Cleanup(func() { s.Close() })
+	}
+	return addrs, tables
+}
+
+// TestFollowerReadRouting stages divergent owner/standby state and checks
+// the gating matrix: a fresh follower serves the hit, a stale or unknown
+// one is skipped, and a follower miss falls back to the primary rather
+// than surfacing as a miss.
+func TestFollowerReadRouting(t *testing.T) {
+	addrs, tables := startClusterTables(t, 3)
+	byAddr := make(map[string]*lockhash.Table, len(tables))
+	for i, a := range addrs {
+		byAddr[a] = tables[i]
+	}
+
+	var lagMu sync.Mutex
+	lag := time.Duration(0)
+	lagOK := true
+	c, err := New(Config{
+		Nodes:          addrs,
+		ReadPreference: ReadFollower,
+		MaxStaleness:   100 * time.Millisecond,
+		FollowerLag: func(addr string) (time.Duration, bool) {
+			lagMu.Lock()
+			defer lagMu.Unlock()
+			return lag, lagOK
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ring := c.Ring()
+	const key = uint64(42)
+	slot := cluster.SlotOf(key)
+	owner, standby := ring.Owner(slot), ring.Standby(slot)
+	if standby == "" || standby == owner {
+		t.Fatalf("bad placement: owner=%q standby=%q", owner, standby)
+	}
+	byAddr[owner].Put(key, []byte("primary-val"))
+	byAddr[standby].Put(key, []byte("follower-val"))
+
+	get := func(want string) {
+		t.Helper()
+		v, found, err := c.Get(key)
+		if err != nil || !found {
+			t.Fatalf("Get = %q found=%v err=%v", v, found, err)
+		}
+		if string(v) != want {
+			t.Fatalf("Get = %q, want %q", v, want)
+		}
+	}
+
+	get("follower-val") // fresh follower serves the read
+
+	lagMu.Lock()
+	lag = 200 * time.Millisecond // beyond MaxStaleness
+	lagMu.Unlock()
+	get("primary-val")
+
+	lagMu.Lock()
+	lag, lagOK = 0, false // lag unknown
+	lagMu.Unlock()
+	get("primary-val")
+
+	lagMu.Lock()
+	lagOK = true
+	lagMu.Unlock()
+	byAddr[standby].Delete(key)
+	get("primary-val") // follower miss falls back to the primary
+
+	// A key absent everywhere is still a miss, not an error.
+	if _, found, err := c.Get(key + 1); err != nil || found {
+		t.Fatalf("absent key: found=%v err=%v", found, err)
+	}
+}

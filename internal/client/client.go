@@ -16,16 +16,28 @@
 // Failure handling is per node, so one dead instance degrades only its own
 // shards. Transport errors are retried on a fresh connection up to
 // Config.MaxRetries times (every protocol operation is idempotent cache
-// traffic, so blind retry is safe); a node whose dial fails is marked down
-// for Config.DownBackoff and requests routed to it fail fast with a
-// *NodeError until the backoff expires, while requests routed to the other
-// members proceed untouched.
+// traffic, so blind retry is safe); a node whose dial fails — or that
+// keeps failing mid-operation after the retries are spent — is marked
+// down and requests routed to it fail fast with a *NodeError until the
+// backoff expires, while requests routed to the other members proceed
+// untouched. The backoff doubles with each consecutive breaker trip, from
+// Config.DownBackoff up to Config.DownBackoffMax, jittered into [d/2, d]
+// so a fleet of clients does not reconnect in lockstep; the first
+// successful operation resets the streak.
+//
+// When the cluster runs with replication (internal/replica), reads can
+// opt into the slot's follower via Config.ReadPreference: a GET is
+// served by the standby member when its replication lag (reported by the
+// Config.FollowerLag hook) is within Config.MaxStaleness, and falls back
+// to the primary on a follower miss or error, so follower reads trade
+// bounded staleness for load spreading without ever inventing a miss.
 package client
 
 import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -74,10 +86,45 @@ type Config struct {
 	MaxRetries int
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
-	// DownBackoff is how long a node is marked down after a failed dial,
-	// during which its requests fail fast (default 500ms).
+	// DownBackoff is the base down window after a breaker trip (a failed
+	// dial, or an operation that exhausted its retries), during which the
+	// node's requests fail fast (default 500ms). Consecutive trips double
+	// the window up to DownBackoffMax, and each window is jittered
+	// uniformly into [d/2, d].
 	DownBackoff time.Duration
+	// DownBackoffMax caps the exponential breaker backoff (default 10s).
+	DownBackoffMax time.Duration
+	// ReadPreference selects where GETs are served (writes and deletes
+	// always go to the primary). The default, ReadPrimary, reads only the
+	// slot's owner; ReadFollower tries the slot's standby replica first
+	// and falls back to the primary on a miss or error.
+	ReadPreference ReadPreference
+	// MaxStaleness bounds follower reads: a follower whose replication
+	// lag (per FollowerLag) exceeds it is skipped in favor of the primary
+	// (default 500ms). Only consulted when ReadPreference is ReadFollower
+	// and FollowerLag is set.
+	MaxStaleness time.Duration
+	// FollowerLag reports the current replication lag of the follower
+	// serving reads at addr, and false when unknown (not syncing, or not
+	// tracked). Nil permits follower reads unconditionally — the caller
+	// opted into ReadFollower without a staleness certificate. The hook
+	// is called outside client locks on every follower-routed read, so it
+	// must be cheap and safe for concurrent use.
+	FollowerLag func(addr string) (lag time.Duration, ok bool)
+	// Clock overrides the wall clock for breaker bookkeeping (tests).
+	Clock func() time.Time
 }
+
+// ReadPreference selects the read path; see Config.ReadPreference.
+type ReadPreference int
+
+const (
+	// ReadPrimary serves every read from the slot's owner (the default).
+	ReadPrimary ReadPreference = iota
+	// ReadFollower serves reads from the slot's standby replica when its
+	// staleness is within bounds, falling back to the primary on a miss.
+	ReadFollower
+)
 
 func (cfg *Config) applyDefaults() {
 	if cfg.ConnsPerNode <= 0 {
@@ -97,6 +144,18 @@ func (cfg *Config) applyDefaults() {
 	}
 	if cfg.DownBackoff <= 0 {
 		cfg.DownBackoff = 500 * time.Millisecond
+	}
+	if cfg.DownBackoffMax <= 0 {
+		cfg.DownBackoffMax = 10 * time.Second
+	}
+	if cfg.DownBackoffMax < cfg.DownBackoff {
+		cfg.DownBackoffMax = cfg.DownBackoff
+	}
+	if cfg.MaxStaleness <= 0 {
+		cfg.MaxStaleness = 500 * time.Millisecond
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
 	}
 }
 
@@ -208,6 +267,37 @@ func (c *Client) route(slot int) (primary, fb *node) {
 	return primary, fb
 }
 
+// followerFor resolves the node serving follower reads for slot, or nil
+// when reads should go straight to the primary: read preference is
+// primary, the ring has no standby (single member), the standby is
+// retired or in breaker backoff, or its replication lag is unknown or
+// beyond MaxStaleness. The FollowerLag hook runs outside client locks so
+// it may call back into the client (e.g. to refresh its lag map).
+func (c *Client) followerFor(slot int) *node {
+	if c.cfg.ReadPreference != ReadFollower {
+		return nil
+	}
+	c.mu.RLock()
+	addr := c.ring.Standby(slot)
+	var n *node
+	if addr != "" {
+		n = c.nodes[addr]
+	}
+	c.mu.RUnlock()
+	if n == nil || n.retired.Load() {
+		return nil
+	}
+	if until := n.downUntil.Load(); until > n.now().UnixNano() {
+		return nil // breaker open: don't burn the fallback on a known-down follower
+	}
+	if c.cfg.FollowerLag != nil {
+		if lag, ok := c.cfg.FollowerLag(addr); !ok || lag > c.cfg.MaxStaleness {
+			return nil
+		}
+	}
+	return n
+}
+
 // nodeFor routes a fixed key (clipped to the 60-bit key space, like
 // kvserver.MaskKey) to its member.
 func (c *Client) nodeFor(key uint64) *node {
@@ -272,6 +362,14 @@ func (c *Client) GetStringInto(key, dst []byte) (value []byte, found bool, err e
 // the replay is guaranteed complete. Bounded retries keep pathological
 // topology churn from looping.
 func (c *Client) dualLookup(slot int, req protocol.Request, dst []byte) (value []byte, found bool, err error) {
+	// Follower read: a hit on the standby replica within the staleness
+	// bound is the answer; a miss or error falls through to the primary
+	// path, so replication lag can delay a read but never fake a miss.
+	if fn := c.followerFor(slot); fn != nil {
+		if v, f, ferr := c.lookupAt(fn, req, dst); ferr == nil && f {
+			return v, f, nil
+		}
+	}
 	for attempt := 0; ; attempt++ {
 		primary, fb := c.route(slot)
 		value, found, err = c.lookupAt(primary, req, dst)
@@ -371,7 +469,11 @@ func (c *Client) DeleteString(key []byte) (found bool, err error) {
 // withConn runs one operation against a node, retrying transport failures
 // on a fresh connection up to MaxRetries times. Dial failures are not
 // retried — the node just entered backoff, and hammering it would defeat
-// the fail-fast isolation.
+// the fail-fast isolation. Exhausting the retries trips the breaker the
+// same way a failed dial does: a node that eats every attempt on leased
+// connections is just as down as one that refuses the dial, and before
+// this tripped only the dial path, a half-dead node (accepting TCP,
+// failing mid-operation) was hammered at full rate forever.
 func (c *Client) withConn(n *node, fn func(*conn) error) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
@@ -386,6 +488,7 @@ func (c *Client) withConn(n *node, fn func(*conn) error) error {
 		err = fn(cn)
 		if err == nil {
 			n.release(cn)
+			n.noteSuccess()
 			return nil
 		}
 		cn.dead = true
@@ -393,6 +496,7 @@ func (c *Client) withConn(n *node, fn func(*conn) error) error {
 		n.errs.Add(1)
 		lastErr = err
 	}
+	n.tripBreaker()
 	return &NodeError{Addr: n.addr, Err: lastErr}
 }
 
@@ -436,13 +540,44 @@ type node struct {
 	tokens    chan struct{}
 	mu        sync.Mutex
 	idle      []*conn
-	downUntil atomic.Int64 // unix nanos until which dials are refused
-	closed    *atomic.Bool // the owning client's closed flag
+	downUntil atomic.Int64 // unix nanos until which leases are refused
+	// failStreak counts consecutive breaker trips (failed dials or
+	// retry-exhausted operations) since the last success; it drives the
+	// exponential backoff and resets to zero on the first success.
+	failStreak atomic.Int64
+	closed     *atomic.Bool // the owning client's closed flag
 	// retired marks a departed member whose migration has completed: new
 	// leases fail fast and connections close as they are released.
 	retired atomic.Bool
 
 	ops, errs, retries, dials atomic.Int64
+}
+
+func (n *node) now() time.Time { return n.cfg.Clock() }
+
+// tripBreaker marks the node down after a failed dial or a retry-exhausted
+// operation. The window doubles with each consecutive trip, from
+// DownBackoff up to DownBackoffMax, and is jittered uniformly into
+// [d/2, d] so recovering clients spread their reconnects.
+func (n *node) tripBreaker() {
+	streak := n.failStreak.Add(1)
+	d := n.cfg.DownBackoff
+	for i := int64(1); i < streak && d < n.cfg.DownBackoffMax; i++ {
+		d *= 2
+	}
+	if d > n.cfg.DownBackoffMax {
+		d = n.cfg.DownBackoffMax
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	n.downUntil.Store(n.now().Add(d).UnixNano())
+}
+
+// noteSuccess resets the breaker after a completed operation, so the
+// next failure starts the backoff schedule over at DownBackoff.
+func (n *node) noteSuccess() {
+	if n.failStreak.Load() != 0 {
+		n.failStreak.Store(0)
+	}
 }
 
 // lease takes a pooled connection, dialing when none is parked. It blocks
@@ -456,7 +591,7 @@ func (n *node) lease() (*conn, error) {
 		n.errs.Add(1)
 		return nil, &NodeError{Addr: n.addr, Err: errDown}
 	}
-	if until := n.downUntil.Load(); until > time.Now().UnixNano() {
+	if until := n.downUntil.Load(); until > n.now().UnixNano() {
 		n.errs.Add(1)
 		return nil, &NodeError{Addr: n.addr, Err: errDown}
 	}
@@ -477,7 +612,7 @@ func (n *node) lease() (*conn, error) {
 	nc, err := net.DialTimeout("tcp", n.addr, n.cfg.DialTimeout)
 	if err != nil {
 		n.tokens <- struct{}{}
-		n.downUntil.Store(time.Now().Add(n.cfg.DownBackoff).UnixNano())
+		n.tripBreaker()
 		n.errs.Add(1)
 		return nil, &NodeError{Addr: n.addr, Err: err}
 	}

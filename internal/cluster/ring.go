@@ -179,6 +179,70 @@ func (r *Ring) Owners() [Slots]string {
 	return r.ownerIDs()
 }
 
+// Standby returns the slot's second-ranked member by rendezvous score —
+// the member the slot would land on if its owner departed, and therefore
+// the natural home for the slot's replica. Returns "" on a single-member
+// ring. Allocation-free: the client read path consults it per request.
+//
+// The replication design leans on a rendezvous identity here: removing a
+// slot's owner reassigns the slot to exactly this member (the scores of
+// the survivors are unchanged by the removal, so the previous runner-up
+// wins). Placing each slot's replica on Standby(slot) thus means failover
+// promotion needs no data movement at all — RemoveNode(owner) points the
+// slot at the member already holding its replicated data. The ring
+// property test asserts this identity over random memberships.
+func (r *Ring) Standby(slot int) string {
+	if len(r.ids) < 2 {
+		return ""
+	}
+	owner := int(r.owner[slot])
+	second, secondScore := -1, uint64(0)
+	for i, h := range r.hashes {
+		if i == owner {
+			continue
+		}
+		sc := score(h, slot)
+		// Ties break toward the lexicographically smaller ID, matching
+		// assign(): ids is sorted, so the first index at a score wins.
+		if second < 0 || sc > secondScore {
+			second, secondScore = i, sc
+		}
+	}
+	return r.ids[second]
+}
+
+// RankedOwners returns the top-k members for a slot in descending
+// rendezvous-score order; rank 0 is the owner, rank 1 the standby, and
+// so on. k is clamped to the member count. Replica chains of depth d
+// place copies on ranks 1..d-1.
+func (r *Ring) RankedOwners(slot, k int) []string {
+	if k > len(r.ids) {
+		k = len(r.ids)
+	}
+	if k <= 0 {
+		return nil
+	}
+	type ranked struct {
+		idx   int
+		score uint64
+	}
+	all := make([]ranked, len(r.hashes))
+	for i, h := range r.hashes {
+		all[i] = ranked{i, score(h, slot)}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].score != all[b].score {
+			return all[a].score > all[b].score
+		}
+		return all[a].idx < all[b].idx // lexicographic tie-break, as assign()
+	})
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = r.ids[all[i].idx]
+	}
+	return out
+}
+
 // NodeOf routes a fixed 60-bit key to its owning member.
 func (r *Ring) NodeOf(key uint64) string {
 	return r.ids[r.owner[SlotOf(key)]]

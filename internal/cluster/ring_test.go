@@ -269,3 +269,66 @@ func TestSlotsOfUnknownNode(t *testing.T) {
 		t.Errorf("SlotsOf(unknown) = %v, want nil", got)
 	}
 }
+
+// TestStandbyIsPromotionTarget asserts the identity the replication layer
+// is built on: for every slot, the standby (rank-1 rendezvous scorer) is
+// exactly the member the slot reassigns to when its owner is removed.
+// Checked over random membership sets and sizes.
+func TestStandbyIsPromotionTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(12)
+		names := nodeNames(16)
+		rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+		r := MustNew(names[:n])
+		for s := 0; s < Slots; s++ {
+			owner, standby := r.Owner(s), r.Standby(s)
+			if standby == "" || standby == owner {
+				t.Fatalf("trial %d slot %d: bad standby %q (owner %q)", trial, s, standby, owner)
+			}
+			after := r.Clone()
+			if _, err := after.RemoveNode(owner); err != nil {
+				t.Fatal(err)
+			}
+			if got := after.Owner(s); got != standby {
+				t.Fatalf("trial %d slot %d: owner after removing %s is %s, standby said %s",
+					trial, s, owner, got, standby)
+			}
+		}
+	}
+}
+
+// TestRankedOwners checks rank order against Owner/Standby and brute-force
+// score sorting, plus clamping behavior.
+func TestRankedOwners(t *testing.T) {
+	r := MustNew(nodeNames(5))
+	for s := 0; s < Slots; s++ {
+		ranks := r.RankedOwners(s, 3)
+		if len(ranks) != 3 {
+			t.Fatalf("slot %d: got %d ranks, want 3", s, len(ranks))
+		}
+		if ranks[0] != r.Owner(s) {
+			t.Fatalf("slot %d: rank 0 %s != owner %s", s, ranks[0], r.Owner(s))
+		}
+		if ranks[1] != r.Standby(s) {
+			t.Fatalf("slot %d: rank 1 %s != standby %s", s, ranks[1], r.Standby(s))
+		}
+		seen := map[string]bool{}
+		for _, id := range ranks {
+			if seen[id] {
+				t.Fatalf("slot %d: duplicate member %s in ranks", s, id)
+			}
+			seen[id] = true
+		}
+	}
+	if got := r.RankedOwners(0, 99); len(got) != 5 {
+		t.Fatalf("RankedOwners over-clamp: got %d, want 5", len(got))
+	}
+	if got := r.RankedOwners(0, 0); got != nil {
+		t.Fatalf("RankedOwners(0) = %v, want nil", got)
+	}
+	single := MustNew(nodeNames(1))
+	if got := single.Standby(7); got != "" {
+		t.Fatalf("Standby on single-member ring = %q, want empty", got)
+	}
+}

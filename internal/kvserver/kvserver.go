@@ -40,6 +40,7 @@ import (
 	"cphash/internal/partition"
 	"cphash/internal/persist"
 	"cphash/internal/protocol"
+	"cphash/internal/replica"
 )
 
 // Result describes the outcome of one response-bearing request inside a
@@ -127,6 +128,14 @@ type Config struct {
 	// graceful shutdown loses nothing. The pipeline must already be
 	// Started.
 	Persist *persist.Pipeline
+	// Replication, when non-nil, is the replication source streaming this
+	// server's Persist pipeline to its followers (internal/replica). The
+	// server owns its shutdown ordering: Close stops serving, fences the
+	// backends, barriers the pipeline so the final mutations reach the
+	// tail fanout, closes the source, and only then closes the pipeline.
+	// Callers that want a clean handoff (followers fully acknowledged)
+	// should wait on the source's watermark before calling Close.
+	Replication *replica.Source
 }
 
 // Stats counts server activity.
@@ -142,6 +151,7 @@ type Server struct {
 	ln      net.Listener
 	bufSize int
 	persist *persist.Pipeline
+	repl    *replica.Source
 	workers []*worker
 	wg      sync.WaitGroup // acceptor + workers
 	readers sync.WaitGroup // per-connection readers
@@ -281,7 +291,7 @@ func Serve(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, bufSize: cfg.BufferSize, persist: cfg.Persist, conns: map[net.Conn]struct{}{}}
+	s := &Server{ln: ln, bufSize: cfg.BufferSize, persist: cfg.Persist, repl: cfg.Replication, conns: map[net.Conn]struct{}{}}
 	for i := 0; i < cfg.Workers; i++ {
 		b, err := cfg.NewBackend(i)
 		if err != nil {
@@ -357,8 +367,17 @@ func (s *Server) Close() error {
 	}
 	// The worker queues are drained and the backends fenced, so every
 	// processed mutation has been published to the pipeline's change
-	// rings; closing it drains them and fsyncs the WAL. Shutdown is the
-	// one flush even sync=none gets.
+	// rings. A replication source must see those final records, so the
+	// pipeline is barriered (rings drained through the tail fanout) and
+	// the source closed BEFORE the pipeline: followers receive everything
+	// this server processed, then the WAL flushes and closes. Shutdown is
+	// the one flush even sync=none gets.
+	if s.repl != nil {
+		if s.persist != nil {
+			s.persist.Barrier()
+		}
+		s.repl.Close()
+	}
 	if s.persist != nil {
 		s.persist.Close()
 	}

@@ -53,21 +53,46 @@ func TestCrashRecoveryProperty(t *testing.T) {
 		policy := policy
 		t.Run(policy.String(), func(t *testing.T) {
 			for trial := 0; trial < trials; trial++ {
-				runCrashTrial(t, policy, int64(trial)*7919+int64(policy))
+				runCrashTrial(t, policy, int64(trial)*7919+int64(policy), 0)
 			}
 		})
 	}
 }
 
-func runCrashTrial(t *testing.T, policy SyncPolicy, seed int64) {
+// TestCrashAtRollBoundary runs the same crash property with segments
+// small enough that every trial crosses dozens of roll boundaries, so
+// the random crash point repeatedly lands in a freshly rolled segment.
+// This is the regime where directory-entry durability matters: a rolled
+// segment whose data is fsynced but whose dirent is not would vanish
+// whole on power failure, silently dropping acked writes. openSegment
+// guards against exactly that by fsyncing the WAL directory after
+// creating each segment; these trials would report acked-write loss if
+// that ordering ever regressed.
+func TestCrashAtRollBoundary(t *testing.T) {
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			for trial := 0; trial < trials; trial++ {
+				runCrashTrial(t, policy, int64(trial)*104729+int64(policy), 512)
+			}
+		})
+	}
+}
+
+func runCrashTrial(t *testing.T, policy SyncPolicy, seed int64, maxSegment int) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	dir := t.TempDir()
 	clk := &fakeClock{now: int64(1000000 + rng.Intn(1000))}
 	cfg := Config{
-		Dir:     dir,
-		Policy:  policy,
-		Streams: 1 + rng.Intn(3),
+		Dir:        dir,
+		Policy:     policy,
+		Streams:    1 + rng.Intn(3),
+		MaxSegment: maxSegment,
 		// Small rings stress the publish backpressure path.
 		RingDepth: 16,
 		Clock:     clk.Now,
@@ -172,6 +197,12 @@ func runCrashTrial(t *testing.T, policy SyncPolicy, seed int64) {
 	}
 	if st := table.Stats(); st.Evictions != 0 || st.InsertErr != 0 {
 		t.Fatalf("trial %d: table evicted (%d) or failed inserts (%d); the model assumes neither", seed, st.Evictions, st.InsertErr)
+	}
+
+	if maxSegment > 0 && maxSegment < 4<<10 {
+		if rolls := p.Stats().Rolls; rolls < 10 {
+			t.Fatalf("trial %d: only %d rolls with MaxSegment=%d; the roll-boundary regime was not exercised", seed, rolls, maxSegment)
+		}
 	}
 
 	// Crash: kill the persisters mid-flight, then tear the tail of a

@@ -222,6 +222,7 @@ type Pipeline struct {
 	appenderByPart map[int]*Appender
 	appList        atomic.Pointer[[]*Appender] // COW snapshot for lock-free readers
 	source         atomic.Pointer[Source]
+	tailSink       atomic.Pointer[TailSink] // replication fanout (tail.go)
 
 	nextSeq atomic.Uint64 // global segment sequence allocator
 	nextGen atomic.Uint64 // snapshot generation allocator

@@ -206,6 +206,14 @@ func (s *stream) drain() (int, error) {
 	n := 0
 	bytes := 0
 	max := int64(s.p.cfg.MaxSegment)
+	// The tail sink is loaded once per sweep: a sink attached mid-sweep
+	// may miss this sweep's remaining records, but they land in a segment
+	// sealed before any post-attach RollAll barrier, which is exactly the
+	// guarantee SetTailSink documents.
+	var sink TailSink
+	if tsp := s.p.tailSink.Load(); tsp != nil {
+		sink = *tsp
+	}
 	flush := func() {
 		if n > 0 {
 			s.p.records.Add(int64(n))
@@ -219,6 +227,9 @@ func (s *stream) drain() (int, error) {
 				break
 			}
 			w, err := s.writeRecord(b)
+			if err == nil && sink != nil {
+				sink.TailRecord(b)
+			}
 			a.recycle(b)
 			if err != nil {
 				flush()
@@ -248,7 +259,16 @@ func (s *stream) syncNow() error {
 		return fmt.Errorf("persist: wal flush: %w", err)
 	}
 	if s.synced.Load() == target {
-		return nil // nothing new since the last sync
+		// Nothing new since the last sync — but the watermarks must
+		// still be published and waiters woken. A Barrier arms its sync
+		// request for records published mid-sweep, after the sweep has
+		// already passed their appender; if that request is consumed by
+		// a sync that finds an empty fresh segment (written == synced
+		// right after a roll), returning silently would leave the
+		// Barrier parked in cond.Wait with no broadcast ever coming —
+		// it re-arms on every wakeup, and this is that wakeup.
+		s.markDurable()
+		return nil
 	}
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("persist: wal fsync: %w", err)

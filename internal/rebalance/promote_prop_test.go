@@ -1,0 +1,336 @@
+package rebalance
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cphash/internal/client"
+	"cphash/internal/cluster"
+	"cphash/internal/kvserver"
+	"cphash/internal/lockhash"
+	"cphash/internal/partition"
+	"cphash/internal/persist"
+	"cphash/internal/protocol"
+	"cphash/internal/replica"
+)
+
+// replStack is one fully replicated member: table + durability pipeline +
+// replication source + serving front end — the same stack cmd/cpserver
+// assembles per instance with -replicas 2.
+type replStack struct {
+	srv   *kvserver.Server
+	table *lockhash.Table
+	pipe  *persist.Pipeline
+	src   *replica.Source
+	addr  string
+}
+
+func startReplStack(t *testing.T) *replStack {
+	t.Helper()
+	pipe, err := persist.Open(persist.Config{
+		Dir:     t.TempDir(),
+		Policy:  persist.SyncNone,
+		Streams: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := lockhash.New(lockhash.Config{
+		Partitions:    8,
+		CapacityBytes: 8 << 20,
+		Sink:          func(i int) partition.ChangeSink { return pipe.Appender(i) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.SetSource(persist.LockHashSource(table))
+	if _, err := persist.RestoreLockHash(pipe, table); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Start(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := replica.NewSource(replica.SourceConfig{
+		Pipe:      pipe,
+		Addr:      "127.0.0.1:0",
+		Heartbeat: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := kvserver.Serve(kvserver.Config{
+		Addr:        "127.0.0.1:0",
+		Workers:     2,
+		NewBackend:  kvserver.NewLockHashBackend(table),
+		Persist:     pipe,
+		Replication: src,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) // closes replication and persistence too
+	return &replStack{srv: srv, table: table, pipe: pipe, src: src, addr: srv.Addr()}
+}
+
+// wireMesh builds the links cmd/cpserver's rewire would: for every slot,
+// the slot's standby follows the slot's owner for exactly that slot set.
+// Returned as links[followerAddr][ownerAddr].
+func wireMesh(t *testing.T, ring *cluster.Ring, stacks map[string]*replStack) map[string]map[string]*replica.Follower {
+	t.Helper()
+	want := map[string]map[string]*protocol.SlotSet{}
+	for s := 0; s < protocol.SlotCount; s++ {
+		owner, standby := ring.Owner(s), ring.Standby(s)
+		if owner == "" || standby == "" {
+			continue
+		}
+		byOwner := want[standby]
+		if byOwner == nil {
+			byOwner = map[string]*protocol.SlotSet{}
+			want[standby] = byOwner
+		}
+		set := byOwner[owner]
+		if set == nil {
+			set = &protocol.SlotSet{}
+			byOwner[owner] = set
+		}
+		set.Add(s)
+	}
+	links := map[string]map[string]*replica.Follower{}
+	for follower, byOwner := range want {
+		links[follower] = map[string]*replica.Follower{}
+		for owner, set := range byOwner {
+			f, err := replica.StartFollower(replica.FollowerConfig{
+				Source:  stacks[owner].src.Addr(),
+				Name:    follower,
+				Slots:   set,
+				Apply:   replica.NewLockHashApplier(stacks[follower].table),
+				Backoff: 10 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(f.Close)
+			links[follower][owner] = f
+		}
+	}
+	return links
+}
+
+// waitMeshSynced blocks until every source reports all its peers synced
+// with the tail watermark acknowledged.
+func waitMeshSynced(t *testing.T, stacks map[string]*replStack, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for _, st := range stacks {
+		for {
+			tail := st.src.Tail()
+			peers := st.src.Status()
+			ok := len(peers) > 0
+			for _, ps := range peers {
+				if !ps.Synced || ps.Acked < tail {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("mesh did not sync: %s tail=%d peers=%+v", st.addr, tail, peers)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// keyState tracks one key's write history. Each key belongs to exactly
+// one writer goroutine, so versions are strictly sequential and the
+// fields need no locking (the final read happens after wg.Wait).
+type keyState struct {
+	confirmed uint64 // highest version whose read-back succeeded
+	attempted uint64 // highest version ever sent
+}
+
+// TestPromotionInvariantsUnderLoad is the promotion property test: live
+// writers hammer a 3-member replicated cluster, one member dies at a
+// random point, and the standby is promoted while traffic continues.
+// Invariants checked afterwards:
+//
+//   - zero acked-write loss: every write whose read-back succeeded is
+//     still present with that version or a later one the same writer sent
+//     (the graceful shutdown drains the source's backlog to its synced
+//     followers before the watermark-gated window closes);
+//   - no phantoms: no key holds a version newer than its writer ever
+//     sent, and no value bleeds across keys;
+//   - routing settles: the dead member leaves the ring with no windows
+//     left open and exactly one promotion counted, no entries streamed;
+//   - surviving links stay fresh: heartbeats keep follower staleness
+//     bounded on the post-promotion topology.
+//
+// A write that was sent but never confirmed may land or vanish — that is
+// the documented asynchronous-replication contract — so those keys are
+// only checked for version sanity, not presence.
+func TestPromotionInvariantsUnderLoad(t *testing.T) {
+	const (
+		nodes         = 3
+		writers       = 3
+		keysPerWriter = 300
+	)
+	rng := rand.New(rand.NewSource(42))
+
+	stacks := map[string]*replStack{}
+	addrs := make([]string, nodes)
+	for i := range addrs {
+		st := startReplStack(t)
+		stacks[st.addr] = st
+		addrs[i] = st.addr
+	}
+	c, err := client.New(client.Config{Nodes: addrs, DownBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	m := New(c, Config{})
+
+	links := wireMesh(t, c.Ring(), stacks)
+	waitMeshSynced(t, stacks, 10*time.Second)
+
+	// Live traffic: each writer owns a disjoint key range and bumps
+	// per-key versions; a write counts as acked only once its read-back
+	// returns the exact value (processed, not merely mailed). Errors are
+	// expected while the victim is down and are simply not confirmed.
+	states := make([]keyState, writers*keysPerWriter)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int, seed int64) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				k := uint64(w*keysPerWriter + wrng.Intn(keysPerWriter))
+				st := &states[k]
+				ver := st.attempted + 1
+				st.attempted = ver
+				val := []byte(fmt.Sprintf("%d:%d", k, ver))
+				var err error
+				if ver%7 == 0 {
+					err = c.SetTTL(k, val, time.Hour)
+				} else {
+					err = c.Set(k, val)
+				}
+				if err != nil {
+					continue
+				}
+				if v, found, gerr := c.Get(k); gerr == nil && found && bytes.Equal(v, val) {
+					st.confirmed = ver
+				}
+			}
+		}(w, rng.Int63())
+	}
+
+	time.Sleep(time.Duration(100+rng.Intn(150)) * time.Millisecond)
+
+	// Kill a random member mid-traffic. Its own follower links come down
+	// first (nothing must apply into a table whose pipeline is closing),
+	// then the graceful close: fence, barrier, drain the source to its
+	// followers, close the pipeline.
+	victim := addrs[rng.Intn(nodes)]
+	for owner, f := range links[victim] {
+		f.Close()
+		delete(links[victim], owner)
+	}
+	stacks[victim].srv.Close()
+
+	err = m.Promote(victim, func(newOwner string, slots []int) error {
+		f := links[newOwner][victim]
+		if f == nil {
+			return fmt.Errorf("no replication link %s <- %s", newOwner, victim)
+		}
+		if !f.WaitDisconnected(10 * time.Second) {
+			return fmt.Errorf("link %s <- %s did not drain", newOwner, victim)
+		}
+		f.Close()
+		delete(links[newOwner], victim)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+
+	// Let traffic run on the promoted topology before stopping.
+	time.Sleep(100 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if c.Ring().Contains(victim) {
+		t.Fatal("dead member still in the ring")
+	}
+	if n := c.MigratingSlots(); n != 0 {
+		t.Fatalf("windows still open after promotion: %d", n)
+	}
+	if st := m.Stats(); st.Promotions != 1 || st.Entries != 0 {
+		t.Fatalf("stats after promotion: %+v (want Promotions=1, Entries=0)", st)
+	}
+
+	var lost, stale, phantom int
+	for k := range states {
+		st := &states[k]
+		if st.attempted == 0 {
+			continue
+		}
+		v, found, err := c.Get(uint64(k))
+		if err != nil {
+			t.Fatalf("Get(%d) after promotion: %v", k, err)
+		}
+		if !found {
+			if st.confirmed > 0 {
+				lost++
+				if lost <= 5 {
+					t.Errorf("key %d: confirmed v%d lost entirely", k, st.confirmed)
+				}
+			}
+			continue
+		}
+		var gotKey, gotVer uint64
+		if _, err := fmt.Sscanf(string(v), "%d:%d", &gotKey, &gotVer); err != nil || gotKey != uint64(k) {
+			t.Fatalf("key %d: corrupt or cross-key value %q", k, v)
+		}
+		if gotVer < st.confirmed {
+			stale++
+			if stale <= 5 {
+				t.Errorf("key %d: holds v%d, older than confirmed v%d", k, gotVer, st.confirmed)
+			}
+		}
+		if gotVer > st.attempted {
+			phantom++
+			if phantom <= 5 {
+				t.Errorf("key %d: phantom v%d beyond attempted v%d", k, gotVer, st.attempted)
+			}
+		}
+	}
+	if lost+stale+phantom > 0 {
+		t.Fatalf("promotion invariants violated: %d lost, %d stale, %d phantom", lost, stale, phantom)
+	}
+
+	// Surviving links (both endpoints alive) must stay heartbeat-fresh
+	// even though their slot subscriptions predate the promotion.
+	for follower, byOwner := range links {
+		if follower == victim {
+			continue
+		}
+		for owner, f := range byOwner {
+			if owner == victim {
+				continue
+			}
+			if d, ok := f.Staleness(); !ok || d > 2*time.Second {
+				t.Errorf("link %s <- %s staleness %v ok=%v, want fresh", follower, owner, d, ok)
+			}
+		}
+	}
+}

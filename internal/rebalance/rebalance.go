@@ -60,6 +60,7 @@ type Stats struct {
 	Replayed     int64 // entries written to their new owners
 	ReplayErrors int64 // entries that failed to replay
 	Purged       int64 // stale source entries removed after migration
+	Promotions   int64 // failover promotions completed
 	Active       bool  // a migration is running right now
 }
 
@@ -70,11 +71,22 @@ type Migrator struct {
 
 	mu      sync.Mutex // serializes migrations
 	pending *client.Migration
+	promo   *promotion
 	active  atomic.Bool
 
 	migrations, slotsTotal, slotsDone   atomic.Int64
 	sources, entries, bytes             atomic.Int64
 	replayed, replayErrors, purgedStale atomic.Int64
+	promotions                          atomic.Int64
+}
+
+// promotion is an in-flight failover: the departed member and, per new
+// owner, the slots awaiting watermark confirmation. Owners drop out of
+// byOwner as they confirm, so a retry re-confirms only the stragglers.
+type promotion struct {
+	removed string
+	byOwner map[string][]int
+	confirm func(newOwner string, slots []int) error
 }
 
 // New builds a Migrator over the client whose membership it will follow.
@@ -97,8 +109,84 @@ func (m *Migrator) Stats() Stats {
 		Replayed:     m.replayed.Load(),
 		ReplayErrors: m.replayErrors.Load(),
 		Purged:       m.purgedStale.Load(),
+		Promotions:   m.promotions.Load(),
 		Active:       m.active.Load(),
 	}
+}
+
+// Promote fails over member addr — typically one that just died — onto
+// the standby replicas of its slots. Unlike RemoveNode, nothing is
+// streamed off the departing member: the rendezvous continuum reassigns
+// each removed slot to exactly its rank-1 scorer (cluster.Ring.Standby),
+// which is where internal/replica placed the slot's replica, so the data
+// is already on every new owner and promotion is a pure ownership flip.
+//
+// confirm(newOwner, slots) gates the flip per new owner: it must return
+// nil only once the replica there has applied everything the failed
+// primary acknowledged — e.g. the coordinator waits for the follower
+// link to drain and close, or for its watermark to reach the primary's
+// final tail. Until confirm returns, the moved slots sit in the usual
+// dual-read window (fallback reads to the dead member fail fast, as for
+// any dead-node removal, so clients see at most a transient miss-shaped
+// window, never stale routing). A nil confirm flips immediately.
+//
+// On a confirm error the unconfirmed owners' windows stay open and the
+// promotion stays pending: Resume (or the automatic resume before the
+// next topology change) re-confirms only the stragglers. confirm runs
+// under the Migrator's serialization lock, so it should bound its wait.
+func (m *Migrator) Promote(addr string, confirm func(newOwner string, slots []int) error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.resumeLocked(); err != nil {
+		return fmt.Errorf("rebalance: resuming pending migration: %w", err)
+	}
+	mig, err := m.c.RemoveNode(addr)
+	if err != nil {
+		return err
+	}
+	m.migrations.Add(1)
+	m.slotsTotal.Add(int64(mig.Slots()))
+	ring := m.c.Ring()
+	byOwner := make(map[string][]int)
+	for _, slots := range mig.Moved {
+		for _, s := range slots {
+			owner := ring.Owner(s)
+			byOwner[owner] = append(byOwner[owner], s)
+		}
+	}
+	m.promo = &promotion{removed: addr, byOwner: byOwner, confirm: confirm}
+	return m.promoteLocked()
+}
+
+// promoteLocked confirms and settles every owner of the pending
+// promotion still awaiting its watermark, retiring the departed member
+// once the last window closes.
+func (m *Migrator) promoteLocked() error {
+	m.active.Store(true)
+	defer m.active.Store(false)
+	p := m.promo
+	var firstErr error
+	for owner, slots := range p.byOwner {
+		if p.confirm != nil {
+			if err := p.confirm(owner, slots); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("rebalance: promote %v to %s: %w", slots, owner, err)
+				}
+				continue
+			}
+		}
+		m.slotsDone.Add(int64(m.c.MarkMigrated(slots)))
+		delete(p.byOwner, owner)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := m.c.RetireNode(p.removed); err != nil {
+		return err
+	}
+	m.promo = nil
+	m.promotions.Add(1)
+	return nil
 }
 
 // AddNode joins a member and migrates the slots that moved to it. A plan
@@ -210,6 +298,11 @@ func (m *Migrator) runLocked(mig *client.Migration) error {
 }
 
 func (m *Migrator) resumeLocked() error {
+	if m.promo != nil {
+		if err := m.promoteLocked(); err != nil {
+			return err
+		}
+	}
 	if m.pending == nil {
 		return nil
 	}

@@ -1,0 +1,412 @@
+package replica
+
+import (
+	"bufio"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cphash/internal/persist"
+	"cphash/internal/protocol"
+)
+
+// FollowerConfig parameterizes one replication link (this node following
+// one primary for a set of slots).
+type FollowerConfig struct {
+	// Source is the primary's replication address (Source.Addr()).
+	Source string
+	// Name identifies this follower in the primary's peer status
+	// (conventionally the follower's serving address).
+	Name string
+	// Slots is the subscribed slot set; nil subscribes to everything.
+	Slots *protocol.SlotSet
+	// Apply receives the replicated records.
+	Apply Applier
+	// DialTimeout bounds connection attempts (default 2s).
+	DialTimeout time.Duration
+	// ReadTimeout declares the link dead after this much silence —
+	// heartbeats arrive every Source Heartbeat, so several multiples of
+	// that (default 10s).
+	ReadTimeout time.Duration
+	// Backoff is the reconnect backoff base, doubled per consecutive
+	// failure up to 32× (default 100ms).
+	Backoff time.Duration
+	// Clock supplies "now" for staleness computation (nil = wall clock);
+	// it must agree with the Source's clock.
+	Clock func() time.Time
+}
+
+func (c *FollowerConfig) setDefaults() error {
+	if c.Source == "" {
+		return fmt.Errorf("replica: FollowerConfig.Source is required")
+	}
+	if c.Apply == nil {
+		return fmt.Errorf("replica: FollowerConfig.Apply is required")
+	}
+	if len(c.Name) > 255 {
+		return fmt.Errorf("replica: FollowerConfig.Name too long")
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 10 * time.Second
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return nil
+}
+
+// FollowerStatus snapshots one link for /replication and the lag gates.
+type FollowerStatus struct {
+	Source      string `json:"source"`
+	Connected   bool   `json:"connected"`
+	Synced      bool   `json:"synced"` // initial sync done on the current connection
+	AppliedSeq  uint64 `json:"appliedSeq"`
+	StalenessMS int64  `json:"stalenessMs"` // -1 until the first sync completes
+	Syncs       int64  `json:"syncs"`
+	Frames      int64  `json:"frames"`
+	Records     int64  `json:"records"`
+}
+
+// Follower maintains one replication link: dial, handshake, initial
+// sync, tail apply — reconnecting with backoff for as long as it lives.
+// Every record is applied before its frame is acknowledged, so the
+// primary's acked watermark never runs ahead of the follower's table.
+type Follower struct {
+	cfg FollowerConfig
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	connected  atomic.Bool
+	synced     atomic.Bool
+	everSynced atomic.Bool
+	appliedSeq atomic.Uint64
+	appliedTs  atomic.Int64 // primary-clock nanos of the last applied frame
+	syncs      atomic.Int64
+	frames     atomic.Int64
+	records    atomic.Int64
+}
+
+// StartFollower validates cfg and starts the link's goroutine.
+func StartFollower(cfg FollowerConfig) (*Follower, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	f := &Follower{cfg: cfg, stop: make(chan struct{})}
+	f.wg.Add(1)
+	go f.run()
+	return f, nil
+}
+
+// Source returns the primary replication address this link follows.
+func (f *Follower) Source() string { return f.cfg.Source }
+
+// Status snapshots the link.
+func (f *Follower) Status() FollowerStatus {
+	st := FollowerStatus{
+		Source:      f.cfg.Source,
+		Connected:   f.connected.Load(),
+		Synced:      f.synced.Load(),
+		AppliedSeq:  f.appliedSeq.Load(),
+		StalenessMS: -1,
+		Syncs:       f.syncs.Load(),
+		Frames:      f.frames.Load(),
+		Records:     f.records.Load(),
+	}
+	if d, ok := f.Staleness(); ok {
+		st.StalenessMS = d.Milliseconds()
+	}
+	return st
+}
+
+// Staleness reports how far behind the primary's clock the applied state
+// is: now minus the primary timestamp of the last applied frame. ok is
+// false until the first initial sync has completed; after a disconnect
+// the staleness keeps growing, which is exactly what a follower-read
+// gate wants to see.
+func (f *Follower) Staleness() (time.Duration, bool) {
+	if !f.everSynced.Load() {
+		return 0, false
+	}
+	ts := f.appliedTs.Load()
+	return time.Duration(f.cfg.Clock().UnixNano() - ts), true
+}
+
+// WaitDisconnected polls until the link is down (nothing more will be
+// applied: records apply inline before the next read) or the timeout
+// elapses, reporting whether it disconnected. Promotion uses it to
+// confirm the watermark after a primary death before closing the
+// dual-read window.
+func (f *Follower) WaitDisconnected(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for f.connected.Load() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// Close stops the link. When it returns, every fully received frame has
+// been applied and no further records will be (a partially received
+// frame is discarded whole — it was never acknowledged). Idempotent.
+func (f *Follower) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.wg.Wait()
+		return
+	}
+	f.closed = true
+	if f.conn != nil {
+		f.conn.Close()
+	}
+	f.mu.Unlock()
+	close(f.stop)
+	f.wg.Wait()
+}
+
+// run is the link goroutine: dial/resync/apply until closed.
+func (f *Follower) run() {
+	defer f.wg.Done()
+	backoff := f.cfg.Backoff
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", f.cfg.Source, f.cfg.DialTimeout)
+		if err == nil {
+			f.mu.Lock()
+			if f.closed {
+				f.mu.Unlock()
+				conn.Close()
+				return
+			}
+			f.conn = conn
+			f.mu.Unlock()
+			serr := f.session(conn)
+			f.connected.Store(false)
+			f.synced.Store(false)
+			f.mu.Lock()
+			f.conn = nil
+			f.mu.Unlock()
+			conn.Close()
+			if serr == nil || isClosing(serr) {
+				backoff = f.cfg.Backoff // deliberate teardown, not failure
+			}
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 32*f.cfg.Backoff {
+			backoff *= 2
+		}
+	}
+}
+
+func isClosing(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "use of closed network connection")
+}
+
+// session runs one connection: handshake, then apply frames until the
+// connection dies. A successful sync resets the reconnect backoff via
+// the error returned.
+func (f *Follower) session(conn net.Conn) error {
+	conn.SetWriteDeadline(time.Now().Add(f.cfg.DialTimeout))
+	hello := make([]byte, 0, len(replMagic)+1+len(f.cfg.Name)+protocol.SlotCount/8)
+	hello = append(hello, replMagic...)
+	hello = append(hello, byte(len(f.cfg.Name)))
+	hello = append(hello, f.cfg.Name...)
+	var set protocol.SlotSet
+	if f.cfg.Slots != nil {
+		set = *f.cfg.Slots
+	} else {
+		for i := range set {
+			set[i] = 0xff
+		}
+	}
+	hello = append(hello, set[:]...)
+	if _, err := conn.Write(hello); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(f.cfg.DialTimeout))
+	br := bufio.NewReaderSize(conn, 256<<10)
+	var reply [len(replMagic) + 1]byte
+	if _, err := io.ReadFull(br, reply[:]); err != nil {
+		return err
+	}
+	if string(reply[:len(replMagic)]) != replMagic {
+		return fmt.Errorf("replica: bad handshake reply")
+	}
+	f.connected.Store(true)
+
+	aw := bufio.NewWriterSize(conn, 4<<10)
+	var hdr [frameHeaderLen]byte
+	var ack [ackLen]byte
+	ack[0] = ackByte
+	comp := make([]byte, 0, 64<<10)
+	body := make([]byte, 0, 64<<10)
+	cr := &byteReader{}
+	fr := flate.NewReader(cr)
+	// No acks are sent until the sync-done frame has been applied: the
+	// first ack a source ever receives therefore certifies the whole
+	// initial sync, which is what lets its PeerStatus.Synced (and an
+	// empty-tail watermark) mean "the follower HAS this data", not "the
+	// follower has been mailed this data".
+	acking := false
+	for {
+		conn.SetReadDeadline(time.Now().Add(f.cfg.ReadTimeout))
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return err
+		}
+		typ := hdr[0]
+		seq := binary.LittleEndian.Uint64(hdr[1:9])
+		ts := int64(binary.LittleEndian.Uint64(hdr[9:17]))
+		ulen := binary.LittleEndian.Uint32(hdr[17:21])
+		clen := binary.LittleEndian.Uint32(hdr[21:25])
+		if ulen > maxFrameLen || clen > maxFrameLen {
+			return frameError("frame length", max32(ulen, clen), maxFrameLen)
+		}
+		if clen > 0 {
+			if cap(comp) < int(clen) {
+				comp = make([]byte, clen)
+			}
+			comp = comp[:clen]
+			if _, err := io.ReadFull(br, comp); err != nil {
+				return err
+			}
+			if cap(body) < int(ulen) {
+				body = make([]byte, ulen)
+			}
+			body = body[:ulen]
+			cr.b, cr.i = comp, 0
+			if err := fr.(flate.Resetter).Reset(cr, nil); err != nil {
+				return err
+			}
+			if _, err := io.ReadFull(fr, body); err != nil {
+				return fmt.Errorf("replica: inflating frame: %w", err)
+			}
+		} else {
+			body = body[:0]
+		}
+		switch typ {
+		case frameData:
+			if err := f.applyBody(body); err != nil {
+				return err
+			}
+		case frameSyncDone:
+			f.synced.Store(true)
+			f.everSynced.Store(true)
+			f.syncs.Add(1)
+			acking = true
+		case frameHeartbeat:
+			// watermark + timestamp only
+		default:
+			return fmt.Errorf("replica: unknown frame type %q", typ)
+		}
+		f.frames.Add(1)
+		if seq > f.appliedSeq.Load() {
+			f.appliedSeq.Store(seq)
+		}
+		f.appliedTs.Store(ts)
+		if !acking {
+			continue
+		}
+		binary.LittleEndian.PutUint64(ack[1:9], seq)
+		conn.SetWriteDeadline(time.Now().Add(f.cfg.ReadTimeout))
+		if _, err := aw.Write(ack[:]); err != nil {
+			return err
+		}
+		if err := aw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// applyBody replays one 'D' body through the applier, flushing at the
+// end so the subsequent ack means "applied", not "received". Flush runs
+// exactly once per frame even on a decode or apply error, so appliers
+// that acquire per-frame resources on the first Apply (e.g. a lock
+// serializing several links over one table client) always settle.
+func (f *Follower) applyBody(body []byte) (err error) {
+	defer func() {
+		if ferr := f.cfg.Apply.Flush(); err == nil {
+			err = ferr
+		}
+	}()
+	n := 0
+	for len(body) >= recFixedLen {
+		op := body[0]
+		key := binary.LittleEndian.Uint64(body[1:9])
+		exp := int64(binary.LittleEndian.Uint64(body[9:17]))
+		vlen := binary.LittleEndian.Uint32(body[17:21])
+		body = body[recFixedLen:]
+		if uint32(len(body)) < vlen {
+			return fmt.Errorf("replica: truncated record in frame")
+		}
+		if aerr := f.cfg.Apply.Apply(persist.Op(op), key, exp, body[:vlen]); aerr != nil {
+			return aerr
+		}
+		body = body[vlen:]
+		n++
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("replica: trailing bytes in frame body")
+	}
+	f.records.Add(int64(n))
+	return nil
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// byteReader is a reusable no-copy reader over a byte slice (bytes.Reader
+// without the interface baggage flate does not need). Reused per frame by
+// pointing b at the next compressed body and zeroing i.
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+func (r *byteReader) ReadByte() (byte, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	b := r.b[r.i]
+	r.i++
+	return b, nil
+}

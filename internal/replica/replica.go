@@ -1,0 +1,188 @@
+// Package replica adds per-slot primary→follower replication on top of
+// the durability pipeline (internal/persist): recovery, continuously.
+//
+// PR 5 left every record of a table totally ordered in a segmented WAL;
+// a replica is therefore nothing more than a remote party that first
+// replays the durable prefix (snapshot + sealed segments, exactly what
+// Recover does locally) and then keeps applying the live tail. The
+// Source side attaches a persist.TailSink to its pipeline and fans the
+// tail into a bounded in-memory backlog; each connected follower gets
+// the durable prefix streamed first (bounded by a RollAll barrier, so
+// the two phases meet with overlap, never a gap) and the backlog after.
+// Records replay idempotently — key → partition → one appender → one
+// stream means per-key FIFO survives the trip — so the overlap is
+// harmless, last writer wins.
+//
+// Placement rides the rendezvous continuum: a slot's replica lives on
+// cluster.Ring.Standby(slot), the rank-1 scorer, which is provably the
+// member the slot reassigns to when its owner is removed. Failover
+// promotion (rebalance.Migrator.Promote) is therefore a pure ownership
+// flip — the data is already on the new owner — using the migration
+// machinery's dual-read window until the follower's watermark is
+// confirmed.
+//
+// # Wire protocol
+//
+// One TCP connection per (follower, primary) pair, opened by the
+// follower to the Source's dedicated replication listener:
+//
+//	handshake  F→S: magic "CPREPL01" | nameLen (1) | name | slot bitmap (32)
+//	handshake  S→F: magic "CPREPL01" | flags (1, zero)
+//	frame      S→F: type (1) | seq (8 LE) | tsNanos (8 LE) | ulen (4 LE) | clen (4 LE) | body
+//	ack        F→S: 'A' | seq (8 LE)
+//
+// Frame types: 'D' carries a flate-compressed batch of records (body is
+// clen bytes, inflating to ulen); 'S' marks the end of the initial sync;
+// 'H' is an idle heartbeat. A record inside a 'D' body is
+// op (1) | key (8 LE) | expireAt ns (8 LE) | vlen (4 LE) | value.
+//
+// seq on 'D'/'H' frames is the Source's tail sequence covered so far —
+// the replication watermark the follower acknowledges; tsNanos is the
+// primary's clock at send time, from which the follower derives the
+// staleness bound for follower reads. Compression is per frame
+// (flate.BestSpeed), so each frame is independently decodable and the
+// writer/reader state is reset-reused, allocation-free in steady state.
+//
+// Catch-up is backlog-only by design (the redis chain-replication
+// trade): a follower that falls off the bounded backlog is disconnected
+// and performs a full resync on reconnect, which the snapshot+segment
+// replay makes proportional to the table size, not the outage length.
+package replica
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"cphash/internal/core"
+	"cphash/internal/lockhash"
+	"cphash/internal/persist"
+)
+
+const (
+	replMagic = "CPREPL01"
+
+	frameData      = byte('D')
+	frameSyncDone  = byte('S')
+	frameHeartbeat = byte('H')
+	ackByte        = byte('A')
+
+	frameHeaderLen = 1 + 8 + 8 + 4 + 4
+	ackLen         = 1 + 8
+
+	recFixedLen = 1 + 8 + 8 + 4
+
+	// maxFrameLen rejects absurd lengths before allocating, mirroring the
+	// WAL replay guard.
+	maxFrameLen = 64 << 20
+)
+
+func putFrameHeader(dst []byte, typ byte, seq uint64, ts int64, ulen, clen int) {
+	dst[0] = typ
+	binary.LittleEndian.PutUint64(dst[1:9], seq)
+	binary.LittleEndian.PutUint64(dst[9:17], uint64(ts))
+	binary.LittleEndian.PutUint32(dst[17:21], uint32(ulen))
+	binary.LittleEndian.PutUint32(dst[21:25], uint32(clen))
+}
+
+// appendRecord frames one record into a 'D' body under assembly.
+func appendRecord(dst []byte, op byte, key uint64, expireAt int64, value []byte) []byte {
+	dst = append(dst, op)
+	dst = binary.LittleEndian.AppendUint64(dst, key)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(expireAt))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(value)))
+	return append(dst, value...)
+}
+
+// Applier applies replicated records to the follower's local table. All
+// calls happen on the follower's single apply goroutine. Flush is the
+// per-frame barrier: record buffers passed to Apply stay valid until the
+// next Flush returns, so pipelined appliers may defer completion to it.
+type Applier interface {
+	Apply(op persist.Op, key uint64, expireAt int64, value []byte) error
+	Flush() error
+}
+
+// CoreApplier replays into a CPHASH table through a dedicated client
+// handle, pipelining a whole frame between Flushes (the same WaitAll
+// discipline persist.RestoreCore uses, minus the per-record round trip).
+type CoreApplier struct {
+	c     *core.Client
+	clock func() int64
+	ops   []*core.Op
+}
+
+// NewCoreApplier builds an Applier over a CPHASH table's client handle
+// clientID, which must be reserved for the applier (the follower applies
+// from one goroutine; core client handles are single-goroutine). Expiry
+// deadlines are converted to TTLs against clock at apply time, the same
+// skew window RestoreCore accepts. Close releases the handle.
+func NewCoreApplier(t *core.Table, clientID int, clock func() int64) (*CoreApplier, error) {
+	c, err := t.Client(clientID)
+	if err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
+	return &CoreApplier{c: c, clock: clock}, nil
+}
+
+func (a *CoreApplier) Apply(op persist.Op, key uint64, expireAt int64, value []byte) error {
+	switch op {
+	case persist.OpSet:
+		ttl := time.Duration(0)
+		if expireAt != 0 {
+			ttl = time.Duration(expireAt - a.clock())
+			if ttl <= 0 {
+				return nil // expired in flight
+			}
+		}
+		a.ops = append(a.ops, a.c.InsertTTLAsync(key, value, ttl))
+	case persist.OpDelete:
+		a.ops = append(a.ops, a.c.DeleteAsync(key))
+	}
+	return nil
+}
+
+func (a *CoreApplier) Flush() error {
+	a.c.WaitAll()
+	for _, o := range a.ops {
+		a.c.Release(o)
+	}
+	a.ops = a.ops[:0]
+	return nil
+}
+
+// Close flushes and releases the table client handle.
+func (a *CoreApplier) Close() {
+	_ = a.Flush()
+	a.c.Close()
+}
+
+// lockHashApplier replays into a LOCKHASH table, preserving absolute
+// deadlines exactly (PutExpire), mirroring persist.RestoreLockHash.
+type lockHashApplier struct{ t *lockhash.Table }
+
+// NewLockHashApplier builds an Applier over a LOCKHASH table.
+func NewLockHashApplier(t *lockhash.Table) Applier {
+	return &lockHashApplier{t: t}
+}
+
+func (a *lockHashApplier) Apply(op persist.Op, key uint64, expireAt int64, value []byte) error {
+	switch op {
+	case persist.OpSet:
+		a.t.PutExpire(key, value, expireAt)
+	case persist.OpDelete:
+		a.t.Delete(key)
+	}
+	return nil
+}
+
+func (a *lockHashApplier) Flush() error { return nil }
+
+// frameError annotates protocol violations so both ends log usable
+// diagnoses rather than bare io errors.
+func frameError(what string, got, limit uint32) error {
+	return fmt.Errorf("replica: %s %d exceeds limit %d", what, got, limit)
+}

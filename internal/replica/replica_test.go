@@ -1,0 +1,283 @@
+package replica_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cphash/internal/cluster"
+	"cphash/internal/lockhash"
+	"cphash/internal/partition"
+	"cphash/internal/persist"
+	"cphash/internal/protocol"
+	"cphash/internal/replica"
+)
+
+// node is one lockhash table + pipeline + (optional) replication source,
+// the smallest stack the replica machinery runs on.
+type node struct {
+	t     *testing.T
+	table *lockhash.Table
+	pipe  *persist.Pipeline
+	src   *replica.Source
+}
+
+func startNode(t *testing.T, srcCfg *replica.SourceConfig) *node {
+	t.Helper()
+	pipe, err := persist.Open(persist.Config{
+		Dir:     t.TempDir(),
+		Policy:  persist.SyncNone,
+		Streams: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := lockhash.New(lockhash.Config{
+		Partitions:    8,
+		CapacityBytes: 8 << 20,
+		Sink:          func(i int) partition.ChangeSink { return pipe.Appender(i) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.SetSource(persist.LockHashSource(table))
+	if _, err := persist.RestoreLockHash(pipe, table); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n := &node{t: t, table: table, pipe: pipe}
+	if srcCfg != nil {
+		cfg := *srcCfg
+		cfg.Pipe = pipe
+		if cfg.Addr == "" {
+			cfg.Addr = "127.0.0.1:0"
+		}
+		n.src, err = replica.NewSource(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		if n.src != nil {
+			n.src.Close()
+		}
+		pipe.Close()
+	})
+	return n
+}
+
+func (n *node) follow(source string, slots *protocol.SlotSet, hb time.Duration) *replica.Follower {
+	n.t.Helper()
+	f, err := replica.StartFollower(replica.FollowerConfig{
+		Source:      source,
+		Name:        "follower",
+		Slots:       slots,
+		Apply:       replica.NewLockHashApplier(n.table),
+		Backoff:     10 * time.Millisecond,
+		ReadTimeout: 20 * hb,
+	})
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	n.t.Cleanup(f.Close)
+	return f
+}
+
+// waitAcked polls until the source's tail watermark is acknowledged by
+// every connected peer (all replicated writes applied remotely).
+func waitAcked(t *testing.T, src *replica.Source, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		tail := src.Tail()
+		ok := false
+		for _, ps := range src.Status() {
+			if ps.Synced && ps.Acked >= tail {
+				ok = true
+			} else {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watermark not acked: tail=%d status=%+v", tail, src.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReplicateLiveTailAndInitialSync(t *testing.T) {
+	hb := 10 * time.Millisecond
+	primary := startNode(t, &replica.SourceConfig{Heartbeat: hb})
+
+	// Pre-sync state: written before the follower exists, so it arrives
+	// via the initial sync (snapshot/segment replay), not the tail.
+	for k := uint64(1); k <= 500; k++ {
+		primary.table.Put(k, []byte(fmt.Sprintf("pre-%d", k)))
+	}
+	primary.table.PutTTL(9001, []byte("ttl-entry"), time.Hour)
+	primary.table.Put(9002, []byte("doomed"))
+	primary.table.Delete(9002)
+
+	follower := startNode(t, nil)
+	fl := follower.follow(primary.src.Addr(), nil, hb)
+
+	// Live tail: written while the follower is attached.
+	for k := uint64(1001); k <= 1500; k++ {
+		primary.table.Put(k, []byte(fmt.Sprintf("live-%d", k)))
+	}
+	primary.pipe.Barrier()
+	waitAcked(t, primary.src, 5*time.Second)
+
+	for k := uint64(1); k <= 500; k++ {
+		if v, ok := follower.table.Get(k, nil); !ok || string(v) != fmt.Sprintf("pre-%d", k) {
+			t.Fatalf("key %d: got %q ok=%v", k, v, ok)
+		}
+	}
+	for k := uint64(1001); k <= 1500; k++ {
+		if v, ok := follower.table.Get(k, nil); !ok || string(v) != fmt.Sprintf("live-%d", k) {
+			t.Fatalf("key %d: got %q ok=%v", k, v, ok)
+		}
+	}
+	if _, ok := follower.table.Get(9002, nil); ok {
+		t.Fatal("deleted key resurrected on follower")
+	}
+	if _, ok := follower.table.Get(9001, nil); !ok {
+		t.Fatal("TTL entry missing on follower")
+	}
+	if d, ok := fl.Staleness(); !ok || d > time.Second {
+		t.Fatalf("staleness = %v ok=%v, want fresh", d, ok)
+	}
+	st := fl.Status()
+	if !st.Connected || !st.Synced || st.Records == 0 {
+		t.Fatalf("unexpected follower status %+v", st)
+	}
+}
+
+func TestSlotFilteredReplication(t *testing.T) {
+	hb := 10 * time.Millisecond
+	primary := startNode(t, &replica.SourceConfig{Heartbeat: hb})
+	follower := startNode(t, nil)
+
+	// Subscribe to exactly half the continuum.
+	var set protocol.SlotSet
+	for s := 0; s < protocol.SlotCount/2; s++ {
+		set.Add(s)
+	}
+	follower.follow(primary.src.Addr(), &set, hb)
+
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]uint64, 2000)
+	for i := range keys {
+		keys[i] = rng.Uint64() & uint64(partition.MaxKey)
+		primary.table.Put(keys[i], []byte(fmt.Sprintf("v-%d", i)))
+	}
+	primary.pipe.Barrier()
+	waitAcked(t, primary.src, 5*time.Second)
+
+	for i, k := range keys {
+		_, ok := follower.table.Get(k, nil)
+		want := set.Has(cluster.SlotOf(k))
+		if ok != want {
+			t.Fatalf("key %d (slot %d): present=%v want=%v", k, cluster.SlotOf(k), ok, want)
+		}
+		_ = i
+	}
+}
+
+func TestFollowerReconnectsAndResyncs(t *testing.T) {
+	hb := 10 * time.Millisecond
+	primary := startNode(t, &replica.SourceConfig{Heartbeat: hb})
+	follower := startNode(t, nil)
+
+	for k := uint64(1); k <= 100; k++ {
+		primary.table.Put(k, []byte("one"))
+	}
+	fl := follower.follow(primary.src.Addr(), nil, hb)
+	primary.pipe.Barrier()
+	waitAcked(t, primary.src, 5*time.Second)
+
+	// Kill the source side; the follower must reconnect once a new
+	// source (same pipeline, new listener) appears at the same address.
+	addr := primary.src.Addr()
+	primary.src.Close()
+	if !fl.WaitDisconnected(5 * time.Second) {
+		t.Fatal("follower did not notice source death")
+	}
+
+	// Writes during the outage only reach the follower via resync.
+	for k := uint64(101); k <= 200; k++ {
+		primary.table.Put(k, []byte("two"))
+	}
+	primary.pipe.Barrier()
+
+	src2, err := replica.NewSource(replica.SourceConfig{
+		Pipe:      primary.pipe,
+		Addr:      addr,
+		Heartbeat: hb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(src2.Close)
+	primary.src = src2
+
+	waitAcked(t, primary.src, 10*time.Second)
+	for k := uint64(1); k <= 200; k++ {
+		if _, ok := follower.table.Get(k, nil); !ok {
+			t.Fatalf("key %d missing after resync", k)
+		}
+	}
+	if st := fl.Status(); st.Syncs < 2 {
+		t.Fatalf("expected a second initial sync, status %+v", st)
+	}
+}
+
+func TestBacklogOverrunForcesResync(t *testing.T) {
+	hb := 5 * time.Millisecond
+	// Tiny backlog: a burst larger than it must disconnect the follower,
+	// which then resyncs and converges anyway.
+	primary := startNode(t, &replica.SourceConfig{Heartbeat: hb, BacklogRecords: 64})
+	follower := startNode(t, nil)
+	follower.follow(primary.src.Addr(), nil, hb)
+	waitAcked(t, primary.src, 5*time.Second)
+
+	for k := uint64(1); k <= 5000; k++ {
+		primary.table.Put(k, []byte(fmt.Sprintf("v-%d", k)))
+	}
+	primary.pipe.Barrier()
+	waitAcked(t, primary.src, 10*time.Second)
+	for k := uint64(1); k <= 5000; k++ {
+		if _, ok := follower.table.Get(k, nil); !ok {
+			t.Fatalf("key %d missing after overrun resync", k)
+		}
+	}
+}
+
+func TestStalenessGrowsWhenDisconnected(t *testing.T) {
+	hb := 10 * time.Millisecond
+	primary := startNode(t, &replica.SourceConfig{Heartbeat: hb})
+	follower := startNode(t, nil)
+	fl := follower.follow(primary.src.Addr(), nil, hb)
+	primary.table.Put(1, []byte("x"))
+	primary.pipe.Barrier()
+	waitAcked(t, primary.src, 5*time.Second)
+
+	if _, ok := fl.Staleness(); !ok {
+		t.Fatal("staleness not available after sync")
+	}
+	primary.src.Close()
+	fl.WaitDisconnected(5 * time.Second)
+	d1, _ := fl.Staleness()
+	time.Sleep(50 * time.Millisecond)
+	d2, _ := fl.Staleness()
+	if d2 <= d1 {
+		t.Fatalf("staleness did not grow while disconnected: %v then %v", d1, d2)
+	}
+}
