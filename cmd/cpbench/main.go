@@ -14,6 +14,7 @@
 //	cpbench -experiment ablation-batch  # §6.1: pipeline-depth sensitivity
 //	cpbench -experiment hotpath   # wire-level GET/SET mix: qps, p99, allocs/op
 //	cpbench -experiment replication # hotpath with a live follower: streaming overhead
+//	cpbench -experiment obs       # scrape-driven server-side latency + slot heat
 //	cpbench -experiment all
 //
 // The hotpath experiment is the steady-state perf gate: a 90/10 GET/SET
@@ -35,8 +36,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +50,7 @@ import (
 	"cphash/internal/loadgen"
 	"cphash/internal/lockhash"
 	"cphash/internal/memcache"
+	"cphash/internal/obs"
 	"cphash/internal/partition"
 	"cphash/internal/perf"
 	"cphash/internal/persist"
@@ -112,7 +117,8 @@ func main() {
 	known := map[string]bool{
 		"fig5": true, "fig8": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig13": true, "fig14": true, "ablation-ring": true, "ablation-batch": true,
-		"ablation-dynamic": true, "hotpath": true, "replication": true, "all": true,
+		"ablation-dynamic": true, "hotpath": true, "replication": true, "obs": true,
+		"all": true,
 	}
 	if !known[*experiment] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -130,6 +136,7 @@ func main() {
 	run("ablation-dynamic", ablationDynamic)
 	run("hotpath", hotpathExperiment)
 	run("replication", replicationExperiment)
+	run("obs", obsExperiment)
 	writeResults()
 }
 
@@ -765,6 +772,143 @@ func replicationExperiment() {
 			perf.FormatBytes(size), 100*(1-replicated/durable), hotpathRuns)
 	}
 	fmt.Println()
+}
+
+// obsExperiment measures the observability surface the way an operator
+// consumes it: a CPSERVER with its /metrics registry, zipfian load, and
+// a scraper polling the endpoint throughout the run. The recorded
+// numbers are SERVER-SIDE — op latency quantiles reconstructed from the
+// delta of the scraped histograms (exactly this run's operations) and
+// the slot-heat skew (hottest slot's share relative to a uniform
+// spread), the signal the README's hot-slot walkthrough reads. The JSON
+// records seed the BENCH_obs.json trajectory CI archives.
+func obsExperiment() {
+	fmt.Println("=== obs: scrape-driven server-side latency and slot heat (zipfian) ===")
+	spec := workload.Default(1 << 20)
+	spec.Dist = workload.Zipfian
+	table := core.MustNew(core.Config{
+		Partitions:    *servers,
+		CapacityBytes: partition.CapacityForValues(spec.NumKeys(), spec.ValueSize),
+		MaxClients:    2,
+		Seed:          1,
+	})
+	defer table.Close()
+	srv, err := kvserver.Serve(kvserver.Config{Addr: "127.0.0.1:0", Workers: 2, NewBackend: kvserver.NewCPHashBackend(table)})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	reg.Register(func(e *obs.Expo) {
+		labels := obs.Labels("instance", srv.Addr())
+		srv.Collect(e, labels)
+		table.Collect(e, labels)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	hsrv := &http.Server{Handler: reg.Handler()}
+	go hsrv.Serve(ln)
+	defer hsrv.Close()
+	scrape := func() (*obs.Scrape, error) {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		return obs.ParseText(resp.Body)
+	}
+
+	before, err := scrape()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	// Scrape at intervals while the load runs — the aggregation is lazy
+	// and lock-free, so concurrent scrapes must neither stall traffic nor
+	// return a malformed exposition.
+	scrapes := 1
+	stopScraper := make(chan struct{})
+	scraperDone := make(chan error, 1)
+	go func() {
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopScraper:
+				scraperDone <- nil
+				return
+			case <-tick.C:
+				if _, err := scrape(); err != nil {
+					scraperDone <- err
+					return
+				}
+				scrapes++
+			}
+		}
+	}()
+	res, err := loadgen.Run(loadgen.Config{
+		Addrs:      []string{srv.Addr()},
+		Conns:      4,
+		Pipeline:   64,
+		Spec:       spec,
+		OpsPerConn: *ops / 8,
+	})
+	close(stopScraper)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	if err := <-scraperDone; err != nil {
+		fmt.Fprintf(os.Stderr, "cpbench: mid-run scrape: %v\n", err)
+		return
+	}
+	after, err := scrape()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	scrapes++
+
+	d := after.Sub(before)
+	p50, _ := d.Quantile("cphash_op_latency_ns", 0.5)
+	p99, _ := d.Quantile("cphash_op_latency_ns", 0.99)
+	p999, _ := d.Quantile("cphash_op_latency_ns", 0.999)
+	// Slot-heat skew from the scraped per-slot counters: hottest slot's
+	// ops × slots / total — 1.0 is perfectly uniform, obs.Slots is
+	// everything on one slot.
+	var totalOps, maxOps float64
+	hotSlot := ""
+	for _, k := range d.Keys() {
+		if !strings.HasPrefix(k, "cphash_slot_ops_total{") {
+			continue
+		}
+		v := d.Samples[k]
+		totalOps += v
+		if v > maxOps {
+			maxOps = v
+			hotSlot = k
+		}
+	}
+	skew := 0.0
+	if totalOps > 0 {
+		skew = maxOps * float64(obs.Slots) / totalOps
+	}
+	record("obs", map[string]any{
+		"design":       "cpserver",
+		"dist":         "zipfian",
+		"scrapes":      scrapes,
+		"serverP50Ns":  p50,
+		"serverP999Ns": p999,
+		"slotHeatSkew": skew,
+	}, res.Throughput(), time.Duration(p99))
+	fmt.Printf("%-10s %14.3g q/s, %d scrapes\n", "cpserver", res.Throughput(), scrapes)
+	fmt.Printf("server op latency: p50≤%.0f p99≤%.0f p999≤%.0f ns\n", p50, p99, p999)
+	fmt.Printf("slot heat: skew %.1f× uniform, hottest %s\n\n", skew, hotSlot)
 }
 
 // ablationDynamic exercises the §8.1 extension: with the client count

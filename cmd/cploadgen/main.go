@@ -17,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"sort"
 	"strings"
 
 	"cphash/internal/loadgen"
+	"cphash/internal/obs"
 	"cphash/internal/sizeparse"
 	"cphash/internal/workload"
 )
@@ -37,6 +39,8 @@ var (
 	validate    = flag.Bool("validate", false, "verify every hit's bytes")
 	seed        = flag.Uint64("seed", 1, "workload seed")
 	perNode     = flag.Bool("per-node", false, "print per-node traffic breakdown")
+	p999        = flag.Bool("p999", false, "also report the p99.9 client-side window latency")
+	scrapeAddr  = flag.String("scrape", "", "cpserver -statsaddr to scrape /metrics on before and after the run, printing server-side counter deltas and latency quantiles")
 )
 
 func main() {
@@ -55,6 +59,12 @@ func main() {
 		spec.Dist = workload.Zipfian
 	}
 	nodes := strings.Split(*addrs, ",")
+	var before *obs.Scrape
+	if *scrapeAddr != "" {
+		if before, err = scrapeMetrics(*scrapeAddr); err != nil {
+			log.Fatalf("cploadgen: pre-run scrape: %v", err)
+		}
+	}
 	res, err := loadgen.Run(loadgen.Config{
 		Addrs:      nodes,
 		Conns:      *conns,
@@ -68,11 +78,56 @@ func main() {
 	}
 	fmt.Println(res)
 	fmt.Printf("window latency: %s\n", res.Latency)
+	if *p999 {
+		fmt.Printf("window latency p999≤%d ns\n", res.Latency.Quantile(0.999))
+	}
 	if *perNode || len(nodes) > 1 {
 		printPerNode(res)
 	}
+	if *scrapeAddr != "" {
+		after, err := scrapeMetrics(*scrapeAddr)
+		if err != nil {
+			log.Fatalf("cploadgen: post-run scrape: %v", err)
+		}
+		printScrapeDelta(after.Sub(before))
+	}
 	if res.BadBytes > 0 {
 		log.Fatalf("cploadgen: %d corrupt responses", res.BadBytes)
+	}
+}
+
+// scrapeMetrics fetches and strictly parses a cpserver's Prometheus
+// exposition. A malformed exposition is a fatal error — CI uses this as
+// the /metrics validity gate.
+func scrapeMetrics(addr string) (*obs.Scrape, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// printScrapeDelta renders the server-side view of the run: counter
+// deltas summed across instances plus latency quantiles reconstructed
+// from the delta histogram buckets (cumulative buckets subtract cleanly,
+// so the quantiles cover exactly this run's operations).
+func printScrapeDelta(d *obs.Scrape) {
+	fmt.Printf("server delta: requests=%.0f batches=%.0f lookups=%.0f hits=%.0f inserts=%.0f bytes_in=%.0f bytes_out=%.0f\n",
+		d.Sum("cphash_server_requests_total"), d.Sum("cphash_server_batches_total"),
+		d.Sum("cphash_table_lookups_total"), d.Sum("cphash_table_hits_total"),
+		d.Sum("cphash_table_inserts_total"),
+		d.Sum("cphash_table_bytes_in_total"), d.Sum("cphash_table_bytes_out_total"))
+	if p50, ok := d.Quantile("cphash_op_latency_ns", 0.5); ok {
+		p99, _ := d.Quantile("cphash_op_latency_ns", 0.99)
+		p999, _ := d.Quantile("cphash_op_latency_ns", 0.999)
+		fmt.Printf("server op latency: p50≤%.0f p99≤%.0f p999≤%.0f ns\n", p50, p99, p999)
+	}
+	if bs, ok := d.Quantile("cphash_batch_size", 0.5); ok {
+		fmt.Printf("server batch size: p50≤%.0f\n", bs)
 	}
 }
 

@@ -20,10 +20,24 @@
 //	cpserver -addr 127.0.0.1:9090 -instances 3 -statsaddr 127.0.0.1:8070
 //
 // The server prints each bound address on startup (useful with :0) and
-// periodic throughput lines; SIGINT/SIGTERM shuts it down cleanly. With
-// -statsaddr, runtime counters — hits, misses, expired, evictions, active
-// connections — are served as JSON at /stats and through expvar at
-// /debug/vars.
+// periodic throughput lines; SIGINT/SIGTERM shuts it down cleanly.
+//
+// # Observability
+//
+// With -statsaddr, one HTTP mux serves the full observability surface
+// (all counters are atomic — a scrape never sees a torn snapshot):
+//
+//	GET /stats        # JSON summary, one entry per instance
+//	GET /metrics      # Prometheus text exposition (internal/obs registry)
+//	GET /debug/vars   # expvar
+//	GET /debug/pprof  # net/http/pprof profiles
+//
+// /metrics carries per-instance table/server counters, server-side op and
+// batch latency histograms, per-slot heat counters, persistence gauges
+// (fsync latency, ring depth, snapshot age), per-peer replication lag,
+// and the coordinator's client/migration metrics. Cluster lifecycle
+// events (join, leave, promote, migration, recovery) are emitted as
+// structured log/slog lines on stdout.
 //
 // The stats endpoint doubles as the cluster admin surface for live
 // topology changes with ONLINE SLOT MIGRATION (zero key loss for keys not
@@ -90,6 +104,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -104,6 +119,7 @@ import (
 	"cphash/internal/kvserver"
 	"cphash/internal/lockhash"
 	"cphash/internal/memcache"
+	"cphash/internal/obs"
 	"cphash/internal/partition"
 	"cphash/internal/persist"
 	"cphash/internal/protocol"
@@ -133,12 +149,20 @@ var (
 	maxSegment   = flag.String("maxsegment", "64MiB", "WAL segment size before rolling (e.g. 16MiB, 1GiB)")
 )
 
+// events carries structured cluster-lifecycle log lines (join, leave,
+// promote, migration, recovery) so operators can grep one stream instead
+// of scraping ad-hoc printf output.
+var events = obs.NewEventLogger(os.Stdout, "cpserver")
+
 // instance is one running server plus its observability hooks.
 type instance struct {
 	addr     string
 	requests func() int64
 	snapshot func() map[string]any
-	close    func()
+	// collect emits the instance's Prometheus families under a label set
+	// (typically {instance="addr"}) into a registry gather.
+	collect func(e *obs.Expo, labels string)
+	close   func()
 	// persistence hooks; nil pipe when -datadir is unset.
 	pipe      *persist.Pipeline
 	recovered persist.RecoverStats
@@ -256,6 +280,10 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 					"elements": inst.Len(),
 				}
 			},
+			collect: func(e *obs.Expo, labels string) {
+				e.Counter("cphash_server_requests_total", "Requests processed.", labels, inst.Requests())
+				e.Gauge("cphash_table_elements", "entries currently stored", labels, float64(inst.Len()))
+			},
 			close: func() { inst.Close() },
 		}, nil
 
@@ -263,6 +291,7 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 		var (
 			newBackend   func(int) (kvserver.Backend, error)
 			tableStats   func() partition.Stats
+			tableCollect func(*obs.Expo, string)
 			closeTable   func()
 			pipe         *persist.Pipeline
 			recovered    persist.RecoverStats
@@ -320,6 +349,7 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 			}
 			newBackend = kvserver.NewCPHashBackend(table)
 			tableStats = func() partition.Stats { return table.Stats().Stats }
+			tableCollect = table.Collect
 			closeTable = table.Close
 		} else {
 			table, err := lockhash.New(lockhash.Config{
@@ -343,6 +373,7 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 			}
 			newBackend = kvserver.NewLockHashBackend(table)
 			tableStats = table.Stats
+			tableCollect = table.Collect
 			closeTable = func() {}
 		}
 		if pipe != nil {
@@ -385,12 +416,23 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 			return nil, err
 		}
 		if pipe != nil {
-			fmt.Printf("persistence: %s recovered %d snapshot entries + %d WAL records (sync=%s)\n",
-				dir, recovered.SnapshotEntries, recovered.WALRecords, persistPol)
+			events.Info("recovery",
+				"instance", srv.Addr(), "dir", dir, "sync", persistPol.String(),
+				"snapshotEntries", recovered.SnapshotEntries, "walRecords", recovered.WALRecords)
 		}
 		return &instance{
 			addr:     srv.Addr(),
 			requests: func() int64 { return srv.Stats().Requests },
+			collect: func(e *obs.Expo, labels string) {
+				srv.Collect(e, labels)
+				tableCollect(e, labels)
+				if pipe != nil {
+					pipe.Collect(e, labels)
+				}
+				if src != nil {
+					src.Collect(e, labels)
+				}
+			},
 			snapshot: func() map[string]any {
 				ss := srv.Stats()
 				out := map[string]any{
@@ -576,7 +618,7 @@ func (a *admin) rewire() {
 				Apply:  fin.newApplier(),
 			})
 			if err != nil {
-				log.Printf("cpserver: replication link %s ← %s: %v", fAddr, pAddr, err)
+				events.Warn("replication_link_failed", "follower", fAddr, "primary", pAddr, "err", err)
 				continue
 			}
 			if fresh[fAddr] == nil {
@@ -604,9 +646,38 @@ func (a *admin) rewire() {
 			continue
 		}
 		if _, err := a.cli.PurgeNode(in.addr, &stale); err != nil {
-			log.Printf("cpserver: purging stale replica slots on %s: %v", in.addr, err)
+			events.Warn("replica_purge_failed", "instance", in.addr, "slots", n, "err", err)
 		}
 	}
+}
+
+// collect gathers the whole process into one exposition buffer: every
+// instance's server/table/persist/replica families under its
+// {instance="addr"} label set, each live follower link, then the
+// coordinator's own client and migrator. Registered once with the
+// /metrics registry; runs per scrape so aggregation is lazy.
+func (a *admin) collect(e *obs.Expo) {
+	a.mu.Lock()
+	insts := append([]*instance(nil), a.insts...)
+	type linkRef struct {
+		follower, primary string
+		f                 *replica.Follower
+	}
+	var links []linkRef
+	for fAddr, m := range a.links {
+		for pAddr, f := range m {
+			links = append(links, linkRef{fAddr, pAddr, f})
+		}
+	}
+	a.mu.Unlock()
+	for _, in := range insts {
+		in.collect(e, obs.Labels("instance", in.addr))
+	}
+	for _, l := range links {
+		l.f.Collect(e, obs.Labels("instance", l.follower, "primary", l.primary))
+	}
+	a.cli.Collect(e, "")
+	a.migr.Collect(e, "")
 }
 
 // instances snapshots the current instance list.
@@ -669,7 +740,7 @@ func (a *admin) join() (string, error) {
 	n := len(a.insts)
 	a.mu.Unlock()
 	a.rewire()
-	fmt.Printf("cluster: %s joined with live migration (%d instances)\n", in.addr, n)
+	events.Info("join", "instance", in.addr, "instances", n)
 	return in.addr, nil
 }
 
@@ -705,7 +776,7 @@ func (a *admin) leave(addr string) error {
 	n := len(a.insts)
 	a.mu.Unlock()
 	a.rewire()
-	fmt.Printf("cluster: %s left with live migration (%d instances)\n", addr, n)
+	events.Info("leave", "instance", addr, "instances", n)
 	return nil
 }
 
@@ -771,7 +842,7 @@ func (a *admin) promote(addr string) error {
 	n := len(a.insts)
 	a.mu.Unlock()
 	a.rewire()
-	fmt.Printf("cluster: %s promoted away to its standbys (%d instances)\n", addr, n)
+	events.Info("promote", "instance", addr, "instances", n)
 	return nil
 }
 
@@ -932,9 +1003,10 @@ func (a *admin) replicationSummary() map[string]any {
 	}
 }
 
-// serveStats exposes /stats (JSON), /debug/vars (expvar) and the cluster
-// admin surface (/join, /leave, /migration) on its own mux, keeping the
-// default mux untouched.
+// serveStats exposes /stats (JSON), /metrics (Prometheus text),
+// /debug/vars (expvar), /debug/pprof and the cluster admin surface
+// (/join, /leave, /migration) on its own mux, keeping the default mux
+// untouched.
 func serveStats(addr string, a *admin) (*http.Server, error) {
 	expvar.Publish("cpserver", expvar.Func(func() any { return snapshotAll(a.instances()) }))
 	writeJSON := func(w http.ResponseWriter, doc any) {
@@ -943,8 +1015,16 @@ func serveStats(addr string, a *admin) (*http.Server, error) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(doc)
 	}
+	reg := obs.NewRegistry()
+	reg.Register(a.collect)
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		doc := snapshotAll(a.instances())
 		doc["replication"] = a.replicationSummary()
@@ -1021,7 +1101,7 @@ func serveStats(addr string, a *admin) (*http.Server, error) {
 	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
-	fmt.Printf("stats endpoint on http://%s/stats (admin: POST /join, POST /leave?addr=, POST /promote?addr=, GET /migration, GET /replication, GET /persistence, POST /snapshot)\n", ln.Addr())
+	fmt.Printf("stats endpoint on http://%s/stats (+ /metrics, /debug/vars, /debug/pprof; admin: POST /join, POST /leave?addr=, POST /promote?addr=, GET /migration, GET /replication, GET /persistence, POST /snapshot)\n", ln.Addr())
 	return srv, nil
 }
 
@@ -1104,7 +1184,7 @@ func main() {
 		adm.opMu.Lock()
 		adm.rewire()
 		adm.opMu.Unlock()
-		fmt.Printf("replication: factor %d, %d links wired\n", *replicas, func() int {
+		events.Info("replication_wired", "replicas", *replicas, "links", func() int {
 			s := adm.replicationSummary()
 			n, _ := s["links"].(int)
 			return n

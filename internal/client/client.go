@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"cphash/internal/cluster"
+	"cphash/internal/obs"
 	"cphash/internal/partition"
 	"cphash/internal/protocol"
 )
@@ -184,6 +185,13 @@ type Client struct {
 	// misses during the dual-read window.
 	fallback     [cluster.Slots]string
 	pendingSlots int // fallback entries currently set
+
+	// observability: follower-read routing outcomes and the distribution
+	// of pipeline window sizes at settle time (see Collect).
+	followerReads      atomic.Int64
+	followerHits       atomic.Int64
+	stalenessFallbacks atomic.Int64
+	pipelineDepth      obs.Hist
 }
 
 // New builds a client over the given cluster members and verifies nothing;
@@ -236,6 +244,40 @@ func (c *Client) NodeStats() map[string]Stats {
 	return out
 }
 
+// Collect emits the client's per-node breaker/transport counters and the
+// follower-read routing outcomes into an exposition buffer. The node
+// label distinguishes members; a breaker gauge of 1 means the node is
+// currently refusing leases (in backoff).
+func (c *Client) Collect(e *obs.Expo, labels string) {
+	c.mu.RLock()
+	nodes := make(map[string]*node, len(c.nodes))
+	for addr, n := range c.nodes {
+		nodes[addr] = n
+	}
+	pending := c.pendingSlots
+	c.mu.RUnlock()
+	now := c.cfg.Clock().UnixNano()
+	for addr, n := range nodes {
+		nl := obs.WithLabel(labels, "node", addr)
+		e.Counter("cphash_client_ops_total", "Operations issued to the node.", nl, n.ops.Load())
+		e.Counter("cphash_client_errors_total", "Transport failures against the node.", nl, n.errs.Load())
+		e.Counter("cphash_client_retries_total", "Operations retried on a fresh connection.", nl, n.retries.Load())
+		e.Counter("cphash_client_dials_total", "Connection attempts to the node.", nl, n.dials.Load())
+		e.Counter("cphash_client_breaker_trips_total", "Circuit-breaker trips for the node.", nl, n.trips.Load())
+		var open float64
+		if n.downUntil.Load() > now {
+			open = 1
+		}
+		e.Gauge("cphash_client_breaker_open", "Whether the node's breaker is open (1 = failing fast).", nl, open)
+		e.Gauge("cphash_client_leased_connections", "Pooled connections currently leased.", nl, float64(cap(n.tokens)-len(n.tokens)))
+	}
+	e.Counter("cphash_client_follower_reads_total", "Reads routed to a slot's follower replica.", labels, c.followerReads.Load())
+	e.Counter("cphash_client_follower_hits_total", "Follower-routed reads answered by the follower.", labels, c.followerHits.Load())
+	e.Counter("cphash_client_staleness_fallbacks_total", "Follower reads skipped for the primary (stale, down, or unknown lag).", labels, c.stalenessFallbacks.Load())
+	e.Gauge("cphash_client_migrating_slots", "Slots currently in a dual-read migration window.", labels, float64(pending))
+	e.Histogram("cphash_client_pipeline_depth", "Pipeline window size at settle time.", labels, c.pipelineDepth.Snapshot())
+}
+
 // Close shuts the client down. Idle connections close immediately; leased
 // ones close as their holders release them. Close is idempotent.
 func (c *Client) Close() error {
@@ -284,14 +326,20 @@ func (c *Client) followerFor(slot int) *node {
 		n = c.nodes[addr]
 	}
 	c.mu.RUnlock()
-	if n == nil || n.retired.Load() {
+	if n == nil {
+		return nil
+	}
+	if n.retired.Load() {
+		c.stalenessFallbacks.Add(1)
 		return nil
 	}
 	if until := n.downUntil.Load(); until > n.now().UnixNano() {
+		c.stalenessFallbacks.Add(1)
 		return nil // breaker open: don't burn the fallback on a known-down follower
 	}
 	if c.cfg.FollowerLag != nil {
 		if lag, ok := c.cfg.FollowerLag(addr); !ok || lag > c.cfg.MaxStaleness {
+			c.stalenessFallbacks.Add(1)
 			return nil
 		}
 	}
@@ -366,7 +414,9 @@ func (c *Client) dualLookup(slot int, req protocol.Request, dst []byte) (value [
 	// bound is the answer; a miss or error falls through to the primary
 	// path, so replication lag can delay a read but never fake a miss.
 	if fn := c.followerFor(slot); fn != nil {
+		c.followerReads.Add(1)
 		if v, f, ferr := c.lookupAt(fn, req, dst); ferr == nil && f {
+			c.followerHits.Add(1)
 			return v, f, nil
 		}
 	}
@@ -550,7 +600,7 @@ type node struct {
 	// leases fail fast and connections close as they are released.
 	retired atomic.Bool
 
-	ops, errs, retries, dials atomic.Int64
+	ops, errs, retries, dials, trips atomic.Int64
 }
 
 func (n *node) now() time.Time { return n.cfg.Clock() }
@@ -560,6 +610,7 @@ func (n *node) now() time.Time { return n.cfg.Clock() }
 // DownBackoff up to DownBackoffMax, and is jittered uniformly into
 // [d/2, d] so recovering clients spread their reconnects.
 func (n *node) tripBreaker() {
+	n.trips.Add(1)
 	streak := n.failStreak.Add(1)
 	d := n.cfg.DownBackoff
 	for i := int64(1); i < streak && d < n.cfg.DownBackoffMax; i++ {

@@ -353,6 +353,9 @@ func (p *Pipeline) Wait() error { return p.wait(true) }
 // wait implements Wait; rotate is false for pace's implicit settles,
 // which must not advance the reuse generations (see pace).
 func (p *Pipeline) wait(rotate bool) error {
+	if len(p.pending) > 0 {
+		p.c.pipelineDepth.Record(int64(len(p.pending)))
+	}
 	first := p.issueErr
 	p.issueErr = nil
 	if err := p.Flush(); err != nil && first == nil {

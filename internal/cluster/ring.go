@@ -63,7 +63,7 @@ const (
 // partition selection inside the servers, but those consume low bits, so
 // slot choice is independent of intra-server placement.
 func SlotOf(key uint64) int {
-	return int(partition.Mix64(key&uint64(partition.MaxKey)) >> 56)
+	return partition.SlotOfKey(key)
 }
 
 // SlotOfString returns the continuum slot of a string key, which routes

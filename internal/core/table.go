@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cphash/internal/obs"
 	"cphash/internal/partition"
 	"cphash/internal/ring"
 )
@@ -202,6 +204,11 @@ func New(cfg Config) (*Table, error) {
 			Seed:          cfg.Seed + uint64(p)*0x9e3779b97f4a7c15 + 1,
 			Clock:         cfg.Clock,
 			Sink:          sink,
+			// CPHASH tables have few partitions (one per server
+			// goroutine), so per-slot heat is cheap here — and it is the
+			// signal load-aware placement needs. Each partition records
+			// its own heat uncontended; scrapes aggregate lazily.
+			Metrics: &obs.PartitionMetrics{Heat: &obs.SlotHeat{}},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: partition %d: %w", p, err)
@@ -376,19 +383,52 @@ func (t *Table) ActiveServers() int {
 func (t *Table) Stats() Stats {
 	var out Stats
 	for _, p := range t.parts {
-		s := p.Stats()
-		out.Lookups += s.Lookups
-		out.Hits += s.Hits
-		out.Inserts += s.Inserts
-		out.InsertErr += s.InsertErr
-		out.Evictions += s.Evictions
-		out.Deletes += s.Deletes
-		out.Expired += s.Expired
-		out.Elements += s.Elements
+		out.Add(p.Stats())
 	}
 	out.Messages = t.messages.Load()
 	out.IdleSweeps = t.idleSweeps.Load()
 	return out
+}
+
+// Heat aggregates per-slot heat across all partitions — the lazy,
+// scrape-time half of the heat design: owners record uncontended, the
+// scraper merges.
+func (t *Table) Heat() obs.HeatSnapshot {
+	var out obs.HeatSnapshot
+	for _, p := range t.parts {
+		if h := p.Metrics().Heat; h != nil {
+			out.Merge(h.Snapshot())
+		}
+	}
+	return out
+}
+
+// Collect emits the table's aggregated counters and per-slot heat under
+// the given label set (typically {instance="addr"}).
+func (t *Table) Collect(e *obs.Expo, labels string) {
+	st := t.Stats()
+	e.Counter("cphash_table_lookups_total", "lookup requests processed", labels, st.Lookups)
+	e.Counter("cphash_table_hits_total", "lookups that found a live entry", labels, st.Hits)
+	e.Counter("cphash_table_misses_total", "lookups that found nothing", labels, st.Lookups-st.Hits)
+	e.Counter("cphash_table_inserts_total", "insert requests processed", labels, st.Inserts)
+	e.Counter("cphash_table_insert_errors_total", "inserts rejected for lack of space", labels, st.InsertErr)
+	e.Counter("cphash_table_deletes_total", "explicit deletes", labels, st.Deletes)
+	e.Counter("cphash_table_evictions_total", "entries evicted for capacity", labels, st.Evictions)
+	e.Counter("cphash_table_expired_total", "entries collected after TTL expiry", labels, st.Expired)
+	e.Counter("cphash_table_bytes_in_total", "value bytes accepted by inserts", labels, st.BytesIn)
+	e.Counter("cphash_table_bytes_out_total", "value bytes returned by hits", labels, st.BytesOut)
+	e.Gauge("cphash_table_elements", "entries currently stored", labels, float64(st.Elements))
+	e.Counter("cphash_table_messages_total", "ring messages processed by server goroutines", labels, st.Messages)
+	e.Counter("cphash_table_idle_sweeps_total", "server polling sweeps that found no work", labels, st.IdleSweeps)
+	heat := t.Heat()
+	for slot := 0; slot < obs.Slots; slot++ {
+		if heat.Ops[slot] == 0 {
+			continue
+		}
+		sl := obs.WithLabel(labels, "slot", strconv.Itoa(slot))
+		e.Counter("cphash_slot_ops_total", "operations touching each continuum slot", sl, heat.Ops[slot])
+		e.Counter("cphash_slot_bytes_total", "value bytes moved per continuum slot", sl, heat.Bytes[slot])
+	}
 }
 
 // PartitionStats returns the counters of one partition (for tests and the

@@ -37,6 +37,7 @@ import (
 	"cphash/internal/cluster"
 	"cphash/internal/core"
 	"cphash/internal/lockhash"
+	"cphash/internal/obs"
 	"cphash/internal/partition"
 	"cphash/internal/persist"
 	"cphash/internal/protocol"
@@ -136,6 +137,11 @@ type Config struct {
 	// Callers that want a clean handoff (followers fully acknowledged)
 	// should wait on the source's watermark before calling Close.
 	Replication *replica.Source
+	// Metrics receives the server-side latency and batch-size histograms
+	// (nil = the server allocates a private set; metrics are always on —
+	// the per-batch cost is two clock reads and three atomic adds, which
+	// the hot-path allocation ceiling test keeps honest).
+	Metrics *obs.ServerMetrics
 }
 
 // Stats counts server activity.
@@ -152,6 +158,7 @@ type Server struct {
 	bufSize int
 	persist *persist.Pipeline
 	repl    *replica.Source
+	m       *obs.ServerMetrics
 	workers []*worker
 	wg      sync.WaitGroup // acceptor + workers
 	readers sync.WaitGroup // per-connection readers
@@ -249,6 +256,7 @@ type worker struct {
 	requests atomic.Int64
 	batches  atomic.Int64
 	maxBatch int
+	m        *obs.ServerMetrics
 	// persist is the server's durability pipeline (nil without one);
 	// groupCommit is set under SyncAlways, where every mutating batch
 	// barriers on the WAL before its responses are written.
@@ -287,11 +295,14 @@ func Serve(cfg Config) (*Server, error) {
 	if cfg.NewBackend == nil {
 		return nil, fmt.Errorf("kvserver: Config.NewBackend is required")
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &obs.ServerMetrics{}
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, bufSize: cfg.BufferSize, persist: cfg.Persist, repl: cfg.Replication, conns: map[net.Conn]struct{}{}}
+	s := &Server{ln: ln, bufSize: cfg.BufferSize, persist: cfg.Persist, repl: cfg.Replication, m: cfg.Metrics, conns: map[net.Conn]struct{}{}}
 	for i := 0; i < cfg.Workers; i++ {
 		b, err := cfg.NewBackend(i)
 		if err != nil {
@@ -306,6 +317,7 @@ func Serve(cfg Config) (*Server, error) {
 			queue:       make(chan connReq, cfg.QueueDepth),
 			backend:     b,
 			maxBatch:    cfg.MaxBatch,
+			m:           cfg.Metrics,
 			persist:     cfg.Persist,
 			groupCommit: cfg.Persist != nil && cfg.Persist.Policy() == persist.SyncAlways,
 		}
@@ -333,6 +345,20 @@ func (s *Server) Stats() Stats {
 		st.Batches += w.batches.Load()
 	}
 	return st
+}
+
+// Metrics returns the server's latency/batch histograms (never nil).
+func (s *Server) Metrics() *obs.ServerMetrics { return s.m }
+
+// Collect emits the server's counters and histograms into an exposition
+// buffer; labels is a rendered obs.Labels set identifying this server.
+func (s *Server) Collect(e *obs.Expo, labels string) {
+	st := s.Stats()
+	e.Counter("cphash_server_connections_total", "Lifetime accepted TCP connections.", labels, st.Connections)
+	e.Gauge("cphash_server_active_connections", "Currently open connections.", labels, float64(st.Active))
+	e.Counter("cphash_server_requests_total", "Requests processed.", labels, st.Requests)
+	e.Counter("cphash_server_batches_total", "Batches processed.", labels, st.Batches)
+	s.m.Collect(e, labels)
 }
 
 // Close shuts the server down: stop accepting, close connections, drain
@@ -504,6 +530,12 @@ func (w *worker) run() {
 				break gather
 			}
 		}
+		// One clock read here and one after the flush bound the whole
+		// batch: the batch-latency histogram gets one sample, the op-latency
+		// histogram gets len(items) samples at the per-op share. Two clock
+		// reads and a handful of atomic adds per batch — cheap enough to
+		// stay always-on under the hot-path allocation ceiling.
+		batchStart := time.Now()
 
 		// SCAN/PURGE are execution barriers: a gathered batch is split at
 		// each one so bulk iteration observes every earlier mutation of
@@ -596,6 +628,10 @@ func (w *worker) run() {
 			touched[i] = nil
 		}
 		touched = touched[:0]
+		elapsed := time.Since(batchStart).Nanoseconds()
+		w.m.BatchLatency.Record(elapsed)
+		w.m.BatchSize.Record(int64(len(items)))
+		w.m.OpLatency.RecordN(elapsed/int64(len(items)), int64(len(items)))
 		w.requests.Add(int64(len(items)))
 		w.batches.Add(1)
 	}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"cphash/internal/locks"
+	"cphash/internal/obs"
 	"cphash/internal/partition"
 )
 
@@ -233,23 +234,14 @@ func (t *Table) Delete(key Key) bool {
 	return ok
 }
 
-// Stats aggregates the partition counters. It takes each partition lock
-// briefly, so it is safe (but not free) to call concurrently with traffic.
+// Stats aggregates the partition counters. The per-partition counters
+// are atomics (obs.PartitionMetrics), so the aggregation needs no
+// locks and never stalls traffic — the scrape-safety the torn-read
+// audit wanted, for free from the shared store.
 func (t *Table) Stats() partition.Stats {
 	var out partition.Stats
 	for i := range t.parts {
-		p := &t.parts[i]
-		p.mu.Lock()
-		s := p.store.Stats()
-		p.mu.Unlock()
-		out.Lookups += s.Lookups
-		out.Hits += s.Hits
-		out.Inserts += s.Inserts
-		out.InsertErr += s.InsertErr
-		out.Evictions += s.Evictions
-		out.Deletes += s.Deletes
-		out.Expired += s.Expired
-		out.Elements += s.Elements
+		out.Add(t.parts[i].store.Stats())
 	}
 	return out
 }
@@ -257,6 +249,26 @@ func (t *Table) Stats() partition.Stats {
 // CapacityBytes returns the total configured capacity actually allocated.
 func (t *Table) CapacityBytes() int {
 	return t.parts[0].store.CapacityBytes() * len(t.parts)
+}
+
+// Collect emits the table's aggregated counters under the given label
+// set — the same cphash_table_* families core.Table.Collect uses, so
+// dashboards work unchanged across backends. LOCKHASH partitions carry
+// no slot-heat counters (4096 fine-grained partitions would cost ~16MiB
+// of padded counters for a design the paper uses as a baseline).
+func (t *Table) Collect(e *obs.Expo, labels string) {
+	st := t.Stats()
+	e.Counter("cphash_table_lookups_total", "lookup requests processed", labels, st.Lookups)
+	e.Counter("cphash_table_hits_total", "lookups that found a live entry", labels, st.Hits)
+	e.Counter("cphash_table_misses_total", "lookups that found nothing", labels, st.Lookups-st.Hits)
+	e.Counter("cphash_table_inserts_total", "insert requests processed", labels, st.Inserts)
+	e.Counter("cphash_table_insert_errors_total", "inserts rejected for lack of space", labels, st.InsertErr)
+	e.Counter("cphash_table_deletes_total", "explicit deletes", labels, st.Deletes)
+	e.Counter("cphash_table_evictions_total", "entries evicted for capacity", labels, st.Evictions)
+	e.Counter("cphash_table_expired_total", "entries collected after TTL expiry", labels, st.Expired)
+	e.Counter("cphash_table_bytes_in_total", "value bytes accepted by inserts", labels, st.BytesIn)
+	e.Counter("cphash_table_bytes_out_total", "value bytes returned by hits", labels, st.BytesOut)
+	e.Gauge("cphash_table_elements", "entries currently stored", labels, float64(st.Elements))
 }
 
 // scanCallBuckets bounds the buckets one ScanEntries/PurgeEntries call

@@ -1,0 +1,18 @@
+// Structured lifecycle events. Cluster state transitions — join,
+// leave, promote, migration, recovery — are operational facts a human
+// or a log pipeline needs to correlate with the metric trail, so they
+// go through log/slog with stable keys instead of ad-hoc Printf lines.
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewEventLogger returns a structured logger for lifecycle events,
+// writing single-line logfmt-style records to w. The component label
+// tags every record so multi-subsystem processes interleave legibly.
+func NewEventLogger(w io.Writer, component string) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo})
+	return slog.New(h).With("component", component)
+}

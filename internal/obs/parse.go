@@ -1,0 +1,405 @@
+// A small Prometheus text-exposition parser — enough for the harness to
+// scrape its own servers (cploadgen -scrape, cpbench's obs experiment)
+// and for CI to gate that a live /metrics endpoint emits valid
+// exposition. It validates the line grammar strictly: a malformed line
+// fails the whole parse.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scrape is one parsed exposition: sample key (name plus rendered label
+// set, exactly as exposed) → value.
+type Scrape struct {
+	Samples map[string]float64
+	keys    []string // insertion order
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// ParseText parses Prometheus text exposition format (0.0.4).
+func ParseText(r io.Reader) (*Scrape, error) {
+	s := &Scrape{Samples: make(map[string]float64)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		key, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		if _, dup := s.Samples[key]; !dup {
+			s.keys = append(s.keys, key)
+		}
+		s.Samples[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// checkComment validates # HELP / # TYPE lines (other comments pass).
+func checkComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment
+	}
+	if len(fields) < 3 || !validMetricName(fields[2]) {
+		return fmt.Errorf("malformed %s comment %q", fields[1], line)
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) != 4 || !validTypes[fields[3]] {
+			return fmt.Errorf("invalid TYPE line %q", line)
+		}
+	}
+	return nil
+}
+
+// parseSample splits `name[{labels}] value [timestamp]`.
+func parseSample(line string) (key string, val float64, err error) {
+	nameEnd := strings.IndexAny(line, "{ \t")
+	if nameEnd <= 0 {
+		return "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := line[:nameEnd]
+	if !validMetricName(name) {
+		return "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[nameEnd:]
+	labels := ""
+	if rest[0] == '{' {
+		end := labelSetEnd(rest)
+		if end < 0 {
+			return "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = rest[:end+1]
+		if err := checkLabels(labels); err != nil {
+			return "", 0, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	val, err = parseFloat(fields[0])
+	if err != nil {
+		return "", 0, fmt.Errorf("invalid value %q: %w", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", 0, fmt.Errorf("invalid timestamp %q", fields[1])
+		}
+	}
+	return name + labels, val, nil
+}
+
+// labelSetEnd finds the closing brace of a label set, honoring quoted
+// label values (which may contain escaped quotes and braces).
+func labelSetEnd(s string) int {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip escaped char
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// checkLabels validates a `{name="value",...}` label set.
+func checkLabels(s string) error {
+	body := s[1 : len(s)-1]
+	if body == "" {
+		return nil
+	}
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq <= 0 || !validMetricName(body[:eq]) {
+			return fmt.Errorf("invalid label name")
+		}
+		rest := body[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value")
+		}
+		// find closing quote, honoring escapes
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value")
+		}
+		body = rest[end+1:]
+		if body == "" {
+			break
+		}
+		if body[0] != ',' {
+			return fmt.Errorf("missing comma between labels")
+		}
+		body = body[1:]
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Get returns the value of an exact sample key (name plus rendered
+// label set).
+func (s *Scrape) Get(key string) (float64, bool) {
+	v, ok := s.Samples[key]
+	return v, ok
+}
+
+// Sum adds every sample of the named metric across its label sets.
+func (s *Scrape) Sum(name string) float64 {
+	var t float64
+	for k, v := range s.Samples {
+		if sampleName(k) == name {
+			t += v
+		}
+	}
+	return t
+}
+
+// Keys returns sample keys in exposition order.
+func (s *Scrape) Keys() []string { return s.keys }
+
+// Sub returns the per-sample delta s − prev; samples absent from prev
+// count from zero. The result is what a before/after counter diff
+// prints.
+func (s *Scrape) Sub(prev *Scrape) *Scrape {
+	out := &Scrape{Samples: make(map[string]float64, len(s.Samples))}
+	for _, k := range s.keys {
+		d := s.Samples[k]
+		if prev != nil {
+			d -= prev.Samples[k]
+		}
+		out.Samples[k] = d
+		out.keys = append(out.keys, k)
+	}
+	return out
+}
+
+// Quantile reconstructs the q-quantile of a scraped histogram from its
+// `<name>_bucket` series, merged across label sets (e.g. all instances).
+// Sparse emission means two series rarely share bucket edges, and
+// cumulative values only add at edges every series emits — so each
+// series' cumulative buckets are first converted to per-bucket masses at
+// its own edges, and the masses merge. ok is false when the metric has
+// no observations.
+func (s *Scrape) Quantile(name string, q float64) (float64, bool) {
+	prefix := name + "_bucket"
+	perSeries := map[string]map[float64]float64{}
+	for k, v := range s.Samples {
+		if sampleName(k) != prefix {
+			continue
+		}
+		le, ok := labelValue(k, "le")
+		if !ok {
+			continue
+		}
+		lf, err := parseFloat(le)
+		if err != nil {
+			continue
+		}
+		id := stripLeLabel(k)
+		m := perSeries[id]
+		if m == nil {
+			m = map[float64]float64{}
+			perSeries[id] = m
+		}
+		m[lf] = v
+	}
+	if len(perSeries) == 0 {
+		return 0, false
+	}
+	mass := map[float64]float64{}
+	for _, m := range perSeries {
+		les := make([]float64, 0, len(m))
+		for le := range m {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		prev := 0.0
+		for _, le := range les {
+			mass[le] += m[le] - prev
+			prev = m[le]
+		}
+	}
+	type edge struct {
+		le  float64
+		cum float64
+	}
+	edges := make([]edge, 0, len(mass))
+	for le := range mass {
+		edges = append(edges, edge{le: le})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].le < edges[j].le })
+	cum := 0.0
+	for i := range edges {
+		cum += mass[edges[i].le]
+		edges[i].cum = cum
+	}
+	total := edges[len(edges)-1].cum
+	if total <= 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * (total - 1)
+	for _, e := range edges {
+		if e.cum > rank {
+			return e.le, true
+		}
+	}
+	return edges[len(edges)-1].le, true
+}
+
+// sampleName strips the label set from a sample key.
+func sampleName(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// stripLeLabel removes the le label from a bucket sample key, yielding
+// the series identity shared by all of one histogram series' buckets.
+func stripLeLabel(key string) string {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key
+	}
+	body := key[i:]
+	j := 0
+	for {
+		k := strings.Index(body[j:], `le="`)
+		if k < 0 {
+			return key
+		}
+		j += k
+		if body[j-1] == '{' || body[j-1] == ',' {
+			break
+		}
+		j += 4
+	}
+	end := j + len(`le="`)
+	for end < len(body) && body[end] != '"' {
+		if body[end] == '\\' {
+			end++
+		}
+		end++
+	}
+	start, stop := j, end+1
+	if stop < len(body) && body[stop] == ',' {
+		stop++
+	} else if body[start-1] == ',' {
+		start--
+	}
+	return key[:i] + body[:start] + body[stop:]
+}
+
+// labelValue extracts one label's (unescaped) value from a sample key.
+func labelValue(key, label string) (string, bool) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return "", false
+	}
+	body := key[i:]
+	needle := label + `="`
+	j := strings.Index(body, needle)
+	if j < 0 {
+		return "", false
+	}
+	rest := body[j+len(needle):]
+	var b strings.Builder
+	for k := 0; k < len(rest); k++ {
+		c := rest[k]
+		if c == '\\' && k+1 < len(rest) {
+			k++
+			switch rest[k] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(rest[k])
+			}
+			continue
+		}
+		if c == '"' {
+			return b.String(), true
+		}
+		b.WriteByte(c)
+	}
+	return "", false
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpoRoundTrip writes every sample kind through the encoder and
+// reads it back through the parser — the same pair the harness uses to
+// scrape its own servers, so encode/parse must be inverses.
+func TestExpoRoundTrip(t *testing.T) {
+	e := NewExpo()
+	e.Counter("cphash_test_ops_total", "ops", Labels("instance", "a:1", "op", "get"), 42)
+	e.Counter("cphash_test_ops_total", "ops", Labels("instance", "a:1", "op", "set"), 7)
+	e.Gauge("cphash_test_depth", "queue depth", "", 3.5)
+	e.Gauge("cphash_test_weird", "escaping", Labels("path", `C:\tmp"x`+"\n"), 1)
+	var h Hist
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 100)
+	}
+	e.Histogram("cphash_test_latency_ns", "latency", Labels("instance", "a:1"), h.Snapshot())
+
+	var sb strings.Builder
+	if _, err := e.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if strings.Count(text, "# TYPE cphash_test_ops_total counter") != 1 {
+		t.Fatalf("TYPE header must appear exactly once per family:\n%s", text)
+	}
+
+	s, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse of own exposition failed: %v\n%s", err, text)
+	}
+	if v, ok := s.Get(`cphash_test_ops_total{instance="a:1",op="get"}`); !ok || v != 42 {
+		t.Fatalf("get counter = %v,%v", v, ok)
+	}
+	if got := s.Sum("cphash_test_ops_total"); got != 49 {
+		t.Fatalf("Sum = %g, want 49", got)
+	}
+	if v, ok := s.Get("cphash_test_depth"); !ok || v != 3.5 {
+		t.Fatalf("bare gauge = %v,%v", v, ok)
+	}
+	if v, ok := s.Get(`cphash_test_bucket_count_does_not_exist`); ok {
+		t.Fatalf("phantom sample %v", v)
+	}
+	// The escaped label value survives the round trip.
+	found := false
+	for k := range s.Samples {
+		if sampleName(k) == "cphash_test_weird" {
+			val, ok := labelValue(k, "path")
+			if !ok || val != `C:\tmp"x`+"\n" {
+				t.Fatalf("escaped label value corrupted: %q", val)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("escaped-label sample missing")
+	}
+	// +Inf bucket and count agree.
+	if v, ok := s.Get(`cphash_test_latency_ns_bucket{instance="a:1",le="+Inf"}`); !ok || v != 1000 {
+		t.Fatalf("+Inf bucket = %v,%v", v, ok)
+	}
+	if v, ok := s.Get(`cphash_test_latency_ns_count{instance="a:1"}`); !ok || v != 1000 {
+		t.Fatalf("count = %v,%v", v, ok)
+	}
+}
+
+// TestScrapeQuantile reconstructs quantiles from scraped buckets and
+// checks them against the histogram's own, which carry the 12.5% bound.
+func TestScrapeQuantile(t *testing.T) {
+	var h Hist
+	for i := int64(0); i < 10000; i++ {
+		h.Record(i * 37 % 100000)
+	}
+	e := NewExpo()
+	e.Histogram("m", "", Labels("instance", "x"), h.Snapshot())
+	var sb strings.Builder
+	if _, err := e.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := h.Snapshot()
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		got, ok := s.Quantile("m", q)
+		if !ok {
+			t.Fatalf("q=%g: no observations", q)
+		}
+		if want := float64(snap.Quantile(q)); got != want {
+			t.Fatalf("q=%g: scraped %g, histogram %g", q, got, want)
+		}
+	}
+	if _, ok := s.Quantile("absent", 0.5); ok {
+		t.Fatal("quantile of an absent metric must report !ok")
+	}
+}
+
+// TestScrapeQuantileSparseSeriesMerge pins the cross-instance merge:
+// sparse emission gives each series its own edge set, so cumulative
+// values must be converted to per-bucket masses before summing — adding
+// cumulatives at edges only one series emits undercounts the rest.
+func TestScrapeQuantileSparseSeriesMerge(t *testing.T) {
+	text := `m_bucket{instance="a",le="100"} 50
+m_bucket{instance="a",le="200"} 100
+m_bucket{instance="a",le="+Inf"} 100
+m_bucket{instance="b",le="150"} 30
+m_bucket{instance="b",le="+Inf"} 40
+`
+	s, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merged masses: 100→50, 150→30, 200→50, +Inf→10; total 140.
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.5, 150}, {0.9, 200}, {0.999, math.Inf(1)},
+	} {
+		got, ok := s.Quantile("m", tc.q)
+		if !ok || got != tc.want {
+			t.Fatalf("q=%g: got %g ok=%v, want %g", tc.q, got, ok, tc.want)
+		}
+	}
+}
+
+// TestScrapeSub checks the before/after delta cploadgen -scrape prints.
+func TestScrapeSub(t *testing.T) {
+	before, err := ParseText(strings.NewReader("a_total 10\nb_total 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := ParseText(strings.NewReader("a_total 25\nb_total 5\nc_total 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := after.Sub(before)
+	if v := d.Samples["a_total"]; v != 15 {
+		t.Fatalf("a delta = %g", v)
+	}
+	if v := d.Samples["b_total"]; v != 0 {
+		t.Fatalf("b delta = %g", v)
+	}
+	if v := d.Samples["c_total"]; v != 3 {
+		t.Fatalf("new sample delta = %g", v)
+	}
+}
+
+// TestParseRejectsMalformed pins the validity checking the CI exposition
+// gate relies on: a scrape of garbage must fail, not silently succeed.
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"no value",
+		"1leading_digit 3",
+		`m{unterminated="x 3`,
+		`m{a=unquoted} 3`,
+		`m{a="x"b="y"} 3`,
+		"m not_a_number",
+		"m 3 not_a_timestamp",
+		"# TYPE m notatype",
+		"# TYPE 3bad counter",
+		"{onlylabels} 3",
+	}
+	for _, line := range bad {
+		if _, err := ParseText(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("line %q parsed without error", line)
+		}
+	}
+	ok := []string{
+		"# arbitrary comment",
+		"# HELP m helpful words",
+		"# TYPE m counter",
+		"m 3",
+		"m{a=\"b\"} 4.5 1700000000",
+		"m_bucket{le=\"+Inf\"} 9",
+		"n NaN",
+	}
+	if _, err := ParseText(strings.NewReader(strings.Join(ok, "\n"))); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+	if v, ok := mustParse(t, "n NaN\n").Get("n"); !ok || !math.IsNaN(v) {
+		t.Error("NaN value mangled")
+	}
+}
+
+func mustParse(t *testing.T, text string) *Scrape {
+	t.Helper()
+	s, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRegistryHandler serves a registry over HTTP and re-parses the
+// body — the in-process version of the CI gate that curls a live
+// cpserver's /metrics.
+func TestRegistryHandler(t *testing.T) {
+	reg := NewRegistry()
+	var pm PartitionMetrics
+	pm.Lookups.Add(10)
+	pm.Hits.Add(9)
+	reg.Register(func(e *Expo) {
+		snap := pm.Snapshot()
+		e.Counter("cphash_partition_lookups_total", "lookups", "", snap.Lookups)
+		e.Counter("cphash_partition_hits_total", "hits", "", snap.Hits)
+	})
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	s, err := ParseText(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("cphash_partition_lookups_total"); !ok || v != 10 {
+		t.Fatalf("lookups = %v,%v", v, ok)
+	}
+}

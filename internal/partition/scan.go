@@ -146,7 +146,7 @@ func (s *Store) PurgeBuckets(start, maxBuckets int, filter func(Key) bool) (remo
 				if e.expired(now) {
 					s.expireElement(e)
 				} else {
-					s.stats.Deletes++
+					s.m.Deletes.Inc()
 					key := e.key
 					s.unlink(e)
 					if s.sink != nil {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"time"
+
+	"cphash/internal/obs"
 )
 
 // Key is a CPHash key. The paper's implementation limits keys to 60-bit
@@ -132,7 +134,10 @@ func (e *Element) Value() []byte {
 	return e.store.arena.Bytes(e.off, int(e.size))
 }
 
-// Stats counts partition activity. All fields are cumulative.
+// Stats counts partition activity. All fields are cumulative. It is a
+// snapshot type: the live counters are obs.PartitionMetrics atomics, so
+// a Stats read from another goroutine (a /stats scrape racing the owner
+// goroutine) never tears.
 type Stats struct {
 	Lookups   int64 // lookup requests processed
 	Hits      int64 // lookups that found a ready element
@@ -142,6 +147,22 @@ type Stats struct {
 	Deletes   int64 // explicit deletes
 	Expired   int64 // elements removed because their TTL elapsed
 	Elements  int64 // elements currently linked
+	BytesIn   int64 // value bytes accepted by inserts
+	BytesOut  int64 // value bytes returned by lookup hits
+}
+
+// Add merges o into s — aggregation across a table's partitions.
+func (s *Stats) Add(o Stats) {
+	s.Lookups += o.Lookups
+	s.Hits += o.Hits
+	s.Inserts += o.Inserts
+	s.InsertErr += o.InsertErr
+	s.Evictions += o.Evictions
+	s.Deletes += o.Deletes
+	s.Expired += o.Expired
+	s.Elements += o.Elements
+	s.BytesIn += o.BytesIn
+	s.BytesOut += o.BytesOut
 }
 
 // Config parameterizes a partition store.
@@ -164,6 +185,11 @@ type Config struct {
 	// Sink, when non-nil, receives the store's mutation stream (see
 	// ChangeSink). It is fixed for the store's lifetime.
 	Sink ChangeSink
+	// Metrics receives the store's hot-path counters. nil allocates a
+	// private set — metrics are always on; there is no opt-out, and the
+	// allocation gate holds with them enabled. Attach a SlotHeat to the
+	// struct before NewStore to also record per-slot heat.
+	Metrics *obs.PartitionMetrics
 }
 
 // Store is one CPHash partition: a chained hash table plus LRU list over an
@@ -180,7 +206,7 @@ type Store struct {
 
 	rng   uint64 // xorshift state for random eviction
 	clock func() int64
-	stats Stats
+	m     *obs.PartitionMetrics
 
 	sweepCursor uint64   // next bucket SweepExpired examines
 	ttlElems    int      // linked elements with a nonzero expiry deadline
@@ -215,6 +241,10 @@ func NewStore(cfg Config) (*Store, error) {
 	if clock == nil {
 		clock = func() int64 { return time.Now().UnixNano() }
 	}
+	m := cfg.Metrics
+	if m == nil {
+		m = &obs.PartitionMetrics{}
+	}
 	return &Store{
 		buckets: make([]*Element, nb),
 		mask:    uint64(nb - 1),
@@ -223,6 +253,7 @@ func NewStore(cfg Config) (*Store, error) {
 		rng:     seed,
 		clock:   clock,
 		sink:    cfg.Sink,
+		m:       m,
 	}, nil
 }
 
@@ -235,14 +266,31 @@ func MustStore(cfg Config) *Store {
 	return s
 }
 
-// Stats returns a snapshot of the partition counters.
+// Stats returns a snapshot of the partition counters, built from atomic
+// loads so it is safe to call from any goroutine while the owner
+// goroutine mutates the store.
 func (s *Store) Stats() Stats {
-	st := s.stats
-	return st
+	snap := s.m.Snapshot()
+	return Stats{
+		Lookups:   snap.Lookups,
+		Hits:      snap.Hits,
+		Inserts:   snap.Inserts,
+		InsertErr: snap.InsertErr,
+		Evictions: snap.Evictions,
+		Deletes:   snap.Deletes,
+		Expired:   snap.Expired,
+		Elements:  snap.Elements,
+		BytesIn:   snap.BytesIn,
+		BytesOut:  snap.BytesOut,
+	}
 }
 
+// Metrics exposes the store's live counter block for scrape-time
+// collectors.
+func (s *Store) Metrics() *obs.PartitionMetrics { return s.m }
+
 // Len returns the number of linked elements.
-func (s *Store) Len() int { return int(s.stats.Elements) }
+func (s *Store) Len() int { return int(s.m.Elements.Load()) }
 
 // CapacityBytes returns the configured byte capacity.
 func (s *Store) CapacityBytes() int { return s.arena.Capacity() }
@@ -268,6 +316,33 @@ func Mix64(x uint64) uint64 {
 	return x
 }
 
+// SlotOfKey returns the cluster-continuum slot of a fixed key: the top
+// eight bits of the mixed key. The same mixer drives bucket and
+// partition selection, but those consume low bits, so slot choice is
+// independent of intra-server placement. cluster.SlotOf delegates here,
+// and per-slot heat accounting uses it, so placement and heat agree by
+// construction.
+func SlotOfKey(k Key) int {
+	return int(Mix64(k&MaxKey) >> 56)
+}
+
+// The heat arrays index the same continuum; the two constants must agree
+// (both expressions underflow a uint at compile time if they diverge).
+const (
+	_ = uint(obs.Slots - 256)
+	_ = uint(256 - obs.Slots)
+)
+
+// heat books one operation against k's continuum slot when the store
+// has a heat array attached; n is the value bytes moved. The nil check
+// is a predictable branch, so tables that opt out (lockhash's thousands
+// of partitions) pay nothing.
+func (s *Store) heat(k Key, n int64) {
+	if h := s.m.Heat; h != nil {
+		h.Record(SlotOfKey(k), n)
+	}
+}
+
 // Now returns the store's clock reading in nanoseconds; TTL deadlines are
 // expressed on this clock.
 func (s *Store) Now() int64 { return s.clock() }
@@ -280,7 +355,7 @@ func (e *Element) expired(now int64) bool {
 // expireElement lazily removes an element whose deadline has passed,
 // counting it as Expired (not a delete or eviction).
 func (s *Store) expireElement(e *Element) {
-	s.stats.Expired++
+	s.m.Expired.Inc()
 	s.unlink(e)
 }
 
@@ -290,18 +365,22 @@ func (s *Store) expireElement(e *Element) {
 // single-owner store makes this safe without locks. The caller must
 // eventually call Decref exactly once per successful Lookup.
 func (s *Store) Lookup(k Key) *Element {
-	s.stats.Lookups++
+	s.m.Lookups.Inc()
 	e := s.find(k)
 	if e == nil || !e.ready {
+		s.heat(k, 0)
 		return nil
 	}
 	// Read the clock only for elements that can expire, keeping the
 	// paper's no-TTL hot path free of wall-clock overhead.
 	if e.expire != 0 && e.expired(s.clock()) {
 		s.expireElement(e)
+		s.heat(k, 0)
 		return nil
 	}
-	s.stats.Hits++
+	s.m.Hits.Inc()
+	s.m.BytesOut.Add(int64(e.size))
+	s.heat(k, int64(e.size))
 	e.refs++
 	s.lruMoveFront(e)
 	return e
@@ -354,11 +433,12 @@ func (s *Store) InsertTTL(k Key, size int, ttl time.Duration) *Element {
 // already in the past still inserts — the element simply expires on its
 // first lookup or sweep, keeping insert semantics uniform.
 func (s *Store) InsertExpire(k Key, size int, expireAt int64) *Element {
-	s.stats.Inserts++
+	s.m.Inserts.Inc()
 	if size < 0 || k > MaxKey {
-		s.stats.InsertErr++
+		s.m.InsertErr.Inc()
 		return nil
 	}
+	s.heat(k, int64(size))
 	hadOld := false
 	if old := s.find(k); old != nil {
 		s.unlink(old)
@@ -366,7 +446,7 @@ func (s *Store) InsertExpire(k Key, size int, expireAt int64) *Element {
 	}
 	off, ok := s.allocEvicting(size)
 	if !ok {
-		s.stats.InsertErr++
+		s.m.InsertErr.Inc()
 		if hadOld && s.sink != nil {
 			// The old element is gone and no MarkReady will follow to
 			// supersede its logged value; stream the removal so recovery
@@ -375,11 +455,12 @@ func (s *Store) InsertExpire(k Key, size int, expireAt int64) *Element {
 		}
 		return nil
 	}
+	s.m.BytesIn.Add(int64(size))
 	e := s.newElement()
 	*e = Element{key: k, off: off, size: int32(size), refs: 1, expire: expireAt, store: s}
 	s.linkBucket(e)
 	s.lruPushFront(e)
-	s.stats.Elements++
+	s.m.Elements.Inc()
 	if expireAt != 0 {
 		s.ttlElems++
 	}
@@ -464,7 +545,7 @@ func (s *Store) evictOne() bool {
 	if victim == nil {
 		return false
 	}
-	s.stats.Evictions++
+	s.m.Evictions.Inc()
 	s.unlink(victim)
 	return true
 }
@@ -472,7 +553,7 @@ func (s *Store) evictOne() bool {
 // randomElement picks a pseudo-random linked element by probing buckets
 // from a random starting point.
 func (s *Store) randomElement() *Element {
-	if s.stats.Elements == 0 {
+	if s.m.Elements.Load() == 0 {
 		return nil
 	}
 	// xorshift64
@@ -502,7 +583,8 @@ func (s *Store) Delete(k Key) bool {
 		s.expireElement(e)
 		return false
 	}
-	s.stats.Deletes++
+	s.m.Deletes.Inc()
+	s.heat(k, 0)
 	s.unlink(e)
 	if s.sink != nil {
 		s.sink.Delete(k)
@@ -543,7 +625,7 @@ func (s *Store) unlink(e *Element) {
 	}
 	s.unlinkBucket(e)
 	s.lruRemove(e)
-	s.stats.Elements--
+	s.m.Elements.Add(-1)
 	if e.expire != 0 {
 		s.ttlElems--
 	}
@@ -674,8 +756,8 @@ func (s *Store) CheckInvariants() error {
 			prev = e
 		}
 	}
-	if linked != int(s.stats.Elements) {
-		return fmt.Errorf("linked = %d, stats.Elements = %d", linked, s.stats.Elements)
+	if linked != int(s.m.Elements.Load()) {
+		return fmt.Errorf("linked = %d, metric Elements = %d", linked, s.m.Elements.Load())
 	}
 	if ttl != s.ttlElems {
 		return fmt.Errorf("linked TTL elements = %d, ttlElems = %d", ttl, s.ttlElems)

@@ -63,6 +63,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cphash/internal/obs"
 	"cphash/internal/partition"
 	"cphash/internal/ring"
 )
@@ -252,6 +253,12 @@ type Pipeline struct {
 	snapBytes   atomic.Int64
 	snapWhen    atomic.Int64
 	recovered   RecoverStats
+
+	// latency histograms: fsync duration (persister-side) and durability
+	// barrier wait (caller-side — under SyncAlways this is the group-commit
+	// stall every mutating batch pays).
+	fsyncHist   obs.Hist
+	barrierHist obs.Hist
 }
 
 // Open validates the configuration, creates the data directory, and
@@ -406,6 +413,8 @@ func (p *Pipeline) Barrier() {
 	if !p.started.Load() {
 		return
 	}
+	start := time.Now()
+	defer func() { p.barrierHist.Record(time.Since(start).Nanoseconds()) }()
 	for _, a := range p.appenders() {
 		target := a.published.Load()
 		if a.durable.Load() >= target {
@@ -515,6 +524,34 @@ func (p *Pipeline) Stats() Stats {
 		LastSnapUnixNano: p.snapWhen.Load(),
 		Recovered:        p.recovered,
 	}
+}
+
+// Collect emits the pipeline's counters, gauges and latency histograms
+// into an exposition buffer; labels identifies the owning instance.
+func (p *Pipeline) Collect(e *obs.Expo, labels string) {
+	st := p.Stats()
+	e.Counter("cphash_persist_records_total", "WAL records written.", labels, st.Records)
+	e.Counter("cphash_persist_record_bytes_total", "WAL record payload bytes written.", labels, st.RecordBytes)
+	e.Counter("cphash_persist_fsyncs_total", "WAL fsync calls.", labels, st.Fsyncs)
+	e.Counter("cphash_persist_segment_rolls_total", "WAL segment rolls.", labels, st.Rolls)
+	e.Counter("cphash_persist_dropped_records_total", "Records dropped while the pipeline was not accepting.", labels, st.Dropped)
+	e.Counter("cphash_persist_snapshots_total", "Completed snapshots.", labels, st.Snapshots)
+	e.Counter("cphash_persist_snapshot_errors_total", "Failed snapshot attempts.", labels, st.SnapshotErrors)
+	if st.LastSnapUnixNano > 0 {
+		age := float64(p.cfg.Clock()-st.LastSnapUnixNano) / 1e9
+		e.Gauge("cphash_persist_snapshot_age_seconds", "Seconds since the last completed snapshot.", labels, age)
+	}
+	// Ring depth — records published by partition owners but not yet
+	// durable — is the live measure of how far the persisters are behind.
+	var depth int64
+	for _, a := range p.appenders() {
+		if d := int64(a.published.Load()) - int64(a.durable.Load()); d > 0 {
+			depth += d
+		}
+	}
+	e.Gauge("cphash_persist_ring_depth_records", "Published change records not yet durable, summed over partitions.", labels, float64(depth))
+	e.Histogram("cphash_persist_fsync_latency_ns", "WAL fsync latency in nanoseconds.", labels, p.fsyncHist.Snapshot())
+	e.Histogram("cphash_persist_barrier_wait_ns", "Durability barrier wait in nanoseconds.", labels, p.barrierHist.Snapshot())
 }
 
 // WALStatus reports each stream's current segment and durable offset.

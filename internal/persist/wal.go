@@ -270,9 +270,11 @@ func (s *stream) syncNow() error {
 		s.markDurable()
 		return nil
 	}
+	start := time.Now()
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("persist: wal fsync: %w", err)
 	}
+	s.p.fsyncHist.Record(time.Since(start).Nanoseconds())
 	s.p.fsyncs.Add(1)
 	s.synced.Store(target)
 	s.markDurable()

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"cphash/internal/client"
+	"cphash/internal/obs"
 	"cphash/internal/protocol"
 )
 
@@ -78,6 +79,11 @@ type Migrator struct {
 	sources, entries, bytes             atomic.Int64
 	replayed, replayErrors, purgedStale atomic.Int64
 	promotions                          atomic.Int64
+	// windowHist records how long each migration window (data-moving run
+	// or promotion confirm round) stayed open; lastWindowNS is the most
+	// recent sample, as a directly readable gauge.
+	windowHist   obs.Hist
+	lastWindowNS atomic.Int64
 }
 
 // promotion is an in-flight failover: the departed member and, per new
@@ -164,6 +170,7 @@ func (m *Migrator) Promote(addr string, confirm func(newOwner string, slots []in
 func (m *Migrator) promoteLocked() error {
 	m.active.Store(true)
 	defer m.active.Store(false)
+	defer m.observeWindow(time.Now())
 	p := m.promo
 	var firstErr error
 	for owner, slots := range p.byOwner {
@@ -325,6 +332,7 @@ func (m *Migrator) resumeLocked() error {
 func (m *Migrator) run(mig *client.Migration) error {
 	m.active.Store(true)
 	defer m.active.Store(false)
+	defer m.observeWindow(time.Now())
 
 	var wg sync.WaitGroup
 	errs := make([]error, 0, len(mig.Moved))
@@ -345,6 +353,35 @@ func (m *Migrator) run(mig *client.Migration) error {
 		return errs[0]
 	}
 	return nil
+}
+
+// observeWindow records one migration window's duration; start is the
+// moment the window opened (captured by the deferred call's argument).
+func (m *Migrator) observeWindow(start time.Time) {
+	ns := time.Since(start).Nanoseconds()
+	m.windowHist.Record(ns)
+	m.lastWindowNS.Store(ns)
+}
+
+// Collect emits the migrator's counters and window-duration histogram.
+func (m *Migrator) Collect(e *obs.Expo, labels string) {
+	st := m.Stats()
+	e.Counter("cphash_rebalance_migrations_total", "Topology changes processed.", labels, st.Migrations)
+	e.Counter("cphash_rebalance_slots_total", "Slots scheduled for movement.", labels, st.SlotsTotal)
+	e.Counter("cphash_rebalance_slots_done_total", "Slots whose dual-read window has closed.", labels, st.SlotsDone)
+	e.Counter("cphash_rebalance_entries_total", "Entries streamed off sources.", labels, st.Entries)
+	e.Counter("cphash_rebalance_bytes_total", "Value bytes streamed off sources.", labels, st.Bytes)
+	e.Counter("cphash_rebalance_replayed_total", "Entries written to their new owners.", labels, st.Replayed)
+	e.Counter("cphash_rebalance_replay_errors_total", "Entries that failed to replay.", labels, st.ReplayErrors)
+	e.Counter("cphash_rebalance_purged_total", "Stale source entries removed after migration.", labels, st.Purged)
+	e.Counter("cphash_rebalance_promotions_total", "Failover promotions completed.", labels, st.Promotions)
+	var active float64
+	if st.Active {
+		active = 1
+	}
+	e.Gauge("cphash_rebalance_active", "Whether a migration is running (1 = yes).", labels, active)
+	e.Gauge("cphash_rebalance_last_window_ns", "Duration of the most recent migration window.", labels, float64(m.lastWindowNS.Load()))
+	e.Histogram("cphash_rebalance_window_ns", "Migration window durations in nanoseconds.", labels, m.windowHist.Snapshot())
 }
 
 // drainSource migrates one source's moved slots.

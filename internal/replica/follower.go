@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cphash/internal/obs"
 	"cphash/internal/persist"
 	"cphash/internal/protocol"
 )
@@ -133,6 +134,25 @@ func (f *Follower) Status() FollowerStatus {
 		st.StalenessMS = d.Milliseconds()
 	}
 	return st
+}
+
+// Collect emits the link's gauges and counters; labels should already
+// carry a source label (obs.WithLabel over the instance set).
+func (f *Follower) Collect(e *obs.Expo, labels string) {
+	st := f.Status()
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	e.Gauge("cphash_follower_connected", "Whether the replication link is up (1 = yes).", labels, b2f(st.Connected))
+	e.Gauge("cphash_follower_synced", "Whether the current connection finished its initial sync (1 = yes).", labels, b2f(st.Synced))
+	e.Gauge("cphash_follower_applied_seq", "Highest applied replication seq.", labels, float64(st.AppliedSeq))
+	e.Gauge("cphash_follower_staleness_ms", "Applied-state staleness vs the primary clock (-1 before the first sync).", labels, float64(st.StalenessMS))
+	e.Counter("cphash_follower_syncs_total", "Initial syncs completed over the link's lifetime.", labels, st.Syncs)
+	e.Counter("cphash_follower_frames_total", "Replication frames applied.", labels, st.Frames)
+	e.Counter("cphash_follower_records_total", "Replicated records applied.", labels, st.Records)
 }
 
 // Staleness reports how far behind the primary's clock the applied state

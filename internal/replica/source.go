@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cphash/internal/cluster"
+	"cphash/internal/obs"
 	"cphash/internal/persist"
 	"cphash/internal/protocol"
 )
@@ -76,9 +77,12 @@ func (c *SourceConfig) setDefaults() error {
 
 // blEntry is one backlog slot; rec (the staged WAL payload, copied) is
 // reused in place across generations, so steady-state appends allocate
-// nothing once every slot has warmed to the workload's record size.
+// nothing once every slot has warmed to the workload's record size. at
+// stamps the append (source-clock nanos) so a scrape can turn a peer's
+// record lag into a wall-time lag.
 type blEntry struct {
 	seq uint64
+	at  int64
 	rec []byte
 }
 
@@ -92,10 +96,11 @@ type backlog struct {
 }
 
 // append stamps a record with the next tail seq and stores it.
-func (b *backlog) append(payload []byte) {
+func (b *backlog) append(payload []byte, at int64) {
 	b.mu.Lock()
 	e := &b.buf[b.next%uint64(len(b.buf))]
 	e.seq = b.next
+	e.at = at
 	e.rec = append(e.rec[:0], payload...)
 	b.next++
 	b.mu.Unlock()
@@ -106,6 +111,21 @@ func (b *backlog) tail() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.next - 1
+}
+
+// stampAt returns the append timestamp of seq, or 0 when seq is not (or
+// no longer) in the backlog.
+func (b *backlog) stampAt(seq uint64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if seq == 0 || seq >= b.next {
+		return 0
+	}
+	e := &b.buf[seq%uint64(len(b.buf))]
+	if e.seq != seq {
+		return 0
+	}
+	return e.at
 }
 
 // collect copies records [from, tail] matching slots into dst (up to
@@ -226,7 +246,7 @@ func (s *Source) Tail() uint64 { return s.bl.tail() }
 // steady-state allocation, which is what keeps the request hot path at
 // zero allocs with replication enabled.
 func (s *Source) TailRecord(payload []byte) {
-	s.bl.append(payload)
+	s.bl.append(payload, s.cfg.Clock().UnixNano())
 	if pl := s.peerList.Load(); pl != nil {
 		for _, p := range *pl {
 			if p.idle.Load() {
@@ -259,6 +279,47 @@ func (s *Source) Status() []PeerStatus {
 		})
 	}
 	return out
+}
+
+// Collect emits the source's replication gauges: the tail watermark,
+// frame/sync counters, and a per-peer lag breakdown in records and
+// milliseconds. A disconnected follower vanishes from the peer list (its
+// lag series disappears until it reconnects and resyncs), so "lag grew,
+// then the series came back and fell to zero" is the scrape-side
+// signature of a follower restart.
+func (s *Source) Collect(e *obs.Expo, labels string) {
+	tail := s.Tail()
+	e.Gauge("cphash_replica_tail_seq", "Replication tail high-water mark.", labels, float64(tail))
+	e.Counter("cphash_replica_frames_sent_total", "Replication frames sent to followers.", labels, s.framesSent.Load())
+	e.Counter("cphash_replica_resyncs_total", "Completed follower initial syncs.", labels, s.syncsRun.Load())
+	peers := s.Status()
+	e.Gauge("cphash_replica_followers", "Currently connected followers.", labels, float64(len(peers)))
+	now := s.cfg.Clock().UnixNano()
+	for _, ps := range peers {
+		pl := obs.WithLabel(labels, "peer", ps.Name)
+		lag := int64(tail) - int64(ps.Acked)
+		if lag < 0 {
+			lag = 0
+		}
+		e.Gauge("cphash_replica_lag_records", "Records between the tail and the peer's acked watermark.", pl, float64(lag))
+		var lagMs float64
+		if lag > 0 {
+			if at := s.bl.stampAt(ps.Acked + 1); at > 0 && now > at {
+				lagMs = float64(now-at) / 1e6
+			}
+		}
+		e.Gauge("cphash_replica_lag_ms", "Age of the oldest unacked record in milliseconds.", pl, lagMs)
+		backlog := int64(tail) - int64(ps.Sent)
+		if backlog < 0 {
+			backlog = 0
+		}
+		e.Gauge("cphash_replica_backlog_records", "Records not yet shipped to the peer.", pl, float64(backlog))
+		var synced float64
+		if ps.Synced {
+			synced = 1
+		}
+		e.Gauge("cphash_replica_peer_synced", "Whether the peer completed its initial sync (1 = yes).", pl, synced)
+	}
 }
 
 // Close detaches the tail fanout, waits (bounded) for every synced,

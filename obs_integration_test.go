@@ -1,0 +1,273 @@
+package cphash
+
+// Integration tests for the observability surface: a live /metrics
+// endpoint must emit strictly valid Prometheus text exposition, the
+// server-side latency histograms and per-slot heat must account for
+// exactly the operations driven through the wire, and the per-peer
+// replication lag gauges must grow while a follower stalls and reset to
+// zero once it resyncs.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cphash/internal/core"
+	"cphash/internal/kvserver"
+	"cphash/internal/loadgen"
+	"cphash/internal/lockhash"
+	"cphash/internal/obs"
+	"cphash/internal/partition"
+	"cphash/internal/persist"
+	"cphash/internal/replica"
+	"cphash/internal/workload"
+)
+
+// scrapeURL fetches and strictly parses one exposition; any grammar
+// error fails the test — the same gate CI applies to a live cpserver.
+func scrapeURL(t *testing.T, url string) *obs.Scrape {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	s, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition did not parse: %v", err)
+	}
+	return s
+}
+
+func TestObsServerLatencyAndHeatExposition(t *testing.T) {
+	table := core.MustNew(core.Config{
+		Partitions:    2,
+		CapacityBytes: 8 << 20,
+		MaxClients:    2,
+		Seed:          1,
+	})
+	defer table.Close()
+	srv, err := kvserver.Serve(kvserver.Config{
+		Addr:       "127.0.0.1:0",
+		Workers:    2,
+		NewBackend: kvserver.NewCPHashBackend(table),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	reg.Register(func(e *obs.Expo) {
+		labels := obs.Labels("instance", srv.Addr())
+		srv.Collect(e, labels)
+		table.Collect(e, labels)
+	})
+	hs := httptest.NewServer(reg.Handler())
+	defer hs.Close()
+
+	before := scrapeURL(t, hs.URL)
+	spec := workload.Default(256 << 10)
+	spec.Dist = workload.Zipfian
+	const perConn = 4000
+	res, err := loadgen.Run(loadgen.Config{
+		Addrs:      []string{srv.Addr()},
+		Conns:      2,
+		Pipeline:   32,
+		Spec:       spec,
+		OpsPerConn: perConn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2*perConn {
+		t.Fatalf("loadgen completed %d ops, want %d", res.Ops, 2*perConn)
+	}
+	d := scrapeURL(t, hs.URL).Sub(before)
+
+	// The delta histogram covers exactly this run's operations.
+	if got := d.Sum("cphash_op_latency_ns_count"); got != 2*perConn {
+		t.Fatalf("op latency count = %g, want %d", got, 2*perConn)
+	}
+	p50, ok50 := d.Quantile("cphash_op_latency_ns", 0.5)
+	p99, ok99 := d.Quantile("cphash_op_latency_ns", 0.99)
+	p999, ok999 := d.Quantile("cphash_op_latency_ns", 0.999)
+	if !ok50 || !ok99 || !ok999 {
+		t.Fatalf("latency quantiles unavailable: %v %v %v", ok50, ok99, ok999)
+	}
+	if !(p50 > 0 && p50 <= p99 && p99 <= p999) {
+		t.Fatalf("quantiles not ordered: p50=%g p99=%g p999=%g", p50, p99, p999)
+	}
+	// 488 log-scale buckets top out near 2^61ns; a finite p999 means the
+	// samples landed in real buckets, not the overflow.
+	if p999 > 1e18 {
+		t.Fatalf("p999=%g ns is not a finite bucket edge", p999)
+	}
+
+	// Per-slot heat accounts for every table operation of the run.
+	if got, want := d.Sum("cphash_slot_ops_total"), d.Sum("cphash_table_lookups_total")+d.Sum("cphash_table_inserts_total")+d.Sum("cphash_table_deletes_total"); got != want {
+		t.Fatalf("slot heat ops = %g, table ops = %g", got, want)
+	}
+	if d.Sum("cphash_slot_ops_total") == 0 {
+		t.Fatal("no slot heat recorded")
+	}
+}
+
+// stallableApplier wraps a follower applier with a gate: while stalled,
+// Apply blocks until release is closed, so the primary's tail advances
+// ahead of the follower's acked watermark and the lag gauges must show
+// it.
+type stallableApplier struct {
+	inner   replica.Applier
+	stall   atomic.Bool
+	release chan struct{}
+}
+
+func (g *stallableApplier) Apply(op persist.Op, key uint64, expireAt int64, value []byte) error {
+	if g.stall.Load() {
+		<-g.release
+	}
+	return g.inner.Apply(op, key, expireAt, value)
+}
+
+func (g *stallableApplier) Flush() error { return g.inner.Flush() }
+
+func TestObsReplicationLagGrowsAndResets(t *testing.T) {
+	dir := t.TempDir()
+	pipe, err := persist.Open(persist.Config{Dir: dir, Policy: persist.SyncNone, Streams: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	primary, err := lockhash.New(lockhash.Config{
+		Partitions:    8,
+		CapacityBytes: 8 << 20,
+		Sink:          func(i int) partition.ChangeSink { return pipe.Appender(i) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.SetSource(persist.LockHashSource(primary))
+	if _, err := persist.RestoreLockHash(pipe, primary); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Start(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := replica.NewSource(replica.SourceConfig{
+		Pipe:      pipe,
+		Addr:      "127.0.0.1:0",
+		Heartbeat: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	reg := obs.NewRegistry()
+	reg.Register(func(e *obs.Expo) {
+		src.Collect(e, obs.Labels("instance", "primary"))
+	})
+	hs := httptest.NewServer(reg.Handler())
+	defer hs.Close()
+
+	lagKey := `cphash_replica_lag_records{instance="primary",peer="f1"}`
+	syncedKey := `cphash_replica_peer_synced{instance="primary",peer="f1"}`
+
+	waitFor := func(desc string, cond func(*obs.Scrape) bool) *obs.Scrape {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			s := scrapeURL(t, hs.URL)
+			if cond(s) {
+				return s
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s; samples: %v", desc, s.Keys())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	for k := uint64(1); k <= 200; k++ {
+		primary.Put(k, []byte("seed-value"))
+	}
+
+	ftable := lockhash.MustNew(lockhash.Config{Partitions: 8, CapacityBytes: 8 << 20})
+	ga := &stallableApplier{inner: replica.NewLockHashApplier(ftable), release: make(chan struct{})}
+	fl, err := replica.StartFollower(replica.FollowerConfig{
+		Source:  src.Addr(),
+		Name:    "f1",
+		Apply:   ga,
+		Backoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	// Synced follower at the tail: lag gauge present and zero.
+	waitFor("synced follower with zero lag", func(s *obs.Scrape) bool {
+		synced, _ := s.Get(syncedKey)
+		lag, ok := s.Get(lagKey)
+		return ok && synced == 1 && lag == 0
+	})
+
+	// Stall the applier and keep writing: the tail runs ahead of the
+	// acked watermark, so the scraped lag must grow, with a wall-clock
+	// staleness alongside it.
+	ga.stall.Store(true)
+	for k := uint64(1000); k < 3000; k++ {
+		primary.Put(k, []byte("stalled-value"))
+	}
+	grown := waitFor("lag to grow while the applier stalls", func(s *obs.Scrape) bool {
+		lag, ok := s.Get(lagKey)
+		return ok && lag > 0
+	})
+	if ms, ok := grown.Get(`cphash_replica_lag_ms{instance="primary",peer="f1"}`); !ok || ms < 0 {
+		t.Fatalf("lag_ms = %g ok=%v while lagging", ms, ok)
+	}
+
+	// Release the gate: the backlog drains and lag falls back to zero.
+	ga.stall.Store(false)
+	close(ga.release)
+	waitFor("lag to reset after the stall", func(s *obs.Scrape) bool {
+		lag, ok := s.Get(lagKey)
+		return ok && lag == 0
+	})
+
+	// Kill the follower: a disconnected peer vanishes from the scrape —
+	// the documented signature of a follower restart.
+	fl.Close()
+	waitFor("peer series to vanish after close", func(s *obs.Scrape) bool {
+		_, ok := s.Get(lagKey)
+		return !ok
+	})
+	for k := uint64(5000); k < 5200; k++ {
+		primary.Put(k, []byte("post-kill-value"))
+	}
+
+	// Restart under the same name: the resync brings the series back and
+	// drives lag to zero again.
+	ftable2 := lockhash.MustNew(lockhash.Config{Partitions: 8, CapacityBytes: 8 << 20})
+	fl2, err := replica.StartFollower(replica.FollowerConfig{
+		Source:  src.Addr(),
+		Name:    "f1",
+		Apply:   replica.NewLockHashApplier(ftable2),
+		Backoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl2.Close()
+	waitFor("restarted follower to resync to zero lag", func(s *obs.Scrape) bool {
+		synced, _ := s.Get(syncedKey)
+		lag, ok := s.Get(lagKey)
+		return ok && synced == 1 && lag == 0
+	})
+}
