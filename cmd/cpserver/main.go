@@ -75,25 +75,37 @@
 //
 // # Replication
 //
-// With -replicas 2 (requires -datadir), every continuum slot's entries
-// are streamed from the owning instance to the slot's standby — the
-// rendezvous rank-1 member, provably the instance the slot reassigns to
-// if its owner is removed (internal/replica). Each instance runs a
-// replication source next to its WAL and one follower link per primary
-// it stands by for; links resync from the durable prefix (snapshot +
-// sealed segments) and then apply the live tail, acknowledging a
-// watermark the coordinator can trust (an acked frame IS applied).
+// With -replicas N (N >= 2, requires -datadir), every continuum slot's
+// entries are streamed from the owning instance to the slot's rank-1 ..
+// rank-N-1 rendezvous standbys — provably the instances the slot
+// reassigns to, in order, as owners are removed (internal/replica). Each
+// instance runs a replication source next to its WAL and one follower
+// link per primary it stands by for; links resync from the durable
+// prefix (snapshot + sealed segments) and then apply the live tail,
+// acknowledging a watermark the coordinator can trust (an acked frame IS
+// applied). Short disconnects resume their session warm — zero entries
+// streamed when the source's backlog still covers the follower.
 //
-//	POST /promote?addr=X   # fail X over to its slots' standby replicas
+//	POST /promote?addr=X   # manual override: fail X over now
+//	POST /kill?addr=X      # fault-injection drill: stop X, leave it in the ring
 //	GET  /replication      # per-instance source peers + follower links
+//	GET  /detect           # failure-detector watch set
+//
+// Failover is automatic by default: a detector (internal/detect) probes
+// every instance each -failover-interval, and an instance continuously
+// unreachable for -failover-after is promoted away, at most one
+// promotion per -failover-cooldown, with a flap guard for bouncing
+// members. -autopromote=false reverts to manual POST /promote only.
 //
 // Promotion is an ownership flip, not a data move: the standby already
 // holds every slot it inherits, so /promote waits only for the surviving
 // links to drain before closing the dual-read window — zero acked-write
 // loss on a clean stop, crash-loss bounded by the replication watermark.
-// After any topology change the replication mesh is rewired and entries
-// of slots an instance no longer owns or stands by for are purged, so a
-// later flip cannot resurrect stale copies.
+// After any topology change the replication mesh is rewired by diffing:
+// links whose (follower, primary, slots) pairing is unchanged keep their
+// session, the new primary re-sources its standbys, and entries of slots
+// an instance holds no rank for are purged, so a later flip cannot
+// resurrect stale copies.
 package main
 
 import (
@@ -116,6 +128,7 @@ import (
 	"cphash/internal/client"
 	"cphash/internal/cluster"
 	"cphash/internal/core"
+	"cphash/internal/detect"
 	"cphash/internal/kvserver"
 	"cphash/internal/lockhash"
 	"cphash/internal/memcache"
@@ -140,7 +153,11 @@ var (
 	statsEvery = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
 	statsAddr  = flag.String("statsaddr", "", "optional HTTP address serving /stats JSON and /debug/vars")
 
-	replicas = flag.Int("replicas", 1, "replication factor: 1 = off, 2 = stream each slot's entries to its standby instance for failover promotion and follower reads (requires -datadir)")
+	replicas         = flag.Int("replicas", 1, "replication factor: 1 = off, N>=2 = each slot's entries stream from the owner to its rank-1..N-1 standby instances for failover promotion and follower reads (requires -datadir)")
+	autoPromote      = flag.Bool("autopromote", true, "with -replicas >= 2, run the failure detector: a confirmed-dead instance is promoted away automatically (POST /promote stays as the manual override)")
+	failoverInterval = flag.Duration("failover-interval", 500*time.Millisecond, "failure detector probe cadence")
+	failoverAfter    = flag.Duration("failover-after", 3*time.Second, "how long an instance must be continuously unreachable before auto-promotion fires")
+	failoverCooldown = flag.Duration("failover-cooldown", 10*time.Second, "minimum gap between automatic promotions")
 
 	dataDir      = flag.String("datadir", "", "enable durability: WAL + snapshots under this directory (instance i uses <datadir>/iNNN)")
 	syncPolicy   = flag.String("sync", "interval", "WAL sync policy: none | interval | always (group commit)")
@@ -154,6 +171,10 @@ var (
 // of scraping ad-hoc printf output.
 var events = obs.NewEventLogger(os.Stdout, "cpserver")
 
+// maxReplicas bounds -replicas: a chain deeper than the cluster is ever
+// likely to be is a misconfiguration, not a deployment.
+const maxReplicas = 8
+
 // instance is one running server plus its observability hooks.
 type instance struct {
 	addr     string
@@ -162,7 +183,9 @@ type instance struct {
 	// collect emits the instance's Prometheus families under a label set
 	// (typically {instance="addr"}) into a registry gather.
 	collect func(e *obs.Expo, labels string)
-	close   func()
+	// close is idempotent (sync.OnceFunc): a /kill drill and the
+	// promotion that follows it may both stop the instance.
+	close func()
 	// persistence hooks; nil pipe when -datadir is unset.
 	pipe      *persist.Pipeline
 	recovered persist.RecoverStats
@@ -284,7 +307,7 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 				e.Counter("cphash_server_requests_total", "Requests processed.", labels, inst.Requests())
 				e.Gauge("cphash_table_elements", "entries currently stored", labels, float64(inst.Len()))
 			},
-			close: func() { inst.Close() },
+			close: sync.OnceFunc(func() { inst.Close() }),
 		}, nil
 
 	case "cphash", "lockhash":
@@ -452,13 +475,13 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 			// applier and the table torn down. The admin coordinator
 			// closes this instance's own follower links before calling
 			// close, so nothing feeds the applier by then.
-			close: func() {
+			close: sync.OnceFunc(func() {
 				srv.Close()
 				if applierClose != nil {
 					applierClose()
 				}
 				closeTable()
-			},
+			}),
 			pipe:       pipe,
 			recovered:  recovered,
 			src:        src,
@@ -468,6 +491,15 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 	default:
 		return nil, fmt.Errorf("unknown backend %q", *backend)
 	}
+}
+
+// repLink is one edge of the replication mesh: a live follower link plus
+// the slot set it subscribed with, kept so rewire can diff the wanted
+// mesh against the live one and leave unchanged links (and their synced
+// sessions) untouched.
+type repLink struct {
+	f     *replica.Follower
+	slots protocol.SlotSet
 }
 
 // admin owns the mutable instance set plus the migration coordinator: a
@@ -487,9 +519,12 @@ type admin struct {
 	started  int // instances ever started (port allocation); under opMu
 	cli      *client.Client
 	migr     *rebalance.Migrator
+	// det is the auto-failover detector (nil with -autopromote=false or
+	// -replicas 1); its watch set is reconciled after every topology op.
+	det *detect.Detector
 	// links is the replication mesh: follower instance addr → primary
 	// instance addr → the live link (under mu; rebuilt by rewire).
-	links map[string]map[string]*replica.Follower
+	links map[string]map[string]*repLink
 }
 
 func newAdmin(insts []*instance, capBytes int, policy partition.EvictionPolicy, host string, basePort int) (*admin, error) {
@@ -504,12 +539,12 @@ func newAdmin(insts []*instance, capBytes int, policy partition.EvictionPolicy, 
 		host:     host,
 		basePort: basePort,
 		started:  len(insts),
-		links:    map[string]map[string]*replica.Follower{},
+		links:    map[string]map[string]*repLink{},
 	}
 	// The coordinator's own client gets the follower-lag hook, so an
 	// operator flipping it to ReadFollower (or SDK users copying this
 	// wiring) reads standbys only within the staleness bound.
-	cli, err := client.New(client.Config{Nodes: addrs, FollowerLag: a.followerLag})
+	cli, err := client.New(client.Config{Nodes: addrs, FollowerLag: a.followerLag, ReplicaDepth: *replicas})
 	if err != nil {
 		return nil, err
 	}
@@ -525,8 +560,8 @@ func newAdmin(insts []*instance, capBytes int, policy partition.EvictionPolicy, 
 func (a *admin) followerLag(addr string) (time.Duration, bool) {
 	a.mu.Lock()
 	links := make([]*replica.Follower, 0, len(a.links[addr]))
-	for _, f := range a.links[addr] {
-		links = append(links, f)
+	for _, l := range a.links[addr] {
+		links = append(links, l.f)
 	}
 	a.mu.Unlock()
 	if len(links) == 0 {
@@ -552,30 +587,29 @@ func (a *admin) dropLinks(addr string) {
 	m := a.links[addr]
 	delete(a.links, addr)
 	a.mu.Unlock()
-	for _, f := range m {
-		f.Close()
+	for _, l := range m {
+		l.f.Close()
 	}
 }
 
-// rewire rebuilds the replication mesh for the current ring and purges
-// stale replica copies. Links are torn down and recreated from scratch:
-// topology changes are rare, and a follower resync is one snapshot +
-// sealed-segment replay, so simplicity wins over link diffing. Called
-// with opMu held.
+// rewire reconciles the replication mesh with the current ring and purges
+// stale replica copies. The wanted mesh places every slot's entries on
+// its rendezvous ranks 1..replicas-1 (all standbys follow the owner
+// directly — the rank-shift identity makes each of them the slot's next
+// owner in removal order). Live links whose (follower, primary, slot set)
+// already match are kept untouched — their synced sessions and acked
+// watermarks survive the rewire, so a promotion only resyncs the edges
+// that actually changed (the new primary re-sourcing its standbys);
+// everything else closes. Called with opMu held.
 func (a *admin) rewire() {
 	if *replicas < 2 {
 		return
 	}
 	a.mu.Lock()
 	old := a.links
-	a.links = map[string]map[string]*replica.Follower{}
+	a.links = map[string]map[string]*repLink{}
 	insts := append([]*instance(nil), a.insts...)
 	a.mu.Unlock()
-	for _, m := range old {
-		for _, f := range m {
-			f.Close()
-		}
-	}
 	byAddr := make(map[string]*instance, len(insts))
 	for _, in := range insts {
 		byAddr[in.addr] = in
@@ -584,29 +618,62 @@ func (a *admin) rewire() {
 	// follower addr → primary addr → subscribed slots
 	want := map[string]map[string]*protocol.SlotSet{}
 	for s := 0; s < cluster.Slots; s++ {
-		owner, standby := ring.Owner(s), ring.Standby(s)
-		if standby == "" || byAddr[owner] == nil || byAddr[standby] == nil {
+		owner := ring.Owner(s)
+		if byAddr[owner] == nil {
 			continue
 		}
-		m := want[standby]
-		if m == nil {
-			m = map[string]*protocol.SlotSet{}
-			want[standby] = m
+		for _, standby := range ring.Replicas(s, *replicas) {
+			if byAddr[standby] == nil {
+				continue
+			}
+			m := want[standby]
+			if m == nil {
+				m = map[string]*protocol.SlotSet{}
+				want[standby] = m
+			}
+			set := m[owner]
+			if set == nil {
+				set = &protocol.SlotSet{}
+				m[owner] = set
+			}
+			set.Add(s)
 		}
-		set := m[owner]
-		if set == nil {
-			set = &protocol.SlotSet{}
-			m[owner] = set
-		}
-		set.Add(s)
 	}
-	fresh := map[string]map[string]*replica.Follower{}
+	// Diff the live mesh against the wanted one: keep exact matches,
+	// close the rest. A surviving primary forgets a closed follower's
+	// watermark — the pairing is gone, not temporarily down.
+	fresh := map[string]map[string]*repLink{}
+	kept := 0
+	for fAddr, m := range old {
+		for pAddr, l := range m {
+			var set *protocol.SlotSet
+			if wm := want[fAddr]; wm != nil {
+				set = wm[pAddr]
+			}
+			if set != nil && *set == l.slots {
+				if fresh[fAddr] == nil {
+					fresh[fAddr] = map[string]*repLink{}
+				}
+				fresh[fAddr][pAddr] = l
+				kept++
+				continue
+			}
+			l.f.Close()
+			if pin := byAddr[pAddr]; pin != nil && pin.src != nil {
+				pin.src.ForgetPeer(fAddr)
+			}
+		}
+	}
+	started := 0
 	for fAddr, srcs := range want {
 		fin := byAddr[fAddr]
 		if fin.newApplier == nil {
-			continue // replication pieces missing (should not happen with -replicas 2)
+			continue // replication pieces missing (should not happen with -replicas >= 2)
 		}
 		for pAddr, set := range srcs {
+			if fresh[fAddr] != nil && fresh[fAddr][pAddr] != nil {
+				continue // kept from the old mesh
+			}
 			pin := byAddr[pAddr]
 			if pin.src == nil {
 				continue
@@ -622,22 +689,33 @@ func (a *admin) rewire() {
 				continue
 			}
 			if fresh[fAddr] == nil {
-				fresh[fAddr] = map[string]*replica.Follower{}
+				fresh[fAddr] = map[string]*repLink{}
 			}
-			fresh[fAddr][pAddr] = link
+			fresh[fAddr][pAddr] = &repLink{f: link, slots: *set}
+			started++
 		}
 	}
 	a.mu.Lock()
 	a.links = fresh
 	a.mu.Unlock()
-	// Purge entries of slots an instance neither owns nor stands by for:
+	if kept > 0 || started > 0 {
+		events.Info("replication_rewired", "kept", kept, "started", started)
+	}
+	// Purge entries of slots an instance holds no rank 0..replicas-1 for:
 	// a stale copy there would resurrect if a later topology change (or
 	// promotion) handed the slot back.
 	for _, in := range insts {
 		var stale protocol.SlotSet
 		n := 0
 		for s := 0; s < cluster.Slots; s++ {
-			if ring.Owner(s) != in.addr && ring.Standby(s) != in.addr {
+			inChain := false
+			for r := 0; r < *replicas; r++ {
+				if ring.RankedOwner(s, r) == in.addr {
+					inChain = true
+					break
+				}
+			}
+			if !inChain {
 				stale.Add(s)
 				n++
 			}
@@ -665,10 +743,11 @@ func (a *admin) collect(e *obs.Expo) {
 	}
 	var links []linkRef
 	for fAddr, m := range a.links {
-		for pAddr, f := range m {
-			links = append(links, linkRef{fAddr, pAddr, f})
+		for pAddr, l := range m {
+			links = append(links, linkRef{fAddr, pAddr, l.f})
 		}
 	}
+	det := a.det
 	a.mu.Unlock()
 	for _, in := range insts {
 		in.collect(e, obs.Labels("instance", in.addr))
@@ -678,6 +757,9 @@ func (a *admin) collect(e *obs.Expo) {
 	}
 	a.cli.Collect(e, "")
 	a.migr.Collect(e, "")
+	if det != nil {
+		det.Collect(e, "")
+	}
 }
 
 // instances snapshots the current instance list.
@@ -740,6 +822,7 @@ func (a *admin) join() (string, error) {
 	n := len(a.insts)
 	a.mu.Unlock()
 	a.rewire()
+	a.refreshDetector()
 	events.Info("join", "instance", in.addr, "instances", n)
 	return in.addr, nil
 }
@@ -776,6 +859,7 @@ func (a *admin) leave(addr string) error {
 	n := len(a.insts)
 	a.mu.Unlock()
 	a.rewire()
+	a.refreshDetector()
 	events.Info("leave", "instance", addr, "instances", n)
 	return nil
 }
@@ -792,7 +876,7 @@ func (a *admin) promote(addr string) error {
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
 	if *replicas < 2 {
-		return fmt.Errorf("replication is disabled (run with -replicas 2)")
+		return fmt.Errorf("replication is disabled (run with -replicas >= 2)")
 	}
 	var target *instance
 	for _, in := range a.instances() {
@@ -813,7 +897,9 @@ func (a *admin) promote(addr string) error {
 		a.mu.Lock()
 		var f *replica.Follower
 		if m := a.links[newOwner]; m != nil {
-			f = m[addr]
+			if l := m[addr]; l != nil {
+				f = l.f
+			}
 			delete(m, addr)
 		}
 		a.mu.Unlock()
@@ -842,21 +928,102 @@ func (a *admin) promote(addr string) error {
 	n := len(a.insts)
 	a.mu.Unlock()
 	a.rewire()
+	a.refreshDetector()
 	events.Info("promote", "instance", addr, "instances", n)
 	return nil
 }
 
-// close shuts the coordinator down: replication links first (so nothing
-// feeds the instances' appliers while they tear down), then the client.
-// Instances are closed by main.
+// kill is the fault-injection drill: stop the addressed instance but
+// leave it in the ring, so the failure detector (or an operator's POST
+// /promote) has to notice the death and fail it over — the full
+// auto-failover path, exercised on demand.
+func (a *admin) kill(addr string) error {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	if *replicas < 2 {
+		return fmt.Errorf("replication is disabled (run with -replicas >= 2)")
+	}
+	var target *instance
+	for _, in := range a.instances() {
+		if in.addr == addr {
+			target = in
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("no instance %q", addr)
+	}
+	if len(a.instances()) == 1 {
+		return fmt.Errorf("cannot kill the last instance")
+	}
+	a.dropLinks(addr) // its applier is about to go away
+	target.close()
+	events.Warn("killed", "instance", addr)
+	return nil
+}
+
+// probe reports liveness for the failure detector: a short TCP dial of
+// the serving port, with the replication mesh as a second witness — if
+// any surviving source still holds a live peer connection from addr
+// (the cphash_replica_peer_up signal), the process is alive even when a
+// fresh dial is refused mid-churn.
+func (a *admin) probe(addr string) bool {
+	c, err := net.DialTimeout("tcp", addr, 500*time.Millisecond)
+	if err == nil {
+		c.Close()
+		return true
+	}
+	for _, in := range a.instances() {
+		if in.addr == addr || in.src == nil {
+			continue
+		}
+		for _, p := range in.src.Peers() {
+			if p.Name == addr && p.Up {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// autoPromote is the detector's Act: promote the confirmed-dead member.
+func (a *admin) autoPromote(addr string) error {
+	events.Warn("auto_promote", "instance", addr)
+	if err := a.promote(addr); err != nil {
+		events.Warn("auto_promote_failed", "instance", addr, "err", err)
+		return err
+	}
+	return nil
+}
+
+// refreshDetector reconciles the detector's watch set with the instance
+// list after every topology change (survivors keep their down history).
+func (a *admin) refreshDetector() {
+	if a.det == nil {
+		return
+	}
+	insts := a.instances()
+	addrs := make([]string, len(insts))
+	for i, in := range insts {
+		addrs[i] = in.addr
+	}
+	a.det.SetTargets(addrs)
+}
+
+// close shuts the coordinator down: the failure detector first (so no
+// auto-promotion races the teardown), then the replication links (so
+// nothing feeds the instances' appliers while they tear down), then the
+// client. Instances are closed by main.
 func (a *admin) close() {
+	if a.det != nil {
+		a.det.Close()
+	}
 	a.mu.Lock()
 	links := a.links
-	a.links = map[string]map[string]*replica.Follower{}
+	a.links = map[string]map[string]*repLink{}
 	a.mu.Unlock()
 	for _, m := range links {
-		for _, f := range m {
-			f.Close()
+		for _, l := range m {
+			l.f.Close()
 		}
 	}
 	if a.cli != nil {
@@ -959,8 +1126,8 @@ func (a *admin) replicationSnapshot() map[string]any {
 	links := make(map[string]map[string]*replica.Follower, len(a.links))
 	for fa, m := range a.links {
 		links[fa] = make(map[string]*replica.Follower, len(m))
-		for pa, f := range m {
-			links[fa][pa] = f
+		for pa, l := range m {
+			links[fa][pa] = l.f
 		}
 	}
 	a.mu.Unlock()
@@ -970,7 +1137,7 @@ func (a *admin) replicationSnapshot() map[string]any {
 		if in.src != nil {
 			e["sourceAddr"] = in.src.Addr()
 			e["tail"] = in.src.Tail()
-			e["peers"] = in.src.Status()
+			e["peers"] = in.src.Peers()
 		}
 		follows := []map[string]any{}
 		for pAddr, f := range links[in.addr] {
@@ -985,6 +1152,20 @@ func (a *admin) replicationSnapshot() map[string]any {
 	}
 	doc["instances"] = list
 	doc["promotions"] = a.migr.Stats().Promotions
+	doc["failover"] = a.detectSnapshot()
+	return doc
+}
+
+// detectSnapshot renders the failure-detector section of /replication.
+func (a *admin) detectSnapshot() map[string]any {
+	doc := map[string]any{
+		"enabled":   a.det != nil,
+		"downAfter": failoverAfter.String(),
+		"cooldown":  failoverCooldown.String(),
+	}
+	if a.det != nil {
+		doc["targets"] = a.det.Status()
+	}
 	return doc
 }
 
@@ -997,9 +1178,11 @@ func (a *admin) replicationSummary() map[string]any {
 	}
 	a.mu.Unlock()
 	return map[string]any{
-		"enabled":    *replicas >= 2,
-		"links":      n,
-		"promotions": a.migr.Stats().Promotions,
+		"enabled":     *replicas >= 2,
+		"replicas":    *replicas,
+		"links":       n,
+		"autopromote": a.det != nil,
+		"promotions":  a.migr.Stats().Promotions,
 	}
 }
 
@@ -1052,6 +1235,25 @@ func serveStats(addr string, a *admin) (*http.Server, error) {
 		}
 		writeJSON(w, map[string]any{"promoted": addr, "replication": a.replicationSnapshot(), "migration": a.migrationSnapshot()})
 	})
+	mux.HandleFunc("/kill", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		addr := r.URL.Query().Get("addr")
+		if addr == "" {
+			http.Error(w, "missing ?addr=", http.StatusBadRequest)
+			return
+		}
+		if err := a.kill(addr); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"killed": addr, "failover": a.detectSnapshot()})
+	})
+	mux.HandleFunc("/detect", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, a.detectSnapshot())
+	})
 	mux.HandleFunc("/persistence", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, a.persistenceSnapshot())
 	})
@@ -1101,7 +1303,7 @@ func serveStats(addr string, a *admin) (*http.Server, error) {
 	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
-	fmt.Printf("stats endpoint on http://%s/stats (+ /metrics, /debug/vars, /debug/pprof; admin: POST /join, POST /leave?addr=, POST /promote?addr=, GET /migration, GET /replication, GET /persistence, POST /snapshot)\n", ln.Addr())
+	fmt.Printf("stats endpoint on http://%s/stats (+ /metrics, /debug/vars, /debug/pprof; admin: POST /join, POST /leave?addr=, POST /promote?addr=, POST /kill?addr=, GET /migration, GET /replication, GET /detect, GET /persistence, POST /snapshot)\n", ln.Addr())
 	return srv, nil
 }
 
@@ -1120,12 +1322,12 @@ func main() {
 	if maxSegBytes, err = sizeparse.Parse(*maxSegment); err != nil {
 		log.Fatalf("cpserver: -maxsegment: %v", err)
 	}
-	if *replicas < 1 || *replicas > 2 {
-		log.Fatalf("cpserver: -replicas must be 1 (off) or 2, got %d", *replicas)
+	if *replicas < 1 || *replicas > maxReplicas {
+		log.Fatalf("cpserver: -replicas must be 1 (off) or 2..%d, got %d", maxReplicas, *replicas)
 	}
-	if *replicas == 2 {
+	if *replicas >= 2 {
 		if *dataDir == "" {
-			log.Fatalf("cpserver: -replicas 2 requires -datadir (replication streams the WAL)")
+			log.Fatalf("cpserver: -replicas >= 2 requires -datadir (replication streams the WAL)")
 		}
 		if *backend == "memcache" {
 			log.Fatalf("cpserver: -replicas is not supported by the memcache backend")
@@ -1189,6 +1391,22 @@ func main() {
 			n, _ := s["links"].(int)
 			return n
 		}())
+		if *autoPromote {
+			det, err := detect.New(detect.Config{
+				Probe:     adm.probe,
+				Act:       adm.autoPromote,
+				Interval:  *failoverInterval,
+				DownAfter: *failoverAfter,
+				Cooldown:  *failoverCooldown,
+			})
+			if err != nil {
+				log.Fatalf("cpserver: failure detector: %v", err)
+			}
+			adm.det = det
+			adm.refreshDetector()
+			det.Start()
+			events.Info("failover_armed", "downAfter", failoverAfter.String(), "cooldown", failoverCooldown.String())
+		}
 	}
 
 	var statsSrv *http.Server

@@ -12,6 +12,7 @@ package cphash
 
 import (
 	"bufio"
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -36,12 +37,13 @@ type hotPathConn struct {
 // startHotPathServer boots a CPSERVER (CPHASH backend) sized for the
 // hot-path working set and dials one connection to it. With persistDir
 // non-empty the table is wired to a durability pipeline (sync=interval)
-// rooted there. With replicate also true, a replication source streams
-// the pipeline's tail to an in-process follower applying into a second
-// table — the full primary-side replication overhead (backlog append,
-// frame compression, ack reads) plus the follower's apply loop, all
-// inside this process so the allocation gate sees both sides.
-func startHotPathServer(tb testing.TB, persistDir string, replicate bool) (*hotPathConn, func()) {
+// rooted there. With followers > 0, a replication source streams the
+// pipeline's tail to that many in-process followers, each applying into
+// its own table — the full primary-side replication overhead (backlog
+// append, per-peer frame compression, ack reads) plus the followers'
+// apply loops, all inside this process so the allocation gate sees every
+// side of a depth-(followers+1) chain.
+func startHotPathServer(tb testing.TB, persistDir string, followers int) (*hotPathConn, func()) {
 	tb.Helper()
 	var pipe *persist.Pipeline
 	var sink func(int) partition.ChangeSink
@@ -68,10 +70,10 @@ func startHotPathServer(tb testing.TB, persistDir string, replicate bool) (*hotP
 		}
 	}
 	var src *replica.Source
-	var fl *replica.Follower
-	if replicate {
+	var fls []*replica.Follower
+	if followers > 0 {
 		if pipe == nil {
-			tb.Fatal("replicate requires a persist dir")
+			tb.Fatal("followers require a persist dir")
 		}
 		var err error
 		// A backlog small enough for the warmup to touch every slot:
@@ -83,19 +85,22 @@ func startHotPathServer(tb testing.TB, persistDir string, replicate bool) (*hotP
 			table.Close()
 			tb.Fatal(err)
 		}
-		ftable := lockhash.MustNew(lockhash.Config{
-			Partitions:    2,
-			CapacityBytes: partition.CapacityForValues(2*hotpath.Keys, hotpath.ValueSize),
-		})
-		fl, err = replica.StartFollower(replica.FollowerConfig{
-			Source: src.Addr(),
-			Name:   "alloc-gate",
-			Apply:  replica.NewLockHashApplier(ftable),
-		})
-		if err != nil {
-			src.Close()
-			table.Close()
-			tb.Fatal(err)
+		for i := 0; i < followers; i++ {
+			ftable := lockhash.MustNew(lockhash.Config{
+				Partitions:    2,
+				CapacityBytes: partition.CapacityForValues(2*hotpath.Keys, hotpath.ValueSize),
+			})
+			fl, err := replica.StartFollower(replica.FollowerConfig{
+				Source: src.Addr(),
+				Name:   fmt.Sprintf("alloc-gate-%d", i),
+				Apply:  replica.NewLockHashApplier(ftable),
+			})
+			if err != nil {
+				src.Close()
+				table.Close()
+				tb.Fatal(err)
+			}
+			fls = append(fls, fl)
 		}
 	}
 	srv, err := kvserver.Serve(kvserver.Config{
@@ -118,7 +123,7 @@ func startHotPathServer(tb testing.TB, persistDir string, replicate bool) (*hotP
 	pw := &hotPathConn{bw: bw, br: br, src: src}
 	return pw, func() {
 		closer.Close()
-		if fl != nil {
+		for _, fl := range fls {
 			fl.Close()
 		}
 		srv.Close() // flushes and closes replication + pipeline, if any
@@ -126,23 +131,29 @@ func startHotPathServer(tb testing.TB, persistDir string, replicate bool) (*hotP
 	}
 }
 
-// waitReplicated blocks until the follower behind src has completed its
-// initial sync and acknowledged the current tail, so the measured window
-// starts from replication steady state (pools warm, backlog slots sized).
-func waitReplicated(tb testing.TB, src *replica.Source) {
+// waitReplicated blocks until EVERY one of the expected followers behind
+// src has completed its initial sync and acknowledged the current tail,
+// so the measured window starts from replication steady state (pools
+// warm, backlog slots sized) on all links — not just whichever peer the
+// status map happened to list last.
+func waitReplicated(tb testing.TB, src *replica.Source, followers int) {
 	tb.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		tail := src.Tail()
-		ok := false
-		for _, ps := range src.Status() {
-			ok = ps.Synced && ps.Acked >= tail
+		peers := src.Status()
+		ok := len(peers) == followers
+		for _, ps := range peers {
+			if !ps.Synced || ps.Acked < tail {
+				ok = false
+				break
+			}
 		}
 		if ok {
 			return
 		}
 		if time.Now().After(deadline) {
-			tb.Fatalf("follower did not reach the tail watermark: %+v", src.Status())
+			tb.Fatalf("followers did not reach the tail watermark: %+v", peers)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -176,7 +187,7 @@ func hotPathWarmup(tb testing.TB, pw *hotPathConn, val, dst []byte) []byte {
 // allocs/op; the steady-state server path is expected to be
 // allocation-free.
 func BenchmarkHotPath_WireGetSet(b *testing.B) {
-	pw, stop := startHotPathServer(b, "", false)
+	pw, stop := startHotPathServer(b, "", 0)
 	defer stop()
 	val := make([]byte, hotpath.ValueSize)
 	dst := make([]byte, 0, 2*hotpath.ValueSize)
@@ -193,7 +204,7 @@ func BenchmarkHotPath_WireGetSet(b *testing.B) {
 // durability pipeline on (sync=interval), so the WAL overhead shows up
 // in the benchmark trajectory next to the bare number.
 func BenchmarkHotPath_WireGetSetPersist(b *testing.B) {
-	pw, stop := startHotPathServer(b, b.TempDir(), false)
+	pw, stop := startHotPathServer(b, b.TempDir(), 0)
 	defer stop()
 	val := make([]byte, hotpath.ValueSize)
 	dst := make([]byte, 0, 2*hotpath.ValueSize)
@@ -206,18 +217,19 @@ func BenchmarkHotPath_WireGetSetPersist(b *testing.B) {
 	}
 }
 
-// BenchmarkHotPath_WireGetSetReplicated adds a live in-process follower
-// on top of the persisted configuration, so the replication overhead —
-// backlog staging on the persister, frame compression and socket writes
-// on the peer sender, decompression and applies on the follower — shows
-// up in the benchmark trajectory next to the bare and persist numbers.
+// BenchmarkHotPath_WireGetSetReplicated adds two live in-process
+// followers on top of the persisted configuration (a -replicas 3 chain's
+// primary side), so the replication overhead — backlog staging on the
+// persister, per-peer frame compression and socket writes on the
+// senders, decompression and applies on the followers — shows up in the
+// benchmark trajectory next to the bare and persist numbers.
 func BenchmarkHotPath_WireGetSetReplicated(b *testing.B) {
-	pw, stop := startHotPathServer(b, b.TempDir(), true)
+	pw, stop := startHotPathServer(b, b.TempDir(), 2)
 	defer stop()
 	val := make([]byte, hotpath.ValueSize)
 	dst := make([]byte, 0, 2*hotpath.ValueSize)
 	dst = hotPathWarmup(b, pw, val, dst)
-	waitReplicated(b, pw.src)
+	waitReplicated(b, pw.src, 2)
 	runtime.GC()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -240,14 +252,14 @@ func TestHotPathAllocCeiling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation ceiling is measured by the bench smoke job, not under -short/-race")
 	}
-	run := func(t *testing.T, persistDir string, replicate bool) {
-		pw, stop := startHotPathServer(t, persistDir, replicate)
+	run := func(t *testing.T, persistDir string, followers int) {
+		pw, stop := startHotPathServer(t, persistDir, followers)
 		defer stop()
 		val := make([]byte, hotpath.ValueSize)
 		dst := make([]byte, 0, 2*hotpath.ValueSize)
 		dst = hotPathWarmup(t, pw, val, dst)
-		if replicate {
-			waitReplicated(t, pw.src)
+		if followers > 0 {
+			waitReplicated(t, pw.src, followers)
 		}
 
 		const ops = 50000
@@ -267,11 +279,12 @@ func TestHotPathAllocCeiling(t *testing.T) {
 			t.Fatalf("hot path allocates %.4f allocs/op, ceiling 0.05 — the zero-allocation request path regressed", perOp)
 		}
 	}
-	t.Run("plain", func(t *testing.T) { run(t, "", false) })
-	t.Run("persist", func(t *testing.T) { run(t, t.TempDir(), false) })
-	// With a connected follower the whole replication stack runs in this
-	// process, so the same ceiling also bounds the source's streaming
-	// side and the follower's apply loop — replication must not
-	// reintroduce per-op allocation on or next to the hot path.
-	t.Run("replicated", func(t *testing.T) { run(t, t.TempDir(), true) })
+	t.Run("plain", func(t *testing.T) { run(t, "", 0) })
+	t.Run("persist", func(t *testing.T) { run(t, t.TempDir(), 0) })
+	// With two connected followers the whole depth-3 replication stack
+	// runs in this process, so the same ceiling also bounds the source's
+	// per-peer streaming side and both followers' apply loops —
+	// replication must not reintroduce per-op allocation on or next to
+	// the hot path.
+	t.Run("replicated", func(t *testing.T) { run(t, t.TempDir(), 2) })
 }

@@ -253,3 +253,100 @@ func TestFollowerReadRouting(t *testing.T) {
 		t.Fatalf("absent key: found=%v err=%v", found, err)
 	}
 }
+
+// TestFollowerReadFallThrough stages divergent state on all three ranks
+// of a slot and checks the depth-3 routing: reads land on the rank-1
+// standby while it is fresh, fall through to the rank-2 replica when
+// rank 1 is stale or unknown, and reach the primary only when every
+// replica is out of bounds.
+func TestFollowerReadFallThrough(t *testing.T) {
+	addrs, tables := startClusterTables(t, 3)
+	byAddr := make(map[string]*lockhash.Table, len(tables))
+	for i, a := range addrs {
+		byAddr[a] = tables[i]
+	}
+
+	var lagMu sync.Mutex
+	lag := map[string]time.Duration{}
+	unknown := map[string]bool{}
+	c, err := New(Config{
+		Nodes:          addrs,
+		ReadPreference: ReadFollower,
+		ReplicaDepth:   3,
+		MaxStaleness:   100 * time.Millisecond,
+		FollowerLag: func(addr string) (time.Duration, bool) {
+			lagMu.Lock()
+			defer lagMu.Unlock()
+			return lag[addr], !unknown[addr]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ring := c.Ring()
+	const key = uint64(42)
+	slot := cluster.SlotOf(key)
+	owner := ring.Owner(slot)
+	r1, r2 := ring.RankedOwner(slot, 1), ring.RankedOwner(slot, 2)
+	if r1 == "" || r2 == "" || r1 == r2 || r1 == owner || r2 == owner {
+		t.Fatalf("bad placement: owner=%q r1=%q r2=%q", owner, r1, r2)
+	}
+	byAddr[owner].Put(key, []byte("primary-val"))
+	byAddr[r1].Put(key, []byte("rank1-val"))
+	byAddr[r2].Put(key, []byte("rank2-val"))
+
+	get := func(want string) {
+		t.Helper()
+		v, found, err := c.Get(key)
+		if err != nil || !found {
+			t.Fatalf("Get = %q found=%v err=%v", v, found, err)
+		}
+		if string(v) != want {
+			t.Fatalf("Get = %q, want %q", v, want)
+		}
+	}
+
+	get("rank1-val") // nearest fresh replica serves
+
+	lagMu.Lock()
+	lag[r1] = 200 * time.Millisecond // rank 1 beyond MaxStaleness
+	lagMu.Unlock()
+	get("rank2-val") // falls through, not back to the primary
+
+	lagMu.Lock()
+	lag[r2] = 300 * time.Millisecond // both stale
+	lagMu.Unlock()
+	fallbacks := c.stalenessFallbacks.Load()
+	get("primary-val")
+	if got := c.stalenessFallbacks.Load(); got != fallbacks+1 {
+		t.Fatalf("stalenessFallbacks %d → %d, want one fallback", fallbacks, got)
+	}
+
+	lagMu.Lock()
+	delete(lag, r2)
+	unknown[r1] = true // rank 1 lag unknown, rank 2 fresh again
+	lagMu.Unlock()
+	get("rank2-val")
+
+	// Depth 2 never consults rank 2: with rank 1 unknown it goes primary.
+	c2, err := New(Config{
+		Nodes:          addrs,
+		ReadPreference: ReadFollower,
+		MaxStaleness:   100 * time.Millisecond,
+		FollowerLag: func(addr string) (time.Duration, bool) {
+			lagMu.Lock()
+			defer lagMu.Unlock()
+			return lag[addr], !unknown[addr]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	v, found, err := c2.Get(key)
+	if err != nil || !found || string(v) != "primary-val" {
+		t.Fatalf("depth-2 Get = %q found=%v err=%v, want primary-val", v, found, err)
+	}
+}

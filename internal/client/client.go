@@ -97,9 +97,16 @@ type Config struct {
 	DownBackoffMax time.Duration
 	// ReadPreference selects where GETs are served (writes and deletes
 	// always go to the primary). The default, ReadPrimary, reads only the
-	// slot's owner; ReadFollower tries the slot's standby replica first
-	// and falls back to the primary on a miss or error.
+	// slot's owner; ReadFollower tries the slot's replicas — ranks
+	// 1..ReplicaDepth-1 of the rendezvous continuum, nearest first — and
+	// falls back to the primary on a miss or error.
 	ReadPreference ReadPreference
+	// ReplicaDepth is the cluster's replication depth (the cpserver
+	// -replicas value): each slot has copies on continuum ranks
+	// 0..ReplicaDepth-1, so follower reads may fall through ranks
+	// 1..ReplicaDepth-1 when earlier ranks are retired, tripped, or
+	// stale (default 2 — primary plus one standby).
+	ReplicaDepth int
 	// MaxStaleness bounds follower reads: a follower whose replication
 	// lag (per FollowerLag) exceeds it is skipped in favor of the primary
 	// (default 500ms). Only consulted when ReadPreference is ReadFollower
@@ -154,6 +161,9 @@ func (cfg *Config) applyDefaults() {
 	}
 	if cfg.MaxStaleness <= 0 {
 		cfg.MaxStaleness = 500 * time.Millisecond
+	}
+	if cfg.ReplicaDepth <= 0 {
+		cfg.ReplicaDepth = 2
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
@@ -311,39 +321,47 @@ func (c *Client) route(slot int) (primary, fb *node) {
 
 // followerFor resolves the node serving follower reads for slot, or nil
 // when reads should go straight to the primary: read preference is
-// primary, the ring has no standby (single member), the standby is
-// retired or in breaker backoff, or its replication lag is unknown or
-// beyond MaxStaleness. The FollowerLag hook runs outside client locks so
-// it may call back into the client (e.g. to refresh its lag map).
+// primary, or no replica rank 1..ReplicaDepth-1 is viable (the ring has
+// too few members, or every candidate is retired, in breaker backoff,
+// or replicating with unknown lag or lag beyond MaxStaleness). Ranks
+// are tried nearest first, so reads land on the rank-1 standby when it
+// is healthy and fall through to deeper replicas — which also hold the
+// slot — when it is not. The FollowerLag hook runs outside client locks
+// so it may call back into the client (e.g. to refresh its lag map).
 func (c *Client) followerFor(slot int) *node {
 	if c.cfg.ReadPreference != ReadFollower {
 		return nil
 	}
-	c.mu.RLock()
-	addr := c.ring.Standby(slot)
-	var n *node
-	if addr != "" {
-		n = c.nodes[addr]
-	}
-	c.mu.RUnlock()
-	if n == nil {
-		return nil
-	}
-	if n.retired.Load() {
-		c.stalenessFallbacks.Add(1)
-		return nil
-	}
-	if until := n.downUntil.Load(); until > n.now().UnixNano() {
-		c.stalenessFallbacks.Add(1)
-		return nil // breaker open: don't burn the fallback on a known-down follower
-	}
-	if c.cfg.FollowerLag != nil {
-		if lag, ok := c.cfg.FollowerLag(addr); !ok || lag > c.cfg.MaxStaleness {
-			c.stalenessFallbacks.Add(1)
-			return nil
+	candidates := 0
+	for rank := 1; rank < c.cfg.ReplicaDepth; rank++ {
+		c.mu.RLock()
+		addr := c.ring.RankedOwner(slot, rank)
+		var n *node
+		if addr != "" {
+			n = c.nodes[addr]
 		}
+		c.mu.RUnlock()
+		if n == nil {
+			break // ranks beyond the membership are empty too
+		}
+		candidates++
+		if n.retired.Load() {
+			continue
+		}
+		if until := n.downUntil.Load(); until > n.now().UnixNano() {
+			continue // breaker open: don't burn the fallback on a known-down follower
+		}
+		if c.cfg.FollowerLag != nil {
+			if lag, ok := c.cfg.FollowerLag(addr); !ok || lag > c.cfg.MaxStaleness {
+				continue
+			}
+		}
+		return n
 	}
-	return n
+	if candidates > 0 {
+		c.stalenessFallbacks.Add(1) // replicas exist, none viable: primary serves
+	}
+	return nil
 }
 
 // nodeFor routes a fixed key (clipped to the 60-bit key space, like

@@ -211,6 +211,59 @@ func (r *Ring) Standby(slot int) string {
 	return r.ids[second]
 }
 
+// RankedOwner returns the member at the given rendezvous rank for a
+// slot: rank 0 is the owner, rank 1 the standby, rank 2 the standby's
+// standby, and so on ("" when rank is out of range). Allocation-free —
+// the client read path consults it per follower-routed request when
+// falling through a replica chain — via iterative selection instead of
+// the sort RankedOwners performs: each step finds the best (score, idx)
+// pair strictly after the previous pick in descending-score,
+// ascending-index order, the exact order assign() and RankedOwners use.
+//
+// The rendezvous rank-shift identity generalizes the Standby one:
+// removing the owner of a slot leaves every survivor's score untouched,
+// so each member at rank i moves to rank i-1. A replica chain placed on
+// ranks 1..d-1 therefore survives d-1 successive owner failures with no
+// data movement at all: every promotion hands the slot to a member
+// already holding it. The ring property test asserts the identity over
+// random memberships.
+func (r *Ring) RankedOwner(slot, rank int) string {
+	if rank < 0 || rank >= len(r.ids) {
+		return ""
+	}
+	prevIdx := -1
+	var prevScore uint64
+	for k := 0; k <= rank; k++ {
+		best := -1
+		var bestScore uint64
+		for i, h := range r.hashes {
+			sc := score(h, slot)
+			if prevIdx >= 0 && (sc > prevScore || (sc == prevScore && i <= prevIdx)) {
+				continue // already picked at an earlier rank
+			}
+			// Strict > keeps the smallest index on a score tie, matching
+			// assign()'s lexicographic tie-break (ids is sorted).
+			if best < 0 || sc > bestScore {
+				best, bestScore = i, sc
+			}
+		}
+		prevIdx, prevScore = best, bestScore
+	}
+	return r.ids[prevIdx]
+}
+
+// Replicas returns the members holding a slot's replicas under a
+// replication factor of depth: the rendezvous ranks 1..depth-1, in rank
+// order (nil when depth <= 1 or the ring has a single member). The
+// owner (rank 0) is excluded; depth is clamped to the member count.
+func (r *Ring) Replicas(slot, depth int) []string {
+	ranked := r.RankedOwners(slot, depth)
+	if len(ranked) <= 1 {
+		return nil
+	}
+	return ranked[1:]
+}
+
 // RankedOwners returns the top-k members for a slot in descending
 // rendezvous-score order; rank 0 is the owner, rank 1 the standby, and
 // so on. k is clamped to the member count. Replica chains of depth d

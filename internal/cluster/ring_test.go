@@ -332,3 +332,72 @@ func TestRankedOwners(t *testing.T) {
 		t.Fatalf("Standby on single-member ring = %q, want empty", got)
 	}
 }
+
+// TestRankedOwnerMatchesRankedOwners pins the allocation-free selector
+// against the sorting implementation over random memberships, including
+// out-of-range ranks.
+func TestRankedOwnerMatchesRankedOwners(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xfeed))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(10)
+		names := nodeNames(16)
+		rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+		r := MustNew(names[:n])
+		for s := 0; s < Slots; s += 7 {
+			ranked := r.RankedOwners(s, n)
+			for rank := 0; rank < n; rank++ {
+				if got := r.RankedOwner(s, rank); got != ranked[rank] {
+					t.Fatalf("trial %d slot %d rank %d: RankedOwner %q != RankedOwners %q",
+						trial, s, rank, got, ranked[rank])
+				}
+			}
+			if got := r.RankedOwner(s, n); got != "" {
+				t.Fatalf("RankedOwner beyond membership = %q, want empty", got)
+			}
+			if got := r.RankedOwner(s, -1); got != "" {
+				t.Fatalf("RankedOwner(-1) = %q, want empty", got)
+			}
+		}
+	}
+}
+
+// TestRankShiftIdentity asserts the depth-N generalization of the
+// standby identity: removing a slot's owner shifts every remaining rank
+// up by exactly one, so a replica chain on ranks 1..d-1 survives the
+// owner's death with no data movement (the new owner and every new
+// standby already hold the slot).
+func TestRankShiftIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xc4a15))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(10)
+		names := nodeNames(16)
+		rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+		r := MustNew(names[:n])
+		depth := 2 + rng.Intn(3)
+		if depth > n {
+			depth = n
+		}
+		for s := 0; s < Slots; s++ {
+			before := r.RankedOwners(s, depth)
+			after := r.Clone()
+			if _, err := after.RemoveNode(before[0]); err != nil {
+				t.Fatal(err)
+			}
+			got := after.RankedOwners(s, depth-1)
+			for i := range got {
+				if got[i] != before[i+1] {
+					t.Fatalf("trial %d slot %d: rank %d after removal = %s, want pre-removal rank %d = %s",
+						trial, s, i, got[i], i+1, before[i+1])
+				}
+			}
+			if reps := r.Replicas(s, depth); len(reps) != depth-1 || reps[0] != before[1] {
+				t.Fatalf("trial %d slot %d: Replicas(%d) = %v, want ranks 1..%d of %v",
+					trial, s, depth, reps, depth-1, before)
+			}
+		}
+	}
+	single := MustNew(nodeNames(1))
+	if got := single.Replicas(0, 3); got != nil {
+		t.Fatalf("Replicas on single-member ring = %v, want nil", got)
+	}
+}

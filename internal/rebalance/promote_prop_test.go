@@ -11,6 +11,7 @@ import (
 
 	"cphash/internal/client"
 	"cphash/internal/cluster"
+	"cphash/internal/detect"
 	"cphash/internal/kvserver"
 	"cphash/internal/lockhash"
 	"cphash/internal/partition"
@@ -332,5 +333,353 @@ func TestPromotionInvariantsUnderLoad(t *testing.T) {
 				t.Errorf("link %s <- %s staleness %v ok=%v, want fresh", follower, owner, d, ok)
 			}
 		}
+	}
+}
+
+// meshCtl owns the depth-N test mesh the way cpserver's admin owns its
+// links: rewire reconciles follower links against a ring snapshot,
+// keeping exact (follower, owner, slots) matches and resyncing only the
+// edges that changed — the standby-of-standby path after a promotion.
+type meshCtl struct {
+	t      *testing.T
+	depth  int
+	stacks map[string]*replStack
+
+	mu    sync.Mutex
+	alive map[string]bool
+	links map[string]map[string]*replica.Follower
+	sets  map[string]map[string]protocol.SlotSet
+}
+
+func newMeshCtl(t *testing.T, stacks map[string]*replStack, depth int) *meshCtl {
+	mc := &meshCtl{
+		t:      t,
+		depth:  depth,
+		stacks: stacks,
+		alive:  map[string]bool{},
+		links:  map[string]map[string]*replica.Follower{},
+		sets:   map[string]map[string]protocol.SlotSet{},
+	}
+	for addr := range stacks {
+		mc.alive[addr] = true
+	}
+	t.Cleanup(func() {
+		mc.mu.Lock()
+		defer mc.mu.Unlock()
+		for _, byOwner := range mc.links {
+			for _, f := range byOwner {
+				f.Close()
+			}
+		}
+	})
+	return mc
+}
+
+// rewire diffs the live mesh against the ring: every slot's owner feeds
+// its ranks 1..depth-1 directly (the rank-shift identity makes each the
+// slot's next owner in removal order).
+func (mc *meshCtl) rewire(ring *cluster.Ring) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	want := map[string]map[string]*protocol.SlotSet{}
+	for s := 0; s < protocol.SlotCount; s++ {
+		owner := ring.Owner(s)
+		if !mc.alive[owner] {
+			continue
+		}
+		for _, standby := range ring.Replicas(s, mc.depth) {
+			if !mc.alive[standby] {
+				continue
+			}
+			byOwner := want[standby]
+			if byOwner == nil {
+				byOwner = map[string]*protocol.SlotSet{}
+				want[standby] = byOwner
+			}
+			set := byOwner[owner]
+			if set == nil {
+				set = &protocol.SlotSet{}
+				byOwner[owner] = set
+			}
+			set.Add(s)
+		}
+	}
+	for follower, byOwner := range mc.links {
+		for owner, f := range byOwner {
+			var w *protocol.SlotSet
+			if m := want[follower]; m != nil {
+				w = m[owner]
+			}
+			if w != nil && *w == mc.sets[follower][owner] {
+				continue // unchanged: the synced session survives
+			}
+			f.Close()
+			delete(byOwner, owner)
+			delete(mc.sets[follower], owner)
+		}
+	}
+	for follower, byOwner := range want {
+		for owner, set := range byOwner {
+			if mc.links[follower][owner] != nil {
+				continue
+			}
+			f, err := replica.StartFollower(replica.FollowerConfig{
+				Source:  mc.stacks[owner].src.Addr(),
+				Name:    follower,
+				Slots:   set,
+				Apply:   replica.NewLockHashApplier(mc.stacks[follower].table),
+				Backoff: 10 * time.Millisecond,
+			})
+			if err != nil {
+				mc.t.Errorf("start link %s <- %s: %v", follower, owner, err)
+				continue
+			}
+			if mc.links[follower] == nil {
+				mc.links[follower] = map[string]*replica.Follower{}
+				mc.sets[follower] = map[string]protocol.SlotSet{}
+			}
+			mc.links[follower][owner] = f
+			mc.sets[follower][owner] = *set
+		}
+	}
+}
+
+// dropFollower closes every link in which addr follows someone (called
+// before stopping addr, so nothing feeds its applier).
+func (mc *meshCtl) dropFollower(addr string) {
+	mc.mu.Lock()
+	byOwner := mc.links[addr]
+	delete(mc.links, addr)
+	delete(mc.sets, addr)
+	mc.mu.Unlock()
+	for _, f := range byOwner {
+		f.Close()
+	}
+}
+
+// takeLink removes and returns the link follower <- owner (nil if gone).
+func (mc *meshCtl) takeLink(follower, owner string) *replica.Follower {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	byOwner := mc.links[follower]
+	f := byOwner[owner]
+	delete(byOwner, owner)
+	if s := mc.sets[follower]; s != nil {
+		delete(s, owner)
+	}
+	return f
+}
+
+func (mc *meshCtl) setDead(addr string) {
+	mc.mu.Lock()
+	mc.alive[addr] = false
+	mc.mu.Unlock()
+}
+
+// TestPromotionInvariantsDepth3DoubleFailure is the depth-3 chain
+// property test: live writers hammer a 3-member cluster replicated at
+// -replicas 3 (every slot on all three members), the primary of some
+// slots is killed, and — while the new primary is still resyncing its
+// own standby — that rank-1 standby is killed too. Both failovers are
+// fired by the failure detector (internal/detect), never by a manual
+// promote. Invariants:
+//
+//   - zero acked-write loss across BOTH failures: every read-back
+//     confirmed write is on the last surviving member;
+//   - no phantoms, no cross-key bleed, no stale versions;
+//   - auto-promotion converges: exactly two promotions, zero entries
+//     streamed (ownership flips, never data moves), no open windows,
+//     both corpses out of the ring and out of the detector's watch set.
+func TestPromotionInvariantsDepth3DoubleFailure(t *testing.T) {
+	const (
+		nodes         = 3
+		depth         = 3
+		writers       = 3
+		keysPerWriter = 250
+	)
+	rng := rand.New(rand.NewSource(77))
+
+	stacks := map[string]*replStack{}
+	addrs := make([]string, nodes)
+	for i := range addrs {
+		st := startReplStack(t)
+		stacks[st.addr] = st
+		addrs[i] = st.addr
+	}
+	c, err := client.New(client.Config{Nodes: addrs, DownBackoff: 10 * time.Millisecond, ReplicaDepth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	m := New(c, Config{})
+
+	mc := newMeshCtl(t, stacks, depth)
+	mc.rewire(c.Ring())
+	waitMeshSynced(t, stacks, 10*time.Second)
+
+	// The detector is the only thing allowed to promote. Its probe
+	// consults the same liveness the mesh would (here: a kill ledger);
+	// its act is the cpserver promote path: drain the new owner's link
+	// from the corpse, flip ownership, rewire the survivors.
+	var killed sync.Map
+	var autoPromotions atomic.Int64
+	act := func(victim string) error {
+		confirm := func(newOwner string, slots []int) error {
+			f := mc.takeLink(newOwner, victim)
+			if f == nil {
+				return fmt.Errorf("no replication link %s <- %s", newOwner, victim)
+			}
+			defer f.Close()
+			if !f.WaitDisconnected(10 * time.Second) {
+				return fmt.Errorf("link %s <- %s did not drain", newOwner, victim)
+			}
+			return nil
+		}
+		if err := m.Promote(victim, confirm); err != nil {
+			return err
+		}
+		mc.setDead(victim)
+		mc.rewire(c.Ring())
+		autoPromotions.Add(1)
+		return nil
+	}
+	det, err := detect.New(detect.Config{
+		Probe: func(addr string) bool {
+			_, dead := killed.Load(addr)
+			return !dead
+		},
+		Act:       act,
+		Interval:  10 * time.Millisecond,
+		DownAfter: 50 * time.Millisecond,
+		Cooldown:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.SetTargets(addrs)
+	det.Start()
+	t.Cleanup(det.Close)
+
+	states := make([]keyState, writers*keysPerWriter)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int, seed int64) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				k := uint64(w*keysPerWriter + wrng.Intn(keysPerWriter))
+				st := &states[k]
+				ver := st.attempted + 1
+				st.attempted = ver
+				val := []byte(fmt.Sprintf("%d:%d", k, ver))
+				if err := c.Set(k, val); err != nil {
+					continue
+				}
+				if v, found, gerr := c.Get(k); gerr == nil && found && bytes.Equal(v, val) {
+					st.confirmed = ver
+				}
+			}
+		}(w, rng.Int63())
+	}
+
+	time.Sleep(time.Duration(100+rng.Intn(100)) * time.Millisecond)
+
+	// kill stops a member the way cpserver's /kill drill does: its own
+	// follower links first, then a graceful close (the source drains its
+	// backlog — including a mid-initial-sync peer — before dying), and
+	// the detector has to notice on its own.
+	kill := func(victim string) {
+		killed.Store(victim, true)
+		mc.dropFollower(victim)
+		stacks[victim].srv.Close()
+	}
+	waitPromotions := func(n int64) {
+		deadline := time.Now().Add(20 * time.Second)
+		for autoPromotions.Load() < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("auto-promotion %d never converged (have %d, detector %+v)",
+					n, autoPromotions.Load(), det.Status())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	victim1 := addrs[rng.Intn(nodes)]
+	var probeSlot int
+	for s := 0; s < protocol.SlotCount; s++ {
+		if c.Ring().Owner(s) == victim1 {
+			probeSlot = s
+			break
+		}
+	}
+	kill(victim1)
+	waitPromotions(1)
+
+	// The slot's rank-1 standby is now its primary and is resyncing its
+	// own standby (the old rank-2). Kill it before that resync settles.
+	victim2 := c.Ring().Owner(probeSlot)
+	if victim2 == victim1 || victim2 == "" {
+		t.Fatalf("slot %d still owned by the corpse %q", probeSlot, victim2)
+	}
+	kill(victim2)
+	waitPromotions(2)
+
+	time.Sleep(100 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if c.Ring().Contains(victim1) || c.Ring().Contains(victim2) {
+		t.Fatal("a dead member is still in the ring")
+	}
+	if n := c.MigratingSlots(); n != 0 {
+		t.Fatalf("windows still open after promotions: %d", n)
+	}
+	if st := m.Stats(); st.Promotions != 2 || st.Entries != 0 {
+		t.Fatalf("stats after double failure: %+v (want Promotions=2, Entries=0)", st)
+	}
+	if ds := det.Status(); len(ds) != 1 || ds[0].Up != true {
+		t.Fatalf("detector watch set = %+v, want only the survivor, up", ds)
+	}
+
+	var lost, stale, phantom int
+	for k := range states {
+		st := &states[k]
+		if st.attempted == 0 {
+			continue
+		}
+		v, found, err := c.Get(uint64(k))
+		if err != nil {
+			t.Fatalf("Get(%d) after double failure: %v", k, err)
+		}
+		if !found {
+			if st.confirmed > 0 {
+				lost++
+				if lost <= 5 {
+					t.Errorf("key %d: confirmed v%d lost entirely", k, st.confirmed)
+				}
+			}
+			continue
+		}
+		var gotKey, gotVer uint64
+		if _, err := fmt.Sscanf(string(v), "%d:%d", &gotKey, &gotVer); err != nil || gotKey != uint64(k) {
+			t.Fatalf("key %d: corrupt or cross-key value %q", k, v)
+		}
+		if gotVer < st.confirmed {
+			stale++
+			if stale <= 5 {
+				t.Errorf("key %d: holds v%d, older than confirmed v%d", k, gotVer, st.confirmed)
+			}
+		}
+		if gotVer > st.attempted {
+			phantom++
+			if phantom <= 5 {
+				t.Errorf("key %d: phantom v%d beyond attempted v%d", k, gotVer, st.attempted)
+			}
+		}
+	}
+	if lost+stale+phantom > 0 {
+		t.Fatalf("double-failure invariants violated: %d lost, %d stale, %d phantom", lost, stale, phantom)
 	}
 }

@@ -4,10 +4,11 @@ import (
 	"bufio"
 	"compress/flate"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,11 +37,33 @@ type FollowerConfig struct {
 	// that (default 10s).
 	ReadTimeout time.Duration
 	// Backoff is the reconnect backoff base, doubled per consecutive
-	// failure up to 32× (default 100ms).
+	// failure up to BackoffMax and jittered into [d/2, d] — the same
+	// scheme as the client breaker, so the followers of a restarted
+	// source don't redial in lockstep (default 100ms).
 	Backoff time.Duration
+	// BackoffMax caps the doubled backoff (default 32× Backoff).
+	BackoffMax time.Duration
 	// Clock supplies "now" for staleness computation (nil = wall clock);
 	// it must agree with the Source's clock.
 	Clock func() time.Time
+
+	// rnd draws the jitter (tests pin it; nil = math/rand).
+	rnd func(int64) int64
+}
+
+// backoffFor returns the delay before the reconnect attempt following
+// `streak` consecutive failed sessions: Backoff doubled per failure up
+// to BackoffMax, then jittered into [d/2, d].
+func (c *FollowerConfig) backoffFor(streak int) time.Duration {
+	d := c.Backoff
+	for i := 0; i < streak && d < c.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.BackoffMax {
+		d = c.BackoffMax
+	}
+	half := int64(d / 2)
+	return time.Duration(half + c.rnd(half+1))
 }
 
 func (c *FollowerConfig) setDefaults() error {
@@ -62,8 +85,14 @@ func (c *FollowerConfig) setDefaults() error {
 	if c.Backoff <= 0 {
 		c.Backoff = 100 * time.Millisecond
 	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 32 * c.Backoff
+	}
 	if c.Clock == nil {
 		c.Clock = time.Now
+	}
+	if c.rnd == nil {
+		c.rnd = rand.Int63n
 	}
 	return nil
 }
@@ -76,6 +105,7 @@ type FollowerStatus struct {
 	AppliedSeq  uint64 `json:"appliedSeq"`
 	StalenessMS int64  `json:"stalenessMs"` // -1 until the first sync completes
 	Syncs       int64  `json:"syncs"`
+	Resumes     int64  `json:"resumes"` // warm reconnects: sessions resumed with zero sync entries
 	Frames      int64  `json:"frames"`
 	Records     int64  `json:"records"`
 }
@@ -100,8 +130,16 @@ type Follower struct {
 	appliedSeq atomic.Uint64
 	appliedTs  atomic.Int64 // primary-clock nanos of the last applied frame
 	syncs      atomic.Int64
+	resumes    atomic.Int64
 	frames     atomic.Int64
 	records    atomic.Int64
+
+	// lastSession is the source session id of the previous connection
+	// (run-goroutine only). A reply carrying a different id means a new
+	// Source instance with a fresh sequence space, so the applied
+	// watermark from the old space is discarded rather than left to
+	// poison the monotonic guard — or a later resume request.
+	lastSession uint64
 }
 
 // StartFollower validates cfg and starts the link's goroutine.
@@ -127,6 +165,7 @@ func (f *Follower) Status() FollowerStatus {
 		AppliedSeq:  f.appliedSeq.Load(),
 		StalenessMS: -1,
 		Syncs:       f.syncs.Load(),
+		Resumes:     f.resumes.Load(),
 		Frames:      f.frames.Load(),
 		Records:     f.records.Load(),
 	}
@@ -206,7 +245,7 @@ func (f *Follower) Close() {
 // run is the link goroutine: dial/resync/apply until closed.
 func (f *Follower) run() {
 	defer f.wg.Done()
-	backoff := f.cfg.Backoff
+	streak := 0 // consecutive failed sessions
 	for {
 		select {
 		case <-f.stop:
@@ -215,6 +254,7 @@ func (f *Follower) run() {
 		}
 		conn, err := net.DialTimeout("tcp", f.cfg.Source, f.cfg.DialTimeout)
 		if err == nil {
+			syncedBefore := f.syncs.Load() + f.resumes.Load()
 			f.mu.Lock()
 			if f.closed {
 				f.mu.Unlock()
@@ -230,31 +270,36 @@ func (f *Follower) run() {
 			f.conn = nil
 			f.mu.Unlock()
 			conn.Close()
-			if serr == nil || isClosing(serr) {
-				backoff = f.cfg.Backoff // deliberate teardown, not failure
+			if serr == nil || isClosing(serr) || f.syncs.Load()+f.resumes.Load() > syncedBefore {
+				// Deliberate teardown, or a session that got as far as a
+				// completed sync: not a failure streak.
+				streak = 0
+				continue
 			}
 		}
+		streak++
 		select {
 		case <-f.stop:
 			return
-		case <-time.After(backoff):
-		}
-		if backoff < 32*f.cfg.Backoff {
-			backoff *= 2
+		case <-time.After(f.cfg.backoffFor(streak - 1)):
 		}
 	}
 }
 
+// isClosing reports whether err is the local teardown of our own
+// connection (Close racing the session), as opposed to a link failure.
+// errors.Is sees through the net.OpError wrapping; matching the error
+// string does not survive wrapping or rewording.
 func isClosing(err error) bool {
-	return err != nil && strings.Contains(err.Error(), "use of closed network connection")
+	return errors.Is(err, net.ErrClosed)
 }
 
-// session runs one connection: handshake, then apply frames until the
-// connection dies. A successful sync resets the reconnect backoff via
-// the error returned.
+// session runs one connection: handshake (requesting a warm resume of
+// the previous session when this follower has ever synced), then apply
+// frames until the connection dies.
 func (f *Follower) session(conn net.Conn) error {
 	conn.SetWriteDeadline(time.Now().Add(f.cfg.DialTimeout))
-	hello := make([]byte, 0, len(replMagic)+1+len(f.cfg.Name)+protocol.SlotCount/8)
+	hello := make([]byte, 0, len(replMagic)+1+len(f.cfg.Name)+protocol.SlotCount/8+helloResumeLen)
 	hello = append(hello, replMagic...)
 	hello = append(hello, byte(len(f.cfg.Name)))
 	hello = append(hello, f.cfg.Name...)
@@ -267,17 +312,35 @@ func (f *Follower) session(conn net.Conn) error {
 		}
 	}
 	hello = append(hello, set[:]...)
+	// Resume is requested only when everSynced: appliedSeq is a valid
+	// certificate of "holds everything through seq" only for sessions
+	// that completed a sync (records at or below it were applied on a
+	// connection that reached synced). lastSession 0 never matches.
+	var resumeSession, resumeSeq uint64
+	if f.everSynced.Load() {
+		resumeSession, resumeSeq = f.lastSession, f.appliedSeq.Load()
+	}
+	hello = binary.LittleEndian.AppendUint64(hello, resumeSession)
+	hello = binary.LittleEndian.AppendUint64(hello, resumeSeq)
 	if _, err := conn.Write(hello); err != nil {
 		return err
 	}
 	conn.SetReadDeadline(time.Now().Add(f.cfg.DialTimeout))
 	br := bufio.NewReaderSize(conn, 256<<10)
-	var reply [len(replMagic) + 1]byte
+	var reply [replyLen]byte
 	if _, err := io.ReadFull(br, reply[:]); err != nil {
 		return err
 	}
 	if string(reply[:len(replMagic)]) != replMagic {
 		return fmt.Errorf("replica: bad handshake reply")
+	}
+	session := binary.LittleEndian.Uint64(reply[len(replMagic)+1:])
+	if session != f.lastSession {
+		// A different Source instance numbers records from 1 again; the
+		// old watermark means nothing in the new sequence space and must
+		// not gate the monotonic update below or seed a future resume.
+		f.appliedSeq.Store(0)
+		f.lastSession = session
 	}
 	f.connected.Store(true)
 
@@ -339,6 +402,11 @@ func (f *Follower) session(conn net.Conn) error {
 			f.synced.Store(true)
 			f.everSynced.Store(true)
 			f.syncs.Add(1)
+			acking = true
+		case frameResumeDone:
+			f.synced.Store(true)
+			f.everSynced.Store(true)
+			f.resumes.Add(1)
 			acking = true
 		case frameHeartbeat:
 			// watermark + timestamp only

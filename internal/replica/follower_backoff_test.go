@@ -1,0 +1,88 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"cphash/internal/persist"
+)
+
+// TestFollowerBackoffSchedule pins the reconnect schedule: Backoff
+// doubled per consecutive failure up to BackoffMax, each delay jittered
+// into [d/2, d]. The jitter draw is injected, so the bounds are exact.
+func TestFollowerBackoffSchedule(t *testing.T) {
+	cfg := FollowerConfig{
+		Source:  "x",
+		Apply:   nopApplier{},
+		Backoff: 100 * time.Millisecond,
+	}
+	if err := cfg.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BackoffMax != 32*cfg.Backoff {
+		t.Fatalf("default BackoffMax = %v, want 32×Backoff", cfg.BackoffMax)
+	}
+
+	atMin := func(n int64) int64 { return 0 }
+	atMax := func(n int64) int64 { return n - 1 }
+
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond, // cap: 32×100ms
+		3200 * time.Millisecond, // stays capped
+		3200 * time.Millisecond,
+	}
+	for streak, d := range want {
+		cfg.rnd = atMin
+		if got := cfg.backoffFor(streak); got != d/2 {
+			t.Fatalf("streak %d with zero jitter: %v, want %v", streak, got, d/2)
+		}
+		cfg.rnd = atMax
+		if got := cfg.backoffFor(streak); got != d {
+			t.Fatalf("streak %d with max jitter: %v, want %v", streak, got, d)
+		}
+	}
+
+	// Every real draw lands in [d/2, d]: no follower waits less than half
+	// the nominal delay, and two followers with the same streak do not
+	// redial in lockstep unless the draws collide.
+	cfg.rnd = nil
+	if err := cfg.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	for streak := 0; streak < 8; streak++ {
+		nominal := want[streak]
+		for i := 0; i < 200; i++ {
+			got := cfg.backoffFor(streak)
+			if got < nominal/2 || got > nominal {
+				t.Fatalf("streak %d: draw %v outside [%v, %v]", streak, got, nominal/2, nominal)
+			}
+		}
+	}
+
+	// An explicit cap overrides the 32× default.
+	cfg = FollowerConfig{
+		Source:     "x",
+		Apply:      nopApplier{},
+		Backoff:    100 * time.Millisecond,
+		BackoffMax: 250 * time.Millisecond,
+	}
+	if err := cfg.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.rnd = atMax
+	for streak, d := range []time.Duration{100, 200, 250, 250} {
+		if got := cfg.backoffFor(streak); got != d*time.Millisecond {
+			t.Fatalf("capped streak %d: %v, want %v", streak, got, d*time.Millisecond)
+		}
+	}
+}
+
+type nopApplier struct{}
+
+func (nopApplier) Apply(op persist.Op, key uint64, expireAt int64, value []byte) error { return nil }
+func (nopApplier) Flush() error                                                        { return nil }

@@ -13,27 +13,41 @@
 // stream means per-key FIFO survives the trip — so the overlap is
 // harmless, last writer wins.
 //
-// Placement rides the rendezvous continuum: a slot's replica lives on
-// cluster.Ring.Standby(slot), the rank-1 scorer, which is provably the
-// member the slot reassigns to when its owner is removed. Failover
-// promotion (rebalance.Migrator.Promote) is therefore a pure ownership
-// flip — the data is already on the new owner — using the migration
-// machinery's dual-read window until the follower's watermark is
-// confirmed.
+// Placement rides the rendezvous continuum: a slot's replicas live on
+// cluster.Ring.Replicas(slot, d), the rank-1..d-1 scorers, and removing
+// the owner provably shifts every rank up by exactly one — the new owner
+// and every new standby already hold the slot. Failover promotion
+// (rebalance.Migrator.Promote) is therefore a pure ownership flip — the
+// data is already on the new owner — using the migration machinery's
+// dual-read window until the follower's watermark is confirmed; the mesh
+// then rewires so the new primary re-sources its surviving standbys,
+// which reconnect warm via session resume.
 //
 // # Wire protocol
 //
 // One TCP connection per (follower, primary) pair, opened by the
 // follower to the Source's dedicated replication listener:
 //
-//	handshake  F→S: magic "CPREPL01" | nameLen (1) | name | slot bitmap (32)
-//	handshake  S→F: magic "CPREPL01" | flags (1, zero)
+//	handshake  F→S: magic "CPREPL02" | nameLen (1) | name | slot bitmap (32)
+//	                | resumeSession (8 LE) | resumeSeq (8 LE)
+//	handshake  S→F: magic "CPREPL02" | flags (1) | session (8 LE)
 //	frame      S→F: type (1) | seq (8 LE) | tsNanos (8 LE) | ulen (4 LE) | clen (4 LE) | body
 //	ack        F→S: 'A' | seq (8 LE)
 //
+// resumeSession/resumeSeq ask the source to resume the follower's
+// previous session at appliedSeq+1 instead of re-running the initial
+// sync: the source grants (reply flags bit 0) iff the session id matches
+// its own — sequence numbers are only comparable within one Source
+// instance — and the backlog still covers the gap. A granted resume
+// streams zero sync entries (a reconnect after a brief blip, or a mesh
+// rewire that re-establishes an identical link, is warm); a denied one
+// falls back to the full initial sync. resumeSession 0 (a follower that
+// never synced) never matches.
+//
 // Frame types: 'D' carries a flate-compressed batch of records (body is
 // clen bytes, inflating to ulen); 'S' marks the end of the initial sync;
-// 'H' is an idle heartbeat. A record inside a 'D' body is
+// 'R' accepts a resume (the follower is already synced at the frame's
+// seq); 'H' is an idle heartbeat. A record inside a 'D' body is
 // op (1) | key (8 LE) | expireAt ns (8 LE) | vlen (4 LE) | value.
 //
 // seq on 'D'/'H' frames is the Source's tail sequence covered so far —
@@ -60,15 +74,24 @@ import (
 )
 
 const (
-	replMagic = "CPREPL01"
+	replMagic = "CPREPL02"
 
-	frameData      = byte('D')
-	frameSyncDone  = byte('S')
-	frameHeartbeat = byte('H')
-	ackByte        = byte('A')
+	frameData       = byte('D')
+	frameSyncDone   = byte('S')
+	frameResumeDone = byte('R')
+	frameHeartbeat  = byte('H')
+	ackByte         = byte('A')
 
 	frameHeaderLen = 1 + 8 + 8 + 4 + 4
 	ackLen         = 1 + 8
+
+	// helloResumeLen is the trailer of the follower hello: the session id
+	// it wants to resume and the seq it has applied through.
+	helloResumeLen = 8 + 8
+	// replyLen is the source's handshake reply: magic, flags, session id.
+	replyLen = len(replMagic) + 1 + 8
+	// replyFlagResumed (reply flags bit 0) grants the requested resume.
+	replyFlagResumed = byte(1)
 
 	recFixedLen = 1 + 8 + 8 + 4
 

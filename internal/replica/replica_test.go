@@ -1,13 +1,19 @@
 package replica_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"cphash/internal/cluster"
 	"cphash/internal/lockhash"
+	"cphash/internal/obs"
 	"cphash/internal/partition"
 	"cphash/internal/persist"
 	"cphash/internal/protocol"
@@ -279,5 +285,235 @@ func TestStalenessGrowsWhenDisconnected(t *testing.T) {
 	d2, _ := fl.Staleness()
 	if d2 <= d1 {
 		t.Fatalf("staleness did not grow while disconnected: %v then %v", d1, d2)
+	}
+}
+
+// blipProxy forwards TCP to a destination and can drop every live
+// connection at once — a network blip between a follower and a live
+// source, as opposed to a source restart.
+type blipProxy struct {
+	ln    net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newBlipProxy(t *testing.T, dst string) *blipProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &blipProxy{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			up, err := net.Dial("tcp", dst)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			p.mu.Lock()
+			p.conns = append(p.conns, c, up)
+			p.mu.Unlock()
+			go func() { io.Copy(up, c); up.Close(); c.Close() }()
+			go func() { io.Copy(c, up); c.Close(); up.Close() }()
+		}
+	}()
+	t.Cleanup(func() { ln.Close(); p.drop() })
+	return p
+}
+
+func (p *blipProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *blipProxy) drop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+}
+
+// TestSessionResumeWarmReconnect proves a reconnect to the SAME source
+// is warm: the session resumes at the follower's applied watermark with
+// zero sync entries re-streamed, where a source restart (different
+// session id) still forces a full resync.
+func TestSessionResumeWarmReconnect(t *testing.T) {
+	hb := 10 * time.Millisecond
+	primary := startNode(t, &replica.SourceConfig{Heartbeat: hb})
+
+	// Synced state established before the follower attaches, so the
+	// record count of the initial sync is exact.
+	for k := uint64(1); k <= 300; k++ {
+		primary.table.Put(k, []byte(fmt.Sprintf("v-%d", k)))
+	}
+	primary.pipe.Barrier()
+
+	proxy := newBlipProxy(t, primary.src.Addr())
+	follower := startNode(t, nil)
+	fl := follower.follow(proxy.addr(), nil, hb)
+	waitAcked(t, primary.src, 5*time.Second)
+
+	st := fl.Status()
+	if st.Syncs != 1 || st.Resumes != 0 || st.Records != 300 {
+		t.Fatalf("after initial sync: %+v", st)
+	}
+
+	// Blip the link. The follower redials immediately (a session that
+	// completed its sync is not a failure streak) and must resume, not
+	// resync.
+	proxy.drop()
+	deadline := time.Now().Add(5 * time.Second)
+	for fl.Status().Resumes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no resume after blip: %+v", fl.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for k := uint64(301); k <= 350; k++ {
+		primary.table.Put(k, []byte(fmt.Sprintf("v-%d", k)))
+	}
+	primary.pipe.Barrier()
+	waitAcked(t, primary.src, 10*time.Second)
+
+	for k := uint64(1); k <= 350; k++ {
+		if _, ok := follower.table.Get(k, nil); !ok {
+			t.Fatalf("key %d missing after resume", k)
+		}
+	}
+	st = fl.Status()
+	if st.Syncs != 1 || st.Resumes != 1 {
+		t.Fatalf("expected a warm resume, got %+v", st)
+	}
+	// Zero entries re-streamed: only the 50 blip-interval records moved.
+	if st.Records != 350 {
+		t.Fatalf("records = %d, want 350 (300 synced once + 50 live)", st.Records)
+	}
+}
+
+// TestPeerWatermarkRetainedAfterDisconnect pins the detector's input
+// signal: a dropped peer stays in Peers() as up=false with its last
+// acked watermark (so lag grows against the advancing tail), scrapes as
+// cphash_replica_peer_up 0, and disappears only on ForgetPeer.
+func TestPeerWatermarkRetainedAfterDisconnect(t *testing.T) {
+	hb := 10 * time.Millisecond
+	primary := startNode(t, &replica.SourceConfig{Heartbeat: hb})
+	follower := startNode(t, nil)
+	fl := follower.follow(primary.src.Addr(), nil, hb)
+
+	for k := uint64(1); k <= 100; k++ {
+		primary.table.Put(k, []byte("x"))
+	}
+	primary.pipe.Barrier()
+	waitAcked(t, primary.src, 5*time.Second)
+	tailAtDrop := primary.src.Tail()
+
+	fl.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(primary.src.Status()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("peer did not unregister")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	peers := primary.src.Peers()
+	if len(peers) != 1 || peers[0].Name != "follower" {
+		t.Fatalf("Peers() after drop = %+v", peers)
+	}
+	if peers[0].Up {
+		t.Fatal("dropped peer reported up")
+	}
+	if peers[0].Acked != tailAtDrop {
+		t.Fatalf("retained acked = %d, want %d", peers[0].Acked, tailAtDrop)
+	}
+
+	// The tail advances; the retained watermark stands still, so the
+	// scraped lag grows — down-and-falling-behind, not a vanished series.
+	for k := uint64(101); k <= 150; k++ {
+		primary.table.Put(k, []byte("y"))
+	}
+	primary.pipe.Barrier()
+	var buf bytes.Buffer
+	e := obs.NewExpo()
+	primary.src.Collect(e, obs.Labels("node", "n1"))
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `cphash_replica_peer_up{node="n1",peer="follower"} 0`) {
+		t.Fatalf("missing peer_up 0 series in scrape:\n%s", text)
+	}
+	if !strings.Contains(text, `cphash_replica_lag_records{node="n1",peer="follower"} 50`) {
+		t.Fatalf("retained lag not 50 in scrape:\n%s", text)
+	}
+
+	primary.src.ForgetPeer("follower")
+	if got := primary.src.Peers(); len(got) != 0 {
+		t.Fatalf("Peers() after ForgetPeer = %+v", got)
+	}
+}
+
+// slowApplier throttles record application to hold a follower in its
+// initial sync long enough for Close to race it.
+type slowApplier struct {
+	inner replica.Applier
+	delay time.Duration
+}
+
+func (a *slowApplier) Apply(op persist.Op, key uint64, expireAt int64, value []byte) error {
+	time.Sleep(a.delay)
+	return a.inner.Apply(op, key, expireAt, value)
+}
+
+func (a *slowApplier) Flush() error { return a.inner.Flush() }
+
+// TestCloseDrainsMidSyncPeer pins the failover-edge drain: a graceful
+// Close must wait for a live peer still running its initial sync —
+// exactly the state a new primary's standbys are in right after a
+// promotion — instead of cutting it loose with acked writes stranded on
+// the closing node.
+func TestCloseDrainsMidSyncPeer(t *testing.T) {
+	hb := 10 * time.Millisecond
+	primary := startNode(t, &replica.SourceConfig{Heartbeat: hb})
+	const n = 2000
+	for k := uint64(1); k <= n; k++ {
+		primary.table.Put(k, []byte(fmt.Sprintf("v-%d", k)))
+	}
+	primary.pipe.Barrier()
+
+	follower := startNode(t, nil)
+	fl, err := replica.StartFollower(replica.FollowerConfig{
+		Source:      primary.src.Addr(),
+		Name:        "mid-sync",
+		Apply:       &slowApplier{inner: replica.NewLockHashApplier(follower.table), delay: 50 * time.Microsecond},
+		Backoff:     10 * time.Millisecond,
+		ReadTimeout: 20 * hb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fl.Close)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !fl.Status().Connected {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never connected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The follower is connected and (at 50µs per record over 2000
+	// records) still mid-sync. A graceful close must drain it.
+	primary.src.Close()
+	for k := uint64(1); k <= n; k++ {
+		if _, ok := follower.table.Get(k, nil); !ok {
+			t.Fatalf("key %d lost: Close cut the mid-sync peer", k)
+		}
+	}
+	if st := fl.Status(); st.Syncs != 1 {
+		t.Fatalf("sync did not complete before close: %+v", st)
 	}
 }

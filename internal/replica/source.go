@@ -7,7 +7,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,6 +115,19 @@ func (b *backlog) tail() uint64 {
 	return b.next - 1
 }
 
+// covers reports whether streaming can start at seq from: every record in
+// [from, tail] is still retained (from == next means nothing to stream,
+// which trivially covers).
+func (b *backlog) covers(from uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	oldest := uint64(1)
+	if n := uint64(len(b.buf)); b.next > n {
+		oldest = b.next - n
+	}
+	return from >= oldest && from <= b.next
+}
+
 // stampAt returns the append timestamp of seq, or 0 when seq is not (or
 // no longer) in the backlog.
 func (b *backlog) stampAt(seq uint64) int64 {
@@ -166,6 +181,10 @@ type peer struct {
 	slots  *protocol.SlotSet // nil = all
 	cursor atomic.Uint64     // next backlog seq to consume
 
+	// resume request from the hello (zero when the follower never synced).
+	resumeSession uint64
+	resumeSeq     uint64
+
 	// frame assembly, reused per frame
 	hdr     [frameHeaderLen]byte
 	staging []byte
@@ -190,6 +209,27 @@ type PeerStatus struct {
 	Acked  uint64 `json:"acked"` // highest applied seq the follower confirmed
 }
 
+// PeerHealth describes one follower the source knows of — connected or
+// not. Disconnected peers keep their last acked/sent watermarks until
+// ForgetPeer, so a scrape (and the failure detector reading it) sees a
+// dead follower as up=0 with a growing lag, not as a vanished series.
+type PeerHealth struct {
+	Name   string `json:"name"`
+	Up     bool   `json:"up"`
+	Synced bool   `json:"synced"`
+	Slots  int    `json:"slots"`
+	Sent   uint64 `json:"sent"`
+	Acked  uint64 `json:"acked"`
+}
+
+// peerMemory is the retained watermark of a peer that has disconnected.
+type peerMemory struct {
+	slots  int
+	sent   uint64
+	acked  uint64
+	synced bool // whether the peer had completed a sync when it dropped
+}
+
 // Source is the primary side: it fans the WAL tail into a backlog and
 // serves follower connections on a dedicated listener.
 type Source struct {
@@ -197,8 +237,15 @@ type Source struct {
 	ln  net.Listener
 	bl  backlog
 
+	// session identifies this Source instance (nonzero); sequence numbers
+	// are only meaningful within one session, so a follower may resume —
+	// skip the initial sync — iff it presents this id and the backlog
+	// still covers its applied watermark.
+	session uint64
+
 	mu       sync.Mutex
 	peers    map[*peer]struct{}
+	hist     map[string]peerMemory // retained watermarks of dropped peers
 	peerList atomic.Pointer[[]*peer]
 
 	stop   chan struct{}
@@ -207,6 +254,7 @@ type Source struct {
 
 	framesSent atomic.Int64
 	syncsRun   atomic.Int64
+	resumesRun atomic.Int64
 }
 
 // NewSource attaches the tail fanout to cfg.Pipe and starts the
@@ -223,7 +271,11 @@ func NewSource(cfg SourceConfig) (*Source, error) {
 		cfg:   cfg,
 		ln:    ln,
 		peers: map[*peer]struct{}{},
+		hist:  map[string]peerMemory{},
 		stop:  make(chan struct{}),
+	}
+	for s.session == 0 {
+		s.session = rand.Uint64()
 	}
 	s.bl.buf = make([]blEntry, cfg.BacklogRecords)
 	s.bl.next = 1
@@ -281,27 +333,80 @@ func (s *Source) Status() []PeerStatus {
 	return out
 }
 
+// Peers snapshots every follower the source knows of — connected ones
+// with live watermarks, dropped ones with the watermarks they held when
+// they disconnected — sorted by name. This is the failure detector's
+// view: a peer that stops appearing up here is a candidate for
+// promotion, and its retained acked watermark says how far behind the
+// takeover point is.
+func (s *Source) Peers() []PeerHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byName := make(map[string]PeerHealth, len(s.peers)+len(s.hist))
+	for name, m := range s.hist {
+		byName[name] = PeerHealth{
+			Name: name, Up: false, Synced: false,
+			Slots: m.slots, Sent: m.sent, Acked: m.acked,
+		}
+	}
+	for p := range s.peers {
+		nslots := protocol.SlotCount
+		if p.slots != nil {
+			nslots = p.slots.Len()
+		}
+		byName[p.name] = PeerHealth{
+			Name: p.name, Up: true, Synced: p.synced.Load(),
+			Slots: nslots, Sent: p.cursor.Load() - 1, Acked: p.acked.Load(),
+		}
+	}
+	out := make([]PeerHealth, 0, len(byName))
+	for _, h := range byName {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ForgetPeer drops the retained watermark of a disconnected peer. The
+// mesh calls it when a member leaves the cluster for good (rewire no
+// longer places it), so departures stop scraping as down followers.
+func (s *Source) ForgetPeer(name string) {
+	s.mu.Lock()
+	delete(s.hist, name)
+	s.mu.Unlock()
+}
+
 // Collect emits the source's replication gauges: the tail watermark,
-// frame/sync counters, and a per-peer lag breakdown in records and
-// milliseconds. A disconnected follower vanishes from the peer list (its
-// lag series disappears until it reconnects and resyncs), so "lag grew,
-// then the series came back and fell to zero" is the scrape-side
-// signature of a follower restart.
+// frame/sync/resume counters, and a per-peer breakdown for every peer
+// the source knows of. A disconnected follower does NOT vanish: it
+// scrapes as cphash_replica_peer_up 0 with its last acked watermark
+// retained, so its lag keeps growing against the advancing tail — the
+// exact down-and-falling-behind signal the failure detector thresholds
+// on (a vanished series is indistinguishable from "never existed").
 func (s *Source) Collect(e *obs.Expo, labels string) {
 	tail := s.Tail()
 	e.Gauge("cphash_replica_tail_seq", "Replication tail high-water mark.", labels, float64(tail))
 	e.Counter("cphash_replica_frames_sent_total", "Replication frames sent to followers.", labels, s.framesSent.Load())
 	e.Counter("cphash_replica_resyncs_total", "Completed follower initial syncs.", labels, s.syncsRun.Load())
-	peers := s.Status()
-	e.Gauge("cphash_replica_followers", "Currently connected followers.", labels, float64(len(peers)))
+	e.Counter("cphash_replica_resumes_total", "Follower sessions resumed warm (zero sync entries streamed).", labels, s.resumesRun.Load())
+	peers := s.Peers()
+	live := 0
 	now := s.cfg.Clock().UnixNano()
 	for _, ps := range peers {
+		if ps.Up {
+			live++
+		}
 		pl := obs.WithLabel(labels, "peer", ps.Name)
+		var up float64
+		if ps.Up {
+			up = 1
+		}
+		e.Gauge("cphash_replica_peer_up", "Whether the peer's replication link is connected (1 = yes).", pl, up)
 		lag := int64(tail) - int64(ps.Acked)
 		if lag < 0 {
 			lag = 0
 		}
-		e.Gauge("cphash_replica_lag_records", "Records between the tail and the peer's acked watermark.", pl, float64(lag))
+		e.Gauge("cphash_replica_lag_records", "Records between the tail and the peer's acked watermark (retained across disconnects).", pl, float64(lag))
 		var lagMs float64
 		if lag > 0 {
 			if at := s.bl.stampAt(ps.Acked + 1); at > 0 && now > at {
@@ -318,18 +423,23 @@ func (s *Source) Collect(e *obs.Expo, labels string) {
 		if ps.Synced {
 			synced = 1
 		}
-		e.Gauge("cphash_replica_peer_synced", "Whether the peer completed its initial sync (1 = yes).", pl, synced)
+		e.Gauge("cphash_replica_peer_synced", "Whether the peer completed its initial sync (1 = yes; 0 while down).", pl, synced)
 	}
+	e.Gauge("cphash_replica_followers", "Currently connected followers.", labels, float64(live))
 }
 
-// Close detaches the tail fanout, waits (bounded) for every synced,
-// live follower to acknowledge the final tail, then stops the listener
-// and disconnects everyone. The drain is what makes a graceful shutdown
+// Close detaches the tail fanout, waits (bounded) for every live
+// follower — including one still mid-initial-sync — to finish syncing
+// and acknowledge the final tail, then stops the listener and
+// disconnects everyone. The drain is what makes a graceful shutdown
 // lose nothing: records appended by a final persist.Barrier are shipped
 // and applied before the connections come down, so a promotion that
-// follows observes the full acked history on the standby. A follower
-// that is dead or still mid-initial-sync is not waited on — it catches
-// up by resyncing from whoever owns the slots next. Idempotent.
+// follows observes the full acked history on the standby. Mid-sync
+// peers matter precisely in the failover edge: right after a promotion
+// the new primary's standbys are resyncing, and a graceful close that
+// cut them loose unsynced would strand acked writes on the closing
+// node. Only a dead peer is skipped — it catches up by resyncing from
+// whoever owns the slots next. Idempotent.
 func (s *Source) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
@@ -365,15 +475,12 @@ func (s *Source) drainedTo(tail uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for p := range s.peers {
-		if !p.synced.Load() {
-			continue
-		}
 		select {
 		case <-p.dead:
 			continue
 		default:
 		}
-		if p.acked.Load() < tail {
+		if !p.synced.Load() || p.acked.Load() < tail {
 			return false
 		}
 	}
@@ -410,6 +517,20 @@ func (s *Source) register(p *peer) (tail uint64, err error) {
 func (s *Source) unregister(p *peer) {
 	s.mu.Lock()
 	delete(s.peers, p)
+	if p.name != "" {
+		// Retain the dropped peer's watermark so scrapes (and the failure
+		// detector) see it down-and-lagging rather than gone.
+		nslots := protocol.SlotCount
+		if p.slots != nil {
+			nslots = p.slots.Len()
+		}
+		s.hist[p.name] = peerMemory{
+			slots:  nslots,
+			sent:   p.cursor.Load() - 1,
+			acked:  p.acked.Load(),
+			synced: p.synced.Load(),
+		}
+	}
 	s.storePeerListLocked()
 	s.mu.Unlock()
 	p.conn.Close()
@@ -434,7 +555,7 @@ func (s *Source) serve(conn net.Conn) {
 		dead: make(chan struct{}),
 	}
 	p.fw, _ = flate.NewWriter(io.Discard, flate.BestSpeed)
-	if err := p.handshake(); err != nil {
+	if err := p.readHello(); err != nil {
 		conn.Close()
 		return
 	}
@@ -444,24 +565,48 @@ func (s *Source) serve(conn net.Conn) {
 		return
 	}
 	defer s.unregister(p)
-	p.cursor.Store(tail + 1)
+	// Grant a warm resume iff the hello names this session — sequence
+	// numbers are incomparable across Source instances — and the backlog
+	// still covers everything past the follower's applied watermark. A
+	// granted resume streams zero sync entries; the follower is already
+	// synced at resumeSeq, which is what makes a mesh rewire (or a brief
+	// link blip) free on a warm pair. If the backlog evicts the gap
+	// between this check and live streaming, collect reports an overrun
+	// and the peer falls back to a full resync on its next connection.
+	resume := p.resumeSession == s.session && p.resumeSeq <= tail && s.bl.covers(p.resumeSeq+1)
+	if resume {
+		p.cursor.Store(p.resumeSeq + 1)
+		p.acked.Store(p.resumeSeq)
+		p.synced.Store(true)
+	} else {
+		p.cursor.Store(tail + 1)
+	}
+	if err := p.writeReply(resume); err != nil {
+		return
+	}
 
 	// The ack reader starts before the sync so a follower death mid-sync
 	// closes the connection promptly. The follower sends its first ack
 	// only after APPLYING the sync-done frame, so readAcks — not sync
 	// completion here — is what flips the peer to synced: a synced peer
-	// provably holds the data.
+	// provably holds the data. (A resumed peer proved it last session;
+	// it is synced from the start.)
 	s.wg.Add(1)
 	go p.readAcks()
 
-	if err := p.initialSync(); err != nil {
+	if resume {
+		s.resumesRun.Add(1)
+		if p.sendFrame(frameResumeDone, p.resumeSeq, nil) != nil {
+			return
+		}
+	} else if err := p.initialSync(); err != nil {
 		return
 	}
 	p.live()
 }
 
-// handshake validates the follower's hello and replies.
-func (p *peer) handshake() error {
+// readHello validates and stores the follower's hello.
+func (p *peer) readHello() error {
 	p.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	defer p.conn.SetReadDeadline(time.Time{})
 	br := bufio.NewReaderSize(p.conn, 256)
@@ -491,11 +636,30 @@ func (p *peer) handshake() error {
 	if !all {
 		p.slots = &set
 	}
-	p.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-	if _, err := p.conn.Write(append([]byte(replMagic), 0)); err != nil {
+	var resume [helloResumeLen]byte
+	if _, err := io.ReadFull(br, resume[:]); err != nil {
 		return err
 	}
+	p.resumeSession = binary.LittleEndian.Uint64(resume[0:8])
+	p.resumeSeq = binary.LittleEndian.Uint64(resume[8:16])
 	return nil
+}
+
+// writeReply completes the handshake: magic, the resume verdict, and
+// this source's session id (the follower presents it to resume next
+// time).
+func (p *peer) writeReply(resumed bool) error {
+	reply := make([]byte, 0, replyLen)
+	reply = append(reply, replMagic...)
+	var flags byte
+	if resumed {
+		flags |= replyFlagResumed
+	}
+	reply = append(reply, flags)
+	reply = binary.LittleEndian.AppendUint64(reply, p.src.session)
+	p.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	_, err := p.conn.Write(reply)
+	return err
 }
 
 // sendFrame compresses (if body is non-empty) and writes one frame.

@@ -241,16 +241,24 @@ func TestObsReplicationLagGrowsAndResets(t *testing.T) {
 		return ok && lag == 0
 	})
 
-	// Kill the follower: a disconnected peer vanishes from the scrape —
-	// the documented signature of a follower restart.
+	// Kill the follower: the peer's series persist with peer_up at 0 and
+	// the lag gauge counting on from the retained acked watermark — the
+	// failure detector's signal, and how dashboards see a dead standby
+	// fall behind instead of the series silently vanishing.
 	fl.Close()
-	waitFor("peer series to vanish after close", func(s *obs.Scrape) bool {
-		_, ok := s.Get(lagKey)
-		return !ok
+	upKey := `cphash_replica_peer_up{instance="primary",peer="f1"}`
+	waitFor("peer_up to drop to 0 after close", func(s *obs.Scrape) bool {
+		up, ok := s.Get(upKey)
+		return ok && up == 0
 	})
 	for k := uint64(5000); k < 5200; k++ {
 		primary.Put(k, []byte("post-kill-value"))
 	}
+	waitFor("retained lag to grow against the dead peer's watermark", func(s *obs.Scrape) bool {
+		up, _ := s.Get(upKey)
+		lag, ok := s.Get(lagKey)
+		return ok && up == 0 && lag > 0
+	})
 
 	// Restart under the same name: the resync brings the series back and
 	// drives lag to zero again.
@@ -266,8 +274,9 @@ func TestObsReplicationLagGrowsAndResets(t *testing.T) {
 	}
 	defer fl2.Close()
 	waitFor("restarted follower to resync to zero lag", func(s *obs.Scrape) bool {
+		up, _ := s.Get(upKey)
 		synced, _ := s.Get(syncedKey)
 		lag, ok := s.Get(lagKey)
-		return ok && synced == 1 && lag == 0
+		return ok && up == 1 && synced == 1 && lag == 0
 	})
 }
