@@ -698,6 +698,23 @@ func (a *admin) rewire() {
 	a.mu.Lock()
 	a.links = fresh
 	a.mu.Unlock()
+	// Sweep every source for peers the new mesh no longer places on it.
+	// The diff loop above only forgets followers it closed itself; a
+	// member torn down by dropLinks before rewire ran (leave, promote)
+	// never appears in old, and without this sweep its retained
+	// watermark would scrape forever as a phantom down peer on every
+	// surviving source. ForgetPeer is teardown-race-safe, so a peer
+	// whose disconnect hasn't been noticed yet is still forgotten.
+	for _, in := range insts {
+		if in.src == nil {
+			continue
+		}
+		for _, ph := range in.src.Peers() {
+			if wm := want[ph.Name]; wm == nil || wm[in.addr] == nil {
+				in.src.ForgetPeer(ph.Name)
+			}
+		}
+	}
 	if kept > 0 || started > 0 {
 		events.Info("replication_rewired", "kept", kept, "started", started)
 	}

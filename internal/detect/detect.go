@@ -213,11 +213,15 @@ func (d *Detector) Tick() {
 	d.mu.Unlock()
 	sort.Strings(names) // deterministic probe and candidate order
 
-	now := d.cfg.Clock()
 	var candidate string
 	for _, name := range names {
 		up := d.cfg.Probe(name)
 		d.probes.Add(1)
+		// Each probe can block for its full dial timeout, so "now" is
+		// re-read after it returns: stamping every target with a single
+		// pre-loop timestamp would backdate later targets' transitions by
+		// the accumulated probe time, satisfying DownAfter early.
+		now := d.cfg.Clock()
 
 		d.mu.Lock()
 		tg, ok := d.targets[name]

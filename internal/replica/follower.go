@@ -140,6 +140,14 @@ type Follower struct {
 	// watermark from the old space is discarded rather than left to
 	// poison the monotonic guard — or a later resume request.
 	lastSession uint64
+	// syncedSession is the session in which the last sync actually
+	// COMPLETED (run-goroutine only). everSynced alone is not a resume
+	// certificate: after a source restart appliedSeq resets to 0, and if
+	// the full resync that follows is cut short before sync-done,
+	// (newSession, 0) would otherwise be presented — and granted — as a
+	// resume, marking a follower synced that never received the durable
+	// prefix. Resume is requested only when syncedSession == lastSession.
+	syncedSession uint64
 }
 
 // StartFollower validates cfg and starts the link's goroutine.
@@ -312,12 +320,14 @@ func (f *Follower) session(conn net.Conn) error {
 		}
 	}
 	hello = append(hello, set[:]...)
-	// Resume is requested only when everSynced: appliedSeq is a valid
-	// certificate of "holds everything through seq" only for sessions
-	// that completed a sync (records at or below it were applied on a
-	// connection that reached synced). lastSession 0 never matches.
+	// Resume is requested only when the last COMPLETED sync happened in
+	// the session being reconnected to: appliedSeq is a valid certificate
+	// of "holds everything through seq" only for that session's sequence
+	// space. A sync that started under a newer session but was cut short
+	// leaves syncedSession behind lastSession, so no resume is requested
+	// and the full sync reruns. lastSession 0 never matches.
 	var resumeSession, resumeSeq uint64
-	if f.everSynced.Load() {
+	if f.everSynced.Load() && f.syncedSession == f.lastSession {
 		resumeSession, resumeSeq = f.lastSession, f.appliedSeq.Load()
 	}
 	hello = binary.LittleEndian.AppendUint64(hello, resumeSession)
@@ -401,11 +411,13 @@ func (f *Follower) session(conn net.Conn) error {
 		case frameSyncDone:
 			f.synced.Store(true)
 			f.everSynced.Store(true)
+			f.syncedSession = f.lastSession
 			f.syncs.Add(1)
 			acking = true
 		case frameResumeDone:
 			f.synced.Store(true)
 			f.everSynced.Store(true)
+			f.syncedSession = f.lastSession
 			f.resumes.Add(1)
 			acking = true
 		case frameHeartbeat:

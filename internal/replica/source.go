@@ -199,6 +199,17 @@ type peer struct {
 	once   sync.Once
 }
 
+// sent returns the highest tail seq covered by sent frames. The peer is
+// published to the peer set before its cursor is first stored, so a
+// scrape in that window sees cursor 0 — clamp it to 0 rather than
+// underflowing cursor-1 to 2^64-1.
+func (p *peer) sent() uint64 {
+	if c := p.cursor.Load(); c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
 // PeerStatus describes one connected follower for /replication.
 type PeerStatus struct {
 	Name   string `json:"name"`
@@ -246,6 +257,7 @@ type Source struct {
 	mu       sync.Mutex
 	peers    map[*peer]struct{}
 	hist     map[string]peerMemory // retained watermarks of dropped peers
+	forgot   map[string]struct{}   // names ForgetPeer hit while their teardown was still in flight
 	peerList atomic.Pointer[[]*peer]
 
 	stop   chan struct{}
@@ -268,11 +280,12 @@ func NewSource(cfg SourceConfig) (*Source, error) {
 		return nil, fmt.Errorf("replica: %w", err)
 	}
 	s := &Source{
-		cfg:   cfg,
-		ln:    ln,
-		peers: map[*peer]struct{}{},
-		hist:  map[string]peerMemory{},
-		stop:  make(chan struct{}),
+		cfg:    cfg,
+		ln:     ln,
+		peers:  map[*peer]struct{}{},
+		hist:   map[string]peerMemory{},
+		forgot: map[string]struct{}{},
+		stop:   make(chan struct{}),
 	}
 	for s.session == 0 {
 		s.session = rand.Uint64()
@@ -326,7 +339,7 @@ func (s *Source) Status() []PeerStatus {
 			Remote: p.conn.RemoteAddr().String(),
 			Slots:  nslots,
 			Synced: p.synced.Load(),
-			Sent:   p.cursor.Load() - 1,
+			Sent:   p.sent(),
 			Acked:  p.acked.Load(),
 		})
 	}
@@ -356,7 +369,7 @@ func (s *Source) Peers() []PeerHealth {
 		}
 		byName[p.name] = PeerHealth{
 			Name: p.name, Up: true, Synced: p.synced.Load(),
-			Slots: nslots, Sent: p.cursor.Load() - 1, Acked: p.acked.Load(),
+			Slots: nslots, Sent: p.sent(), Acked: p.acked.Load(),
 		}
 	}
 	out := make([]PeerHealth, 0, len(byName))
@@ -370,9 +383,20 @@ func (s *Source) Peers() []PeerHealth {
 // ForgetPeer drops the retained watermark of a disconnected peer. The
 // mesh calls it when a member leaves the cluster for good (rewire no
 // longer places it), so departures stop scraping as down followers.
+// It is authoritative against an in-flight teardown: the caller closes
+// the follower's connection before calling, but unregister runs on the
+// serve goroutine only once the close is noticed — if that peer is
+// still registered, its name is marked so the late unregister doesn't
+// re-insert it into hist as a phantom permanently-down follower.
 func (s *Source) ForgetPeer(name string) {
 	s.mu.Lock()
 	delete(s.hist, name)
+	for p := range s.peers {
+		if p.name == name {
+			s.forgot[name] = struct{}{}
+			break
+		}
+	}
 	s.mu.Unlock()
 }
 
@@ -509,6 +533,9 @@ func (s *Source) register(p *peer) (tail uint64, err error) {
 		return 0, fmt.Errorf("replica: source closed")
 	}
 	s.peers[p] = struct{}{}
+	// A reconnect supersedes any pending forget of the same name: this
+	// peer's eventual disconnect should retain its watermark normally.
+	delete(s.forgot, p.name)
 	s.storePeerListLocked()
 	s.mu.Unlock()
 	return s.bl.tail(), nil
@@ -517,7 +544,11 @@ func (s *Source) register(p *peer) (tail uint64, err error) {
 func (s *Source) unregister(p *peer) {
 	s.mu.Lock()
 	delete(s.peers, p)
-	if p.name != "" {
+	if _, forgotten := s.forgot[p.name]; forgotten {
+		// ForgetPeer ran after this peer's connection was closed but
+		// before the close was noticed here: honor it, don't retain.
+		delete(s.forgot, p.name)
+	} else if p.name != "" {
 		// Retain the dropped peer's watermark so scrapes (and the failure
 		// detector) see it down-and-lagging rather than gone.
 		nslots := protocol.SlotCount
@@ -526,7 +557,7 @@ func (s *Source) unregister(p *peer) {
 		}
 		s.hist[p.name] = peerMemory{
 			slots:  nslots,
-			sent:   p.cursor.Load() - 1,
+			sent:   p.sent(),
 			acked:  p.acked.Load(),
 			synced: p.synced.Load(),
 		}
