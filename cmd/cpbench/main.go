@@ -15,6 +15,7 @@
 //	cpbench -experiment hotpath   # wire-level GET/SET mix: qps, p99, allocs/op
 //	cpbench -experiment replication # hotpath with a live follower: streaming overhead
 //	cpbench -experiment obs       # scrape-driven server-side latency + slot heat
+//	cpbench -experiment faults    # latency under injected faults + time-to-recovery
 //	cpbench -experiment all
 //
 // The hotpath experiment is the steady-state perf gate: a 90/10 GET/SET
@@ -67,6 +68,7 @@ var (
 	servers    = flag.Int("partitions", 2, "CPHASH partitions (server goroutines)")
 	jsonOut    = flag.String("json", "", "write machine-readable results (JSON) to this file")
 	bufSize    = flag.String("bufsize", "64KiB", "hotpath connection buffer size (server and client side), or \"sweep\"")
+	faultSeed  = flag.Int64("fault-seed", 1, "chaos director + workload seed for the faults experiment")
 )
 
 // benchResult is one machine-readable measurement.
@@ -118,7 +120,8 @@ func main() {
 		"fig5": true, "fig8": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig13": true, "fig14": true, "ablation-ring": true, "ablation-batch": true,
 		"ablation-dynamic": true, "hotpath": true, "replication": true, "obs": true,
-		"all": true,
+		"faults": true,
+		"all":    true,
 	}
 	if !known[*experiment] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -137,6 +140,7 @@ func main() {
 	run("hotpath", hotpathExperiment)
 	run("replication", replicationExperiment)
 	run("obs", obsExperiment)
+	run("faults", faultsExperiment)
 	writeResults()
 }
 

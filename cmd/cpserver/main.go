@@ -122,9 +122,11 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"cphash/internal/chaos"
 	"cphash/internal/client"
 	"cphash/internal/cluster"
 	"cphash/internal/core"
@@ -158,6 +160,10 @@ var (
 	failoverInterval = flag.Duration("failover-interval", 500*time.Millisecond, "failure detector probe cadence")
 	failoverAfter    = flag.Duration("failover-after", 3*time.Second, "how long an instance must be continuously unreachable before auto-promotion fires")
 	failoverCooldown = flag.Duration("failover-cooldown", 10*time.Second, "minimum gap between automatic promotions")
+	failoverProbeTO  = flag.Duration("failover-probe-timeout", 500*time.Millisecond, "failure detector TCP probe dial timeout")
+
+	chaosOn   = flag.Bool("chaos", false, "arm the deterministic fault injector: every listener, replication link, and detector probe runs through a chaos.Director; rules via GET/POST/DELETE /chaos on -statsaddr")
+	chaosSeed = flag.Int64("chaos-seed", 1, "seed for the chaos director's probabilistic faults (drops, jitter)")
 
 	dataDir      = flag.String("datadir", "", "enable durability: WAL + snapshots under this directory (instance i uses <datadir>/iNNN)")
 	syncPolicy   = flag.String("sync", "interval", "WAL sync policy: none | interval | always (group commit)")
@@ -174,6 +180,35 @@ var events = obs.NewEventLogger(os.Stdout, "cpserver")
 // maxReplicas bounds -replicas: a chain deeper than the cluster is ever
 // likely to be is a misconfiguration, not a deployment.
 const maxReplicas = 8
+
+// director is the process-wide fault injector, armed by -chaos; nil
+// means off and every hook below degrades to the plain net path. The
+// wrappers are free when no rule matches (the hotpath alloc gate pins
+// that), so -chaos can stay on in latency experiments.
+var director *chaos.Director
+
+// adminRef lets the director's scheduled kill rules reach the /kill
+// drill once the coordinator exists (rules are only installable via
+// /chaos, which starts after the admin).
+var adminRef atomic.Pointer[admin]
+
+// chaosListen returns the listener hook when chaos is armed (listeners
+// adopt their bound address as the rule-addressable endpoint name).
+func chaosListen() func(network, addr string) (net.Listener, error) {
+	if director == nil {
+		return nil
+	}
+	return director.Listen("")
+}
+
+// chaosDial returns the dial hook for a named endpoint when chaos is
+// armed.
+func chaosDial(src string) func(network, addr string, timeout time.Duration) (net.Conn, error) {
+	if director == nil {
+		return nil
+	}
+	return director.Dialer(src)
+}
 
 // instance is one running server plus its observability hooks.
 type instance struct {
@@ -412,8 +447,9 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 			// the admin coordinator, never from configuration.
 			rhost, _, _ := net.SplitHostPort(addr)
 			src, err = replica.NewSource(replica.SourceConfig{
-				Pipe: pipe,
-				Addr: net.JoinHostPort(rhost, "0"),
+				Pipe:   pipe,
+				Addr:   net.JoinHostPort(rhost, "0"),
+				Listen: chaosListen(),
 			})
 			if err != nil {
 				pipe.Close()
@@ -427,6 +463,7 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 			NewBackend:  newBackend,
 			Persist:     pipe,
 			Replication: src,
+			Listen:      chaosListen(),
 		})
 		if err != nil {
 			if src != nil {
@@ -683,6 +720,7 @@ func (a *admin) rewire() {
 				Name:   fAddr,
 				Slots:  set,
 				Apply:  fin.newApplier(),
+				Dial:   chaosDial(fAddr),
 			})
 			if err != nil {
 				events.Warn("replication_link_failed", "follower", fAddr, "primary", pAddr, "err", err)
@@ -984,7 +1022,11 @@ func (a *admin) kill(addr string) error {
 // (the cphash_replica_peer_up signal), the process is alive even when a
 // fresh dial is refused mid-churn.
 func (a *admin) probe(addr string) bool {
-	c, err := net.DialTimeout("tcp", addr, 500*time.Millisecond)
+	dial := net.DialTimeout
+	if director != nil {
+		dial = director.Dialer("detector")
+	}
+	c, err := dial("tcp", addr, *failoverProbeTO)
 	if err == nil {
 		c.Close()
 		return true
@@ -1271,6 +1313,44 @@ func serveStats(addr string, a *admin) (*http.Server, error) {
 	mux.HandleFunc("/detect", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, a.detectSnapshot())
 	})
+	// Fault injection: GET lists installed rules with activation state
+	// and hit counts, POST installs (or replaces, by name) a rule from
+	// its JSON form, DELETE removes one rule (?name=) or all of them.
+	mux.HandleFunc("/chaos", func(w http.ResponseWriter, r *http.Request) {
+		if director == nil {
+			http.Error(w, "chaos is disabled (run with -chaos)", http.StatusConflict)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, map[string]any{"seed": director.Seed(), "rules": director.Rules()})
+		case http.MethodPost:
+			var rule chaos.Rule
+			if err := json.NewDecoder(r.Body).Decode(&rule); err != nil {
+				http.Error(w, "bad rule: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := director.SetRule(rule); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			events.Warn("chaos_rule_installed", "rule", rule.Name, "dst", rule.Dst)
+			writeJSON(w, map[string]any{"installed": rule.Name, "rules": director.Rules()})
+		case http.MethodDelete:
+			if name := r.URL.Query().Get("name"); name != "" {
+				if !director.RemoveRule(name) {
+					http.Error(w, fmt.Sprintf("no rule %q", name), http.StatusNotFound)
+					return
+				}
+				writeJSON(w, map[string]any{"removed": name, "rules": director.Rules()})
+				return
+			}
+			director.Clear()
+			writeJSON(w, map[string]any{"cleared": true})
+		default:
+			http.Error(w, "GET, POST or DELETE", http.StatusMethodNotAllowed)
+		}
+	})
 	mux.HandleFunc("/persistence", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, a.persistenceSnapshot())
 	})
@@ -1320,7 +1400,7 @@ func serveStats(addr string, a *admin) (*http.Server, error) {
 	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
-	fmt.Printf("stats endpoint on http://%s/stats (+ /metrics, /debug/vars, /debug/pprof; admin: POST /join, POST /leave?addr=, POST /promote?addr=, POST /kill?addr=, GET /migration, GET /replication, GET /detect, GET /persistence, POST /snapshot)\n", ln.Addr())
+	fmt.Printf("stats endpoint on http://%s/stats (+ /metrics, /debug/vars, /debug/pprof; admin: POST /join, POST /leave?addr=, POST /promote?addr=, POST /kill?addr=, GET /migration, GET /replication, GET /detect, GET /persistence, POST /snapshot, GET|POST|DELETE /chaos)\n", ln.Addr())
 	return srv, nil
 }
 
@@ -1364,6 +1444,26 @@ func main() {
 		log.Fatalf("cpserver: %v", err)
 	}
 
+	if *chaosOn {
+		if *backend == "memcache" {
+			log.Fatalf("cpserver: -chaos is not supported by the memcache backend")
+		}
+		director = chaos.New(chaos.Config{
+			Seed: *chaosSeed,
+			// Scheduled kill rules fire the same drill POST /kill runs:
+			// stop the instance, leave it in the ring, let the failure
+			// detector earn its keep.
+			Kill: func(target string) error {
+				a := adminRef.Load()
+				if a == nil {
+					return fmt.Errorf("coordinator not ready")
+				}
+				return a.kill(target)
+			},
+		})
+		fmt.Printf("chaos director armed (seed %d); manage rules via /chaos on -statsaddr\n", *chaosSeed)
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
@@ -1399,6 +1499,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("cpserver: coordinator: %v", err)
 	}
+	adminRef.Store(adm)
 	if *replicas >= 2 {
 		adm.opMu.Lock()
 		adm.rewire()

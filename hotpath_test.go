@@ -13,10 +13,13 @@ package cphash
 import (
 	"bufio"
 	"fmt"
+	"io"
+	"net"
 	"runtime"
 	"testing"
 	"time"
 
+	"cphash/internal/chaos"
 	"cphash/internal/core"
 	"cphash/internal/hotpath"
 	"cphash/internal/kvserver"
@@ -42,8 +45,11 @@ type hotPathConn struct {
 // its own table — the full primary-side replication overhead (backlog
 // append, per-peer frame compression, ack reads) plus the followers'
 // apply loops, all inside this process so the allocation gate sees every
-// side of a depth-(followers+1) chain.
-func startHotPathServer(tb testing.TB, persistDir string, followers int) (*hotPathConn, func()) {
+// side of a depth-(followers+1) chain. With a chaos director the server
+// listener and the client connection both run through the fault-injection
+// wrappers (the -chaos deployment shape), which must stay free when no
+// rule matches.
+func startHotPathServer(tb testing.TB, persistDir string, followers int, dir *chaos.Director) (*hotPathConn, func()) {
 	tb.Helper()
 	var pipe *persist.Pipeline
 	var sink func(int) partition.ChangeSink
@@ -103,19 +109,38 @@ func startHotPathServer(tb testing.TB, persistDir string, followers int) (*hotPa
 			fls = append(fls, fl)
 		}
 	}
+	var listen func(network, addr string) (net.Listener, error)
+	if dir != nil {
+		listen = dir.Listen("")
+	}
 	srv, err := kvserver.Serve(kvserver.Config{
 		Addr:        "127.0.0.1:0",
 		Workers:     1,
 		NewBackend:  kvserver.NewCPHashBackend(table),
 		Persist:     pipe,
 		Replication: src,
+		Listen:      listen,
 	})
 	if err != nil {
 		table.Close()
 		tb.Fatal(err)
 	}
-	bw, br, closer, err := kvserver.Dial(srv.Addr())
-	if err != nil {
+	var (
+		bw     *bufio.Writer
+		br     *bufio.Reader
+		closer io.Closer
+	)
+	if dir != nil {
+		conn, derr := dir.Dialer("bench")("tcp", srv.Addr(), 2*time.Second)
+		if derr != nil {
+			srv.Close()
+			table.Close()
+			tb.Fatal(derr)
+		}
+		bw = bufio.NewWriterSize(conn, kvserver.DefaultBufferSize)
+		br = bufio.NewReaderSize(conn, kvserver.DefaultBufferSize)
+		closer = conn
+	} else if bw, br, closer, err = kvserver.Dial(srv.Addr()); err != nil {
 		srv.Close()
 		table.Close()
 		tb.Fatal(err)
@@ -187,7 +212,7 @@ func hotPathWarmup(tb testing.TB, pw *hotPathConn, val, dst []byte) []byte {
 // allocs/op; the steady-state server path is expected to be
 // allocation-free.
 func BenchmarkHotPath_WireGetSet(b *testing.B) {
-	pw, stop := startHotPathServer(b, "", 0)
+	pw, stop := startHotPathServer(b, "", 0, nil)
 	defer stop()
 	val := make([]byte, hotpath.ValueSize)
 	dst := make([]byte, 0, 2*hotpath.ValueSize)
@@ -204,7 +229,7 @@ func BenchmarkHotPath_WireGetSet(b *testing.B) {
 // durability pipeline on (sync=interval), so the WAL overhead shows up
 // in the benchmark trajectory next to the bare number.
 func BenchmarkHotPath_WireGetSetPersist(b *testing.B) {
-	pw, stop := startHotPathServer(b, b.TempDir(), 0)
+	pw, stop := startHotPathServer(b, b.TempDir(), 0, nil)
 	defer stop()
 	val := make([]byte, hotpath.ValueSize)
 	dst := make([]byte, 0, 2*hotpath.ValueSize)
@@ -224,7 +249,7 @@ func BenchmarkHotPath_WireGetSetPersist(b *testing.B) {
 // senders, decompression and applies on the followers — shows up in the
 // benchmark trajectory next to the bare and persist numbers.
 func BenchmarkHotPath_WireGetSetReplicated(b *testing.B) {
-	pw, stop := startHotPathServer(b, b.TempDir(), 2)
+	pw, stop := startHotPathServer(b, b.TempDir(), 2, nil)
 	defer stop()
 	val := make([]byte, hotpath.ValueSize)
 	dst := make([]byte, 0, 2*hotpath.ValueSize)
@@ -252,8 +277,8 @@ func TestHotPathAllocCeiling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation ceiling is measured by the bench smoke job, not under -short/-race")
 	}
-	run := func(t *testing.T, persistDir string, followers int) {
-		pw, stop := startHotPathServer(t, persistDir, followers)
+	run := func(t *testing.T, persistDir string, followers int, dir *chaos.Director) {
+		pw, stop := startHotPathServer(t, persistDir, followers, dir)
 		defer stop()
 		val := make([]byte, hotpath.ValueSize)
 		dst := make([]byte, 0, 2*hotpath.ValueSize)
@@ -279,12 +304,30 @@ func TestHotPathAllocCeiling(t *testing.T) {
 			t.Fatalf("hot path allocates %.4f allocs/op, ceiling 0.05 — the zero-allocation request path regressed", perOp)
 		}
 	}
-	t.Run("plain", func(t *testing.T) { run(t, "", 0) })
-	t.Run("persist", func(t *testing.T) { run(t, t.TempDir(), 0) })
+	t.Run("plain", func(t *testing.T) { run(t, "", 0, nil) })
+	t.Run("persist", func(t *testing.T) { run(t, t.TempDir(), 0, nil) })
 	// With two connected followers the whole depth-3 replication stack
 	// runs in this process, so the same ceiling also bounds the source's
 	// per-peer streaming side and both followers' apply loops —
 	// replication must not reintroduce per-op allocation on or next to
 	// the hot path.
-	t.Run("replicated", func(t *testing.T) { run(t, t.TempDir(), 2) })
+	t.Run("replicated", func(t *testing.T) { run(t, t.TempDir(), 2, nil) })
+	// The -chaos deployment shape: server listener and client connection
+	// both run through chaos wrappers with a director armed and a rule
+	// installed — just not one that matches this traffic. The wrappers'
+	// fast path (one generation load per I/O against a cached, empty rule
+	// slice) must fit inside the same ceiling, or "chaos compiled in but
+	// inactive" would tax every production hot path.
+	t.Run("chaos-inactive", func(t *testing.T) {
+		d := chaos.New(chaos.Config{Seed: 1})
+		if err := d.SetRule(chaos.Rule{
+			Name:    "elsewhere",
+			Src:     "some-other-node",
+			Dst:     "not-this-listener",
+			Latency: time.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		run(t, "", 0, d)
+	})
 }

@@ -1,0 +1,516 @@
+// Package chaos is the deterministic fault-injection layer: net.Conn /
+// net.Listener / dial-function wrappers plus a process-level Director
+// that installs rules addressed by (src, dst, direction). The Director
+// decides — from a fixed seed — when a connection is dropped, reset,
+// delayed, throttled, partitioned, or hung, so a fault scenario replays
+// identically run over run.
+//
+// Rules name logical endpoints. An endpoint is whatever string a layer
+// registered when it took its wrapper: a listener's bound address, a
+// follower's name, "client", "detector". Every rule is applied exactly
+// once per flow by a fixed convention:
+//
+//   - a rule with a concrete Src is enforced by the dialer-side wrapper
+//     whose local endpoint is that Src;
+//   - a rule with a wildcard Src is enforced by the listener-side
+//     wrapper whose endpoint matches Dst (the destination polices
+//     traffic from "anyone").
+//
+// Connection establishment (dial) is a single-sided act, so dial-time
+// faults — Partition refusing the connect, DropProb losing it — consult
+// every matching rule regardless of side.
+//
+// Direction is relative to the rule's (Src, Dst) pair: "s2d" faults
+// only payload flowing Src→Dst, "d2s" only the reverse, "both" (the
+// default) faults both. One-way partitions fall out of this directly.
+//
+// The zero-rule path is engineered to stay off the allocation profile:
+// a wrapped connection with no matching rules costs one atomic load and
+// an uncontended mutex per I/O, nothing else — the hot-path allocation
+// gate runs with wrappers installed to prove it.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wildcard matches any endpoint in a rule's Src/Dst ("" is equivalent).
+const Wildcard = "*"
+
+// Direction constants for Rule.Direction.
+const (
+	DirBoth = "both" // fault payload in both directions (default)
+	DirS2D  = "s2d"  // fault only payload flowing Src -> Dst
+	DirD2S  = "d2s"  // fault only payload flowing Dst -> Src
+)
+
+// Rule kinds. Fault rules shape traffic; kill/restart rules fire the
+// Director's process hooks once when the rule activates (At elapses).
+const (
+	KindFault   = "fault"
+	KindKill    = "kill"
+	KindRestart = "restart"
+)
+
+// Rule is one installed fault. All fields are optional except Name;
+// a rule with several fault fields applies all of them.
+type Rule struct {
+	// Name identifies the rule for replacement and removal.
+	Name string `json:"name"`
+	// Kind is "fault" (default), "kill", or "restart". Kill/restart
+	// rules call the Director's Kill/Restart hook with Dst as the
+	// target when the rule activates, exactly once.
+	Kind string `json:"kind,omitempty"`
+	// Src and Dst address the flow ("" or "*" = any endpoint).
+	Src string `json:"src,omitempty"`
+	Dst string `json:"dst,omitempty"`
+	// Direction is "both" (default), "s2d", or "d2s".
+	Direction string `json:"direction,omitempty"`
+
+	// Latency is added to every faulted I/O; Jitter adds a uniform
+	// [0, Jitter) on top, drawn from the seeded stream.
+	Latency time.Duration `json:"latency,omitempty"`
+	Jitter  time.Duration `json:"jitter,omitempty"`
+	// BandwidthBPS caps payload throughput (bytes/second, per
+	// connection per direction). 0 = unlimited.
+	BandwidthBPS int64 `json:"bandwidth_bps,omitempty"`
+	// DropProb is the probability a matching dial is lost outright.
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// ResetProb is the per-I/O probability the connection is reset.
+	ResetProb float64 `json:"reset_prob,omitempty"`
+	// Partition blackholes the flow: matching dials fail after their
+	// timeout and established traffic blocks until the rule lifts (or
+	// the connection's deadline fires). One-way partitions use
+	// Direction; dials fail if either direction is partitioned, the
+	// way a TCP handshake needs both.
+	Partition bool `json:"partition,omitempty"`
+	// Hang blocks established traffic like Partition but leaves
+	// connection establishment alone: the accept-then-hang server.
+	Hang bool `json:"hang,omitempty"`
+
+	// At delays the rule's activation; Duration bounds its lifetime
+	// after activation (0 = until removed).
+	At       time.Duration `json:"at,omitempty"`
+	Duration time.Duration `json:"duration,omitempty"`
+}
+
+// ruleJSON mirrors Rule with string durations so admin payloads read
+// "50ms", not 50000000.
+type ruleJSON struct {
+	Name         string  `json:"name"`
+	Kind         string  `json:"kind,omitempty"`
+	Src          string  `json:"src,omitempty"`
+	Dst          string  `json:"dst,omitempty"`
+	Direction    string  `json:"direction,omitempty"`
+	Latency      jsonDur `json:"latency,omitempty"`
+	Jitter       jsonDur `json:"jitter,omitempty"`
+	BandwidthBPS int64   `json:"bandwidth_bps,omitempty"`
+	DropProb     float64 `json:"drop_prob,omitempty"`
+	ResetProb    float64 `json:"reset_prob,omitempty"`
+	Partition    bool    `json:"partition,omitempty"`
+	Hang         bool    `json:"hang,omitempty"`
+	At           jsonDur `json:"at,omitempty"`
+	Duration     jsonDur `json:"duration,omitempty"`
+}
+
+// jsonDur marshals as a Go duration string and unmarshals from either
+// a duration string or integer nanoseconds.
+type jsonDur time.Duration
+
+func (d jsonDur) MarshalJSON() ([]byte, error) {
+	if d == 0 {
+		return []byte(`""`), nil
+	}
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *jsonDur) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		if s == "" {
+			*d = 0
+			return nil
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return err
+		}
+		*d = jsonDur(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*d = jsonDur(n)
+	return nil
+}
+
+// MarshalJSON renders durations as strings ("50ms").
+func (r Rule) MarshalJSON() ([]byte, error) {
+	return json.Marshal(ruleJSON{
+		Name: r.Name, Kind: r.Kind, Src: r.Src, Dst: r.Dst, Direction: r.Direction,
+		Latency: jsonDur(r.Latency), Jitter: jsonDur(r.Jitter),
+		BandwidthBPS: r.BandwidthBPS, DropProb: r.DropProb, ResetProb: r.ResetProb,
+		Partition: r.Partition, Hang: r.Hang,
+		At: jsonDur(r.At), Duration: jsonDur(r.Duration),
+	})
+}
+
+// UnmarshalJSON accepts durations as strings ("50ms") or nanoseconds.
+func (r *Rule) UnmarshalJSON(b []byte) error {
+	var j ruleJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*r = Rule{
+		Name: j.Name, Kind: j.Kind, Src: j.Src, Dst: j.Dst, Direction: j.Direction,
+		Latency: time.Duration(j.Latency), Jitter: time.Duration(j.Jitter),
+		BandwidthBPS: j.BandwidthBPS, DropProb: j.DropProb, ResetProb: j.ResetProb,
+		Partition: j.Partition, Hang: j.Hang,
+		At: time.Duration(j.At), Duration: time.Duration(j.Duration),
+	}
+	return nil
+}
+
+func (r *Rule) validate(hasKill, hasRestart bool) error {
+	if r.Name == "" {
+		return fmt.Errorf("chaos: rule needs a name")
+	}
+	switch r.Kind {
+	case "", KindFault:
+	case KindKill:
+		if !hasKill {
+			return fmt.Errorf("chaos: rule %q: no Kill hook installed", r.Name)
+		}
+		if r.Dst == "" || r.Dst == Wildcard {
+			return fmt.Errorf("chaos: rule %q: kill needs a concrete dst", r.Name)
+		}
+	case KindRestart:
+		if !hasRestart {
+			return fmt.Errorf("chaos: rule %q: no Restart hook installed", r.Name)
+		}
+		if r.Dst == "" || r.Dst == Wildcard {
+			return fmt.Errorf("chaos: rule %q: restart needs a concrete dst", r.Name)
+		}
+	default:
+		return fmt.Errorf("chaos: rule %q: unknown kind %q", r.Name, r.Kind)
+	}
+	switch r.Direction {
+	case "", DirBoth, DirS2D, DirD2S:
+	default:
+		return fmt.Errorf("chaos: rule %q: unknown direction %q", r.Name, r.Direction)
+	}
+	if r.DropProb < 0 || r.DropProb > 1 || r.ResetProb < 0 || r.ResetProb > 1 {
+		return fmt.Errorf("chaos: rule %q: probabilities must be in [0,1]", r.Name)
+	}
+	if r.Latency < 0 || r.Jitter < 0 || r.BandwidthBPS < 0 || r.At < 0 || r.Duration < 0 {
+		return fmt.Errorf("chaos: rule %q: negative durations or bandwidth", r.Name)
+	}
+	return nil
+}
+
+// RuleStatus is one installed rule plus its live bookkeeping, for
+// GET /chaos and tests.
+type RuleStatus struct {
+	Rule
+	Active bool  `json:"active"`
+	Hits   int64 `json:"hits"` // I/O ops, dials, or hook firings the rule faulted
+}
+
+// MarshalJSON flattens the rule fields and the bookkeeping into one
+// object; without this the embedded Rule's marshaler would be promoted
+// and Active/Hits silently dropped.
+func (s RuleStatus) MarshalJSON() ([]byte, error) {
+	rb, err := s.Rule.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(rb, &m); err != nil {
+		return nil, err
+	}
+	m["active"] = s.Active
+	m["hits"] = s.Hits
+	return json.Marshal(m)
+}
+
+// rule is the installed form: the spec plus its activation window and
+// hit counter.
+type rule struct {
+	Rule
+	start time.Time // zero = active immediately
+	end   time.Time // zero = until removed
+	fired bool      // kill/restart: hook already ran
+	hits  atomic.Int64
+}
+
+func (r *rule) active(now time.Time) bool {
+	if !r.start.IsZero() && now.Before(r.start) {
+		return false
+	}
+	if !r.end.IsZero() && !now.Before(r.end) {
+		return false
+	}
+	return true
+}
+
+// windowed reports whether the rule ever needs a clock check.
+func (r *rule) windowed() bool { return !r.start.IsZero() || !r.end.IsZero() }
+
+func matchEP(pat, name string) bool {
+	return pat == "" || pat == Wildcard || pat == name
+}
+
+// matchesFlow reports whether the rule faults payload flowing from -> to.
+func (r *rule) matchesFlow(from, to string) bool {
+	dir := r.Direction
+	if dir == "" {
+		dir = DirBoth
+	}
+	if (dir == DirBoth || dir == DirS2D) && matchEP(r.Src, from) && matchEP(r.Dst, to) {
+		return true
+	}
+	if (dir == DirBoth || dir == DirD2S) && matchEP(r.Src, to) && matchEP(r.Dst, from) {
+		return true
+	}
+	return false
+}
+
+// Config parameterizes a Director.
+type Config struct {
+	// Seed drives every probabilistic decision (drops, resets, jitter).
+	// Two Directors with the same seed and the same connection order
+	// make the same calls.
+	Seed int64
+	// Clock supplies "now" for activation windows (nil = wall clock).
+	Clock func() time.Time
+	// Kill and Restart are the process hooks kill/restart rules fire
+	// (target = the rule's Dst). Optional; rules of those kinds are
+	// rejected when the hook is absent.
+	Kill    func(target string) error
+	Restart func(target string) error
+}
+
+// Director owns the installed rule set and wraps the process's dials
+// and listeners. All methods are safe for concurrent use.
+type Director struct {
+	cfg Config
+
+	gen atomic.Uint64 // bumped on every rule change; conns cache against it
+
+	mu     sync.Mutex
+	rules  map[string]*rule
+	waitCh chan struct{} // closed and replaced on every change
+	timers []*time.Timer
+
+	connSerial atomic.Uint64
+	dialSerial atomic.Uint64
+}
+
+// New builds a Director with an empty rule set.
+func New(cfg Config) *Director {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Director{
+		cfg:    cfg,
+		rules:  map[string]*rule{},
+		waitCh: make(chan struct{}),
+	}
+}
+
+// Seed returns the seed every probabilistic decision derives from.
+func (d *Director) Seed() int64 { return d.cfg.Seed }
+
+// Gen returns the rule-set generation (bumped on every change).
+func (d *Director) Gen() uint64 { return d.gen.Load() }
+
+// bumpLocked publishes a rule-set change: generation up, waiters woken.
+func (d *Director) bumpLocked() {
+	d.gen.Add(1)
+	close(d.waitCh)
+	d.waitCh = make(chan struct{})
+}
+
+// changed returns the channel closed at the next rule-set change.
+func (d *Director) changed() <-chan struct{} {
+	d.mu.Lock()
+	ch := d.waitCh
+	d.mu.Unlock()
+	return ch
+}
+
+// SetRule installs (or replaces, by name) one rule. A rule with At > 0
+// activates after that delay; Duration > 0 expires it that long after
+// activation. Kill/restart rules fire their hook at activation.
+func (d *Director) SetRule(r Rule) error {
+	if err := r.validate(d.cfg.Kill != nil, d.cfg.Restart != nil); err != nil {
+		return err
+	}
+	now := d.cfg.Clock()
+	in := &rule{Rule: r}
+	if r.At > 0 {
+		in.start = now.Add(r.At)
+	}
+	if r.Duration > 0 {
+		base := now
+		if !in.start.IsZero() {
+			base = in.start
+		}
+		in.end = base.Add(r.Duration)
+	}
+	d.mu.Lock()
+	d.rules[r.Name] = in
+	// Window edges re-publish the generation so cached conns notice
+	// activation and expiry without polling the clock on the fast path.
+	if r.At > 0 {
+		d.timers = append(d.timers, time.AfterFunc(r.At, func() { d.activate(in) }))
+	}
+	if r.Duration > 0 {
+		d.timers = append(d.timers, time.AfterFunc(r.At+r.Duration, func() {
+			d.mu.Lock()
+			d.bumpLocked()
+			d.mu.Unlock()
+		}))
+	}
+	d.bumpLocked()
+	d.mu.Unlock()
+	if r.At == 0 {
+		d.activate(in)
+	}
+	return nil
+}
+
+// activate publishes a rule's activation edge and fires one-shot hooks.
+func (d *Director) activate(r *rule) {
+	var hook func(string) error
+	d.mu.Lock()
+	if d.rules[r.Name] == r && !r.fired {
+		switch r.Kind {
+		case KindKill:
+			hook = d.cfg.Kill
+		case KindRestart:
+			hook = d.cfg.Restart
+		}
+		if hook != nil {
+			r.fired = true
+			r.hits.Add(1)
+		}
+	}
+	d.bumpLocked()
+	d.mu.Unlock()
+	if hook != nil {
+		go hook(r.Dst) //nolint:errcheck // best-effort drill hook
+	}
+}
+
+// RemoveRule drops one rule by name, reporting whether it existed.
+func (d *Director) RemoveRule(name string) bool {
+	d.mu.Lock()
+	_, ok := d.rules[name]
+	if ok {
+		delete(d.rules, name)
+		d.bumpLocked()
+	}
+	d.mu.Unlock()
+	return ok
+}
+
+// Clear removes every rule and wakes anything blocked on one.
+func (d *Director) Clear() {
+	d.mu.Lock()
+	if len(d.rules) > 0 {
+		d.rules = map[string]*rule{}
+		d.bumpLocked()
+	}
+	for _, t := range d.timers {
+		t.Stop()
+	}
+	d.timers = nil
+	d.mu.Unlock()
+}
+
+// Rules snapshots the installed rules, sorted by name.
+func (d *Director) Rules() []RuleStatus {
+	now := d.cfg.Clock()
+	d.mu.Lock()
+	out := make([]RuleStatus, 0, len(d.rules))
+	for _, r := range d.rules {
+		out = append(out, RuleStatus{Rule: r.Rule, Active: r.active(now), Hits: r.hits.Load()})
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// matchConn returns the rules a wrapper at (local, remote) must consult
+// for payload faults, under the single-application side convention.
+func (d *Director) matchConn(dialerSide bool, local, remote string) (uint64, []*rule) {
+	gen := d.gen.Load()
+	var out []*rule
+	d.mu.Lock()
+	for _, r := range d.rules {
+		if r.Kind == KindKill || r.Kind == KindRestart {
+			continue
+		}
+		concreteSrc := r.Src != "" && r.Src != Wildcard
+		if dialerSide {
+			if !concreteSrc {
+				continue // wildcard-src rules are the listener's to enforce
+			}
+			if !r.matchesFlow(local, remote) && !r.matchesFlow(remote, local) {
+				continue
+			}
+		} else {
+			if concreteSrc {
+				continue // concrete-src rules are the dialer's to enforce
+			}
+			if !matchEP(r.Dst, local) {
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	d.mu.Unlock()
+	return gen, out
+}
+
+// dialRules returns every rule relevant to establishing src -> addr
+// (side convention waived: only the dialer can enforce dial faults).
+func (d *Director) dialRules(src, addr string) (uint64, []*rule) {
+	gen := d.gen.Load()
+	var out []*rule
+	d.mu.Lock()
+	for _, r := range d.rules {
+		if r.Kind == KindKill || r.Kind == KindRestart {
+			continue
+		}
+		if r.matchesFlow(src, addr) || r.matchesFlow(addr, src) {
+			out = append(out, r)
+		}
+	}
+	d.mu.Unlock()
+	return gen, out
+}
+
+// splitmix64 expands a seed into independent per-connection streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rngFor derives the deterministic stream for one connection direction
+// (or one dial attempt) from the Director's seed.
+func (d *Director) rngFor(serial uint64, dir uint64) *rand.Rand {
+	s := splitmix64(uint64(d.cfg.Seed)*0x9e3779b97f4a7c15 + serial*2 + dir)
+	return rand.New(rand.NewSource(int64(s)))
+}

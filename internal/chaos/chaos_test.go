@@ -1,0 +1,413 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startEcho boots an echo server behind the Director's listener and
+// returns its endpoint name (= bound address).
+func startEcho(t *testing.T, d *Director) string {
+	t.Helper()
+	ln, err := d.Listen("")("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.(*Listener).Name()
+}
+
+// echoTrip round-trips one payload and returns the elapsed time.
+func echoTrip(t *testing.T, c net.Conn, payload []byte) time.Duration {
+	t.Helper()
+	start := time.Now()
+	if _, err := c.Write(payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("echo mismatch")
+	}
+	return time.Since(start)
+}
+
+func TestPassthroughNoRules(t *testing.T) {
+	d := New(Config{Seed: 1})
+	addr := startEcho(t, d)
+	c, err := d.Dialer("client")("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	echoTrip(t, c, []byte("hello"))
+}
+
+func TestLatencyRule(t *testing.T) {
+	d := New(Config{Seed: 1})
+	addr := startEcho(t, d)
+	c, err := d.Dialer("client")("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	echoTrip(t, c, []byte("warm")) // before the rule: fast
+
+	if err := d.SetRule(Rule{Name: "lat", Src: "client", Dst: addr, Direction: DirS2D,
+		Latency: 30 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if el := echoTrip(t, c, []byte("slow")); el < 30*time.Millisecond {
+		t.Fatalf("latency rule not applied: round trip %v", el)
+	}
+	d.Clear()
+	if el := echoTrip(t, c, []byte("fast")); el > 25*time.Millisecond {
+		t.Fatalf("latency persisted after Clear: %v", el)
+	}
+}
+
+func TestBandwidthCap(t *testing.T) {
+	d := New(Config{Seed: 1})
+	addr := startEcho(t, d)
+	if err := d.SetRule(Rule{Name: "bw", Src: "client", Dst: addr, Direction: DirS2D,
+		BandwidthBPS: 64 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Dialer("client")("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// 16 KiB at 64 KiB/s must take ~250ms.
+	payload := make([]byte, 16<<10)
+	if el := echoTrip(t, c, payload); el < 200*time.Millisecond {
+		t.Fatalf("bandwidth cap not applied: 16KiB at 64KiB/s took %v", el)
+	}
+}
+
+func TestResetRule(t *testing.T) {
+	d := New(Config{Seed: 1})
+	addr := startEcho(t, d)
+	c, err := d.Dialer("client")("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := d.SetRule(Rule{Name: "rst", Src: "client", Dst: addr, ResetProb: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("want ErrReset, got %v", err)
+	}
+}
+
+func TestDropRuleDeterministic(t *testing.T) {
+	// With the same seed, the same sequence of dial attempts must make
+	// the same drop decisions.
+	outcomes := func(seed int64) []bool {
+		d := New(Config{Seed: seed})
+		addr := startEcho(t, d)
+		if err := d.SetRule(Rule{Name: "drop", Src: "client", Dst: addr, DropProb: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		dial := d.Dialer("client")
+		var out []bool
+		for i := 0; i < 32; i++ {
+			c, err := dial("tcp", addr, time.Second)
+			if err == nil {
+				c.Close()
+			} else if !errors.Is(err, ErrDropped) {
+				t.Fatalf("unexpected dial error: %v", err)
+			}
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	same := true
+	varies := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != a[0] {
+			varies = true
+		}
+	}
+	if !same {
+		t.Fatalf("same seed produced different drop sequences:\n%v\n%v", a, b)
+	}
+	if !varies {
+		t.Fatalf("drop_prob 0.5 never varied across 32 dials: %v", a)
+	}
+}
+
+func TestPartitionDialAndHeal(t *testing.T) {
+	d := New(Config{Seed: 1})
+	addr := startEcho(t, d)
+	if err := d.SetRule(Rule{Name: "part", Src: "client", Dst: addr, Partition: true}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := d.Dialer("client")("tcp", addr, 100*time.Millisecond)
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("partitioned dial: want net timeout, got %v", err)
+	}
+	if el := time.Since(start); el < 80*time.Millisecond {
+		t.Fatalf("partitioned dial failed too fast (%v): should burn its timeout", el)
+	}
+
+	// A dial in flight when the partition heals must succeed.
+	done := make(chan error, 1)
+	go func() {
+		c, err := d.Dialer("client")("tcp", addr, 5*time.Second)
+		if err == nil {
+			c.Close()
+		}
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	d.RemoveRule("part")
+	if err := <-done; err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+}
+
+func TestPartitionBlocksEstablishedAndHeals(t *testing.T) {
+	d := New(Config{Seed: 1})
+	addr := startEcho(t, d)
+	c, err := d.Dialer("client")("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	echoTrip(t, c, []byte("pre"))
+
+	if err := d.SetRule(Rule{Name: "part", Src: "client", Dst: addr, Partition: true}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("x"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("write completed through a partition: %v", err)
+	case <-time.After(60 * time.Millisecond):
+	}
+	d.RemoveRule("part")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write still blocked after heal")
+	}
+	got := make([]byte, 1)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+}
+
+func TestHangHonorsDeadline(t *testing.T) {
+	// Accept-then-hang: the dial succeeds, the response never comes,
+	// and a read deadline surfaces as a proper net timeout.
+	d := New(Config{Seed: 1})
+	addr := startEcho(t, d)
+	if err := d.SetRule(Rule{Name: "hang", Dst: addr, Hang: true}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Dialer("client")("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("hang must not fail dials: %v", err)
+	}
+	defer c.Close()
+	// The wildcard-src hang rule is enforced at the listener: the echo
+	// server never sees the payload, so this read can only time out.
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(80 * time.Millisecond))
+	start := time.Now()
+	_, err = c.Read(make([]byte, 1))
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want net timeout from hung read, got %v", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("deadline not honored promptly: %v", el)
+	}
+}
+
+func TestOneWayDirection(t *testing.T) {
+	// d2s partition: requests flow, responses don't.
+	d := New(Config{Seed: 1})
+	addr := startEcho(t, d)
+	c, err := d.Dialer("client")("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := d.SetRule(Rule{Name: "oneway", Src: "client", Dst: addr,
+		Direction: DirD2S, Partition: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatalf("s2d payload must pass a d2s partition: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(60 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("d2s payload passed a d2s partition")
+	}
+}
+
+func TestScheduledWindow(t *testing.T) {
+	d := New(Config{Seed: 1})
+	addr := startEcho(t, d)
+	c, err := d.Dialer("client")("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := d.SetRule(Rule{Name: "window", Src: "client", Dst: addr,
+		Latency: 40 * time.Millisecond, At: 60 * time.Millisecond, Duration: 80 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if el := echoTrip(t, c, []byte("before")); el > 30*time.Millisecond {
+		t.Fatalf("rule applied before At: %v", el)
+	}
+	time.Sleep(80 * time.Millisecond) // inside the window
+	if el := echoTrip(t, c, []byte("during")); el < 40*time.Millisecond {
+		t.Fatalf("rule inactive inside its window: %v", el)
+	}
+	time.Sleep(120 * time.Millisecond) // past expiry
+	if el := echoTrip(t, c, []byte("after")); el > 30*time.Millisecond {
+		t.Fatalf("rule still active after Duration: %v", el)
+	}
+}
+
+func TestScheduledKillRestart(t *testing.T) {
+	var killed, restarted atomic.Int32
+	gotKill := make(chan string, 1)
+	d := New(Config{
+		Seed:    1,
+		Kill:    func(tgt string) error { killed.Add(1); gotKill <- tgt; return nil },
+		Restart: func(tgt string) error { restarted.Add(1); return nil },
+	})
+	if err := d.SetRule(Rule{Name: "k", Kind: KindKill, Dst: "node-1", At: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetRule(Rule{Name: "r", Kind: KindRestart, Dst: "node-1"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case tgt := <-gotKill:
+		if tgt != "node-1" {
+			t.Fatalf("kill hook target = %q", tgt)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("scheduled kill never fired")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for restarted.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("restart hook never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // one-shot: no refires
+	if killed.Load() != 1 || restarted.Load() != 1 {
+		t.Fatalf("hooks refired: kill=%d restart=%d", killed.Load(), restarted.Load())
+	}
+
+	d2 := New(Config{Seed: 1})
+	if err := d2.SetRule(Rule{Name: "k", Kind: KindKill, Dst: "x"}); err == nil {
+		t.Fatal("kill rule accepted without a Kill hook")
+	}
+}
+
+func TestRuleJSONRoundTrip(t *testing.T) {
+	in := []byte(`{"name":"slow-link","src":"127.0.0.1:9000","dst":"standby","direction":"s2d",` +
+		`"latency":"25ms","jitter":"5ms","bandwidth_bps":1048576,"duration":"2s"}`)
+	var r Rule
+	if err := json.Unmarshal(in, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Latency != 25*time.Millisecond || r.Jitter != 5*time.Millisecond ||
+		r.BandwidthBPS != 1<<20 || r.Duration != 2*time.Second {
+		t.Fatalf("parsed rule = %+v", r)
+	}
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r2 Rule
+	if err := json.Unmarshal(out, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2 != r {
+		t.Fatalf("round trip changed the rule:\n%+v\n%+v", r, r2)
+	}
+	// Integer nanoseconds are accepted too (Go-marshalled durations).
+	var r3 Rule
+	if err := json.Unmarshal([]byte(`{"name":"n","latency":25000000}`), &r3); err != nil {
+		t.Fatal(err)
+	}
+	if r3.Latency != 25*time.Millisecond {
+		t.Fatalf("ns duration parsed as %v", r3.Latency)
+	}
+}
+
+func TestRuleStatusHits(t *testing.T) {
+	d := New(Config{Seed: 1})
+	addr := startEcho(t, d)
+	if err := d.SetRule(Rule{Name: "lat", Src: "client", Dst: addr, Latency: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Dialer("client")("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	echoTrip(t, c, []byte("x"))
+	rs := d.Rules()
+	if len(rs) != 1 || rs[0].Name != "lat" || !rs[0].Active || rs[0].Hits == 0 {
+		t.Fatalf("rule status = %+v", rs)
+	}
+	// The embedded Rule has its own marshaler; RuleStatus must still
+	// surface the bookkeeping fields in GET /chaos responses.
+	b, err := json.Marshal(rs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["active"] != true || m["hits"] == nil || m["name"] != "lat" {
+		t.Fatalf("rule status JSON dropped fields: %s", b)
+	}
+}

@@ -1,0 +1,504 @@
+// Conn, Listener, and the dial hook: the wrappers that put a Director
+// between a layer and its sockets. The contract that matters here is
+// deadline fidelity — a blocked (partitioned/hung) operation must still
+// honor SetReadDeadline/SetWriteDeadline with a proper net.Error
+// timeout, because every robustness feature this package exists to
+// exercise (client OpTimeout, replication handshake timeouts, follower
+// read timeouts) is expressed through deadlines.
+
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DialFunc is the hook signature layers accept in place of
+// net.DialTimeout.
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+// ListenFunc is the hook signature layers accept in place of
+// net.Listen.
+type ListenFunc func(network, addr string) (net.Listener, error)
+
+// timeoutError satisfies net.Error the way the runtime's own deadline
+// errors do, so errors.Is/type-switches in the layers treat a faulted
+// timeout exactly like a real one.
+type timeoutError struct{ what string }
+
+func (e *timeoutError) Error() string   { return "chaos: " + e.what + " timeout" }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+// ErrReset is the error surface of a ResetProb firing; the connection
+// is closed underneath it.
+var ErrReset = errors.New("chaos: connection reset by rule")
+
+// ErrDropped is the error surface of a DropProb firing on a dial.
+var ErrDropped = errors.New("chaos: connect dropped by rule")
+
+// ioState is one direction's cached rule view plus its deterministic
+// stream and bandwidth ledger. Guarded by its mutex; the rng is created
+// lazily so rule-free connections never allocate one.
+type ioState struct {
+	mu     sync.Mutex
+	gen    uint64
+	inited bool
+	rules  []*rule
+	rng    *rand.Rand
+	bwNext time.Time // earliest next send/deliver under a bandwidth cap
+}
+
+// Conn is a net.Conn that consults the Director on every I/O. It is
+// created by the Director's dial hook and Listener; the zero-rule path
+// is a passthrough.
+type Conn struct {
+	net.Conn
+	d          *Director
+	local      string // this side's endpoint name
+	remote     string // the other side's endpoint name (Wildcard when unknown)
+	dialerSide bool
+	serial     uint64
+
+	rd, wr atomic.Int64 // unix-nano deadlines; 0 = none
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+
+	rs, ws ioState
+}
+
+// wrap builds the wrapper for one established connection.
+func (d *Director) wrap(nc net.Conn, local, remote string, dialerSide bool) *Conn {
+	if tcp, ok := nc.(*net.TCPConn); ok {
+		tcp.SetNoDelay(true)
+	}
+	return &Conn{
+		Conn:       nc,
+		d:          d,
+		local:      local,
+		remote:     remote,
+		dialerSide: dialerSide,
+		serial:     d.connSerial.Add(1),
+		closedCh:   make(chan struct{}),
+	}
+}
+
+// refresh re-resolves the direction's rule cache if the Director's rule
+// set changed. Called with st.mu held.
+func (c *Conn) refresh(st *ioState, dir uint64) {
+	gen := c.d.gen.Load()
+	if st.inited && gen == st.gen {
+		return
+	}
+	st.gen, st.rules = c.d.matchConn(c.dialerSide, c.local, c.remote)
+	if !st.inited {
+		st.inited = true
+	}
+	if len(st.rules) > 0 && st.rng == nil {
+		st.rng = c.d.rngFor(c.serial, dir)
+	}
+}
+
+// faultPlan is the merged effect of every active rule on one operation.
+type faultPlan struct {
+	delay   time.Duration
+	bps     int64
+	block   bool
+	reset   bool
+	windows bool
+}
+
+// plan merges the cached rules into one operation's faults, drawing any
+// probabilistic decisions from the direction's seeded stream. Called
+// with st.mu held. from/to is the payload flow this direction carries.
+func (c *Conn) plan(st *ioState, from, to string) faultPlan {
+	var p faultPlan
+	var now time.Time
+	for _, r := range st.rules {
+		if !r.matchesFlow(from, to) {
+			continue
+		}
+		if r.windowed() {
+			p.windows = true
+			if now.IsZero() {
+				now = c.d.cfg.Clock()
+			}
+			if !r.active(now) {
+				continue
+			}
+		}
+		hit := false
+		if r.Latency > 0 || r.Jitter > 0 {
+			p.delay += r.Latency
+			if r.Jitter > 0 {
+				p.delay += time.Duration(st.rng.Int63n(int64(r.Jitter)))
+			}
+			hit = true
+		}
+		if r.BandwidthBPS > 0 && (p.bps == 0 || r.BandwidthBPS < p.bps) {
+			p.bps = r.BandwidthBPS
+			hit = true
+		}
+		if r.ResetProb > 0 && st.rng.Float64() < r.ResetProb {
+			p.reset = true
+			hit = true
+		}
+		if r.Partition || r.Hang {
+			p.block = true
+			hit = true
+		}
+		if hit {
+			r.hits.Add(1)
+		}
+	}
+	return p
+}
+
+// blocked re-checks, with fresh rules, whether the flow is still
+// blackholed. Called with st.mu held.
+func (c *Conn) blocked(st *ioState, dir uint64, from, to string) bool {
+	c.refresh(st, dir)
+	var now time.Time
+	for _, r := range st.rules {
+		if !r.Partition && !r.Hang {
+			continue
+		}
+		if !r.matchesFlow(from, to) {
+			continue
+		}
+		if r.windowed() {
+			if now.IsZero() {
+				now = c.d.cfg.Clock()
+			}
+			if !r.active(now) {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// deadlineOf reads one direction's deadline (zero Time = none).
+func deadlineOf(a *atomic.Int64) time.Time {
+	if ns := a.Load(); ns != 0 {
+		return time.Unix(0, ns)
+	}
+	return time.Time{}
+}
+
+// waitWhileBlocked parks the operation until the blackhole lifts, the
+// deadline passes, or the connection closes. Re-arms in bounded slices
+// so a deadline installed mid-wait is honored promptly.
+func (c *Conn) waitWhileBlocked(st *ioState, dl *atomic.Int64, dir uint64, from, to, what string) error {
+	for {
+		if !c.blocked(st, dir, from, to) {
+			return nil
+		}
+		wait := 50 * time.Millisecond
+		if d := deadlineOf(dl); !d.IsZero() {
+			left := time.Until(d)
+			if left <= 0 {
+				return &timeoutError{what: what}
+			}
+			if left < wait {
+				wait = left
+			}
+		}
+		changed := c.d.changed()
+		timer := time.NewTimer(wait)
+		select {
+		case <-changed:
+		case <-timer.C:
+		case <-c.closedCh:
+			timer.Stop()
+			return net.ErrClosed
+		}
+		timer.Stop()
+	}
+}
+
+// sleepFaulted sleeps a fault delay, honoring the deadline: if the
+// deadline lands inside the delay the operation times out, the way a
+// real in-flight packet simply fails to arrive in time.
+func (c *Conn) sleepFaulted(delay time.Duration, dl *atomic.Int64, what string) error {
+	if d := deadlineOf(dl); !d.IsZero() {
+		left := time.Until(d)
+		if left <= delay {
+			if left > 0 {
+				time.Sleep(left)
+			}
+			return &timeoutError{what: what}
+		}
+	}
+	time.Sleep(delay)
+	return nil
+}
+
+// pace charges n bytes against the bandwidth cap and returns how long
+// delivery must wait.
+func pace(st *ioState, n int, bps int64, now time.Time) time.Duration {
+	if bps <= 0 || n <= 0 {
+		return 0
+	}
+	dur := time.Duration(float64(n) / float64(bps) * float64(time.Second))
+	if st.bwNext.Before(now) {
+		st.bwNext = now
+	}
+	st.bwNext = st.bwNext.Add(dur)
+	return st.bwNext.Sub(now)
+}
+
+// Read delivers payload flowing remote -> local through the fault plan.
+func (c *Conn) Read(p []byte) (int, error) {
+	st := &c.rs
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c.refresh(st, 0)
+	if len(st.rules) == 0 {
+		return c.Conn.Read(p)
+	}
+	plan := c.plan(st, c.remote, c.local)
+	if plan.reset {
+		c.Close()
+		return 0, ErrReset
+	}
+	if plan.block {
+		if err := c.waitWhileBlocked(st, &c.rd, 0, c.remote, c.local, "read"); err != nil {
+			return 0, err
+		}
+	}
+	if plan.delay > 0 {
+		if err := c.sleepFaulted(plan.delay, &c.rd, "read"); err != nil {
+			return 0, err
+		}
+	}
+	n, err := c.Conn.Read(p)
+	if w := pace(st, n, plan.bps, time.Now()); w > 0 {
+		// Data was consumed off the wire, so it must be delivered even
+		// if the deadline lands mid-pace; Read's n>0-with-error contract
+		// covers that.
+		if serr := c.sleepFaulted(w, &c.rd, "read"); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return n, err
+}
+
+// Write pushes payload flowing local -> remote through the fault plan.
+// All faults apply before any bytes reach the socket, so a timed-out
+// write never half-sends.
+func (c *Conn) Write(p []byte) (int, error) {
+	st := &c.ws
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c.refresh(st, 1)
+	if len(st.rules) == 0 {
+		return c.Conn.Write(p)
+	}
+	plan := c.plan(st, c.local, c.remote)
+	if plan.reset {
+		c.Close()
+		return 0, ErrReset
+	}
+	if plan.block {
+		if err := c.waitWhileBlocked(st, &c.wr, 1, c.local, c.remote, "write"); err != nil {
+			return 0, err
+		}
+	}
+	delay := plan.delay + pace(st, len(p), plan.bps, time.Now())
+	if delay > 0 {
+		if err := c.sleepFaulted(delay, &c.wr, "write"); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// Close unblocks any parked operations before closing the socket.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closedCh) })
+	return c.Conn.Close()
+}
+
+// SetDeadline tracks the deadline for blocked waits and forwards it.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.rd.Store(dlNanos(t))
+	c.wr.Store(dlNanos(t))
+	return c.Conn.SetDeadline(t)
+}
+
+// SetReadDeadline tracks the read deadline and forwards it.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.rd.Store(dlNanos(t))
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetWriteDeadline tracks the write deadline and forwards it.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.wr.Store(dlNanos(t))
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func dlNanos(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// Dialer returns a DialFunc whose connections carry src as their local
+// endpoint name. Dial-time faults (Partition, DropProb, Latency) apply
+// before the socket connect; established connections are wrapped.
+func (d *Director) Dialer(src string) DialFunc {
+	return func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		return d.dial(src, network, addr, timeout)
+	}
+}
+
+func (d *Director) dial(src, network, addr string, timeout time.Duration) (net.Conn, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	serial := d.dialSerial.Add(1)
+	var rng *rand.Rand
+
+	for {
+		_, rules := d.dialRules(src, addr)
+		var delay time.Duration
+		blocked := false
+		now := time.Time{}
+		for _, r := range rules {
+			if r.windowed() {
+				if now.IsZero() {
+					now = d.cfg.Clock()
+				}
+				if !r.active(now) {
+					continue
+				}
+			}
+			if r.Partition {
+				blocked = true
+				r.hits.Add(1)
+				continue
+			}
+			if r.DropProb > 0 {
+				if rng == nil {
+					rng = d.rngFor(serial, 2)
+				}
+				if rng.Float64() < r.DropProb {
+					r.hits.Add(1)
+					return nil, &net.OpError{Op: "dial", Net: network, Err: ErrDropped}
+				}
+			}
+			if r.Latency > 0 || r.Jitter > 0 {
+				delay += r.Latency
+				if r.Jitter > 0 {
+					if rng == nil {
+						rng = d.rngFor(serial, 2)
+					}
+					delay += time.Duration(rng.Int63n(int64(r.Jitter)))
+				}
+				r.hits.Add(1)
+			}
+		}
+		if blocked {
+			// A partitioned dial behaves like lost SYNs: it burns its
+			// whole timeout unless the partition heals first.
+			wait := 50 * time.Millisecond
+			if !deadline.IsZero() {
+				left := time.Until(deadline)
+				if left <= 0 {
+					return nil, &net.OpError{Op: "dial", Net: network,
+						Err: &timeoutError{what: "dial (partitioned)"}}
+				}
+				if left < wait {
+					wait = left
+				}
+			}
+			changed := d.changed()
+			timer := time.NewTimer(wait)
+			select {
+			case <-changed:
+			case <-timer.C:
+			}
+			timer.Stop()
+			continue
+		}
+		if delay > 0 {
+			if !deadline.IsZero() && time.Until(deadline) <= delay {
+				if left := time.Until(deadline); left > 0 {
+					time.Sleep(left)
+				}
+				return nil, &net.OpError{Op: "dial", Net: network,
+					Err: &timeoutError{what: "dial"}}
+			}
+			time.Sleep(delay)
+		}
+		remaining := timeout
+		if !deadline.IsZero() {
+			remaining = time.Until(deadline)
+			if remaining <= 0 {
+				return nil, &net.OpError{Op: "dial", Net: network,
+					Err: &timeoutError{what: "dial"}}
+			}
+		}
+		nc, err := net.DialTimeout(network, addr, remaining)
+		if err != nil {
+			return nil, err
+		}
+		return d.wrap(nc, src, addr, true), nil
+	}
+}
+
+// Listener wraps accepted connections so wildcard-src rules addressed
+// to this endpoint fault them.
+type Listener struct {
+	net.Listener
+	d    *Director
+	name string
+}
+
+// Listen returns a ListenFunc whose accepted connections carry name as
+// their endpoint; an empty name adopts the bound address, which is how
+// :0 listeners become addressable by their real port.
+func (d *Director) Listen(name string) ListenFunc {
+	return func(network, addr string) (net.Listener, error) {
+		ln, err := net.Listen(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return d.WrapListener(name, ln), nil
+	}
+}
+
+// WrapListener puts the Director between an existing listener and its
+// accepted connections.
+func (d *Director) WrapListener(name string, ln net.Listener) net.Listener {
+	if name == "" {
+		name = ln.Addr().String()
+	}
+	return &Listener{Listener: ln, d: d, name: name}
+}
+
+// Name returns the endpoint name rules address this listener by.
+func (l *Listener) Name() string { return l.name }
+
+// Accept wraps the next connection. The remote endpoint is unknown
+// (ephemeral ports don't identify peers), so only wildcard-src rules
+// apply — the side convention's listener half.
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.d.wrap(nc, l.name, Wildcard, false), nil
+}
+
+var _ net.Error = (*timeoutError)(nil)

@@ -87,6 +87,19 @@ type Config struct {
 	MaxRetries int
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
+	// OpTimeout bounds each request write and each response read once a
+	// connection is established (0 = unbounded, the default). With it
+	// set, a server that accepts but never responds — a hung worker, an
+	// accept-then-hang fault — fails the operation within OpTimeout
+	// instead of hanging forever; the failure counts toward MaxRetries
+	// and the breaker like any transport error, and the connection is
+	// closed rather than returned to the pool.
+	OpTimeout time.Duration
+	// Dial overrides connection establishment (nil = net.DialTimeout).
+	// Fault-injection harnesses route the pools through
+	// chaos.Director.Dialer; whatever it returns must honor deadlines,
+	// because OpTimeout is expressed through them.
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 	// DownBackoff is the base down window after a breaker trip (a failed
 	// dial, or an operation that exhausted its retries), during which the
 	// node's requests fail fast (default 500ms). Consecutive trips double
@@ -678,7 +691,13 @@ func (n *node) lease() (*conn, error) {
 	}
 	n.mu.Unlock()
 	n.dials.Add(1)
-	nc, err := net.DialTimeout("tcp", n.addr, n.cfg.DialTimeout)
+	var nc net.Conn
+	var err error
+	if n.cfg.Dial != nil {
+		nc, err = n.cfg.Dial("tcp", n.addr, n.cfg.DialTimeout)
+	} else {
+		nc, err = net.DialTimeout("tcp", n.addr, n.cfg.DialTimeout)
+	}
 	if err != nil {
 		n.tokens <- struct{}{}
 		n.tripBreaker()
@@ -689,9 +708,10 @@ func (n *node) lease() (*conn, error) {
 		tcp.SetNoDelay(true)
 	}
 	return &conn{
-		nc: nc,
-		w:  bufio.NewWriterSize(nc, 64<<10),
-		r:  bufio.NewReaderSize(nc, 64<<10),
+		nc:        nc,
+		w:         bufio.NewWriterSize(nc, 64<<10),
+		r:         bufio.NewReaderSize(nc, 64<<10),
+		opTimeout: n.cfg.OpTimeout,
 	}, nil
 }
 
@@ -714,14 +734,35 @@ func (n *node) release(cn *conn) {
 // (the pool enforces exclusivity), which is what makes in-order response
 // matching trivial: responses arrive in request order per connection.
 type conn struct {
-	nc   net.Conn
-	w    *bufio.Writer
-	r    *bufio.Reader
-	dead bool
+	nc        net.Conn
+	w         *bufio.Writer
+	r         *bufio.Reader
+	dead      bool
+	opTimeout time.Duration
+}
+
+// armWrite starts the per-op write deadline (no-op without OpTimeout).
+// Every path that can push bytes to the socket — including bufio's
+// implicit flush when the window overfills the buffer — re-arms first,
+// so a deadline from a long-finished op can never fail a later one.
+func (cn *conn) armWrite() {
+	if cn.opTimeout > 0 {
+		cn.nc.SetWriteDeadline(time.Now().Add(cn.opTimeout))
+	}
+}
+
+// armRead starts the per-op read deadline (no-op without OpTimeout).
+// Armed per response, so a pipelined window gets OpTimeout per reply
+// rather than for the whole drain.
+func (cn *conn) armRead() {
+	if cn.opTimeout > 0 {
+		cn.nc.SetReadDeadline(time.Now().Add(cn.opTimeout))
+	}
 }
 
 // send writes and flushes one silent request (INSERT-class).
 func (cn *conn) send(req protocol.Request) error {
+	cn.armWrite()
 	if err := protocol.WriteRequest(cn.w, req); err != nil {
 		return err
 	}
@@ -731,12 +772,14 @@ func (cn *conn) send(req protocol.Request) error {
 // roundTripLookup does a synchronous LOOKUP/GET_STR exchange, appending a
 // hit's value to dst.
 func (cn *conn) roundTripLookup(req protocol.Request, dst []byte, value *[]byte, found *bool) error {
+	cn.armWrite()
 	if err := protocol.WriteRequest(cn.w, req); err != nil {
 		return err
 	}
 	if err := cn.w.Flush(); err != nil {
 		return err
 	}
+	cn.armRead()
 	v, ok, err := protocol.ReadLookupResponse(cn.r, dst)
 	if err != nil {
 		return err
@@ -747,12 +790,14 @@ func (cn *conn) roundTripLookup(req protocol.Request, dst []byte, value *[]byte,
 
 // roundTripDelete does a synchronous DELETE/DEL_STR exchange.
 func (cn *conn) roundTripDelete(req protocol.Request, found *bool) error {
+	cn.armWrite()
 	if err := protocol.WriteRequest(cn.w, req); err != nil {
 		return err
 	}
 	if err := cn.w.Flush(); err != nil {
 		return err
 	}
+	cn.armRead()
 	ok, err := protocol.ReadDeleteResponse(cn.r)
 	if err != nil {
 		return err
@@ -764,22 +809,26 @@ func (cn *conn) roundTripDelete(req protocol.Request, found *bool) error {
 // roundTripScan does one synchronous SCAN exchange, appending entries to
 // dst.
 func (cn *conn) roundTripScan(req protocol.Request, dst []protocol.ScanEntry) (next uint64, out []protocol.ScanEntry, err error) {
+	cn.armWrite()
 	if err := protocol.WriteRequest(cn.w, req); err != nil {
 		return 0, dst, err
 	}
 	if err := cn.w.Flush(); err != nil {
 		return 0, dst, err
 	}
+	cn.armRead()
 	return protocol.ReadScanResponse(cn.r, dst)
 }
 
 // roundTripPurge does one synchronous PURGE exchange.
 func (cn *conn) roundTripPurge(req protocol.Request) (next uint64, removed uint32, err error) {
+	cn.armWrite()
 	if err := protocol.WriteRequest(cn.w, req); err != nil {
 		return 0, 0, err
 	}
 	if err := cn.w.Flush(); err != nil {
 		return 0, 0, err
 	}
+	cn.armRead()
 	return protocol.ReadPurgeResponse(cn.r)
 }

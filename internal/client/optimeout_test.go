@@ -1,0 +1,135 @@
+// OpTimeout coverage: a server that accepts connections and reads
+// requests but never responds must fail operations within the per-op
+// deadline, trip the breaker, and free the connection — the
+// accept-then-hang failure mode only dial timeouts can't catch.
+
+package client
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// startHungServer accepts and swallows traffic without ever replying.
+func startHungServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c) //nolint:errcheck
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestOpTimeoutFailsHungSyncOp(t *testing.T) {
+	addr := startHungServer(t)
+	c, err := New(Config{
+		Nodes:      []string{addr},
+		OpTimeout:  100 * time.Millisecond,
+		MaxRetries: -1, // one attempt: measure a single deadline
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, _, err = c.Get(1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Get against a hung server succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want a net timeout, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("hung op took %v; OpTimeout was 100ms", elapsed)
+	}
+
+	// The failed op exhausted its retries, so the breaker is tripped:
+	// the next op fails fast without touching the socket.
+	start = time.Now()
+	if _, _, err := c.Get(2); !errors.Is(err, errDown) {
+		t.Fatalf("want fast-fail errDown after the trip, got %v", err)
+	}
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("post-trip op took %v, want fast-fail", el)
+	}
+}
+
+func TestOpTimeoutFailsHungPipeline(t *testing.T) {
+	addr := startHungServer(t)
+	c, err := New(Config{
+		Nodes:     []string{addr},
+		OpTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p := c.Pipeline()
+	defer p.Close()
+	l := p.Get(1)
+	start := time.Now()
+	if err := p.Wait(); err == nil {
+		t.Fatal("pipelined window against a hung server settled cleanly")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("hung window took %v; OpTimeout was 100ms", el)
+	}
+	var nerr net.Error
+	if err := l.Err(); !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("future error = %v, want a net timeout", err)
+	}
+}
+
+// TestOpTimeoutDisabledByDefault pins the compatibility contract: with
+// OpTimeout unset, no deadline is armed (a slow-but-alive server is
+// never cut off mid-response by a default nobody chose).
+func TestOpTimeoutDisabledByDefault(t *testing.T) {
+	// A server that replies only after a pause longer than the timeout
+	// the other tests use.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer c.Close()
+			buf := make([]byte, 4096)
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+			time.Sleep(300 * time.Millisecond)
+			// A LOOKUP miss: a zero 4-byte size.
+			c.Write([]byte{0, 0, 0, 0}) //nolint:errcheck
+		}()
+	}()
+	c, err := New(Config{Nodes: []string{ln.Addr().String()}, MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, found, err := c.Get(1); err != nil || found {
+		t.Fatalf("slow miss: found=%v err=%v", found, err)
+	}
+}

@@ -210,6 +210,7 @@ func (p *Pipeline) issueQuiet(n *node, req protocol.Request) (*conn, error) {
 		return nil, &NodeError{Addr: n.addr, Err: errDown}
 	}
 	n.ops.Add(1)
+	cn.armWrite() // covers bufio's implicit flush on a full buffer
 	if err := protocol.WriteRequest(cn.w, req); err != nil {
 		cn.dead = true
 		n.errs.Add(1)
@@ -332,6 +333,7 @@ func (p *Pipeline) Flush() error {
 		if cn.dead {
 			continue
 		}
+		cn.armWrite()
 		if err := cn.w.Flush(); err != nil {
 			cn.dead = true
 			n.errs.Add(1)
@@ -440,6 +442,7 @@ func (p *Pipeline) read(pd *pend) error {
 	if pd.cn.dead {
 		err = &NodeError{Addr: pd.n.addr, Err: errDown}
 	} else if pd.look != nil {
+		pd.cn.armRead()
 		start := len(p.buf)
 		var found bool
 		p.buf, found, err = protocol.ReadLookupResponse(pd.cn.r, p.buf)
@@ -450,6 +453,7 @@ func (p *Pipeline) read(pd *pend) error {
 			}
 		}
 	} else {
+		pd.cn.armRead()
 		var found bool
 		found, err = protocol.ReadDeleteResponse(pd.cn.r)
 		if err == nil {
@@ -479,6 +483,7 @@ func (p *Pipeline) readFB(pd *pend) {
 	if pd.cn.dead {
 		return
 	}
+	pd.cn.armRead()
 	if pd.look != nil {
 		start := len(p.buf)
 		buf, found, err := protocol.ReadLookupResponse(pd.cn.r, p.buf)

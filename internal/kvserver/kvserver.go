@@ -142,6 +142,11 @@ type Config struct {
 	// the per-batch cost is two clock reads and three atomic adds, which
 	// the hot-path allocation ceiling test keeps honest).
 	Metrics *obs.ServerMetrics
+	// Listen overrides listener creation (nil = net.Listen). Fault
+	// harnesses install chaos.Director.Listen here so accept-then-hang
+	// and partition rules reach the request wire; the wrapper is free
+	// when no rules match, which the hot-path allocation gate enforces.
+	Listen func(network, addr string) (net.Listener, error)
 }
 
 // Stats counts server activity.
@@ -298,7 +303,11 @@ func Serve(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = &obs.ServerMetrics{}
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
+	listen := cfg.Listen
+	if listen == nil {
+		listen = net.Listen
+	}
+	ln, err := listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
 	}

@@ -32,6 +32,10 @@ type FollowerConfig struct {
 	Apply Applier
 	// DialTimeout bounds connection attempts (default 2s).
 	DialTimeout time.Duration
+	// Dial overrides connection establishment (nil = net.DialTimeout).
+	// Fault harnesses install chaos.Director.Dialer(Name) here so
+	// partition and slow-link rules reach the replication wire.
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 	// ReadTimeout declares the link dead after this much silence —
 	// heartbeats arrive every Source Heartbeat, so several multiples of
 	// that (default 10s).
@@ -260,7 +264,13 @@ func (f *Follower) run() {
 			return
 		default:
 		}
-		conn, err := net.DialTimeout("tcp", f.cfg.Source, f.cfg.DialTimeout)
+		var conn net.Conn
+		var err error
+		if f.cfg.Dial != nil {
+			conn, err = f.cfg.Dial("tcp", f.cfg.Source, f.cfg.DialTimeout)
+		} else {
+			conn, err = net.DialTimeout("tcp", f.cfg.Source, f.cfg.DialTimeout)
+		}
 		if err == nil {
 			syncedBefore := f.syncs.Load() + f.resumes.Load()
 			f.mu.Lock()

@@ -38,6 +38,11 @@ type SourceConfig struct {
 	// WriteTimeout disconnects a follower that stops draining its
 	// connection (default 10s); it will resync when it recovers.
 	WriteTimeout time.Duration
+	// HandshakeTimeout bounds each side of the hello exchange: reading
+	// the follower's hello and writing the reply (default 5s). A dialer
+	// that connects and stalls — a port scanner, a partitioned peer —
+	// holds a serve goroutine no longer than this.
+	HandshakeTimeout time.Duration
 	// BacklogRecords bounds the in-memory tail backlog (default 65536).
 	// A follower that falls more than this many records behind is
 	// disconnected and must full-resync — catch-up storage is the WAL's
@@ -50,6 +55,10 @@ type SourceConfig struct {
 	// compute staleness against it, so primary and follower clocks must
 	// agree to within the staleness tolerance.
 	Clock func() time.Time
+	// Listen overrides listener creation (nil = net.Listen). Fault
+	// harnesses install chaos.Director.Listen here so partition and
+	// slow-link rules reach the replication wire.
+	Listen func(network, addr string) (net.Listener, error)
 }
 
 func (c *SourceConfig) setDefaults() error {
@@ -64,6 +73,9 @@ func (c *SourceConfig) setDefaults() error {
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
 	}
 	if c.BacklogRecords <= 0 {
 		c.BacklogRecords = 65536
@@ -275,7 +287,11 @@ func NewSource(cfg SourceConfig) (*Source, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
+	listen := cfg.Listen
+	if listen == nil {
+		listen = net.Listen
+	}
+	ln, err := listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("replica: %w", err)
 	}
@@ -638,7 +654,7 @@ func (s *Source) serve(conn net.Conn) {
 
 // readHello validates and stores the follower's hello.
 func (p *peer) readHello() error {
-	p.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	p.conn.SetReadDeadline(time.Now().Add(p.src.cfg.HandshakeTimeout))
 	defer p.conn.SetReadDeadline(time.Time{})
 	br := bufio.NewReaderSize(p.conn, 256)
 	var magic [len(replMagic) + 1]byte
@@ -688,7 +704,7 @@ func (p *peer) writeReply(resumed bool) error {
 	}
 	reply = append(reply, flags)
 	reply = binary.LittleEndian.AppendUint64(reply, p.src.session)
-	p.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	p.conn.SetWriteDeadline(time.Now().Add(p.src.cfg.HandshakeTimeout))
 	_, err := p.conn.Write(reply)
 	return err
 }
