@@ -34,8 +34,14 @@ var (
 	opsPerConn  = flag.Int("ops", 50000, "operations per session")
 	ws          = flag.String("ws", "1MiB", "working-set size (bytes of values)")
 	valueSize   = flag.Int("value-size", 8, "value size in bytes")
+	valueSizes  = flag.String("value-sizes", "", "value-size mixture as bytes:weight pairs, e.g. 16:9,1024:1 (overrides -value-size; sizes are key-deterministic so -validate still works)")
 	insertRatio = flag.Float64("insert-ratio", 0.3, "fraction of INSERT operations")
-	zipf        = flag.Bool("zipf", false, "Zipf-skewed key popularity instead of uniform")
+	zipf        = flag.Bool("zipf", false, "shorthand for -dist zipf")
+	dist        = flag.String("dist", "uniform", "key popularity: uniform, zipf, or shifting (hot window that jumps)")
+	hotRatio    = flag.Float64("hot-ratio", 0, "shifting: fraction of ops on the hot window (default 0.9)")
+	hotKeys     = flag.Int("hot-keys", 0, "shifting: hot window size in keys (default NumKeys/64)")
+	shiftEvery  = flag.Int("shift-every", 0, "shifting: ops per generator between window jumps (default 50000)")
+	memcached   = flag.Bool("memcached", false, "addresses are memcached text listeners (cpserver -memcached); drive them over the text protocol instead of the native one")
 	validate    = flag.Bool("validate", false, "verify every hit's bytes")
 	seed        = flag.Uint64("seed", 1, "workload seed")
 	perNode     = flag.Bool("per-node", false, "print per-node traffic breakdown")
@@ -53,10 +59,24 @@ func main() {
 		WorkingSetBytes: wsBytes,
 		ValueSize:       *valueSize,
 		InsertRatio:     *insertRatio,
+		HotRatio:        *hotRatio,
+		HotKeys:         *hotKeys,
+		ShiftEvery:      *shiftEvery,
 		Seed:            *seed,
 	}
-	if *zipf {
+	switch {
+	case *zipf || *dist == "zipf":
 		spec.Dist = workload.Zipfian
+	case *dist == "shifting":
+		spec.Dist = workload.Shifting
+	case *dist == "uniform":
+	default:
+		log.Fatalf("cploadgen: unknown -dist %q (uniform, zipf, shifting)", *dist)
+	}
+	if *valueSizes != "" {
+		if spec.Sizes, err = parseSizeMixture(*valueSizes); err != nil {
+			log.Fatalf("cploadgen: %v", err)
+		}
 	}
 	nodes := strings.Split(*addrs, ",")
 	var before *obs.Scrape
@@ -65,7 +85,11 @@ func main() {
 			log.Fatalf("cploadgen: pre-run scrape: %v", err)
 		}
 	}
-	res, err := loadgen.Run(loadgen.Config{
+	run := loadgen.Run
+	if *memcached {
+		run = loadgen.RunMemcached
+	}
+	res, err := run(loadgen.Config{
 		Addrs:      nodes,
 		Conns:      *conns,
 		Pipeline:   *pipeline,
@@ -94,6 +118,20 @@ func main() {
 	if res.BadBytes > 0 {
 		log.Fatalf("cploadgen: %d corrupt responses", res.BadBytes)
 	}
+}
+
+// parseSizeMixture parses "bytes:weight,bytes:weight,..." into size
+// classes.
+func parseSizeMixture(s string) ([]workload.SizeClass, error) {
+	var out []workload.SizeClass
+	for _, part := range strings.Split(s, ",") {
+		var c workload.SizeClass
+		if _, err := fmt.Sscanf(part, "%d:%d", &c.Bytes, &c.Weight); err != nil {
+			return nil, fmt.Errorf("size mixture %q: want bytes:weight pairs", part)
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // scrapeMetrics fetches and strictly parses a cpserver's Prometheus

@@ -133,6 +133,7 @@ import (
 	"cphash/internal/detect"
 	"cphash/internal/kvserver"
 	"cphash/internal/lockhash"
+	"cphash/internal/mctext"
 	"cphash/internal/memcache"
 	"cphash/internal/obs"
 	"cphash/internal/partition"
@@ -160,7 +161,10 @@ var (
 	failoverInterval = flag.Duration("failover-interval", 500*time.Millisecond, "failure detector probe cadence")
 	failoverAfter    = flag.Duration("failover-after", 3*time.Second, "how long an instance must be continuously unreachable before auto-promotion fires")
 	failoverCooldown = flag.Duration("failover-cooldown", 10*time.Second, "minimum gap between automatic promotions")
-	failoverProbeTO  = flag.Duration("failover-probe-timeout", 500*time.Millisecond, "failure detector TCP probe dial timeout")
+	failoverProbeTO  = flag.Duration("failover-probe-timeout", 500*time.Millisecond, "failure detector probe timeout (dial, and with -failover-app-probe the full request round trip)")
+	failoverAppPing  = flag.Bool("failover-app-probe", true, "probe instances with a protocol-level ping (one GET under the probe timeout) instead of a bare TCP dial, so an instance that accepts connections but never serves them is detected as down")
+
+	mcAddr = flag.String("memcached", "", "optional memcached text-protocol base listen address; instance i listens on port+i and proxies onto its own native listener")
 
 	chaosOn   = flag.Bool("chaos", false, "arm the deterministic fault injector: every listener, replication link, and detector probe runs through a chaos.Director; rules via GET/POST/DELETE /chaos on -statsaddr")
 	chaosSeed = flag.Int64("chaos-seed", 1, "seed for the chaos director's probabilistic faults (drops, jitter)")
@@ -212,7 +216,10 @@ func chaosDial(src string) func(network, addr string, timeout time.Duration) (ne
 
 // instance is one running server plus its observability hooks.
 type instance struct {
-	addr     string
+	addr string
+	// mc is the instance's memcached text front-end (nil unless
+	// -memcached is set).
+	mc       *mctext.Server
 	requests func() int64
 	snapshot func() map[string]any
 	// collect emits the instance's Prometheus families under a label set
@@ -242,12 +249,12 @@ type frameLockedApplier struct {
 	held bool // touched only by this link's apply goroutine
 }
 
-func (l *frameLockedApplier) Apply(op persist.Op, key uint64, expireAt int64, value []byte) error {
+func (l *frameLockedApplier) Apply(op persist.Op, key uint64, expireAt int64, ver uint64, value []byte) error {
 	if !l.held {
 		l.mu.Lock()
 		l.held = true
 	}
-	return l.a.Apply(op, key, expireAt, value)
+	return l.a.Apply(op, key, expireAt, ver, value)
 }
 
 func (l *frameLockedApplier) Flush() error {
@@ -290,6 +297,38 @@ func instanceAddrs(base string, n int) ([]string, error) {
 	return out, nil
 }
 
+// mctextAddrFor derives instance idx's memcached side-listener address
+// from the -memcached base, with the same port+idx rule as -addr (""
+// when the front-end is disabled).
+func mctextAddrFor(idx int) string {
+	if *mcAddr == "" {
+		return ""
+	}
+	host, portStr, err := net.SplitHostPort(*mcAddr)
+	if err != nil {
+		return *mcAddr // validated at startup; never reached
+	}
+	p, _ := strconv.Atoi(portStr)
+	if p != 0 {
+		p += idx
+	}
+	return net.JoinHostPort(host, strconv.Itoa(p))
+}
+
+// startMctext opens instance's memcached text front-end on mcListen
+// (no-op returning nil when the flag is unset), proxying onto the
+// instance's native upstream address.
+func startMctext(mcListen, upstream string) (*mctext.Server, error) {
+	if mcListen == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", mcListen)
+	if err != nil {
+		return nil, fmt.Errorf("memcached listener %s: %w", mcListen, err)
+	}
+	return mctext.Serve(ln, mctext.Config{Upstream: upstream}), nil
+}
+
 // instanceDir returns instance i's durability directory ("" when
 // persistence is disabled).
 func instanceDir(i int) string {
@@ -319,7 +358,7 @@ func tableSnapshot(st partition.Stats) map[string]any {
 // dir, when non-empty, is the instance's durability directory: the table
 // is recovered from it on the way up and every mutation is WAL-logged
 // from then on.
-func startInstance(addr, dir string, capBytes int, policy partition.EvictionPolicy) (*instance, error) {
+func startInstance(addr, mcListen, dir string, capBytes int, policy partition.EvictionPolicy) (*instance, error) {
 	switch *backend {
 	case "memcache":
 		if dir != "" {
@@ -329,8 +368,14 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 		if err != nil {
 			return nil, err
 		}
+		mc, err := startMctext(mcListen, inst.Addr())
+		if err != nil {
+			inst.Close()
+			return nil, err
+		}
 		return &instance{
 			addr:     inst.Addr(),
+			mc:       mc,
 			requests: inst.Requests,
 			snapshot: func() map[string]any {
 				return map[string]any{
@@ -341,8 +386,16 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 			collect: func(e *obs.Expo, labels string) {
 				e.Counter("cphash_server_requests_total", "Requests processed.", labels, inst.Requests())
 				e.Gauge("cphash_table_elements", "entries currently stored", labels, float64(inst.Len()))
+				if mc != nil {
+					mc.Collect(e, labels)
+				}
 			},
-			close: sync.OnceFunc(func() { inst.Close() }),
+			close: sync.OnceFunc(func() {
+				if mc != nil {
+					mc.Close()
+				}
+				inst.Close()
+			}),
 		}, nil
 
 	case "cphash", "lockhash":
@@ -480,8 +533,18 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 				"instance", srv.Addr(), "dir", dir, "sync", persistPol.String(),
 				"snapshotEntries", recovered.SnapshotEntries, "walRecords", recovered.WALRecords)
 		}
+		mc, err := startMctext(mcListen, srv.Addr())
+		if err != nil {
+			srv.Close()
+			if applierClose != nil {
+				applierClose()
+			}
+			closeTable()
+			return nil, err
+		}
 		return &instance{
 			addr:     srv.Addr(),
+			mc:       mc,
 			requests: func() int64 { return srv.Stats().Requests },
 			collect: func(e *obs.Expo, labels string) {
 				srv.Collect(e, labels)
@@ -491,6 +554,9 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 				}
 				if src != nil {
 					src.Collect(e, labels)
+				}
+				if mc != nil {
+					mc.Collect(e, labels)
 				}
 			},
 			snapshot: func() map[string]any {
@@ -513,6 +579,9 @@ func startInstance(addr, dir string, capBytes int, policy partition.EvictionPoli
 			// closes this instance's own follower links before calling
 			// close, so nothing feeds the applier by then.
 			close: sync.OnceFunc(func() {
+				if mc != nil {
+					mc.Close()
+				}
 				srv.Close()
 				if applierClose != nil {
 					applierClose()
@@ -862,7 +931,7 @@ func (a *admin) join() (string, error) {
 	if a.basePort != 0 {
 		port = a.basePort + a.started
 	}
-	in, err := startInstance(net.JoinHostPort(a.host, strconv.Itoa(port)), instanceDir(a.started), a.capBytes, a.policy)
+	in, err := startInstance(net.JoinHostPort(a.host, strconv.Itoa(port)), mctextAddrFor(a.started), instanceDir(a.started), a.capBytes, a.policy)
 	if err != nil {
 		return "", err
 	}
@@ -1016,18 +1085,29 @@ func (a *admin) kill(addr string) error {
 	return nil
 }
 
-// probe reports liveness for the failure detector: a short TCP dial of
-// the serving port, with the replication mesh as a second witness — if
-// any surviving source still holds a live peer connection from addr
-// (the cphash_replica_peer_up signal), the process is alive even when a
-// fresh dial is refused mid-churn.
+// probe reports liveness for the failure detector: an application-level
+// ping of the serving port (or a bare TCP dial with
+// -failover-app-probe=false), with the replication mesh as a second
+// witness — if any surviving source still holds a live peer connection
+// from addr (the cphash_replica_peer_up signal), the process is alive
+// even when a fresh dial is refused mid-churn. The witness only covers
+// dial failures: an instance that accepted the dial but never answered
+// the ping is wedged, and a live replication heartbeat cannot vouch for
+// its serving path.
 func (a *admin) probe(addr string) bool {
 	dial := net.DialTimeout
 	if director != nil {
 		dial = director.Dialer("detector")
 	}
-	c, err := dial("tcp", addr, *failoverProbeTO)
-	if err == nil {
+	if *failoverAppPing {
+		switch detect.Ping(detect.DialFunc(dial), addr, *failoverProbeTO) {
+		case detect.PingOK:
+			return true
+		case detect.PingNoReply:
+			return false
+		}
+		// PingNoDial: fall through to the peer witness.
+	} else if c, err := dial("tcp", addr, *failoverProbeTO); err == nil {
 		c.Close()
 		return true
 	}
@@ -1443,6 +1523,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("cpserver: %v", err)
 	}
+	if *mcAddr != "" {
+		if _, err := instanceAddrs(*mcAddr, *instances); err != nil {
+			log.Fatalf("cpserver: bad -memcached %q: %v", *mcAddr, err)
+		}
+	}
 
 	if *chaosOn {
 		if *backend == "memcache" {
@@ -1469,7 +1554,7 @@ func main() {
 
 	insts := make([]*instance, 0, *instances)
 	for i, a := range addrs {
-		in, err := startInstance(a, instanceDir(i), capBytes, policy)
+		in, err := startInstance(a, mctextAddrFor(i), instanceDir(i), capBytes, policy)
 		if err != nil {
 			for _, prev := range insts {
 				prev.close()
@@ -1479,6 +1564,9 @@ func main() {
 		insts = append(insts, in)
 		fmt.Printf("%s instance %d listening on %s (capacity %s, %d workers)\n",
 			*backend, i, in.addr, *capacity, *workers)
+		if in.mc != nil {
+			fmt.Printf("  memcached front-end for instance %d on %s\n", i, in.mc.Addr())
+		}
 	}
 	if *instances > 1 {
 		list := ""

@@ -12,6 +12,7 @@ package cphash
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"net"
@@ -24,17 +25,20 @@ import (
 	"cphash/internal/hotpath"
 	"cphash/internal/kvserver"
 	"cphash/internal/lockhash"
+	"cphash/internal/mctext"
 	"cphash/internal/partition"
 	"cphash/internal/persist"
 	"cphash/internal/replica"
 )
 
 // hotPathConn bundles one dialed connection's codecs, plus the
-// replication source when the server was started with one.
+// replication source when the server was started with one and the
+// memcached text front-end when one was enabled.
 type hotPathConn struct {
 	bw  *bufio.Writer
 	br  *bufio.Reader
 	src *replica.Source
+	mc  *mctext.Server
 }
 
 // startHotPathServer boots a CPSERVER (CPHASH backend) sized for the
@@ -49,7 +53,7 @@ type hotPathConn struct {
 // listener and the client connection both run through the fault-injection
 // wrappers (the -chaos deployment shape), which must stay free when no
 // rule matches.
-func startHotPathServer(tb testing.TB, persistDir string, followers int, dir *chaos.Director) (*hotPathConn, func()) {
+func startHotPathServer(tb testing.TB, persistDir string, followers int, dir *chaos.Director, withMctext bool) (*hotPathConn, func()) {
 	tb.Helper()
 	var pipe *persist.Pipeline
 	var sink func(int) partition.ChangeSink
@@ -145,8 +149,21 @@ func startHotPathServer(tb testing.TB, persistDir string, followers int, dir *ch
 		table.Close()
 		tb.Fatal(err)
 	}
-	pw := &hotPathConn{bw: bw, br: br, src: src}
+	var mc *mctext.Server
+	if withMctext {
+		mcln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			table.Close()
+			tb.Fatal(err)
+		}
+		mc = mctext.Serve(mcln, mctext.Config{Upstream: srv.Addr()})
+	}
+	pw := &hotPathConn{bw: bw, br: br, src: src, mc: mc}
 	return pw, func() {
+		if mc != nil {
+			mc.Close()
+		}
 		closer.Close()
 		for _, fl := range fls {
 			fl.Close()
@@ -212,7 +229,7 @@ func hotPathWarmup(tb testing.TB, pw *hotPathConn, val, dst []byte) []byte {
 // allocs/op; the steady-state server path is expected to be
 // allocation-free.
 func BenchmarkHotPath_WireGetSet(b *testing.B) {
-	pw, stop := startHotPathServer(b, "", 0, nil)
+	pw, stop := startHotPathServer(b, "", 0, nil, false)
 	defer stop()
 	val := make([]byte, hotpath.ValueSize)
 	dst := make([]byte, 0, 2*hotpath.ValueSize)
@@ -229,7 +246,7 @@ func BenchmarkHotPath_WireGetSet(b *testing.B) {
 // durability pipeline on (sync=interval), so the WAL overhead shows up
 // in the benchmark trajectory next to the bare number.
 func BenchmarkHotPath_WireGetSetPersist(b *testing.B) {
-	pw, stop := startHotPathServer(b, b.TempDir(), 0, nil)
+	pw, stop := startHotPathServer(b, b.TempDir(), 0, nil, false)
 	defer stop()
 	val := make([]byte, hotpath.ValueSize)
 	dst := make([]byte, 0, 2*hotpath.ValueSize)
@@ -249,7 +266,7 @@ func BenchmarkHotPath_WireGetSetPersist(b *testing.B) {
 // senders, decompression and applies on the followers — shows up in the
 // benchmark trajectory next to the bare and persist numbers.
 func BenchmarkHotPath_WireGetSetReplicated(b *testing.B) {
-	pw, stop := startHotPathServer(b, b.TempDir(), 2, nil)
+	pw, stop := startHotPathServer(b, b.TempDir(), 2, nil, false)
 	defer stop()
 	val := make([]byte, hotpath.ValueSize)
 	dst := make([]byte, 0, 2*hotpath.ValueSize)
@@ -277,14 +294,25 @@ func TestHotPathAllocCeiling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation ceiling is measured by the bench smoke job, not under -short/-race")
 	}
-	run := func(t *testing.T, persistDir string, followers int, dir *chaos.Director) {
-		pw, stop := startHotPathServer(t, persistDir, followers, dir)
+	run := func(t *testing.T, persistDir string, followers int, dir *chaos.Director, withMctext bool) {
+		pw, stop := startHotPathServer(t, persistDir, followers, dir, withMctext)
 		defer stop()
 		val := make([]byte, hotpath.ValueSize)
 		dst := make([]byte, 0, 2*hotpath.ValueSize)
 		dst = hotPathWarmup(t, pw, val, dst)
 		if followers > 0 {
 			waitReplicated(t, pw.src, followers)
+		}
+		if pw.mc != nil {
+			// A warmed text connection stays parked on the front-end
+			// during the measured window: the side listener being
+			// enabled (and having served traffic) must not tax the
+			// native path.
+			mcc, closeMC := dialMctextRaw(t, pw.mc.Addr().String())
+			defer closeMC()
+			if err := mcc.mix(2000); err != nil {
+				t.Fatal(err)
+			}
 		}
 
 		const ops = 50000
@@ -304,14 +332,14 @@ func TestHotPathAllocCeiling(t *testing.T) {
 			t.Fatalf("hot path allocates %.4f allocs/op, ceiling 0.05 — the zero-allocation request path regressed", perOp)
 		}
 	}
-	t.Run("plain", func(t *testing.T) { run(t, "", 0, nil) })
-	t.Run("persist", func(t *testing.T) { run(t, t.TempDir(), 0, nil) })
+	t.Run("plain", func(t *testing.T) { run(t, "", 0, nil, false) })
+	t.Run("persist", func(t *testing.T) { run(t, t.TempDir(), 0, nil, false) })
 	// With two connected followers the whole depth-3 replication stack
 	// runs in this process, so the same ceiling also bounds the source's
 	// per-peer streaming side and both followers' apply loops —
 	// replication must not reintroduce per-op allocation on or next to
 	// the hot path.
-	t.Run("replicated", func(t *testing.T) { run(t, t.TempDir(), 2, nil) })
+	t.Run("replicated", func(t *testing.T) { run(t, t.TempDir(), 2, nil, false) })
 	// The -chaos deployment shape: server listener and client connection
 	// both run through chaos wrappers with a director armed and a rule
 	// installed — just not one that matches this traffic. The wrappers'
@@ -328,6 +356,115 @@ func TestHotPathAllocCeiling(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		run(t, "", 0, d)
+		run(t, "", 0, d, false)
 	})
+	// The -memcached deployment shape: the text front-end listener is up
+	// with a warmed text connection parked on it while the native mix
+	// runs.
+	t.Run("mctext-enabled", func(t *testing.T) { run(t, "", 0, nil, true) })
+}
+
+// mctextRawConn is one raw memcached text connection with prebuilt
+// request bytes and exact-size reply buffers, so the client side of the
+// text-path allocation gate is itself allocation-free.
+type mctextRawConn struct {
+	c       net.Conn
+	br      *bufio.Reader
+	getReq  []byte
+	setReq  []byte
+	getResp []byte
+	setResp []byte
+}
+
+var (
+	mctextStored      = []byte("STORED\r\n")
+	mctextValuePrefix = []byte("VALUE mckey 0 32\r\n")
+)
+
+func dialMctextRaw(tb testing.TB, addr string) (*mctextRawConn, func()) {
+	tb.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{'v'}, 32)
+	m := &mctextRawConn{
+		c:       conn,
+		br:      bufio.NewReaderSize(conn, 4096),
+		getReq:  []byte("get mckey\r\n"),
+		setReq:  append(append([]byte("set mckey 0 0 32\r\n"), val...), '\r', '\n'),
+		getResp: make([]byte, len(mctextValuePrefix)+32+2+len("END\r\n")),
+		setResp: make([]byte, len(mctextStored)),
+	}
+	// Seed the key so every later get hits.
+	if _, err := conn.Write(m.setReq); err != nil {
+		conn.Close()
+		tb.Fatal(err)
+	}
+	if _, err := io.ReadFull(m.br, m.setResp); err != nil || !bytes.Equal(m.setResp, mctextStored) {
+		conn.Close()
+		tb.Fatalf("seed set: %q, %v", m.setResp, err)
+	}
+	return m, func() { conn.Close() }
+}
+
+// mix runs n text-protocol round trips at the canonical 90/10 get/set
+// ratio against the seeded key.
+func (m *mctextRawConn) mix(n int) error {
+	for i := 0; i < n; i++ {
+		if i%10 == 9 {
+			if _, err := m.c.Write(m.setReq); err != nil {
+				return err
+			}
+			if _, err := io.ReadFull(m.br, m.setResp); err != nil {
+				return err
+			}
+			if !bytes.Equal(m.setResp, mctextStored) {
+				return fmt.Errorf("set reply %q", m.setResp)
+			}
+		} else {
+			if _, err := m.c.Write(m.getReq); err != nil {
+				return err
+			}
+			if _, err := io.ReadFull(m.br, m.getResp); err != nil {
+				return err
+			}
+			if !bytes.HasPrefix(m.getResp, mctextValuePrefix) {
+				return fmt.Errorf("get reply %q", m.getResp)
+			}
+		}
+	}
+	return nil
+}
+
+// TestMctextAllocCeiling is the text front-end's own allocation gate:
+// steady-state get/set traffic through the translator (text parse →
+// native round trip → text render) must stay within the same per-op
+// budget as the native path, proving the recycled-arena discipline holds
+// end to end across both protocol hops.
+func TestMctextAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation ceiling is measured by the bench smoke job, not under -short/-race")
+	}
+	pw, stop := startHotPathServer(t, "", 0, nil, true)
+	defer stop()
+	mcc, closeMC := dialMctextRaw(t, pw.mc.Addr().String())
+	defer closeMC()
+	if err := mcc.mix(4000); err != nil { // warm every recycled buffer
+		t.Fatal(err)
+	}
+
+	const ops = 20000
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := mcc.mix(ops); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	perOp := float64(after.Mallocs-before.Mallocs) / float64(ops)
+	t.Logf("mctext path: %.4f allocs/op (%d allocations over %d ops)", perOp, after.Mallocs-before.Mallocs, ops)
+	if perOp > 0.05 {
+		t.Fatalf("mctext path allocates %.4f allocs/op, ceiling 0.05 — the recycled-arena discipline regressed", perOp)
+	}
 }

@@ -74,6 +74,12 @@ type Config struct {
 	// is the asymmetric-partition hardening; scenarios that exercise
 	// the flap guard instead use the bare dial probe.
 	WitnessProbe bool
+	// AppProbe upgrades the probe from a bare TCP dial to detect.Ping:
+	// one protocol LOOKUP round trip under ProbeTimeout. A member that
+	// accepts the dial but never answers the request (accept-then-hang)
+	// is definitively down — the witness is not consulted, because a
+	// live replication heartbeat cannot vouch for a wedged serving path.
+	AppProbe bool
 	// ProbeTimeout bounds each probe dial (default 100ms).
 	ProbeTimeout time.Duration
 	// Detector knobs (defaults: 25ms, 150ms, 500ms, 60s, 4).
@@ -301,13 +307,26 @@ func (c *Cluster) Promotions() int64 { return c.promotions.Load() }
 
 // Probe is the cpserver-style health probe, dialed through the
 // Director's "detector" endpoint so one-way partitions reach it. With
+// AppProbe the dial is upgraded to a protocol-level ping; with
 // WitnessProbe, a live outgoing replication link on any surviving
-// source vouches for the member.
+// source vouches for a member whose dial failed. A member that dialed
+// but did not answer the ping is down regardless of the witness.
 func (c *Cluster) Probe(addr string) bool {
-	conn, err := c.Dir.Dialer(DetectorName)("tcp", addr, c.cfg.ProbeTimeout)
-	if err == nil {
-		conn.Close()
-		return true
+	dial := c.Dir.Dialer(DetectorName)
+	if c.cfg.AppProbe {
+		switch detect.Ping(detect.DialFunc(dial), addr, c.cfg.ProbeTimeout) {
+		case detect.PingOK:
+			return true
+		case detect.PingNoReply:
+			return false // accepting but not serving: definitively down
+		}
+		// PingNoDial falls through to the witness below.
+	} else {
+		conn, err := dial("tcp", addr, c.cfg.ProbeTimeout)
+		if err == nil {
+			conn.Close()
+			return true
+		}
 	}
 	if !c.cfg.WitnessProbe {
 		return false
@@ -327,9 +346,16 @@ func (c *Cluster) Probe(addr string) bool {
 	return false
 }
 
-// autoPromote is the detector's Act: the cpserver promote path — drain
-// the new owner's link from the corpse, flip ownership, rewire.
+// autoPromote is the detector's Act: the cpserver promote path — fence
+// the victim, drain the new owner's link from the corpse, flip
+// ownership, rewire.
 func (c *Cluster) autoPromote(victim string) error {
+	// Fence first, the way cpserver's promote closes the target
+	// instance: a hung-but-alive member must stop serving and drop its
+	// replication source before ownership flips, or the confirm below
+	// would wait out a link the wedged member keeps heartbeating.
+	// Kill is a no-op for a member that is already dead (kill-recover).
+	c.Kill(victim)
 	confirm := func(newOwner string, slots []int) error {
 		f := c.takeLink(newOwner, victim)
 		if f == nil {

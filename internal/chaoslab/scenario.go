@@ -392,13 +392,18 @@ func Scenarios() []Scenario {
 		},
 		{
 			// The primary accepts connections but never serves them
-			// (accept-then-hang). Dial probes stay green — the TCP-probe
-			// blind spot — so no failover fires; OpTimeout turns the hang
-			// into bounded errors, and recovery follows the heal.
+			// (accept-then-hang). A bare TCP dial probe stays green — the
+			// blind spot PR 9 documented — but the application-level ping
+			// times out on the wedged serving path, so the detector now
+			// promotes instead of leaving clients to ride OpTimeout until
+			// the heal. The witness probe stays armed to prove the ping's
+			// verdict dominates it: the victim's replication heartbeats
+			// keep vouching right up to the fence.
 			Name: "hung-primary",
 			Lab: func(cfg *Config) {
 				cfg.Detector = true
 				cfg.WitnessProbe = true
+				cfg.AppProbe = true
 			},
 			Inject: func(c *Cluster, victim string, _ time.Duration) error {
 				return c.Dir.SetRule(chaos.Rule{
@@ -411,7 +416,7 @@ func Scenarios() []Scenario {
 				c.Dir.RemoveRule("hung-primary")
 			},
 			Signal:         SignalClient,
-			WantPromotions: 0,
+			WantPromotions: 1,
 		},
 	}
 }

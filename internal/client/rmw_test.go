@@ -1,0 +1,376 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cphash/internal/core"
+	"cphash/internal/kvserver"
+	"cphash/internal/partition"
+	"cphash/internal/protocol"
+)
+
+// startCoreNode brings up a CPHASH-backed server: the RMW property tests
+// run against the real single-owner engine (server goroutines executing
+// read-modify-writes on their own partitions), not the locked baseline.
+func startCoreNode(t *testing.T) *kvserver.Server {
+	t.Helper()
+	table := core.MustNew(core.Config{Partitions: 2, CapacityBytes: 8 << 20, MaxClients: 2, Seed: 1})
+	srv, err := kvserver.Serve(kvserver.Config{
+		Addr:       "127.0.0.1:0",
+		Workers:    2,
+		NewBackend: kvserver.NewCPHashBackend(table),
+	})
+	if err != nil {
+		table.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		table.Close()
+	})
+	return srv
+}
+
+// TestConcurrentCasCounterProperty is the CAS linearizability property:
+// many goroutines run gets→cas loops against one counter key, each
+// landing a fixed number of successful compare-and-swaps. Every
+// successful CAS is one lost-update-free increment, so the final value
+// must be exactly workers×increments — any torn or double-applied CAS
+// shows up as a wrong sum.
+func TestConcurrentCasCounterProperty(t *testing.T) {
+	srv := startCoreNode(t)
+	c, err := New(Config{Nodes: []string{srv.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	key := []byte("cas:counter")
+	if out, err := c.AddString(key, []byte("0"), 0); err != nil || !out.Stored() {
+		t.Fatalf("seeding counter: %+v, %v", out, err)
+	}
+
+	const workers = 8
+	const increments = 100
+	var conflicts atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var numBuf [20]byte
+			for landed := 0; landed < increments; {
+				v, ver, found, err := c.GetsString(key)
+				if err != nil || !found {
+					errs <- fmt.Errorf("gets: found=%v err=%v", found, err)
+					return
+				}
+				n, ok := partition.ParseDecimal(v)
+				if !ok {
+					errs <- fmt.Errorf("counter not numeric: %q", v)
+					return
+				}
+				out, err := c.CasString(key, strconv.AppendUint(numBuf[:0], n+1, 10), ver, 0)
+				if err != nil {
+					errs <- fmt.Errorf("cas: %v", err)
+					return
+				}
+				switch out.Status {
+				case protocol.RMWStatusStored:
+					landed++
+				case protocol.RMWStatusExists:
+					conflicts.Add(1) // raced another goroutine; re-read and retry
+				default:
+					errs <- fmt.Errorf("cas status %d", out.Status)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	v, _, found, err := c.GetsString(key)
+	if err != nil || !found {
+		t.Fatalf("final gets: found=%v err=%v", found, err)
+	}
+	want := strconv.Itoa(workers * increments)
+	if string(v) != want {
+		t.Fatalf("counter = %s after %d successful CAS increments, want %s (%d conflicts retried)",
+			v, workers*increments, want, conflicts.Load())
+	}
+	t.Logf("counter converged at %s with %d CAS conflicts retried", v, conflicts.Load())
+}
+
+// rmwModelEntry is the reference model's view of one key: the exact
+// value bytes plus the last version token the server reported for it.
+type rmwModelEntry struct {
+	val []byte
+	ver uint64
+}
+
+// TestRMWSequentialModel drives a long random sequence of version-4
+// operations against a live server and checks every outcome against a
+// map+version reference model: statuses, values, versions (strictly
+// increasing per key on mutation, stable across touch), CAS conflict
+// reporting, and incr/decr arithmetic via the same ParseDecimal the
+// engine uses.
+func TestRMWSequentialModel(t *testing.T) {
+	srv := startCoreNode(t)
+	c, err := New(Config{Nodes: []string{srv.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	keys := make([][]byte, 6)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("model:key:%d", i))
+	}
+	model := make(map[string]*rmwModelEntry)
+
+	randVal := func() []byte {
+		if rng.Intn(2) == 0 {
+			// Decimal value, so incr/decr sometimes has numbers to chew on.
+			return []byte(strconv.Itoa(rng.Intn(1000)))
+		}
+		b := make([]byte, 1+rng.Intn(12))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return b
+	}
+
+	// mutated updates the model after a Stored outcome and asserts the
+	// version token moved forward.
+	mutated := func(step int, op string, k []byte, newVal []byte, out RMWOutcome) {
+		t.Helper()
+		m := model[string(k)]
+		if m != nil && out.Ver <= m.ver {
+			t.Fatalf("step %d %s(%s): version went %d → %d, want strictly increasing", step, op, k, m.ver, out.Ver)
+		}
+		model[string(k)] = &rmwModelEntry{val: newVal, ver: out.Ver}
+	}
+
+	for step := 0; step < 4000; step++ {
+		k := keys[rng.Intn(len(keys))]
+		m := model[string(k)]
+		switch rng.Intn(11) {
+		case 0: // gets
+			v, ver, found, err := c.GetsString(k)
+			if err != nil {
+				t.Fatalf("step %d gets: %v", step, err)
+			}
+			if (m != nil) != found {
+				t.Fatalf("step %d gets(%s): found=%v, model present=%v", step, k, found, m != nil)
+			}
+			if m != nil && (!bytes.Equal(v, m.val) || ver != m.ver) {
+				t.Fatalf("step %d gets(%s) = %q v%d, model %q v%d", step, k, v, ver, m.val, m.ver)
+			}
+
+		case 1: // add
+			val := randVal()
+			out, err := c.AddString(k, val, 0)
+			if err != nil {
+				t.Fatalf("step %d add: %v", step, err)
+			}
+			if m != nil {
+				if out.Status != protocol.RMWStatusNotStored {
+					t.Fatalf("step %d add on present key: status %d", step, out.Status)
+				}
+			} else {
+				if !out.Stored() {
+					t.Fatalf("step %d add on absent key: status %d", step, out.Status)
+				}
+				mutated(step, "add", k, val, out)
+			}
+
+		case 2: // replace
+			val := randVal()
+			out, err := c.ReplaceString(k, val, 0)
+			if err != nil {
+				t.Fatalf("step %d replace: %v", step, err)
+			}
+			if m == nil {
+				if out.Status != protocol.RMWStatusNotStored {
+					t.Fatalf("step %d replace on absent key: status %d", step, out.Status)
+				}
+			} else {
+				if !out.Stored() {
+					t.Fatalf("step %d replace on present key: status %d", step, out.Status)
+				}
+				mutated(step, "replace", k, val, out)
+			}
+
+		case 3: // cas with the model's (fresh) token
+			val := randVal()
+			ver := uint64(1)
+			if m != nil {
+				ver = m.ver
+			}
+			out, err := c.CasString(k, val, ver, 0)
+			if err != nil {
+				t.Fatalf("step %d cas: %v", step, err)
+			}
+			if m == nil {
+				if out.Status != protocol.RMWStatusNotFound {
+					t.Fatalf("step %d cas on absent key: status %d", step, out.Status)
+				}
+			} else {
+				if !out.Stored() {
+					t.Fatalf("step %d cas with fresh token v%d: status %d", step, ver, out.Status)
+				}
+				mutated(step, "cas", k, val, out)
+			}
+
+		case 4: // cas with a deliberately stale token
+			if m == nil {
+				continue
+			}
+			out, err := c.CasString(k, randVal(), m.ver+12345, 0)
+			if err != nil {
+				t.Fatalf("step %d stale cas: %v", step, err)
+			}
+			if out.Status != protocol.RMWStatusExists || out.Ver != m.ver {
+				t.Fatalf("step %d stale cas: status %d ver %d, want EXISTS with current v%d", step, out.Status, out.Ver, m.ver)
+			}
+
+		case 5: // append
+			val := randVal()
+			out, err := c.AppendString(k, val)
+			if err != nil {
+				t.Fatalf("step %d append: %v", step, err)
+			}
+			if m == nil {
+				if out.Status != protocol.RMWStatusNotStored {
+					t.Fatalf("step %d append absent: status %d", step, out.Status)
+				}
+			} else {
+				if !out.Stored() {
+					t.Fatalf("step %d append: status %d", step, out.Status)
+				}
+				mutated(step, "append", k, append(append([]byte{}, m.val...), val...), out)
+			}
+
+		case 6: // prepend
+			val := randVal()
+			out, err := c.PrependString(k, val)
+			if err != nil {
+				t.Fatalf("step %d prepend: %v", step, err)
+			}
+			if m == nil {
+				if out.Status != protocol.RMWStatusNotStored {
+					t.Fatalf("step %d prepend absent: status %d", step, out.Status)
+				}
+			} else {
+				if !out.Stored() {
+					t.Fatalf("step %d prepend: status %d", step, out.Status)
+				}
+				mutated(step, "prepend", k, append(append([]byte{}, val...), m.val...), out)
+			}
+
+		case 7: // incr
+			delta := uint64(rng.Intn(100))
+			out, err := c.IncrString(k, delta)
+			if err != nil {
+				t.Fatalf("step %d incr: %v", step, err)
+			}
+			if m == nil {
+				if out.Status != protocol.RMWStatusNotFound {
+					t.Fatalf("step %d incr absent: status %d", step, out.Status)
+				}
+				continue
+			}
+			n, numeric := partition.ParseDecimal(m.val)
+			if !numeric {
+				if out.Status != protocol.RMWStatusBadValue {
+					t.Fatalf("step %d incr non-numeric %q: status %d", step, m.val, out.Status)
+				}
+				continue
+			}
+			want := n + delta // same 64-bit wraparound as the engine
+			if !out.Stored() || out.Num != want {
+				t.Fatalf("step %d incr %d+%d: status %d num %d, want %d", step, n, delta, out.Status, out.Num, want)
+			}
+			mutated(step, "incr", k, []byte(strconv.FormatUint(want, 10)), out)
+
+		case 8: // decr
+			delta := uint64(rng.Intn(100))
+			out, err := c.DecrString(k, delta)
+			if err != nil {
+				t.Fatalf("step %d decr: %v", step, err)
+			}
+			if m == nil {
+				if out.Status != protocol.RMWStatusNotFound {
+					t.Fatalf("step %d decr absent: status %d", step, out.Status)
+				}
+				continue
+			}
+			n, numeric := partition.ParseDecimal(m.val)
+			if !numeric {
+				if out.Status != protocol.RMWStatusBadValue {
+					t.Fatalf("step %d decr non-numeric %q: status %d", step, m.val, out.Status)
+				}
+				continue
+			}
+			want := uint64(0)
+			if n >= delta {
+				want = n - delta // memcached floors at zero
+			}
+			if !out.Stored() || out.Num != want {
+				t.Fatalf("step %d decr %d-%d: status %d num %d, want %d", step, n, delta, out.Status, out.Num, want)
+			}
+			mutated(step, "decr", k, []byte(strconv.FormatUint(want, 10)), out)
+
+		case 9: // touch never bumps the version
+			out, err := c.TouchString(k, time.Hour)
+			if err != nil {
+				t.Fatalf("step %d touch: %v", step, err)
+			}
+			if m == nil {
+				if out.Status != protocol.RMWStatusNotFound {
+					t.Fatalf("step %d touch absent: status %d", step, out.Status)
+				}
+			} else if !out.Stored() || out.Ver != m.ver {
+				t.Fatalf("step %d touch: status %d ver %d, want STORED with unchanged v%d", step, out.Status, out.Ver, m.ver)
+			}
+
+		case 10: // delete
+			found, err := c.DeleteString(k)
+			if err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			if found != (m != nil) {
+				t.Fatalf("step %d delete(%s): found=%v, model present=%v", step, k, found, m != nil)
+			}
+			delete(model, string(k))
+		}
+	}
+
+	// Closing sweep: every key must match the model exactly.
+	for _, k := range keys {
+		v, ver, found, err := c.GetsString(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := model[string(k)]
+		if (m != nil) != found {
+			t.Fatalf("final gets(%s): found=%v, model present=%v", k, found, m != nil)
+		}
+		if m != nil && (!bytes.Equal(v, m.val) || ver != m.ver) {
+			t.Fatalf("final gets(%s) = %q v%d, model %q v%d", k, v, ver, m.val, m.ver)
+		}
+	}
+}

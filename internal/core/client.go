@@ -19,6 +19,8 @@ const (
 	OpInsert
 	// OpDelete removes a key.
 	OpDelete
+	// OpRMW executes an atomic read-modify-write on the owning server.
+	OpRMW
 )
 
 // Op is an in-flight asynchronous operation (a future). Ops are created by
@@ -35,6 +37,12 @@ type Op struct {
 	done   bool
 	hit    bool
 	next   *Op // client free list
+	// rmw is the read-modify-write descriptor for OpRMW (inputs filled by
+	// the client, results written by the server before its reply) and the
+	// version carrier for explicit-version inserts. Embedding it in the Op
+	// keeps RMW issue/complete allocation-free: the descriptor recycles
+	// with the Op.
+	rmw partition.RMWReq
 }
 
 // Type returns the operation kind.
@@ -67,6 +75,19 @@ func (o *Op) Size() int {
 	}
 	return o.elem.Size()
 }
+
+// Version returns the CAS version of a completed lookup hit (0 otherwise).
+func (o *Op) Version() uint64 {
+	if !o.done || !o.hit || o.typ != OpLookup {
+		return 0
+	}
+	return o.elem.Version()
+}
+
+// RMW returns the op's read-modify-write descriptor: inputs as issued
+// and, once the op is Done, the server-written results (Status, OutVer,
+// Num). Valid until Release.
+func (o *Op) RMW() *partition.RMWReq { return &o.rmw }
 
 // pendingFIFO is a per-server queue of ops awaiting replies. Replies are
 // matched to requests by order alone: rings are FIFO per (client, server)
@@ -179,6 +200,43 @@ func (c *Client) InsertTTLAsync(key Key, value []byte, ttl time.Duration) *Op {
 	}
 	o.insVal = value
 	c.issue(o, request{keyop: makeKeyop(opInsert, key), arg: makeInsertArg(len(value), ttlMillis(ttl))})
+	return o
+}
+
+// InsertTTLVerAsync is InsertTTLAsync with an explicit CAS version — the
+// replay-side primitive that keeps versions stable across recovery,
+// follower catch-up and slot migration. ver 0 falls back to the normal
+// assign-next insert. The version rides a pointer to the op's embedded
+// descriptor, so it costs no allocation and the message count is
+// unchanged.
+func (c *Client) InsertTTLVerAsync(key Key, value []byte, ttl time.Duration, ver uint64) *Op {
+	if ver == 0 {
+		return c.InsertTTLAsync(key, value, ttl)
+	}
+	o := c.newOp()
+	o.typ = OpInsert
+	o.key = key & keyMask
+	if uint64(len(value)) > math.MaxUint32 {
+		o.done = true
+		return o
+	}
+	o.insVal = value
+	o.rmw.Ver = ver
+	c.issue(o, request{keyop: makeKeyop(opInsert, key), arg: makeInsertArg(len(value), ttlMillis(ttl)), rmw: &o.rmw})
+	return o
+}
+
+// RMWAsync issues an atomic read-modify-write described by req (CAS,
+// add/replace, append/prepend, incr/decr, touch). The descriptor's input
+// fields are copied into the op; its StrKey/Val slices must stay
+// unchanged until the op is Done. Results are read from Op.RMW() after
+// completion; Hit reports Status == RMWStored.
+func (c *Client) RMWAsync(key Key, req partition.RMWReq) *Op {
+	o := c.newOp()
+	o.typ = OpRMW
+	o.key = key & keyMask
+	o.rmw = req
+	c.issue(o, request{keyop: makeKeyop(opRMW, key), rmw: &o.rmw})
 	return o
 }
 
@@ -307,6 +365,11 @@ func (c *Client) complete(s int, rep reply) {
 		o.insVal = nil
 	case OpDelete:
 		o.hit = rep.elem != nil // deleteFound sentinel: the key existed
+	case OpRMW:
+		// The server wrote Status/OutVer/Num into o.rmw before replying;
+		// consuming the reply from the SPSC ring is the acquire that makes
+		// those writes visible here.
+		o.hit = o.rmw.Status == partition.RMWStored
 	}
 }
 
@@ -348,6 +411,7 @@ func (c *Client) Release(o *Op) {
 	}
 	o.elem = nil
 	o.insVal = nil
+	o.rmw = partition.RMWReq{} // drop StrKey/Val references
 	o.next = c.freeOps
 	c.freeOps = o
 }
@@ -383,6 +447,27 @@ func (c *Client) PutTTL(key Key, value []byte, ttl time.Duration) bool {
 	ok := o.hit
 	c.Release(o)
 	return ok
+}
+
+// PutTTLVer stores value under key with an explicit CAS version (replay
+// paths; ver 0 = assign next), reporting whether space was obtained.
+func (c *Client) PutTTLVer(key Key, value []byte, ttl time.Duration, ver uint64) bool {
+	o := c.InsertTTLVerAsync(key, value, ttl, ver)
+	c.Flush(key)
+	c.Wait(o)
+	ok := o.hit
+	c.Release(o)
+	return ok
+}
+
+// RMW synchronously executes one read-modify-write, writing the results
+// (Status, OutVer, Num) back into req.
+func (c *Client) RMW(key Key, req *partition.RMWReq) {
+	o := c.RMWAsync(key, *req)
+	c.Flush(key)
+	c.Wait(o)
+	*req = o.rmw
+	c.Release(o)
 }
 
 // Delete removes key, reporting whether it existed. It returns once the

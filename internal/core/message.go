@@ -58,6 +58,15 @@ const (
 	// existed and a nil element otherwise; either way the reply lets
 	// callers synchronize on completion.
 	opDelete
+	// opRMW executes an atomic read-modify-write (CAS, add/replace,
+	// append/prepend, incr/decr, touch) described by the request's rmw
+	// field, entirely on the owning server goroutine — the partition's
+	// single-owner discipline is what makes the composite read+write
+	// atomic without any locking. The server writes results back into the
+	// client-owned RMWReq before replying (the reply ring's
+	// release/acquire pair publishes them), and replies with a nil
+	// element.
+	opRMW
 )
 
 // deleteFound is the sentinel reply element for a delete that removed a
@@ -76,14 +85,17 @@ const (
 // Packing: op lives in the top 4 bits of keyop, the 60-bit key below it.
 // arg carries the value size (low 32 bits) and TTL in milliseconds (high
 // 32 bits; 0 = never expires) for opInsert. elem carries the element for
-// opReady/opDecref. The struct is 24 bytes; the ring flushes every 4
-// messages (96 B ≈ 1.5 cache lines), preserving the paper's
-// several-messages-per-line batching even though Go's pointer rules stop us
-// from matching its exact byte density.
+// opReady/opDecref. rmw points at the client-owned descriptor for opRMW
+// (and, for opInsert, optionally carries an explicit CAS version for
+// replay/migration — nil means assign-next). The struct is 32 bytes; the
+// ring flushes every 4 messages (128 B = 2 cache lines), preserving the
+// paper's several-messages-per-line batching even though Go's pointer
+// rules stop us from matching its exact byte density.
 type request struct {
 	keyop uint64
 	arg   uint64
 	elem  *partition.Element
+	rmw   *partition.RMWReq
 }
 
 // makeInsertArg packs a value size and TTL into a request's arg word.
@@ -130,6 +142,11 @@ func (r request) String() string {
 		return fmt.Sprintf("Decref(%d)", r.key())
 	case opDelete:
 		return fmt.Sprintf("Delete(%d)", r.key())
+	case opRMW:
+		if r.rmw != nil {
+			return fmt.Sprintf("RMW(%d, %v)", r.key(), r.rmw.Op)
+		}
+		return fmt.Sprintf("RMW(%d)", r.key())
 	default:
 		return fmt.Sprintf("op%d(%d)", r.op(), r.key())
 	}

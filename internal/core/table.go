@@ -584,6 +584,13 @@ func (t *Table) execute(store *partition.Store, r request, out *ring.SPSC[reply]
 		out.ProduceSpin(reply{elem: store.Lookup(r.key())})
 	case opInsert:
 		ttl := time.Duration(r.insertTTL()) * time.Millisecond
+		if r.rmw != nil {
+			// Version-carrying insert (recovery, replica replay, slot
+			// migration): preserve the recorded CAS version instead of
+			// assigning a fresh one.
+			out.ProduceSpin(reply{elem: store.InsertTTLVer(r.key(), r.insertSize(), ttl, r.rmw.Ver)})
+			break
+		}
 		out.ProduceSpin(reply{elem: store.InsertTTL(r.key(), r.insertSize(), ttl)})
 	case opReady:
 		// Publishing the value also releases the inserter's reference:
@@ -598,6 +605,13 @@ func (t *Table) execute(store *partition.Store, r request, out *ring.SPSC[reply]
 		} else {
 			out.ProduceSpin(reply{})
 		}
+	case opRMW:
+		// The whole read-modify-write runs here, on the partition's single
+		// owner — no other goroutine can interleave, so no locks. Results
+		// land in the client-owned descriptor before the reply is produced;
+		// the reply ring's release/acquire publishes them to the client.
+		store.RMW(r.key(), r.rmw)
+		out.ProduceSpin(reply{})
 	case opNop:
 		// ignore; used by tests to exercise the path
 	}

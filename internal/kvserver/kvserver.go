@@ -1,7 +1,9 @@
 // Package kvserver implements CPSERVER and LOCKSERVER, the memcached-style
 // TCP key/value cache servers of Section 4 of the CPHash paper, speaking
-// protocol version 2: LOOKUP/INSERT plus DELETE, TTL inserts, and
-// variable-length string keys (GET_STR/SET_STR/DEL_STR).
+// protocol versions 1–4: LOOKUP/INSERT plus DELETE, TTL inserts,
+// variable-length string keys (GET_STR/SET_STR/DEL_STR), bulk SCAN/PURGE,
+// and the version-4 read-modify-write set (CAS/ADD/REPLACE/APPEND/PREPEND/
+// INCR/DECR/TOUCH/GETS/INSERT_VER).
 //
 // Architecture (Figure 4): an acceptor assigns each new connection to the
 // client thread (worker) with the fewest active connections. Per-connection
@@ -45,12 +47,16 @@ import (
 )
 
 // Result describes the outcome of one response-bearing request inside a
-// batch: for a LOOKUP/GET_STR hit the value occupies buf[Start:End] of the
-// batch buffer; for a DELETE/DEL_STR only Found is meaningful (the key
-// existed and was removed).
+// batch: for a LOOKUP/GET_STR/GETS hit the value occupies buf[Start:End]
+// of the batch buffer; for a DELETE/DEL_STR only Found is meaningful (the
+// key existed and was removed); a read-modify-write fills Status, Ver and
+// Num (the wire triple); a GETS hit also carries the entry version in Ver.
 type Result struct {
 	Start, End int32
 	Found      bool
+	Status     uint8
+	Ver        uint64
+	Num        uint64
 }
 
 // Backend executes one batch of requests against a hash table.
@@ -562,7 +568,7 @@ func (w *worker) run() {
 				for _, it := range seg {
 					reqs = append(reqs, it.req)
 					switch it.req.Op {
-					case protocol.OpLookup, protocol.OpGetStr:
+					case protocol.OpLookup, protocol.OpGetStr, protocol.OpGets, protocol.OpGetsStr:
 					default:
 						mutating = true
 					}
@@ -588,10 +594,16 @@ func (w *worker) run() {
 					switch seg[i].req.Op {
 					case protocol.OpLookup, protocol.OpGetStr:
 						cs.wErr = protocol.WriteLookupResponse(cs.w, buf[r.Start:r.End], r.Found)
+					case protocol.OpGets, protocol.OpGetsStr:
+						cs.wErr = protocol.WriteGetsResponse(cs.w, buf[r.Start:r.End], r.Ver, r.Found)
 					case protocol.OpDelete, protocol.OpDelStr:
 						cs.wErr = protocol.WriteDeleteResponse(cs.w, r.Found)
 					default:
-						continue // inserts are silent
+						if protocol.IsRMW(seg[i].req.Op) {
+							cs.wErr = protocol.WriteRMWResponse(cs.w, r.Status, r.Ver, r.Num)
+						} else {
+							continue // inserts are silent
+						}
 					}
 					if !cs.touched {
 						cs.touched = true
@@ -695,6 +707,60 @@ func wireTTL(ms uint32) time.Duration {
 	return time.Duration(ms) * time.Millisecond
 }
 
+// The wire RMW status codes are defined to be numerically identical to the
+// partition engine's, so harvesting an outcome is a plain cast. These
+// constant indexes fail to compile if either enumeration drifts.
+var (
+	_ = [1]struct{}{}[partition.RMWStored-partition.RMWStatus(protocol.RMWStatusStored)]
+	_ = [1]struct{}{}[partition.RMWNotStored-partition.RMWStatus(protocol.RMWStatusNotStored)]
+	_ = [1]struct{}{}[partition.RMWExists-partition.RMWStatus(protocol.RMWStatusExists)]
+	_ = [1]struct{}{}[partition.RMWNotFound-partition.RMWStatus(protocol.RMWStatusNotFound)]
+	_ = [1]struct{}{}[partition.RMWBadValue-partition.RMWStatus(protocol.RMWStatusBadValue)]
+	_ = [1]struct{}{}[partition.RMWTooLarge-partition.RMWStatus(protocol.RMWStatusTooLarge)]
+	_ = [1]struct{}{}[partition.RMWNoSpace-partition.RMWStatus(protocol.RMWStatusNoSpace)]
+)
+
+// rmwOpOf maps a wire read-modify-write opcode onto the partition engine's
+// flavor (0 for a non-RMW opcode).
+func rmwOpOf(op uint8) partition.RMWOp {
+	switch op {
+	case protocol.OpCas, protocol.OpCasStr:
+		return partition.RMWCas
+	case protocol.OpAdd, protocol.OpAddStr:
+		return partition.RMWAdd
+	case protocol.OpReplace, protocol.OpReplaceStr:
+		return partition.RMWReplace
+	case protocol.OpAppend, protocol.OpAppendStr:
+		return partition.RMWAppend
+	case protocol.OpPrepend, protocol.OpPrependStr:
+		return partition.RMWPrepend
+	case protocol.OpIncr, protocol.OpIncrStr:
+		return partition.RMWIncr
+	case protocol.OpDecr, protocol.OpDecrStr:
+		return partition.RMWDecr
+	case protocol.OpTouch, protocol.OpTouchStr:
+		return partition.RMWTouch
+	}
+	return 0
+}
+
+// rmwReqOf translates a wire RMW request into the partition engine's form.
+// StrKey/Val alias the request's decode arena; that honors the no-retention
+// contract because the engine copies on store and the request outlives the
+// synchronous (or settled-before-return) execution.
+func rmwReqOf(r protocol.Request) partition.RMWReq {
+	return partition.RMWReq{
+		Op:     rmwOpOf(r.Op),
+		StrKey: r.StrKey,
+		Val:    r.Value,
+		Ver:    r.Ver,
+		Delta:  r.Delta,
+		TTL:    r.TTL,
+		Prefix: int(r.Prefix),
+		MaxVal: protocol.MaxValueSize,
+	}
+}
+
 // cphashBackend pipelines a batch through a CPHASH client handle.
 type cphashBackend struct {
 	client   *core.Client
@@ -762,7 +828,7 @@ func (b *cphashBackend) ProcessBatch(reqs []protocol.Request, results []Result, 
 	for i, r := range reqs {
 		key := routedKey(r)
 		switch r.Op {
-		case protocol.OpLookup, protocol.OpGetStr:
+		case protocol.OpLookup, protocol.OpGetStr, protocol.OpGets, protocol.OpGetsStr:
 			if _, dep := b.inserted[key]; dep {
 				buf = b.settle(results, buf, pendingStart)
 				pendingStart = len(b.ops)
@@ -799,6 +865,34 @@ func (b *cphashBackend) ProcessBatch(reqs []protocol.Request, results []Result, 
 			// A later same-batch lookup of this key needs no settle
 			// barrier: the delete precedes it on the FIFO ring.
 			delete(b.inserted, key)
+		case protocol.OpInsertVer:
+			// Replay-with-version (migration, replica catch-up): silent
+			// like INSERT, value bytes already carry any string framing.
+			b.ops = append(b.ops, b.client.InsertTTLVerAsync(key, r.Value, wireTTL(r.TTL), r.Ver))
+			b.idx = append(b.idx, -1)
+			b.keys = append(b.keys, nil)
+			b.inserted[key] = struct{}{}
+			b.fenceKeys[b.table.PartitionOf(key)] = key
+		default:
+			if !protocol.IsRMW(r.Op) {
+				continue
+			}
+			// An RMW of a key INSERTed earlier in this batch must not
+			// observe the not-ready element (it reads as absent); the
+			// settle barrier dependent lookups use closes that window.
+			// The RMW itself needs no fence key: its change record is
+			// published inline on the owning server goroutine before the
+			// reply, so settling the op already proves publication. A
+			// stored result is immediately ready, so later same-batch
+			// lookups need no barrier either (ring FIFO suffices).
+			if _, dep := b.inserted[key]; dep {
+				buf = b.settle(results, buf, pendingStart)
+				pendingStart = len(b.ops)
+				clear(b.inserted)
+			}
+			b.ops = append(b.ops, b.client.RMWAsync(key, rmwReqOf(r)))
+			b.idx = append(b.idx, i)
+			b.keys = append(b.keys, nil)
 		}
 	}
 	buf = b.settle(results, buf, pendingStart)
@@ -819,22 +913,25 @@ func (b *cphashBackend) settle(results []Result, buf []byte, from int) []byte {
 			case core.OpLookup:
 				if op.Hit() {
 					raw := op.Value()
+					v, ok := raw, true
 					if sk := b.keys[j]; sk != nil {
-						// GET_STR: verify the embedded key; a 60-bit hash
-						// collision stays a miss.
-						if v, ok := protocol.CutStringEntry(raw, sk); ok {
-							start := int32(len(buf))
-							buf = append(buf, v...)
-							results[i] = Result{Start: start, End: int32(len(buf)), Found: true}
-						}
-					} else {
+						// GET_STR/GETS_STR: verify the embedded key; a
+						// 60-bit hash collision stays a miss.
+						v, ok = protocol.CutStringEntry(raw, sk)
+					}
+					if ok {
 						start := int32(len(buf))
-						buf = append(buf, raw...)
-						results[i] = Result{Start: start, End: int32(len(buf)), Found: true}
+						buf = append(buf, v...)
+						// Ver is harvested unconditionally: GETS consumes
+						// it, plain LOOKUP responses ignore it.
+						results[i] = Result{Start: start, End: int32(len(buf)), Found: true, Ver: op.Version()}
 					}
 				}
 			case core.OpDelete:
 				results[i] = Result{Found: op.Hit()}
+			case core.OpRMW:
+				r := op.RMW()
+				results[i] = Result{Status: uint8(r.Status), Ver: r.OutVer, Num: r.Num}
 			}
 		}
 		b.client.Release(op)
@@ -890,7 +987,7 @@ func ttlMillis(ttl time.Duration) uint32 {
 // wire entry aliases them instead of copying again.
 func appendWireEntries(dst []protocol.ScanEntry, entries []partition.ScanEntry) []protocol.ScanEntry {
 	for _, e := range entries {
-		dst = append(dst, protocol.ScanEntry{Key: e.Key, TTL: ttlMillis(e.TTL), Value: e.Value})
+		dst = append(dst, protocol.ScanEntry{Key: e.Key, TTL: ttlMillis(e.TTL), Version: e.Version, Value: e.Value})
 	}
 	return dst
 }
@@ -962,6 +1059,29 @@ func (b *lockhashBackend) ProcessBatch(reqs []protocol.Request, results []Result
 			results[i] = Result{Found: b.table.Delete(r.Key)}
 		case protocol.OpDelStr:
 			results[i] = Result{Found: b.table.Delete(protocol.HashStringKey(r.StrKey))}
+		case protocol.OpGets, protocol.OpGetsStr:
+			// Value and version must be read atomically; Lookup pins the
+			// element so both come from the same entry generation.
+			if e := b.table.Lookup(routedKey(r)); e != nil {
+				v, ok := e.Value(), true
+				if r.StrKey != nil {
+					v, ok = protocol.CutStringEntry(v, r.StrKey)
+				}
+				if ok {
+					start := int32(len(buf))
+					buf = append(buf, v...)
+					results[i] = Result{Start: start, End: int32(len(buf)), Found: true, Ver: e.Version()}
+				}
+				b.table.Decref(e)
+			}
+		case protocol.OpInsertVer:
+			b.table.PutTTLVer(r.Key, r.Value, wireTTL(r.TTL), r.Ver)
+		default:
+			if protocol.IsRMW(r.Op) {
+				req := rmwReqOf(r)
+				b.table.RMW(routedKey(r), &req)
+				results[i] = Result{Status: uint8(req.Status), Ver: req.OutVer, Num: req.Num}
+			}
 		}
 	}
 	return buf

@@ -86,7 +86,7 @@ func recoverKeys(t *testing.T, dir string) map[uint64]string {
 		t.Fatal(err)
 	}
 	got := map[uint64]string{}
-	if _, err := p.Recover(func(op persist.Op, key uint64, exp int64, v []byte) error {
+	if _, err := p.Recover(func(op persist.Op, key uint64, exp int64, ver uint64, v []byte) error {
 		if op == persist.OpSet {
 			got[key] = string(v)
 		} else {

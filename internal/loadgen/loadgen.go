@@ -163,7 +163,7 @@ func runConn(cli *client.Client, cfg Config, ci int, ops, hits, misses, bad *ato
 	}
 
 	hist := perf.NewHistogram()
-	valBuf := make([]byte, cfg.Spec.ValueSize)
+	valBuf := make([]byte, cfg.Spec.MaxValueSize())
 	type pendingLookup struct {
 		look *client.Lookup
 		key  uint64

@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"net"
+	"testing"
+
+	"cphash/internal/mctext"
+	"cphash/internal/workload"
+)
+
+// startTextServer stands up a native server with an mctext front-end
+// and returns the text listener's address.
+func startTextServer(t *testing.T) string {
+	t.Helper()
+	srv := startServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := mctext.Serve(ln, mctext.Config{Upstream: srv.Addr()})
+	t.Cleanup(func() { mc.Close() })
+	return mc.Addr().String()
+}
+
+// TestRunMemcachedEndToEnd drives a validated workload — shifting hot
+// keys and a value-size mixture, the shapes this driver exists for —
+// through the text protocol across two front-ends. Every hit must carry
+// the exact expected bytes, proving the text translation (flags prefix
+// on, prefix off on read) and the continuum routing agree with the
+// native verification model.
+func TestRunMemcachedEndToEnd(t *testing.T) {
+	addrs := []string{startTextServer(t), startTextServer(t)}
+	res, err := RunMemcached(Config{
+		Addrs:      addrs,
+		Conns:      2,
+		Pipeline:   32,
+		OpsPerConn: 3000,
+		Validate:   true,
+		Spec: workload.Spec{
+			WorkingSetBytes: 8 << 10,
+			InsertRatio:     0.3,
+			Dist:            workload.Shifting,
+			HotKeys:         16,
+			ShiftEvery:      1000,
+			Sizes:           []workload.SizeClass{{Bytes: 8, Weight: 3}, {Bytes: 200, Weight: 1}},
+			Seed:            1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 6000 {
+		t.Fatalf("ops = %d, want 6000", res.Ops)
+	}
+	if res.BadBytes != 0 {
+		t.Fatalf("%d corrupt responses through the text front-end", res.BadBytes)
+	}
+	if res.Hits == 0 || res.Misses == 0 {
+		t.Fatalf("degenerate hit/miss split: %d/%d", res.Hits, res.Misses)
+	}
+	if res.Latency.Count() == 0 {
+		t.Fatal("no latency samples")
+	}
+}
+
+// TestRunMemcachedValidation mirrors the native driver's input checks.
+func TestRunMemcachedValidation(t *testing.T) {
+	if _, err := RunMemcached(Config{}); err == nil {
+		t.Fatal("RunMemcached accepted an empty address list")
+	}
+	if _, err := RunMemcached(Config{Addrs: []string{"127.0.0.1:1"}, Spec: workload.Spec{}}); err == nil {
+		t.Fatal("RunMemcached accepted an invalid spec")
+	}
+	_, err := RunMemcached(Config{
+		Addrs: []string{"127.0.0.1:1"}, Conns: 1, OpsPerConn: 8,
+		Spec: workload.Default(1 << 10),
+	})
+	if err == nil {
+		t.Fatal("RunMemcached reached a dead port")
+	}
+}

@@ -211,9 +211,16 @@ func (t *Table) PutTTL(key Key, value []byte, ttl time.Duration) bool {
 // space was obtained. Durability recovery uses it to restore TTLs
 // exactly as logged.
 func (t *Table) PutExpire(key Key, value []byte, expireAt int64) bool {
+	return t.PutExpireVer(key, value, expireAt, 0)
+}
+
+// PutExpireVer is PutExpire with an explicit CAS version (0 = assign
+// next); recovery and replication replay use it so versions survive a
+// restart or promotion exactly as logged.
+func (t *Table) PutExpireVer(key Key, value []byte, expireAt int64, ver uint64) bool {
 	p := t.part(key)
 	p.mu.Lock()
-	e := p.store.InsertExpire(key&partition.MaxKey, len(value), expireAt)
+	e := p.store.InsertExpireVer(key&partition.MaxKey, len(value), expireAt, ver)
 	if e == nil {
 		p.mu.Unlock()
 		return false
@@ -223,6 +230,35 @@ func (t *Table) PutExpire(key Key, value []byte, expireAt int64) bool {
 	p.store.Decref(e)
 	p.mu.Unlock()
 	return true
+}
+
+// PutTTLVer is PutTTL with an explicit CAS version (0 = assign next);
+// slot migration uses it to move entries without disturbing their CAS
+// tokens.
+func (t *Table) PutTTLVer(key Key, value []byte, ttl time.Duration, ver uint64) bool {
+	p := t.part(key)
+	p.mu.Lock()
+	e := p.store.InsertTTLVer(key&partition.MaxKey, len(value), ttl, ver)
+	if e == nil {
+		p.mu.Unlock()
+		return false
+	}
+	copy(e.Value(), value)
+	p.store.MarkReady(e)
+	p.store.Decref(e)
+	p.mu.Unlock()
+	return true
+}
+
+// RMW executes one atomic read-modify-write (CAS, add/replace,
+// append/prepend, incr/decr, touch) under the key's partition spinlock —
+// LOCKHASH's moral equivalent of CPHASH running the composite op on the
+// partition's owning server goroutine. Results are written into req.
+func (t *Table) RMW(key Key, req *partition.RMWReq) {
+	p := t.part(key)
+	p.mu.Lock()
+	p.store.RMW(key&partition.MaxKey, req)
+	p.mu.Unlock()
 }
 
 // Delete removes key, reporting whether it was present.

@@ -1,0 +1,368 @@
+// Package mcclient is a minimal memcached text-protocol client. It
+// exists so the repo can smoke-test the mctext front-end the way a stock
+// client would — same command lines, same reply parsing — without
+// pulling a third-party dependency into the build. One Client wraps one
+// connection and is not safe for concurrent use; callers that want
+// parallelism open one Client per goroutine.
+package mcclient
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+)
+
+// Sentinel errors mapping the protocol's reply lines.
+var (
+	// ErrCacheMiss is a get/gets miss or a delete/incr/decr/touch on an
+	// absent key (NOT_FOUND).
+	ErrCacheMiss = errors.New("mcclient: cache miss")
+	// ErrNotStored is add on a present key or replace/append/prepend on
+	// an absent one (NOT_STORED).
+	ErrNotStored = errors.New("mcclient: not stored")
+	// ErrExists is a cas conflict: the entry changed since the gets
+	// (EXISTS).
+	ErrExists = errors.New("mcclient: cas conflict")
+)
+
+// Item is one stored entry.
+type Item struct {
+	Key   string
+	Value []byte
+	Flags uint32
+	// CAS is the compare-and-swap token (gets only).
+	CAS uint64
+}
+
+// Client is one text-protocol connection.
+type Client struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// Dial connects to a memcached text listener.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+func (c *Client) readLine() ([]byte, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(line, "\r\n"), nil
+}
+
+// replyError turns an ERROR/CLIENT_ERROR/SERVER_ERROR line into an
+// error, or nil if the line is not an error line.
+func replyError(line []byte) error {
+	switch {
+	case bytes.Equal(line, []byte("ERROR")):
+		return errors.New("mcclient: server answered ERROR")
+	case bytes.HasPrefix(line, []byte("CLIENT_ERROR ")):
+		return fmt.Errorf("mcclient: %s", line)
+	case bytes.HasPrefix(line, []byte("SERVER_ERROR ")):
+		return fmt.Errorf("mcclient: %s", line)
+	}
+	return nil
+}
+
+// store runs one storage command and maps the reply line.
+func (c *Client) store(verb, key string, value []byte, flags uint32, exptime int64, cas uint64) error {
+	fmt.Fprintf(c.w, "%s %s %d %d %d", verb, key, flags, exptime, len(value))
+	if verb == "cas" {
+		fmt.Fprintf(c.w, " %d", cas)
+	}
+	c.w.WriteString("\r\n")
+	c.w.Write(value)
+	c.w.WriteString("\r\n")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	switch string(line) {
+	case "STORED":
+		return nil
+	case "NOT_STORED":
+		return ErrNotStored
+	case "EXISTS":
+		return ErrExists
+	case "NOT_FOUND":
+		return ErrCacheMiss
+	}
+	if err := replyError(line); err != nil {
+		return err
+	}
+	return fmt.Errorf("mcclient: unexpected reply %q", line)
+}
+
+// Set stores value unconditionally.
+func (c *Client) Set(key string, value []byte, flags uint32, exptime int64) error {
+	return c.store("set", key, value, flags, exptime, 0)
+}
+
+// Add stores value iff the key is absent.
+func (c *Client) Add(key string, value []byte, flags uint32, exptime int64) error {
+	return c.store("add", key, value, flags, exptime, 0)
+}
+
+// Replace stores value iff the key is present.
+func (c *Client) Replace(key string, value []byte, flags uint32, exptime int64) error {
+	return c.store("replace", key, value, flags, exptime, 0)
+}
+
+// Append concatenates value after the existing entry.
+func (c *Client) Append(key string, value []byte) error {
+	return c.store("append", key, value, 0, 0, 0)
+}
+
+// Prepend concatenates value before the existing entry.
+func (c *Client) Prepend(key string, value []byte) error {
+	return c.store("prepend", key, value, 0, 0, 0)
+}
+
+// Cas stores value iff the entry still carries the token from a prior
+// Gets; ErrExists reports a conflict.
+func (c *Client) Cas(key string, value []byte, flags uint32, exptime int64, cas uint64) error {
+	return c.store("cas", key, value, flags, exptime, cas)
+}
+
+// Get fetches one key (ErrCacheMiss on a miss).
+func (c *Client) Get(key string) (*Item, error) {
+	items, err := c.retrieve("get", []string{key})
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return nil, ErrCacheMiss
+	}
+	return items[0], nil
+}
+
+// Gets fetches one key with its CAS token.
+func (c *Client) Gets(key string) (*Item, error) {
+	items, err := c.retrieve("gets", []string{key})
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return nil, ErrCacheMiss
+	}
+	return items[0], nil
+}
+
+// GetMulti fetches several keys in one round trip; missing keys are
+// simply absent from the result.
+func (c *Client) GetMulti(keys ...string) (map[string]*Item, error) {
+	items, err := c.retrieve("get", keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Item, len(items))
+	for _, it := range items {
+		out[it.Key] = it
+	}
+	return out, nil
+}
+
+func (c *Client) retrieve(verb string, keys []string) ([]*Item, error) {
+	c.w.WriteString(verb)
+	for _, k := range keys {
+		c.w.WriteByte(' ')
+		c.w.WriteString(k)
+	}
+	c.w.WriteString("\r\n")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var items []*Item
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Equal(line, []byte("END")) {
+			return items, nil
+		}
+		if err := replyError(line); err != nil {
+			return nil, err
+		}
+		fields := bytes.Split(line, []byte(" "))
+		if len(fields) < 4 || !bytes.Equal(fields[0], []byte("VALUE")) {
+			return nil, fmt.Errorf("mcclient: unexpected reply %q", line)
+		}
+		it := &Item{Key: string(fields[1])}
+		flags, err := strconv.ParseUint(string(fields[2]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("mcclient: bad flags in %q", line)
+		}
+		it.Flags = uint32(flags)
+		n, err := strconv.Atoi(string(fields[3]))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("mcclient: bad length in %q", line)
+		}
+		if len(fields) >= 5 {
+			if it.CAS, err = strconv.ParseUint(string(fields[4]), 10, 64); err != nil {
+				return nil, fmt.Errorf("mcclient: bad cas in %q", line)
+			}
+		}
+		it.Value = make([]byte, n+2)
+		if _, err := readFull(c.r, it.Value); err != nil {
+			return nil, err
+		}
+		if !bytes.HasSuffix(it.Value, []byte("\r\n")) {
+			return nil, fmt.Errorf("mcclient: data block for %s not CRLF-terminated", it.Key)
+		}
+		it.Value = it.Value[:n]
+		items = append(items, it)
+	}
+}
+
+func readFull(r *bufio.Reader, b []byte) (int, error) {
+	n := 0
+	for n < len(b) {
+		m, err := r.Read(b[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// arith runs incr/decr and returns the new value.
+func (c *Client) arith(verb, key string, delta uint64) (uint64, error) {
+	fmt.Fprintf(c.w, "%s %s %d\r\n", verb, key, delta)
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return 0, err
+	}
+	if bytes.Equal(line, []byte("NOT_FOUND")) {
+		return 0, ErrCacheMiss
+	}
+	if err := replyError(line); err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseUint(string(line), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("mcclient: unexpected reply %q", line)
+	}
+	return n, nil
+}
+
+// Incr adds delta to the decimal value under key, returning the result.
+func (c *Client) Incr(key string, delta uint64) (uint64, error) {
+	return c.arith("incr", key, delta)
+}
+
+// Decr subtracts delta, flooring at 0.
+func (c *Client) Decr(key string, delta uint64) (uint64, error) {
+	return c.arith("decr", key, delta)
+}
+
+// Delete removes key (ErrCacheMiss when absent).
+func (c *Client) Delete(key string) error {
+	fmt.Fprintf(c.w, "delete %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	switch string(line) {
+	case "DELETED":
+		return nil
+	case "NOT_FOUND":
+		return ErrCacheMiss
+	}
+	if err := replyError(line); err != nil {
+		return err
+	}
+	return fmt.Errorf("mcclient: unexpected reply %q", line)
+}
+
+// Touch updates key's expiry (ErrCacheMiss when absent).
+func (c *Client) Touch(key string, exptime int64) error {
+	fmt.Fprintf(c.w, "touch %s %d\r\n", key, exptime)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	switch string(line) {
+	case "TOUCHED":
+		return nil
+	case "NOT_FOUND":
+		return ErrCacheMiss
+	}
+	if err := replyError(line); err != nil {
+		return err
+	}
+	return fmt.Errorf("mcclient: unexpected reply %q", line)
+}
+
+// Version returns the server's version string.
+func (c *Client) Version() (string, error) {
+	c.w.WriteString("version\r\n")
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return "", err
+	}
+	if err := replyError(line); err != nil {
+		return "", err
+	}
+	if !bytes.HasPrefix(line, []byte("VERSION ")) {
+		return "", fmt.Errorf("mcclient: unexpected reply %q", line)
+	}
+	return string(line[len("VERSION "):]), nil
+}
+
+// Stats returns the server's STAT lines as a name→value map.
+func (c *Client) Stats() (map[string]string, error) {
+	c.w.WriteString("stats\r\n")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Equal(line, []byte("END")) {
+			return out, nil
+		}
+		if err := replyError(line); err != nil {
+			return nil, err
+		}
+		fields := bytes.SplitN(line, []byte(" "), 3)
+		if len(fields) != 3 || !bytes.Equal(fields[0], []byte("STAT")) {
+			return nil, fmt.Errorf("mcclient: unexpected reply %q", line)
+		}
+		out[string(fields[1])] = string(fields[2])
+	}
+}

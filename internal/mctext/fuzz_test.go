@@ -1,0 +1,126 @@
+package mctext
+
+import (
+	"bytes"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseLine throws arbitrary bytes at the tokenizer and checks the
+// invariants the connection loop depends on: no panics, errors are typed,
+// and a successful parse yields a well-formed command (valid verb, valid
+// keys, in-range sizes).
+func FuzzParseLine(f *testing.F) {
+	seeds := []string{
+		"get k",
+		"gets a b c",
+		"set k 1 0 5",
+		"set k 1 0 5 noreply",
+		"cas k 0 0 3 42",
+		"add k 0 0 0",
+		"append k 0 0 2",
+		"incr k 1",
+		"decr k 18446744073709551615",
+		"delete k noreply",
+		"touch k -1",
+		"stats",
+		"version",
+		"quit",
+		"set k 99999999999999999999999 0 1",
+		"get " + string(bytes.Repeat([]byte{'k'}, 300)),
+		"set k 1 0",
+		"set  k 1 0 5",
+		"bogus stuff",
+		"\x00\xff\x01binary",
+		"incr k abc",
+		"cas k 0 0 3",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		if bytes.ContainsAny(line, "\r\n") {
+			// The reader strips line endings before the tokenizer runs.
+			t.Skip()
+		}
+		var cmd textCmd
+		fields := make([][]byte, 0, 8)
+		_, err := parseLine(line, &cmd, fields)
+		if err != nil {
+			return // rejected is always fine; not panicking is the point
+		}
+		switch cmd.verb {
+		case verbGet, verbGets:
+			if len(cmd.keys) == 0 || len(cmd.keys) > maxGetKeys {
+				t.Fatalf("get parsed with %d keys", len(cmd.keys))
+			}
+		case verbStats, verbVersion, verbQuit:
+			if len(cmd.keys) != 0 {
+				t.Fatalf("%d keys on a keyless verb", len(cmd.keys))
+			}
+		case verbUnknown:
+			t.Fatal("nil error but unknown verb")
+		default:
+			if len(cmd.keys) != 1 {
+				t.Fatalf("%d keys on single-key verb %d", len(cmd.keys), cmd.verb)
+			}
+		}
+		for _, k := range cmd.keys {
+			if !validKey(k) {
+				t.Fatalf("parsed invalid key %q", k)
+			}
+		}
+		if cmd.nbytes < 0 || cmd.nbytes > maxValueLen {
+			t.Fatalf("nbytes %d out of range", cmd.nbytes)
+		}
+		_ = utf8.Valid(line) // lines need not be UTF-8; just exercise it
+	})
+}
+
+// TestParseLineTable pins the tokenizer's accept/reject behavior on
+// representative lines (the non-random counterpart of FuzzParseLine).
+func TestParseLineTable(t *testing.T) {
+	accept := []string{
+		"get k",
+		"gets k1 k2",
+		"set k 0 0 0",
+		"set k 4294967295 2592000 10 noreply",
+		"cas k 0 -1 3 18446744073709551615",
+		"incr k 0",
+		"decr k 5 noreply",
+		"delete k",
+		"touch k 100",
+		"quit",
+	}
+	reject := []string{
+		"",
+		"get",
+		"get " + string(bytes.Repeat([]byte{'x'}, MaxKeyLen+1)),
+		"set k 0 0",
+		"set k 0 0 1 2 3",
+		"set k 4294967296 0 1", // flags overflow uint32
+		"set k 0 0 99999999999999999999999",
+		"set k 0 0 1 yesplease",
+		"cas k 0 0 1", // missing cas token
+		"incr k",
+		"incr k -1", // negative delta
+		"touch k",
+		"delete",
+		"get a\x7fb",   // DEL byte in key
+		"set  k 0 0 1", // double space → empty field
+	}
+	var cmd textCmd
+	fields := make([][]byte, 0, 8)
+	for _, s := range accept {
+		var err error
+		if fields, err = parseLine([]byte(s), &cmd, fields); err != nil {
+			t.Errorf("parseLine(%q) rejected: %v", s, err)
+		}
+	}
+	for _, s := range reject {
+		var err error
+		if fields, err = parseLine([]byte(s), &cmd, fields); err == nil {
+			t.Errorf("parseLine(%q) accepted, want error", s)
+		}
+	}
+}

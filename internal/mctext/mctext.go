@@ -1,0 +1,604 @@
+// Package mctext is a memcached text-protocol front-end for a cphash
+// instance. It runs as a side listener next to the native binary
+// listener and acts as a translating proxy: each text connection dials
+// the instance's own native address and rewrites memcached commands
+// (get/gets/set/add/replace/append/prepend/cas/incr/decr/delete/touch/
+// version/stats/quit) into protocol version-4 requests, so a stock
+// memcached client can talk to the store without a new server path.
+//
+// Translation rules:
+//
+//   - Keys are memcached string keys (≤250 bytes, no whitespace or
+//     control bytes) and map onto the string-key op variants, which hash
+//     through the same 60-bit key space as native callers.
+//   - The 32-bit flags word is persisted as a 4-byte little-endian
+//     prefix of the stored value; APPEND/PREPEND/INCR/DECR requests carry
+//     wire Prefix=4 so the engine splices after (and parses past) it.
+//     Values stored by native callers have no such prefix and read back
+//     through this front-end as flags=0 when shorter than 4 bytes.
+//   - exptime follows memcached semantics: 0 never expires, negative is
+//     already expired, values ≤ 30 days are relative seconds, larger
+//     values are absolute unix seconds. All convert to the native
+//     millisecond TTL.
+//   - "set" maps onto the silent native SET_STR and is acknowledged
+//     optimistically after the write is flushed upstream; the
+//     per-connection FIFO still guarantees read-your-writes on the same
+//     text connection.
+//
+// Each text connection owns a small set of recycled buffers (line
+// reader, key copy, value arena, number scratch) so steady-state
+// traffic does not allocate per command.
+package mctext
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cphash/internal/obs"
+	"cphash/internal/protocol"
+)
+
+// maxValueLen bounds one text-protocol payload: the native value bound
+// minus the 4-byte flags prefix this front-end adds.
+const maxValueLen = protocol.MaxValueSize - flagsPrefixLen
+
+// flagsPrefixLen is the stored-value prefix holding the flags word.
+const flagsPrefixLen = 4
+
+// thirtyDays is memcached's relative/absolute exptime watershed.
+const thirtyDays = 60 * 60 * 24 * 30
+
+var (
+	errLineTooLong = errors.New("line too long")
+	errBadChunk    = errors.New("bad data chunk")
+)
+
+// Config configures one front-end listener.
+type Config struct {
+	// Upstream is the instance's native listener address each text
+	// connection dials.
+	Upstream string
+	// Version is the string answered to the "version" command
+	// (default "cphash-mctext").
+	Version string
+	// DialTimeout bounds the upstream dial (default 2s).
+	DialTimeout time.Duration
+}
+
+// Server accepts memcached text-protocol connections and proxies them
+// onto the native listener.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	connections atomic.Int64
+	active      atomic.Int64
+	commands    atomic.Int64
+	getHits     atomic.Int64
+	getMisses   atomic.Int64
+	parseErrors atomic.Int64
+	upErrors    atomic.Int64
+}
+
+// Serve starts accepting text connections on ln; it returns immediately.
+func Serve(ln net.Listener, cfg Config) *Server {
+	if cfg.Version == "" {
+		cfg.Version = "cphash-mctext"
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	s := &Server{cfg: cfg, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting and closes all live connections.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Collect emits the front-end's counters into an exposition buffer.
+func (s *Server) Collect(e *obs.Expo, labels string) {
+	e.Counter("cphash_mctext_connections_total", "Lifetime accepted memcached text connections.", labels, s.connections.Load())
+	e.Gauge("cphash_mctext_active_connections", "Currently open memcached text connections.", labels, float64(s.active.Load()))
+	e.Counter("cphash_mctext_commands_total", "Text-protocol commands processed.", labels, s.commands.Load())
+	e.Counter("cphash_mctext_get_hits_total", "get/gets keys answered with a value.", labels, s.getHits.Load())
+	e.Counter("cphash_mctext_get_misses_total", "get/gets keys answered with a miss.", labels, s.getMisses.Load())
+	e.Counter("cphash_mctext_parse_errors_total", "Command lines rejected by the tokenizer.", labels, s.parseErrors.Load())
+	e.Counter("cphash_mctext_upstream_errors_total", "Connections dropped on native-listener I/O failure.", labels, s.upErrors.Load())
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connections.Add(1)
+		s.active.Add(1)
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer s.active.Add(-1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+
+	t := &textConn{
+		s: s,
+		r: bufio.NewReaderSize(c, MaxLineLen),
+		w: bufio.NewWriterSize(c, 32<<10),
+	}
+	up, err := net.DialTimeout("tcp", s.cfg.Upstream, s.cfg.DialTimeout)
+	if err != nil {
+		s.upErrors.Add(1)
+		t.w.WriteString("SERVER_ERROR upstream unavailable\r\n")
+		t.w.Flush()
+		return
+	}
+	defer up.Close()
+	t.upr = bufio.NewReaderSize(up, 64<<10)
+	t.upw = bufio.NewWriterSize(up, 64<<10)
+	t.run()
+}
+
+// textConn is the per-connection translator state. All byte slices are
+// recycled arenas reused across commands.
+type textConn struct {
+	s   *Server
+	r   *bufio.Reader // text side
+	w   *bufio.Writer
+	upr *bufio.Reader // native side
+	upw *bufio.Writer
+
+	cmd    textCmd
+	fields [][]byte
+	keyBuf []byte // storage-command key, copied out of the line buffer
+	valBuf []byte // data block (with flags prefix where stored)
+	numBuf []byte // decimal rendering scratch
+}
+
+// run is the command loop; it returns when the client quits, the
+// connection drops, or a fatal protocol error forces a close.
+func (t *textConn) run() {
+	for {
+		line, err := t.readLine()
+		if err != nil {
+			if errors.Is(err, errLineTooLong) {
+				t.s.parseErrors.Add(1)
+				t.clientError("line too long")
+				t.w.Flush()
+			}
+			return
+		}
+		if len(line) == 0 {
+			continue
+		}
+		t.fields, err = parseLine(line, &t.cmd, t.fields)
+		if err != nil {
+			t.s.parseErrors.Add(1)
+			if errors.Is(err, errProtocol) {
+				t.w.WriteString("ERROR\r\n")
+			} else {
+				t.clientError("bad command line format")
+			}
+			if t.w.Flush() != nil {
+				return
+			}
+			continue
+		}
+		t.s.commands.Add(1)
+		switch t.cmd.verb {
+		case verbQuit:
+			t.w.Flush()
+			return
+		case verbVersion:
+			t.w.WriteString("VERSION ")
+			t.w.WriteString(t.s.cfg.Version)
+			t.w.WriteString("\r\n")
+			err = t.w.Flush()
+		case verbStats:
+			err = t.handleStats()
+		case verbGet, verbGets:
+			err = t.handleGet(t.cmd.verb == verbGets)
+		case verbSet, verbAdd, verbReplace, verbAppend, verbPrepend, verbCas:
+			err = t.handleStore()
+		case verbIncr, verbDecr:
+			err = t.handleIncrDecr()
+		case verbDelete:
+			err = t.handleDelete()
+		case verbTouch:
+			err = t.handleTouch()
+		}
+		if err != nil {
+			if !errors.Is(err, errBadChunk) {
+				t.s.upErrors.Add(1)
+				t.serverError("upstream failure")
+				t.w.Flush()
+				return
+			}
+			// Bad data chunk: the payload was consumed, the error
+			// answered; the connection stays usable.
+			if t.w.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// readLine returns the next command line with CRLF stripped. The
+// returned slice aliases the reader's buffer and is valid until the next
+// read.
+func (t *textConn) readLine() ([]byte, error) {
+	line, err := t.r.ReadSlice('\n')
+	if err != nil {
+		if errors.Is(err, bufio.ErrBufferFull) {
+			return nil, errLineTooLong
+		}
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+func (t *textConn) clientError(msg string) {
+	t.w.WriteString("CLIENT_ERROR ")
+	t.w.WriteString(msg)
+	t.w.WriteString("\r\n")
+}
+
+func (t *textConn) serverError(msg string) {
+	t.w.WriteString("SERVER_ERROR ")
+	t.w.WriteString(msg)
+	t.w.WriteString("\r\n")
+}
+
+// exptimeToTTL maps a memcached exptime to a native millisecond TTL:
+// 0 → no expiry, negative → already expired (shortest non-zero TTL),
+// ≤30 days → relative seconds, otherwise → absolute unix seconds.
+func exptimeToTTL(exp int64, now time.Time) uint32 {
+	switch {
+	case exp == 0:
+		return 0
+	case exp < 0:
+		return 1
+	case exp <= thirtyDays:
+		return uint32(exp * 1000)
+	default:
+		d := exp - now.Unix()
+		if d <= 0 {
+			return 1
+		}
+		ms := d * 1000
+		if ms > 1<<32-1 {
+			ms = 1<<32 - 1
+		}
+		return uint32(ms)
+	}
+}
+
+// splitFlags separates a stored value into its flags word and payload.
+// Values written by native callers may be shorter than the prefix; they
+// read back as flags=0 with the whole value as payload.
+func splitFlags(stored []byte) (flags uint32, data []byte) {
+	if len(stored) < flagsPrefixLen {
+		return 0, stored
+	}
+	return binary.LittleEndian.Uint32(stored), stored[flagsPrefixLen:]
+}
+
+// handleGet answers get/gets: one native GET_STR/GETS_STR per key,
+// written back-to-back and flushed once, then the responses harvested in
+// order — a multi-key get costs one upstream round trip.
+func (t *textConn) handleGet(withCas bool) error {
+	op := protocol.OpGetStr
+	if withCas {
+		op = protocol.OpGetsStr
+	}
+	for _, k := range t.cmd.keys {
+		if err := protocol.WriteRequest(t.upw, protocol.Request{Op: op, StrKey: k}); err != nil {
+			return err
+		}
+	}
+	if err := t.upw.Flush(); err != nil {
+		return err
+	}
+	for _, k := range t.cmd.keys {
+		var (
+			ver   uint64
+			found bool
+			err   error
+		)
+		if withCas {
+			t.valBuf, ver, found, err = protocol.ReadGetsResponseInto(t.upr, t.valBuf[:0])
+		} else {
+			t.valBuf, found, err = protocol.ReadLookupResponse(t.upr, t.valBuf[:0])
+		}
+		if err != nil {
+			return err
+		}
+		if !found {
+			t.s.getMisses.Add(1)
+			continue
+		}
+		t.s.getHits.Add(1)
+		flags, data := splitFlags(t.valBuf)
+		t.w.WriteString("VALUE ")
+		t.w.Write(k)
+		t.w.WriteByte(' ')
+		t.writeUint(uint64(flags))
+		t.w.WriteByte(' ')
+		t.writeUint(uint64(len(data)))
+		if withCas {
+			t.w.WriteByte(' ')
+			t.writeUint(ver)
+		}
+		t.w.WriteString("\r\n")
+		t.w.Write(data)
+		t.w.WriteString("\r\n")
+	}
+	t.w.WriteString("END\r\n")
+	return t.w.Flush()
+}
+
+// readData reads the command's data block (nbytes payload + CRLF) into
+// valBuf. withFlags prepends the 4-byte flags word, producing the
+// stored-value framing. Returns errBadChunk (connection stays usable)
+// when the trailing CRLF is missing.
+func (t *textConn) readData(withFlags bool) error {
+	t.valBuf = t.valBuf[:0]
+	if withFlags {
+		t.valBuf = binary.LittleEndian.AppendUint32(t.valBuf, t.cmd.flags)
+	}
+	head := len(t.valBuf)
+	need := head + t.cmd.nbytes
+	if cap(t.valBuf) < need {
+		t.valBuf = append(t.valBuf, make([]byte, need-head)...)
+	} else {
+		t.valBuf = t.valBuf[:need]
+	}
+	if _, err := io.ReadFull(t.r, t.valBuf[head:]); err != nil {
+		return err
+	}
+	// ReadByte (not ReadFull into a stack array) keeps the terminator
+	// check allocation-free.
+	cr, err := t.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	lf, err := t.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if cr != '\r' || lf != '\n' {
+		t.clientError("bad data chunk")
+		return errBadChunk
+	}
+	return nil
+}
+
+// handleStore runs set/add/replace/append/prepend/cas. The key is copied
+// out of the line buffer before the data block read invalidates it.
+func (t *textConn) handleStore() error {
+	t.keyBuf = append(t.keyBuf[:0], t.cmd.keys[0]...)
+	verb, noreply, cas := t.cmd.verb, t.cmd.noreply, t.cmd.cas
+	ttl := exptimeToTTL(t.cmd.exptime, time.Now())
+
+	// APPEND/PREPEND splice raw payload around the existing entry's
+	// flags prefix; the other verbs store a freshly framed value.
+	concat := verb == verbAppend || verb == verbPrepend
+	if err := t.readData(!concat); err != nil {
+		return err
+	}
+
+	req := protocol.Request{StrKey: t.keyBuf, Value: t.valBuf, TTL: ttl}
+	switch verb {
+	case verbSet:
+		req.Op = protocol.OpSetStr
+	case verbAdd:
+		req.Op = protocol.OpAddStr
+	case verbReplace:
+		req.Op = protocol.OpReplaceStr
+	case verbAppend:
+		req.Op = protocol.OpAppendStr
+		req.Prefix = flagsPrefixLen
+	case verbPrepend:
+		req.Op = protocol.OpPrependStr
+		req.Prefix = flagsPrefixLen
+	case verbCas:
+		req.Op = protocol.OpCasStr
+		req.Ver = cas
+	}
+	if err := protocol.WriteRequest(t.upw, req); err != nil {
+		return err
+	}
+	if err := t.upw.Flush(); err != nil {
+		return err
+	}
+
+	if verb == verbSet {
+		// SET_STR is silent upstream; acknowledge once flushed (see the
+		// package comment).
+		if noreply {
+			return nil
+		}
+		t.w.WriteString("STORED\r\n")
+		return t.w.Flush()
+	}
+	status, _, _, err := protocol.ReadRMWResponse(t.upr)
+	if err != nil {
+		return err
+	}
+	if noreply {
+		return nil
+	}
+	t.writeStatus(status, "STORED\r\n")
+	return t.w.Flush()
+}
+
+// writeStatus renders a read-modify-write status as its memcached
+// reply line; stored is the success line ("STORED\r\n" or "TOUCHED\r\n").
+func (t *textConn) writeStatus(status uint8, stored string) {
+	switch status {
+	case protocol.RMWStatusStored:
+		t.w.WriteString(stored)
+	case protocol.RMWStatusNotStored:
+		t.w.WriteString("NOT_STORED\r\n")
+	case protocol.RMWStatusExists:
+		t.w.WriteString("EXISTS\r\n")
+	case protocol.RMWStatusNotFound:
+		t.w.WriteString("NOT_FOUND\r\n")
+	case protocol.RMWStatusBadValue:
+		t.clientError("cannot increment or decrement non-numeric value")
+	case protocol.RMWStatusTooLarge:
+		t.serverError("object too large for cache")
+	case protocol.RMWStatusNoSpace:
+		t.serverError("out of memory storing object")
+	default:
+		t.serverError(fmt.Sprintf("unexpected status %d", status))
+	}
+}
+
+func (t *textConn) handleIncrDecr() error {
+	op := protocol.OpIncrStr
+	if t.cmd.verb == verbDecr {
+		op = protocol.OpDecrStr
+	}
+	req := protocol.Request{Op: op, StrKey: t.cmd.keys[0], Delta: t.cmd.delta, Prefix: flagsPrefixLen}
+	if err := protocol.WriteRequest(t.upw, req); err != nil {
+		return err
+	}
+	if err := t.upw.Flush(); err != nil {
+		return err
+	}
+	status, _, num, err := protocol.ReadRMWResponse(t.upr)
+	if err != nil {
+		return err
+	}
+	if t.cmd.noreply {
+		return nil
+	}
+	if status == protocol.RMWStatusStored {
+		t.writeUint(num)
+		t.w.WriteString("\r\n")
+	} else {
+		t.writeStatus(status, "")
+	}
+	return t.w.Flush()
+}
+
+func (t *textConn) handleDelete() error {
+	req := protocol.Request{Op: protocol.OpDelStr, StrKey: t.cmd.keys[0]}
+	if err := protocol.WriteRequest(t.upw, req); err != nil {
+		return err
+	}
+	if err := t.upw.Flush(); err != nil {
+		return err
+	}
+	found, err := protocol.ReadDeleteResponse(t.upr)
+	if err != nil {
+		return err
+	}
+	if t.cmd.noreply {
+		return nil
+	}
+	if found {
+		t.w.WriteString("DELETED\r\n")
+	} else {
+		t.w.WriteString("NOT_FOUND\r\n")
+	}
+	return t.w.Flush()
+}
+
+func (t *textConn) handleTouch() error {
+	req := protocol.Request{
+		Op:     protocol.OpTouchStr,
+		StrKey: t.cmd.keys[0],
+		TTL:    exptimeToTTL(t.cmd.exptime, time.Now()),
+	}
+	if err := protocol.WriteRequest(t.upw, req); err != nil {
+		return err
+	}
+	if err := t.upw.Flush(); err != nil {
+		return err
+	}
+	status, _, _, err := protocol.ReadRMWResponse(t.upr)
+	if err != nil {
+		return err
+	}
+	if t.cmd.noreply {
+		return nil
+	}
+	t.writeStatus(status, "TOUCHED\r\n")
+	return t.w.Flush()
+}
+
+func (t *textConn) handleStats() error {
+	t.stat("curr_connections", uint64(t.s.active.Load()))
+	t.stat("total_connections", uint64(t.s.connections.Load()))
+	t.stat("cmd_total", uint64(t.s.commands.Load()))
+	t.stat("get_hits", uint64(t.s.getHits.Load()))
+	t.stat("get_misses", uint64(t.s.getMisses.Load()))
+	t.stat("parse_errors", uint64(t.s.parseErrors.Load()))
+	t.w.WriteString("END\r\n")
+	return t.w.Flush()
+}
+
+func (t *textConn) stat(name string, v uint64) {
+	t.w.WriteString("STAT ")
+	t.w.WriteString(name)
+	t.w.WriteByte(' ')
+	t.writeUint(v)
+	t.w.WriteString("\r\n")
+}
+
+func (t *textConn) writeUint(v uint64) {
+	t.numBuf = strconv.AppendUint(t.numBuf[:0], v, 10)
+	t.w.Write(t.numBuf)
+}

@@ -16,11 +16,13 @@ import (
 	"container/list"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"cphash/internal/cluster"
+	"cphash/internal/partition"
 	"cphash/internal/protocol"
 )
 
@@ -28,23 +30,25 @@ import (
 type entry struct {
 	key     uint64
 	value   []byte
-	expires int64 // wall-clock ns deadline; 0 = never
+	expires int64  // wall-clock ns deadline; 0 = never
+	version uint64 // CAS token, assigned at store time
 	elem    *list.Element
 }
 
 // Instance is one single-lock cache server, the unit the client partitions
 // keys across.
 type Instance struct {
-	mu    sync.Mutex
-	m     map[uint64]*entry
-	lru   *list.List // front = most recently used
-	used  int
-	capB  int
-	ln    net.Listener
-	wg    sync.WaitGroup
-	conns map[net.Conn]struct{}
-	cmu   sync.Mutex
-	done  atomic.Bool
+	mu      sync.Mutex
+	m       map[uint64]*entry
+	lru     *list.List // front = most recently used
+	used    int
+	capB    int
+	verNext uint64 // next CAS version to assign (starts at 1)
+	ln      net.Listener
+	wg      sync.WaitGroup
+	conns   map[net.Conn]struct{}
+	cmu     sync.Mutex
+	done    atomic.Bool
 
 	requests atomic.Int64
 }
@@ -57,11 +61,12 @@ func ServeInstance(addr string, capacityBytes int) (*Instance, error) {
 		return nil, err
 	}
 	inst := &Instance{
-		m:     map[uint64]*entry{},
-		lru:   list.New(),
-		capB:  capacityBytes,
-		ln:    ln,
-		conns: map[net.Conn]struct{}{},
+		m:       map[uint64]*entry{},
+		lru:     list.New(),
+		capB:    capacityBytes,
+		verNext: 1,
+		ln:      ln,
+		conns:   map[net.Conn]struct{}{},
 	}
 	inst.wg.Add(1)
 	go inst.acceptLoop()
@@ -196,6 +201,46 @@ func (i *Instance) serveConn(conn net.Conn) {
 			if err := bw.Flush(); err != nil {
 				return
 			}
+		case protocol.OpGets:
+			var found bool
+			var ver uint64
+			scratch, ver, found = i.gets(req.Key, scratch[:0])
+			if err := protocol.WriteGetsResponse(bw, scratch, ver, found); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case protocol.OpGetsStr:
+			var found bool
+			var ver uint64
+			var value []byte
+			scratch, ver, found = i.gets(protocol.HashStringKey(req.StrKey), scratch[:0])
+			if found {
+				value, found = protocol.CutStringEntry(scratch, req.StrKey)
+			}
+			if !found {
+				ver = 0
+			}
+			if err := protocol.WriteGetsResponse(bw, value, ver, found); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case protocol.OpInsertVer:
+			i.putVer(req.Key, req.Value, req.TTL, req.Ver)
+		default:
+			if !protocol.IsRMW(req.Op) {
+				continue
+			}
+			st, ver, num := i.rmw(&req)
+			if err := protocol.WriteRMWResponse(bw, st, ver, num); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -237,9 +282,10 @@ func (i *Instance) scan(slots *protocol.SlotSet, cursor uint64, count int) (uint
 			ttl = uint32(min64(ms, int64(^uint32(0))))
 		}
 		entries = append(entries, protocol.ScanEntry{
-			Key:   k,
-			TTL:   ttl,
-			Value: append([]byte(nil), e.value...),
+			Key:     k,
+			TTL:     ttl,
+			Version: e.version,
+			Value:   append([]byte(nil), e.value...),
 		})
 	}
 	if done {
@@ -297,11 +343,25 @@ func (i *Instance) get(key uint64, dst []byte) ([]byte, bool) {
 func (i *Instance) put(key uint64, value []byte, ttlMillis uint32) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	i.putLocked(key, value, deadline(ttlMillis), 0)
+}
+
+// putVer is put with an explicit CAS version (the INSERT_VER replay path).
+func (i *Instance) putVer(key uint64, value []byte, ttlMillis uint32, ver uint64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.putLocked(key, value, deadline(ttlMillis), ver)
+}
+
+// putLocked stores value under key with an absolute deadline and version
+// (0 = assign the next one), evicting LRU entries to fit. It reports the
+// stored version and whether space was obtained. Callers hold i.mu.
+func (i *Instance) putLocked(key uint64, value []byte, expires int64, ver uint64) (uint64, bool) {
 	if old, ok := i.m[key]; ok {
 		i.removeLocked(old)
 	}
 	if len(value) > i.capB {
-		return // cannot fit at all; silently drop (cache semantics)
+		return 0, false // cannot fit at all; drop (cache semantics)
 	}
 	for i.used+len(value) > i.capB {
 		back := i.lru.Back()
@@ -310,13 +370,161 @@ func (i *Instance) put(key uint64, value []byte, ttlMillis uint32) {
 		}
 		i.removeLocked(back.Value.(*entry))
 	}
-	e := &entry{key: key, value: append([]byte(nil), value...)}
-	if ttlMillis != 0 {
-		e.expires = time.Now().UnixNano() + int64(ttlMillis)*int64(time.Millisecond)
+	if ver == 0 {
+		ver = i.verNext
+		i.verNext++
+	} else if ver >= i.verNext {
+		// Replayed versions keep the counter ahead so later stores cannot
+		// reissue a token a CAS may already hold.
+		i.verNext = ver + 1
 	}
+	e := &entry{key: key, value: append([]byte(nil), value...), expires: expires, version: ver}
 	e.elem = i.lru.PushFront(e)
 	i.m[key] = e
 	i.used += len(value)
+	return ver, true
+}
+
+// deadline converts a millisecond TTL to a wall-clock deadline (0 = never).
+func deadline(ttlMillis uint32) int64 {
+	if ttlMillis == 0 {
+		return 0
+	}
+	return time.Now().UnixNano() + int64(ttlMillis)*int64(time.Millisecond)
+}
+
+// gets is get plus the entry's CAS version.
+func (i *Instance) gets(key uint64, dst []byte) ([]byte, uint64, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	e, ok := i.m[key]
+	if !ok {
+		return dst, 0, false
+	}
+	if e.expires != 0 && time.Now().UnixNano() >= e.expires {
+		i.removeLocked(e)
+		return dst, 0, false
+	}
+	i.lru.MoveToFront(e.elem)
+	return append(dst, e.value...), e.version, true
+}
+
+// rmw executes one read-modify-write under the global lock, mirroring the
+// partition engine's semantics (internal/partition's Store.RMW) so all
+// three servers answer the version-4 ops identically.
+func (i *Instance) rmw(req *protocol.Request) (status uint8, outVer, num uint64) {
+	key := req.Key
+	if req.StrKey != nil {
+		key = protocol.HashStringKey(req.StrKey)
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	e := i.m[key]
+	if e != nil && e.expires != 0 && time.Now().UnixNano() >= e.expires {
+		i.removeLocked(e)
+		e = nil
+	}
+	// Unwrap string-entry framing; a 60-bit hash collision reads as absent.
+	var old []byte
+	if e != nil {
+		old = e.value
+		if req.StrKey != nil {
+			v, match := protocol.CutStringEntry(e.value, req.StrKey)
+			if !match {
+				e, old = nil, nil
+			} else {
+				old = v
+			}
+		}
+	}
+	prefix := int(req.Prefix)
+	store := func(val []byte, expires int64) {
+		framed := val
+		if req.StrKey != nil {
+			framed = protocol.AppendStringEntry(nil, req.StrKey, val)
+		}
+		if len(framed) > protocol.MaxValueSize {
+			status = protocol.RMWStatusTooLarge
+			return
+		}
+		v, ok := i.putLocked(key, framed, expires, 0)
+		if !ok {
+			status = protocol.RMWStatusNoSpace
+			return
+		}
+		outVer, status = v, protocol.RMWStatusStored
+	}
+	switch req.Op {
+	case protocol.OpCas, protocol.OpCasStr:
+		if e == nil {
+			return protocol.RMWStatusNotFound, 0, 0
+		}
+		if e.version != req.Ver {
+			return protocol.RMWStatusExists, e.version, 0
+		}
+		store(req.Value, deadline(req.TTL))
+	case protocol.OpAdd, protocol.OpAddStr:
+		if e != nil {
+			return protocol.RMWStatusNotStored, 0, 0
+		}
+		store(req.Value, deadline(req.TTL))
+	case protocol.OpReplace, protocol.OpReplaceStr:
+		if e == nil {
+			return protocol.RMWStatusNotStored, 0, 0
+		}
+		store(req.Value, deadline(req.TTL))
+	case protocol.OpAppend, protocol.OpAppendStr, protocol.OpPrepend, protocol.OpPrependStr:
+		if e == nil {
+			return protocol.RMWStatusNotStored, 0, 0
+		}
+		if len(old) < prefix {
+			return protocol.RMWStatusBadValue, 0, 0
+		}
+		var buf []byte
+		if req.Op == protocol.OpAppend || req.Op == protocol.OpAppendStr {
+			buf = append(append([]byte(nil), old...), req.Value...)
+		} else {
+			buf = append([]byte(nil), old[:prefix]...)
+			buf = append(buf, req.Value...)
+			buf = append(buf, old[prefix:]...)
+		}
+		store(buf, e.expires)
+	case protocol.OpIncr, protocol.OpIncrStr, protocol.OpDecr, protocol.OpDecrStr:
+		if e == nil {
+			return protocol.RMWStatusNotFound, 0, 0
+		}
+		if len(old) < prefix {
+			return protocol.RMWStatusBadValue, 0, 0
+		}
+		n, ok := partition.ParseDecimal(old[prefix:])
+		if !ok {
+			return protocol.RMWStatusBadValue, 0, 0
+		}
+		if req.Op == protocol.OpIncr || req.Op == protocol.OpIncrStr {
+			n += req.Delta // 64-bit wraparound, as memcached's arithmetic
+		} else if n < req.Delta {
+			n = 0 // memcached floors decrement at zero
+		} else {
+			n -= req.Delta
+		}
+		buf := append([]byte(nil), old[:prefix]...)
+		buf = strconv.AppendUint(buf, n, 10)
+		store(buf, e.expires)
+		if status == protocol.RMWStatusStored {
+			num = n
+		}
+	case protocol.OpTouch, protocol.OpTouchStr:
+		if e == nil {
+			return protocol.RMWStatusNotFound, 0, 0
+		}
+		// Touch rewrites the deadline in place; the version is unchanged
+		// (memcached touch does not bump cas).
+		e.expires = deadline(req.TTL)
+		return protocol.RMWStatusStored, e.version, 0
+	default:
+		return protocol.RMWStatusBadValue, 0, 0
+	}
+	return status, outVer, num
 }
 
 // del removes the entry under the global lock, reporting whether a live

@@ -14,12 +14,13 @@ import "time"
 // was re-inserted — the contract online migration needs.
 
 // ScanEntry is one live entry copied out of a partition: the key, the
-// remaining time-to-live on the store's clock (0 = never expires), and a
-// fresh copy of the value bytes.
+// remaining time-to-live on the store's clock (0 = never expires), the
+// entry's CAS version, and a fresh copy of the value bytes.
 type ScanEntry struct {
-	Key   Key
-	TTL   time.Duration
-	Value []byte
+	Key     Key
+	TTL     time.Duration
+	Version uint64
+	Value   []byte
 }
 
 // Multi-partition tables (core, lockhash) expose one flat scan cursor over
@@ -108,9 +109,10 @@ func (s *Store) AppendScan(dst []ScanEntry, start, maxBuckets, maxEntries int, f
 				}
 			}
 			dst = append(dst, ScanEntry{
-				Key:   e.key,
-				TTL:   ttl,
-				Value: append([]byte(nil), e.Value()...),
+				Key:     e.key,
+				TTL:     ttl,
+				Version: e.version,
+				Value:   append([]byte(nil), e.Value()...),
 			})
 		}
 	}

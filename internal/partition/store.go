@@ -50,7 +50,10 @@ func CapacityForValues(n, valueSize int) int {
 // The stream is the write-ahead contract internal/persist logs:
 //
 //   - Set fires when a value becomes visible (MarkReady), with the
-//     element's absolute expiry deadline on the store's clock (0 = never).
+//     element's absolute expiry deadline on the store's clock (0 = never)
+//     and its CAS version. Read-modify-write operations stream their
+//     RESULTING state through the same Set — never the operation — so
+//     replaying the stream is idempotent by construction.
 //   - Delete fires for explicit removals: Delete and PurgeBuckets, plus
 //     the rare insert-over-existing-key that unlinks the old element and
 //     then fails to allocate (the key vanished with no Set to supersede
@@ -62,7 +65,7 @@ func CapacityForValues(n, valueSize int) int {
 // or re-evict — and it keeps the no-TTL eviction path free of sink
 // traffic. Recovery filters elapsed deadlines itself.
 type ChangeSink interface {
-	Set(key Key, value []byte, expireAt int64)
+	Set(key Key, value []byte, expireAt int64, version uint64)
 	Delete(key Key)
 }
 
@@ -96,13 +99,14 @@ func (p EvictionPolicy) String() string {
 // (CPHASH sends a Decref message; LOCKHASH calls it under the partition
 // lock).
 type Element struct {
-	key    Key
-	off    uint32 // arena payload offset of the value
-	size   int32  // value size in bytes
-	refs   int32  // references held by clients
-	expire int64  // clock deadline in ns; 0 = never expires
-	ready  bool   // false between Insert and MarkReady
-	dead   bool   // unlinked from the table; memory pending refs==0
+	key     Key
+	off     uint32 // arena payload offset of the value
+	size    int32  // value size in bytes
+	refs    int32  // references held by clients
+	expire  int64  // clock deadline in ns; 0 = never expires
+	version uint64 // CAS version; unique per store, immutable per element
+	ready   bool   // false between Insert and MarkReady
+	dead    bool   // unlinked from the table; memory pending refs==0
 
 	hNext, hPrev *Element // bucket chain
 	lNext, lPrev *Element // LRU list (unused under EvictRandom)
@@ -122,6 +126,13 @@ func (e *Element) Ready() bool { return e.ready }
 // ExpireAt returns the element's expiry deadline on the store's clock in
 // nanoseconds, or 0 for an element that never expires.
 func (e *Element) ExpireAt() int64 { return e.expire }
+
+// Version returns the element's CAS version. Versions are assigned by the
+// store (unique, monotone per partition) when an element is created and
+// never change afterwards, so a compare-and-swap that captured the version
+// at read time detects any intervening write. Valid while the caller holds
+// a reference.
+func (e *Element) Version() uint64 { return e.version }
 
 // Value returns the value bytes. The slice aliases partition memory: for a
 // looked-up element it is valid until Decref; for a fresh insert the caller
@@ -212,6 +223,19 @@ type Store struct {
 	ttlElems    int      // linked elements with a nonzero expiry deadline
 	free        *Element // recycled Element headers
 	sink        ChangeSink
+
+	// verNext is the next CAS version this store will assign. It starts at
+	// 1 (version 0 means "assign one for me" on the insert paths) and only
+	// grows; explicit-version inserts from recovery or migration replay
+	// advance it past the replayed version so a later write can never
+	// reissue a version a client may still hold (the CAS ABA hazard).
+	verNext uint64
+
+	// rmwBuf is the scratch the read-modify-write engine composes derived
+	// values in (append/prepend concatenations, incr/decr decimal digits).
+	// It must be store-owned: InsertExpire unlinks the old element BEFORE
+	// allocating the new one, so the old bytes have to be copied out first.
+	rmwBuf []byte
 }
 
 // NewStore returns an empty partition with the given configuration.
@@ -254,6 +278,7 @@ func NewStore(cfg Config) (*Store, error) {
 		clock:   clock,
 		sink:    cfg.Sink,
 		m:       m,
+		verNext: 1,
 	}, nil
 }
 
@@ -433,6 +458,31 @@ func (s *Store) InsertTTL(k Key, size int, ttl time.Duration) *Element {
 // already in the past still inserts — the element simply expires on its
 // first lookup or sweep, keeping insert semantics uniform.
 func (s *Store) InsertExpire(k Key, size int, expireAt int64) *Element {
+	return s.InsertExpireVer(k, size, expireAt, 0)
+}
+
+// InsertTTLVer is InsertTTL with an explicit CAS version (see
+// InsertExpireVer); ver 0 assigns the store's next version as usual.
+func (s *Store) InsertTTLVer(k Key, size int, ttl time.Duration, ver uint64) *Element {
+	if ttl <= 0 {
+		return s.InsertExpireVer(k, size, 0, ver)
+	}
+	now := s.clock()
+	deadline := now + int64(ttl)
+	if deadline < now {
+		deadline = 0 // overflow: effectively forever
+	}
+	return s.InsertExpireVer(k, size, deadline, ver)
+}
+
+// InsertExpireVer is InsertExpire with an explicit CAS version, the replay
+// primitive recovery, replica apply and slot migration use to preserve
+// versions across process boundaries: an entry restored with the version
+// it was stored under keeps in-flight compare-and-swaps honest. ver 0
+// assigns the store's next version (the normal insert path); a nonzero ver
+// also advances the store's version counter past it, so post-replay writes
+// can never mint a duplicate.
+func (s *Store) InsertExpireVer(k Key, size int, expireAt int64, ver uint64) *Element {
 	s.m.Inserts.Inc()
 	if size < 0 || k > MaxKey {
 		s.m.InsertErr.Inc()
@@ -456,8 +506,14 @@ func (s *Store) InsertExpire(k Key, size int, expireAt int64) *Element {
 		return nil
 	}
 	s.m.BytesIn.Add(int64(size))
+	if ver == 0 {
+		ver = s.verNext
+		s.verNext++
+	} else if ver >= s.verNext {
+		s.verNext = ver + 1
+	}
 	e := s.newElement()
-	*e = Element{key: k, off: off, size: int32(size), refs: 1, expire: expireAt, store: s}
+	*e = Element{key: k, off: off, size: int32(size), refs: 1, expire: expireAt, version: ver, store: s}
 	s.linkBucket(e)
 	s.lruPushFront(e)
 	s.m.Elements.Inc()
@@ -599,7 +655,7 @@ func (s *Store) Delete(k Key) bool {
 func (s *Store) MarkReady(e *Element) {
 	e.ready = true
 	if s.sink != nil {
-		s.sink.Set(e.key, e.Value(), e.expire)
+		s.sink.Set(e.key, e.Value(), e.expire, e.version)
 	}
 }
 

@@ -594,8 +594,10 @@ func (p *Pipeline) snapshotLoop() {
 
 // --- Appender: the per-partition change sink ---
 
-// recHeaderLen is the staged payload header: op(1) key(8) expire(8).
-const recHeaderLen = 17
+// recHeaderLen is the staged payload header: op(1) key(8) expire(8)
+// ver(8). The version rides every record so recovery and replica replay
+// restore entries under the CAS version they were stored with.
+const recHeaderLen = 25
 
 // maxPooledRec caps the payload size served from the appender's
 // recycled buffer pool; larger records (rare huge values) take a one-off
@@ -630,16 +632,16 @@ type Appender struct {
 func (a *Appender) Partition() int { return a.part }
 
 // Set stages a set record (value bytes are copied before return).
-func (a *Appender) Set(key partition.Key, value []byte, expireAt int64) {
-	a.append(opSet, key, expireAt, value)
+func (a *Appender) Set(key partition.Key, value []byte, expireAt int64, version uint64) {
+	a.append(opSet, key, expireAt, version, value)
 }
 
 // Delete stages a delete record.
 func (a *Appender) Delete(key partition.Key) {
-	a.append(opDelete, key, 0, nil)
+	a.append(opDelete, key, 0, 0, nil)
 }
 
-func (a *Appender) append(op byte, key uint64, expireAt int64, value []byte) {
+func (a *Appender) append(op byte, key uint64, expireAt int64, version uint64, value []byte) {
 	if !a.p.accepting.Load() {
 		a.p.dropped.Add(1)
 		return
@@ -648,6 +650,7 @@ func (a *Appender) append(op byte, key uint64, expireAt int64, value []byte) {
 	b = append(b, op)
 	b = binary.LittleEndian.AppendUint64(b, key)
 	b = binary.LittleEndian.AppendUint64(b, uint64(expireAt))
+	b = binary.LittleEndian.AppendUint64(b, version)
 	b = append(b, value...)
 	a.seq++
 	// Publish, spinning if the persister is behind — durability must not

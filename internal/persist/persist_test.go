@@ -22,7 +22,7 @@ func newMemState() *memState {
 	return &memState{vals: map[uint64][]byte{}, exps: map[uint64]int64{}}
 }
 
-func (m *memState) apply(op Op, key uint64, exp int64, val []byte) error {
+func (m *memState) apply(op Op, key uint64, exp int64, ver uint64, val []byte) error {
 	switch op {
 	case OpSet:
 		m.vals[key] = append([]byte(nil), val...)
@@ -62,7 +62,7 @@ func TestWALRoundTrip(t *testing.T) {
 		switch i % 5 {
 		case 4:
 			a.Delete(key)
-			model.apply(OpDelete, key, 0, nil)
+			model.apply(OpDelete, key, 0, 0, nil)
 		default:
 			for j := range val {
 				val[j] = byte(i + j)
@@ -71,8 +71,8 @@ func TestWALRoundTrip(t *testing.T) {
 			if i%3 == 0 {
 				exp = time.Now().Add(time.Hour).UnixNano()
 			}
-			a.Set(key, val, exp)
-			model.apply(OpSet, key, exp, val)
+			a.Set(key, val, exp, 0)
+			model.apply(OpSet, key, exp, 0, val)
 		}
 	}
 	p.Barrier()
@@ -124,7 +124,7 @@ func TestTornTailTolerated(t *testing.T) {
 	a := p.Appender(0)
 	val := []byte("payload-payload-payload")
 	for i := 0; i < 100; i++ {
-		a.Set(uint64(i), val, 0)
+		a.Set(uint64(i), val, 0, 0)
 	}
 	p.Barrier() // force everything to disk so truncation is deterministic
 	p.Kill()
@@ -171,7 +171,7 @@ func TestTornTailTolerated(t *testing.T) {
 		t.Fatal(err)
 	}
 	a2 := p2.Appender(0)
-	a2.Set(7, []byte("after-restart"), 0)
+	a2.Set(7, []byte("after-restart"), 0, 0)
 	p2.Barrier()
 	p2.Close()
 
@@ -201,8 +201,8 @@ func TestSegmentRollAndReplay(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		key := uint64(i % 17)
 		val[0] = byte(i)
-		a.Set(key, val, 0)
-		model.apply(OpSet, key, 0, val)
+		a.Set(key, val, 0, 0)
+		model.apply(OpSet, key, 0, 0, val)
 	}
 	p.Close()
 	segs, _, _ := scanDir(dir)
@@ -228,7 +228,7 @@ func TestBarrierAdvancesDurable(t *testing.T) {
 	p := openStarted(t, cfg)
 	defer p.Close()
 	a := p.Appender(0)
-	a.Set(1, []byte("v"), 0)
+	a.Set(1, []byte("v"), 0, 0)
 	deadline := time.Now().Add(2 * time.Second)
 	for a.pub.Len() > 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond) // wait for the persister to drain
@@ -435,7 +435,7 @@ func TestStreamsReconfigured(t *testing.T) {
 	}
 	// Partition 2 maps to stream 2 under Streams=3 — a stream that will
 	// not exist in the second run.
-	p1.Appender(2).Set(77, []byte("v1"), 0)
+	p1.Appender(2).Set(77, []byte("v1"), 0, 0)
 	p1.Barrier()
 	p1.Close()
 
@@ -452,7 +452,7 @@ func TestStreamsReconfigured(t *testing.T) {
 	if err := p2.Start(); err != nil {
 		t.Fatal(err)
 	}
-	p2.Appender(2).Set(77, []byte("v2"), 0)
+	p2.Appender(2).Set(77, []byte("v2"), 0, 0)
 	p2.Barrier()
 	if err := p2.Snapshot(); err != nil {
 		t.Fatal(err)

@@ -51,7 +51,7 @@ type RecoverStats struct {
 //
 // Recover must run before Start (the pipeline drops the change records
 // the replay itself triggers — the on-disk state already holds them).
-func (p *Pipeline) Recover(apply func(op Op, key uint64, expireAt int64, value []byte) error) (RecoverStats, error) {
+func (p *Pipeline) Recover(apply func(op Op, key uint64, expireAt int64, ver uint64, value []byte) error) (RecoverStats, error) {
 	var st RecoverStats
 	if p.started.Load() {
 		return st, fmt.Errorf("persist: Recover must run before Start")
@@ -73,12 +73,12 @@ func (p *Pipeline) Recover(apply func(op Op, key uint64, expireAt int64, value [
 			continue
 		}
 		now := p.cfg.Clock()
-		n, ms, err := readSnapshot(s.path, func(key uint64, exp int64, val []byte) error {
+		n, ms, err := readSnapshot(s.path, func(key uint64, exp int64, ver uint64, val []byte) error {
 			if exp != 0 && exp <= now {
 				st.SkippedExpired++
 				return nil
 			}
-			return apply(OpSet, key, exp, val)
+			return apply(OpSet, key, exp, ver, val)
 		})
 		if err != nil {
 			return st, fmt.Errorf("persist: applying snapshot %s: %w", s.path, err)
@@ -110,12 +110,12 @@ func (p *Pipeline) Recover(apply func(op Op, key uint64, expireAt int64, value [
 			}
 		}
 		now := p.cfg.Clock()
-		n, torn, err := replaySegment(seg.path, func(op byte, key uint64, exp int64, val []byte) error {
+		n, torn, err := replaySegment(seg.path, func(op byte, key uint64, exp int64, ver uint64, val []byte) error {
 			if op == opSet && exp != 0 && exp <= now {
 				st.SkippedExpired++
-				return apply(OpDelete, key, 0, nil)
+				return apply(OpDelete, key, 0, 0, nil)
 			}
-			return apply(Op(op), key, exp, val)
+			return apply(Op(op), key, exp, ver, val)
 		})
 		st.WALRecords += int64(n)
 		st.WALSegments++
@@ -170,7 +170,7 @@ func RestoreCore(p *Pipeline, t *core.Table, clientID int) (RecoverStats, error)
 		return RecoverStats{}, err
 	}
 	defer c.Close()
-	st, err := p.Recover(func(op Op, key uint64, exp int64, val []byte) error {
+	st, err := p.Recover(func(op Op, key uint64, exp int64, ver uint64, val []byte) error {
 		switch op {
 		case OpSet:
 			ttl := time.Duration(0)
@@ -182,8 +182,9 @@ func RestoreCore(p *Pipeline, t *core.Table, clientID int) (RecoverStats, error)
 			}
 			// Synchronous: the replay loop reuses val's backing buffer
 			// for the next record, and the client only copies the value
-			// into the table when the insert completes.
-			c.PutTTL(key, val, ttl)
+			// into the table when the insert completes. Replaying the
+			// recorded version keeps CAS tokens stable across a restart.
+			c.PutTTLVer(key, val, ttl, ver)
 		case OpDelete:
 			c.Delete(key)
 		}
@@ -197,10 +198,10 @@ func RestoreCore(p *Pipeline, t *core.Table, clientID int) (RecoverStats, error)
 // table, preserving absolute expiry deadlines exactly. Must run after
 // the table is built and before Pipeline.Start.
 func RestoreLockHash(p *Pipeline, t *lockhash.Table) (RecoverStats, error) {
-	return p.Recover(func(op Op, key uint64, exp int64, val []byte) error {
+	return p.Recover(func(op Op, key uint64, exp int64, ver uint64, val []byte) error {
 		switch op {
 		case OpSet:
-			t.PutExpire(key, val, exp)
+			t.PutExpireVer(key, val, exp, ver)
 		case OpDelete:
 			t.Delete(key)
 		}

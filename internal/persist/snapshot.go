@@ -15,9 +15,9 @@ import (
 // and atomically renamed, never modified afterwards. Loading is a single
 // sequential read with no per-entry seeks.
 //
-//	header:  magic "CPSNAP01" (8) | gen (8 LE) | nstreams (4 LE)
+//	header:  magic "CPSNAP02" (8) | gen (8 LE) | nstreams (4 LE)
 //	         then nstreams × { stream (4 LE) | minSeq (8 LE) }
-//	records: key (8 LE) | expireAt ns (8 LE) | vlen (4 LE) | value
+//	records: key (8 LE) | expireAt ns (8 LE) | ver (8 LE) | vlen (4 LE) | value
 //	footer:  count (8 LE) | crc32c (4 LE) | magic "SNPE" (4)
 //
 // The per-stream minSeq table names the first WAL segment whose records
@@ -27,12 +27,12 @@ import (
 // bit-rotted snapshot is rejected whole and recovery falls back to an
 // older one (or to pure WAL replay).
 const (
-	snapMagic    = "CPSNAP01"
+	snapMagic    = "CPSNAP02"
 	snapEnd      = "SNPE"
 	snapSuffix   = ".snap"
 	snapFooter   = 8 + 4 + 4
 	snapScanMax  = 1024 // entries per Source call
-	snapRecFixed = 8 + 8 + 4
+	snapRecFixed = 8 + 8 + 8 + 4
 )
 
 func snapName(gen uint64) string {
@@ -111,7 +111,8 @@ func (p *Pipeline) doSnapshot() error {
 			}
 			binary.LittleEndian.PutUint64(rec[0:8], e.Key)
 			binary.LittleEndian.PutUint64(rec[8:16], uint64(exp))
-			binary.LittleEndian.PutUint32(rec[16:20], uint32(len(e.Value)))
+			binary.LittleEndian.PutUint64(rec[16:24], e.Version)
+			binary.LittleEndian.PutUint32(rec[24:28], uint32(len(e.Value)))
 			if _, err := w.Write(rec[:]); err != nil {
 				f.Close()
 				return fmt.Errorf("persist: %w", err)
@@ -206,7 +207,7 @@ func syncDir(dir string) {
 // records into apply. Returns the record count and the per-stream minSeq
 // replay table. Callers validate with apply == nil first, then re-read
 // to apply — a snapshot is rejected whole on any inconsistency.
-func readSnapshot(path string, apply func(key uint64, expireAt int64, value []byte) error) (count int64, minSeqs map[int]uint64, err error) {
+func readSnapshot(path string, apply func(key uint64, expireAt int64, ver uint64, value []byte) error) (count int64, minSeqs map[int]uint64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, nil, err
@@ -253,7 +254,7 @@ func readSnapshot(path string, apply func(key uint64, expireAt int64, value []by
 			return 0, nil, fmt.Errorf("truncated record header")
 		}
 		crc.Write(rec[:])
-		vlen := binary.LittleEndian.Uint32(rec[16:20])
+		vlen := binary.LittleEndian.Uint32(rec[24:28])
 		if vlen > maxRecordLen || pos+snapRecFixed+int64(vlen) > recEnd {
 			return 0, nil, fmt.Errorf("corrupt record length")
 		}
@@ -268,7 +269,8 @@ func readSnapshot(path string, apply func(key uint64, expireAt int64, value []by
 		if apply != nil {
 			key := binary.LittleEndian.Uint64(rec[0:8])
 			exp := int64(binary.LittleEndian.Uint64(rec[8:16]))
-			if err := apply(key, exp, value); err != nil {
+			ver := binary.LittleEndian.Uint64(rec[16:24])
+			if err := apply(key, exp, ver, value); err != nil {
 				return count, minSeqs, err
 			}
 		}

@@ -19,7 +19,7 @@ import (
 // it to the segment writer. TailRecord is called on the persister
 // goroutines (one per stream, so calls may be concurrent across streams
 // but are ordered per stream, and therefore per key); the payload — the
-// staged op(1)|key(8 LE)|expireAt(8 LE)|value frame — is only valid for
+// staged op(1)|key(8 LE)|expireAt(8 LE)|ver(8 LE)|value frame — is only valid for
 // the duration of the call, as its buffer is recycled. Implementations
 // must copy what they keep and must not block: they sit on the
 // durability hot path.
@@ -72,7 +72,7 @@ const replayAttempts = 5
 // apply must therefore tolerate re-application from the start, which the
 // log's idempotent replay semantics already require. Set records whose
 // deadline has elapsed arrive as OpDelete, exactly as in Recover.
-func (p *Pipeline) ReplayDurable(before map[int]uint64, apply func(op Op, key uint64, expireAt int64, value []byte) error) (records int64, err error) {
+func (p *Pipeline) ReplayDurable(before map[int]uint64, apply func(op Op, key uint64, expireAt int64, ver uint64, value []byte) error) (records int64, err error) {
 	for try := 0; try < replayAttempts; try++ {
 		n, err := p.replayDurableOnce(before, apply)
 		if err == nil {
@@ -87,7 +87,7 @@ func (p *Pipeline) ReplayDurable(before map[int]uint64, apply func(op Op, key ui
 	return 0, fmt.Errorf("persist: replay kept racing snapshot truncation (%d attempts)", replayAttempts)
 }
 
-func (p *Pipeline) replayDurableOnce(before map[int]uint64, apply func(op Op, key uint64, expireAt int64, value []byte) error) (int64, error) {
+func (p *Pipeline) replayDurableOnce(before map[int]uint64, apply func(op Op, key uint64, expireAt int64, ver uint64, value []byte) error) (int64, error) {
 	segs, snaps, err := scanDir(p.cfg.Dir)
 	if err != nil {
 		return 0, err
@@ -103,11 +103,11 @@ func (p *Pipeline) replayDurableOnce(before map[int]uint64, apply func(op Op, ke
 			continue // invalid: fall back to an older snapshot, like Recover
 		}
 		now := p.cfg.Clock()
-		n, ms, err := readSnapshot(s.path, func(key uint64, exp int64, val []byte) error {
+		n, ms, err := readSnapshot(s.path, func(key uint64, exp int64, ver uint64, val []byte) error {
 			if exp != 0 && exp <= now {
 				return nil
 			}
-			return apply(OpSet, key, exp, val)
+			return apply(OpSet, key, exp, ver, val)
 		})
 		if err != nil {
 			return records, fmt.Errorf("persist: replaying snapshot %s: %w", s.path, err)
@@ -136,11 +136,11 @@ func (p *Pipeline) replayDurableOnce(before map[int]uint64, apply func(op Op, ke
 			}
 		}
 		now := p.cfg.Clock()
-		n, _, err := replaySegment(seg.path, func(op byte, key uint64, exp int64, val []byte) error {
+		n, _, err := replaySegment(seg.path, func(op byte, key uint64, exp int64, ver uint64, val []byte) error {
 			if op == opSet && exp != 0 && exp <= now {
-				return apply(OpDelete, key, 0, nil)
+				return apply(OpDelete, key, 0, 0, nil)
 			}
-			return apply(Op(op), key, exp, val)
+			return apply(Op(op), key, exp, ver, val)
 		})
 		records += int64(n)
 		if err != nil {

@@ -17,16 +17,17 @@ import (
 // so segments across all streams (and across restarts) sort into a
 // single timeline. Each segment is:
 //
-//	header:  magic "CPWAL001" (8) | stream (4 LE) | seq (8 LE)
+//	header:  magic "CPWAL002" (8) | stream (4 LE) | seq (8 LE)
 //	frames:  length (4 LE) | crc32c(payload) (4 LE) | payload
-//	payload: op (1) | key (8 LE) | expireAt ns (8 LE) | value bytes
+//	payload: op (1) | key (8 LE) | expireAt ns (8 LE) | version (8 LE) | value bytes
 //
 // Frames are written strictly append-only and a restart always rolls to
 // a fresh segment, so a frame that fails its length or CRC check marks
 // the end of that segment's valid prefix (a torn final write), never a
-// gap with valid data after it. ops: 1 = set, 2 = delete.
+// gap with valid data after it. ops: 1 = set, 2 = delete. CPWAL002 added
+// the per-record CAS version; CPWAL001 segments are not readable.
 const (
-	walMagic  = "CPWAL001"
+	walMagic  = "CPWAL002"
 	walSuffix = ".wal"
 
 	segHeaderLen   = 8 + 4 + 8
@@ -495,7 +496,7 @@ func (s *stream) roll() (uint64, error) {
 // replaySegment streams the valid frame prefix of one segment into fn,
 // stopping cleanly at a torn or corrupt frame. It returns the number of
 // applied records and whether the segment ended with a tear.
-func replaySegment(path string, fn func(op byte, key uint64, expireAt int64, value []byte) error) (records int, torn bool, err error) {
+func replaySegment(path string, fn func(op byte, key uint64, expireAt int64, ver uint64, value []byte) error) (records int, torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, false, err
@@ -533,7 +534,8 @@ func replaySegment(path string, fn func(op byte, key uint64, expireAt int64, val
 		op := payload[0]
 		key := binary.LittleEndian.Uint64(payload[1:9])
 		exp := int64(binary.LittleEndian.Uint64(payload[9:17]))
-		if err := fn(op, key, exp, payload[17:]); err != nil {
+		ver := binary.LittleEndian.Uint64(payload[17:25])
+		if err := fn(op, key, exp, ver, payload[25:]); err != nil {
 			return records, false, err
 		}
 		records++

@@ -55,6 +55,48 @@
 // extension; AppendStringEntry/CutStringEntry define the stored-entry
 // framing that makes 60-bit hash collisions detectable.
 //
+// Version 4 adds atomic read-modify-write (the memcached-compatibility op
+// set) on top of a per-entry 64-bit CAS version:
+//
+//	CAS:        op(1) | key(8) | ttl_ms(4) | ver(8) | size(4) | value(size)
+//	ADD:        op(1) | key(8) | ttl_ms(4) | size(4) | value(size)
+//	REPLACE:    op(1) | key(8) | ttl_ms(4) | size(4) | value(size)
+//	APPEND:     op(1) | key(8) | prefix(1) | size(4) | value(size)
+//	PREPEND:    op(1) | key(8) | prefix(1) | size(4) | value(size)
+//	INCR:       op(1) | key(8) | delta(8) | prefix(1)
+//	DECR:       op(1) | key(8) | delta(8) | prefix(1)
+//	TOUCH:      op(1) | key(8) | ttl_ms(4)
+//	GETS:       op(1) | key(8)
+//	INSERT_VER: op(1) | key(8) | ttl_ms(4) | ver(8) | size(4) | value(size)
+//
+// prefix declares the first prefix bytes of the STORED value an opaque
+// header the concatenation/arithmetic must not disturb: PREPEND splices
+// after it, INCR/DECR parse (and rewrite) only the bytes past it, and
+// APPEND carries it for symmetry (appending never touches the head). The
+// memcached front-end stores its 32-bit flags word as a 4-byte value
+// prefix and sets prefix=4; native callers use 0.
+//
+// plus a _STR variant of each (klen(2) | key(klen) replaces key(8)). Every
+// read-modify-write op elicits a fixed-size response —
+//
+//	status(1) | ver(8) | num(8)
+//
+// — where status is the RMWStatus* code, ver the resulting (or, on
+// RMWStatusExists, the conflicting) entry version, and num the resulting
+// numeric value for INCR/DECR. GETS is answered like LOOKUP but with the
+// entry version ahead of the value:
+//
+//	found(1) | ver(8) | size(4) | value(size)
+//
+// INSERT_VER is INSERT_TTL with an explicit entry version, silent like
+// INSERT; migration and replica replay use it so CAS versions survive the
+// move. SCAN entries also carry the version from version 4 on:
+//
+//	key(8) | ttl_ms(4) | ver(8) | size(4) | value(size)
+//
+// Read-modify-writes execute atomically on the owning server goroutine;
+// the WAL logs their resulting state, never the operation.
+//
 // Integers are little-endian. Fixed keys are 60-bit (high bits must be
 // zero). Servers that only speak version 1 treat version-2 opcodes as a
 // protocol error and drop the connection, so version negotiation is
@@ -63,11 +105,12 @@ package protocol
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"math/bits"
+
+	"cphash/internal/partition"
 )
 
 // Op codes. Ops 1–2 are protocol version 1 (the paper's CPSERVER); ops
@@ -91,10 +134,41 @@ const (
 	OpScan uint8 = 8
 	// OpPurge removes live entries of a slot set, cursor-based.
 	OpPurge uint8 = 9
+	// OpCas stores iff the entry's version matches Ver.
+	OpCas uint8 = 10
+	// OpAdd stores iff the key is absent.
+	OpAdd uint8 = 11
+	// OpReplace stores iff the key is present.
+	OpReplace uint8 = 12
+	// OpAppend concatenates after the existing value.
+	OpAppend uint8 = 13
+	// OpPrepend concatenates before the existing value.
+	OpPrepend uint8 = 14
+	// OpIncr adds Delta to the decimal value.
+	OpIncr uint8 = 15
+	// OpDecr subtracts Delta from the decimal value (floors at 0).
+	OpDecr uint8 = 16
+	// OpTouch updates the entry's expiry in place.
+	OpTouch uint8 = 17
+	// OpGets is OpLookup that also returns the entry version.
+	OpGets uint8 = 18
+	// OpCasStr..OpGetsStr are the string-key variants of ops 10–18.
+	OpCasStr     uint8 = 19
+	OpAddStr     uint8 = 20
+	OpReplaceStr uint8 = 21
+	OpAppendStr  uint8 = 22
+	OpPrependStr uint8 = 23
+	OpIncrStr    uint8 = 24
+	OpDecrStr    uint8 = 25
+	OpTouchStr   uint8 = 26
+	OpGetsStr    uint8 = 27
+	// OpInsertVer is OpInsertTTL with an explicit entry version, silent;
+	// the replay primitive that preserves CAS versions across migration.
+	OpInsertVer uint8 = 28
 )
 
 // Version is the highest protocol version this package speaks.
-const Version = 3
+const Version = 4
 
 // OpVersion returns the protocol version that introduced op, or 0 for an
 // unknown opcode.
@@ -107,9 +181,24 @@ func OpVersion(op uint8) int {
 	case OpScan, OpPurge:
 		return 3
 	default:
+		if op >= OpCas && op <= OpInsertVer {
+			return 4
+		}
 		return 0
 	}
 }
+
+// RMW response status codes — the wire form of partition.RMWStatus, and
+// numerically identical to it (kvserver asserts the equality).
+const (
+	RMWStatusStored    uint8 = 1 // mutation applied
+	RMWStatusNotStored uint8 = 2 // add on present / replace|append|prepend on absent
+	RMWStatusExists    uint8 = 3 // cas version mismatch
+	RMWStatusNotFound  uint8 = 4 // cas/incr/decr/touch on absent key
+	RMWStatusBadValue  uint8 = 5 // incr/decr on non-numeric value
+	RMWStatusTooLarge  uint8 = 6 // derived value exceeds the size bound
+	RMWStatusNoSpace   uint8 = 7 // allocation failed even after eviction
+)
 
 // MaxValueSize bounds a value (and therefore a frame); larger sizes are
 // treated as protocol errors so a corrupt stream cannot force huge
@@ -164,21 +253,25 @@ func (s *SlotSet) Len() int {
 }
 
 // ScanEntry is one live entry streamed by a SCAN response: the fixed
-// 60-bit key, the remaining TTL in milliseconds (0 = never expires), and
-// the raw stored value bytes.
+// 60-bit key, the remaining TTL in milliseconds (0 = never expires), the
+// entry's CAS version, and the raw stored value bytes.
 type ScanEntry struct {
-	Key   uint64
-	TTL   uint32
-	Value []byte
+	Key     uint64
+	TTL     uint32
+	Version uint64
+	Value   []byte
 }
 
 // Request is one parsed client request.
 type Request struct {
 	Op     uint8
 	Key    uint64  // fixed 60-bit key; unset for string-key ops
-	StrKey []byte  // string key for OpGetStr/OpSetStr/OpDelStr
-	TTL    uint32  // milliseconds; 0 = never expires (OpInsertTTL/OpSetStr)
-	Value  []byte  // INSERT/INSERT_TTL/SET_STR payload
+	StrKey []byte  // string key for the *_STR ops
+	TTL    uint32  // milliseconds; 0 = never expires
+	Value  []byte  // stored/concatenated payload for value-carrying ops
+	Ver    uint64  // expected version (CAS) or explicit version (INSERT_VER)
+	Delta  uint64  // INCR/DECR operand
+	Prefix uint8   // opaque value-header bytes APPEND/PREPEND/INCR/DECR preserve
 	Slots  SlotSet // slot bitmap for OpScan/OpPurge
 	Cursor uint64  // iteration position for OpScan/OpPurge (0 = start)
 	Count  uint32  // max entries per OpScan batch (0 = server default)
@@ -186,7 +279,8 @@ type Request struct {
 
 // hasStrKey reports whether op carries a variable-length key.
 func hasStrKey(op uint8) bool {
-	return op == OpGetStr || op == OpSetStr || op == OpDelStr
+	return op == OpGetStr || op == OpSetStr || op == OpDelStr ||
+		(op >= OpCasStr && op <= OpGetsStr)
 }
 
 // hasSlots reports whether op carries a slots+cursor+count trailer instead
@@ -195,9 +289,53 @@ func hasSlots(op uint8) bool {
 	return op == OpScan || op == OpPurge
 }
 
-// hasValue reports whether op carries a ttl+size+value trailer.
+// hasValue reports whether op carries a size+value trailer.
 func hasValue(op uint8) bool {
-	return op == OpInsert || op == OpInsertTTL || op == OpSetStr
+	switch op {
+	case OpInsert, OpInsertTTL, OpSetStr, OpInsertVer,
+		OpCas, OpAdd, OpReplace, OpAppend, OpPrepend,
+		OpCasStr, OpAddStr, OpReplaceStr, OpAppendStr, OpPrependStr:
+		return true
+	}
+	return false
+}
+
+// hasTTL reports whether op carries a ttl_ms(4) field.
+func hasTTL(op uint8) bool {
+	switch op {
+	case OpInsertTTL, OpSetStr, OpInsertVer,
+		OpCas, OpAdd, OpReplace, OpTouch,
+		OpCasStr, OpAddStr, OpReplaceStr, OpTouchStr:
+		return true
+	}
+	return false
+}
+
+// hasVer reports whether op carries a ver(8) field.
+func hasVer(op uint8) bool {
+	return op == OpCas || op == OpCasStr || op == OpInsertVer
+}
+
+// hasDelta reports whether op carries a delta(8) field.
+func hasDelta(op uint8) bool {
+	return op == OpIncr || op == OpDecr || op == OpIncrStr || op == OpDecrStr
+}
+
+// hasPrefix reports whether op carries a prefix(1) field.
+func hasPrefix(op uint8) bool {
+	switch op {
+	case OpAppend, OpPrepend, OpIncr, OpDecr,
+		OpAppendStr, OpPrependStr, OpIncrStr, OpDecrStr:
+		return true
+	}
+	return false
+}
+
+// IsRMW reports whether op is a read-modify-write, i.e. elicits the
+// status(1)|ver(8)|num(8) response. GETS and INSERT_VER are not RMWs: the
+// former answers like a lookup, the latter is silent.
+func IsRMW(op uint8) bool {
+	return (op >= OpCas && op <= OpTouch) || (op >= OpCasStr && op <= OpTouchStr)
 }
 
 // --- allocation-free wire primitives ---
@@ -358,8 +496,23 @@ func WriteRequest(w *bufio.Writer, r Request) error {
 			return err
 		}
 	}
-	if r.Op == OpInsertTTL || r.Op == OpSetStr {
+	if hasTTL(r.Op) {
 		if err := writeUintN(w, uint64(r.TTL), 4); err != nil {
+			return err
+		}
+	}
+	if hasVer(r.Op) {
+		if err := writeUintN(w, r.Ver, 8); err != nil {
+			return err
+		}
+	}
+	if hasDelta(r.Op) {
+		if err := writeUintN(w, r.Delta, 8); err != nil {
+			return err
+		}
+	}
+	if hasPrefix(r.Op) {
+		if err := w.WriteByte(r.Prefix); err != nil {
 			return err
 		}
 	}
@@ -446,12 +599,33 @@ func DecodeRequestInto(r *bufio.Reader, req *Request, scratch []byte) ([]byte, e
 		}
 		req.Key = key
 	}
-	if op == OpInsertTTL || op == OpSetStr {
+	if hasTTL(op) {
 		ttl, err := readUintN(r, 4)
 		if err != nil {
 			return scratch[:mark], unexpected(err)
 		}
 		req.TTL = uint32(ttl)
+	}
+	if hasVer(op) {
+		ver, err := readUintN(r, 8)
+		if err != nil {
+			return scratch[:mark], unexpected(err)
+		}
+		req.Ver = ver
+	}
+	if hasDelta(op) {
+		delta, err := readUintN(r, 8)
+		if err != nil {
+			return scratch[:mark], unexpected(err)
+		}
+		req.Delta = delta
+	}
+	if hasPrefix(op) {
+		pfx, err := r.ReadByte()
+		if err != nil {
+			return scratch[:mark], unexpected(err)
+		}
+		req.Prefix = pfx
 	}
 	if hasValue(op) {
 		size, err := readUintN(r, 4)
@@ -551,6 +725,9 @@ func WriteScanResponse(w *bufio.Writer, next uint64, entries []ScanEntry) error 
 		if err := writeUintN(w, uint64(e.TTL), 4); err != nil {
 			return err
 		}
+		if err := writeUintN(w, e.Version, 8); err != nil {
+			return err
+		}
 		if err := writeUintN(w, uint64(len(e.Value)), 4); err != nil {
 			return err
 		}
@@ -603,6 +780,11 @@ func ReadScanResponseInto(r *bufio.Reader, dst []ScanEntry, scratch []byte) (nex
 			return 0, dst[:mark], scratch, unexpected(err)
 		}
 		e.TTL = uint32(ttl)
+		ver, err := readUintN(r, 8)
+		if err != nil {
+			return 0, dst[:mark], scratch, unexpected(err)
+		}
+		e.Version = ver
 		size, err := readUintN(r, 4)
 		if err != nil {
 			return 0, dst[:mark], scratch, unexpected(err)
@@ -616,6 +798,91 @@ func ReadScanResponseInto(r *bufio.Reader, dst []ScanEntry, scratch []byte) (nex
 		dst = append(dst, e)
 	}
 	return next, dst, scratch, nil
+}
+
+// WriteRMWResponse serializes one read-modify-write response:
+// status(1) | ver(8) | num(8). It performs no heap allocation.
+func WriteRMWResponse(w *bufio.Writer, status uint8, ver, num uint64) error {
+	if err := w.WriteByte(status); err != nil {
+		return err
+	}
+	if err := writeUintN(w, ver, 8); err != nil {
+		return err
+	}
+	return writeUintN(w, num, 8)
+}
+
+// ReadRMWResponse parses one read-modify-write response.
+func ReadRMWResponse(r *bufio.Reader) (status uint8, ver, num uint64, err error) {
+	status, err = r.ReadByte()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if status < RMWStatusStored || status > RMWStatusNoSpace {
+		return 0, 0, 0, fmt.Errorf("protocol: unknown rmw status %d", status)
+	}
+	if ver, err = readUintN(r, 8); err != nil {
+		return 0, 0, 0, unexpected(err)
+	}
+	if num, err = readUintN(r, 8); err != nil {
+		return 0, 0, 0, unexpected(err)
+	}
+	return status, ver, num, nil
+}
+
+// WriteGetsResponse serializes a GETS response: found(1) | ver(8) |
+// size(4) | value(size). Unlike LOOKUP, found travels explicitly so an
+// empty value keeps its version. It performs no heap allocation.
+func WriteGetsResponse(w *bufio.Writer, value []byte, ver uint64, found bool) error {
+	if !found {
+		if err := w.WriteByte(0); err != nil {
+			return err
+		}
+		if err := writeUintN(w, 0, 8); err != nil {
+			return err
+		}
+		return writeUintN(w, 0, 4)
+	}
+	if len(value) > MaxValueSize {
+		return fmt.Errorf("protocol: value of %d bytes exceeds maximum %d", len(value), MaxValueSize)
+	}
+	if err := w.WriteByte(1); err != nil {
+		return err
+	}
+	if err := writeUintN(w, ver, 8); err != nil {
+		return err
+	}
+	if err := writeUintN(w, uint64(len(value)), 4); err != nil {
+		return err
+	}
+	_, err := w.Write(value)
+	return err
+}
+
+// ReadGetsResponseInto parses one GETS response, appending the value to
+// dst. With sufficient dst capacity it performs no heap allocation; on
+// error dst is returned un-grown.
+func ReadGetsResponseInto(r *bufio.Reader, dst []byte) (out []byte, ver uint64, found bool, err error) {
+	fb, err := r.ReadByte()
+	if err != nil {
+		return dst, 0, false, err
+	}
+	if ver, err = readUintN(r, 8); err != nil {
+		return dst, 0, false, unexpected(err)
+	}
+	size, err := readUintN(r, 4)
+	if err != nil {
+		return dst, 0, false, unexpected(err)
+	}
+	if size > MaxValueSize {
+		return dst, 0, false, fmt.Errorf("protocol: response size %d exceeds maximum %d", size, MaxValueSize)
+	}
+	n := len(dst)
+	dst = append(dst, make([]byte, size)...)
+	if _, err := io.ReadFull(r, dst[n:]); err != nil {
+		return dst[:n], 0, false, unexpected(err)
+	}
+	return dst, ver, fb != 0, nil
 }
 
 // WritePurgeResponse serializes one PURGE response: the resume cursor
@@ -667,30 +934,16 @@ func HashStringKey(key []byte) uint64 {
 }
 
 // AppendStringEntry appends the stored-entry encoding of (key, value) —
-// klen(4) | key | value — to dst and returns the extended slice.
+// klen(4) | key | value — to dst and returns the extended slice. The
+// canonical implementation lives in internal/partition (the RMW engine
+// must re-frame entries and cannot import this package).
 func AppendStringEntry(dst, key, value []byte) []byte {
-	var klen [4]byte
-	binary.LittleEndian.PutUint32(klen[:], uint32(len(key)))
-	dst = append(dst, klen[:]...)
-	dst = append(dst, key...)
-	return append(dst, value...)
+	return partition.AppendStringEntry(dst, key, value)
 }
 
 // CutStringEntry splits a stored entry, returning the embedded value if
 // the embedded key matches key. A mismatch — a 60-bit hash collision or a
 // corrupt entry — reports ok=false, which callers treat as a miss.
 func CutStringEntry(raw, key []byte) (value []byte, ok bool) {
-	if len(raw) < 4 {
-		return nil, false
-	}
-	// Width-safe bounds check: a crafted 32-bit klen must not overflow
-	// int arithmetic on 32-bit platforms.
-	klen := uint64(binary.LittleEndian.Uint32(raw))
-	if klen+4 > uint64(len(raw)) {
-		return nil, false
-	}
-	if string(raw[4:4+klen]) != string(key) {
-		return nil, false
-	}
-	return raw[4+klen:], true
+	return partition.CutStringEntry(raw, key)
 }

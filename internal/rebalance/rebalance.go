@@ -399,9 +399,11 @@ func (m *Migrator) drainSource(mig *client.Migration, source string, slots []int
 		m.entries.Add(1)
 		m.bytes.Add(int64(len(e.Value)))
 		// Replay through the updated ring: the moved key routes to its
-		// new owner. INSERT_TTL reproduces the stored entry exactly —
-		// including embedded string-key framing — with its remaining TTL.
-		if err := m.c.SetTTL(e.Key, e.Value, time.Duration(e.TTL)*time.Millisecond); err != nil {
+		// new owner. INSERT_VER reproduces the stored entry exactly —
+		// including embedded string-key framing and the CAS version, so
+		// in-flight gets→cas loops survive the move — with its remaining
+		// TTL.
+		if err := m.c.SetTTLVer(e.Key, e.Value, time.Duration(e.TTL)*time.Millisecond, e.Version); err != nil {
 			m.replayErrors.Add(1)
 			return err
 		}

@@ -1,0 +1,154 @@
+package rebalance
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"cphash/internal/client"
+	"cphash/internal/cluster"
+	"cphash/internal/lockhash"
+)
+
+// seedVersioned builds n keys through RMW histories (add + a few incrs)
+// and returns each key's final value and CAS version as the client saw
+// them. Every key ends numeric so later incrs keep working.
+func seedVersioned(t *testing.T, c *client.Client, n int) (map[uint64][]byte, map[uint64]uint64) {
+	t.Helper()
+	vals := make(map[uint64][]byte, n)
+	vers := make(map[uint64]uint64, n)
+	for k := uint64(0); k < uint64(n); k++ {
+		if out, err := c.Add(k, []byte("100"), 0); err != nil || !out.Stored() {
+			t.Fatalf("add %d: %+v %v", k, out, err)
+		}
+		for j := uint64(0); j < 1+k%3; j++ {
+			if out, err := c.Incr(k, k+1); err != nil || !out.Stored() {
+				t.Fatalf("incr %d: %+v %v", k, out, err)
+			}
+		}
+		v, ver, found, err := c.Gets(k)
+		if err != nil || !found {
+			t.Fatalf("gets %d: found=%v err=%v", k, found, err)
+		}
+		vals[k] = append([]byte{}, v...)
+		vers[k] = ver
+	}
+	return vals, vers
+}
+
+// verifyVersioned checks every seeded key still carries its exact value
+// and version token, and that the token still drives a successful CAS —
+// the operation version survival exists for. The CAS mutates the key, so
+// it also refreshes vals/vers for any later phase.
+func verifyVersioned(t *testing.T, c *client.Client, vals map[uint64][]byte, vers map[uint64]uint64, when string) {
+	t.Helper()
+	for k, want := range vals {
+		v, ver, found, err := c.Gets(k)
+		if err != nil || !found {
+			t.Fatalf("%s: gets %d: found=%v err=%v", when, k, found, err)
+		}
+		if !bytes.Equal(v, want) || ver != vers[k] {
+			t.Fatalf("%s: key %d = %q v%d, want %q v%d", when, k, v, ver, want, vers[k])
+		}
+		newVal := []byte(fmt.Sprintf("%d", 1000+k))
+		out, err := c.Cas(k, newVal, ver, 0)
+		if err != nil || !out.Stored() {
+			t.Fatalf("%s: cas %d with surviving token v%d: %+v %v", when, k, ver, out, err)
+		}
+		if out.Ver <= ver {
+			t.Fatalf("%s: cas %d version went %d → %d, want strictly increasing", when, k, ver, out.Ver)
+		}
+		vals[k] = newVal
+		vers[k] = out.Ver
+	}
+}
+
+// TestPromotePreservesRMWVersions: failover must not invalidate CAS
+// tokens. Standby copies are staged with the primary's exact versions
+// (the way internal/replica's applier does, via PutExpireVer); after the
+// primary dies and Promote flips ownership, every gets returns the
+// pre-failover version and a CAS against it still lands. If promotion
+// re-inserted values with fresh versions, every client holding a token
+// across the failover would spuriously conflict.
+func TestPromotePreservesRMWVersions(t *testing.T) {
+	const nodes, keys = 3, 120
+	type member struct {
+		srv   interface{ Close() error }
+		table *lockhash.Table
+	}
+	addrs := make([]string, nodes)
+	members := make(map[string]member, nodes)
+	for i := 0; i < nodes; i++ {
+		srv, table := startReplNode(t)
+		addrs[i] = srv.Addr()
+		members[srv.Addr()] = member{srv: srv, table: table}
+	}
+
+	c, err := client.New(client.Config{Nodes: addrs, DownBackoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	m := New(c, Config{})
+
+	vals, vers := seedVersioned(t, c, keys)
+
+	// Stage what internal/replica maintains continuously — the standby
+	// holds each entry with the primary's version, not a fresh one.
+	ring := c.Ring()
+	for k, v := range vals {
+		if sb := ring.Standby(cluster.SlotOf(k)); sb != "" {
+			members[sb].table.PutTTLVer(k, v, 0, vers[k])
+		}
+	}
+
+	victim := addrs[0]
+	members[victim].srv.Close()
+
+	if err := m.Promote(victim, func(string, []int) error { return nil }); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+
+	verifyVersioned(t, c, vals, vers, "after promotion")
+}
+
+// TestMigrationPreservesRMWVersions: slot migration moves entries with
+// SetTTLVer carrying the source's version, so a token handed out before
+// AddNode must keep working after its slot lands on the new member.
+func TestMigrationPreservesRMWVersions(t *testing.T) {
+	a := startLockNode(t)
+	c, err := client.New(client.Config{Nodes: []string{a.srv.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	m := New(c, Config{})
+
+	const keys = 200
+	vals, vers := seedVersioned(t, c, keys)
+
+	b := startLockNode(t)
+	if err := m.AddNode(b.srv.Addr()); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if c.MigratingSlots() != 0 {
+		t.Fatalf("windows still open after AddNode: %d", c.MigratingSlots())
+	}
+
+	verifyVersioned(t, c, vals, vers, "after migration")
+
+	// And once more through a second topology change, using the tokens
+	// refreshed by the post-migration CAS pass.
+	cp := startCPNode(t)
+	if err := m.AddNode(cp.srv.Addr()); err != nil {
+		t.Fatalf("AddNode(cpnode): %v", err)
+	}
+	verifyVersioned(t, c, vals, vers, "after second migration")
+
+	for _, n := range []*node{a, b, cp} {
+		if err := n.check(); err != nil {
+			t.Fatalf("table invariants: %v", err)
+		}
+	}
+}

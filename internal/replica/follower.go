@@ -470,12 +470,13 @@ func (f *Follower) applyBody(body []byte) (err error) {
 		op := body[0]
 		key := binary.LittleEndian.Uint64(body[1:9])
 		exp := int64(binary.LittleEndian.Uint64(body[9:17]))
-		vlen := binary.LittleEndian.Uint32(body[17:21])
+		ver := binary.LittleEndian.Uint64(body[17:25])
+		vlen := binary.LittleEndian.Uint32(body[25:29])
 		body = body[recFixedLen:]
 		if uint32(len(body)) < vlen {
 			return fmt.Errorf("replica: truncated record in frame")
 		}
-		if aerr := f.cfg.Apply.Apply(persist.Op(op), key, exp, body[:vlen]); aerr != nil {
+		if aerr := f.cfg.Apply.Apply(persist.Op(op), key, exp, ver, body[:vlen]); aerr != nil {
 			return aerr
 		}
 		body = body[vlen:]

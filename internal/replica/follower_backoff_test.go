@@ -84,5 +84,7 @@ func TestFollowerBackoffSchedule(t *testing.T) {
 
 type nopApplier struct{}
 
-func (nopApplier) Apply(op persist.Op, key uint64, expireAt int64, value []byte) error { return nil }
-func (nopApplier) Flush() error                                                        { return nil }
+func (nopApplier) Apply(op persist.Op, key uint64, expireAt int64, ver uint64, value []byte) error {
+	return nil
+}
+func (nopApplier) Flush() error { return nil }

@@ -28,9 +28,9 @@
 // One TCP connection per (follower, primary) pair, opened by the
 // follower to the Source's dedicated replication listener:
 //
-//	handshake  F→S: magic "CPREPL02" | nameLen (1) | name | slot bitmap (32)
+//	handshake  F→S: magic "CPREPL03" | nameLen (1) | name | slot bitmap (32)
 //	                | resumeSession (8 LE) | resumeSeq (8 LE)
-//	handshake  S→F: magic "CPREPL02" | flags (1) | session (8 LE)
+//	handshake  S→F: magic "CPREPL03" | flags (1) | session (8 LE)
 //	frame      S→F: type (1) | seq (8 LE) | tsNanos (8 LE) | ulen (4 LE) | clen (4 LE) | body
 //	ack        F→S: 'A' | seq (8 LE)
 //
@@ -48,7 +48,9 @@
 // clen bytes, inflating to ulen); 'S' marks the end of the initial sync;
 // 'R' accepts a resume (the follower is already synced at the frame's
 // seq); 'H' is an idle heartbeat. A record inside a 'D' body is
-// op (1) | key (8 LE) | expireAt ns (8 LE) | vlen (4 LE) | value.
+// op (1) | key (8 LE) | expireAt ns (8 LE) | ver (8 LE) | vlen (4 LE) | value
+// (CPREPL03 added the CAS version so read-modify-write results replicate
+// with stable tokens; CPREPL02 peers are refused at the handshake).
 //
 // seq on 'D'/'H' frames is the Source's tail sequence covered so far —
 // the replication watermark the follower acknowledges; tsNanos is the
@@ -74,7 +76,7 @@ import (
 )
 
 const (
-	replMagic = "CPREPL02"
+	replMagic = "CPREPL03"
 
 	frameData       = byte('D')
 	frameSyncDone   = byte('S')
@@ -93,7 +95,7 @@ const (
 	// replyFlagResumed (reply flags bit 0) grants the requested resume.
 	replyFlagResumed = byte(1)
 
-	recFixedLen = 1 + 8 + 8 + 4
+	recFixedLen = 1 + 8 + 8 + 8 + 4
 
 	// maxFrameLen rejects absurd lengths before allocating, mirroring the
 	// WAL replay guard.
@@ -109,10 +111,11 @@ func putFrameHeader(dst []byte, typ byte, seq uint64, ts int64, ulen, clen int) 
 }
 
 // appendRecord frames one record into a 'D' body under assembly.
-func appendRecord(dst []byte, op byte, key uint64, expireAt int64, value []byte) []byte {
+func appendRecord(dst []byte, op byte, key uint64, expireAt int64, ver uint64, value []byte) []byte {
 	dst = append(dst, op)
 	dst = binary.LittleEndian.AppendUint64(dst, key)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(expireAt))
+	dst = binary.LittleEndian.AppendUint64(dst, ver)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(value)))
 	return append(dst, value...)
 }
@@ -122,7 +125,7 @@ func appendRecord(dst []byte, op byte, key uint64, expireAt int64, value []byte)
 // per-frame barrier: record buffers passed to Apply stay valid until the
 // next Flush returns, so pipelined appliers may defer completion to it.
 type Applier interface {
-	Apply(op persist.Op, key uint64, expireAt int64, value []byte) error
+	Apply(op persist.Op, key uint64, expireAt int64, ver uint64, value []byte) error
 	Flush() error
 }
 
@@ -151,7 +154,7 @@ func NewCoreApplier(t *core.Table, clientID int, clock func() int64) (*CoreAppli
 	return &CoreApplier{c: c, clock: clock}, nil
 }
 
-func (a *CoreApplier) Apply(op persist.Op, key uint64, expireAt int64, value []byte) error {
+func (a *CoreApplier) Apply(op persist.Op, key uint64, expireAt int64, ver uint64, value []byte) error {
 	switch op {
 	case persist.OpSet:
 		ttl := time.Duration(0)
@@ -161,7 +164,7 @@ func (a *CoreApplier) Apply(op persist.Op, key uint64, expireAt int64, value []b
 				return nil // expired in flight
 			}
 		}
-		a.ops = append(a.ops, a.c.InsertTTLAsync(key, value, ttl))
+		a.ops = append(a.ops, a.c.InsertTTLVerAsync(key, value, ttl, ver))
 	case persist.OpDelete:
 		a.ops = append(a.ops, a.c.DeleteAsync(key))
 	}
@@ -192,10 +195,10 @@ func NewLockHashApplier(t *lockhash.Table) Applier {
 	return &lockHashApplier{t: t}
 }
 
-func (a *lockHashApplier) Apply(op persist.Op, key uint64, expireAt int64, value []byte) error {
+func (a *lockHashApplier) Apply(op persist.Op, key uint64, expireAt int64, ver uint64, value []byte) error {
 	switch op {
 	case persist.OpSet:
-		a.t.PutExpire(key, value, expireAt)
+		a.t.PutExpireVer(key, value, expireAt, ver)
 	case persist.OpDelete:
 		a.t.Delete(key)
 	}

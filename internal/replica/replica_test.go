@@ -464,9 +464,9 @@ type slowApplier struct {
 	delay time.Duration
 }
 
-func (a *slowApplier) Apply(op persist.Op, key uint64, expireAt int64, value []byte) error {
+func (a *slowApplier) Apply(op persist.Op, key uint64, expireAt int64, ver uint64, value []byte) error {
 	time.Sleep(a.delay)
-	return a.inner.Apply(op, key, expireAt, value)
+	return a.inner.Apply(op, key, expireAt, ver, value)
 }
 
 func (a *slowApplier) Flush() error { return a.inner.Flush() }

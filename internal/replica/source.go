@@ -176,7 +176,8 @@ func (b *backlog) collect(from uint64, slots *protocol.SlotSet, dst []byte, maxB
 		key := binary.LittleEndian.Uint64(rec[1:9])
 		if slots == nil || slots.Has(cluster.SlotOf(key)) {
 			exp := int64(binary.LittleEndian.Uint64(rec[9:17]))
-			dst = appendRecord(dst, rec[0], key, exp, rec[17:])
+			ver := binary.LittleEndian.Uint64(rec[17:25])
+			dst = appendRecord(dst, rec[0], key, exp, ver, rec[25:])
 			matched++
 		}
 		next++
@@ -760,11 +761,11 @@ func (p *peer) initialSync() error {
 		p.staging = p.staging[:0]
 		return err
 	}
-	_, err = p.src.cfg.Pipe.ReplayDurable(bar, func(op persist.Op, key uint64, exp int64, val []byte) error {
+	_, err = p.src.cfg.Pipe.ReplayDurable(bar, func(op persist.Op, key uint64, exp int64, ver uint64, val []byte) error {
 		if p.slots != nil && !p.slots.Has(cluster.SlotOf(key)) {
 			return nil
 		}
-		p.staging = appendRecord(p.staging, byte(op), key, exp, val)
+		p.staging = appendRecord(p.staging, byte(op), key, exp, ver, val)
 		if len(p.staging) >= p.src.cfg.BatchBytes {
 			return flushBatch()
 		}

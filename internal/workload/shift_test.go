@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"testing"
+
+	"cphash/internal/partition"
+)
+
+// TestShiftingDeterminism: two generators with the same spec produce
+// identical streams across shift boundaries.
+func TestShiftingDeterminism(t *testing.T) {
+	spec := Spec{
+		WorkingSetBytes: 64 << 10, ValueSize: 8, InsertRatio: 0.3,
+		Dist: Shifting, HotKeys: 32, ShiftEvery: 500, Seed: 7,
+	}
+	a, b := MustGenerator(spec), MustGenerator(spec)
+	for i := 0; i < 5000; i++ {
+		ka, oa := a.Next()
+		kb, ob := b.Next()
+		if ka != kb || oa != ob {
+			t.Fatalf("streams diverge at op %d", i)
+		}
+	}
+}
+
+// TestShiftingConcentrationAndShift checks the two defining properties:
+// inside one window, ~HotRatio of draws land on HotKeys indices; and
+// consecutive windows have (mostly) different hot keys.
+func TestShiftingConcentrationAndShift(t *testing.T) {
+	const shiftEvery = 4000
+	spec := Spec{
+		WorkingSetBytes: 256 << 10, ValueSize: 8, InsertRatio: 0,
+		Dist: Shifting, HotRatio: 0.9, HotKeys: 64, ShiftEvery: shiftEvery, Seed: 3,
+	}
+	g := MustGenerator(spec)
+
+	countWindow := func() map[partition.Key]int {
+		counts := map[partition.Key]int{}
+		for i := 0; i < shiftEvery; i++ {
+			_, k := g.Next()
+			counts[k]++
+		}
+		return counts
+	}
+	hotSet := func(counts map[partition.Key]int) map[partition.Key]bool {
+		// The hot window is tiny next to the working set, so any key
+		// drawn more than a handful of times is hot.
+		hot := map[partition.Key]bool{}
+		for k, n := range counts {
+			if n >= 10 {
+				hot[k] = true
+			}
+		}
+		return hot
+	}
+
+	w0 := countWindow()
+	w1 := countWindow()
+	h0, h1 := hotSet(w0), hotSet(w1)
+	if len(h0) < 32 || len(h0) > 96 {
+		t.Fatalf("window 0 hot set has %d keys, want ≈64", len(h0))
+	}
+	var hotDraws int
+	for k := range h0 {
+		hotDraws += w0[k]
+	}
+	if frac := float64(hotDraws) / shiftEvery; frac < 0.8 || frac > 0.97 {
+		t.Fatalf("hot fraction %.3f, want ≈0.9", frac)
+	}
+	overlap := 0
+	for k := range h1 {
+		if h0[k] {
+			overlap++
+		}
+	}
+	if overlap > len(h1)/4 {
+		t.Fatalf("hot sets barely shifted: %d/%d keys overlap", overlap, len(h1))
+	}
+}
+
+// TestSizeMixture checks the value-size mixture: key-deterministic
+// sizes, weight-proportional distribution, and FillValue/CheckValue
+// agreement at the per-key size.
+func TestSizeMixture(t *testing.T) {
+	spec := Spec{
+		WorkingSetBytes: 1 << 20, InsertRatio: 0.3, Seed: 1,
+		Sizes: []SizeClass{{Bytes: 16, Weight: 9}, {Bytes: 1024, Weight: 1}},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mean size 116.8 → ~8978 keys.
+	if n := spec.NumKeys(); n < 8000 || n > 10000 {
+		t.Fatalf("NumKeys = %d, want ≈8978", n)
+	}
+	if spec.MaxValueSize() != 1024 {
+		t.Fatalf("MaxValueSize = %d", spec.MaxValueSize())
+	}
+
+	small, large := 0, 0
+	buf := make([]byte, spec.MaxValueSize())
+	for i := uint64(0); i < 20000; i++ {
+		k := KeyOfIndex(i)
+		size := spec.SizeFor(k)
+		switch size {
+		case 16:
+			small++
+		case 1024:
+			large++
+		default:
+			t.Fatalf("SizeFor returned %d, not in the mixture", size)
+		}
+		if size != spec.SizeFor(k) {
+			t.Fatal("SizeFor not deterministic")
+		}
+		v := spec.FillValue(k, buf)
+		if len(v) != size {
+			t.Fatalf("FillValue wrote %d bytes, SizeFor says %d", len(v), size)
+		}
+		if !spec.CheckValue(k, v) {
+			t.Fatal("CheckValue rejects FillValue output")
+		}
+		if spec.CheckValue(k, v[:len(v)-1]) {
+			t.Fatal("CheckValue accepts truncated value")
+		}
+	}
+	if frac := float64(large) / float64(small+large); frac < 0.07 || frac > 0.13 {
+		t.Fatalf("large-value fraction %.3f, want ≈0.10", frac)
+	}
+
+	// A generator over the mixture must validate without ValueSize set.
+	g := MustGenerator(spec)
+	for i := 0; i < 100; i++ {
+		g.Next()
+	}
+}

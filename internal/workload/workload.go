@@ -37,7 +37,20 @@ const (
 	// Zipfian draws keys with Zipf(s≈1.07) popularity, the conventional
 	// skewed-cache model; used by the skew ablation, not by paper figures.
 	Zipfian
+	// Shifting concentrates HotRatio of the traffic on a window of
+	// HotKeys contiguous working-set indices that jumps to a fresh
+	// window every ShiftEvery operations — the diurnal "yesterday's hot
+	// keys go cold" pattern that stresses eviction and partition heat
+	// rebalancing in ways a static skew cannot.
+	Shifting
 )
+
+// SizeClass is one component of a value-size mixture: Weight parts of
+// the working set carry Bytes-sized values.
+type SizeClass struct {
+	Bytes  int
+	Weight int
+}
 
 // Spec describes a workload. The zero value is not runnable; use Default
 // and override.
@@ -50,8 +63,21 @@ type Spec struct {
 	// InsertRatio is the fraction of operations that are inserts (0.3 in
 	// most paper experiments).
 	InsertRatio float64
-	// Dist selects Uniform (paper) or Zipfian key popularity.
+	// Dist selects Uniform (paper), Zipfian, or Shifting key popularity.
 	Dist Distribution
+	// HotRatio, HotKeys and ShiftEvery parameterize the Shifting
+	// distribution: HotRatio of operations land on a hot window of
+	// HotKeys indices, and the window jumps every ShiftEvery operations.
+	// Zero values take defaults (0.9, NumKeys/64 floored at 1, 50000).
+	HotRatio   float64
+	HotKeys    int
+	ShiftEvery int
+	// Sizes is an optional value-size mixture. When non-empty it
+	// overrides ValueSize: each key's size is drawn deterministically
+	// from the key itself, so independent generators and verification
+	// code agree on every value without coordination. NumKeys then uses
+	// the weighted mean size against WorkingSetBytes.
+	Sizes []SizeClass
 	// Seed makes the stream deterministic.
 	Seed uint64
 }
@@ -70,14 +96,62 @@ func Default(workingSetBytes int) Spec {
 
 // NumKeys returns the number of distinct keys implied by the spec.
 func (s Spec) NumKeys() int {
-	if s.ValueSize <= 0 {
+	mean := float64(s.ValueSize)
+	if len(s.Sizes) > 0 {
+		var sum, weight int
+		for _, c := range s.Sizes {
+			sum += c.Bytes * c.Weight
+			weight += c.Weight
+		}
+		if weight <= 0 {
+			return 0
+		}
+		mean = float64(sum) / float64(weight)
+	}
+	if mean <= 0 {
 		return 0
 	}
-	n := s.WorkingSetBytes / s.ValueSize
+	n := int(float64(s.WorkingSetBytes) / mean)
 	if n < 1 {
 		n = 1
 	}
 	return n
+}
+
+// SizeFor returns the value size for key: ValueSize without a mixture,
+// otherwise a weight-proportional pick hashed from the key alone (the
+// property verification depends on — a reader reconstructs the size the
+// same way the writer chose it).
+func (s Spec) SizeFor(key partition.Key) int {
+	if len(s.Sizes) == 0 {
+		return s.ValueSize
+	}
+	total := 0
+	for _, c := range s.Sizes {
+		total += c.Weight
+	}
+	draw := int(partition.Mix64(uint64(key)^0xa24baed4963ee407) % uint64(total))
+	for _, c := range s.Sizes {
+		if draw -= c.Weight; draw < 0 {
+			return c.Bytes
+		}
+	}
+	return s.Sizes[len(s.Sizes)-1].Bytes
+}
+
+// MaxValueSize bounds SizeFor over all keys — the buffer capacity a
+// driver must provision.
+func (s Spec) MaxValueSize() int {
+	if len(s.Sizes) == 0 {
+		return s.ValueSize
+	}
+	max := 0
+	for _, c := range s.Sizes {
+		if c.Bytes > max {
+			max = c.Bytes
+		}
+	}
+	return max
 }
 
 // Validate reports whether the spec is runnable.
@@ -85,11 +159,22 @@ func (s Spec) Validate() error {
 	if s.WorkingSetBytes <= 0 {
 		return fmt.Errorf("workload: WorkingSetBytes must be positive")
 	}
-	if s.ValueSize <= 0 {
+	if s.ValueSize <= 0 && len(s.Sizes) == 0 {
 		return fmt.Errorf("workload: ValueSize must be positive")
 	}
 	if s.InsertRatio < 0 || s.InsertRatio > 1 {
 		return fmt.Errorf("workload: InsertRatio %v outside [0,1]", s.InsertRatio)
+	}
+	for _, c := range s.Sizes {
+		if c.Bytes <= 0 || c.Weight <= 0 {
+			return fmt.Errorf("workload: size class %d:%d must have positive bytes and weight", c.Bytes, c.Weight)
+		}
+	}
+	if s.HotRatio < 0 || s.HotRatio > 1 {
+		return fmt.Errorf("workload: HotRatio %v outside [0,1]", s.HotRatio)
+	}
+	if s.HotKeys < 0 || s.ShiftEvery < 0 {
+		return fmt.Errorf("workload: HotKeys and ShiftEvery must be non-negative")
 	}
 	return nil
 }
@@ -105,6 +190,12 @@ type Generator struct {
 	// insertThreshold in 2^-63 units: op is Insert when draw < threshold.
 	insertThreshold uint64
 	zipf            *zipf
+	// Shifting state: ops counts generated operations; the hot window is
+	// [hotBase(ops), +hotKeys) where hotBase jumps every shiftEvery ops.
+	ops          uint64
+	hotKeys      uint64
+	shiftEvery   uint64
+	hotThreshold uint64 // in 2^-63 units: draw>>1 < threshold → hot window
 }
 
 // NewGenerator builds a generator; the spec must validate.
@@ -118,8 +209,29 @@ func NewGenerator(spec Spec) (*Generator, error) {
 		state:           spec.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
 		insertThreshold: uint64(spec.InsertRatio * (1 << 63)),
 	}
-	if spec.Dist == Zipfian {
+	switch spec.Dist {
+	case Zipfian:
 		g.zipf = newZipf(spec.Seed, 1.07, g.numKeys)
+	case Shifting:
+		ratio := spec.HotRatio
+		if ratio == 0 {
+			ratio = 0.9
+		}
+		g.hotThreshold = uint64(ratio * (1 << 63))
+		g.hotKeys = uint64(spec.HotKeys)
+		if g.hotKeys == 0 {
+			g.hotKeys = g.numKeys / 64
+		}
+		if g.hotKeys < 1 {
+			g.hotKeys = 1
+		}
+		if g.hotKeys > g.numKeys {
+			g.hotKeys = g.numKeys
+		}
+		g.shiftEvery = uint64(spec.ShiftEvery)
+		if g.shiftEvery == 0 {
+			g.shiftEvery = 50000
+		}
 	}
 	return g, nil
 }
@@ -145,9 +257,12 @@ func (g *Generator) next64() uint64 {
 func (g *Generator) Next() (OpKind, partition.Key) {
 	draw := g.next64()
 	var idx uint64
-	if g.zipf != nil {
+	switch {
+	case g.zipf != nil:
 		idx = g.zipf.next()
-	} else {
+	case g.spec.Dist == Shifting:
+		idx = g.nextShifting()
+	default:
 		idx = g.next64() % g.numKeys
 	}
 	key := KeyOfIndex(idx)
@@ -157,16 +272,30 @@ func (g *Generator) Next() (OpKind, partition.Key) {
 	return Lookup, key
 }
 
+// nextShifting draws the next Shifting index: with probability HotRatio
+// a uniform pick inside the current hot window, otherwise a uniform pick
+// over the whole working set. The window is a function of the operation
+// counter alone, so replays shift at exactly the same points.
+func (g *Generator) nextShifting() uint64 {
+	window := g.ops / g.shiftEvery
+	g.ops++
+	if g.next64()>>1 < g.hotThreshold {
+		base := (window * g.hotKeys) % g.numKeys
+		return (base + g.next64()%g.hotKeys) % g.numKeys
+	}
+	return g.next64() % g.numKeys
+}
+
 // KeyOfIndex maps working-set index i to its 60-bit key.
 func KeyOfIndex(i uint64) partition.Key {
 	return partition.Mix64(i) & partition.MaxKey
 }
 
 // FillValue writes the verification value for key into dst (little-endian
-// key-derived bytes) and returns dst truncated to the spec's value size.
-// dst must have capacity ≥ ValueSize.
+// key-derived bytes) and returns dst truncated to the key's value size
+// (SizeFor). dst must have capacity ≥ MaxValueSize.
 func (s Spec) FillValue(key partition.Key, dst []byte) []byte {
-	dst = dst[:s.ValueSize]
+	dst = dst[:s.SizeFor(key)]
 	var word [8]byte
 	binary.LittleEndian.PutUint64(word[:], uint64(key)^0x5bd1e995)
 	for i := range dst {
@@ -177,7 +306,7 @@ func (s Spec) FillValue(key partition.Key, dst []byte) []byte {
 
 // CheckValue reports whether a read value matches FillValue for the key.
 func (s Spec) CheckValue(key partition.Key, v []byte) bool {
-	if len(v) != s.ValueSize {
+	if len(v) != s.SizeFor(key) {
 		return false
 	}
 	var word [8]byte

@@ -128,11 +128,11 @@ type stallableApplier struct {
 	release chan struct{}
 }
 
-func (g *stallableApplier) Apply(op persist.Op, key uint64, expireAt int64, value []byte) error {
+func (g *stallableApplier) Apply(op persist.Op, key uint64, expireAt int64, ver uint64, value []byte) error {
 	if g.stall.Load() {
 		<-g.release
 	}
-	return g.inner.Apply(op, key, expireAt, value)
+	return g.inner.Apply(op, key, expireAt, ver, value)
 }
 
 func (g *stallableApplier) Flush() error { return g.inner.Flush() }
